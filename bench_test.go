@@ -1,0 +1,260 @@
+package rum
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5), plus micro-benchmarks of the core data structures and
+// ablations for the design knobs DESIGN.md calls out. The experiment
+// benchmarks run the full simulated pipeline and report the paper's
+// headline metrics as custom units; absolute wall time is the cost of
+// regenerating the result, not the result itself (the simulation runs on
+// virtual time).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/experiments"
+	"rum/internal/hsa"
+	"rum/internal/metrics"
+	"rum/internal/of"
+)
+
+// BenchmarkFig1b regenerates Figure 1b: broken-time CDFs for plain
+// barriers vs RUM sequential probing during the 300-flow migration.
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1b()
+		broken := metrics.BrokenTimes(res.Barriers.Updates)
+		b.ReportMetric(float64(res.Barriers.TotalLost), "lost_pkts_barriers")
+		b.ReportMetric(float64(metrics.Max(broken))/1e6, "max_broken_ms_barriers")
+		b.ReportMetric(float64(res.WithRUM.TotalLost), "lost_pkts_rum")
+	}
+}
+
+// BenchmarkFig1bHighRate reruns the precision check: 10 flows at
+// 10 000 pkt/s, still zero drops with probing acks.
+func BenchmarkFig1bHighRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1bHighRate()
+		b.ReportMetric(float64(res.Lost), "lost_pkts")
+	}
+}
+
+// BenchmarkFig2Firewall regenerates Figure 2: http packets bypassing the
+// firewall during the "safe" update, with and without RUM.
+func BenchmarkFig2Firewall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		broken := experiments.Firewall(experiments.FirewallOpts{WithRUM: false})
+		withRUM := experiments.Firewall(experiments.FirewallOpts{WithRUM: true})
+		b.ReportMetric(float64(broken.BypassedHTTP), "bypassed_http_broken")
+		b.ReportMetric(float64(withRUM.BypassedHTTP), "bypassed_http_rum")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: flow update times for the
+// control-plane-only techniques.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6()
+		for _, r := range res.Results {
+			name := r.Technique.String()
+			b.ReportMetric(r.MeanUpdate.Seconds()*1000, "mean_update_ms_"+name)
+		}
+		// The adaptive-250 run is the one the paper shows dropping.
+		b.ReportMetric(float64(res.Results[3].TotalLost), "lost_pkts_adaptive250")
+		b.ReportMetric(float64(res.Results[1].TotalLost), "lost_pkts_timeout")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: flow update times with probing.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7()
+		for _, r := range res.Results {
+			b.ReportMetric(r.Duration.Seconds()*1000, "total_ms_"+r.Technique.String())
+			if r.TotalLost != 0 && r.Technique != core.TechNoWait {
+				b.Fatalf("%s lost %d packets", r.Technique, r.TotalLost)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: per-rule delay between data-plane
+// and control-plane activation, R=300, K=300.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.Fig8(experiments.Fig8Opts{})
+		for _, r := range results {
+			med := metrics.Percentile(r.Deltas, 50)
+			b.ReportMetric(med.Seconds()*1000, "median_ms_"+r.Technique.String())
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: usable modification rate of
+// sequential probing across probing frequency × window K. The full
+// R=4000 sweep is expensive; the benchmark uses R=1000 by default and
+// the cmd/rumbench tool runs the paper-scale version.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Table1(experiments.Table1Opts{R: 1000})
+		for _, c := range cells {
+			b.ReportMetric(c.Normalized*100,
+				fmt.Sprintf("pct_pe%d_k%d", c.ProbeEvery, c.K))
+		}
+	}
+}
+
+// BenchmarkBarrierLayer regenerates the §5.1 barrier-layer overhead
+// comparison.
+func BenchmarkBarrierLayer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiments.BarrierLayer(experiments.BarrierLayerOpts{NumFlows: 100})
+		b.ReportMetric(results[0].Ratio, "x_nonreorder")
+		b.ReportMetric(results[1].Ratio, "x_reorder_buffered")
+		b.ReportMetric(results[2].Ratio, "x_barrier_per_cmd")
+	}
+}
+
+// BenchmarkPacketRates regenerates the §5.2 message-rate measurements.
+func BenchmarkPacketRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Rates()
+		b.ReportMetric(r.PacketOutPerSec, "pktout_per_s")
+		b.ReportMetric(r.PacketInPerSec, "pktin_per_s")
+		b.ReportMetric(r.PacketInModRatio*100, "mod_rate_pct_with_pktin")
+		b.ReportMetric(r.PacketOutModRatio*100, "mod_rate_pct_with_pktout")
+	}
+}
+
+// --- Ablations (design knobs from DESIGN.md §4) ---
+
+// BenchmarkAblationProbeBatch sweeps the sequential probing batch size
+// beyond the paper's grid, showing the delay/rate trade-off of §3.2.1.
+func BenchmarkAblationProbeBatch(b *testing.B) {
+	for _, pe := range []int{1, 5, 10, 50} {
+		b.Run(fmt.Sprintf("probeEvery=%d", pe), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunMigration(experiments.MigrationOpts{
+					Technique: core.TechSequential,
+					RUM:       core.Config{ProbeEvery: pe},
+					NumFlows:  100,
+				})
+				if res.TotalLost != 0 {
+					b.Fatalf("lost %d packets", res.TotalLost)
+				}
+				b.ReportMetric(res.Duration.Seconds()*1000, "update_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGeneralWindow sweeps general probing's per-tick batch
+// (the paper probes the 30 oldest every 10 ms).
+func BenchmarkAblationGeneralWindow(b *testing.B) {
+	for _, batch := range []int{5, 30, 100} {
+		b.Run(fmt.Sprintf("probeBatch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.RunMigration(experiments.MigrationOpts{
+					Technique: core.TechGeneral,
+					RUM:       core.Config{ProbeBatch: batch},
+					NumFlows:  100,
+				})
+				if res.TotalLost != 0 {
+					b.Fatalf("lost %d packets", res.TotalLost)
+				}
+				b.ReportMetric(res.Duration.Seconds()*1000, "update_ms")
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the substrate hot paths ---
+
+func BenchmarkMatchMarshal(b *testing.B) {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = 0x0800
+	buf := make([]byte, of.MatchLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MarshalTo(buf)
+	}
+}
+
+func BenchmarkFlowModRoundTrip(b *testing.B) {
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionSetNWTOS{TOS: 4}, of.ActionOutput{Port: 2}}}
+	fm.SetXID(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := of.Marshal(fm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := of.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbeSynthesis(b *testing.B) {
+	// A realistic table: 300 exact rules plus a drop-all.
+	var table []hsa.Rule
+	for i := 0; i < 300; i++ {
+		f := controller.FlowSpec{ID: i}
+		f.Src, f.Dst = controller.FlowAddr(i)
+		table = append(table, hsa.Rule{
+			Priority: 100,
+			Match:    controller.FlowMatch(f),
+			Actions:  []of.Action{of.ActionOutput{Port: 2}},
+		})
+	}
+	table = append(table, hsa.Rule{Priority: 1, Match: of.MatchAll()})
+	f := controller.FlowSpec{ID: 9999}
+	f.Src, f.Dst = controller.FlowAddr(9999)
+	probed := hsa.Rule{Priority: 100, Match: controller.FlowMatch(f),
+		Actions: []of.Action{of.ActionOutput{Port: 2}}}
+	pin := of.MatchAll()
+	pin.Wildcards &^= of.WcNWTOS
+	pin.NWTOS = 0x0c
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hsa.FindProbe(probed, table, pin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColoring(b *testing.B) {
+	// A 100-switch fat-tree-ish adjacency.
+	adj := make(map[uint64][]uint64)
+	for i := uint64(0); i < 100; i++ {
+		adj[i] = append(adj[i], (i+1)%100, (i+7)%100)
+	}
+	for i := 0; i < b.N; i++ {
+		colors := hsa.ColorGraph(adj)
+		if len(colors) != 100 {
+			b.Fatal("bad coloring")
+		}
+	}
+}
+
+// BenchmarkSimThroughput measures raw event-engine throughput.
+func BenchmarkSimThroughput(b *testing.B) {
+	s := NewSimClock()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(time.Microsecond, tick)
+	s.Run()
+}

@@ -1,0 +1,80 @@
+// Command rumbench regenerates the paper's evaluation tables and figures
+// on the simulated substrate.
+//
+// Usage:
+//
+//	rumbench [-experiment all|fig1b|fig2|fig6|fig7|fig8|table1|barrier|rates|highrate] [-flows N] [-r N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rum/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	flows := flag.Int("flows", 300, "number of flows for migration experiments")
+	r := flag.Int("r", 4000, "number of modifications for Table 1")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	ran := false
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		ran = true
+		start := time.Now()
+		fn()
+		fmt.Printf("  [%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1b", func() {
+		res := experiments.Fig1b()
+		fmt.Print(res.Render())
+	})
+	run("fig2", func() {
+		broken := experiments.Firewall(experiments.FirewallOpts{WithRUM: false})
+		withRUM := experiments.Firewall(experiments.FirewallOpts{WithRUM: true})
+		fmt.Print(experiments.RenderFirewall(broken, withRUM))
+	})
+	run("fig6", func() {
+		res := experiments.Fig6()
+		fmt.Print(res.Render("Figure 6"))
+	})
+	run("fig7", func() {
+		res := experiments.Fig7()
+		fmt.Print(res.Render("Figure 7"))
+	})
+	run("fig8", func() {
+		res := experiments.Fig8(experiments.Fig8Opts{})
+		fmt.Print(experiments.RenderFig8(res))
+	})
+	run("table1", func() {
+		cells := experiments.Table1(experiments.Table1Opts{R: *r})
+		fmt.Print(experiments.RenderTable1(cells, nil))
+	})
+	run("barrier", func() {
+		res := experiments.BarrierLayer(experiments.BarrierLayerOpts{NumFlows: *flows})
+		fmt.Print(experiments.RenderBarrierLayer(res))
+	})
+	run("rates", func() {
+		res := experiments.Rates()
+		fmt.Print(res.Render())
+	})
+	run("highrate", func() {
+		res := experiments.Fig1bHighRate()
+		fmt.Print(res.Render())
+	})
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

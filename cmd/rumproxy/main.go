@@ -1,0 +1,155 @@
+// Command rumproxy deploys RUM as a real TCP proxy between OpenFlow 1.0
+// switches and a controller. Switches connect to -listen as if it were
+// the controller; rumproxy identifies each by datapath id, connects
+// onward to -controller impersonating it, and guarantees that rule
+// modification acknowledgments never precede data-plane installation.
+//
+// The triangle topology and switch identities are configured with
+// -switches and -links, e.g.:
+//
+//	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
+//	  -switches 1=s1,2=s2,3=s3 \
+//	  -links s1:2-s2:1,s2:2-s3:2,s1:3-s3:3 \
+//	  -technique general -barrier-layer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rum"
+)
+
+func main() {
+	listen := flag.String("listen", ":6633", "address switches connect to")
+	controller := flag.String("controller", "127.0.0.1:6653", "real controller address")
+	switchesFlag := flag.String("switches", "", "dpid=name pairs, comma separated")
+	linksFlag := flag.String("links", "", "inter-switch links a:pa-b:pb, comma separated")
+	techniqueFlag := flag.String("technique", "general", "barriers|timeout|adaptive|sequential|general|nowait")
+	timeout := flag.Duration("timeout", 300*time.Millisecond, "timeout-technique delay / fallback delay")
+	rate := flag.Float64("rate", 200, "adaptive-technique assumed mods/sec")
+	probeEvery := flag.Int("probe-every", 10, "sequential probing batch size")
+	barrierLayer := flag.Bool("barrier-layer", false, "enable the reliable barrier layer")
+	buffer := flag.Bool("buffer", false, "buffer commands after unconfirmed barriers (reordering switches)")
+	rumAware := flag.Bool("acks", true, "emit fine-grained RUM acks to the controller")
+	flag.Parse()
+
+	switches, err := parseSwitches(*switchesFlag)
+	if err != nil {
+		log.Fatalf("rumproxy: -switches: %v", err)
+	}
+	links, err := parseLinks(*linksFlag)
+	if err != nil {
+		log.Fatalf("rumproxy: -links: %v", err)
+	}
+	tech, err := parseTechnique(*techniqueFlag)
+	if err != nil {
+		log.Fatalf("rumproxy: -technique: %v", err)
+	}
+
+	srv, err := rum.NewProxyServer(rum.ProxyConfig{
+		RUM: rum.Config{
+			Technique:        tech,
+			RUMAware:         *rumAware,
+			Timeout:          *timeout,
+			AssumedRate:      *rate,
+			ProbeEvery:       *probeEvery,
+			BarrierLayer:     *barrierLayer,
+			BufferForReorder: *buffer,
+		},
+		Topology:       rum.NewTopology(links),
+		Switches:       switches,
+		ControllerAddr: *controller,
+	})
+	if err != nil {
+		log.Fatalf("rumproxy: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("rumproxy: listen %s: %v", *listen, err)
+	}
+	log.Printf("rumproxy: technique=%s barrier_layer=%v listening on %s, controller at %s",
+		tech, *barrierLayer, ln.Addr(), *controller)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("rumproxy: serve: %v", err)
+	}
+}
+
+func parseSwitches(s string) ([]rum.SwitchIdentity, error) {
+	if s == "" {
+		return nil, fmt.Errorf("at least one dpid=name pair is required")
+	}
+	var out []rum.SwitchIdentity
+	for _, pair := range strings.Split(s, ",") {
+		dpidStr, name, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad pair %q (want dpid=name)", pair)
+		}
+		dpid, err := strconv.ParseUint(dpidStr, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad dpid in %q: %v", pair, err)
+		}
+		out = append(out, rum.SwitchIdentity{DPID: dpid, Name: name})
+	}
+	return out, nil
+}
+
+func parseLinks(s string) ([]rum.TopoLink, error) {
+	if s == "" {
+		return nil, fmt.Errorf("at least one link is required for probing")
+	}
+	var out []rum.TopoLink
+	for _, l := range strings.Split(s, ",") {
+		a, b, ok := strings.Cut(l, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad link %q (want a:pa-b:pb)", l)
+		}
+		an, ap, err := parseEnd(a)
+		if err != nil {
+			return nil, err
+		}
+		bn, bp, err := parseEnd(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rum.TopoLink{A: an, APort: ap, B: bn, BPort: bp})
+	}
+	return out, nil
+}
+
+func parseEnd(s string) (string, uint16, error) {
+	name, portStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return "", 0, fmt.Errorf("bad link end %q (want name:port)", s)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad port in %q: %v", s, err)
+	}
+	return name, uint16(port), nil
+}
+
+func parseTechnique(s string) (rum.Technique, error) {
+	switch strings.ToLower(s) {
+	case "barriers":
+		return rum.TechBarriers, nil
+	case "timeout":
+		return rum.TechTimeout, nil
+	case "adaptive":
+		return rum.TechAdaptive, nil
+	case "sequential":
+		return rum.TechSequential, nil
+	case "general":
+		return rum.TechGeneral, nil
+	case "nowait":
+		return rum.TechNoWait, nil
+	}
+	fmt.Fprintf(os.Stderr, "unknown technique %q\n", s)
+	return 0, fmt.Errorf("unknown technique %q", s)
+}

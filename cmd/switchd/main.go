@@ -1,0 +1,103 @@
+// Command switchd runs a small emulated OpenFlow network in real time and
+// connects its switches to a controller (or RUM proxy) over TCP: the
+// paper's triangle topology (Figure 1a) with two software switches, one
+// buggy hardware switch, and hosts h1/h2 exchanging traffic.
+//
+// Usage:
+//
+//	switchd -controller 127.0.0.1:6633 [-sync 300ms] [-flows 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"time"
+
+	"rum/internal/netsim"
+	"rum/internal/packet"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+func main() {
+	ctrlAddr := flag.String("controller", "127.0.0.1:6633", "controller (or RUM proxy) address")
+	syncPeriod := flag.Duration("sync", 300*time.Millisecond, "hardware switch data-plane sync period")
+	flows := flag.Int("flows", 0, "background flows h1->h2 at 250 pkt/s")
+	flag.Parse()
+
+	clk := sim.NewWall()
+	network := netsim.New(clk)
+
+	hp := switchsim.ProfileHP5406zl()
+	hp.SyncPeriod = *syncPeriod
+	profs := map[string]switchsim.Profile{
+		"s1": switchsim.ProfileSoftware(),
+		"s2": hp,
+		"s3": switchsim.ProfileSoftware(),
+	}
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range []string{"s1", "s2", "s3"} {
+		switches[name] = switchsim.New(name, uint64(i+1), profs[name], clk, network)
+	}
+	h1 := netsim.NewHost(network, "h1")
+	h2 := netsim.NewHost(network, "h2")
+	lat := 100 * time.Microsecond
+	network.Connect(h1, h1.Port(), switches["s1"], 1, lat)
+	network.Connect(switches["s1"], 2, switches["s2"], 1, lat)
+	network.Connect(switches["s2"], 2, switches["s3"], 2, lat)
+	network.Connect(switches["s1"], 3, switches["s3"], 3, lat)
+	network.Connect(switches["s3"], 1, h2, h2.Port(), lat)
+
+	for name, sw := range switches {
+		nc, err := net.Dial("tcp", *ctrlAddr)
+		if err != nil {
+			log.Fatalf("switchd: dialing %s for %s: %v", *ctrlAddr, name, err)
+		}
+		sw.AttachConn(transport.NewTCP(nc))
+		log.Printf("switchd: %s (dpid %d, profile %s) connected to %s",
+			name, sw.DPID(), sw.Profile().Name, *ctrlAddr)
+	}
+
+	if *flows > 0 {
+		specs := make([]netsim.Flow, *flows)
+		for i := range specs {
+			src := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+			dst := netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})
+			specs[i] = netsim.Flow{
+				ID:     i,
+				Pkt:    packet.New(src, dst, packet.ProtoUDP, 4000, 9000),
+				Period: 4 * time.Millisecond,
+			}
+		}
+		gen := netsim.NewGenerator(h1, specs)
+		gen.Start(time.Millisecond)
+		log.Printf("switchd: generating %d flows at 250 pkt/s from h1", *flows)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println()
+			for name, sw := range switches {
+				mods, pouts, pins, syncs := sw.Counters()
+				log.Printf("switchd: %s: mods=%d pktouts=%d pktins=%d syncs=%d ctrl_rules=%d data_rules=%d",
+					name, mods, pouts, pins, syncs, sw.CtrlTable().Len(), sw.DataTable().Len())
+			}
+			return
+		case <-ticker.C:
+			drops := len(network.Drops())
+			arr := len(h2.Arrivals())
+			log.Printf("switchd: h2 arrivals=%d drops=%d", arr, drops)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package controller is the controller-side library the evaluation drives:
+// it executes network updates as dependency DAGs of FlowMods ("X after Y,
+// X after Z" plans, Figure 2 of the paper), limits in-flight modifications
+// to a window K, and consumes either RUM's fine-grained acknowledgments or
+// its own per-mod barriers — or nothing at all (the no-wait lower bound).
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// AckMode selects how the controller learns a modification completed.
+type AckMode int
+
+const (
+	// AckRUM consumes RUM positive-acknowledgment errors.
+	AckRUM AckMode = iota
+	// AckBarrier sends a BarrierRequest after every FlowMod and treats
+	// the reply as the acknowledgment (what a consistent-update system
+	// does on a plain OpenFlow switch).
+	AckBarrier
+	// AckNone acknowledges instantly on send: no waiting, no guarantees.
+	AckNone
+)
+
+// Op is one rule modification in a plan.
+type Op struct {
+	Switch    string
+	FM        *of.FlowMod
+	DependsOn []int // indices of ops that must confirm first
+}
+
+// Plan is a dependency DAG of modifications.
+type Plan struct {
+	Ops []Op
+}
+
+// OpResult records one op's lifecycle.
+type OpResult struct {
+	SentAt      time.Duration
+	ConfirmedAt time.Duration
+	XID         uint32
+}
+
+// Client is a minimal OpenFlow controller bound to a set of switch
+// control channels (directly to switches, or through RUM).
+type Client struct {
+	clk   sim.Clock
+	mode  AckMode
+	conns map[string]transport.Conn
+
+	mu      sync.Mutex
+	nextXID uint32
+	// waiting maps xid → completion callback (for both RUM acks and
+	// barrier replies).
+	waiting map[uint32]func()
+	// barrierFor maps a barrier xid to the FlowMod xid it confirms.
+	barrierFor map[uint32]uint32
+	onPacketIn func(sw string, pin *of.PacketIn)
+}
+
+// NewClient creates a controller over the given per-switch conns.
+func NewClient(clk sim.Clock, mode AckMode, conns map[string]transport.Conn) *Client {
+	c := &Client{
+		clk:        clk,
+		mode:       mode,
+		conns:      conns,
+		nextXID:    1,
+		waiting:    make(map[uint32]func()),
+		barrierFor: make(map[uint32]uint32),
+	}
+	for name, conn := range conns {
+		name := name
+		conn.SetHandler(func(m of.Message) { c.onMessage(name, m) })
+	}
+	return c
+}
+
+// SetPacketInHandler installs a callback for data-plane packets forwarded
+// to the controller.
+func (c *Client) SetPacketInHandler(fn func(sw string, pin *of.PacketIn)) {
+	c.mu.Lock()
+	c.onPacketIn = fn
+	c.mu.Unlock()
+}
+
+// NewXID allocates a controller transaction id (always below RUM's
+// reserved range).
+func (c *Client) NewXID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextXID++
+	if c.nextXID >= 0xf0000000 {
+		c.nextXID = 1
+	}
+	return c.nextXID
+}
+
+func (c *Client) onMessage(sw string, m of.Message) {
+	switch mm := m.(type) {
+	case *of.Error:
+		if xid, _, ok := mm.IsRUMAck(); ok {
+			c.complete(xid)
+		}
+	case *of.BarrierReply:
+		c.mu.Lock()
+		modXID, isAckBarrier := c.barrierFor[mm.GetXID()]
+		if isAckBarrier {
+			delete(c.barrierFor, mm.GetXID())
+		}
+		c.mu.Unlock()
+		if isAckBarrier {
+			c.complete(modXID)
+		} else {
+			c.complete(mm.GetXID())
+		}
+	case *of.PacketIn:
+		c.mu.Lock()
+		fn := c.onPacketIn
+		c.mu.Unlock()
+		if fn != nil {
+			fn(sw, mm)
+		}
+	case *of.EchoRequest:
+		reply := &of.EchoReply{Data: mm.Data}
+		reply.SetXID(mm.GetXID())
+		if conn, ok := c.conns[sw]; ok {
+			_ = conn.Send(reply)
+		}
+	}
+}
+
+func (c *Client) complete(xid uint32) {
+	c.mu.Lock()
+	fn, ok := c.waiting[xid]
+	if ok {
+		delete(c.waiting, xid)
+	}
+	c.mu.Unlock()
+	if ok {
+		fn()
+	}
+}
+
+// SendMod sends one FlowMod and invokes done when it is acknowledged
+// according to the client's AckMode.
+func (c *Client) SendMod(sw string, fm *of.FlowMod, done func()) error {
+	conn, ok := c.conns[sw]
+	if !ok {
+		return fmt.Errorf("controller: unknown switch %q", sw)
+	}
+	if fm.GetXID() == 0 {
+		fm.SetXID(c.NewXID())
+	}
+	switch c.mode {
+	case AckRUM:
+		if done != nil {
+			c.mu.Lock()
+			c.waiting[fm.GetXID()] = done
+			c.mu.Unlock()
+		}
+		return conn.Send(fm)
+	case AckBarrier:
+		var barrierXID uint32
+		if done != nil {
+			barrierXID = c.NewXID()
+			c.mu.Lock()
+			c.waiting[fm.GetXID()] = done
+			c.barrierFor[barrierXID] = fm.GetXID()
+			c.mu.Unlock()
+		}
+		if err := conn.Send(fm); err != nil {
+			return err
+		}
+		if done != nil {
+			br := &of.BarrierRequest{}
+			br.SetXID(barrierXID)
+			return conn.Send(br)
+		}
+		return nil
+	case AckNone:
+		err := conn.Send(fm)
+		if done != nil {
+			done()
+		}
+		return err
+	}
+	return fmt.Errorf("controller: unknown ack mode %d", c.mode)
+}
+
+// SendBarrier sends a BarrierRequest and invokes done on the reply.
+func (c *Client) SendBarrier(sw string, done func()) error {
+	conn, ok := c.conns[sw]
+	if !ok {
+		return fmt.Errorf("controller: unknown switch %q", sw)
+	}
+	br := &of.BarrierRequest{}
+	br.SetXID(c.NewXID())
+	if done != nil {
+		c.mu.Lock()
+		c.waiting[br.GetXID()] = done
+		c.mu.Unlock()
+	}
+	return conn.Send(br)
+}
+
+// Send transmits a raw message with no completion tracking.
+func (c *Client) Send(sw string, m of.Message) error {
+	conn, ok := c.conns[sw]
+	if !ok {
+		return fmt.Errorf("controller: unknown switch %q", sw)
+	}
+	if m.GetXID() == 0 {
+		m.SetXID(c.NewXID())
+	}
+	return conn.Send(m)
+}
+
+// Execute runs a plan: ops are issued when all their dependencies have
+// confirmed, with at most window unconfirmed ops in flight (window <= 0
+// means unlimited). onDone, if non-nil, fires once after every op
+// confirms. Execute returns immediately; progress is driven by the clock
+// and incoming acknowledgments.
+func (c *Client) Execute(plan *Plan, window int, onDone func(results []OpResult)) *Execution {
+	e := &Execution{
+		client:  c,
+		plan:    plan,
+		window:  window,
+		onDone:  onDone,
+		results: make([]OpResult, len(plan.Ops)),
+		state:   make([]opState, len(plan.Ops)),
+		waits:   make([]int, len(plan.Ops)),
+	}
+	for i, op := range plan.Ops {
+		e.waits[i] = len(op.DependsOn)
+	}
+	e.pump()
+	return e
+}
+
+type opState int
+
+const (
+	opPending opState = iota
+	opInFlight
+	opDone
+)
+
+// Execution tracks a running plan.
+type Execution struct {
+	client *Client
+	plan   *Plan
+	window int
+	onDone func([]OpResult)
+
+	mu       sync.Mutex
+	state    []opState
+	waits    []int // unmet dependency count
+	results  []OpResult
+	inFlight int
+	done     int
+	finished bool
+}
+
+// pump issues every ready op that fits the window.
+func (e *Execution) pump() {
+	for {
+		e.mu.Lock()
+		idx := -1
+		for i := range e.plan.Ops {
+			if e.state[i] == opPending && e.waits[i] == 0 {
+				if e.window > 0 && e.inFlight >= e.window {
+					break
+				}
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			e.mu.Unlock()
+			return
+		}
+		e.state[idx] = opInFlight
+		e.inFlight++
+		op := e.plan.Ops[idx]
+		e.results[idx].SentAt = e.client.clk.Now()
+		e.mu.Unlock()
+
+		i := idx
+		_ = e.client.SendMod(op.Switch, op.FM, func() { e.confirmed(i) })
+		e.mu.Lock()
+		e.results[i].XID = op.FM.GetXID()
+		e.mu.Unlock()
+	}
+}
+
+func (e *Execution) confirmed(i int) {
+	e.mu.Lock()
+	if e.state[i] == opDone {
+		e.mu.Unlock()
+		return
+	}
+	e.state[i] = opDone
+	e.inFlight--
+	e.done++
+	e.results[i].ConfirmedAt = e.client.clk.Now()
+	for j, op := range e.plan.Ops {
+		for _, dep := range op.DependsOn {
+			if dep == i && e.state[j] == opPending {
+				e.waits[j]--
+			}
+		}
+	}
+	finished := e.done == len(e.plan.Ops) && !e.finished
+	if finished {
+		e.finished = true
+	}
+	onDone := e.onDone
+	results := append([]OpResult(nil), e.results...)
+	e.mu.Unlock()
+
+	if finished {
+		if onDone != nil {
+			onDone(results)
+		}
+		return
+	}
+	e.pump()
+}
+
+// Done reports whether every op confirmed.
+func (e *Execution) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.finished
+}
+
+// Results snapshots per-op results so far.
+func (e *Execution) Results() []OpResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]OpResult(nil), e.results...)
+}

@@ -1,0 +1,227 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// fakeSwitch answers barriers after a configurable delay and emits RUM
+// acks for every FlowMod after another delay.
+type fakeSwitch struct {
+	clk        sim.Clock
+	conn       transport.Conn
+	ackDelay   time.Duration
+	barrDelay  time.Duration
+	emitAcks   bool
+	seenMods   []uint32
+	seenOthers []of.Message
+}
+
+func newFakeSwitch(clk sim.Clock, conn transport.Conn, emitAcks bool) *fakeSwitch {
+	fs := &fakeSwitch{clk: clk, conn: conn, emitAcks: emitAcks,
+		ackDelay: 5 * time.Millisecond, barrDelay: 2 * time.Millisecond}
+	conn.SetHandler(fs.onMsg)
+	return fs
+}
+
+func (fs *fakeSwitch) onMsg(m of.Message) {
+	switch mm := m.(type) {
+	case *of.FlowMod:
+		fs.seenMods = append(fs.seenMods, mm.GetXID())
+		if fs.emitAcks {
+			xid := mm.GetXID()
+			fs.clk.After(fs.ackDelay, func() {
+				_ = fs.conn.Send(of.NewRUMAck(xid, of.RUMAckInstalled))
+			})
+		}
+	case *of.BarrierRequest:
+		xid := mm.GetXID()
+		fs.clk.After(fs.barrDelay, func() {
+			reply := &of.BarrierReply{}
+			reply.SetXID(xid)
+			_ = fs.conn.Send(reply)
+		})
+	default:
+		fs.seenOthers = append(fs.seenOthers, m)
+	}
+}
+
+func setup(emitAcks bool, mode AckMode) (*sim.Sim, *Client, map[string]*fakeSwitch) {
+	s := sim.New()
+	conns := make(map[string]transport.Conn)
+	switches := make(map[string]*fakeSwitch)
+	for _, name := range []string{"s1", "s2"} {
+		ctrlEnd, swEnd := transport.Pipe(s, 100*time.Microsecond)
+		switches[name] = newFakeSwitch(s, swEnd, emitAcks)
+		conns[name] = ctrlEnd
+	}
+	return s, NewClient(s, mode, conns), switches
+}
+
+func mkOp(sw string, dep ...int) Op {
+	f := FlowSpec{ID: 0}
+	f.Src, f.Dst = FlowAddr(0)
+	return Op{Switch: sw, FM: AddRule(f, 10, 2), DependsOn: dep}
+}
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	s, c, switches := setup(true, AckRUM)
+	plan := &Plan{Ops: []Op{
+		mkOp("s2"),
+		mkOp("s1", 0), // must follow op 0
+	}}
+	var results []OpResult
+	c.Execute(plan, 0, func(r []OpResult) { results = r })
+	s.Run()
+	if results == nil {
+		t.Fatal("plan did not complete")
+	}
+	if len(switches["s2"].seenMods) != 1 || len(switches["s1"].seenMods) != 1 {
+		t.Fatalf("mods: s2=%d s1=%d", len(switches["s2"].seenMods), len(switches["s1"].seenMods))
+	}
+	if results[1].SentAt < results[0].ConfirmedAt {
+		t.Errorf("dependent op sent at %v before dependency confirmed at %v",
+			results[1].SentAt, results[0].ConfirmedAt)
+	}
+}
+
+func TestExecuteWindowLimitsInFlight(t *testing.T) {
+	s, c, switches := setup(true, AckRUM)
+	var ops []Op
+	for i := 0; i < 10; i++ {
+		f := FlowSpec{ID: i}
+		f.Src, f.Dst = FlowAddr(i)
+		ops = append(ops, Op{Switch: "s1", FM: AddRule(f, 10, 2)})
+	}
+	plan := &Plan{Ops: ops}
+	done := false
+	c.Execute(plan, 2, func([]OpResult) { done = true })
+
+	// After the initial pump, exactly 2 mods may be in flight.
+	s.RunFor(time.Millisecond)
+	if got := len(switches["s1"].seenMods); got != 2 {
+		t.Errorf("in-flight after initial pump = %d, want 2", got)
+	}
+	s.Run()
+	if !done {
+		t.Fatal("plan did not complete")
+	}
+	if got := len(switches["s1"].seenMods); got != 10 {
+		t.Errorf("total mods = %d, want 10", got)
+	}
+}
+
+func TestAckBarrierMode(t *testing.T) {
+	s, c, switches := setup(false, AckBarrier)
+	plan := &Plan{Ops: []Op{mkOp("s1")}}
+	var results []OpResult
+	c.Execute(plan, 0, func(r []OpResult) { results = r })
+	s.Run()
+	if results == nil {
+		t.Fatal("barrier-acked plan did not complete")
+	}
+	if results[0].ConfirmedAt <= results[0].SentAt {
+		t.Errorf("confirmation time %v not after send time %v", results[0].ConfirmedAt, results[0].SentAt)
+	}
+	if len(switches["s1"].seenMods) != 1 {
+		t.Errorf("switch saw %d mods", len(switches["s1"].seenMods))
+	}
+}
+
+func TestAckNoneConfirmsImmediately(t *testing.T) {
+	s, c, _ := setup(false, AckNone)
+	plan := &Plan{Ops: []Op{mkOp("s1"), mkOp("s2", 0)}}
+	var results []OpResult
+	c.Execute(plan, 0, func(r []OpResult) { results = r })
+	s.Run()
+	if results == nil {
+		t.Fatal("no-wait plan did not complete")
+	}
+	for i, r := range results {
+		if r.ConfirmedAt != r.SentAt {
+			t.Errorf("op %d: no-wait confirm at %v != send at %v", i, r.ConfirmedAt, r.SentAt)
+		}
+	}
+}
+
+func TestSendModUnknownSwitch(t *testing.T) {
+	_, c, _ := setup(true, AckRUM)
+	if err := c.SendMod("nope", mkOp("nope").FM, nil); err == nil {
+		t.Fatal("SendMod to unknown switch succeeded")
+	}
+}
+
+func TestMigrationPlanShape(t *testing.T) {
+	flows := make([]FlowSpec, 3)
+	for i := range flows {
+		flows[i].ID = i
+		flows[i].Src, flows[i].Dst = FlowAddr(i)
+	}
+	plan := MigrationSpec{Flows: flows, S1ToS2: 2, S1ToS3: 3, S2ToS3: 2, Prio: 100}.Build()
+	if len(plan.Ops) != 6 {
+		t.Fatalf("plan has %d ops, want 6", len(plan.Ops))
+	}
+	for i := 0; i < len(plan.Ops); i += 2 {
+		if plan.Ops[i].Switch != "s2" || plan.Ops[i+1].Switch != "s1" {
+			t.Errorf("op pair %d targets %s/%s", i, plan.Ops[i].Switch, plan.Ops[i+1].Switch)
+		}
+		if len(plan.Ops[i+1].DependsOn) != 1 || plan.Ops[i+1].DependsOn[0] != i {
+			t.Errorf("ingress op %d deps = %v", i+1, plan.Ops[i+1].DependsOn)
+		}
+	}
+}
+
+func TestTwoPhasePlanShape(t *testing.T) {
+	flows := []FlowSpec{{ID: 0}}
+	flows[0].Src, flows[0].Dst = FlowAddr(0)
+	plan := TwoPhaseSpec{Flows: flows, Version: 2, S1ToS2: 2, S2ToS3: 2, S3ToHost: 1,
+		Prio: 100, StripAtS3: true}.Build()
+	if len(plan.Ops) != 3 {
+		t.Fatalf("plan has %d ops, want 3", len(plan.Ops))
+	}
+	ingress := plan.Ops[2]
+	if ingress.Switch != "s1" || len(ingress.DependsOn) != 2 {
+		t.Errorf("ingress = %+v", ingress)
+	}
+	// Internal rules must match the version tag.
+	if plan.Ops[0].FM.Match.Wildcards&of.WcDLVLAN != 0 || plan.Ops[0].FM.Match.DLVLAN != 2 {
+		t.Errorf("internal rule does not match version tag: %v", plan.Ops[0].FM.Match)
+	}
+}
+
+func TestFirewallPlanShape(t *testing.T) {
+	src, _ := FlowAddr(0)
+	plan := FirewallSpec{Host: src, HTTPPort: 80, AToB: 2, BToS3: 2, BToFW: 3,
+		PrioLow: 10, PrioHigh: 20}.Build()
+	if len(plan.Ops) != 3 {
+		t.Fatalf("plan has %d ops, want 3", len(plan.Ops))
+	}
+	x := plan.Ops[2]
+	if x.Switch != "a" || len(x.DependsOn) != 2 {
+		t.Errorf("X op = %+v, want deps on Y and Z", x)
+	}
+}
+
+func TestExecuteDiamondDependency(t *testing.T) {
+	s, c, _ := setup(true, AckRUM)
+	// 0 -> {1,2} -> 3
+	plan := &Plan{Ops: []Op{
+		mkOp("s1"),
+		mkOp("s2", 0),
+		mkOp("s1", 0),
+		mkOp("s2", 1, 2),
+	}}
+	var results []OpResult
+	c.Execute(plan, 0, func(r []OpResult) { results = r })
+	s.Run()
+	if results == nil {
+		t.Fatal("diamond plan did not complete")
+	}
+	if results[3].SentAt < results[1].ConfirmedAt || results[3].SentAt < results[2].ConfirmedAt {
+		t.Error("final op sent before both middle ops confirmed")
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/proxy"
+)
+
+// pending is one controller FlowMod awaiting data-plane confirmation.
+type pending struct {
+	xid      uint32
+	seq      uint64 // per-session issue order
+	fm       *of.FlowMod
+	issuedAt time.Duration
+	done     bool
+}
+
+// confirmListener observes confirmations (the barrier layer registers one).
+type confirmListener func(p *pending, code uint16)
+
+// ackLayer is the acknowledgment layer (§2): it tracks every FlowMod the
+// controller sends, hands it to the configured technique, and emits a
+// fine-grained ack to RUM-aware controllers once the technique proves the
+// rule is in the data plane.
+type ackLayer struct {
+	sess *session
+
+	mu        sync.Mutex
+	ctx       *proxy.Context
+	nextSeq   uint64
+	pendings  []*pending // issue order; confirmed entries are pruned
+	listeners []confirmListener
+}
+
+// FromController implements proxy.Layer.
+func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
+	a.mu.Lock()
+	a.ctx = ctx
+	a.mu.Unlock()
+	switch mm := m.(type) {
+	case *of.FlowMod:
+		a.mu.Lock()
+		a.nextSeq++
+		p := &pending{
+			xid:      mm.GetXID(),
+			seq:      a.nextSeq,
+			fm:       mm,
+			issuedAt: ctx.Clock().Now(),
+		}
+		a.pendings = append(a.pendings, p)
+		a.mu.Unlock()
+		ctx.ToSwitch(m)
+		a.sess.tech.onFlowMod(a, ctx, p)
+	default:
+		ctx.ToSwitch(m)
+	}
+}
+
+// FromSwitch implements proxy.Layer: RUM-internal replies and probe
+// PacketIns are consumed by the technique; everything else passes through.
+func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
+	a.mu.Lock()
+	a.ctx = ctx
+	a.mu.Unlock()
+	if a.sess.tech.onFromSwitch(a, ctx, m) {
+		return
+	}
+	// Suppress replies to RUM-generated messages that the technique did
+	// not claim (errors for probe rules, stray barrier replies).
+	if IsRUMXID(m.GetXID()) && m.MsgType() != of.TypePacketIn {
+		return
+	}
+	ctx.ToController(m)
+}
+
+// onConfirm registers a confirmation listener.
+func (a *ackLayer) onConfirm(fn confirmListener) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.listeners = append(a.listeners, fn)
+}
+
+// confirm marks p as data-plane-confirmed and emits acknowledgments.
+func (a *ackLayer) confirm(p *pending, code uint16) {
+	a.mu.Lock()
+	if p.done {
+		a.mu.Unlock()
+		return
+	}
+	p.done = true
+	kept := a.pendings[:0]
+	for _, q := range a.pendings {
+		if !q.done {
+			kept = append(kept, q)
+		}
+	}
+	a.pendings = kept
+	ctx := a.ctx
+	listeners := append([]confirmListener(nil), a.listeners...)
+	a.mu.Unlock()
+
+	if a.sess.rum.cfg.RUMAware && ctx != nil {
+		ack := of.NewRUMAck(p.xid, code)
+		ack.SetXID(a.sess.rum.newXID())
+		ctx.ToController(ack)
+		a.sess.rum.mu.Lock()
+		a.sess.rum.acksSent++
+		a.sess.rum.mu.Unlock()
+	}
+	for _, fn := range listeners {
+		fn(p, code)
+	}
+}
+
+// confirmUpTo confirms every pending mod with seq <= seq (order-preserving
+// techniques: barriers, timeout, sequential).
+func (a *ackLayer) confirmUpTo(seq uint64, code uint16) {
+	a.mu.Lock()
+	var ready []*pending
+	for _, p := range a.pendings {
+		if p.seq <= seq && !p.done {
+			ready = append(ready, p)
+		}
+	}
+	a.mu.Unlock()
+	for _, p := range ready {
+		a.confirm(p, code)
+	}
+}
+
+// unconfirmed snapshots the not-yet-confirmed mods in issue order.
+func (a *ackLayer) unconfirmed() []*pending {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*pending(nil), a.pendings...)
+}
+
+// currentSeq returns the seq of the most recently tracked FlowMod.
+func (a *ackLayer) currentSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nextSeq
+}
+
+// technique is the strategy deciding when a tracked FlowMod is confirmed.
+type technique interface {
+	// onFlowMod is invoked after the FlowMod was forwarded toward the
+	// switch.
+	onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending)
+	// onFromSwitch may consume a switch→controller message (returns true
+	// to stop propagation).
+	onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool
+}
+
+// noWaitTech confirms instantly: no guarantees, fastest possible updates —
+// the evaluation's lower bound.
+type noWaitTech struct{}
+
+func (noWaitTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+	a.confirm(p, of.RUMAckInstalled)
+}
+
+func (noWaitTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
+	return false
+}
+
+// barrierTech implements TechBarriers (delay == 0) and TechTimeout
+// (delay > 0): a RUM barrier follows every FlowMod; the reply — plus the
+// configured safety delay — confirms everything issued before it (§3.1).
+type barrierTech struct {
+	sess  *session
+	delay time.Duration
+
+	mu       sync.Mutex
+	barriers map[uint32]uint64 // barrier xid → covered seq
+}
+
+func newBarrierTech(s *session, delay time.Duration) *barrierTech {
+	return &barrierTech{sess: s, delay: delay, barriers: make(map[uint32]uint64)}
+}
+
+func (t *barrierTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+	br := &of.BarrierRequest{}
+	xid := t.sess.rum.newXID()
+	br.SetXID(xid)
+	t.mu.Lock()
+	t.barriers[xid] = p.seq
+	t.mu.Unlock()
+	ctx.ToSwitch(br)
+}
+
+func (t *barrierTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
+	rep, ok := m.(*of.BarrierReply)
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	seq, mine := t.barriers[rep.GetXID()]
+	if mine {
+		delete(t.barriers, rep.GetXID())
+	}
+	t.mu.Unlock()
+	if !mine {
+		return false
+	}
+	if t.delay == 0 {
+		a.confirmUpTo(seq, of.RUMAckInstalled)
+	} else {
+		ctx.Clock().After(t.delay, func() {
+			a.confirmUpTo(seq, of.RUMAckInstalled)
+		})
+	}
+	return true
+}
+
+// adaptiveTech implements TechAdaptive: a virtual-time model of the
+// switch's installation pipeline. Each forwarded FlowMod advances the
+// modeled completion time by 1/AssumedRate; with a modeled sync period the
+// estimated activation rounds up to the next sync boundary. The technique
+// is exactly as safe as its model — overestimate the rate and
+// acknowledgments arrive before the data plane does (the paper's
+// "adaptive 250" failure mode).
+type adaptiveTech struct {
+	sess *session
+
+	mu sync.Mutex
+	vt time.Duration // modeled control-plane completion time
+}
+
+func newAdaptiveTech(s *session) *adaptiveTech { return &adaptiveTech{sess: s} }
+
+func (t *adaptiveTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+	cfg := t.sess.rum.cfg
+	now := ctx.Clock().Now()
+	perMod := time.Duration(float64(time.Second) / cfg.AssumedRate)
+	t.mu.Lock()
+	if t.vt < now {
+		t.vt = now
+	}
+	t.vt += perMod
+	est := t.vt
+	t.mu.Unlock()
+	if s := cfg.ModelSyncPeriod; s > 0 {
+		est = ((est+s-1)/s)*s + cfg.ModelSyncSlack
+	}
+	delay := est - now
+	ctx.Clock().After(delay, func() { a.confirm(p, of.RUMAckInstalled) })
+}
+
+func (t *adaptiveTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
+	return false
+}

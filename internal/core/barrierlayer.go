@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+
+	"rum/internal/of"
+	"rum/internal/proxy"
+)
+
+// barrierLayer restores reliable barrier semantics on top of the
+// acknowledgment layer (§2, "Providing reliable barriers"): it absorbs
+// every controller BarrierRequest and answers only once each modification
+// issued before it is confirmed in the data plane. While a barrier is
+// outstanding it also holds switch→controller traffic behind the pending
+// reply (so the controller never observes post-barrier messages before the
+// barrier), and — in buffer mode, for switches that reorder across
+// barriers — withholds every subsequent controller command until the
+// barrier resolves.
+type barrierLayer struct {
+	sess   *session
+	buffer bool
+
+	mu         sync.Mutex
+	registered bool
+	ctx        *proxy.Context
+	unconf     map[uint32]bool // xids of forwarded, unconfirmed FlowMods
+	waiters    []*barWaiter
+	downQ      []of.Message // held controller→switch messages (buffer mode)
+	upQ        []of.Message // held switch→controller messages
+}
+
+// barWaiter is one absorbed barrier.
+type barWaiter struct {
+	xid     uint32
+	covers  map[uint32]bool // unconfirmed xids it waits for
+	buffers bool            // whether downQ holds messages released by it
+}
+
+// FromController implements proxy.Layer.
+func (b *barrierLayer) FromController(ctx *proxy.Context, m of.Message) {
+	b.mu.Lock()
+	b.ctx = ctx
+	if !b.registered {
+		b.registered = true
+		b.sess.ack.onConfirm(b.onConfirm)
+	}
+	// In buffer mode every command behind an unresolved barrier waits.
+	if b.buffer && len(b.waiters) > 0 {
+		b.downQ = append(b.downQ, m)
+		b.mu.Unlock()
+		return
+	}
+	switch mm := m.(type) {
+	case *of.BarrierRequest:
+		b.absorbBarrierLocked(ctx, mm)
+		b.mu.Unlock()
+	case *of.FlowMod:
+		if b.unconf == nil {
+			b.unconf = make(map[uint32]bool)
+		}
+		b.unconf[mm.GetXID()] = true
+		b.mu.Unlock()
+		ctx.ToSwitch(m)
+	default:
+		b.mu.Unlock()
+		ctx.ToSwitch(m)
+	}
+}
+
+// absorbBarrierLocked registers (or immediately answers) a barrier.
+func (b *barrierLayer) absorbBarrierLocked(ctx *proxy.Context, m *of.BarrierRequest) {
+	if len(b.unconf) == 0 {
+		reply := &of.BarrierReply{}
+		reply.SetXID(m.GetXID())
+		// Reply directly: nothing may be pending ahead of it.
+		b.sess.proxy.SendToController(reply)
+		return
+	}
+	covers := make(map[uint32]bool, len(b.unconf))
+	for x := range b.unconf {
+		covers[x] = true
+	}
+	b.waiters = append(b.waiters, &barWaiter{xid: m.GetXID(), covers: covers})
+}
+
+// FromSwitch implements proxy.Layer: messages are held while a barrier
+// reply is pending so the controller's view stays ordered.
+func (b *barrierLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
+	b.mu.Lock()
+	b.ctx = ctx
+	if len(b.waiters) > 0 {
+		// Fine-grained RUM acks bypass the hold: they are the mechanism a
+		// RUM-aware controller uses to make progress toward resolving the
+		// barrier.
+		if e, ok := m.(*of.Error); ok {
+			if _, _, isAck := e.IsRUMAck(); isAck {
+				b.mu.Unlock()
+				ctx.ToController(m)
+				return
+			}
+		}
+		b.upQ = append(b.upQ, m)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	ctx.ToController(m)
+}
+
+// onConfirm receives confirmations from the ack layer.
+func (b *barrierLayer) onConfirm(p *pending, code uint16) {
+	b.mu.Lock()
+	delete(b.unconf, p.xid)
+	for _, w := range b.waiters {
+		delete(w.covers, p.xid)
+	}
+	b.releaseLocked()
+	b.mu.Unlock()
+}
+
+// releaseLocked answers resolved barriers in order and releases held
+// traffic. The head barrier gates everything: replies are emitted
+// strictly in barrier order.
+func (b *barrierLayer) releaseLocked() {
+	ctx := b.ctx
+	for len(b.waiters) > 0 && len(b.waiters[0].covers) == 0 {
+		w := b.waiters[0]
+		b.waiters = b.waiters[1:]
+		reply := &of.BarrierReply{}
+		reply.SetXID(w.xid)
+		b.sess.proxy.SendToController(reply)
+		// Flush held switch→controller messages.
+		upQ := b.upQ
+		b.upQ = nil
+		for _, m := range upQ {
+			b.sess.proxy.SendToController(m)
+		}
+		// In buffer mode, release held commands up to (and absorbing) the
+		// next barrier.
+		if b.buffer {
+			b.releaseDownLocked(ctx)
+		}
+	}
+}
+
+// releaseDownLocked forwards buffered commands until the next barrier (or
+// the end of the buffer). It must be re-entrancy-safe: forwarding a
+// FlowMod can synchronously confirm (no-wait technique) and re-enter
+// onConfirm; the lock is held by the caller.
+func (b *barrierLayer) releaseDownLocked(ctx *proxy.Context) {
+	for len(b.downQ) > 0 && len(b.waiters) == 0 {
+		m := b.downQ[0]
+		b.downQ = b.downQ[1:]
+		switch mm := m.(type) {
+		case *of.BarrierRequest:
+			b.absorbBarrierLocked(ctx, mm)
+		case *of.FlowMod:
+			if b.unconf == nil {
+				b.unconf = make(map[uint32]bool)
+			}
+			b.unconf[mm.GetXID()] = true
+			b.forwardUnlocked(ctx, m)
+		default:
+			b.forwardUnlocked(ctx, m)
+		}
+	}
+}
+
+// forwardUnlocked sends a message toward the switch without holding the
+// layer lock (the downstream ack layer may call back into onConfirm).
+func (b *barrierLayer) forwardUnlocked(ctx *proxy.Context, m of.Message) {
+	b.mu.Unlock()
+	ctx.ToSwitch(m)
+	b.mu.Lock()
+}

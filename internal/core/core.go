@@ -1,0 +1,472 @@
+// Package core implements RUM (Rule Update Monitoring): a transparent
+// layer between an SDN controller and its OpenFlow switches that
+// acknowledges a rule modification only once the rule is visible in the
+// data plane — never sooner. It provides the paper's five acknowledgment
+// techniques (§3), fine-grained per-rule acks delivered as reserved-code
+// OpenFlow errors (§4), and a reliable barrier layer (§2) that restores
+// barrier semantics on switches that answer early or reorder.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"rum/internal/hsa"
+	"rum/internal/proxy"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// Technique selects how RUM decides a rule is active in the data plane.
+type Technique int
+
+const (
+	// TechBarriers trusts the switch's barrier replies (the broken
+	// baseline of §3.1).
+	TechBarriers Technique = iota
+	// TechTimeout waits a fixed worst-case delay after each barrier reply.
+	TechTimeout
+	// TechAdaptive estimates activation from a switch performance model
+	// (issue rate + sync period).
+	TechAdaptive
+	// TechSequential confirms batches with a versioned probe rule
+	// (§3.2.1); valid for switches that do not reorder across barriers.
+	TechSequential
+	// TechGeneral probes every modification individually (§3.2.2); valid
+	// even for reordering switches.
+	TechGeneral
+	// TechNoWait acknowledges immediately on forwarding — the
+	// no-guarantees lower bound the evaluation compares against.
+	TechNoWait
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechBarriers:
+		return "barriers"
+	case TechTimeout:
+		return "timeout"
+	case TechAdaptive:
+		return "adaptive"
+	case TechSequential:
+		return "sequential"
+	case TechGeneral:
+		return "general"
+	case TechNoWait:
+		return "no-wait"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a RUM instance.
+type Config struct {
+	Clock     sim.Clock
+	Technique Technique
+
+	// RUMAware controllers receive per-rule positive acknowledgments as
+	// OpenFlow errors with type of.ErrTypeRUMAck.
+	RUMAware bool
+
+	// Timeout is the fixed delay of TechTimeout and the control-plane
+	// fallback of TechGeneral (default 300 ms — the paper's bound for a
+	// 300-rule table).
+	Timeout time.Duration
+
+	// AssumedRate is TechAdaptive's modeled switch installation rate in
+	// rules/second (the paper evaluates 200 and 250).
+	AssumedRate float64
+	// ModelSyncPeriod is TechAdaptive's modeled data-plane sync period;
+	// estimated activations round up to its multiples. Zero models a
+	// switch without batched syncs.
+	ModelSyncPeriod time.Duration
+	// ModelSyncSlack pads the modeled activation beyond the sync boundary
+	// (hardware stalls briefly while pushing rules). Defaults to 30 ms
+	// when ModelSyncPeriod is set.
+	ModelSyncSlack time.Duration
+
+	// ProbeEvery is TechSequential's batch size: one probe-rule update per
+	// N real modifications (the evaluation uses 10).
+	ProbeEvery int
+	// ProbeFlush bounds how long a partial batch may wait before being
+	// probed anyway.
+	ProbeFlush time.Duration
+	// ProbeResend is the probe packet (re)injection period for
+	// TechSequential.
+	ProbeResend time.Duration
+
+	// ProbeInterval is TechGeneral's probing tick (the evaluation probes
+	// every 10 ms).
+	ProbeInterval time.Duration
+	// ProbeBatch bounds how many of the oldest unconfirmed modifications
+	// are probed per tick (the evaluation uses 30).
+	ProbeBatch int
+	// QuietRounds is how many silent probe rounds confirm an
+	// absence-signalled change (rule deletions, drop-rule installs).
+	QuietRounds int
+
+	// BarrierLayer enables the reliable barrier layer: controller barriers
+	// are absorbed and answered only when every prior modification is
+	// confirmed.
+	BarrierLayer bool
+	// BufferForReorder additionally buffers all commands that follow an
+	// unconfirmed barrier before releasing them to the switch — required
+	// for switches that reorder across barriers (§2).
+	BufferForReorder bool
+}
+
+// Defaults fills unset fields with the paper's evaluation parameters.
+func (c Config) Defaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 300 * time.Millisecond
+	}
+	if c.AssumedRate == 0 {
+		c.AssumedRate = 200
+	}
+	if c.ModelSyncPeriod > 0 && c.ModelSyncSlack == 0 {
+		c.ModelSyncSlack = 30 * time.Millisecond
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 10
+	}
+	if c.ProbeFlush == 0 {
+		c.ProbeFlush = 50 * time.Millisecond
+	}
+	if c.ProbeResend == 0 {
+		c.ProbeResend = 5 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 10 * time.Millisecond
+	}
+	if c.ProbeBatch == 0 {
+		c.ProbeBatch = 30
+	}
+	if c.QuietRounds == 0 {
+		c.QuietRounds = 3
+	}
+	return c
+}
+
+// TopoLink is one inter-switch link RUM knows about.
+type TopoLink struct {
+	A     string
+	APort uint16
+	B     string
+	BPort uint16
+}
+
+// Topology is RUM's map of the switch-to-switch fabric: which port of
+// which switch reaches which neighbor. Host-facing ports are simply
+// absent. The probing techniques use it to pick injection (A) and
+// receiving (C) switches around each probed switch (B).
+type Topology struct {
+	links []TopoLink
+}
+
+// NewTopology builds a topology from a link list.
+func NewTopology(links []TopoLink) *Topology {
+	return &Topology{links: append([]TopoLink(nil), links...)}
+}
+
+// Neighbors returns the neighbor switches of sw as (localPort → neighbor).
+func (t *Topology) Neighbors(sw string) map[uint16]string {
+	out := make(map[uint16]string)
+	for _, l := range t.links {
+		if l.A == sw {
+			out[l.APort] = l.B
+		}
+		if l.B == sw {
+			out[l.BPort] = l.A
+		}
+	}
+	return out
+}
+
+// PortToward returns sw's port that reaches neighbor nb (ok=false when not
+// adjacent).
+func (t *Topology) PortToward(sw, nb string) (uint16, bool) {
+	for _, l := range t.links {
+		if l.A == sw && l.B == nb {
+			return l.APort, true
+		}
+		if l.B == sw && l.A == nb {
+			return l.BPort, true
+		}
+	}
+	return 0, false
+}
+
+// Switches lists all switch names in deterministic order.
+func (t *Topology) Switches() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range t.links {
+		for _, n := range []string{l.A, l.B} {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Probe header-space constants. The paper's prototype reserves ToS values
+// for probing (§4: "we rely on the ToS field... only 64 ToS values, we
+// need to periodically recycle them"). OpenFlow 1.0 matches nw_tos exactly
+// (no masks), so the two probe header fields H1/H2 map to:
+//
+//   - H1 — a reserved probe-sink destination address (ProbeSinkIP): the
+//     sequential technique's preprobe/postprobe discriminator is the ToS
+//     value, and the sink address keeps probe traffic out of every normal
+//     rule.
+//   - H2 — the ToS byte, carrying either the sequential probe-rule
+//     version or the general technique's per-switch probe-catch value S_i.
+var (
+	// ProbeSinkIP is the reserved destination of sequential probe packets.
+	ProbeSinkIP = netip.MustParseAddr("10.255.255.254")
+	// ProbeSrcIP is the source address stamped on RUM probe packets.
+	ProbeSrcIP = netip.MustParseAddr("10.255.255.253")
+)
+
+const (
+	// TosPreprobe marks a sequential probe packet that has not yet passed
+	// the probed switch's probe rule.
+	TosPreprobe uint8 = 0xfc
+	// Sequential probe-rule versions cycle over DSCP-style values
+	// 0x04..0xf8 (62 values, excluding 0 and TosPreprobe).
+	tosVersionBase  uint8 = 0x04
+	tosVersionCount       = 61
+
+	// General probe-catch values S_i = tosCatchBase + 4*color.
+	tosCatchBase uint8 = 0x08
+
+	// PrioCatch/PrioProbe are the priorities of RUM's infrastructure
+	// rules; user rules must stay below PrioCatch.
+	PrioCatch uint16 = 65000
+	PrioProbe uint16 = 65100
+)
+
+// rumXIDBase marks transaction ids RUM generates for its own messages;
+// replies carrying them are consumed by RUM and never reach the
+// controller. Controllers must allocate xids below this base.
+const rumXIDBase uint32 = 0xf0000000
+
+// IsRUMXID reports whether an xid belongs to RUM's reserved range.
+func IsRUMXID(x uint32) bool { return x >= rumXIDBase }
+
+// RUM is one deployment of the monitoring layer across a set of switches.
+type RUM struct {
+	cfg  Config
+	topo *Topology
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	colors   map[string]int // general probing: switch → color index
+	nextXID  uint32
+	seqState *seqState // shared sequential-probing version space
+
+	// stats
+	acksSent   uint64
+	probesSent uint64
+	fallbacks  uint64
+}
+
+// New creates a RUM instance. Switches are attached with AttachSwitch;
+// probe infrastructure is installed with Bootstrap.
+func New(cfg Config, topo *Topology) *RUM {
+	cfg = cfg.Defaults()
+	r := &RUM{
+		cfg:      cfg,
+		topo:     topo,
+		sessions: make(map[string]*session),
+		nextXID:  rumXIDBase,
+		seqState: newSeqState(),
+	}
+	adj := make(map[uint64][]uint64)
+	names := topo.Switches()
+	idx := make(map[string]uint64, len(names))
+	for i, n := range names {
+		idx[n] = uint64(i)
+		adj[uint64(i)] = nil
+	}
+	for _, l := range topo.links {
+		adj[idx[l.A]] = append(adj[idx[l.A]], idx[l.B])
+	}
+	colors := hsa.ColorGraph(adj)
+	r.colors = make(map[string]int, len(names))
+	for n, i := range idx {
+		r.colors[n] = colors[i]
+	}
+	return r
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *RUM) Config() Config { return r.cfg }
+
+// CatchTos returns the general-probing probe-catch ToS value S for a
+// switch (derived from its graph color, §3.2.2's value-reduction trick).
+func (r *RUM) CatchTos(sw string) uint8 {
+	return tosCatchBase + 4*uint8(r.colors[sw])
+}
+
+// newXID allocates a RUM-internal transaction id.
+func (r *RUM) newXID() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextXID++
+	if r.nextXID < rumXIDBase {
+		r.nextXID = rumXIDBase + 1
+	}
+	return r.nextXID
+}
+
+// AttachSwitch splices RUM between a switch-side conn and a
+// controller-side conn. The layer chain is
+// controller → [barrier layer] → ack layer → switch.
+func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) *proxy.Session {
+	s := &session{rum: r, name: name}
+	al := &ackLayer{sess: s}
+	s.ack = al
+	switch r.cfg.Technique {
+	case TechBarriers:
+		s.tech = newBarrierTech(s, 0)
+	case TechTimeout:
+		s.tech = newBarrierTech(s, r.cfg.Timeout)
+	case TechAdaptive:
+		s.tech = newAdaptiveTech(s)
+	case TechSequential:
+		s.tech = newSequentialTech(s)
+	case TechGeneral:
+		s.tech = newGeneralTech(s)
+	case TechNoWait:
+		s.tech = noWaitTech{}
+	default:
+		panic(fmt.Sprintf("core: unknown technique %d", r.cfg.Technique))
+	}
+	var layers []proxy.Layer
+	if r.cfg.BarrierLayer {
+		s.bar = &barrierLayer{sess: s, buffer: r.cfg.BufferForReorder}
+		layers = append(layers, s.bar)
+	}
+	layers = append(layers, al)
+	ps := proxy.NewSession(name, dpid, r.cfg.Clock, ctrlConn, swConn, layers...)
+	s.proxy = ps
+
+	r.mu.Lock()
+	r.sessions[name] = s
+	r.mu.Unlock()
+	return ps
+}
+
+// session is RUM's per-switch state bundle.
+type session struct {
+	rum   *RUM
+	name  string
+	proxy *proxy.Session
+	ack   *ackLayer
+	bar   *barrierLayer
+	tech  technique
+}
+
+func (s *session) clock() sim.Clock { return s.rum.cfg.Clock }
+
+// injector picks the neighbor switch A used to inject probes toward s
+// (deterministically: the smallest-named attached neighbor), returning A's
+// session and A's port toward s.
+func (s *session) injector() (*session, uint16, bool) {
+	r := s.rum
+	neighbors := r.topo.Neighbors(s.name)
+	type cand struct {
+		name string
+		port uint16
+	}
+	var cands []cand
+	for _, nb := range neighbors {
+		if port, ok := r.topo.PortToward(nb, s.name); ok {
+			cands = append(cands, cand{nb, port})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].name < cands[j].name })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cands {
+		if as, ok := r.sessions[c.name]; ok {
+			return as, c.port, true
+		}
+	}
+	return nil, 0, false
+}
+
+// receiver picks the neighbor switch C whose probe-catch rule collects
+// sequential probes forwarded by s (the largest-named attached neighbor,
+// so that injector != receiver whenever s has two neighbors), returning
+// C's name and s's port toward C.
+func (s *session) receiver() (string, uint16, bool) {
+	r := s.rum
+	neighbors := r.topo.Neighbors(s.name)
+	type cand struct {
+		name string
+		port uint16
+	}
+	var cands []cand
+	for port, nb := range neighbors {
+		cands = append(cands, cand{nb, port})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].name > cands[j].name })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cands {
+		if _, ok := r.sessions[c.name]; ok {
+			return c.name, c.port, true
+		}
+	}
+	return "", 0, false
+}
+
+// sessionByName returns the session proxying the named switch.
+func (r *RUM) sessionByName(name string) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// Bootstrap installs RUM's probe infrastructure rules on every attached
+// switch: the probe-catch rule (and, for the sequential technique, the
+// initial versioned probe rule). It must be called after all switches are
+// attached; rules become effective once each switch's data plane syncs.
+func (r *RUM) Bootstrap() error {
+	r.mu.Lock()
+	sessions := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].name < sessions[j].name })
+	for _, s := range sessions {
+		if b, ok := s.tech.(bootstrapper); ok {
+			if err := b.bootstrap(); err != nil {
+				return fmt.Errorf("core: bootstrap %s: %w", s.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// bootstrapper is implemented by techniques that preinstall rules.
+type bootstrapper interface {
+	bootstrap() error
+}
+
+// Stats reports RUM-level counters: fine-grained acks emitted, probe
+// packets injected, and control-plane fallbacks taken.
+func (r *RUM) Stats() (acks, probes, fallbacks uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acksSent, r.probesSent, r.fallbacks
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// TestGeneralConfirmsModification: changing a rule's output port is
+// detected by probing toward the NEW next hop (the paper: "probes reach
+// the controller from a different neighbor of B").
+func TestGeneralConfirmsModification(t *testing.T) {
+	tb := newTestbed(t, Config{Technique: TechGeneral}, switchsim.ProfileHP5406zl())
+	tb.bootstrapAndWarm(t)
+	// Install via port 2 (toward s3)...
+	xids := tb.sendMods("s2", 1, 2)
+	tb.sim.RunFor(2 * time.Second)
+	// ...then modify to output via port 1 (toward s1).
+	mod := &of.FlowMod{Command: of.FCModifyStrict, Priority: 100, Match: flowMatch(0),
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 1}}}
+	mod.SetXID(6000)
+	_ = tb.ctrl["s2"].Send(mod)
+	tb.sim.RunFor(3 * time.Second)
+
+	acks := tb.ackTimes("s2")
+	ackAt, ok := acks[6000]
+	if !ok {
+		t.Fatal("modification never acked")
+	}
+	var modAt time.Duration
+	for _, a := range tb.switches["s2"].Activations() {
+		if a.XID == 6000 {
+			modAt = a.At
+		}
+	}
+	if modAt == 0 {
+		t.Fatal("modification never reached the data plane")
+	}
+	if ackAt < modAt {
+		t.Errorf("modification acked at %v before activation at %v", ackAt, modAt)
+	}
+	_ = xids
+}
+
+// TestControllerXIDsNeverCollideWithRUM: replies to RUM-internal messages
+// (probe rules, barriers) must never surface at the controller.
+func TestRUMInternalRepliesSuppressed(t *testing.T) {
+	tb := newTestbed(t, Config{Technique: TechSequential, ProbeEvery: 2}, switchsim.ProfileHP5406zl())
+	tb.bootstrapAndWarm(t)
+	tb.sendMods("s2", 10, 2)
+	tb.sim.RunFor(3 * time.Second)
+	for _, m := range tb.passed {
+		if IsRUMXID(m.GetXID()) {
+			t.Fatalf("RUM-internal %v (xid %#x) leaked to the controller", m.MsgType(), m.GetXID())
+		}
+	}
+}
+
+// TestBarrierLayerOrdersReplies: two barriers resolve strictly in order
+// even when the second one's rules confirm first (possible with general
+// probing on a reordering switch).
+func TestBarrierLayerOrdersReplies(t *testing.T) {
+	prof := switchsim.ProfileReordering(5)
+	tb := newTestbed(t, Config{
+		Technique:    TechGeneral,
+		BarrierLayer: true,
+	}, prof)
+	tb.bootstrapAndWarm(t)
+
+	fm1 := flowModFor(t, 0, 8100)
+	_ = tb.ctrl["s2"].Send(fm1)
+	br1 := &of.BarrierRequest{}
+	br1.SetXID(8001)
+	_ = tb.ctrl["s2"].Send(br1)
+	fm2 := flowModFor(t, 1, 8200)
+	_ = tb.ctrl["s2"].Send(fm2)
+	br2 := &of.BarrierRequest{}
+	br2.SetXID(8002)
+	_ = tb.ctrl["s2"].Send(br2)
+	tb.sim.RunFor(5 * time.Second)
+
+	var order []uint32
+	for _, m := range tb.passed {
+		if m.MsgType() == of.TypeBarrierReply {
+			order = append(order, m.GetXID())
+		}
+	}
+	if len(order) != 2 {
+		t.Fatalf("got %d barrier replies, want 2 (%v)", len(order), order)
+	}
+	if order[0] != 8001 || order[1] != 8002 {
+		t.Errorf("barrier replies out of order: %v", order)
+	}
+}
+
+func flowModFor(t *testing.T, flow int, xid uint32) *of.FlowMod {
+	t.Helper()
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: flowMatch(flow),
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 2}}}
+	fm.SetXID(xid)
+	return fm
+}
+
+// TestAckLayerPassesUnrelatedErrors: genuine switch errors (not RUM acks)
+// reach the controller untouched.
+func TestAckLayerPassesUnrelatedErrors(t *testing.T) {
+	tb := newTestbed(t, Config{Technique: TechGeneral}, switchsim.ProfileHP5406zl())
+	tb.bootstrapAndWarm(t)
+	// A Vendor message with a controller xid provokes a bad-request error
+	// from the emulated switch.
+	v := &of.Vendor{VendorID: 0x1234}
+	v.SetXID(1717)
+	_ = tb.ctrl["s2"].Send(v)
+	tb.sim.RunFor(time.Second)
+	var found bool
+	for _, m := range tb.passed {
+		if e, ok := m.(*of.Error); ok && e.GetXID() == 1717 && e.ErrType == of.ErrTypeBadRequest {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("switch error did not reach the controller")
+	}
+}
+
+// TestConfigDefaults verifies the paper's evaluation parameters are the
+// defaults.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Timeout != 300*time.Millisecond {
+		t.Errorf("default Timeout = %v", c.Timeout)
+	}
+	if c.ProbeEvery != 10 || c.ProbeBatch != 30 || c.ProbeInterval != 10*time.Millisecond {
+		t.Errorf("probing defaults = every %d, batch %d, interval %v",
+			c.ProbeEvery, c.ProbeBatch, c.ProbeInterval)
+	}
+	if c.AssumedRate != 200 {
+		t.Errorf("default AssumedRate = %v", c.AssumedRate)
+	}
+	c2 := Config{ModelSyncPeriod: 300 * time.Millisecond}.Defaults()
+	if c2.ModelSyncSlack == 0 {
+		t.Error("ModelSyncSlack not defaulted when a sync model is set")
+	}
+}
+
+// TestTopologyHelpers exercises the topology accessors.
+func TestTopologyHelpers(t *testing.T) {
+	topo := triangleTopology()
+	if got := topo.Switches(); len(got) != 3 || got[0] != "s1" || got[2] != "s3" {
+		t.Errorf("Switches() = %v", got)
+	}
+	nb := topo.Neighbors("s2")
+	if nb[1] != "s1" || nb[2] != "s3" {
+		t.Errorf("Neighbors(s2) = %v", nb)
+	}
+	if p, ok := topo.PortToward("s1", "s3"); !ok || p != 3 {
+		t.Errorf("PortToward(s1,s3) = %d,%v", p, ok)
+	}
+	if _, ok := topo.PortToward("s1", "nope"); ok {
+		t.Error("PortToward to unknown switch succeeded")
+	}
+}
+
+// TestBootstrapFailsWithoutNeighbors: probing needs an attached neighbor
+// to inject and receive probes; bootstrapping a lone switch must fail
+// loudly instead of silently degrading.
+func TestBootstrapFailsWithoutNeighbors(t *testing.T) {
+	s := sim.New()
+	topo := NewTopology([]TopoLink{{A: "x", APort: 1, B: "y", BPort: 1}})
+	r := New(Config{Clock: s, Technique: TechSequential}, topo)
+	// Attach only "x": its receiver "y" has no session.
+	a1, _ := transport.Pipe(s, 0)
+	b1, _ := transport.Pipe(s, 0)
+	r.AttachSwitch("x", 1, a1, b1)
+	if err := r.Bootstrap(); err == nil {
+		t.Fatal("Bootstrap succeeded for a switch with no attached neighbor")
+	}
+}
+
+// TestTimeoutZeroEqualsBarriers: TechTimeout with delay 0 behaves like
+// the barrier baseline (shared implementation sanity).
+func TestTimeoutZeroEqualsBarriers(t *testing.T) {
+	tb := newTestbed(t, Config{Technique: TechBarriers}, switchsim.ProfileCorrect())
+	tb.bootstrapAndWarm(t)
+	xids := tb.sendMods("s2", 10, 2)
+	tb.sim.RunFor(3 * time.Second)
+	// On a CORRECT switch, even plain barrier acks are never early.
+	checkNeverEarly(t, tb, "s2", xids)
+}

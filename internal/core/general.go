@@ -1,0 +1,530 @@
+package core
+
+import (
+	"sync"
+
+	"rum/internal/flowtable"
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/proxy"
+)
+
+// probeMode describes what signal confirms a tracked modification.
+type probeMode int
+
+const (
+	// expectArrival: the probe starts arriving from the receiver once the
+	// rule is installed (forwarding rules; rule modifications).
+	expectArrival probeMode = iota
+	// expectSilence: the probe stops arriving once the change takes
+	// effect (rule deletions; installs of drop rules over a forwarding
+	// fallback — the ACL case of §3.2.2).
+	expectSilence
+)
+
+// genProbe is one outstanding general-probing measurement.
+type genProbe struct {
+	p        *pending
+	mode     probeMode
+	probePkt packet.Fields // packet injected via the injector A
+	expected packet.Fields // fields as they arrive at the receiver C
+	recvName string        // receiver session (C or, for silence mode, D)
+	rounds   int           // probe rounds since issue
+	quiet    int           // consecutive rounds without arrival (silence mode)
+	arrived  bool          // an arrival was seen this round
+	sent     bool          // at least one probe injected
+}
+
+// generalTech implements §3.2.2: each modification gets its own probe
+// packet, crafted to hit exactly the probed rule and to be distinguishable
+// from the rules beneath it. It works even when the switch reorders
+// modifications, because no inference is made from other rules' fates.
+type generalTech struct {
+	sess *session
+
+	mu               sync.Mutex
+	ackl             *ackLayer
+	shadow           *flowtable.Table // control-plane intent: all mods forwarded so far
+	probes           []*genProbe      // issue order
+	pumping          bool
+	bootOK           bool
+	fallbackBarriers map[uint32]*pending
+}
+
+func newGeneralTech(s *session) *generalTech {
+	return &generalTech{sess: s, shadow: flowtable.New()}
+}
+
+// bootstrap installs the probe-catch rule: ToS == S_self → controller.
+func (t *generalTech) bootstrap() error {
+	if _, _, ok := t.sess.injector(); !ok {
+		return errNoNeighbor(t.sess.name)
+	}
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType | of.WcNWTOS
+	m.DLType = packet.EtherTypeIPv4
+	m.NWTOS = t.sess.rum.CatchTos(t.sess.name)
+	catch := &of.FlowMod{
+		Command:  of.FCAdd,
+		Priority: PrioCatch,
+		Match:    m,
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+		Actions:  []of.Action{of.ActionOutput{Port: of.PortController, MaxLen: 0xffff}},
+	}
+	catch.SetXID(t.sess.rum.newXID())
+	t.sess.proxy.SendToSwitch(catch)
+	t.mu.Lock()
+	t.bootOK = true
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *generalTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+	t.mu.Lock()
+	t.ackl = a
+	boot := t.bootOK
+	// Snapshot the table before this mod, then advance the shadow intent.
+	before := t.shadow.Rules()
+	t.shadow.Apply(p.fm)
+	t.mu.Unlock()
+	if !boot {
+		t.fallback(ctx, p)
+		return
+	}
+	probe, err := t.buildProbe(p, before)
+	if err != nil {
+		t.fallback(ctx, p)
+		return
+	}
+	t.mu.Lock()
+	t.probes = append(t.probes, probe)
+	t.mu.Unlock()
+	t.injectProbe(probe)
+	t.ensurePump()
+}
+
+// buildProbe crafts the probe for one modification, given the rule table
+// before the modification was applied.
+func (t *generalTech) buildProbe(p *pending, before []hsa.Rule) (*genProbe, error) {
+	fm := p.fm
+	rule := hsa.Rule{Priority: fm.Priority, Match: fm.Match.Normalize(), Actions: fm.Actions}
+	switch fm.Command {
+	case of.FCAdd, of.FCModify, of.FCModifyStrict:
+		// Exclude earlier versions of the same rule from the fallback
+		// computation: while the mod is not yet applied, the packet hits
+		// the OLD rule, so the old actions are the "fallback" to
+		// distinguish from.
+		table := rulesExcept(before, rule.Match, rule.Priority)
+		if len(fm.Actions) == 0 {
+			return t.buildDropProbe(p, rule, table)
+		}
+		return t.buildForwardProbe(p, rule, table)
+	case of.FCDelete, of.FCDeleteStrict:
+		// Probe the rule being removed: its probe keeps arriving while
+		// the rule is present and stops when it is gone.
+		victim := findRule(before, fm.Match.Normalize(), fm.Priority, fm.Command == of.FCDeleteStrict)
+		if victim == nil {
+			return nil, hsa.ErrNoProbe // nothing to observe
+		}
+		table := rulesExcept(before, victim.Match, victim.Priority)
+		gp, err := t.buildForwardProbe(p, *victim, table)
+		if err != nil {
+			return nil, err
+		}
+		gp.mode = expectSilence
+		return gp, nil
+	default:
+		return nil, hsa.ErrNoProbe
+	}
+}
+
+// buildForwardProbe handles rules that forward to a next-hop switch C.
+func (t *generalTech) buildForwardProbe(p *pending, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
+	r := t.sess.rum
+	outPort, ok := firstOutput(rule.Actions)
+	if !ok {
+		return nil, hsa.ErrNoProbe
+	}
+	recv := r.topo.Neighbors(t.sess.name)[outPort]
+	if recv == "" {
+		return nil, hsa.ErrNoProbe // next hop is a host or unknown
+	}
+	if _, attached := r.sessionByName(recv); !attached {
+		return nil, hsa.ErrNoProbe
+	}
+	// The probed rule must leave ToS to the probe (H must be wildcarded on
+	// normal rules; rules rewriting ToS would destroy S_C).
+	if rule.Match.Wildcards&of.WcNWTOS == 0 || rewritesTos(rule.Actions) {
+		return nil, hsa.ErrNoProbe
+	}
+	pin := of.MatchAll()
+	pin.Wildcards &^= of.WcNWTOS
+	pin.NWTOS = r.CatchTos(recv)
+	fields, err := hsa.FindProbe(rule, table, pin)
+	if err != nil {
+		return nil, err
+	}
+	expected := applyRewrites(fields, rule.Actions)
+	expected.InPort = 0
+	return &genProbe{
+		p:        p,
+		mode:     expectArrival,
+		probePkt: fields,
+		expected: expected,
+		recvName: recv,
+	}, nil
+}
+
+// buildDropProbe handles installs of drop rules: confirmable only when a
+// lower-priority rule currently forwards the probe to a catchable switch D
+// (the probe then *stops* arriving once the drop rule lands).
+func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
+	r := t.sess.rum
+	// First find a probe ignoring the receiver pin: the distinguishing
+	// signal comes from the fallback rule's forwarding.
+	fields, err := hsa.FindProbe(rule, table, of.MatchAll())
+	if err != nil {
+		return nil, err
+	}
+	fb := lookupRules(table, fields)
+	if fb == nil {
+		return nil, hsa.ErrNoProbe // fallback is an implicit drop: no signal either way
+	}
+	fbPort, ok := firstOutput(fb.Actions)
+	if !ok {
+		return nil, hsa.ErrNoProbe
+	}
+	recv := r.topo.Neighbors(t.sess.name)[fbPort]
+	if recv == "" {
+		return nil, hsa.ErrNoProbe
+	}
+	if _, attached := r.sessionByName(recv); !attached {
+		return nil, hsa.ErrNoProbe
+	}
+	if rule.Match.Wildcards&of.WcNWTOS == 0 || rewritesTos(fb.Actions) {
+		return nil, hsa.ErrNoProbe
+	}
+	// Re-pin the probe to D's catch value so the fallback path is
+	// observable.
+	pin := of.MatchAll()
+	pin.Wildcards &^= of.WcNWTOS
+	pin.NWTOS = r.CatchTos(recv)
+	fields, err = hsa.FindProbe(rule, table, pin)
+	if err != nil {
+		return nil, err
+	}
+	expected := applyRewrites(fields, fb.Actions)
+	expected.InPort = 0
+	return &genProbe{
+		p:        p,
+		mode:     expectSilence,
+		probePkt: fields,
+		expected: expected,
+		recvName: recv,
+	}, nil
+}
+
+// fallback acknowledges via the control-plane timeout technique when no
+// probe exists (§3.2.2: "RUM falls back to one of the control plane-based
+// techniques").
+func (t *generalTech) fallback(ctx *proxy.Context, p *pending) {
+	r := t.sess.rum
+	r.mu.Lock()
+	r.fallbacks++
+	r.mu.Unlock()
+	br := &of.BarrierRequest{}
+	xid := r.newXID()
+	br.SetXID(xid)
+	t.mu.Lock()
+	if t.fallbackBarriers == nil {
+		t.fallbackBarriers = make(map[uint32]*pending)
+	}
+	t.fallbackBarriers[xid] = p
+	t.mu.Unlock()
+	ctx.ToSwitch(br)
+}
+
+func (t *generalTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
+	switch mm := m.(type) {
+	case *of.BarrierReply:
+		t.mu.Lock()
+		p, mine := t.fallbackBarriers[mm.GetXID()]
+		if mine {
+			delete(t.fallbackBarriers, mm.GetXID())
+		}
+		t.mu.Unlock()
+		if !mine {
+			return false
+		}
+		ctx.Clock().After(t.sess.rum.cfg.Timeout, func() {
+			a.confirm(p, of.RUMAckFallback)
+		})
+		return true
+	case *of.PacketIn:
+		pkt, err := packet.Unmarshal(mm.Data)
+		if err != nil {
+			return false
+		}
+		f := pkt.Fields
+		// Only ToS values in RUM's probe space are RUM's to consume.
+		if f.NWTOS != t.sess.rum.CatchTos(t.sess.name) {
+			return false
+		}
+		t.sess.rum.routeGenProbe(t.sess.name, f)
+		return true
+	}
+	return false
+}
+
+// routeGenProbe matches a probe arrival at receiver recv against every
+// session's outstanding probes.
+func (r *RUM) routeGenProbe(recv string, f packet.Fields) {
+	r.mu.Lock()
+	sessions := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		sessions = append(sessions, s)
+	}
+	r.mu.Unlock()
+	for _, s := range sessions {
+		gt, ok := s.tech.(*generalTech)
+		if !ok {
+			continue
+		}
+		if gt.noteArrival(recv, f) {
+			return
+		}
+	}
+}
+
+// noteArrival processes one probe arrival; returns true when it matched an
+// outstanding probe of this session.
+func (t *generalTech) noteArrival(recv string, f packet.Fields) bool {
+	f.InPort = 0 // receivers see their own in_port; expectations carry none
+	t.mu.Lock()
+	var match *genProbe
+	for _, gp := range t.probes {
+		if gp.recvName == recv && gp.expected == f {
+			match = gp
+			break
+		}
+	}
+	var confirmNow *pending
+	if match != nil {
+		switch match.mode {
+		case expectArrival:
+			confirmNow = match.p
+			t.removeProbeLocked(match)
+		case expectSilence:
+			match.arrived = true
+		}
+	}
+	a := t.ackl
+	t.mu.Unlock()
+	if confirmNow != nil && a != nil {
+		a.confirm(confirmNow, of.RUMAckInstalled)
+	}
+	return match != nil
+}
+
+func (t *generalTech) removeProbeLocked(gp *genProbe) {
+	kept := t.probes[:0]
+	for _, q := range t.probes {
+		if q != gp {
+			kept = append(kept, q)
+		}
+	}
+	t.probes = kept
+}
+
+// ensurePump starts the periodic probing tick.
+func (t *generalTech) ensurePump() {
+	t.mu.Lock()
+	if t.pumping {
+		t.mu.Unlock()
+		return
+	}
+	t.pumping = true
+	t.mu.Unlock()
+	t.sess.clock().After(t.sess.rum.cfg.ProbeInterval, t.pumpTick)
+}
+
+// pumpTick probes up to ProbeBatch oldest outstanding modifications
+// (§5.1: "probing up to 30 oldest flow modifications at once, every
+// 10 ms") and evaluates silence-mode probes.
+func (t *generalTech) pumpTick() {
+	cfg := t.sess.rum.cfg
+	t.mu.Lock()
+	if len(t.probes) == 0 {
+		t.pumping = false
+		t.mu.Unlock()
+		return
+	}
+	n := cfg.ProbeBatch
+	if n > len(t.probes) {
+		n = len(t.probes)
+	}
+	round := make([]*genProbe, n)
+	copy(round, t.probes[:n])
+	var silent []*genProbe
+	for _, gp := range round {
+		gp.rounds++
+		if gp.mode == expectSilence && gp.sent {
+			if gp.arrived {
+				gp.quiet = 0
+			} else {
+				gp.quiet++
+			}
+			gp.arrived = false
+			if gp.quiet >= cfg.QuietRounds {
+				silent = append(silent, gp)
+			}
+		}
+	}
+	for _, gp := range silent {
+		t.removeProbeLocked(gp)
+	}
+	a := t.ackl
+	t.mu.Unlock()
+
+	for _, gp := range silent {
+		if a != nil {
+			a.confirm(gp.p, of.RUMAckInstalled)
+		}
+	}
+	for _, gp := range round {
+		t.injectProbe(gp)
+	}
+	t.sess.clock().After(cfg.ProbeInterval, t.pumpTick)
+}
+
+// injectProbe sends the probe packet via the injector neighbor A.
+func (t *generalTech) injectProbe(gp *genProbe) {
+	inj, port, ok := t.sess.injector()
+	if !ok {
+		return
+	}
+	pkt := &packet.Packet{Fields: gp.probePkt}
+	pkt.Fields.InPort = 0
+	if pkt.Fields.DLType == 0 {
+		pkt.Fields.DLType = packet.EtherTypeIPv4
+	}
+	po := &of.PacketOut{
+		BufferID: of.BufferNone,
+		InPort:   of.PortNone,
+		Actions:  []of.Action{of.ActionOutput{Port: port}},
+		Data:     pkt.Marshal(),
+	}
+	po.SetXID(t.sess.rum.newXID())
+	inj.proxy.SendToSwitch(po)
+	t.mu.Lock()
+	gp.sent = true
+	t.mu.Unlock()
+	t.sess.rum.mu.Lock()
+	t.sess.rum.probesSent++
+	t.sess.rum.mu.Unlock()
+}
+
+// --- helpers ---
+
+// firstOutput returns the first output action's port.
+func firstOutput(actions []of.Action) (uint16, bool) {
+	for _, a := range actions {
+		if out, ok := a.(of.ActionOutput); ok {
+			return out.Port, true
+		}
+	}
+	return 0, false
+}
+
+// rewritesTos reports whether an action list modifies the ToS field.
+func rewritesTos(actions []of.Action) bool {
+	for _, a := range actions {
+		if _, ok := a.(of.ActionSetNWTOS); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// rulesExcept filters out entries with the given match and priority.
+func rulesExcept(rules []hsa.Rule, m of.Match, prio uint16) []hsa.Rule {
+	m = m.Normalize()
+	out := make([]hsa.Rule, 0, len(rules))
+	for _, r := range rules {
+		if r.Priority == prio && r.Match.Normalize() == m {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// findRule locates a rule by match (and priority when strict).
+func findRule(rules []hsa.Rule, m of.Match, prio uint16, strict bool) *hsa.Rule {
+	m = m.Normalize()
+	for i := range rules {
+		r := &rules[i]
+		if strict {
+			if r.Priority == prio && r.Match.Normalize() == m {
+				return r
+			}
+		} else if hsa.Subset(r.Match, m) {
+			return r
+		}
+	}
+	return nil
+}
+
+// lookupRules returns the highest-priority rule covering f.
+func lookupRules(rules []hsa.Rule, f packet.Fields) *hsa.Rule {
+	var best *hsa.Rule
+	for i := range rules {
+		r := &rules[i]
+		if !hsa.Covers(r.Match, f) {
+			continue
+		}
+		if best == nil || r.Priority > best.Priority {
+			best = r
+		}
+	}
+	return best
+}
+
+// applyRewrites computes the fields a packet carries after an action
+// list's header rewrites (outputs ignored), mirroring the switch pipeline.
+func applyRewrites(f packet.Fields, actions []of.Action) packet.Fields {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case of.ActionSetNWTOS:
+			f.NWTOS = act.TOS
+		case of.ActionSetVLANVID:
+			f.DLVLAN = act.VID & 0x0fff
+		case of.ActionSetVLANPCP:
+			f.DLPCP = act.PCP & 7
+		case of.ActionStripVLAN:
+			f.DLVLAN = packet.VLANNone
+			f.DLPCP = 0
+		case of.ActionSetDLAddr:
+			if act.Dst {
+				f.DLDst = act.Addr
+			} else {
+				f.DLSrc = act.Addr
+			}
+		case of.ActionSetNWAddr:
+			if act.Dst {
+				f.NWDst = act.Addr
+			} else {
+				f.NWSrc = act.Addr
+			}
+		case of.ActionSetTPPort:
+			if act.Dst {
+				f.TPDst = act.Port
+			} else {
+				f.TPSrc = act.Port
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"sync"
+
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/proxy"
+	"rum/internal/sim"
+)
+
+// seqState is the RUM-wide sequential-probing version space. Probe-rule
+// versions live in the ToS byte (§4: 64 values, recycled), so the number
+// of outstanding epochs across all switches is bounded; flushes beyond the
+// window are deferred until confirmations free versions.
+type seqState struct {
+	mu          sync.Mutex
+	nextVer     int                 // monotonically increasing epoch counter
+	outstanding map[uint8]*seqEpoch // tos value → unconfirmed epoch
+}
+
+func newSeqState() *seqState {
+	return &seqState{outstanding: make(map[uint8]*seqEpoch)}
+}
+
+// seqEpoch is one probe-rule version covering a batch of modifications on
+// one switch.
+type seqEpoch struct {
+	tech *sequentialTech
+	id   int
+	tos  uint8
+	mods []*pending
+}
+
+// allocate reserves a version; ok=false when the ToS space is exhausted
+// (too many unconfirmed epochs). The switch's currently *stamped* version
+// — the newest one already observed for t — must not be reused yet:
+// otherwise a probe stamped by the old rule would instantly (and wrongly)
+// confirm the new epoch. This is the correctness constraint behind the
+// paper's "periodically recycle" remark (§4).
+func (s *seqState) allocate(t *sequentialTech, mods []*pending, exclude uint8) (*seqEpoch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.outstanding) >= tosVersionCount-2 {
+		return nil, false
+	}
+	for {
+		id := s.nextVer
+		s.nextVer++
+		tos := tosVersionBase + uint8(id%tosVersionCount)
+		if tos == TosPreprobe || tos == exclude {
+			continue
+		}
+		if _, taken := s.outstanding[tos]; taken {
+			continue
+		}
+		e := &seqEpoch{tech: t, id: id, tos: tos, mods: mods}
+		s.outstanding[tos] = e
+		return e, true
+	}
+}
+
+// observe resolves a probe arrival carrying the given ToS version: it
+// returns the matching epoch (removed from the outstanding set), or nil.
+func (s *seqState) observe(tos uint8) *seqEpoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.outstanding[tos]
+	if !ok {
+		return nil
+	}
+	delete(s.outstanding, tos)
+	return e
+}
+
+// release drops every epoch of t with id <= maxID (confirmed transitively
+// by a later version's arrival on a non-reordering switch).
+func (s *seqState) release(t *sequentialTech, maxID int) []*seqEpoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*seqEpoch
+	for tos, e := range s.outstanding {
+		if e.tech == t && e.id <= maxID {
+			out = append(out, e)
+			delete(s.outstanding, tos)
+		}
+	}
+	return out
+}
+
+// sequentialTech implements §3.2.1: every batch of ProbeEvery real
+// modifications is followed by a barrier and an update of the switch's
+// single probe rule, bumping the ToS version it stamps onto probe packets.
+// Observing a probe with version v proves the probe-rule update — and, on
+// a switch that does not reorder across barriers, every earlier
+// modification — is in the data plane.
+type sequentialTech struct {
+	sess *session
+
+	mu        sync.Mutex
+	ackl      *ackLayer
+	batch     []*pending
+	deferred  [][]*pending // batches awaiting a free version
+	pumping   bool
+	flushTm   sim.Timer
+	recvName  string
+	recvPort  uint16
+	lastEpoch *seqEpoch // newest unconfirmed epoch (probe target)
+	activeVer uint8     // newest version observed in the data plane
+	bootOK    bool
+}
+
+func newSequentialTech(s *session) *sequentialTech {
+	return &sequentialTech{sess: s}
+}
+
+// bootstrap installs the probe-catch rule and the initial probe rule.
+// Catch rule: packets for the probe sink that are no longer preprobes go
+// to the controller. Probe rule (higher priority): preprobe packets get
+// stamped with the current version and forwarded to the receiver C.
+func (t *sequentialTech) bootstrap() error {
+	recv, port, ok := t.sess.receiver()
+	if !ok {
+		return errNoNeighbor(t.sess.name)
+	}
+	t.mu.Lock()
+	t.recvName = recv
+	t.recvPort = port
+	t.bootOK = true
+	t.mu.Unlock()
+
+	catch := &of.FlowMod{
+		Command:  of.FCAdd,
+		Priority: PrioCatch,
+		Match:    probeSinkMatch(),
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+		Actions:  []of.Action{of.ActionOutput{Port: of.PortController, MaxLen: 0xffff}},
+	}
+	catch.SetXID(t.sess.rum.newXID())
+	t.sess.proxy.SendToSwitch(catch)
+
+	// The bootstrap probe rule stamps tosBootstrap, a value allocate()
+	// never hands out, so a pre-existing rule can never confirm an epoch.
+	probe := t.probeRuleMod(tosBootstrap)
+	t.sess.proxy.SendToSwitch(probe)
+	return nil
+}
+
+// tosBootstrap is the initial probe-rule version (outside the allocated
+// version range tosVersionBase..tosVersionBase+tosVersionCount-1).
+const tosBootstrap uint8 = 0x00
+
+// probeSinkMatch matches every packet addressed to the probe sink.
+func probeSinkMatch() of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWDst(ProbeSinkIP)
+	return m
+}
+
+// probeRuleMatch matches preprobe packets only.
+func probeRuleMatch() of.Match {
+	m := probeSinkMatch()
+	m.Wildcards &^= of.WcNWTOS
+	m.NWTOS = TosPreprobe
+	return m
+}
+
+// probeRuleMod builds the versioned probe rule: rewrite ToS to ver and
+// forward to the receiver.
+func (t *sequentialTech) probeRuleMod(ver uint8) *of.FlowMod {
+	fm := &of.FlowMod{
+		Command:  of.FCAdd, // add-with-same-match-and-priority == replace
+		Priority: PrioProbe,
+		Match:    probeRuleMatch(),
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+		Actions: []of.Action{
+			of.ActionSetNWTOS{TOS: ver},
+			of.ActionOutput{Port: t.recvPort},
+		},
+	}
+	fm.SetXID(t.sess.rum.newXID())
+	return fm
+}
+
+func (t *sequentialTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+	t.mu.Lock()
+	t.ackl = a
+	t.batch = append(t.batch, p)
+	full := len(t.batch) >= t.sess.rum.cfg.ProbeEvery
+	if !full && t.flushTm == nil {
+		t.flushTm = ctx.Clock().After(t.sess.rum.cfg.ProbeFlush, func() {
+			t.mu.Lock()
+			t.flushTm = nil
+			t.mu.Unlock()
+			t.flush(ctx)
+		})
+	}
+	t.mu.Unlock()
+	if full {
+		t.flush(ctx)
+	}
+}
+
+// flush closes the current batch: barrier + probe-rule version bump.
+func (t *sequentialTech) flush(ctx *proxy.Context) {
+	t.mu.Lock()
+	if len(t.batch) == 0 || !t.bootOK {
+		t.mu.Unlock()
+		return
+	}
+	mods := t.batch
+	t.batch = nil
+	if t.flushTm != nil {
+		t.flushTm.Stop()
+		t.flushTm = nil
+	}
+	epoch, ok := t.sess.rum.seqState.allocate(t, mods, t.activeVer)
+	if !ok {
+		// Version space exhausted: re-queue and retry on confirmation.
+		t.deferred = append(t.deferred, mods)
+		t.mu.Unlock()
+		return
+	}
+	t.lastEpoch = epoch
+	t.mu.Unlock()
+
+	br := &of.BarrierRequest{}
+	br.SetXID(t.sess.rum.newXID())
+	ctx.ToSwitch(br)
+	ctx.ToSwitch(t.probeRuleMod(epoch.tos))
+	t.injectProbe()
+	t.ensurePump()
+}
+
+// injectProbe sends one preprobe packet via the injector neighbor A.
+func (t *sequentialTech) injectProbe() {
+	inj, port, ok := t.sess.injector()
+	if !ok {
+		return
+	}
+	pkt := packet.New(ProbeSrcIP, ProbeSinkIP, packet.ProtoUDP, 0, 0)
+	pkt.Fields.NWTOS = TosPreprobe
+	po := &of.PacketOut{
+		BufferID: of.BufferNone,
+		InPort:   of.PortNone,
+		Actions:  []of.Action{of.ActionOutput{Port: port}},
+		Data:     pkt.Marshal(),
+	}
+	po.SetXID(t.sess.rum.newXID())
+	inj.proxy.SendToSwitch(po)
+	t.sess.rum.mu.Lock()
+	t.sess.rum.probesSent++
+	t.sess.rum.mu.Unlock()
+}
+
+// ensurePump keeps a periodic probe injector running while epochs are
+// outstanding.
+func (t *sequentialTech) ensurePump() {
+	t.mu.Lock()
+	if t.pumping {
+		t.mu.Unlock()
+		return
+	}
+	t.pumping = true
+	t.mu.Unlock()
+	t.sess.clock().After(t.sess.rum.cfg.ProbeResend, t.pumpTick)
+}
+
+func (t *sequentialTech) pumpTick() {
+	t.mu.Lock()
+	outstanding := t.lastEpoch != nil
+	if !outstanding {
+		t.pumping = false
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	t.injectProbe()
+	t.sess.clock().After(t.sess.rum.cfg.ProbeResend, t.pumpTick)
+}
+
+// onFromSwitch consumes probe PacketIns arriving at THIS session — for
+// sequential probing the receiver C is a different switch, so arrivals are
+// routed here via routeSeqProbe below; this hook handles only the case
+// where this session is itself a receiver.
+func (t *sequentialTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
+	pin, ok := m.(*of.PacketIn)
+	if !ok {
+		return false
+	}
+	pkt, err := packet.Unmarshal(pin.Data)
+	if err != nil {
+		return false
+	}
+	f := pkt.Fields
+	if f.NWDstAddr() != ProbeSinkIP {
+		return false
+	}
+	// A probe observed anywhere is consumed; preprobes (not yet stamped)
+	// carry no information.
+	if f.NWTOS != TosPreprobe {
+		t.sess.rum.routeSeqProbe(f.NWTOS)
+	}
+	return true
+}
+
+// routeSeqProbe resolves a stamped sequential probe: the ToS version
+// identifies the epoch (and thus the probed switch), confirming that epoch
+// and every earlier one on the same switch.
+func (r *RUM) routeSeqProbe(tos uint8) {
+	epoch := r.seqState.observe(tos)
+	if epoch == nil {
+		return
+	}
+	t := epoch.tech
+	released := r.seqState.release(t, epoch.id)
+	released = append(released, epoch)
+	var maxSeq uint64
+	for _, e := range released {
+		for _, p := range e.mods {
+			if p.seq > maxSeq {
+				maxSeq = p.seq
+			}
+		}
+	}
+	t.mu.Lock()
+	t.activeVer = epoch.tos
+	if t.lastEpoch != nil && t.lastEpoch.id <= epoch.id {
+		t.lastEpoch = nil
+	}
+	a := t.ackl
+	deferred := t.deferred
+	t.deferred = nil
+	t.mu.Unlock()
+	if a != nil {
+		a.confirmUpTo(maxSeq, of.RUMAckInstalled)
+	}
+	// Retry deferred batches now that versions are free.
+	for _, mods := range deferred {
+		t.mu.Lock()
+		t.batch = append(mods, t.batch...)
+		t.mu.Unlock()
+	}
+	if len(deferred) > 0 {
+		t.mu.Lock()
+		ctx := proxyCtxOf(a)
+		t.mu.Unlock()
+		if ctx != nil {
+			t.flush(ctx)
+		}
+	}
+}
+
+// proxyCtxOf extracts the last seen context from an ack layer.
+func proxyCtxOf(a *ackLayer) *proxy.Context {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ctx
+}
+
+// errNoNeighbor reports a switch with no attached neighbor to probe
+// through.
+type errNoNeighbor string
+
+func (e errNoNeighbor) Error() string {
+	return "core: switch " + string(e) + " has no attached neighbor switch for probing"
+}

@@ -1,0 +1,203 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate: the end-to-end triangle
+// migration (Figures 1b, 6, 7), the firewall security hole (Figure 2),
+// the per-rule activation-delay benchmark (Figure 8), the sequential
+// probing rate table (Table 1), the reliable barrier layer overhead, and
+// the PacketIn/PacketOut rate and interference measurements (§5.2).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// Env is the paper's evaluation environment: the triangle topology of
+// Figure 1a (software switches s1, s3; device-under-test s2), hosts h1 and
+// h2, one RUM instance proxying every switch, and a controller client.
+//
+//	s1 ports: 1=h1 2=s2 3=s3
+//	s2 ports: 1=s1 2=s3
+//	s3 ports: 1=h2 2=s2 3=s1
+type Env struct {
+	Sim      *sim.Sim
+	Net      *netsim.Network
+	Switches map[string]*switchsim.Switch
+	RUM      *core.RUM
+	Client   *controller.Client
+	H1, H2   *netsim.Host
+
+	// AckEvents records every RUM ack seen at the controller, by xid.
+	ackAt map[uint32]time.Duration
+}
+
+// EnvConfig parameterizes environment construction.
+type EnvConfig struct {
+	RUM     core.Config
+	S2      switchsim.Profile
+	AckMode controller.AckMode
+	// CtrlLatency is the one-way latency of each control-channel hop
+	// (controller↔RUM and RUM↔switch).
+	CtrlLatency time.Duration
+	// LinkLatency is the data-plane link latency.
+	LinkLatency time.Duration
+}
+
+// Defaults fills zero fields.
+func (c EnvConfig) Defaults() EnvConfig {
+	if c.CtrlLatency == 0 {
+		c.CtrlLatency = 100 * time.Microsecond
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 20 * time.Microsecond
+	}
+	if c.S2.Name == "" {
+		c.S2 = switchsim.ProfileHP5406zl()
+	}
+	return c
+}
+
+// NewTriangle builds the evaluation environment.
+func NewTriangle(cfg EnvConfig) *Env {
+	cfg = cfg.Defaults()
+	s := sim.New()
+	n := netsim.New(s)
+	e := &Env{
+		Sim:      s,
+		Net:      n,
+		Switches: make(map[string]*switchsim.Switch),
+		ackAt:    make(map[uint32]time.Duration),
+	}
+	e.H1 = netsim.NewHost(n, "h1")
+	e.H2 = netsim.NewHost(n, "h2")
+	profs := map[string]switchsim.Profile{
+		"s1": switchsim.ProfileSoftware(),
+		"s2": cfg.S2,
+		"s3": switchsim.ProfileSoftware(),
+	}
+	for i, name := range []string{"s1", "s2", "s3"} {
+		e.Switches[name] = switchsim.New(name, uint64(i+1), profs[name], s, n)
+	}
+	n.Connect(e.H1, e.H1.Port(), e.Switches["s1"], 1, cfg.LinkLatency)
+	n.Connect(e.Switches["s1"], 2, e.Switches["s2"], 1, cfg.LinkLatency)
+	n.Connect(e.Switches["s2"], 2, e.Switches["s3"], 2, cfg.LinkLatency)
+	n.Connect(e.Switches["s1"], 3, e.Switches["s3"], 3, cfg.LinkLatency)
+	n.Connect(e.Switches["s3"], 1, e.H2, e.H2.Port(), cfg.LinkLatency)
+
+	topo := core.NewTopology([]core.TopoLink{
+		{A: "s1", APort: 2, B: "s2", BPort: 1},
+		{A: "s2", APort: 2, B: "s3", BPort: 2},
+		{A: "s1", APort: 3, B: "s3", BPort: 3},
+	})
+	rumCfg := cfg.RUM
+	rumCfg.Clock = s
+	rumCfg.RUMAware = true
+	e.RUM = core.New(rumCfg, topo)
+
+	ctrlConns := make(map[string]transport.Conn)
+	for name, sw := range e.Switches {
+		ctrlTop, ctrlBottom := transport.Pipe(s, cfg.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, cfg.CtrlLatency)
+		sw.AttachConn(swSide)
+		e.RUM.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide)
+		ctrlConns[name] = ctrlTop
+	}
+	e.Client = controller.NewClient(s, cfg.AckMode, ctrlConns)
+	return e
+}
+
+// Warm bootstraps RUM and runs the simulation long enough for every
+// switch's data plane to absorb the infrastructure rules.
+func (e *Env) Warm() error {
+	if err := e.RUM.Bootstrap(); err != nil {
+		return err
+	}
+	e.Sim.RunFor(700 * time.Millisecond)
+	return nil
+}
+
+// Flows builds n canonical flow specs.
+func Flows(n int) []controller.FlowSpec {
+	out := make([]controller.FlowSpec, n)
+	for i := range out {
+		out[i].ID = i
+		out[i].Src, out[i].Dst = controller.FlowAddr(i)
+	}
+	return out
+}
+
+// PreinstallMigrationState sets up the §1 starting point: per-flow rules
+// at s1 (toward s3 directly) and s3 (toward h2), and low-priority
+// drop-all rules everywhere. It runs the simulation until the rules are
+// in every data plane.
+func (e *Env) PreinstallMigrationState(flows []controller.FlowSpec) {
+	for _, sw := range []string{"s1", "s2", "s3"} {
+		drop := &of.FlowMod{Command: of.FCAdd, Priority: 1, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone}
+		drop.SetXID(e.Client.NewXID())
+		_ = e.Client.Send(sw, drop)
+	}
+	for _, f := range flows {
+		s1 := controller.AddRule(f, 100, 3) // s1 → s3 direct (old path)
+		s1.SetXID(e.Client.NewXID())
+		_ = e.Client.Send("s1", s1)
+		s3 := controller.AddRule(f, 100, 1) // s3 → h2
+		s3.SetXID(e.Client.NewXID())
+		_ = e.Client.Send("s3", s3)
+	}
+	// Software switches install these in microseconds; run a generous
+	// settling window (also covers a hardware s2 sync for the drop rule).
+	e.Sim.RunFor(time.Second)
+}
+
+// StartTraffic launches per-flow traffic from h1 at the given rate.
+func (e *Env) StartTraffic(flows []controller.FlowSpec, pktPerSec int) *netsim.Generator {
+	period := time.Second / time.Duration(pktPerSec)
+	var gfs []netsim.Flow
+	for _, f := range flows {
+		pkt := packet.New(f.Src, f.Dst, packet.ProtoUDP, 4000, 9000)
+		gfs = append(gfs, netsim.Flow{ID: f.ID, Pkt: pkt, Period: period})
+	}
+	gen := netsim.NewGenerator(e.H1, gfs)
+	// Stagger so 300 flows × 4 ms spread evenly inside one period.
+	stagger := period / time.Duration(len(flows)+1)
+	gen.Start(stagger)
+	return gen
+}
+
+// RunPlan executes a plan and runs the simulation until it completes (or
+// the deadline passes), returning per-op results and whether it finished.
+func (e *Env) RunPlan(plan *controller.Plan, window int, deadline time.Duration) ([]controller.OpResult, bool) {
+	done := false
+	exec := e.Client.Execute(plan, window, func([]controller.OpResult) { done = true })
+	limit := e.Sim.Now() + deadline
+	for !done && e.Sim.Now() < limit {
+		e.Sim.RunFor(10 * time.Millisecond)
+	}
+	return exec.Results(), done
+}
+
+// ActivationTimes maps FlowMod xid → first data-plane activation time on
+// the given switch.
+func (e *Env) ActivationTimes(sw string) map[uint32]time.Duration {
+	out := make(map[uint32]time.Duration)
+	for _, a := range e.Switches[sw].Activations() {
+		if _, seen := out[a.XID]; !seen {
+			out[a.XID] = a.At
+		}
+	}
+	return out
+}
+
+// String describes the environment briefly.
+func (e *Env) String() string {
+	return fmt.Sprintf("triangle{s2=%s, technique=%s}", e.Switches["s2"].Profile().Name, e.RUM.Config().Technique)
+}

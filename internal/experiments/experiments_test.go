@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/core"
+	"rum/internal/switchsim"
+)
+
+// Small-scale versions of each experiment keep the suite fast; the full
+// parameters run from cmd/rumbench and the root bench targets.
+
+func TestMigrationBarriersDropsPackets(t *testing.T) {
+	res := RunMigration(MigrationOpts{Technique: core.TechBarriers, NumFlows: 60})
+	if !res.Completed {
+		t.Fatal("migration did not complete")
+	}
+	if got := len(res.Updates); got != 60 {
+		t.Fatalf("observed %d flows, want 60", got)
+	}
+	if res.TotalLost == 0 {
+		t.Error("broken barriers lost no packets; the §1 problem did not reproduce")
+	}
+	if res.MaxBroken < 50*time.Millisecond {
+		t.Errorf("max broken time %v, want >= 50ms with a buggy switch", res.MaxBroken)
+	}
+}
+
+func TestMigrationSequentialLossless(t *testing.T) {
+	res := RunMigration(MigrationOpts{Technique: core.TechSequential, NumFlows: 60})
+	if !res.Completed {
+		t.Fatal("migration did not complete")
+	}
+	if res.TotalLost != 0 {
+		t.Errorf("sequential probing lost %d packets, want 0", res.TotalLost)
+	}
+	for _, u := range res.Updates {
+		if !u.Switched {
+			t.Fatalf("flow %d never switched to the new path", u.FlowID)
+		}
+	}
+}
+
+func TestMigrationGeneralLossless(t *testing.T) {
+	res := RunMigration(MigrationOpts{Technique: core.TechGeneral, NumFlows: 60})
+	if res.TotalLost != 0 {
+		t.Errorf("general probing lost %d packets, want 0", res.TotalLost)
+	}
+}
+
+func TestMigrationTimeoutLosslessButSlower(t *testing.T) {
+	to := RunMigration(MigrationOpts{Technique: core.TechTimeout,
+		RUM: core.Config{Timeout: 300 * time.Millisecond}, NumFlows: 60})
+	if to.TotalLost != 0 {
+		t.Errorf("timeout technique lost %d packets, want 0", to.TotalLost)
+	}
+	bar := RunMigration(MigrationOpts{Technique: core.TechBarriers, NumFlows: 60})
+	if to.MeanUpdate <= bar.MeanUpdate {
+		t.Errorf("timeout mean update %v not slower than barriers %v", to.MeanUpdate, bar.MeanUpdate)
+	}
+}
+
+func TestMigrationAdaptive(t *testing.T) {
+	// The HP model's mod rate falls below 250/s once the table passes
+	// ~170 entries, so the occupancy effect needs the full 300 flows.
+	hp := switchsim.ProfileHP5406zl()
+	a200 := RunMigration(MigrationOpts{Technique: core.TechAdaptive,
+		RUM: core.Config{AssumedRate: 200, ModelSyncPeriod: hp.SyncPeriod}, NumFlows: 300})
+	if a200.TotalLost != 0 {
+		t.Errorf("adaptive 200 lost %d packets, want 0 (model underestimates rate)", a200.TotalLost)
+	}
+	a250 := RunMigration(MigrationOpts{Technique: core.TechAdaptive,
+		RUM: core.Config{AssumedRate: 250, ModelSyncPeriod: hp.SyncPeriod}, NumFlows: 300})
+	if a250.TotalLost == 0 {
+		t.Error("adaptive 250 lost nothing; overestimated model should under-wait at high occupancy")
+	}
+}
+
+func TestMigrationNoWaitFastest(t *testing.T) {
+	nw := RunMigration(MigrationOpts{Technique: core.TechNoWait, NumFlows: 60})
+	seq := RunMigration(MigrationOpts{Technique: core.TechSequential, NumFlows: 60})
+	if nw.Duration > seq.Duration {
+		t.Errorf("no-wait total %v slower than sequential %v", nw.Duration, seq.Duration)
+	}
+}
+
+func TestFig8SmallShape(t *testing.T) {
+	results := Fig8(Fig8Opts{R: 60, K: 60})
+	byLabel := make(map[string]*Fig8Result)
+	for _, r := range results {
+		byLabel[r.Label] = r
+		if len(r.Deltas) == 0 {
+			t.Fatalf("%s produced no deltas", r.Label)
+		}
+	}
+	if byLabel["barriers (baseline)"].Negative == 0 {
+		t.Error("barrier baseline shows no incorrect (negative) delays")
+	}
+	for _, name := range []string{"timeout", "sequential", "general", "adaptive 200"} {
+		if n := byLabel[name].Negative; n != 0 {
+			t.Errorf("%s has %d negative delays, want 0", name, n)
+		}
+	}
+	// Probing should be tighter than the fixed timeout at the median.
+	if med := func(r *Fig8Result) time.Duration {
+		return r.Deltas[len(r.Deltas)/2]
+	}; med(byLabel["general"]) >= med(byLabel["timeout"]) {
+		t.Errorf("general median %v not below timeout median %v",
+			med(byLabel["general"]), med(byLabel["timeout"]))
+	}
+	if RenderFig8(results) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestTable1SmallShape(t *testing.T) {
+	cells := Table1(Table1Opts{R: 200, ProbeEverys: []int{1, 10}, Ks: []int{20, 100}})
+	byKey := make(map[[2]int]Table1Cell)
+	for _, c := range cells {
+		byKey[[2]int{c.ProbeEvery, c.K}] = c
+		if c.Normalized <= 0 || c.Normalized > 1.2 {
+			t.Errorf("cell pe=%d K=%d normalized=%.2f out of range", c.ProbeEvery, c.K, c.Normalized)
+		}
+	}
+	// Probing after every update must cost roughly half the rate; after 10
+	// it must recover most of it.
+	if f1 := byKey[[2]int{1, 100}].Normalized; f1 > 0.65 {
+		t.Errorf("probe-every-1 normalized rate %.2f, want <= 0.65", f1)
+	}
+	if f10 := byKey[[2]int{10, 100}].Normalized; f10 < 0.75 {
+		t.Errorf("probe-every-10 normalized rate %.2f, want >= 0.75", f10)
+	}
+	// More frequent confirmation windows beat tight ones for the same
+	// probing frequency.
+	if byKey[[2]int{10, 100}].Normalized < byKey[[2]int{10, 20}].Normalized-0.05 {
+		t.Errorf("K=100 (%.2f) unexpectedly below K=20 (%.2f)",
+			byKey[[2]int{10, 100}].Normalized, byKey[[2]int{10, 20}].Normalized)
+	}
+	if RenderTable1(cells, []int{20, 100}) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFirewallBypassReproduced(t *testing.T) {
+	broken := Firewall(FirewallOpts{WithRUM: false})
+	if broken.BypassedHTTP == 0 {
+		t.Error("broken barriers produced no firewall bypass; Figure 2 did not reproduce")
+	}
+	withRUM := Firewall(FirewallOpts{WithRUM: true})
+	if withRUM.BypassedHTTP != 0 {
+		t.Errorf("RUM still let %d http packets bypass the firewall", withRUM.BypassedHTTP)
+	}
+	if withRUM.FirewalledHTTP == 0 {
+		t.Error("no http packets reached the firewall with RUM")
+	}
+	if RenderFirewall(broken, withRUM) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestRatesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rates experiment is slow")
+	}
+	r := Rates()
+	if r.PacketOutPerSec < 6000 || r.PacketOutPerSec > 8000 {
+		t.Errorf("PacketOut rate %.0f/s, want ≈7006", r.PacketOutPerSec)
+	}
+	if r.PacketInPerSec < 4800 || r.PacketInPerSec > 6200 {
+		t.Errorf("PacketIn rate %.0f/s, want ≈5531", r.PacketInPerSec)
+	}
+	if r.PacketInModRatio < 0.9 || r.PacketInModRatio > 1.01 {
+		t.Errorf("PacketIn mod ratio %.3f, want ~>=0.96", r.PacketInModRatio)
+	}
+	if r.PacketOutModRatio < 0.8 || r.PacketOutModRatio > 1.01 {
+		t.Errorf("PacketOut 5:1 mod ratio %.3f, want ~>=0.87", r.PacketOutModRatio)
+	}
+	if r.Render() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestBarrierLayerOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("barrier layer experiment is slow")
+	}
+	results := BarrierLayer(BarrierLayerOpts{NumFlows: 60})
+	if len(results) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(results))
+	}
+	// Non-reordering: comparable to plain sequential probing (paper: "the
+	// same"; we allow proxy/serialization noise).
+	if results[0].Ratio > 1.6 {
+		t.Errorf("non-reordering barrier layer ratio %.2f, want ≈1x", results[0].Ratio)
+	}
+	// Reordering + buffering: measurably slower than plain general
+	// probing (paper: ≈2x).
+	if results[1].Ratio < 1.1 {
+		t.Errorf("reordering barrier layer ratio %.2f, want >1.1x", results[1].Ratio)
+	}
+	// Barrier after every command: several times slower (paper: up to 5x).
+	if results[2].Ratio < 3 || results[2].Ratio > 10 {
+		t.Errorf("barrier/1 ratio %.2f, want 3-10x", results[2].Ratio)
+	}
+	if results[2].Ratio <= results[1].Ratio {
+		t.Errorf("barrier/1 ratio %.2f not above barrier/10 ratio %.2f",
+			results[2].Ratio, results[1].Ratio)
+	}
+	if RenderBarrierLayer(results) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestHighRateCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-rate check is slow")
+	}
+	r := Fig1bHighRate()
+	if r.Lost != 0 {
+		t.Errorf("high-rate check lost %d packets, want 0", r.Lost)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	fig1b := &Fig1bResult{
+		Barriers: RunMigration(MigrationOpts{Technique: core.TechBarriers, NumFlows: 30}),
+		WithRUM:  RunMigration(MigrationOpts{Technique: core.TechSequential, NumFlows: 30}),
+	}
+	if fig1b.Render() == "" {
+		t.Error("empty fig1b rendering")
+	}
+	fc := &FlowCurveResult{Results: []*MigrationResult{fig1b.Barriers}}
+	if fc.Render("Figure 6") == "" {
+		t.Error("empty flow-curve rendering")
+	}
+}

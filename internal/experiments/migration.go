@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/metrics"
+	"rum/internal/netsim"
+	"rum/internal/switchsim"
+)
+
+// MigrationResult is the outcome of one end-to-end path migration run
+// (the experiment behind Figures 1b, 6 and 7).
+type MigrationResult struct {
+	Technique  core.Technique
+	Label      string // display label (defaults to the technique name)
+	Flows      int
+	Updates    []metrics.FlowUpdate // sorted by FlowID
+	Start      time.Duration        // when the plan started executing
+	Duration   time.Duration        // first send → last flow on new path
+	MeanUpdate time.Duration        // mean per-flow update time
+	TotalLost  int
+	MaxBroken  time.Duration
+	Completed  bool
+	Precision  time.Duration
+}
+
+// MigrationOpts parameterizes the migration experiment.
+type MigrationOpts struct {
+	Technique core.Technique
+	Label     string      // optional display label
+	RUM       core.Config // technique field overridden by Technique
+	S2        switchsim.Profile
+	NumFlows  int
+	PktPerSec int
+	Window    int // max unconfirmed ops (0 = unlimited)
+	Deadline  time.Duration
+}
+
+// Defaults fills the paper's parameters: 300 flows at 250 pkt/s.
+func (o MigrationOpts) Defaults() MigrationOpts {
+	if o.NumFlows == 0 {
+		o.NumFlows = 300
+	}
+	if o.PktPerSec == 0 {
+		o.PktPerSec = 250
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	if o.S2.Name == "" {
+		o.S2 = switchsim.ProfileHP5406zl()
+	}
+	return o
+}
+
+// RunMigration performs the §1/§5.1 experiment: 300 preinstalled flows
+// h1→s1→s3→h2 migrate to h1→s1→s2→s3→h2 under a consistent (ordered)
+// update, with acknowledgments provided by the selected technique.
+func RunMigration(o MigrationOpts) *MigrationResult {
+	o = o.Defaults()
+	rumCfg := o.RUM
+	rumCfg.Technique = o.Technique
+	env := NewTriangle(EnvConfig{RUM: rumCfg, S2: o.S2, AckMode: ackModeFor(o.Technique)})
+	if err := env.Warm(); err != nil {
+		panic(err)
+	}
+	flows := Flows(o.NumFlows)
+	env.PreinstallMigrationState(flows)
+	gen := env.StartTraffic(flows, o.PktPerSec)
+	// Let traffic reach steady state on the old path.
+	env.Sim.RunFor(100 * time.Millisecond)
+
+	start := env.Sim.Now()
+	plan := controller.MigrationSpec{
+		Flows: flows, S1ToS2: 2, S1ToS3: 3, S2ToS3: 2, Prio: 100,
+	}.Build()
+	_, completed := env.RunPlan(plan, o.Window, o.Deadline)
+	// Drain: keep traffic running until every flow has demonstrably
+	// switched to the new path (plan completion only means the mods were
+	// acknowledged; with no-wait acks the data plane lags far behind).
+	drainLimit := env.Sim.Now() + o.Deadline
+	for env.Sim.Now() < drainLimit {
+		env.Sim.RunFor(100 * time.Millisecond)
+		switched := make(map[int]bool)
+		for _, a := range env.H2.Arrivals() {
+			if a.Via("s2") {
+				switched[a.FlowID] = true
+			}
+		}
+		if len(switched) >= o.NumFlows {
+			break
+		}
+	}
+	env.Sim.RunFor(200 * time.Millisecond)
+	gen.Stop()
+	env.Sim.RunFor(50 * time.Millisecond)
+
+	precision := time.Second / time.Duration(o.PktPerSec)
+	updates := metrics.AnalyzeMigration(env.H2.Arrivals(),
+		func(a netsim.Arrival) bool { return a.Via("s2") }, precision)
+	sort.Slice(updates, func(i, j int) bool { return updates[i].FlowID < updates[j].FlowID })
+
+	label := o.Label
+	if label == "" {
+		label = o.Technique.String()
+	}
+	res := &MigrationResult{
+		Technique: o.Technique,
+		Label:     label,
+		Flows:     o.NumFlows,
+		Updates:   updates,
+		Start:     start,
+		Completed: completed,
+		Precision: precision,
+	}
+	var last time.Duration
+	var updateTimes []time.Duration
+	for _, u := range updates {
+		if u.Switched {
+			if u.FirstNew > last {
+				last = u.FirstNew
+			}
+			updateTimes = append(updateTimes, u.FirstNew-start)
+		}
+		res.TotalLost += u.Lost
+		if u.Broken > res.MaxBroken {
+			res.MaxBroken = u.Broken
+		}
+	}
+	res.Duration = last - start
+	res.MeanUpdate = metrics.Mean(updateTimes)
+	return res
+}
+
+// ackModeFor maps techniques to the controller-side acknowledgment mode:
+// every technique delivers RUM acks except the no-wait lower bound, where
+// the controller does not wait at all.
+func ackModeFor(t core.Technique) controller.AckMode {
+	if t == core.TechNoWait {
+		return controller.AckNone
+	}
+	return controller.AckRUM
+}
+
+// Fig1b runs the broken-time CDF comparison of Figure 1b: consistent
+// updates over plain barriers drop packets for up to ~300 ms, while RUM's
+// probing acknowledgments eliminate drops entirely.
+type Fig1bResult struct {
+	Barriers *MigrationResult
+	WithRUM  *MigrationResult
+}
+
+// Fig1b runs both sides of Figure 1b.
+func Fig1b() *Fig1bResult {
+	return &Fig1bResult{
+		Barriers: RunMigration(MigrationOpts{Technique: core.TechBarriers}),
+		WithRUM:  RunMigration(MigrationOpts{Technique: core.TechSequential}),
+	}
+}
+
+// Render prints the CDF the figure plots: % of flows vs broken time.
+func (r *Fig1bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1b — % of flows vs broken time during consistent update\n")
+	render := func(name string, res *MigrationResult) {
+		broken := metrics.BrokenTimes(res.Updates)
+		fmt.Fprintf(&b, "\n  %s: flows=%d lost_packets=%d max_broken=%v\n",
+			name, len(res.Updates), res.TotalLost, res.MaxBroken)
+		for _, x := range []time.Duration{0, 50 * time.Millisecond, 100 * time.Millisecond,
+			150 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond, 300 * time.Millisecond} {
+			fmt.Fprintf(&b, "    broken <= %6v : %5.1f%%\n", x,
+				100*metrics.FractionAtOrBelow(broken, x))
+		}
+	}
+	render("with OF barriers", r.Barriers)
+	render("with working acks (RUM sequential)", r.WithRUM)
+	return b.String()
+}
+
+// FlowCurveResult bundles the per-technique flow update curves of
+// Figures 6 and 7.
+type FlowCurveResult struct {
+	Results []*MigrationResult
+}
+
+// Fig6 runs the control-plane-only techniques of Figure 6: barriers
+// (baseline), 300 ms timeout, adaptive at assumed rates 200 and 250.
+func Fig6() *FlowCurveResult {
+	hp := switchsim.ProfileHP5406zl()
+	mk := func(t core.Technique, label string, rum core.Config) *MigrationResult {
+		return RunMigration(MigrationOpts{Technique: t, Label: label, RUM: rum, S2: hp})
+	}
+	sync := hp.SyncPeriod
+	return &FlowCurveResult{Results: []*MigrationResult{
+		mk(core.TechBarriers, "barriers (baseline)", core.Config{}),
+		mk(core.TechTimeout, "timeout 300ms", core.Config{Timeout: 300 * time.Millisecond}),
+		mk(core.TechAdaptive, "adaptive 200", core.Config{AssumedRate: 200, ModelSyncPeriod: sync}),
+		mk(core.TechAdaptive, "adaptive 250", core.Config{AssumedRate: 250, ModelSyncPeriod: sync}),
+	}}
+}
+
+// Fig7 runs the probing techniques of Figure 7: sequential (probe rule
+// per 10 mods), general (30 oldest per 10 ms) and the no-wait bound.
+func Fig7() *FlowCurveResult {
+	hp := switchsim.ProfileHP5406zl()
+	mk := func(t core.Technique, rum core.Config) *MigrationResult {
+		return RunMigration(MigrationOpts{Technique: t, RUM: rum, S2: hp})
+	}
+	return &FlowCurveResult{Results: []*MigrationResult{
+		mk(core.TechSequential, core.Config{ProbeEvery: 10}),
+		mk(core.TechGeneral, core.Config{ProbeInterval: 10 * time.Millisecond, ProbeBatch: 30}),
+		mk(core.TechNoWait, core.Config{}),
+	}}
+}
+
+// Render prints per-technique flow update curves: for every technique the
+// time the last old-path packet and first new-path packet arrived, by
+// flow, plus the summary statistics the paper quotes in the text.
+func (r *FlowCurveResult) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — flow update times\n", title)
+	for _, res := range r.Results {
+		label := labelFor(res)
+		var updateTimes []time.Duration
+		for _, u := range res.Updates {
+			if u.Switched {
+				updateTimes = append(updateTimes, u.FirstNew-res.Start)
+			}
+		}
+		fmt.Fprintf(&b, "\n  %-16s mean_update=%8v p99=%8v total=%8v lost=%d max_broken=%v\n",
+			label, metrics.Mean(updateTimes).Round(time.Millisecond),
+			metrics.Percentile(updateTimes, 99).Round(time.Millisecond),
+			res.Duration.Round(time.Millisecond), res.TotalLost, res.MaxBroken)
+		// Curve sampled every 30 flows (the paper plots all 300).
+		fmt.Fprintf(&b, "    %6s %12s %12s %10s\n", "flow", "last_old", "first_new", "broken")
+		for i := 0; i < len(res.Updates); i += 30 {
+			u := res.Updates[i]
+			fmt.Fprintf(&b, "    %6d %12v %12v %10v\n", u.FlowID,
+				(u.LastOld - res.Start).Round(time.Millisecond),
+				(u.FirstNew - res.Start).Round(time.Millisecond),
+				u.Broken.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}
+
+func labelFor(res *MigrationResult) string {
+	return res.Label
+}
+
+// HighRateCheck reruns the migration while a sampled flow sends at
+// 10 000 packets/s (the paper's precision check: no sub-4ms transient
+// drops hide behind the measurement precision).
+type HighRateResult struct {
+	Technique core.Technique
+	Lost      int
+	Flows     int
+}
+
+// Fig1bHighRate runs the high-rate precision check with sequential
+// probing on ten sampled flows.
+func Fig1bHighRate() *HighRateResult {
+	o := MigrationOpts{Technique: core.TechSequential, NumFlows: 10, PktPerSec: 10000}.Defaults()
+	res := RunMigration(o)
+	return &HighRateResult{Technique: o.Technique, Lost: res.TotalLost, Flows: o.NumFlows}
+}
+
+// Render prints the check result.
+func (r *HighRateResult) Render() string {
+	return fmt.Sprintf("High-rate precision check — %d flows at 10000 pkt/s with %s: %d packets lost\n",
+		r.Flows, r.Technique, r.Lost)
+}

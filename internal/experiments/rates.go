@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// RatesResult reproduces §5.2's switch message-rate measurements.
+type RatesResult struct {
+	PacketOutPerSec float64 // paper: 7006/s
+	PacketInPerSec  float64 // paper: 5531/s
+	// ModRateWithPacketIns / ModRateQuiet — paper: >= 96 %.
+	PacketInModRatio float64
+	// ModRateWithPacketOuts(5:1) / ModRateQuiet — paper: >= 87 % (<= 13 %
+	// reduction).
+	PacketOutModRatio float64
+}
+
+// rateRig is a minimal h1—sw—h2 bench around one hardware switch.
+type rateRig struct {
+	sim  *sim.Sim
+	net  *netsim.Network
+	sw   *switchsim.Switch
+	h1   *netsim.Host
+	h2   *netsim.Host
+	ctrl transport.Conn
+
+	pktIns   int
+	barriers map[uint32]time.Duration
+}
+
+func newRateRig(prof switchsim.Profile) *rateRig {
+	s := sim.New()
+	n := netsim.New(s)
+	r := &rateRig{sim: s, net: n, barriers: make(map[uint32]time.Duration)}
+	r.sw = switchsim.New("sw", 1, prof, s, n)
+	r.h1 = netsim.NewHost(n, "h1")
+	r.h2 = netsim.NewHost(n, "h2")
+	n.Connect(r.h1, r.h1.Port(), r.sw, 1, 10*time.Microsecond)
+	n.Connect(r.sw, 2, r.h2, r.h2.Port(), 10*time.Microsecond)
+	ctrlEnd, swEnd := transport.Pipe(s, 100*time.Microsecond)
+	r.sw.AttachConn(swEnd)
+	r.ctrl = ctrlEnd
+	ctrlEnd.SetHandler(func(m of.Message) {
+		switch m.MsgType() {
+		case of.TypePacketIn:
+			r.pktIns++
+		case of.TypeBarrierReply:
+			r.barriers[m.GetXID()] = s.Now()
+		}
+	})
+	return r
+}
+
+// Rates runs all four §5.2 measurements on the HP profile.
+func Rates() *RatesResult {
+	res := &RatesResult{}
+	res.PacketOutPerSec = measurePacketOutRate(20000)
+	res.PacketInPerSec = measurePacketInRate(2 * time.Second)
+	quiet := measureModRate(false, 0)
+	withIns := measureModRate(true, 0)
+	withOuts := measureModRate(false, 5)
+	res.PacketInModRatio = withIns / quiet
+	res.PacketOutModRatio = withOuts / quiet
+	return res
+}
+
+// measurePacketOutRate issues n PacketOuts and measures the delivery rate
+// at the destination (paper: 20000 messages).
+func measurePacketOutRate(n int) float64 {
+	r := newRateRig(switchsim.ProfileHP5406zl())
+	pkt := packet.New(controllerAddr(0), controllerAddr(1), packet.ProtoUDP, 1, 2)
+	data := pkt.Marshal()
+	for i := 0; i < n; i++ {
+		po := &of.PacketOut{BufferID: of.BufferNone, InPort: of.PortNone,
+			Actions: []of.Action{of.ActionOutput{Port: 2}}, Data: data}
+		po.SetXID(uint32(i + 1))
+		_ = r.ctrl.Send(po)
+	}
+	r.sim.Run()
+	arr := r.h2.Arrivals()
+	if len(arr) == 0 {
+		return 0
+	}
+	return float64(len(arr)) / arr[len(arr)-1].At.Seconds()
+}
+
+// measurePacketInRate installs a send-to-controller rule and floods the
+// switch beyond its PacketIn capacity.
+func measurePacketInRate(window time.Duration) float64 {
+	r := newRateRig(switchsim.ProfileHP5406zl())
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 10, Match: of.MatchAll(),
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: of.PortController}}}
+	fm.SetXID(1)
+	_ = r.ctrl.Send(fm)
+	r.sim.RunFor(time.Second) // wait out the data-plane sync
+
+	pkt := packet.New(controllerAddr(0), controllerAddr(1), packet.ProtoUDP, 1, 2)
+	gen := netsim.NewGenerator(r.h1, []netsim.Flow{
+		{ID: 0, Pkt: pkt, Period: 50 * time.Microsecond}, // 20000/s offered
+	})
+	gen.Start(0)
+	start := r.sim.Now()
+	startCount := r.pktIns
+	r.sim.RunFor(window)
+	gen.Stop()
+	elapsed := r.sim.Now() - start
+	return float64(r.pktIns-startCount) / elapsed.Seconds()
+}
+
+// measureModRate measures the FlowMod completion rate, optionally with
+// concurrent PacketIn traffic or a PacketOut:mod ratio.
+func measureModRate(packetIns bool, packetOutRatio int) float64 {
+	prof := switchsim.ProfileHP5406zl()
+	prof.SyncPeriod = time.Hour // isolate control-plane processing
+	r := newRateRig(prof)
+	if packetIns {
+		fm := &of.FlowMod{Command: of.FCAdd, Priority: 10, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone,
+			Actions: []of.Action{of.ActionOutput{Port: of.PortController}}}
+		fm.SetXID(1)
+		_ = r.ctrl.Send(fm)
+		r.sim.RunFor(100 * time.Millisecond)
+		pkt := packet.New(controllerAddr(0), controllerAddr(1), packet.ProtoUDP, 1, 2)
+		gen := netsim.NewGenerator(r.h1, []netsim.Flow{
+			{ID: 0, Pkt: pkt, Period: 4 * time.Millisecond},
+		})
+		gen.Start(0)
+		defer gen.Stop()
+	}
+	const mods = 500
+	start := r.sim.Now()
+	pkt := packet.New(controllerAddr(0), controllerAddr(1), packet.ProtoUDP, 1, 2)
+	data := pkt.Marshal()
+	for i := 0; i < mods; i++ {
+		f := controller.FlowSpec{ID: i}
+		f.Src, f.Dst = controller.FlowAddr(i)
+		fm := controller.AddRule(f, 100, 2)
+		fm.SetXID(uint32(100 + i))
+		_ = r.ctrl.Send(fm)
+		for j := 0; j < packetOutRatio; j++ {
+			po := &of.PacketOut{BufferID: of.BufferNone, InPort: of.PortNone,
+				Actions: []of.Action{of.ActionOutput{Port: 2}}, Data: data}
+			po.SetXID(uint32(1000000 + i*10 + j))
+			_ = r.ctrl.Send(po)
+		}
+	}
+	br := &of.BarrierRequest{}
+	br.SetXID(99999)
+	_ = r.ctrl.Send(br)
+	for r.sim.Now() < start+10*time.Minute {
+		r.sim.RunFor(5 * time.Millisecond)
+		if _, ok := r.barriers[99999]; ok {
+			break
+		}
+	}
+	at, ok := r.barriers[99999]
+	if !ok {
+		panic("mod rate barrier never answered")
+	}
+	return mods / (at - start).Seconds()
+}
+
+// controllerAddr returns a test address outside the flow ranges.
+func controllerAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 200, 0, byte(i + 1)})
+}
+
+// Render prints the rates summary against the paper's numbers.
+func (r *RatesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§5.2 — switch message rates\n")
+	fmt.Fprintf(&b, "  PacketOut rate:                 %7.0f /s   (paper: 7006/s)\n", r.PacketOutPerSec)
+	fmt.Fprintf(&b, "  PacketIn rate:                  %7.0f /s   (paper: 5531/s)\n", r.PacketInPerSec)
+	fmt.Fprintf(&b, "  mod rate with PacketIns:        %7.1f %%    (paper: >= 96%%)\n", 100*r.PacketInModRatio)
+	fmt.Fprintf(&b, "  mod rate with 5:1 PacketOuts:   %7.1f %%    (paper: >= 87%%)\n", 100*r.PacketOutModRatio)
+	return b.String()
+}

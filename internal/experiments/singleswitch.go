@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/metrics"
+	"rum/internal/of"
+	"rum/internal/switchsim"
+)
+
+// Fig8Result holds per-rule (ack − activation) deltas for one technique —
+// negative values are incorrect behaviour (acknowledged before the data
+// plane), positive values are update-time overhead.
+type Fig8Result struct {
+	Technique core.Technique
+	Label     string
+	Deltas    []time.Duration // sorted ascending ("flow rank" axis)
+	Negative  int             // count of incorrect (early) acks
+}
+
+// Fig8Opts parameterizes the low-level delay benchmark.
+type Fig8Opts struct {
+	R int // number of modifications (paper: 300)
+	K int // max unconfirmed at once (paper: 300 — all at once)
+}
+
+// Fig8 measures the delay between data-plane and control-plane activation
+// for all six techniques, R=300, K=300 on the HP-profile switch.
+func Fig8(o Fig8Opts) []*Fig8Result {
+	if o.R == 0 {
+		o.R = 300
+	}
+	if o.K == 0 {
+		o.K = 300
+	}
+	hp := switchsim.ProfileHP5406zl()
+	sync := hp.SyncPeriod
+	cases := []struct {
+		label string
+		tech  core.Technique
+		rum   core.Config
+	}{
+		{"barriers (baseline)", core.TechBarriers, core.Config{}},
+		{"timeout", core.TechTimeout, core.Config{Timeout: 300 * time.Millisecond}},
+		{"adaptive 200", core.TechAdaptive, core.Config{AssumedRate: 200, ModelSyncPeriod: sync}},
+		{"adaptive 250", core.TechAdaptive, core.Config{AssumedRate: 250, ModelSyncPeriod: sync}},
+		{"sequential", core.TechSequential, core.Config{ProbeEvery: 10}},
+		{"general", core.TechGeneral, core.Config{}},
+	}
+	var out []*Fig8Result
+	for _, c := range cases {
+		out = append(out, runDelayBench(c.label, c.tech, c.rum, o.R, o.K))
+	}
+	return out
+}
+
+// runDelayBench issues R adds on s2 with window K and compares ack times
+// against the switch's activation log.
+func runDelayBench(label string, tech core.Technique, rum core.Config, r, k int) *Fig8Result {
+	rum.Technique = tech
+	env := NewTriangle(EnvConfig{RUM: rum, AckMode: ackModeFor(tech)})
+	if err := env.Warm(); err != nil {
+		panic(err)
+	}
+	// Initial state: a single low-priority drop-all rule (§5.2).
+	drop := &of.FlowMod{Command: of.FCAdd, Priority: 1, Match: of.MatchAll(),
+		BufferID: of.BufferNone, OutPort: of.PortNone}
+	drop.SetXID(env.Client.NewXID())
+	_ = env.Client.Send("s2", drop)
+	env.Sim.RunFor(time.Second)
+
+	flows := Flows(r)
+	plan := &controller.Plan{}
+	for _, f := range flows {
+		plan.Ops = append(plan.Ops, controller.Op{Switch: "s2", FM: controller.AddRule(f, 100, 2)})
+	}
+	results, done := env.RunPlan(plan, k, 5*time.Minute)
+	if !done {
+		panic(fmt.Sprintf("fig8 %s: plan did not complete", label))
+	}
+	env.Sim.RunFor(time.Second)
+
+	acts := env.ActivationTimes("s2")
+	res := &Fig8Result{Technique: tech, Label: label}
+	for _, opRes := range results {
+		actAt, ok := acts[opRes.XID]
+		if !ok {
+			continue
+		}
+		d := opRes.ConfirmedAt - actAt
+		res.Deltas = append(res.Deltas, d)
+		if d < 0 {
+			res.Negative++
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool { return res.Deltas[i] < res.Deltas[j] })
+	return res
+}
+
+// RenderFig8 prints the figure's summary: per technique the delta
+// distribution (min/median/p90/max) and the count of incorrect acks.
+func RenderFig8(results []*Fig8Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — delay between data plane and control plane activation (R=300, K=300)\n")
+	fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s\n",
+		"technique", "min", "median", "p90", "max", "incorrect")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-20s %10v %10v %10v %10v %9.1f%%\n",
+			r.Label,
+			metrics.Min(r.Deltas).Round(time.Millisecond),
+			metrics.Percentile(r.Deltas, 50).Round(time.Millisecond),
+			metrics.Percentile(r.Deltas, 90).Round(time.Millisecond),
+			metrics.Max(r.Deltas).Round(time.Millisecond),
+			100*float64(r.Negative)/float64(len(r.Deltas)))
+	}
+	return b.String()
+}

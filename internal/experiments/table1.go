@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/of"
+	"rum/internal/switchsim"
+)
+
+// Table1Cell is one measurement of Table 1: the usable rule modification
+// rate of sequential probing (probes excluded) normalized to the
+// barrier-baseline rate at the same window K.
+type Table1Cell struct {
+	ProbeEvery int
+	K          int
+	Rate       float64 // usable mods/sec
+	Baseline   float64 // barrier-baseline mods/sec
+	Normalized float64 // Rate / Baseline
+}
+
+// Table1Opts parameterizes the experiment (paper: R=4000).
+type Table1Opts struct {
+	R           int
+	ProbeEverys []int
+	Ks          []int
+}
+
+// Defaults fills the paper's sweep.
+func (o Table1Opts) Defaults() Table1Opts {
+	if o.R == 0 {
+		o.R = 4000
+	}
+	if o.ProbeEverys == nil {
+		o.ProbeEverys = []int{1, 2, 5, 10, 20}
+	}
+	if o.Ks == nil {
+		o.Ks = []int{20, 50, 100}
+	}
+	return o
+}
+
+// Table1 sweeps probing frequency × window and reports normalized usable
+// rates.
+func Table1(o Table1Opts) []Table1Cell {
+	o = o.Defaults()
+	baselines := make(map[int]float64, len(o.Ks))
+	for _, k := range o.Ks {
+		baselines[k] = modRate(core.TechBarriers, core.Config{}, o.R, k)
+	}
+	var out []Table1Cell
+	for _, pe := range o.ProbeEverys {
+		for _, k := range o.Ks {
+			rate := modRate(core.TechSequential, core.Config{ProbeEvery: pe}, o.R, k)
+			out = append(out, Table1Cell{
+				ProbeEvery: pe, K: k,
+				Rate: rate, Baseline: baselines[k],
+				Normalized: rate / baselines[k],
+			})
+		}
+	}
+	return out
+}
+
+// modRate measures the usable modification rate: R rules installed on s2
+// with at most K unconfirmed, real mods only (RUM's probe-rule updates do
+// not count).
+func modRate(tech core.Technique, rum core.Config, r, k int) float64 {
+	rum.Technique = tech
+	env := NewTriangle(EnvConfig{RUM: rum, AckMode: ackModeFor(tech)})
+	if err := env.Warm(); err != nil {
+		panic(err)
+	}
+	drop := &of.FlowMod{Command: of.FCAdd, Priority: 1, Match: of.MatchAll(),
+		BufferID: of.BufferNone, OutPort: of.PortNone}
+	drop.SetXID(env.Client.NewXID())
+	_ = env.Client.Send("s2", drop)
+	env.Sim.RunFor(time.Second)
+
+	flows := Flows(r)
+	plan := &controller.Plan{}
+	for _, f := range flows {
+		plan.Ops = append(plan.Ops, controller.Op{Switch: "s2", FM: controller.AddRule(f, 100, 2)})
+	}
+	start := env.Sim.Now()
+	_, done := env.RunPlan(plan, k, time.Hour)
+	if !done {
+		panic("table1: plan did not complete")
+	}
+	elapsed := env.Sim.Now() - start
+	return float64(r) / elapsed.Seconds()
+}
+
+// RenderTable1 prints the table in the paper's layout.
+func RenderTable1(cells []Table1Cell, ks []int) string {
+	if ks == nil {
+		ks = []int{20, 50, 100}
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 — usable rule update rate with sequential probing (normalized to barriers)\n")
+	fmt.Fprintf(&b, "  %-18s", "Probing frequency")
+	for _, k := range ks {
+		fmt.Fprintf(&b, "  K = %-5d", k)
+	}
+	b.WriteString("\n")
+	byPE := make(map[int]map[int]Table1Cell)
+	var pes []int
+	for _, c := range cells {
+		if byPE[c.ProbeEvery] == nil {
+			byPE[c.ProbeEvery] = make(map[int]Table1Cell)
+			pes = append(pes, c.ProbeEvery)
+		}
+		byPE[c.ProbeEvery][c.K] = c
+	}
+	for _, pe := range pes {
+		fmt.Fprintf(&b, "  after %-2d updates ", pe)
+		for _, k := range ks {
+			c := byPE[pe][k]
+			fmt.Fprintf(&b, "  %6.0f%%  ", 100*c.Normalized)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BarrierLayerResult compares full-barrier-layer update times (§5.1,
+// "Barrier Layer Performance").
+type BarrierLayerResult struct {
+	Scenario  string
+	UpdateLen time.Duration
+	Reference time.Duration // the probing-only run it is compared against
+	Ratio     float64
+}
+
+// BarrierLayerOpts parameterizes the barrier-layer overhead runs.
+type BarrierLayerOpts struct {
+	NumFlows     int
+	BarrierEvery int // controller barrier frequency (paper: 10, then 1)
+}
+
+// BarrierLayer reruns the migration driving consistency from *reliable
+// barriers* instead of fine-grained acks:
+//
+//  1. non-reordering switch, barrier layer over sequential probing —
+//     expected ≈ the plain sequential-probing run;
+//  2. reordering switch, barrier layer with command buffering over
+//     general probing — expected ≈ 2× the plain general-probing run;
+//  3. as (2) with a barrier after every command — up to ≈ 5×.
+func BarrierLayer(o BarrierLayerOpts) []BarrierLayerResult {
+	if o.NumFlows == 0 {
+		o.NumFlows = 300
+	}
+	if o.BarrierEvery == 0 {
+		o.BarrierEvery = 10
+	}
+	var out []BarrierLayerResult
+
+	reorder := switchsim.ProfileReordering(11)
+	seqRef := RunMigration(MigrationOpts{Technique: core.TechSequential,
+		RUM: core.Config{ProbeEvery: 10}, NumFlows: o.NumFlows})
+	genRef := RunMigration(MigrationOpts{Technique: core.TechGeneral,
+		S2: reorder, NumFlows: o.NumFlows})
+
+	d1 := barrierMigration(core.TechSequential, core.Config{ProbeEvery: 10, BarrierLayer: true},
+		switchsim.ProfileHP5406zl(), o.NumFlows, o.BarrierEvery)
+	out = append(out, BarrierLayerResult{
+		Scenario:  fmt.Sprintf("non-reordering switch, barrier/%d", o.BarrierEvery),
+		UpdateLen: d1, Reference: seqRef.Duration,
+		Ratio: float64(d1) / float64(seqRef.Duration),
+	})
+
+	d2 := barrierMigration(core.TechGeneral,
+		core.Config{BarrierLayer: true, BufferForReorder: true},
+		reorder, o.NumFlows, o.BarrierEvery)
+	out = append(out, BarrierLayerResult{
+		Scenario:  fmt.Sprintf("reordering switch + buffering, barrier/%d", o.BarrierEvery),
+		UpdateLen: d2, Reference: genRef.Duration,
+		Ratio: float64(d2) / float64(genRef.Duration),
+	})
+
+	d3 := barrierMigration(core.TechGeneral,
+		core.Config{BarrierLayer: true, BufferForReorder: true},
+		reorder, o.NumFlows, 1)
+	out = append(out, BarrierLayerResult{
+		Scenario:  "reordering switch + buffering, barrier/1",
+		UpdateLen: d3, Reference: genRef.Duration,
+		Ratio: float64(d3) / float64(genRef.Duration),
+	})
+	return out
+}
+
+// barrierMigration migrates flows using reliable barriers for ordering:
+// batches of S2 adds, each followed by a barrier; a batch's S1 flips are
+// issued when its barrier reply arrives. The controller pipelines — it
+// sends all batches up front; serialization, if any, is imposed by RUM's
+// command buffering, which is precisely the overhead being measured.
+func barrierMigration(tech core.Technique, rum core.Config, s2 switchsim.Profile, nFlows, barrierEvery int) time.Duration {
+	rum.Technique = tech
+	env := NewTriangle(EnvConfig{RUM: rum, S2: s2, AckMode: controller.AckRUM})
+	if err := env.Warm(); err != nil {
+		panic(err)
+	}
+	flows := Flows(nFlows)
+	env.PreinstallMigrationState(flows)
+
+	start := env.Sim.Now()
+	flipped := 0
+	for from := 0; from < len(flows); from += barrierEvery {
+		to := from + barrierEvery
+		if to > len(flows) {
+			to = len(flows)
+		}
+		for _, f := range flows[from:to] {
+			fm := controller.AddRule(f, 100, 2) // s2 → s3
+			fm.SetXID(env.Client.NewXID())
+			_ = env.Client.Send("s2", fm)
+		}
+		batch := flows[from:to]
+		// The reliable barrier reply proves every batch rule is in the
+		// data plane; then it is safe to flip the batch's ingress rules.
+		_ = env.Client.SendBarrier("s2", func() {
+			for _, f := range batch {
+				fm := controller.AddRule(f, 100, 2) // s1 → s2
+				fm.SetXID(env.Client.NewXID())
+				_ = env.Client.Send("s1", fm)
+			}
+			flipped += len(batch)
+		})
+	}
+	limit := env.Sim.Now() + 10*time.Minute
+	for flipped < len(flows) && env.Sim.Now() < limit {
+		env.Sim.RunFor(10 * time.Millisecond)
+	}
+	if flipped < len(flows) {
+		panic("barrier migration did not complete")
+	}
+	return env.Sim.Now() - start
+}
+
+// RenderBarrierLayer prints the overhead summary.
+func RenderBarrierLayer(results []BarrierLayerResult) string {
+	var b strings.Builder
+	b.WriteString("Barrier layer performance (§5.1)\n")
+	fmt.Fprintf(&b, "  %-48s %12s %12s %7s\n", "scenario", "update", "reference", "ratio")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-48s %12v %12v %6.2fx\n", r.Scenario,
+			r.UpdateLen.Round(time.Millisecond), r.Reference.Round(time.Millisecond), r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+// Package flowtable implements an OpenFlow 1.0 flow table with the add /
+// modify / delete semantics the spec defines, priority-based lookup, and
+// per-rule counters. The switch emulator keeps two instances: the control
+// plane's view and the (lagging) data-plane copy — the gap between the two
+// is precisely the problem the paper studies.
+package flowtable
+
+import (
+	"sort"
+	"sync"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// Entry is one installed rule.
+type Entry struct {
+	Priority    uint16
+	Match       of.Match // always normalized
+	Actions     []of.Action
+	Cookie      uint64
+	IdleTimeout uint16
+	HardTimeout uint16
+
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+
+	seq uint64 // insertion order; breaks priority ties (older first)
+}
+
+// Table is a single OpenFlow flow table. It is safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	entries []*Entry // sorted by (priority desc, seq asc)
+	nextSeq uint64
+	lookups uint64
+	matched uint64
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{} }
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Apply executes a FlowMod against the table following OpenFlow 1.0
+// semantics:
+//
+//   - ADD: replaces an entry with identical match and priority, otherwise
+//     inserts.
+//   - MODIFY: updates the actions of all entries whose match equals the
+//     FlowMod's match (priority ignored for matching, per spec §4.6);
+//     inserts if none matched.
+//   - MODIFY_STRICT: same but the priority must match too.
+//   - DELETE: removes all entries whose match is a subset of the FlowMod's
+//     match (wildcard-aware).
+//   - DELETE_STRICT: removes the entry with the identical match and
+//     priority.
+//
+// It returns the list of (match, priority) pairs whose data-plane state
+// changed, which the switch emulator uses to drive sync bookkeeping.
+func (t *Table) Apply(fm *of.FlowMod) []ChangedRule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	norm := fm.Match.Normalize()
+	switch fm.Command {
+	case of.FCAdd:
+		for _, e := range t.entries {
+			if e.Priority == fm.Priority && e.Match == norm {
+				e.Actions = append([]of.Action(nil), fm.Actions...)
+				e.Cookie = fm.Cookie
+				e.IdleTimeout = fm.IdleTimeout
+				e.HardTimeout = fm.HardTimeout
+				return []ChangedRule{{Match: norm, Priority: e.Priority}}
+			}
+		}
+		t.insert(&Entry{
+			Priority:    fm.Priority,
+			Match:       norm,
+			Actions:     append([]of.Action(nil), fm.Actions...),
+			Cookie:      fm.Cookie,
+			IdleTimeout: fm.IdleTimeout,
+			HardTimeout: fm.HardTimeout,
+		})
+		return []ChangedRule{{Match: norm, Priority: fm.Priority}}
+	case of.FCModify, of.FCModifyStrict:
+		var changed []ChangedRule
+		for _, e := range t.entries {
+			if e.Match != norm {
+				continue
+			}
+			if fm.Command == of.FCModifyStrict && e.Priority != fm.Priority {
+				continue
+			}
+			e.Actions = append([]of.Action(nil), fm.Actions...)
+			e.Cookie = fm.Cookie
+			changed = append(changed, ChangedRule{Match: e.Match, Priority: e.Priority})
+		}
+		if changed == nil {
+			t.insert(&Entry{
+				Priority:    fm.Priority,
+				Match:       norm,
+				Actions:     append([]of.Action(nil), fm.Actions...),
+				Cookie:      fm.Cookie,
+				IdleTimeout: fm.IdleTimeout,
+				HardTimeout: fm.HardTimeout,
+			})
+			changed = append(changed, ChangedRule{Match: norm, Priority: fm.Priority})
+		}
+		return changed
+	case of.FCDelete, of.FCDeleteStrict:
+		var changed []ChangedRule
+		kept := t.entries[:0]
+		for _, e := range t.entries {
+			del := false
+			if fm.Command == of.FCDeleteStrict {
+				del = e.Priority == fm.Priority && e.Match == norm
+			} else {
+				del = hsa.Subset(e.Match, norm)
+			}
+			if del && fm.OutPort != of.PortNone {
+				del = outputsTo(e.Actions, fm.OutPort)
+			}
+			if del {
+				changed = append(changed, ChangedRule{Match: e.Match, Priority: e.Priority, Deleted: true})
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		// Zero the tail so deleted entries do not linger.
+		for i := len(kept); i < len(t.entries); i++ {
+			t.entries[i] = nil
+		}
+		t.entries = kept
+		return changed
+	}
+	return nil
+}
+
+// ChangedRule describes one rule affected by a FlowMod.
+type ChangedRule struct {
+	Match    of.Match
+	Priority uint16
+	Deleted  bool
+}
+
+func outputsTo(actions []of.Action, port uint16) bool {
+	for _, a := range actions {
+		if out, ok := a.(of.ActionOutput); ok && out.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) insert(e *Entry) {
+	e.seq = t.nextSeq
+	t.nextSeq++
+	idx := sort.Search(len(t.entries), func(i int) bool {
+		o := t.entries[i]
+		if o.Priority != e.Priority {
+			return o.Priority < e.Priority
+		}
+		return o.seq > e.seq
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[idx+1:], t.entries[idx:])
+	t.entries[idx] = e
+}
+
+// Lookup returns the highest-priority entry covering the fields (ties go to
+// the earlier-installed rule) and updates counters. Returns nil on a table
+// miss.
+func (t *Table) Lookup(f packet.Fields, size int) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	for _, e := range t.entries {
+		if hsa.Covers(e.Match, f) {
+			e.Packets++
+			e.Bytes += uint64(size)
+			t.matched++
+			return e
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without counter updates — used by probe synthesis to
+// reason about hypothetical packets.
+func (t *Table) Peek(f packet.Fields) *Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, e := range t.entries {
+		if hsa.Covers(e.Match, f) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Find returns the entry with exactly this match and priority, or nil.
+func (t *Table) Find(m of.Match, priority uint16) *Entry {
+	norm := m.Normalize()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, e := range t.entries {
+		if e.Priority == priority && e.Match == norm {
+			return e
+		}
+	}
+	return nil
+}
+
+// Rules snapshots the table as hsa rules in lookup order.
+func (t *Table) Rules() []hsa.Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rules := make([]hsa.Rule, len(t.entries))
+	for i, e := range t.entries {
+		rules[i] = hsa.Rule{
+			Priority: e.Priority,
+			Match:    e.Match,
+			Actions:  append([]of.Action(nil), e.Actions...),
+		}
+	}
+	return rules
+}
+
+// Entries snapshots the installed entries (copies) in lookup order.
+func (t *Table) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = *e
+		out[i].Actions = append([]of.Action(nil), e.Actions...)
+	}
+	return out
+}
+
+// Stats returns aggregate lookup counters (for table stats replies).
+func (t *Table) Stats() (lookups, matched uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookups, t.matched
+}
+
+// Clear removes every rule.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+}

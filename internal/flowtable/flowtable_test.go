@@ -1,0 +1,292 @@
+package flowtable
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+func ipMatch(src, dst string) of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.MustParseAddr(src))
+	m.SetNWDst(netip.MustParseAddr(dst))
+	return m
+}
+
+func add(t *Table, prio uint16, m of.Match, acts ...of.Action) {
+	t.Apply(&of.FlowMod{Command: of.FCAdd, Priority: prio, Match: m, Actions: acts})
+}
+
+func TestAddAndLookup(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	add(tbl, 1, of.MatchAll()) // drop-all
+
+	f := hsa.Sample(ipMatch("10.0.0.1", "10.0.0.2"))
+	e := tbl.Lookup(f, 100)
+	if e == nil || e.Priority != 10 {
+		t.Fatalf("Lookup = %+v, want priority-10 rule", e)
+	}
+	if e.Packets != 1 || e.Bytes != 100 {
+		t.Errorf("counters = %d pkts / %d bytes, want 1/100", e.Packets, e.Bytes)
+	}
+	other := hsa.Sample(ipMatch("10.0.0.9", "10.0.0.2"))
+	e = tbl.Lookup(other, 50)
+	if e == nil || e.Priority != 1 {
+		t.Fatalf("Lookup fallback = %+v, want drop-all", e)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	if e := tbl.Lookup(hsa.Sample(ipMatch("1.1.1.1", "2.2.2.2")), 10); e != nil {
+		t.Fatalf("miss returned %+v", e)
+	}
+	lookups, matched := tbl.Stats()
+	if lookups != 1 || matched != 0 {
+		t.Errorf("stats = %d/%d, want 1/0", lookups, matched)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	tbl := New()
+	wide := of.MatchAll()
+	add(tbl, 1, wide, of.ActionOutput{Port: 1})
+	add(tbl, 100, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	e := tbl.Lookup(hsa.Sample(ipMatch("10.0.0.1", "10.0.0.2")), 1)
+	if e == nil || e.Priority != 100 {
+		t.Fatalf("high-priority rule not preferred: %+v", e)
+	}
+}
+
+func TestTieBreakInsertionOrder(t *testing.T) {
+	tbl := New()
+	m1 := ipMatch("10.0.0.1", "10.0.0.2")
+	m2 := of.MatchAll()
+	m2.Wildcards &^= of.WcDLType
+	m2.DLType = packet.EtherTypeIPv4
+	m2.SetNWSrc(netip.MustParseAddr("10.0.0.1"))
+	add(tbl, 10, m1, of.ActionOutput{Port: 1})
+	add(tbl, 10, m2, of.ActionOutput{Port: 2})
+	e := tbl.Lookup(hsa.Sample(m1), 1)
+	if e == nil || e.Actions[0] != (of.ActionOutput{Port: 1}) {
+		t.Fatalf("tie not broken by insertion order: %+v", e)
+	}
+}
+
+func TestAddReplacesSameMatchPriority(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	add(tbl, 10, m, of.ActionOutput{Port: 9})
+	if tbl.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1", tbl.Len())
+	}
+	e := tbl.Lookup(hsa.Sample(m), 1)
+	if e.Actions[0] != (of.ActionOutput{Port: 9}) {
+		t.Errorf("replacement did not take: %+v", e.Actions)
+	}
+}
+
+func TestModifyUpdatesActions(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	changed := tbl.Apply(&of.FlowMod{Command: of.FCModify, Priority: 99, Match: m,
+		Actions: []of.Action{of.ActionOutput{Port: 5}}})
+	if len(changed) != 1 {
+		t.Fatalf("changed = %v, want 1 entry", changed)
+	}
+	e := tbl.Lookup(hsa.Sample(m), 1)
+	if e.Priority != 10 || e.Actions[0] != (of.ActionOutput{Port: 5}) {
+		t.Errorf("modify wrong: %+v", e)
+	}
+}
+
+func TestModifyInsertsWhenAbsent(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	tbl.Apply(&of.FlowMod{Command: of.FCModify, Priority: 10, Match: m,
+		Actions: []of.Action{of.ActionOutput{Port: 5}}})
+	if tbl.Len() != 1 {
+		t.Fatalf("modify on empty table did not insert")
+	}
+}
+
+func TestModifyStrictChecksPriority(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	tbl.Apply(&of.FlowMod{Command: of.FCModifyStrict, Priority: 20, Match: m,
+		Actions: []of.Action{of.ActionOutput{Port: 5}}})
+	// Priority 20 doesn't match the installed 10 — a new entry appears.
+	if tbl.Len() != 2 {
+		t.Fatalf("table has %d entries, want 2", tbl.Len())
+	}
+}
+
+func TestDeleteWildcard(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 1})
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.3"), of.ActionOutput{Port: 1})
+	add(tbl, 10, ipMatch("10.0.0.9", "10.0.0.3"), of.ActionOutput{Port: 1})
+	// Delete everything from 10.0.0.1.
+	del := of.MatchAll()
+	del.Wildcards &^= of.WcDLType
+	del.DLType = packet.EtherTypeIPv4
+	del.SetNWSrc(netip.MustParseAddr("10.0.0.1"))
+	changed := tbl.Apply(&of.FlowMod{Command: of.FCDelete, Match: del, OutPort: of.PortNone})
+	if len(changed) != 2 || tbl.Len() != 1 {
+		t.Fatalf("delete removed %d, table now %d; want 2 removed, 1 left", len(changed), tbl.Len())
+	}
+	for _, c := range changed {
+		if !c.Deleted {
+			t.Errorf("change not flagged Deleted: %+v", c)
+		}
+	}
+}
+
+func TestDeleteStrict(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	add(tbl, 20, m, of.ActionOutput{Port: 2})
+	tbl.Apply(&of.FlowMod{Command: of.FCDeleteStrict, Priority: 10, Match: m, OutPort: of.PortNone})
+	if tbl.Len() != 1 {
+		t.Fatalf("strict delete removed wrong count; table=%d", tbl.Len())
+	}
+	if e := tbl.Find(m, 20); e == nil {
+		t.Error("strict delete removed the wrong entry")
+	}
+}
+
+func TestDeleteFiltersByOutPort(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 1})
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.3"), of.ActionOutput{Port: 2})
+	tbl.Apply(&of.FlowMod{Command: of.FCDelete, Match: of.MatchAll(), OutPort: 2})
+	if tbl.Len() != 1 {
+		t.Fatalf("out_port-filtered delete left %d entries, want 1", tbl.Len())
+	}
+	if e := tbl.Find(ipMatch("10.0.0.1", "10.0.0.2"), 10); e == nil {
+		t.Error("delete removed entry not outputting to port 2")
+	}
+}
+
+func TestRulesSnapshotIsolated(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 1})
+	rules := tbl.Rules()
+	rules[0].Actions[0] = of.ActionOutput{Port: 99}
+	e := tbl.Lookup(hsa.Sample(ipMatch("10.0.0.1", "10.0.0.2")), 1)
+	if e.Actions[0] != (of.ActionOutput{Port: 1}) {
+		t.Error("Rules() aliases internal state")
+	}
+}
+
+func TestFindNormalizesMatch(t *testing.T) {
+	tbl := New()
+	m := of.MatchAll()
+	add(tbl, 5, m)
+	// A denormalized all-wildcard match (garbage in ignored fields) must
+	// still find the entry.
+	q := of.MatchAll()
+	q.InPort = 7
+	q.TPDst = 80
+	if tbl.Find(q, 5) == nil {
+		t.Error("Find failed on denormalized but equivalent match")
+	}
+}
+
+// Property: after a random sequence of adds and strict deletes, lookup
+// result always equals a brute-force scan over a shadow model.
+func TestLookupMatchesShadowModelProperty(t *testing.T) {
+	type shadowRule struct {
+		prio uint16
+		m    of.Match
+		out  uint16
+		seq  int
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := New()
+		var shadow []shadowRule
+		seq := 0
+		for i := 0; i < 40; i++ {
+			src := netip.AddrFrom4([4]byte{10, 0, 0, byte(r.Intn(8))})
+			dst := netip.AddrFrom4([4]byte{10, 0, 1, byte(r.Intn(8))})
+			m := of.MatchAll()
+			m.Wildcards &^= of.WcDLType
+			m.DLType = packet.EtherTypeIPv4
+			m.SetNWSrc(src)
+			m.SetNWDst(dst)
+			prio := uint16(r.Intn(4))
+			if r.Intn(5) == 0 && len(shadow) > 0 {
+				victim := shadow[r.Intn(len(shadow))]
+				tbl.Apply(&of.FlowMod{Command: of.FCDeleteStrict, Priority: victim.prio,
+					Match: victim.m, OutPort: of.PortNone})
+				kept := shadow[:0]
+				for _, s := range shadow {
+					if !(s.prio == victim.prio && s.m.Normalize() == victim.m.Normalize()) {
+						kept = append(kept, s)
+					}
+				}
+				shadow = kept
+				continue
+			}
+			out := uint16(1 + r.Intn(4))
+			tbl.Apply(&of.FlowMod{Command: of.FCAdd, Priority: prio, Match: m,
+				Actions: []of.Action{of.ActionOutput{Port: out}}})
+			replaced := false
+			for j := range shadow {
+				if shadow[j].prio == prio && shadow[j].m.Normalize() == m.Normalize() {
+					shadow[j].out = out
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				shadow = append(shadow, shadowRule{prio, m, out, seq})
+				seq++
+			}
+		}
+		// Compare lookups on random packets.
+		for i := 0; i < 50; i++ {
+			f := packet.Fields{
+				DLType: packet.EtherTypeIPv4,
+				DLVLAN: packet.VLANNone,
+				NWSrc:  [4]byte{10, 0, 0, byte(r.Intn(8))},
+				NWDst:  [4]byte{10, 0, 1, byte(r.Intn(8))},
+			}
+			got := tbl.Peek(f)
+			var want *shadowRule
+			for j := range shadow {
+				s := &shadow[j]
+				if !hsa.Covers(s.m, f) {
+					continue
+				}
+				if want == nil || s.prio > want.prio || (s.prio == want.prio && s.seq < want.seq) {
+					want = s
+				}
+			}
+			if (got == nil) != (want == nil) {
+				return false
+			}
+			if got != nil && (got.Priority != want.prio || got.Actions[0] != (of.ActionOutput{Port: want.out})) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

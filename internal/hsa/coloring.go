@@ -1,0 +1,71 @@
+package hsa
+
+import "sort"
+
+// ColorGraph assigns each node a small non-negative color such that
+// adjacent nodes get different colors, using the Welsh–Powell heuristic the
+// paper cites (§3.2.2, [15]) to minimize the number of switch-specific
+// header values general probing consumes: only neighboring switches need
+// distinct probe-catch values S_i.
+//
+// adj maps each node to its neighbors; edges may be listed on either or
+// both endpoints. The result maps every node (including isolated ones) to a
+// color.
+func ColorGraph(adj map[uint64][]uint64) map[uint64]int {
+	// Symmetrize the adjacency so one-sided edge lists still color safely.
+	neighbors := make(map[uint64]map[uint64]bool, len(adj))
+	ensure := func(n uint64) map[uint64]bool {
+		if m, ok := neighbors[n]; ok {
+			return m
+		}
+		m := make(map[uint64]bool)
+		neighbors[n] = m
+		return m
+	}
+	for n, ns := range adj {
+		ensure(n)
+		for _, o := range ns {
+			if o == n {
+				continue // ignore self loops
+			}
+			ensure(n)[o] = true
+			ensure(o)[n] = true
+		}
+	}
+	nodes := make([]uint64, 0, len(neighbors))
+	for n := range neighbors {
+		nodes = append(nodes, n)
+	}
+	// Welsh–Powell: descending degree, node id as deterministic tie-break.
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := len(neighbors[nodes[i]]), len(neighbors[nodes[j]])
+		if di != dj {
+			return di > dj
+		}
+		return nodes[i] < nodes[j]
+	})
+	colors := make(map[uint64]int, len(nodes))
+	for _, n := range nodes {
+		used := make(map[int]bool)
+		for o := range neighbors[n] {
+			if c, ok := colors[o]; ok {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[n] = c
+	}
+	return colors
+}
+
+// NumColors returns the number of distinct colors in a coloring.
+func NumColors(colors map[uint64]int) int {
+	distinct := make(map[int]bool, len(colors))
+	for _, c := range colors {
+		distinct[c] = true
+	}
+	return len(distinct)
+}

@@ -1,0 +1,410 @@
+// Package hsa implements the header-space reasoning RUM's probing needs:
+// deciding whether a match covers a packet, intersecting and comparing
+// matches, sampling concrete packets out of a match region, and — the core
+// of general probing (§3.2.2 of the paper) — synthesizing a probe packet
+// that hits exactly the probed rule while remaining distinguishable from
+// the rules below it. Finding such a packet is NP-hard in general; as the
+// paper notes (citing Header Space Analysis and ATPG), real forwarding
+// tables admit fast heuristics, which is what FindProbe implements.
+package hsa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// Rule is the abstract view of a flow-table entry used for probe
+// computation.
+type Rule struct {
+	Priority uint16
+	Match    of.Match
+	Actions  []of.Action
+}
+
+// Covers reports whether the match accepts the concrete fields. VLAN
+// matching follows OpenFlow 1.0: dl_vlan == 0xffff matches untagged
+// packets, which is the same sentinel packet.VLANNone uses.
+func Covers(m of.Match, f packet.Fields) bool {
+	if m.Wildcards&of.WcInPort == 0 && m.InPort != f.InPort {
+		return false
+	}
+	if m.Wildcards&of.WcDLSrc == 0 && m.DLSrc != of.EthAddr(f.DLSrc) {
+		return false
+	}
+	if m.Wildcards&of.WcDLDst == 0 && m.DLDst != of.EthAddr(f.DLDst) {
+		return false
+	}
+	if m.Wildcards&of.WcDLVLAN == 0 && m.DLVLAN != f.DLVLAN {
+		return false
+	}
+	if m.Wildcards&of.WcDLVLANPCP == 0 && m.DLVLANPCP != f.DLPCP {
+		return false
+	}
+	if m.Wildcards&of.WcDLType == 0 && m.DLType != f.DLType {
+		return false
+	}
+	if m.Wildcards&of.WcNWTOS == 0 && m.NWTOS != f.NWTOS {
+		return false
+	}
+	if m.Wildcards&of.WcNWProto == 0 && m.NWProto != f.NWProto {
+		return false
+	}
+	if !prefixCovers(m.NWSrc, m.NWSrcWildBits(), f.NWSrc) {
+		return false
+	}
+	if !prefixCovers(m.NWDst, m.NWDstWildBits(), f.NWDst) {
+		return false
+	}
+	if m.Wildcards&of.WcTPSrc == 0 && m.TPSrc != f.TPSrc {
+		return false
+	}
+	if m.Wildcards&of.WcTPDst == 0 && m.TPDst != f.TPDst {
+		return false
+	}
+	return true
+}
+
+func prefixCovers(addr [4]byte, wildBits int, v [4]byte) bool {
+	if wildBits >= 32 {
+		return true
+	}
+	mask := ^uint32(0) << uint(wildBits)
+	return binary.BigEndian.Uint32(addr[:])&mask == binary.BigEndian.Uint32(v[:])&mask
+}
+
+// Intersect computes the match accepted by both a and b. ok is false when
+// the intersection is empty.
+func Intersect(a, b of.Match) (m of.Match, ok bool) {
+	m = of.MatchAll()
+	type exact struct {
+		wc       uint32
+		aSet     bool
+		bSet     bool
+		aEqualsB bool
+		assign   func(from *of.Match)
+	}
+	an, bn := a.Normalize(), b.Normalize()
+	fields := []exact{
+		{of.WcInPort, an.Wildcards&of.WcInPort == 0, bn.Wildcards&of.WcInPort == 0, an.InPort == bn.InPort, nil},
+		{of.WcDLSrc, an.Wildcards&of.WcDLSrc == 0, bn.Wildcards&of.WcDLSrc == 0, an.DLSrc == bn.DLSrc, nil},
+		{of.WcDLDst, an.Wildcards&of.WcDLDst == 0, bn.Wildcards&of.WcDLDst == 0, an.DLDst == bn.DLDst, nil},
+		{of.WcDLVLAN, an.Wildcards&of.WcDLVLAN == 0, bn.Wildcards&of.WcDLVLAN == 0, an.DLVLAN == bn.DLVLAN, nil},
+		{of.WcDLVLANPCP, an.Wildcards&of.WcDLVLANPCP == 0, bn.Wildcards&of.WcDLVLANPCP == 0, an.DLVLANPCP == bn.DLVLANPCP, nil},
+		{of.WcDLType, an.Wildcards&of.WcDLType == 0, bn.Wildcards&of.WcDLType == 0, an.DLType == bn.DLType, nil},
+		{of.WcNWTOS, an.Wildcards&of.WcNWTOS == 0, bn.Wildcards&of.WcNWTOS == 0, an.NWTOS == bn.NWTOS, nil},
+		{of.WcNWProto, an.Wildcards&of.WcNWProto == 0, bn.Wildcards&of.WcNWProto == 0, an.NWProto == bn.NWProto, nil},
+		{of.WcTPSrc, an.Wildcards&of.WcTPSrc == 0, bn.Wildcards&of.WcTPSrc == 0, an.TPSrc == bn.TPSrc, nil},
+		{of.WcTPDst, an.Wildcards&of.WcTPDst == 0, bn.Wildcards&of.WcTPDst == 0, an.TPDst == bn.TPDst, nil},
+	}
+	for _, fd := range fields {
+		switch {
+		case fd.aSet && fd.bSet:
+			if !fd.aEqualsB {
+				return m, false
+			}
+			m.Wildcards &^= fd.wc
+		case fd.aSet || fd.bSet:
+			m.Wildcards &^= fd.wc
+		}
+	}
+	// Copy the exact-field values from whichever side fixed them.
+	pick := func(wc uint32) *of.Match {
+		if an.Wildcards&wc == 0 {
+			return &an
+		}
+		return &bn
+	}
+	if m.Wildcards&of.WcInPort == 0 {
+		m.InPort = pick(of.WcInPort).InPort
+	}
+	if m.Wildcards&of.WcDLSrc == 0 {
+		m.DLSrc = pick(of.WcDLSrc).DLSrc
+	}
+	if m.Wildcards&of.WcDLDst == 0 {
+		m.DLDst = pick(of.WcDLDst).DLDst
+	}
+	if m.Wildcards&of.WcDLVLAN == 0 {
+		m.DLVLAN = pick(of.WcDLVLAN).DLVLAN
+	}
+	if m.Wildcards&of.WcDLVLANPCP == 0 {
+		m.DLVLANPCP = pick(of.WcDLVLANPCP).DLVLANPCP
+	}
+	if m.Wildcards&of.WcDLType == 0 {
+		m.DLType = pick(of.WcDLType).DLType
+	}
+	if m.Wildcards&of.WcNWTOS == 0 {
+		m.NWTOS = pick(of.WcNWTOS).NWTOS
+	}
+	if m.Wildcards&of.WcNWProto == 0 {
+		m.NWProto = pick(of.WcNWProto).NWProto
+	}
+	if m.Wildcards&of.WcTPSrc == 0 {
+		m.TPSrc = pick(of.WcTPSrc).TPSrc
+	}
+	if m.Wildcards&of.WcTPDst == 0 {
+		m.TPDst = pick(of.WcTPDst).TPDst
+	}
+	// IPv4 prefixes: the narrower prefix wins, but the two must agree on
+	// the wider prefix's fixed bits.
+	srcAddr, srcBits, ok := intersectPrefix(an.NWSrc, an.NWSrcWildBits(), bn.NWSrc, bn.NWSrcWildBits())
+	if !ok {
+		return m, false
+	}
+	m.NWSrc = srcAddr
+	m.SetNWSrcWildBits(srcBits)
+	dstAddr, dstBits, ok := intersectPrefix(an.NWDst, an.NWDstWildBits(), bn.NWDst, bn.NWDstWildBits())
+	if !ok {
+		return m, false
+	}
+	m.NWDst = dstAddr
+	m.SetNWDstWildBits(dstBits)
+	return m.Normalize(), true
+}
+
+func intersectPrefix(aAddr [4]byte, aWild int, bAddr [4]byte, bWild int) ([4]byte, int, bool) {
+	wide, narrow := aWild, bWild
+	narrowAddr := bAddr
+	if aWild < bWild {
+		wide, narrow = bWild, aWild
+		narrowAddr = aAddr
+	}
+	if wide < 32 {
+		mask := ^uint32(0) << uint(wide)
+		if binary.BigEndian.Uint32(aAddr[:])&mask != binary.BigEndian.Uint32(bAddr[:])&mask {
+			return [4]byte{}, 0, false
+		}
+	}
+	return narrowAddr, narrow, true
+}
+
+// Subset reports whether every packet matched by a is also matched by b.
+func Subset(a, b of.Match) bool {
+	got, ok := Intersect(a, b)
+	if !ok {
+		return false
+	}
+	return got == a.Normalize()
+}
+
+// Overlaps reports whether some packet is matched by both a and b.
+func Overlaps(a, b of.Match) bool {
+	_, ok := Intersect(a, b)
+	return ok
+}
+
+// Sample produces a concrete packet-field assignment inside the match
+// region, choosing canonical defaults for wildcarded fields: untagged
+// IPv4/UDP with zeroed free bits.
+func Sample(m of.Match) packet.Fields {
+	m = m.Normalize()
+	var f packet.Fields
+	f.InPort = m.InPort
+	f.DLSrc = m.DLSrc
+	f.DLDst = m.DLDst
+	if m.Wildcards&of.WcDLVLAN == 0 {
+		f.DLVLAN = m.DLVLAN
+	} else {
+		f.DLVLAN = packet.VLANNone
+	}
+	f.DLPCP = m.DLVLANPCP
+	if m.Wildcards&of.WcDLType == 0 {
+		f.DLType = m.DLType
+	} else {
+		f.DLType = packet.EtherTypeIPv4
+	}
+	f.NWTOS = m.NWTOS
+	if m.Wildcards&of.WcNWProto == 0 {
+		f.NWProto = m.NWProto
+	} else {
+		f.NWProto = packet.ProtoUDP
+	}
+	f.NWSrc = m.NWSrc // normalized: wildcarded low bits already zero
+	f.NWDst = m.NWDst
+	f.TPSrc = m.TPSrc
+	f.TPDst = m.TPDst
+	return f
+}
+
+// ErrNoProbe is returned when no probe packet can reveal the rule's
+// data-plane installation; the caller must fall back to a control-plane
+// technique (paper §3.2.2).
+var ErrNoProbe = errors.New("hsa: no distinguishing probe packet exists")
+
+// FindProbe synthesizes a probe for rule against the given table. pin is an
+// additional constraint the probe must satisfy (general probing pins the
+// reserved header field H to the next hop's probe-catch value S_C). The
+// table must contain the rules active (or about to be active) on the probed
+// switch, excluding the probed rule itself.
+//
+// The returned fields satisfy:
+//  1. rule.Match and pin cover them;
+//  2. no rule in table with priority > rule.Priority covers them;
+//  3. the highest-priority table rule that does cover them (the fallback
+//     the packet would hit while the probed rule is absent) has actions
+//     distinguishable from rule.Actions — or no rule covers them at all
+//     (OpenFlow 1.0 default: drop or send-to-controller, either way
+//     distinguishable from a forwarding rule).
+//
+// The search is heuristic: it starts from a canonical sample and greedily
+// mutates free fields to escape conflicting higher-priority regions, which
+// resolves all practical tables (exact-match flow rules, ACL-over-routing
+// patterns) in a handful of iterations.
+func FindProbe(rule Rule, table []Rule, pin of.Match) (packet.Fields, error) {
+	base, ok := Intersect(rule.Match, pin)
+	if !ok {
+		return packet.Fields{}, fmt.Errorf("hsa: pin constraint %v excludes rule match %v: %w", pin, rule.Match, ErrNoProbe)
+	}
+	cand := Sample(base)
+	const maxIters = 64
+	for iter := 0; iter < maxIters; iter++ {
+		if hp := highestCover(table, cand, rule.Priority); hp != nil {
+			next, ok := escape(base, cand, hp.Match)
+			if !ok {
+				return packet.Fields{}, fmt.Errorf("hsa: rule %v shadowed by higher-priority %v: %w", rule.Match, hp.Match, ErrNoProbe)
+			}
+			cand = next
+			continue
+		}
+		// No higher-priority rule matches; check the fallback is
+		// distinguishable.
+		fb := lookup(table, cand)
+		if fb == nil || !of.ActionsEqual(fb.Actions, rule.Actions) {
+			return cand, nil
+		}
+		// The fallback behaves identically; try to move off it while
+		// staying inside the probe region.
+		next, ok := escape(base, cand, fb.Match)
+		if !ok {
+			return packet.Fields{}, fmt.Errorf("hsa: fallback rule %v has identical actions: %w", fb.Match, ErrNoProbe)
+		}
+		cand = next
+	}
+	return packet.Fields{}, fmt.Errorf("hsa: probe search did not converge: %w", ErrNoProbe)
+}
+
+// highestCover returns the highest-priority rule with priority strictly
+// above minPrio that covers f, or nil.
+func highestCover(table []Rule, f packet.Fields, minPrio uint16) *Rule {
+	var best *Rule
+	for i := range table {
+		r := &table[i]
+		if r.Priority <= minPrio {
+			continue
+		}
+		if !Covers(r.Match, f) {
+			continue
+		}
+		if best == nil || r.Priority > best.Priority {
+			best = r
+		}
+	}
+	return best
+}
+
+// lookup returns the highest-priority rule covering f (first match wins on
+// priority ties, mirroring insertion order in the flow table), or nil.
+func lookup(table []Rule, f packet.Fields) *Rule {
+	var best *Rule
+	for i := range table {
+		r := &table[i]
+		if !Covers(r.Match, f) {
+			continue
+		}
+		if best == nil || r.Priority > best.Priority {
+			best = r
+		}
+	}
+	return best
+}
+
+// escape mutates cand on one field that base leaves free but blocker pins,
+// so the result stays inside base and outside blocker. ok is false when
+// every field that could distinguish them is fixed by base (blocker fully
+// shadows the probe region).
+func escape(base of.Match, cand packet.Fields, blocker of.Match) (packet.Fields, bool) {
+	base = base.Normalize()
+	blocker = blocker.Normalize()
+	// Transport ports: most rooms to move, try them first.
+	if base.Wildcards&of.WcTPSrc != 0 && blocker.Wildcards&of.WcTPSrc == 0 {
+		cand.TPSrc = blocker.TPSrc + 1
+		return cand, true
+	}
+	if base.Wildcards&of.WcTPDst != 0 && blocker.Wildcards&of.WcTPDst == 0 {
+		cand.TPDst = blocker.TPDst + 1
+		return cand, true
+	}
+	if base.Wildcards&of.WcNWProto != 0 && blocker.Wildcards&of.WcNWProto == 0 {
+		if blocker.NWProto == packet.ProtoUDP {
+			cand.NWProto = packet.ProtoTCP
+		} else {
+			cand.NWProto = packet.ProtoUDP
+		}
+		return cand, true
+	}
+	if base.Wildcards&of.WcNWTOS != 0 && blocker.Wildcards&of.WcNWTOS == 0 {
+		cand.NWTOS = blocker.NWTOS ^ 0x04 // stay off the blocker's value
+		return cand, true
+	}
+	if base.Wildcards&of.WcDLVLANPCP != 0 && blocker.Wildcards&of.WcDLVLANPCP == 0 {
+		cand.DLPCP = (blocker.DLVLANPCP + 1) & 7
+		return cand, true
+	}
+	// IPv4 addresses: flip a bit that base wildcards but blocker fixes.
+	if newAddr, ok := escapePrefix(base.NWSrc, base.NWSrcWildBits(), cand.NWSrc, blocker.NWSrcWildBits()); ok {
+		cand.NWSrc = newAddr
+		return cand, true
+	}
+	if newAddr, ok := escapePrefix(base.NWDst, base.NWDstWildBits(), cand.NWDst, blocker.NWDstWildBits()); ok {
+		cand.NWDst = newAddr
+		return cand, true
+	}
+	if base.Wildcards&of.WcDLSrc != 0 && blocker.Wildcards&of.WcDLSrc == 0 {
+		a := blocker.DLSrc
+		a[5] ^= 1
+		cand.DLSrc = a
+		return cand, true
+	}
+	if base.Wildcards&of.WcDLDst != 0 && blocker.Wildcards&of.WcDLDst == 0 {
+		a := blocker.DLDst
+		a[5] ^= 1
+		cand.DLDst = a
+		return cand, true
+	}
+	if base.Wildcards&of.WcInPort != 0 && blocker.Wildcards&of.WcInPort == 0 {
+		cand.InPort = blocker.InPort + 1
+		return cand, true
+	}
+	if base.Wildcards&of.WcDLVLAN != 0 && blocker.Wildcards&of.WcDLVLAN == 0 {
+		if blocker.DLVLAN == packet.VLANNone {
+			cand.DLVLAN = 1
+		} else {
+			cand.DLVLAN = packet.VLANNone
+		}
+		return cand, true
+	}
+	return cand, false
+}
+
+// escapePrefix flips the lowest address bit that base wildcards but the
+// blocker's prefix fixes, moving cand out of the blocker's prefix while
+// staying inside base's.
+func escapePrefix(baseAddr [4]byte, baseWild int, cand [4]byte, blockerWild int) ([4]byte, bool) {
+	if baseWild <= blockerWild {
+		return cand, false // blocker is as wide or wider; no bit to flip
+	}
+	// Bits [blockerWild, baseWild) are free in base but fixed in blocker.
+	v := binary.BigEndian.Uint32(cand[:])
+	v ^= 1 << uint(blockerWild)
+	var out [4]byte
+	binary.BigEndian.PutUint32(out[:], v)
+	// Ensure we stayed within base's prefix (we flipped below baseWild, so
+	// we did, but keep the check for safety).
+	if !prefixCovers(baseAddr, baseWild, out) {
+		return cand, false
+	}
+	return out, true
+}

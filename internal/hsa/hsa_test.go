@@ -1,0 +1,406 @@
+package hsa
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+func exactIPMatch(src, dst string) of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.MustParseAddr(src))
+	m.SetNWDst(netip.MustParseAddr(dst))
+	return m
+}
+
+func TestCoversBasics(t *testing.T) {
+	m := exactIPMatch("10.0.0.1", "10.0.0.2")
+	f := Sample(m)
+	if !Covers(m, f) {
+		t.Fatal("match does not cover its own sample")
+	}
+	f.NWSrc = [4]byte{10, 0, 0, 9}
+	if Covers(m, f) {
+		t.Fatal("match covers packet with different nw_src")
+	}
+	if !Covers(of.MatchAll(), f) {
+		t.Fatal("MatchAll does not cover an arbitrary packet")
+	}
+}
+
+func TestCoversPrefix(t *testing.T) {
+	m := of.MatchAll()
+	m.NWDst = [4]byte{10, 1, 2, 0}
+	m.SetNWDstWildBits(8) // 10.1.2.0/24
+	f := packet.Fields{NWDst: [4]byte{10, 1, 2, 200}}
+	if !Covers(m, f) {
+		t.Error("prefix /24 does not cover in-range address")
+	}
+	f.NWDst = [4]byte{10, 1, 3, 1}
+	if Covers(m, f) {
+		t.Error("prefix /24 covers out-of-range address")
+	}
+}
+
+func TestCoversVLANUntagged(t *testing.T) {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLVLAN
+	m.DLVLAN = packet.VLANNone // match untagged
+	f := packet.Fields{DLVLAN: packet.VLANNone}
+	if !Covers(m, f) {
+		t.Error("untagged match does not cover untagged packet")
+	}
+	f.DLVLAN = 5
+	if Covers(m, f) {
+		t.Error("untagged match covers tagged packet")
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := exactIPMatch("10.0.0.1", "10.0.0.2")
+	b := exactIPMatch("10.0.0.3", "10.0.0.2")
+	if _, ok := Intersect(a, b); ok {
+		t.Error("disjoint matches intersect")
+	}
+	if Overlaps(a, b) {
+		t.Error("Overlaps true for disjoint matches")
+	}
+}
+
+func TestIntersectPrefixes(t *testing.T) {
+	a := of.MatchAll()
+	a.NWDst = [4]byte{10, 1, 0, 0}
+	a.SetNWDstWildBits(16) // 10.1/16
+	b := of.MatchAll()
+	b.NWDst = [4]byte{10, 1, 2, 0}
+	b.SetNWDstWildBits(8) // 10.1.2/24
+	got, ok := Intersect(a, b)
+	if !ok {
+		t.Fatal("nested prefixes do not intersect")
+	}
+	if got.NWDstWildBits() != 8 || got.NWDst != [4]byte{10, 1, 2, 0} {
+		t.Errorf("intersection = %v, want 10.1.2.0/24", got)
+	}
+	c := of.MatchAll()
+	c.NWDst = [4]byte{10, 2, 0, 0}
+	c.SetNWDstWildBits(16)
+	if _, ok := Intersect(a, c); ok {
+		t.Error("disjoint prefixes intersect")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	wide := of.MatchAll()
+	wide.NWDst = [4]byte{10, 0, 0, 0}
+	wide.SetNWDstWildBits(24) // 10/8
+	narrow := exactIPMatch("10.5.5.5", "10.9.9.9")
+	if !Subset(narrow, of.MatchAll()) {
+		t.Error("exact match not subset of MatchAll")
+	}
+	n2 := of.MatchAll()
+	n2.NWDst = [4]byte{10, 3, 0, 0}
+	n2.SetNWDstWildBits(16)
+	if !Subset(n2, wide) {
+		t.Error("10.3/16 not subset of 10/8")
+	}
+	if Subset(wide, n2) {
+		t.Error("10/8 subset of 10.3/16")
+	}
+}
+
+// Property: Sample(m) is always covered by m.
+func TestSampleCoveredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatch(r)
+		return Covers(m, Sample(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if both matches cover a packet, their intersection exists and
+// covers it too; and the intersection is a subset of both.
+func TestIntersectSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomMatch(r), randomMatch(r)
+		got, ok := Intersect(a, b)
+		pa, pb := Sample(a), Sample(b)
+		if Covers(b, pa) || Covers(a, pb) {
+			// Some packet is plausibly in both; at minimum, when a sample
+			// of one is covered by the other the intersection must exist.
+			if Covers(b, pa) && !ok {
+				return false
+			}
+		}
+		if !ok {
+			return true
+		}
+		if !Subset(got, a) || !Subset(got, b) {
+			return false
+		}
+		return Covers(a, Sample(got)) && Covers(b, Sample(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is commutative after normalization.
+func TestIntersectCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomMatch(r), randomMatch(r)
+		m1, ok1 := Intersect(a, b)
+		m2, ok2 := Intersect(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || m1 == m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMatch generates structured random matches: a blend of exact flow
+// rules, prefixes, and wildcards so the property tests explore realistic
+// table shapes.
+func randomMatch(r *rand.Rand) of.Match {
+	m := of.MatchAll()
+	if r.Intn(2) == 0 {
+		m.Wildcards &^= of.WcDLType
+		m.DLType = packet.EtherTypeIPv4
+	}
+	if r.Intn(2) == 0 {
+		m.SetNWSrcWildBits(r.Intn(33))
+		m.NWSrc = [4]byte{10, byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(4))}
+	}
+	if r.Intn(2) == 0 {
+		m.SetNWDstWildBits(r.Intn(33))
+		m.NWDst = [4]byte{10, byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(4))}
+	}
+	if r.Intn(3) == 0 {
+		m.Wildcards &^= of.WcNWProto
+		m.NWProto = []uint8{packet.ProtoTCP, packet.ProtoUDP}[r.Intn(2)]
+	}
+	if r.Intn(3) == 0 {
+		m.Wildcards &^= of.WcTPDst
+		m.TPDst = uint16(r.Intn(4))
+	}
+	if r.Intn(4) == 0 {
+		m.Wildcards &^= of.WcNWTOS
+		m.NWTOS = uint8(r.Intn(4)) << 2
+	}
+	return m.Normalize()
+}
+
+func rule(prio uint16, m of.Match, acts ...of.Action) Rule {
+	return Rule{Priority: prio, Match: m, Actions: acts}
+}
+
+func TestFindProbeSimple(t *testing.T) {
+	probed := rule(100, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	table := []Rule{
+		rule(1, of.MatchAll()), // drop-all fallback
+	}
+	pin := of.MatchAll()
+	pin.Wildcards &^= of.WcNWTOS
+	pin.NWTOS = 0x0c // H = S_C
+	f, err := FindProbe(probed, table, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Covers(probed.Match, f) {
+		t.Error("probe not covered by probed rule")
+	}
+	if f.NWTOS != 0x0c {
+		t.Errorf("probe does not honor pin: tos=%d", f.NWTOS)
+	}
+}
+
+func TestFindProbeAvoidsHigherPriority(t *testing.T) {
+	// Probed rule forwards 10.1/16; a higher-priority ACL punches a hole
+	// for tp_dst=80. The probe must avoid port 80.
+	probedMatch := of.MatchAll()
+	probedMatch.NWDst = [4]byte{10, 1, 0, 0}
+	probedMatch.SetNWDstWildBits(16)
+	probed := rule(100, probedMatch, of.ActionOutput{Port: 2})
+
+	acl := of.MatchAll()
+	acl.NWDst = [4]byte{10, 1, 0, 0}
+	acl.SetNWDstWildBits(16)
+	acl.Wildcards &^= of.WcTPDst
+	acl.TPDst = 80
+	table := []Rule{
+		rule(200, acl, of.ActionOutput{Port: 9}),
+		rule(1, of.MatchAll()),
+	}
+	f, err := FindProbe(probed, table, of.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TPDst == 80 {
+		t.Error("probe hits the higher-priority ACL")
+	}
+	if !Covers(probed.Match, f) {
+		t.Error("probe escaped the probed rule's region")
+	}
+}
+
+func TestFindProbeFullyShadowed(t *testing.T) {
+	// The probed rule is fully covered by a higher-priority rule: no probe
+	// exists (paper: fall back to control-plane technique).
+	probed := rule(10, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	shadow := rule(100, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 3})
+	_, err := FindProbe(probed, []Rule{shadow}, of.MatchAll())
+	if err == nil {
+		t.Fatal("expected ErrNoProbe for fully shadowed rule")
+	}
+}
+
+func TestFindProbeIndistinguishableFallback(t *testing.T) {
+	// Lower-priority rule with the same action: probing cannot distinguish
+	// (paper §3.2.2 second issue).
+	probed := rule(100, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	fallback := rule(1, of.MatchAll(), of.ActionOutput{Port: 2})
+	_, err := FindProbe(probed, []Rule{fallback}, of.MatchAll())
+	if err == nil {
+		t.Fatal("expected ErrNoProbe for indistinguishable fallback")
+	}
+}
+
+func TestFindProbeDropRule(t *testing.T) {
+	// Probing a drop rule works when a lower-priority rule forwards
+	// (the ACL + forwarding combination the paper calls out as common).
+	aclMatch := exactIPMatch("10.0.0.1", "10.0.0.2")
+	aclMatch.Wildcards &^= of.WcTPDst
+	aclMatch.TPDst = 23
+	probed := rule(200, aclMatch) // drop (no actions)
+	fwd := rule(10, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	f, err := FindProbe(probed, []Rule{fwd}, of.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TPDst != 23 {
+		t.Errorf("drop-rule probe has tp_dst=%d, want 23", f.TPDst)
+	}
+}
+
+func TestFindProbeEscapesIdenticalFallbackByPort(t *testing.T) {
+	// Fallback covers only tp_dst=7 with the same action; the probe should
+	// move to another port value where there is no fallback at all.
+	probed := rule(100, exactIPMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 2})
+	fbMatch := exactIPMatch("10.0.0.1", "10.0.0.2")
+	fbMatch.Wildcards &^= of.WcTPDst
+	fbMatch.TPDst = 7
+	fallback := rule(1, fbMatch, of.ActionOutput{Port: 2})
+	f, err := FindProbe(probed, []Rule{fallback}, of.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TPDst == 7 {
+		t.Error("probe still hits the indistinguishable fallback")
+	}
+}
+
+// Property: any probe FindProbe returns satisfies its contract.
+func TestFindProbeContractProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var table []Rule
+		n := r.Intn(8)
+		for i := 0; i < n; i++ {
+			var acts []of.Action
+			if r.Intn(4) != 0 {
+				acts = append(acts, of.ActionOutput{Port: uint16(1 + r.Intn(4))})
+			}
+			table = append(table, rule(uint16(r.Intn(300)), randomMatch(r), acts...))
+		}
+		probed := rule(uint16(1+r.Intn(300)), randomMatch(r), of.ActionOutput{Port: uint16(1 + r.Intn(4))})
+		probe, err := FindProbe(probed, table, of.MatchAll())
+		if err != nil {
+			return true // no probe is a legal outcome
+		}
+		if !Covers(probed.Match, probe) {
+			return false
+		}
+		if hp := highestCover(table, probe, probed.Priority); hp != nil {
+			return false
+		}
+		fb := lookup(table, probe)
+		return fb == nil || !of.ActionsEqual(fb.Actions, probed.Actions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorGraphTriangle(t *testing.T) {
+	adj := map[uint64][]uint64{
+		1: {2, 3},
+		2: {3},
+		3: nil,
+	}
+	colors := ColorGraph(adj)
+	if len(colors) != 3 {
+		t.Fatalf("colored %d nodes, want 3", len(colors))
+	}
+	for n, ns := range adj {
+		for _, o := range ns {
+			if colors[n] == colors[o] {
+				t.Errorf("adjacent nodes %d and %d share color %d", n, o, colors[n])
+			}
+		}
+	}
+	if NumColors(colors) != 3 {
+		t.Errorf("triangle needs 3 colors, got %d", NumColors(colors))
+	}
+}
+
+func TestColorGraphPathUsesTwoColors(t *testing.T) {
+	// Path graph: 1-2-3-4-5 should 2-color.
+	adj := map[uint64][]uint64{1: {2}, 2: {3}, 3: {4}, 4: {5}}
+	colors := ColorGraph(adj)
+	if n := NumColors(colors); n != 2 {
+		t.Errorf("path colored with %d colors, want 2", n)
+	}
+}
+
+func TestColorGraphProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		adj := make(map[uint64][]uint64)
+		for i := 0; i < n; i++ {
+			adj[uint64(i)] = nil
+		}
+		for i := 0; i < n*2; i++ {
+			a, b := uint64(r.Intn(n)), uint64(r.Intn(n))
+			adj[a] = append(adj[a], b)
+		}
+		colors := ColorGraph(adj)
+		if len(colors) != n {
+			return false
+		}
+		for a, ns := range adj {
+			for _, b := range ns {
+				if a != b && colors[a] == colors[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

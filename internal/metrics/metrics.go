@@ -1,0 +1,256 @@
+// Package metrics provides the measurement and presentation helpers the
+// experiment harness uses: empirical CDFs, percentiles, per-flow update
+// and broken-time extraction from host arrival logs, and plain-text
+// rendering of the paper's figures and tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0..100) of the samples
+// (nearest-rank). It returns 0 for an empty slice.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// Max returns the maximum sample (0 when empty).
+func Max(samples []time.Duration) time.Duration {
+	var m time.Duration
+	for _, v := range samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample (0 when empty).
+func Min(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64 // cumulative fraction in [0,1]
+}
+
+// CDF computes the empirical CDF of the samples.
+func CDF(samples []time.Duration) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]CDFPoint, 0, len(s))
+	for i, v := range s {
+		frac := float64(i+1) / float64(len(s))
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = frac
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: frac})
+	}
+	return out
+}
+
+// FractionAtOrBelow returns the CDF value at x.
+func FractionAtOrBelow(samples []time.Duration, x time.Duration) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range samples {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// Series is a named list of (x, y) rows for figure rendering.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table renders labeled rows as fixed-width plain text.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// RenderSeries formats series as aligned columns (x then one column per
+// series), using NaN-free "-" for missing points; series are sampled at
+// the union of their x values.
+func RenderSeries(title, xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %14s", s.Name)
+	}
+	b.WriteString("\n")
+	lookup := func(s Series, x float64) (float64, bool) {
+		for i, sx := range s.X {
+			if sx == x {
+				return s.Y[i], true
+			}
+		}
+		return 0, false
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4f", x)
+		for _, s := range series {
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, "  %14.4f", y)
+			} else {
+				fmt.Fprintf(&b, "  %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a compact unicode bar chart (for quick CLI
+// visualization of figure shapes).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	// Downsample to width buckets by averaging.
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, v := range values {
+		b := i * width / len(values)
+		buckets[b] += v
+		counts[b]++
+	}
+	maxV := 0.0
+	for i := range buckets {
+		if counts[i] > 0 {
+			buckets[i] /= float64(counts[i])
+		}
+		if buckets[i] > maxV {
+			maxV = buckets[i]
+		}
+	}
+	var sb strings.Builder
+	for i := range buckets {
+		if counts[i] == 0 {
+			sb.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if maxV > 0 {
+			idx = int(buckets[i] / maxV * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

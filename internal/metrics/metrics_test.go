@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rum/internal/netsim"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestPercentileAndMean(t *testing.T) {
+	samples := []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)}
+	if got := Percentile(samples, 50); got != ms(30) {
+		t.Errorf("p50 = %v, want 30ms", got)
+	}
+	if got := Percentile(samples, 100); got != ms(50) {
+		t.Errorf("p100 = %v, want 50ms", got)
+	}
+	if got := Percentile(samples, 0); got != ms(10) {
+		t.Errorf("p0 = %v, want 10ms", got)
+	}
+	if got := Mean(samples); got != ms(30) {
+		t.Errorf("mean = %v, want 30ms", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	samples := []time.Duration{ms(20), ms(-5), ms(50)}
+	if Min(samples) != ms(-5) || Max(samples) != ms(50) {
+		t.Errorf("min/max = %v/%v", Min(samples), Max(samples))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max not zero")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	samples := []time.Duration{ms(10), ms(10), ms(20)}
+	cdf := CDF(samples)
+	if len(cdf) != 2 {
+		t.Fatalf("CDF has %d points, want 2", len(cdf))
+	}
+	if cdf[0].Value != ms(10) || cdf[0].Fraction < 0.66 || cdf[0].Fraction > 0.67 {
+		t.Errorf("first point = %+v", cdf[0])
+	}
+	if cdf[1].Fraction != 1.0 {
+		t.Errorf("last fraction = %f, want 1", cdf[1].Fraction)
+	}
+}
+
+// Property: CDF is monotonically nondecreasing in both axes and ends at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(r.Intn(1000)) * time.Millisecond
+		}
+		cdf := CDF(samples)
+		if cdf[len(cdf)-1].Fraction != 1.0 {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	samples := []time.Duration{ms(10), ms(20), ms(30)}
+	if got := FractionAtOrBelow(samples, ms(20)); got < 0.66 || got > 0.67 {
+		t.Errorf("F(20ms) = %f", got)
+	}
+	if got := FractionAtOrBelow(samples, ms(5)); got != 0 {
+		t.Errorf("F(5ms) = %f, want 0", got)
+	}
+	if got := FractionAtOrBelow(nil, 0); got != 0 {
+		t.Errorf("empty F = %f", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("x", "y")
+	s := tbl.Render()
+	for _, want := range []string{"T", "a", "bb", "x", "y", "--"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s := RenderSeries("title", "x", []Series{
+		{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "s2", X: []float64{2}, Y: []float64{5}},
+	})
+	if !strings.Contains(s, "s1") || !strings.Contains(s, "10.0000") || !strings.Contains(s, "-") {
+		t.Errorf("series rendering wrong:\n%s", s)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline([]float64{0, 1, 2, 3}, 4); len([]rune(s)) != 4 {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil, 5) != "" {
+		t.Error("empty sparkline not empty")
+	}
+}
+
+func arrival(flow, seq int, at time.Duration, via ...string) netsim.Arrival {
+	return netsim.Arrival{FlowID: flow, Seq: seq, At: at, Trace: via}
+}
+
+func TestAnalyzeMigration(t *testing.T) {
+	isNew := func(a netsim.Arrival) bool { return a.Via("s2") }
+	arrivals := []netsim.Arrival{
+		arrival(1, 0, ms(0), "h1", "s1", "s3", "h2"),
+		arrival(1, 1, ms(4), "h1", "s1", "s3", "h2"),
+		// seq 2 and 3 lost
+		arrival(1, 4, ms(16), "h1", "s1", "s2", "s3", "h2"),
+		arrival(1, 5, ms(20), "h1", "s1", "s2", "s3", "h2"),
+	}
+	updates := AnalyzeMigration(arrivals, isNew, ms(4))
+	if len(updates) != 1 {
+		t.Fatalf("got %d updates", len(updates))
+	}
+	u := updates[0]
+	if !u.Switched || u.LastOld != ms(4) || u.FirstNew != ms(16) {
+		t.Errorf("update = %+v", u)
+	}
+	if u.Broken != ms(12) {
+		t.Errorf("broken = %v, want 12ms", u.Broken)
+	}
+	if u.Lost != 2 {
+		t.Errorf("lost = %d, want 2", u.Lost)
+	}
+}
+
+func TestAnalyzeMigrationNoBreak(t *testing.T) {
+	isNew := func(a netsim.Arrival) bool { return a.Via("s2") }
+	arrivals := []netsim.Arrival{
+		arrival(1, 0, ms(0), "s1", "s3"),
+		arrival(1, 1, ms(4), "s1", "s2", "s3"),
+	}
+	updates := AnalyzeMigration(arrivals, isNew, ms(4))
+	if updates[0].Broken != 0 {
+		t.Errorf("gap at precision should report zero broken, got %v", updates[0].Broken)
+	}
+	if updates[0].Lost != 0 {
+		t.Errorf("lost = %d, want 0", updates[0].Lost)
+	}
+}
+
+func TestAnalyzeMigrationNeverSwitched(t *testing.T) {
+	isNew := func(a netsim.Arrival) bool { return a.Via("s2") }
+	arrivals := []netsim.Arrival{arrival(3, 0, ms(0), "s1", "s3")}
+	updates := AnalyzeMigration(arrivals, isNew, ms(4))
+	if updates[0].Switched {
+		t.Error("flow reported switched without new-path arrivals")
+	}
+	if SwitchedCount(updates) != 0 {
+		t.Error("SwitchedCount wrong")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	ups := []FlowUpdate{
+		{FlowID: 1, Switched: true, Broken: ms(10), FirstNew: ms(100), Lost: 2},
+		{FlowID: 2, Switched: true, Broken: 0, FirstNew: ms(200), Lost: 0},
+		{FlowID: 3, Switched: false, Lost: 1},
+	}
+	if got := BrokenTimes(ups); len(got) != 2 {
+		t.Errorf("BrokenTimes = %v", got)
+	}
+	if got := UpdateTimes(ups, ms(50)); len(got) != 2 || got[0] != ms(50) {
+		t.Errorf("UpdateTimes = %v", got)
+	}
+	if TotalLost(ups) != 3 {
+		t.Errorf("TotalLost = %d", TotalLost(ups))
+	}
+	if SwitchedCount(ups) != 2 {
+		t.Errorf("SwitchedCount = %d", SwitchedCount(ups))
+	}
+}

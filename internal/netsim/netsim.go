@@ -1,0 +1,348 @@
+// Package netsim is the data-plane substrate of the evaluation: a
+// simulated network of nodes (switches, hosts) joined by fixed-latency
+// links, with per-flow traffic generators and arrival recording. It stands
+// in for the paper's physical triangle testbed; the observable quantities —
+// which packets arrive where, and when — are the same ones the paper
+// measures.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rum/internal/packet"
+	"rum/internal/sim"
+)
+
+// Frame is a packet in flight plus simulation-only metadata. The metadata
+// never crosses the OpenFlow control channel; it exists so experiments can
+// attribute arrivals to flows and paths without heuristics.
+type Frame struct {
+	Pkt    *packet.Packet
+	FlowID int
+	Seq    int
+	SentAt time.Duration
+	Trace  []string // node names visited, in order
+}
+
+// Clone copies the frame (deep-copying packet and trace) for fan-out.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.Pkt = f.Pkt.Clone()
+	c.Trace = append([]string(nil), f.Trace...)
+	return &c
+}
+
+// Node is anything attachable to the network.
+type Node interface {
+	// Name returns the unique node name.
+	Name() string
+	// Receive handles a frame arriving on the given local port.
+	Receive(fr *Frame, inPort uint16)
+}
+
+type linkEnd struct {
+	node Node
+	port uint16
+}
+
+type link struct {
+	a, b    linkEnd
+	latency time.Duration
+}
+
+// Network wires nodes together and moves frames across links on the
+// simulated clock.
+type Network struct {
+	Clock sim.Clock
+
+	mu     sync.Mutex
+	nodes  map[string]Node
+	links  map[string]map[uint16]*link // node name -> port -> link
+	onDrop func(fr *Frame, where string, reason string)
+	drops  []Drop
+}
+
+// Drop records a frame that died in the network.
+type Drop struct {
+	Where  string
+	Reason string
+	FlowID int
+	Seq    int
+	At     time.Duration
+}
+
+// New creates an empty network driven by the given clock (a *sim.Sim for
+// deterministic experiments, a *sim.Wall for real-time deployments).
+func New(clk sim.Clock) *Network {
+	return &Network{
+		Clock: clk,
+		nodes: make(map[string]Node),
+		links: make(map[string]map[uint16]*link),
+	}
+}
+
+// Attach registers a node. It panics on duplicate names — topology wiring
+// is programmer-controlled configuration, not runtime input.
+func (n *Network) Attach(node Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[node.Name()]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", node.Name()))
+	}
+	n.nodes[node.Name()] = node
+	n.links[node.Name()] = make(map[uint16]*link)
+}
+
+// Connect joins a's port pa to b's port pb with the given one-way latency.
+func (n *Network) Connect(a Node, pa uint16, b Node, pb uint16, latency time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := &link{a: linkEnd{a, pa}, b: linkEnd{b, pb}, latency: latency}
+	if _, dup := n.links[a.Name()][pa]; dup {
+		panic(fmt.Sprintf("netsim: port %d of %q already wired", pa, a.Name()))
+	}
+	if _, dup := n.links[b.Name()][pb]; dup {
+		panic(fmt.Sprintf("netsim: port %d of %q already wired", pb, b.Name()))
+	}
+	n.links[a.Name()][pa] = l
+	n.links[b.Name()][pb] = l
+}
+
+// Transmit sends a frame out of node's port. The frame is delivered to the
+// link peer after the link latency; if the port is unwired, the frame is
+// dropped.
+func (n *Network) Transmit(node Node, outPort uint16, fr *Frame) {
+	n.mu.Lock()
+	l, ok := n.links[node.Name()][outPort]
+	n.mu.Unlock()
+	if !ok {
+		n.RecordDrop(fr, node.Name(), fmt.Sprintf("unwired port %d", outPort))
+		return
+	}
+	dst := l.a
+	if l.a.node == node {
+		dst = l.b
+	}
+	n.Clock.After(l.latency, func() {
+		fr.Trace = append(fr.Trace, dst.node.Name())
+		dst.node.Receive(fr, dst.port)
+	})
+}
+
+// PortPeer returns the node name reachable from node's port, or "" when
+// the port is unwired. RUM's topology map is built from this.
+func (n *Network) PortPeer(nodeName string, port uint16) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[nodeName][port]
+	if !ok {
+		return ""
+	}
+	if l.a.node.Name() == nodeName {
+		return l.b.node.Name()
+	}
+	return l.a.node.Name()
+}
+
+// Ports returns the wired ports of a node in ascending order.
+func (n *Network) Ports(nodeName string) []uint16 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var ports []uint16
+	for p := range n.links[nodeName] {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return ports
+}
+
+// SetDropHandler installs a callback invoked for every dropped frame.
+func (n *Network) SetDropHandler(fn func(fr *Frame, where, reason string)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onDrop = fn
+}
+
+// RecordDrop registers a frame death (used by nodes when a table miss or a
+// drop rule kills the packet).
+func (n *Network) RecordDrop(fr *Frame, where, reason string) {
+	n.mu.Lock()
+	n.drops = append(n.drops, Drop{
+		Where: where, Reason: reason,
+		FlowID: fr.FlowID, Seq: fr.Seq, At: n.Clock.Now(),
+	})
+	fn := n.onDrop
+	n.mu.Unlock()
+	if fn != nil {
+		fn(fr, where, reason)
+	}
+}
+
+// Drops returns every recorded drop.
+func (n *Network) Drops() []Drop {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Drop(nil), n.drops...)
+}
+
+// Host is a measurement endpoint: it emits frames into the network and
+// records every arrival.
+type Host struct {
+	name string
+	net  *Network
+	port uint16 // single local port, conventionally 1
+
+	mu       sync.Mutex
+	arrivals []Arrival
+}
+
+// Arrival is one frame received by a host.
+type Arrival struct {
+	FlowID int
+	Seq    int
+	At     time.Duration
+	SentAt time.Duration
+	// LastHop is the node the frame came through immediately before the
+	// host — this identifies which path the packet took.
+	LastHop string
+	// Trace is the full node path the frame travelled (including the
+	// sending host and this host).
+	Trace []string
+}
+
+// Via reports whether the frame travelled through the named node.
+func (a Arrival) Via(node string) bool {
+	for _, n := range a.Trace {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// NewHost creates a host and attaches it to the network.
+func NewHost(n *Network, name string) *Host {
+	h := &Host{name: name, net: n, port: 1}
+	n.Attach(h)
+	return h
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Port returns the host's single port number.
+func (h *Host) Port() uint16 { return h.port }
+
+// Receive implements Node: record the arrival.
+func (h *Host) Receive(fr *Frame, inPort uint16) {
+	lastHop := ""
+	if len(fr.Trace) >= 2 {
+		lastHop = fr.Trace[len(fr.Trace)-2]
+	}
+	h.mu.Lock()
+	h.arrivals = append(h.arrivals, Arrival{
+		FlowID: fr.FlowID, Seq: fr.Seq,
+		At: h.net.Clock.Now(), SentAt: fr.SentAt,
+		LastHop: lastHop,
+		Trace:   append([]string(nil), fr.Trace...),
+	})
+	h.mu.Unlock()
+}
+
+// Send emits a frame from the host into the network.
+func (h *Host) Send(fr *Frame) {
+	fr.SentAt = h.net.Clock.Now()
+	fr.Trace = append(fr.Trace, h.name)
+	h.net.Transmit(h, h.port, fr)
+}
+
+// Arrivals snapshots everything received so far.
+func (h *Host) Arrivals() []Arrival {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Arrival(nil), h.arrivals...)
+}
+
+// ArrivalsByFlow groups arrivals per flow id.
+func (h *Host) ArrivalsByFlow() map[int][]Arrival {
+	out := make(map[int][]Arrival)
+	for _, a := range h.Arrivals() {
+		out[a.FlowID] = append(out[a.FlowID], a)
+	}
+	return out
+}
+
+// Reset clears recorded arrivals.
+func (h *Host) Reset() {
+	h.mu.Lock()
+	h.arrivals = nil
+	h.mu.Unlock()
+}
+
+// Flow describes one traffic generator flow.
+type Flow struct {
+	ID     int
+	Pkt    *packet.Packet // template; cloned per emission
+	Period time.Duration  // inter-packet gap (250 pkt/s -> 4 ms)
+}
+
+// Generator emits per-flow traffic from a host at fixed rates, mirroring
+// the evaluation's 250 packets/s per flow workload.
+type Generator struct {
+	host  *Host
+	flows []Flow
+
+	mu      sync.Mutex
+	stopped bool
+	seqs    map[int]int
+}
+
+// NewGenerator creates a generator sending from h.
+func NewGenerator(h *Host, flows []Flow) *Generator {
+	return &Generator{host: h, flows: flows, seqs: make(map[int]int)}
+}
+
+// Start begins emission: each flow sends immediately and then every
+// Period, staggered by the flow's position so the aggregate is smooth
+// (flow i starts after i*stagger).
+func (g *Generator) Start(stagger time.Duration) {
+	for i := range g.flows {
+		fl := g.flows[i]
+		delay := time.Duration(i) * stagger
+		g.host.net.Clock.After(delay, func() { g.emit(fl) })
+	}
+}
+
+func (g *Generator) emit(fl Flow) {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	seq := g.seqs[fl.ID]
+	g.seqs[fl.ID] = seq + 1
+	g.mu.Unlock()
+	g.host.Send(&Frame{Pkt: fl.Pkt.Clone(), FlowID: fl.ID, Seq: seq})
+	g.host.net.Clock.After(fl.Period, func() { g.emit(fl) })
+}
+
+// Stop halts all flows after the current emissions.
+func (g *Generator) Stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+}
+
+// Sent returns how many packets each flow has emitted.
+func (g *Generator) Sent() map[int]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[int]int, len(g.seqs))
+	for k, v := range g.seqs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rum/internal/packet"
+	"rum/internal/sim"
+)
+
+// echoNode forwards everything it receives out of a fixed port.
+type echoNode struct {
+	name string
+	net  *Network
+	out  uint16
+}
+
+func (e *echoNode) Name() string { return e.name }
+func (e *echoNode) Receive(fr *Frame, inPort uint16) {
+	e.net.Transmit(e, e.out, fr)
+}
+
+func TestLinkDeliveryAndTrace(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	h1 := NewHost(n, "h1")
+	h2 := NewHost(n, "h2")
+	mid := &echoNode{name: "mid", net: n, out: 2}
+	n.Attach(mid)
+	n.Connect(h1, h1.Port(), mid, 1, time.Millisecond)
+	n.Connect(mid, 2, h2, h2.Port(), 2*time.Millisecond)
+
+	pkt := packet.New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), packet.ProtoUDP, 1, 2)
+	h1.Send(&Frame{Pkt: pkt, FlowID: 5})
+	s.Run()
+
+	arr := h2.Arrivals()
+	if len(arr) != 1 {
+		t.Fatalf("arrivals = %d, want 1", len(arr))
+	}
+	if arr[0].At != 3*time.Millisecond {
+		t.Errorf("arrival at %v, want 3ms (sum of link latencies)", arr[0].At)
+	}
+	if arr[0].LastHop != "mid" {
+		t.Errorf("last hop = %q, want mid", arr[0].LastHop)
+	}
+	if arr[0].FlowID != 5 || arr[0].SentAt != 0 {
+		t.Errorf("arrival metadata = %+v", arr[0])
+	}
+}
+
+func TestUnwiredPortDrops(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	h1 := NewHost(n, "h1")
+	// Host port 1 is unwired.
+	pkt := packet.New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), packet.ProtoUDP, 1, 2)
+	h1.Send(&Frame{Pkt: pkt, FlowID: 1, Seq: 3})
+	s.Run()
+	drops := n.Drops()
+	if len(drops) != 1 || drops[0].FlowID != 1 || drops[0].Seq != 3 {
+		t.Fatalf("drops = %+v", drops)
+	}
+}
+
+func TestDropHandlerInvoked(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	h1 := NewHost(n, "h1")
+	var seen int
+	n.SetDropHandler(func(fr *Frame, where, reason string) { seen++ })
+	pkt := packet.New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), packet.ProtoUDP, 1, 2)
+	h1.Send(&Frame{Pkt: pkt})
+	s.Run()
+	if seen != 1 {
+		t.Errorf("drop handler called %d times, want 1", seen)
+	}
+}
+
+func TestPortPeerAndPorts(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	h1 := NewHost(n, "h1")
+	h2 := NewHost(n, "h2")
+	mid := &echoNode{name: "mid", net: n, out: 2}
+	n.Attach(mid)
+	n.Connect(h1, h1.Port(), mid, 1, 0)
+	n.Connect(mid, 2, h2, h2.Port(), 0)
+	if got := n.PortPeer("mid", 1); got != "h1" {
+		t.Errorf("PortPeer(mid,1) = %q, want h1", got)
+	}
+	if got := n.PortPeer("mid", 2); got != "h2" {
+		t.Errorf("PortPeer(mid,2) = %q, want h2", got)
+	}
+	if got := n.PortPeer("mid", 9); got != "" {
+		t.Errorf("PortPeer(mid,9) = %q, want empty", got)
+	}
+	ports := n.Ports("mid")
+	if len(ports) != 2 || ports[0] != 1 || ports[1] != 2 {
+		t.Errorf("Ports(mid) = %v", ports)
+	}
+}
+
+func TestGeneratorRateAndSeqs(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	h1 := NewHost(n, "h1")
+	h2 := NewHost(n, "h2")
+	n.Connect(h1, h1.Port(), h2, h2.Port(), 0)
+	pkt := packet.New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), packet.ProtoUDP, 1, 2)
+	gen := NewGenerator(h1, []Flow{
+		{ID: 0, Pkt: pkt, Period: 4 * time.Millisecond},
+		{ID: 1, Pkt: pkt.Clone(), Period: 4 * time.Millisecond},
+	})
+	gen.Start(time.Millisecond)
+	s.RunUntil(100 * time.Millisecond)
+	gen.Stop()
+	s.RunFor(10 * time.Millisecond)
+
+	byFlow := h2.ArrivalsByFlow()
+	// Flow 0 starts at 0, period 4ms: arrivals at 0,4,...,100 -> 26 by t=100.
+	if got := len(byFlow[0]); got < 25 || got > 27 {
+		t.Errorf("flow 0 arrivals = %d, want ~26", got)
+	}
+	// Seq numbers must be consecutive from 0.
+	for fid, arrs := range byFlow {
+		for i, a := range arrs {
+			if a.Seq != i {
+				t.Fatalf("flow %d arrival %d has seq %d", fid, i, a.Seq)
+			}
+		}
+	}
+	sent := gen.Sent()
+	if sent[0] == 0 || sent[1] == 0 {
+		t.Errorf("Sent() = %v", sent)
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Attach did not panic")
+		}
+	}()
+	s := sim.New()
+	n := New(s)
+	NewHost(n, "h1")
+	NewHost(n, "h1")
+}

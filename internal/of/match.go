@@ -1,0 +1,281 @@
+package of
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Wildcard bits of ofp_match.wildcards (OpenFlow 1.0 §5.2.3).
+const (
+	WcInPort  uint32 = 1 << 0
+	WcDLVLAN  uint32 = 1 << 1
+	WcDLSrc   uint32 = 1 << 2
+	WcDLDst   uint32 = 1 << 3
+	WcDLType  uint32 = 1 << 4
+	WcNWProto uint32 = 1 << 5
+	WcTPSrc   uint32 = 1 << 6
+	WcTPDst   uint32 = 1 << 7
+
+	// NWSrc/NWDst are 6-bit CIDR-style wildcard counts: the value is the
+	// number of least-significant address bits that are wildcarded (>= 32
+	// means the whole address is ignored).
+	WcNWSrcShift        = 8
+	WcNWSrcMask  uint32 = 0x3f << WcNWSrcShift
+	WcNWSrcAll   uint32 = 32 << WcNWSrcShift
+	WcNWDstShift        = 14
+	WcNWDstMask  uint32 = 0x3f << WcNWDstShift
+	WcNWDstAll   uint32 = 32 << WcNWDstShift
+
+	WcDLVLANPCP uint32 = 1 << 20
+	WcNWTOS     uint32 = 1 << 21
+
+	// WcAll wildcards every field.
+	WcAll uint32 = ((1<<22)-1) & ^(WcNWSrcMask|WcNWDstMask) | WcNWSrcAll | WcNWDstAll
+)
+
+// MatchLen is the encoded size of ofp_match.
+const MatchLen = 40
+
+// EthAddr is a 48-bit Ethernet address.
+type EthAddr [6]byte
+
+func (a EthAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsZero reports whether the address is all zero bytes.
+func (a EthAddr) IsZero() bool { return a == EthAddr{} }
+
+// Match is the OpenFlow 1.0 12-tuple match structure. A field takes part in
+// matching only when its wildcard bit is clear (for IP addresses: when fewer
+// than 32 low bits are wildcarded).
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     EthAddr
+	DLDst     EthAddr
+	DLVLAN    uint16
+	DLVLANPCP uint8
+	DLType    uint16
+	NWTOS     uint8
+	NWProto   uint8
+	NWSrc     [4]byte
+	NWDst     [4]byte
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+// MatchAll returns a match that matches every packet.
+func MatchAll() Match { return Match{Wildcards: WcAll} }
+
+// NWSrcWildBits returns how many low bits of NWSrc are wildcarded (capped at 32).
+func (m *Match) NWSrcWildBits() int {
+	b := int((m.Wildcards & WcNWSrcMask) >> WcNWSrcShift)
+	if b > 32 {
+		b = 32
+	}
+	return b
+}
+
+// NWDstWildBits returns how many low bits of NWDst are wildcarded (capped at 32).
+func (m *Match) NWDstWildBits() int {
+	b := int((m.Wildcards & WcNWDstMask) >> WcNWDstShift)
+	if b > 32 {
+		b = 32
+	}
+	return b
+}
+
+// SetNWSrcWildBits sets the number of wildcarded low bits of NWSrc.
+func (m *Match) SetNWSrcWildBits(bits int) {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	m.Wildcards = (m.Wildcards &^ WcNWSrcMask) | (uint32(bits) << WcNWSrcShift)
+}
+
+// SetNWDstWildBits sets the number of wildcarded low bits of NWDst.
+func (m *Match) SetNWDstWildBits(bits int) {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	m.Wildcards = (m.Wildcards &^ WcNWDstMask) | (uint32(bits) << WcNWDstShift)
+}
+
+// Normalize clears the values of fully wildcarded fields so that two matches
+// with identical matching semantics compare equal with ==. OpenFlow requires
+// strict-delete/modify to compare match structures; normalizing first makes
+// that comparison well defined.
+func (m Match) Normalize() Match {
+	if m.Wildcards&WcInPort != 0 {
+		m.InPort = 0
+	}
+	if m.Wildcards&WcDLVLAN != 0 {
+		m.DLVLAN = 0
+	}
+	if m.Wildcards&WcDLSrc != 0 {
+		m.DLSrc = EthAddr{}
+	}
+	if m.Wildcards&WcDLDst != 0 {
+		m.DLDst = EthAddr{}
+	}
+	if m.Wildcards&WcDLType != 0 {
+		m.DLType = 0
+	}
+	if m.Wildcards&WcNWProto != 0 {
+		m.NWProto = 0
+	}
+	if m.Wildcards&WcTPSrc != 0 {
+		m.TPSrc = 0
+	}
+	if m.Wildcards&WcTPDst != 0 {
+		m.TPDst = 0
+	}
+	if m.Wildcards&WcDLVLANPCP != 0 {
+		m.DLVLANPCP = 0
+	}
+	if m.Wildcards&WcNWTOS != 0 {
+		m.NWTOS = 0
+	}
+	// Zero the wildcarded low bits of the IP addresses and clamp the bit
+	// counts so equivalent CIDR wildcards encode identically.
+	sb := m.NWSrcWildBits()
+	m.SetNWSrcWildBits(sb)
+	src := binary.BigEndian.Uint32(m.NWSrc[:])
+	src &= prefixMask(sb)
+	binary.BigEndian.PutUint32(m.NWSrc[:], src)
+	db := m.NWDstWildBits()
+	m.SetNWDstWildBits(db)
+	dst := binary.BigEndian.Uint32(m.NWDst[:])
+	dst &= prefixMask(db)
+	binary.BigEndian.PutUint32(m.NWDst[:], dst)
+	// Clear any bits above the defined wildcard space.
+	m.Wildcards &= WcAll | WcNWSrcMask | WcNWDstMask
+	return m
+}
+
+// prefixMask returns a mask keeping the (32-wildBits) high bits.
+func prefixMask(wildBits int) uint32 {
+	if wildBits >= 32 {
+		return 0
+	}
+	return ^uint32(0) << uint(wildBits)
+}
+
+// Marshal encodes the match in wire format (40 bytes).
+func (m *Match) Marshal() []byte {
+	buf := make([]byte, MatchLen)
+	m.MarshalTo(buf)
+	return buf
+}
+
+// MarshalTo encodes the match into buf, which must be at least MatchLen long.
+func (m *Match) MarshalTo(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
+	copy(buf[6:12], m.DLSrc[:])
+	copy(buf[12:18], m.DLDst[:])
+	binary.BigEndian.PutUint16(buf[18:20], m.DLVLAN)
+	buf[20] = m.DLVLANPCP
+	buf[21] = 0 // pad
+	binary.BigEndian.PutUint16(buf[22:24], m.DLType)
+	buf[24] = m.NWTOS
+	buf[25] = m.NWProto
+	buf[26], buf[27] = 0, 0 // pad
+	copy(buf[28:32], m.NWSrc[:])
+	copy(buf[32:36], m.NWDst[:])
+	binary.BigEndian.PutUint16(buf[36:38], m.TPSrc)
+	binary.BigEndian.PutUint16(buf[38:40], m.TPDst)
+}
+
+// UnmarshalMatch decodes a 40-byte wire match.
+func UnmarshalMatch(buf []byte) (Match, error) {
+	var m Match
+	if len(buf) < MatchLen {
+		return m, fmt.Errorf("of: match needs %d bytes, have %d", MatchLen, len(buf))
+	}
+	m.Wildcards = binary.BigEndian.Uint32(buf[0:4])
+	m.InPort = binary.BigEndian.Uint16(buf[4:6])
+	copy(m.DLSrc[:], buf[6:12])
+	copy(m.DLDst[:], buf[12:18])
+	m.DLVLAN = binary.BigEndian.Uint16(buf[18:20])
+	m.DLVLANPCP = buf[20]
+	m.DLType = binary.BigEndian.Uint16(buf[22:24])
+	m.NWTOS = buf[24]
+	m.NWProto = buf[25]
+	copy(m.NWSrc[:], buf[28:32])
+	copy(m.NWDst[:], buf[32:36])
+	m.TPSrc = binary.BigEndian.Uint16(buf[36:38])
+	m.TPDst = binary.BigEndian.Uint16(buf[38:40])
+	return m, nil
+}
+
+// SetNWSrc sets the IPv4 source with an exact (/32) match.
+func (m *Match) SetNWSrc(a netip.Addr) {
+	m.NWSrc = a.As4()
+	m.SetNWSrcWildBits(0)
+}
+
+// SetNWDst sets the IPv4 destination with an exact (/32) match.
+func (m *Match) SetNWDst(a netip.Addr) {
+	m.NWDst = a.As4()
+	m.SetNWDstWildBits(0)
+}
+
+// NWSrcAddr returns the source address as a netip.Addr.
+func (m *Match) NWSrcAddr() netip.Addr { return netip.AddrFrom4(m.NWSrc) }
+
+// NWDstAddr returns the destination address as a netip.Addr.
+func (m *Match) NWDstAddr() netip.Addr { return netip.AddrFrom4(m.NWDst) }
+
+func (m Match) String() string {
+	var parts []string
+	if m.Wildcards&WcInPort == 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if m.Wildcards&WcDLSrc == 0 {
+		parts = append(parts, "dl_src="+m.DLSrc.String())
+	}
+	if m.Wildcards&WcDLDst == 0 {
+		parts = append(parts, "dl_dst="+m.DLDst.String())
+	}
+	if m.Wildcards&WcDLVLAN == 0 {
+		parts = append(parts, fmt.Sprintf("dl_vlan=%d", m.DLVLAN))
+	}
+	if m.Wildcards&WcDLVLANPCP == 0 {
+		parts = append(parts, fmt.Sprintf("dl_vlan_pcp=%d", m.DLVLANPCP))
+	}
+	if m.Wildcards&WcDLType == 0 {
+		parts = append(parts, fmt.Sprintf("dl_type=0x%04x", m.DLType))
+	}
+	if m.Wildcards&WcNWTOS == 0 {
+		parts = append(parts, fmt.Sprintf("nw_tos=%d", m.NWTOS))
+	}
+	if m.Wildcards&WcNWProto == 0 {
+		parts = append(parts, fmt.Sprintf("nw_proto=%d", m.NWProto))
+	}
+	if b := m.NWSrcWildBits(); b < 32 {
+		parts = append(parts, fmt.Sprintf("nw_src=%s/%d", m.NWSrcAddr(), 32-b))
+	}
+	if b := m.NWDstWildBits(); b < 32 {
+		parts = append(parts, fmt.Sprintf("nw_dst=%s/%d", m.NWDstAddr(), 32-b))
+	}
+	if m.Wildcards&WcTPSrc == 0 {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", m.TPSrc))
+	}
+	if m.Wildcards&WcTPDst == 0 {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", m.TPDst))
+	}
+	if len(parts) == 0 {
+		return "match{*}"
+	}
+	return "match{" + strings.Join(parts, ",") + "}"
+}

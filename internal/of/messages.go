@@ -1,0 +1,516 @@
+package of
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Hello opens version negotiation.
+type Hello struct{ xid }
+
+func (*Hello) MsgType() MsgType                { return TypeHello }
+func (*Hello) MarshalBody() ([]byte, error)    { return nil, nil }
+func (*Hello) UnmarshalBody(data []byte) error { return nil }
+
+// EchoRequest is a liveness probe; the payload is echoed back.
+type EchoRequest struct {
+	xid
+	Data []byte
+}
+
+func (*EchoRequest) MsgType() MsgType               { return TypeEchoRequest }
+func (m *EchoRequest) MarshalBody() ([]byte, error) { return m.Data, nil }
+func (m *EchoRequest) UnmarshalBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct {
+	xid
+	Data []byte
+}
+
+func (*EchoReply) MsgType() MsgType               { return TypeEchoReply }
+func (m *EchoReply) MarshalBody() ([]byte, error) { return m.Data, nil }
+func (m *EchoReply) UnmarshalBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// Vendor is an opaque vendor-extension message.
+type Vendor struct {
+	xid
+	VendorID uint32
+	Data     []byte
+}
+
+func (*Vendor) MsgType() MsgType { return TypeVendor }
+
+func (m *Vendor) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 4+len(m.Data))
+	binary.BigEndian.PutUint32(buf[0:4], m.VendorID)
+	copy(buf[4:], m.Data)
+	return buf, nil
+}
+
+func (m *Vendor) UnmarshalBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("vendor body too short (%d)", len(data))
+	}
+	m.VendorID = binary.BigEndian.Uint32(data[0:4])
+	m.Data = append([]byte(nil), data[4:]...)
+	return nil
+}
+
+// Error reports a failure — or, under ErrTypeRUMAck, a positive RUM
+// acknowledgment. Data conventionally carries the first 64 bytes of the
+// offending request; RUM stores the acknowledged FlowMod's xid there.
+type Error struct {
+	xid
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+func (*Error) MsgType() MsgType { return TypeError }
+
+func (m *Error) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 4+len(m.Data))
+	binary.BigEndian.PutUint16(buf[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Code)
+	copy(buf[4:], m.Data)
+	return buf, nil
+}
+
+func (m *Error) UnmarshalBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("error body too short (%d)", len(data))
+	}
+	m.ErrType = binary.BigEndian.Uint16(data[0:2])
+	m.Code = binary.BigEndian.Uint16(data[2:4])
+	m.Data = append([]byte(nil), data[4:]...)
+	return nil
+}
+
+// IsRUMAck reports whether the error is a RUM positive acknowledgment and,
+// if so, returns the xid of the acknowledged message.
+func (m *Error) IsRUMAck() (ackedXID uint32, code uint16, ok bool) {
+	if m.ErrType != ErrTypeRUMAck || len(m.Data) < 4 {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint32(m.Data[0:4]), m.Code, true
+}
+
+// NewRUMAck builds the positive-acknowledgment error RUM sends to RUM-aware
+// controllers for the FlowMod with the given xid.
+func NewRUMAck(ackedXID uint32, code uint16) *Error {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, ackedXID)
+	return &Error{ErrType: ErrTypeRUMAck, Code: code, Data: data}
+}
+
+// FeaturesRequest asks the switch for its datapath description.
+type FeaturesRequest struct{ xid }
+
+func (*FeaturesRequest) MsgType() MsgType                { return TypeFeaturesRequest }
+func (*FeaturesRequest) MarshalBody() ([]byte, error)    { return nil, nil }
+func (*FeaturesRequest) UnmarshalBody(data []byte) error { return nil }
+
+// PhyPort describes one physical port (ofp_phy_port, 48 bytes).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     EthAddr
+	Name       string // at most 15 bytes on the wire
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+const phyPortLen = 48
+
+func (p *PhyPort) marshal(buf []byte) []byte {
+	b := make([]byte, phyPortLen)
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	copy(b[8:24], p.Name) // zero padded, truncated at 16
+	if len(p.Name) >= 16 {
+		b[23] = 0 // keep NUL terminated
+	}
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
+	binary.BigEndian.PutUint32(b[40:44], p.Supported)
+	binary.BigEndian.PutUint32(b[44:48], p.Peer)
+	return append(buf, b...)
+}
+
+func unmarshalPhyPort(b []byte) (PhyPort, error) {
+	var p PhyPort
+	if len(b) < phyPortLen {
+		return p, fmt.Errorf("phy_port needs %d bytes, have %d", phyPortLen, len(b))
+	}
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	p.Curr = binary.BigEndian.Uint32(b[32:36])
+	p.Advertised = binary.BigEndian.Uint32(b[36:40])
+	p.Supported = binary.BigEndian.Uint32(b[40:44])
+	p.Peer = binary.BigEndian.Uint32(b[44:48])
+	return p, nil
+}
+
+// FeaturesReply describes the datapath.
+type FeaturesReply struct {
+	xid
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+func (*FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+func (m *FeaturesReply) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(buf[8:12], m.NBuffers)
+	buf[12] = m.NTables
+	binary.BigEndian.PutUint32(buf[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(buf[20:24], m.Actions)
+	for i := range m.Ports {
+		buf = m.Ports[i].marshal(buf)
+	}
+	return buf, nil
+}
+
+func (m *FeaturesReply) UnmarshalBody(data []byte) error {
+	if len(data) < 24 {
+		return fmt.Errorf("features_reply body too short (%d)", len(data))
+	}
+	m.DatapathID = binary.BigEndian.Uint64(data[0:8])
+	m.NBuffers = binary.BigEndian.Uint32(data[8:12])
+	m.NTables = data[12]
+	m.Capabilities = binary.BigEndian.Uint32(data[16:20])
+	m.Actions = binary.BigEndian.Uint32(data[20:24])
+	rest := data[24:]
+	if len(rest)%phyPortLen != 0 {
+		return fmt.Errorf("features_reply port list length %d not a multiple of %d", len(rest), phyPortLen)
+	}
+	m.Ports = nil
+	for len(rest) > 0 {
+		p, err := unmarshalPhyPort(rest)
+		if err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, p)
+		rest = rest[phyPortLen:]
+	}
+	return nil
+}
+
+// GetConfigRequest asks for the switch configuration.
+type GetConfigRequest struct{ xid }
+
+func (*GetConfigRequest) MsgType() MsgType                { return TypeGetConfigRequest }
+func (*GetConfigRequest) MarshalBody() ([]byte, error)    { return nil, nil }
+func (*GetConfigRequest) UnmarshalBody(data []byte) error { return nil }
+
+// SwitchConfig carries flags and miss_send_len (shared by Get/Set config).
+type SwitchConfig struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+func (c *SwitchConfig) marshalConfig() ([]byte, error) {
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint16(buf[0:2], c.Flags)
+	binary.BigEndian.PutUint16(buf[2:4], c.MissSendLen)
+	return buf, nil
+}
+
+func (c *SwitchConfig) unmarshalConfig(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("switch config body too short (%d)", len(data))
+	}
+	c.Flags = binary.BigEndian.Uint16(data[0:2])
+	c.MissSendLen = binary.BigEndian.Uint16(data[2:4])
+	return nil
+}
+
+// GetConfigReply returns the switch configuration.
+type GetConfigReply struct {
+	xid
+	SwitchConfig
+}
+
+func (*GetConfigReply) MsgType() MsgType                  { return TypeGetConfigReply }
+func (m *GetConfigReply) MarshalBody() ([]byte, error)    { return m.marshalConfig() }
+func (m *GetConfigReply) UnmarshalBody(data []byte) error { return m.unmarshalConfig(data) }
+
+// SetConfig updates the switch configuration.
+type SetConfig struct {
+	xid
+	SwitchConfig
+}
+
+func (*SetConfig) MsgType() MsgType                  { return TypeSetConfig }
+func (m *SetConfig) MarshalBody() ([]byte, error)    { return m.marshalConfig() }
+func (m *SetConfig) UnmarshalBody(data []byte) error { return m.unmarshalConfig(data) }
+
+// PacketIn delivers a data-plane packet to the controller. RUM's probing
+// techniques receive probe packets back through PacketIns (§3.2).
+type PacketIn struct {
+	xid
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+func (*PacketIn) MsgType() MsgType { return TypePacketIn }
+
+func (m *PacketIn) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 10+len(m.Data))
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(buf[6:8], m.InPort)
+	buf[8] = m.Reason
+	copy(buf[10:], m.Data)
+	return buf, nil
+}
+
+func (m *PacketIn) UnmarshalBody(data []byte) error {
+	if len(data) < 10 {
+		return fmt.Errorf("packet_in body too short (%d)", len(data))
+	}
+	m.BufferID = binary.BigEndian.Uint32(data[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(data[4:6])
+	m.InPort = binary.BigEndian.Uint16(data[6:8])
+	m.Reason = data[8]
+	m.Data = append([]byte(nil), data[10:]...)
+	return nil
+}
+
+// PacketOut injects a packet into the switch pipeline. RUM sends probe
+// packets with a single output action toward the probed switch (§3.2).
+type PacketOut struct {
+	xid
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+func (*PacketOut) MsgType() MsgType { return TypePacketOut }
+
+func (m *PacketOut) MarshalBody() ([]byte, error) {
+	acts := MarshalActions(m.Actions)
+	buf := make([]byte, 8, 8+len(acts)+len(m.Data))
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(acts)))
+	buf = append(buf, acts...)
+	buf = append(buf, m.Data...)
+	return buf, nil
+}
+
+func (m *PacketOut) UnmarshalBody(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("packet_out body too short (%d)", len(data))
+	}
+	m.BufferID = binary.BigEndian.Uint32(data[0:4])
+	m.InPort = binary.BigEndian.Uint16(data[4:6])
+	actLen := int(binary.BigEndian.Uint16(data[6:8]))
+	if 8+actLen > len(data) {
+		return fmt.Errorf("packet_out actions_len %d exceeds body", actLen)
+	}
+	var err error
+	m.Actions, err = UnmarshalActions(data[8 : 8+actLen])
+	if err != nil {
+		return err
+	}
+	m.Data = append([]byte(nil), data[8+actLen:]...)
+	return nil
+}
+
+// FlowMod adds, modifies or deletes flow table entries.
+type FlowMod struct {
+	xid
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+func (m *FlowMod) MarshalBody() ([]byte, error) {
+	acts := MarshalActions(m.Actions)
+	buf := make([]byte, MatchLen+24+len(acts))
+	m.Match.MarshalTo(buf)
+	b := buf[MatchLen:]
+	binary.BigEndian.PutUint64(b[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(b[8:10], m.Command)
+	binary.BigEndian.PutUint16(b[10:12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(b[12:14], m.HardTimeout)
+	binary.BigEndian.PutUint16(b[14:16], m.Priority)
+	binary.BigEndian.PutUint32(b[16:20], m.BufferID)
+	binary.BigEndian.PutUint16(b[20:22], m.OutPort)
+	binary.BigEndian.PutUint16(b[22:24], m.Flags)
+	copy(b[24:], acts)
+	return buf, nil
+}
+
+func (m *FlowMod) UnmarshalBody(data []byte) error {
+	if len(data) < MatchLen+24 {
+		return fmt.Errorf("flow_mod body too short (%d)", len(data))
+	}
+	var err error
+	m.Match, err = UnmarshalMatch(data)
+	if err != nil {
+		return err
+	}
+	b := data[MatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(b[0:8])
+	m.Command = binary.BigEndian.Uint16(b[8:10])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[10:12])
+	m.HardTimeout = binary.BigEndian.Uint16(b[12:14])
+	m.Priority = binary.BigEndian.Uint16(b[14:16])
+	m.BufferID = binary.BigEndian.Uint32(b[16:20])
+	m.OutPort = binary.BigEndian.Uint16(b[20:22])
+	m.Flags = binary.BigEndian.Uint16(b[22:24])
+	m.Actions, err = UnmarshalActions(b[24:])
+	return err
+}
+
+// Clone returns a deep copy of the FlowMod; proxies duplicate messages
+// before mutating them so buffered copies stay intact.
+func (m *FlowMod) Clone() *FlowMod {
+	c := *m
+	c.Actions = append([]Action(nil), m.Actions...)
+	return &c
+}
+
+func (m *FlowMod) String() string {
+	cmd := map[uint16]string{
+		FCAdd: "add", FCModify: "mod", FCModifyStrict: "mod_strict",
+		FCDelete: "del", FCDeleteStrict: "del_strict",
+	}[m.Command]
+	return fmt.Sprintf("flow_mod{%s,prio=%d,%v,actions=%v}", cmd, m.Priority, m.Match, m.Actions)
+}
+
+// FlowRemoved notifies the controller that a rule expired or was deleted.
+type FlowRemoved struct {
+	xid
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       uint8
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+func (*FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+func (m *FlowRemoved) MarshalBody() ([]byte, error) {
+	buf := make([]byte, MatchLen+40)
+	m.Match.MarshalTo(buf)
+	b := buf[MatchLen:]
+	binary.BigEndian.PutUint64(b[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(b[8:10], m.Priority)
+	b[10] = m.Reason
+	binary.BigEndian.PutUint32(b[12:16], m.DurationSec)
+	binary.BigEndian.PutUint32(b[16:20], m.DurationNsec)
+	binary.BigEndian.PutUint16(b[20:22], m.IdleTimeout)
+	binary.BigEndian.PutUint64(b[24:32], m.PacketCount)
+	binary.BigEndian.PutUint64(b[32:40], m.ByteCount)
+	return buf, nil
+}
+
+func (m *FlowRemoved) UnmarshalBody(data []byte) error {
+	if len(data) < MatchLen+40 {
+		return fmt.Errorf("flow_removed body too short (%d)", len(data))
+	}
+	var err error
+	m.Match, err = UnmarshalMatch(data)
+	if err != nil {
+		return err
+	}
+	b := data[MatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(b[0:8])
+	m.Priority = binary.BigEndian.Uint16(b[8:10])
+	m.Reason = b[10]
+	m.DurationSec = binary.BigEndian.Uint32(b[12:16])
+	m.DurationNsec = binary.BigEndian.Uint32(b[16:20])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[20:22])
+	m.PacketCount = binary.BigEndian.Uint64(b[24:32])
+	m.ByteCount = binary.BigEndian.Uint64(b[32:40])
+	return nil
+}
+
+// PortStatus announces a port change.
+type PortStatus struct {
+	xid
+	Reason uint8
+	Desc   PhyPort
+}
+
+func (*PortStatus) MsgType() MsgType { return TypePortStatus }
+
+func (m *PortStatus) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 8)
+	buf[0] = m.Reason
+	return m.Desc.marshal(buf), nil
+}
+
+func (m *PortStatus) UnmarshalBody(data []byte) error {
+	if len(data) < 8+phyPortLen {
+		return fmt.Errorf("port_status body too short (%d)", len(data))
+	}
+	m.Reason = data[0]
+	var err error
+	m.Desc, err = unmarshalPhyPort(data[8:])
+	return err
+}
+
+// BarrierRequest asks the switch to finish all previous commands before
+// processing anything after it — the primitive whose broken implementations
+// motivate this whole system.
+type BarrierRequest struct{ xid }
+
+func (*BarrierRequest) MsgType() MsgType                { return TypeBarrierRequest }
+func (*BarrierRequest) MarshalBody() ([]byte, error)    { return nil, nil }
+func (*BarrierRequest) UnmarshalBody(data []byte) error { return nil }
+
+// BarrierReply answers a BarrierRequest.
+type BarrierReply struct{ xid }
+
+func (*BarrierReply) MsgType() MsgType                { return TypeBarrierReply }
+func (*BarrierReply) MarshalBody() ([]byte, error)    { return nil, nil }
+func (*BarrierReply) UnmarshalBody(data []byte) error { return nil }

@@ -1,0 +1,300 @@
+// Package of implements the subset of the OpenFlow 1.0 wire protocol that
+// the RUM system and its evaluation need: message framing, the 12-tuple
+// match, actions, and every message type exchanged between a controller and
+// a switch during rule updates (FlowMod, Barrier, PacketIn/PacketOut, Error,
+// Echo, Features, Stats, FlowRemoved, PortStatus, configuration).
+//
+// Messages are plain structs that marshal to and from the binary format
+// defined by the OpenFlow Switch Specification v1.0.0. A Message travels
+// either over a real TCP control channel (see internal/transport) or, in
+// simulation, directly as a decoded struct.
+package of
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the only protocol version this package speaks.
+const Version uint8 = 0x01
+
+// HeaderLen is the length of the fixed OpenFlow header.
+const HeaderLen = 8
+
+// MaxMessageLen bounds a single OpenFlow message; the spec's length field is
+// 16 bits, so no valid message can exceed it.
+const MaxMessageLen = 1<<16 - 1
+
+// MsgType identifies an OpenFlow 1.0 message type.
+type MsgType uint8
+
+// OpenFlow 1.0 message types.
+const (
+	TypeHello                 MsgType = 0
+	TypeError                 MsgType = 1
+	TypeEchoRequest           MsgType = 2
+	TypeEchoReply             MsgType = 3
+	TypeVendor                MsgType = 4
+	TypeFeaturesRequest       MsgType = 5
+	TypeFeaturesReply         MsgType = 6
+	TypeGetConfigRequest      MsgType = 7
+	TypeGetConfigReply        MsgType = 8
+	TypeSetConfig             MsgType = 9
+	TypePacketIn              MsgType = 10
+	TypeFlowRemoved           MsgType = 11
+	TypePortStatus            MsgType = 12
+	TypePacketOut             MsgType = 13
+	TypeFlowMod               MsgType = 14
+	TypePortMod               MsgType = 15
+	TypeStatsRequest          MsgType = 16
+	TypeStatsReply            MsgType = 17
+	TypeBarrierRequest        MsgType = 18
+	TypeBarrierReply          MsgType = 19
+	TypeQueueGetConfigRequest MsgType = 20
+	TypeQueueGetConfigReply   MsgType = 21
+)
+
+var msgTypeNames = map[MsgType]string{
+	TypeHello:                 "HELLO",
+	TypeError:                 "ERROR",
+	TypeEchoRequest:           "ECHO_REQUEST",
+	TypeEchoReply:             "ECHO_REPLY",
+	TypeVendor:                "VENDOR",
+	TypeFeaturesRequest:       "FEATURES_REQUEST",
+	TypeFeaturesReply:         "FEATURES_REPLY",
+	TypeGetConfigRequest:      "GET_CONFIG_REQUEST",
+	TypeGetConfigReply:        "GET_CONFIG_REPLY",
+	TypeSetConfig:             "SET_CONFIG",
+	TypePacketIn:              "PACKET_IN",
+	TypeFlowRemoved:           "FLOW_REMOVED",
+	TypePortStatus:            "PORT_STATUS",
+	TypePacketOut:             "PACKET_OUT",
+	TypeFlowMod:               "FLOW_MOD",
+	TypePortMod:               "PORT_MOD",
+	TypeStatsRequest:          "STATS_REQUEST",
+	TypeStatsReply:            "STATS_REPLY",
+	TypeBarrierRequest:        "BARRIER_REQUEST",
+	TypeBarrierReply:          "BARRIER_REPLY",
+	TypeQueueGetConfigRequest: "QUEUE_GET_CONFIG_REQUEST",
+	TypeQueueGetConfigReply:   "QUEUE_GET_CONFIG_REPLY",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("OFPT(%d)", uint8(t))
+}
+
+// Special port numbers (ofp_port).
+const (
+	PortMax        uint16 = 0xff00
+	PortInPort     uint16 = 0xfff8
+	PortTable      uint16 = 0xfff9
+	PortNormal     uint16 = 0xfffa
+	PortFlood      uint16 = 0xfffb
+	PortAll        uint16 = 0xfffc
+	PortController uint16 = 0xfffd
+	PortLocal      uint16 = 0xfffe
+	PortNone       uint16 = 0xffff
+)
+
+// FlowMod commands (ofp_flow_mod_command).
+const (
+	FCAdd          uint16 = 0
+	FCModify       uint16 = 1
+	FCModifyStrict uint16 = 2
+	FCDelete       uint16 = 3
+	FCDeleteStrict uint16 = 4
+)
+
+// FlowMod flags (ofp_flow_mod_flags).
+const (
+	FFSendFlowRem  uint16 = 1 << 0
+	FFCheckOverlap uint16 = 1 << 1
+	FFEmerg        uint16 = 1 << 2
+)
+
+// PacketIn reasons (ofp_packet_in_reason).
+const (
+	ReasonNoMatch uint8 = 0
+	ReasonAction  uint8 = 1
+)
+
+// FlowRemoved reasons (ofp_flow_removed_reason).
+const (
+	RemIdleTimeout uint8 = 0
+	RemHardTimeout uint8 = 1
+	RemDelete      uint8 = 2
+)
+
+// Error types (ofp_error_type).
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+	ErrTypePortModFailed uint16 = 4
+	ErrTypeQueueOpFailed uint16 = 5
+
+	// ErrTypeRUMAck is the reserved, otherwise-unused error type RUM uses to
+	// deliver positive per-rule acknowledgments to RUM-aware controllers.
+	// The paper's prototype "reuses an error message with a newly defined
+	// (unused) error code for positive acknowledgments" (§4).
+	ErrTypeRUMAck uint16 = 0xb5b5
+)
+
+// Error codes under ErrTypeRUMAck.
+const (
+	RUMAckInstalled uint16 = 0 // the referenced FlowMod is active in the data plane
+	RUMAckRemoved   uint16 = 1 // the referenced rule was confirmed removed
+	RUMAckFallback  uint16 = 2 // confirmation produced by a control-plane fallback, not a probe
+)
+
+// BufferNone is the buffer_id meaning "not buffered".
+const BufferNone uint32 = 0xffffffff
+
+// Header is the fixed 8-byte OpenFlow header present on every message.
+type Header struct {
+	Type MsgType
+	XID  uint32
+}
+
+// Message is implemented by every OpenFlow message struct in this package.
+// MarshalBody encodes everything after the 8-byte header; the framing layer
+// prepends version/type/length/xid.
+type Message interface {
+	MsgType() MsgType
+	GetXID() uint32
+	SetXID(uint32)
+	MarshalBody() ([]byte, error)
+	UnmarshalBody(data []byte) error
+}
+
+// Marshal encodes a full message (header + body) into wire format.
+func Marshal(m Message) ([]byte, error) {
+	body, err := m.MarshalBody()
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("of: %s message length %d exceeds 16-bit length field", m.MsgType(), total)
+	}
+	buf := make([]byte, total)
+	buf[0] = Version
+	buf[1] = byte(m.MsgType())
+	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
+	binary.BigEndian.PutUint32(buf[4:8], m.GetXID())
+	copy(buf[HeaderLen:], body)
+	return buf, nil
+}
+
+// Unmarshal decodes one complete wire message. data must contain exactly one
+// message (header length field == len(data)).
+func Unmarshal(data []byte) (Message, error) {
+	if len(data) < HeaderLen {
+		return nil, fmt.Errorf("of: message shorter than header (%d bytes)", len(data))
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("of: unsupported version 0x%02x", data[0])
+	}
+	length := int(binary.BigEndian.Uint16(data[2:4]))
+	if length != len(data) {
+		return nil, fmt.Errorf("of: length field %d != buffer %d", length, len(data))
+	}
+	t := MsgType(data[1])
+	m := NewMessage(t)
+	if m == nil {
+		return nil, fmt.Errorf("of: unknown message type %d", t)
+	}
+	m.SetXID(binary.BigEndian.Uint32(data[4:8]))
+	if err := m.UnmarshalBody(data[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("of: decoding %s body: %w", t, err)
+	}
+	return m, nil
+}
+
+// NewMessage returns a zero message struct for the given type, or nil if the
+// type is unknown.
+func NewMessage(t MsgType) Message {
+	switch t {
+	case TypeHello:
+		return &Hello{}
+	case TypeError:
+		return &Error{}
+	case TypeEchoRequest:
+		return &EchoRequest{}
+	case TypeEchoReply:
+		return &EchoReply{}
+	case TypeVendor:
+		return &Vendor{}
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}
+	case TypeFeaturesReply:
+		return &FeaturesReply{}
+	case TypeGetConfigRequest:
+		return &GetConfigRequest{}
+	case TypeGetConfigReply:
+		return &GetConfigReply{}
+	case TypeSetConfig:
+		return &SetConfig{}
+	case TypePacketIn:
+		return &PacketIn{}
+	case TypeFlowRemoved:
+		return &FlowRemoved{}
+	case TypePortStatus:
+		return &PortStatus{}
+	case TypePacketOut:
+		return &PacketOut{}
+	case TypeFlowMod:
+		return &FlowMod{}
+	case TypeStatsRequest:
+		return &StatsRequest{}
+	case TypeStatsReply:
+		return &StatsReply{}
+	case TypeBarrierRequest:
+		return &BarrierRequest{}
+	case TypeBarrierReply:
+		return &BarrierReply{}
+	default:
+		return nil
+	}
+}
+
+// ReadMessage reads exactly one OpenFlow message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < HeaderLen {
+		return nil, fmt.Errorf("of: header declares length %d < %d", length, HeaderLen)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}
+
+// WriteMessage marshals m and writes it to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// xid embeds the mutable transaction id shared by all messages.
+type xid struct {
+	XID uint32
+}
+
+func (x *xid) GetXID() uint32  { return x.XID }
+func (x *xid) SetXID(v uint32) { x.XID = v }

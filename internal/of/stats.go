@@ -1,0 +1,237 @@
+package of
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stats types (ofp_stats_types).
+const (
+	StatsDesc      uint16 = 0
+	StatsFlow      uint16 = 1
+	StatsAggregate uint16 = 2
+	StatsTable     uint16 = 3
+	StatsPort      uint16 = 4
+)
+
+// StatsRequest queries switch statistics. The paper notes (§3.1) that
+// statistics replies are control-plane views with coarse temporal
+// granularity and therefore cannot substitute for data-plane acks; the
+// message is implemented so the proxy is fully transparent to controllers
+// that use it.
+type StatsRequest struct {
+	xid
+	StatsType uint16
+	Flags     uint16
+	Body      []byte
+}
+
+func (*StatsRequest) MsgType() MsgType { return TypeStatsRequest }
+
+func (m *StatsRequest) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 4+len(m.Body))
+	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
+	copy(buf[4:], m.Body)
+	return buf, nil
+}
+
+func (m *StatsRequest) UnmarshalBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("stats_request body too short (%d)", len(data))
+	}
+	m.StatsType = binary.BigEndian.Uint16(data[0:2])
+	m.Flags = binary.BigEndian.Uint16(data[2:4])
+	m.Body = append([]byte(nil), data[4:]...)
+	return nil
+}
+
+// StatsReply answers a StatsRequest.
+type StatsReply struct {
+	xid
+	StatsType uint16
+	Flags     uint16
+	Body      []byte
+}
+
+func (*StatsReply) MsgType() MsgType { return TypeStatsReply }
+
+func (m *StatsReply) MarshalBody() ([]byte, error) {
+	buf := make([]byte, 4+len(m.Body))
+	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
+	copy(buf[4:], m.Body)
+	return buf, nil
+}
+
+func (m *StatsReply) UnmarshalBody(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("stats_reply body too short (%d)", len(data))
+	}
+	m.StatsType = binary.BigEndian.Uint16(data[0:2])
+	m.Flags = binary.BigEndian.Uint16(data[2:4])
+	m.Body = append([]byte(nil), data[4:]...)
+	return nil
+}
+
+// FlowStatsRequestBody is the body of a StatsFlow request.
+type FlowStatsRequestBody struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+// Marshal encodes the flow stats request body.
+func (b *FlowStatsRequestBody) Marshal() []byte {
+	buf := make([]byte, MatchLen+4)
+	b.Match.MarshalTo(buf)
+	buf[MatchLen] = b.TableID
+	binary.BigEndian.PutUint16(buf[MatchLen+2:MatchLen+4], b.OutPort)
+	return buf
+}
+
+// UnmarshalFlowStatsRequestBody decodes the flow stats request body.
+func UnmarshalFlowStatsRequestBody(data []byte) (FlowStatsRequestBody, error) {
+	var b FlowStatsRequestBody
+	if len(data) < MatchLen+4 {
+		return b, fmt.Errorf("flow_stats_request body too short (%d)", len(data))
+	}
+	var err error
+	b.Match, err = UnmarshalMatch(data)
+	if err != nil {
+		return b, err
+	}
+	b.TableID = data[MatchLen]
+	b.OutPort = binary.BigEndian.Uint16(data[MatchLen+2 : MatchLen+4])
+	return b, nil
+}
+
+// FlowStatsEntry is one entry of a StatsFlow reply body.
+type FlowStatsEntry struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+// Marshal encodes the entry (length-prefixed as the spec requires).
+func (e *FlowStatsEntry) Marshal() []byte {
+	acts := MarshalActions(e.Actions)
+	length := 4 + MatchLen + 44 + len(acts)
+	buf := make([]byte, length)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(length))
+	buf[2] = e.TableID
+	e.Match.MarshalTo(buf[4:])
+	b := buf[4+MatchLen:]
+	binary.BigEndian.PutUint32(b[0:4], e.DurationSec)
+	binary.BigEndian.PutUint32(b[4:8], e.DurationNsec)
+	binary.BigEndian.PutUint16(b[8:10], e.Priority)
+	binary.BigEndian.PutUint16(b[10:12], e.IdleTimeout)
+	binary.BigEndian.PutUint16(b[12:14], e.HardTimeout)
+	binary.BigEndian.PutUint64(b[20:28], e.Cookie)
+	binary.BigEndian.PutUint64(b[28:36], e.PacketCount)
+	binary.BigEndian.PutUint64(b[36:44], e.ByteCount)
+	copy(b[44:], acts)
+	return buf
+}
+
+// UnmarshalFlowStatsEntries decodes a StatsFlow reply body.
+func UnmarshalFlowStatsEntries(data []byte) ([]FlowStatsEntry, error) {
+	var entries []FlowStatsEntry
+	for len(data) > 0 {
+		if len(data) < 4+MatchLen+44 {
+			return nil, fmt.Errorf("flow_stats entry too short (%d)", len(data))
+		}
+		length := int(binary.BigEndian.Uint16(data[0:2]))
+		if length < 4+MatchLen+44 || length > len(data) {
+			return nil, fmt.Errorf("flow_stats entry bad length %d", length)
+		}
+		var e FlowStatsEntry
+		e.TableID = data[2]
+		var err error
+		e.Match, err = UnmarshalMatch(data[4:])
+		if err != nil {
+			return nil, err
+		}
+		b := data[4+MatchLen : length]
+		e.DurationSec = binary.BigEndian.Uint32(b[0:4])
+		e.DurationNsec = binary.BigEndian.Uint32(b[4:8])
+		e.Priority = binary.BigEndian.Uint16(b[8:10])
+		e.IdleTimeout = binary.BigEndian.Uint16(b[10:12])
+		e.HardTimeout = binary.BigEndian.Uint16(b[12:14])
+		e.Cookie = binary.BigEndian.Uint64(b[20:28])
+		e.PacketCount = binary.BigEndian.Uint64(b[28:36])
+		e.ByteCount = binary.BigEndian.Uint64(b[36:44])
+		e.Actions, err = UnmarshalActions(b[44:])
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+		data = data[length:]
+	}
+	return entries, nil
+}
+
+// TableStatsEntry is one entry of a StatsTable reply body (subset).
+type TableStatsEntry struct {
+	TableID      uint8
+	Name         string
+	Wildcards    uint32
+	MaxEntries   uint32
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+}
+
+const tableStatsLen = 64
+
+// Marshal encodes the table stats entry.
+func (e *TableStatsEntry) Marshal() []byte {
+	buf := make([]byte, tableStatsLen)
+	buf[0] = e.TableID
+	copy(buf[4:36], e.Name)
+	if len(e.Name) >= 32 {
+		buf[35] = 0
+	}
+	binary.BigEndian.PutUint32(buf[36:40], e.Wildcards)
+	binary.BigEndian.PutUint32(buf[40:44], e.MaxEntries)
+	binary.BigEndian.PutUint32(buf[44:48], e.ActiveCount)
+	binary.BigEndian.PutUint64(buf[48:56], e.LookupCount)
+	binary.BigEndian.PutUint64(buf[56:64], e.MatchedCount)
+	return buf
+}
+
+// UnmarshalTableStatsEntries decodes a StatsTable reply body.
+func UnmarshalTableStatsEntries(data []byte) ([]TableStatsEntry, error) {
+	if len(data)%tableStatsLen != 0 {
+		return nil, fmt.Errorf("table_stats body length %d not a multiple of %d", len(data), tableStatsLen)
+	}
+	var entries []TableStatsEntry
+	for len(data) > 0 {
+		var e TableStatsEntry
+		e.TableID = data[0]
+		name := data[4:36]
+		for i, c := range name {
+			if c == 0 {
+				name = name[:i]
+				break
+			}
+		}
+		e.Name = string(name)
+		e.Wildcards = binary.BigEndian.Uint32(data[36:40])
+		e.MaxEntries = binary.BigEndian.Uint32(data[40:44])
+		e.ActiveCount = binary.BigEndian.Uint32(data[44:48])
+		e.LookupCount = binary.BigEndian.Uint64(data[48:56])
+		e.MatchedCount = binary.BigEndian.Uint64(data[56:64])
+		entries = append(entries, e)
+		data = data[tableStatsLen:]
+	}
+	return entries, nil
+}

@@ -1,0 +1,243 @@
+// Package packet models the data-plane packets that flow through the
+// simulated network and through PacketIn/PacketOut messages: Ethernet
+// (optionally 802.1Q tagged) frames carrying IPv4 with a TCP or UDP
+// transport. Packets marshal to real wire bytes so the same payloads work
+// over an actual OpenFlow TCP control channel.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// EtherTypes and IP protocol numbers used by the system.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeVLAN uint16 = 0x8100
+	EtherTypeARP  uint16 = 0x0806
+
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// VLANNone marks the absence of an 802.1Q tag in Fields.
+const VLANNone uint16 = 0xffff
+
+// Fields is the concrete 12-tuple an OpenFlow 1.0 switch matches on,
+// plus InPort which is set by the receiving switch, not the packet.
+type Fields struct {
+	InPort  uint16
+	DLSrc   [6]byte
+	DLDst   [6]byte
+	DLVLAN  uint16 // VLANNone when untagged
+	DLPCP   uint8
+	DLType  uint16
+	NWTOS   uint8
+	NWProto uint8
+	NWSrc   [4]byte
+	NWDst   [4]byte
+	TPSrc   uint16
+	TPDst   uint16
+}
+
+// NWSrcAddr returns the IPv4 source as netip.Addr.
+func (f *Fields) NWSrcAddr() netip.Addr { return netip.AddrFrom4(f.NWSrc) }
+
+// NWDstAddr returns the IPv4 destination as netip.Addr.
+func (f *Fields) NWDstAddr() netip.Addr { return netip.AddrFrom4(f.NWDst) }
+
+func (f Fields) String() string {
+	return fmt.Sprintf("pkt{in=%d %s->%s tos=%d proto=%d tp=%d->%d}",
+		f.InPort, f.NWSrcAddr(), f.NWDstAddr(), f.NWTOS, f.NWProto, f.TPSrc, f.TPDst)
+}
+
+// Packet is a parsed data-plane packet. The zero value is not useful; build
+// one with the fields set and (optionally) a Payload.
+type Packet struct {
+	Fields  Fields
+	Payload []byte
+}
+
+// New builds an IPv4 packet with the given addresses and transport ports.
+func New(src, dst netip.Addr, proto uint8, tpSrc, tpDst uint16) *Packet {
+	p := &Packet{}
+	p.Fields.DLType = EtherTypeIPv4
+	p.Fields.DLVLAN = VLANNone
+	p.Fields.NWProto = proto
+	p.Fields.NWSrc = src.As4()
+	p.Fields.NWDst = dst.As4()
+	p.Fields.TPSrc = tpSrc
+	p.Fields.TPDst = tpDst
+	return p
+}
+
+// Clone deep-copies the packet. Switches clone before rewriting header
+// fields so other copies in flight are unaffected.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	c.Payload = append([]byte(nil), p.Payload...)
+	return &c
+}
+
+const (
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// Marshal encodes the packet as an Ethernet frame. Non-IPv4 DLTypes encode
+// the payload directly after the Ethernet (and VLAN, if present) header.
+func (p *Packet) Marshal() []byte {
+	f := &p.Fields
+	size := ethHeaderLen
+	tagged := f.DLVLAN != VLANNone
+	if tagged {
+		size += vlanTagLen
+	}
+	isIP := f.DLType == EtherTypeIPv4
+	transport := 0
+	if isIP {
+		size += ipv4HeaderLen
+		switch f.NWProto {
+		case ProtoTCP:
+			transport = tcpHeaderLen
+		case ProtoUDP:
+			transport = udpHeaderLen
+		}
+		size += transport
+	}
+	buf := make([]byte, size+len(p.Payload))
+	copy(buf[0:6], f.DLDst[:])
+	copy(buf[6:12], f.DLSrc[:])
+	off := 12
+	if tagged {
+		binary.BigEndian.PutUint16(buf[off:], EtherTypeVLAN)
+		tci := (uint16(f.DLPCP) << 13) | (f.DLVLAN & 0x0fff)
+		binary.BigEndian.PutUint16(buf[off+2:], tci)
+		off += 4
+	}
+	binary.BigEndian.PutUint16(buf[off:], f.DLType)
+	off += 2
+	if !isIP {
+		copy(buf[off:], p.Payload)
+		return buf[:off+len(p.Payload)]
+	}
+	ip := buf[off:]
+	totalLen := ipv4HeaderLen + transport + len(p.Payload)
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = f.NWTOS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	ip[8] = 64 // TTL
+	ip[9] = f.NWProto
+	copy(ip[12:16], f.NWSrc[:])
+	copy(ip[16:20], f.NWDst[:])
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:ipv4HeaderLen]))
+	off += ipv4HeaderLen
+	switch f.NWProto {
+	case ProtoTCP:
+		tcp := buf[off:]
+		binary.BigEndian.PutUint16(tcp[0:2], f.TPSrc)
+		binary.BigEndian.PutUint16(tcp[2:4], f.TPDst)
+		tcp[12] = 5 << 4 // data offset
+		off += tcpHeaderLen
+	case ProtoUDP:
+		udp := buf[off:]
+		binary.BigEndian.PutUint16(udp[0:2], f.TPSrc)
+		binary.BigEndian.PutUint16(udp[2:4], f.TPDst)
+		binary.BigEndian.PutUint16(udp[4:6], uint16(udpHeaderLen+len(p.Payload)))
+		off += udpHeaderLen
+	}
+	copy(buf[off:], p.Payload)
+	return buf
+}
+
+// Unmarshal parses an Ethernet frame. InPort is left zero; the caller sets
+// it from the receiving port.
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < ethHeaderLen {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(data))
+	}
+	p := &Packet{}
+	f := &p.Fields
+	copy(f.DLDst[:], data[0:6])
+	copy(f.DLSrc[:], data[6:12])
+	f.DLVLAN = VLANNone
+	off := 12
+	etherType := binary.BigEndian.Uint16(data[off:])
+	off += 2
+	if etherType == EtherTypeVLAN {
+		if len(data) < off+4 {
+			return nil, fmt.Errorf("packet: truncated 802.1Q tag")
+		}
+		tci := binary.BigEndian.Uint16(data[off:])
+		f.DLVLAN = tci & 0x0fff
+		f.DLPCP = uint8(tci >> 13)
+		etherType = binary.BigEndian.Uint16(data[off+2:])
+		off += 4
+	}
+	f.DLType = etherType
+	if etherType != EtherTypeIPv4 {
+		p.Payload = append([]byte(nil), data[off:]...)
+		return p, nil
+	}
+	if len(data) < off+ipv4HeaderLen {
+		return nil, fmt.Errorf("packet: truncated IPv4 header")
+	}
+	ip := data[off:]
+	ihl := int(ip[0]&0x0f) * 4
+	if ip[0]>>4 != 4 || ihl < ipv4HeaderLen || len(ip) < ihl {
+		return nil, fmt.Errorf("packet: bad IPv4 header (version/IHL byte %#x)", ip[0])
+	}
+	f.NWTOS = ip[1]
+	f.NWProto = ip[9]
+	copy(f.NWSrc[:], ip[12:16])
+	copy(f.NWDst[:], ip[16:20])
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < ihl || totalLen > len(ip) {
+		return nil, fmt.Errorf("packet: IPv4 total length %d out of range", totalLen)
+	}
+	body := ip[ihl:totalLen]
+	switch f.NWProto {
+	case ProtoTCP:
+		if len(body) < tcpHeaderLen {
+			return nil, fmt.Errorf("packet: truncated TCP header")
+		}
+		f.TPSrc = binary.BigEndian.Uint16(body[0:2])
+		f.TPDst = binary.BigEndian.Uint16(body[2:4])
+		dataOff := int(body[12]>>4) * 4
+		if dataOff < tcpHeaderLen || dataOff > len(body) {
+			return nil, fmt.Errorf("packet: bad TCP data offset %d", dataOff)
+		}
+		p.Payload = append([]byte(nil), body[dataOff:]...)
+	case ProtoUDP:
+		if len(body) < udpHeaderLen {
+			return nil, fmt.Errorf("packet: truncated UDP header")
+		}
+		f.TPSrc = binary.BigEndian.Uint16(body[0:2])
+		f.TPDst = binary.BigEndian.Uint16(body[2:4])
+		p.Payload = append([]byte(nil), body[udpHeaderLen:]...)
+	default:
+		p.Payload = append([]byte(nil), body...)
+	}
+	return p, nil
+}
+
+// ipChecksum computes the standard IPv4 header checksum.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,182 @@
+package packet
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripTCP(t *testing.T) {
+	p := New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), ProtoTCP, 1234, 80)
+	p.Fields.DLSrc = [6]byte{2, 0, 0, 0, 0, 1}
+	p.Fields.DLDst = [6]byte{2, 0, 0, 0, 0, 2}
+	p.Fields.NWTOS = 0x20
+	p.Payload = []byte("hello")
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", p, got)
+	}
+}
+
+func TestRoundTripUDPWithVLAN(t *testing.T) {
+	p := New(netip.MustParseAddr("192.168.1.1"), netip.MustParseAddr("192.168.1.2"), ProtoUDP, 5000, 53)
+	p.Fields.DLVLAN = 100
+	p.Fields.DLPCP = 5
+	p.Payload = []byte{1, 2, 3, 4}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", p, got)
+	}
+	if got.Fields.DLVLAN != 100 || got.Fields.DLPCP != 5 {
+		t.Errorf("VLAN fields lost: %+v", got.Fields)
+	}
+}
+
+func TestRoundTripNonIP(t *testing.T) {
+	p := &Packet{}
+	p.Fields.DLType = EtherTypeARP
+	p.Fields.DLVLAN = VLANNone
+	p.Fields.DLSrc = [6]byte{1, 1, 1, 1, 1, 1}
+	p.Payload = []byte{0, 1, 0x08, 0x00}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", p, got)
+	}
+}
+
+func TestRoundTripOtherIPProto(t *testing.T) {
+	p := New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.9"), ProtoICMP, 0, 0)
+	p.Payload = []byte{8, 0, 0, 0}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fields.NWProto != ProtoICMP || !reflect.DeepEqual(got.Payload, p.Payload) {
+		t.Fatalf("ICMP round trip mismatch: %+v", got)
+	}
+}
+
+func TestIPChecksumValid(t *testing.T) {
+	p := New(netip.MustParseAddr("1.2.3.4"), netip.MustParseAddr("5.6.7.8"), ProtoUDP, 1, 2)
+	buf := p.Marshal()
+	ip := buf[ethHeaderLen:]
+	// Recomputing the checksum over the header including the checksum field
+	// must yield zero.
+	var sum uint32
+	for i := 0; i+1 < ipv4HeaderLen; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i:]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	if ^uint16(sum) != 0 {
+		t.Errorf("IPv4 checksum does not verify: %#x", ^uint16(sum))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"runt frame", make([]byte, 10)},
+		{"truncated vlan", append(make([]byte, 12), 0x81, 0x00, 0x00)},
+		{"truncated ip", append(make([]byte, 12), 0x08, 0x00, 0x45)},
+		{"bad ip version", func() []byte {
+			b := make([]byte, 34)
+			binary.BigEndian.PutUint16(b[12:], EtherTypeIPv4)
+			b[14] = 0x65 // version 6
+			return b
+		}()},
+		{"bad total length", func() []byte {
+			b := make([]byte, 34)
+			binary.BigEndian.PutUint16(b[12:], EtherTypeIPv4)
+			b[14] = 0x45
+			binary.BigEndian.PutUint16(b[16:], 5000)
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := Unmarshal(tc.data); err == nil {
+			t.Errorf("%s: Unmarshal succeeded, want error", tc.name)
+		}
+	}
+}
+
+func randomPacket(r *rand.Rand) *Packet {
+	p := &Packet{}
+	f := &p.Fields
+	r.Read(f.DLSrc[:])
+	r.Read(f.DLDst[:])
+	if r.Intn(2) == 0 {
+		f.DLVLAN = uint16(r.Intn(4095))
+		f.DLPCP = uint8(r.Intn(8))
+	} else {
+		f.DLVLAN = VLANNone
+	}
+	f.DLType = EtherTypeIPv4
+	f.NWTOS = uint8(r.Intn(256))
+	switch r.Intn(2) {
+	case 0:
+		f.NWProto = ProtoTCP
+	case 1:
+		f.NWProto = ProtoUDP
+	}
+	r.Read(f.NWSrc[:])
+	r.Read(f.NWDst[:])
+	f.TPSrc = uint16(r.Uint32())
+	f.TPDst = uint16(r.Uint32())
+	if n := r.Intn(64); n > 0 {
+		p.Payload = make([]byte, n)
+		r.Read(p.Payload)
+	}
+	return p
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPacket(r)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), ProtoTCP, 1, 2)
+	p.Payload = []byte{1, 2, 3}
+	c := p.Clone()
+	c.Fields.NWTOS = 99
+	c.Payload[0] = 42
+	if p.Fields.NWTOS == 99 || p.Payload[0] == 42 {
+		t.Errorf("Clone aliases original: %+v payload=%v", p.Fields, p.Payload)
+	}
+}
+
+func TestFieldsString(t *testing.T) {
+	p := New(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), ProtoTCP, 1, 80)
+	s := p.Fields.String()
+	if s == "" {
+		t.Error("empty Fields.String()")
+	}
+}

@@ -1,0 +1,144 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// tagLayer stamps an increasing xid offset so chain order is observable.
+type tagLayer struct {
+	name   string
+	seenFC []of.MsgType
+	seenFS []of.MsgType
+	dropFC bool
+	inject of.Message
+}
+
+func (l *tagLayer) FromController(ctx *Context, m of.Message) {
+	l.seenFC = append(l.seenFC, m.MsgType())
+	if l.dropFC {
+		return
+	}
+	if l.inject != nil {
+		ctx.ToSwitch(l.inject)
+	}
+	ctx.ToSwitch(m)
+}
+
+func (l *tagLayer) FromSwitch(ctx *Context, m of.Message) {
+	l.seenFS = append(l.seenFS, m.MsgType())
+	ctx.ToController(m)
+}
+
+type rig struct {
+	sim      *sim.Sim
+	ctrl     transport.Conn // controller's end
+	sw       transport.Conn // switch's end
+	toSwitch []of.Message
+	toCtrl   []of.Message
+}
+
+func newRig(t *testing.T, layers ...Layer) (*rig, *Session) {
+	t.Helper()
+	s := sim.New()
+	ctrlTop, ctrlBottom := transport.Pipe(s, time.Millisecond)
+	swTop, swBottom := transport.Pipe(s, time.Millisecond)
+	r := &rig{sim: s, ctrl: ctrlTop, sw: swBottom}
+	sess := NewSession("sw1", 7, s, ctrlBottom, swTop, layers...)
+	r.ctrl.SetHandler(func(m of.Message) { r.toCtrl = append(r.toCtrl, m) })
+	r.sw.SetHandler(func(m of.Message) { r.toSwitch = append(r.toSwitch, m) })
+	return r, sess
+}
+
+func TestPassThroughBothDirections(t *testing.T) {
+	r, sess := newRig(t, Pass{})
+	if sess.Name() != "sw1" || sess.DPID() != 7 {
+		t.Errorf("session identity = %s/%d", sess.Name(), sess.DPID())
+	}
+	_ = r.ctrl.Send(&of.Hello{})
+	_ = r.sw.Send(&of.EchoRequest{})
+	r.sim.Run()
+	if len(r.toSwitch) != 1 || r.toSwitch[0].MsgType() != of.TypeHello {
+		t.Errorf("switch received %v", r.toSwitch)
+	}
+	if len(r.toCtrl) != 1 || r.toCtrl[0].MsgType() != of.TypeEchoRequest {
+		t.Errorf("controller received %v", r.toCtrl)
+	}
+}
+
+func TestEmptyChainForwards(t *testing.T) {
+	r, _ := newRig(t)
+	_ = r.ctrl.Send(&of.BarrierRequest{})
+	r.sim.Run()
+	if len(r.toSwitch) != 1 {
+		t.Fatalf("empty chain did not forward: %v", r.toSwitch)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	l1 := &tagLayer{name: "l1"}
+	l2 := &tagLayer{name: "l2"}
+	r, _ := newRig(t, l1, l2)
+	_ = r.ctrl.Send(&of.Hello{})
+	_ = r.sw.Send(&of.EchoReply{})
+	r.sim.Run()
+	// Controller→switch visits l1 then l2; switch→controller visits l2
+	// then l1.
+	if len(l1.seenFC) != 1 || len(l2.seenFC) != 1 {
+		t.Fatal("layers did not see controller message")
+	}
+	if len(l1.seenFS) != 1 || len(l2.seenFS) != 1 {
+		t.Fatal("layers did not see switch message")
+	}
+}
+
+func TestLayerCanDrop(t *testing.T) {
+	l := &tagLayer{dropFC: true}
+	r, _ := newRig(t, l)
+	_ = r.ctrl.Send(&of.Hello{})
+	r.sim.Run()
+	if len(r.toSwitch) != 0 {
+		t.Errorf("dropped message reached switch: %v", r.toSwitch)
+	}
+}
+
+func TestLayerCanInject(t *testing.T) {
+	l := &tagLayer{inject: &of.BarrierRequest{}}
+	r, _ := newRig(t, l)
+	_ = r.ctrl.Send(&of.Hello{})
+	r.sim.Run()
+	if len(r.toSwitch) != 2 {
+		t.Fatalf("switch received %d messages, want 2 (injected + original)", len(r.toSwitch))
+	}
+	if r.toSwitch[0].MsgType() != of.TypeBarrierRequest || r.toSwitch[1].MsgType() != of.TypeHello {
+		t.Errorf("order = %v, %v", r.toSwitch[0].MsgType(), r.toSwitch[1].MsgType())
+	}
+}
+
+func TestDirectSendsBypassChain(t *testing.T) {
+	l := &tagLayer{}
+	r, sess := newRig(t, l)
+	sess.SendToSwitch(&of.BarrierRequest{})
+	sess.SendToController(&of.BarrierReply{})
+	r.sim.Run()
+	if len(l.seenFC) != 0 || len(l.seenFS) != 0 {
+		t.Error("direct sends passed through the chain")
+	}
+	if len(r.toSwitch) != 1 || len(r.toCtrl) != 1 {
+		t.Errorf("direct sends not delivered: %d/%d", len(r.toSwitch), len(r.toCtrl))
+	}
+}
+
+func TestClose(t *testing.T) {
+	_, sess := newRig(t, Pass{})
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package sim provides the deterministic discrete-event engine the
+// evaluation runs on, plus the Clock abstraction that lets the same RUM
+// code run over simulated time (fast, reproducible experiments) or wall
+// time (a real TCP proxy deployment).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock abstracts time for all RUM layers and the controller library.
+type Clock interface {
+	// Now returns the time elapsed since the clock's origin.
+	Now() time.Duration
+	// After schedules fn to run once d has elapsed. fn runs on the clock's
+	// dispatch context (the simulator goroutine, or a timer goroutine for
+	// wall clocks).
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the callback; it reports whether the cancellation
+	// happened before the callback fired.
+	Stop() bool
+}
+
+// event is a scheduled callback.
+type event struct {
+	at      time.Duration
+	seq     uint64 // FIFO among equal times: determinism
+	fn      func()
+	stopped bool
+	index   int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. All callbacks run
+// sequentially on the goroutine that calls Run/RunUntil/Step, in
+// deterministic (time, scheduling-order) order.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Steps returns how many events have been executed (useful in tests).
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// After schedules fn to run d from now. Negative delays run "immediately"
+// (at the current time, after already-queued same-time events).
+func (s *Sim) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	e := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return (*simTimer)(e)
+}
+
+// At schedules fn at an absolute simulated time (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) Timer {
+	d := t - s.now
+	return s.After(d, fn)
+}
+
+type simTimer event
+
+func (t *simTimer) Stop() bool {
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Step executes the next pending event; it reports false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.stopped {
+			continue
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past (%v < %v)", e.at, s.now))
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t stay queued.
+func (s *Sim) RunUntil(t time.Duration) {
+	for s.events.Len() > 0 {
+		// Peek.
+		e := s.events[0]
+		if e.stopped {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d more simulated time.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Clock = (*Sim)(nil)
+
+// Wall is a Clock backed by real time, for deployments of RUM as an actual
+// TCP proxy. The zero value is not usable; call NewWall.
+type Wall struct {
+	origin time.Time
+}
+
+// NewWall returns a wall clock with its origin at the current time.
+func NewWall() *Wall { return &Wall{origin: time.Now()} }
+
+// Now returns time elapsed since the clock was created.
+func (w *Wall) Now() time.Duration { return time.Since(w.origin) }
+
+// After schedules fn on a timer goroutine.
+func (w *Wall) After(d time.Duration, fn func()) Timer {
+	return wallTimer{time.AfterFunc(d, fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) Stop() bool { return t.t.Stop() }
+
+var _ Clock = (*Wall)(nil)

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var got []string
+	s.After(time.Millisecond, func() {
+		got = append(got, "a")
+		s.After(time.Millisecond, func() { got = append(got, "c") })
+		s.After(0, func() { got = append(got, "b") })
+	})
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before 25ms, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Errorf("Now = %v, want 25ms", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("total fired = %d, want 4", len(fired))
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.RunFor(50 * time.Millisecond)
+	if s.Now() != 50*time.Millisecond {
+		t.Errorf("Now = %v after empty RunFor, want 50ms", s.Now())
+	}
+}
+
+func TestAtSchedulesAbsolute(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.After(10*time.Millisecond, func() {
+		s.At(15*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15*time.Millisecond {
+		t.Errorf("At fired at %v, want 15ms", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	s.After(10*time.Millisecond, func() {
+		s.After(-5*time.Millisecond, func() {
+			if s.Now() != 10*time.Millisecond {
+				t.Errorf("negative delay fired at %v, want 10ms", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+// Property: events fire in non-decreasing time order regardless of the
+// insertion order, and every non-stopped event fires exactly once.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 1 + r.Intn(100)
+		delays := make([]time.Duration, n)
+		var fired []time.Duration
+		for i := range delays {
+			d := time.Duration(r.Intn(50)) * time.Millisecond
+			delays[i] = d
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		for i := range delays {
+			if fired[i] != delays[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := NewWall()
+	done := make(chan struct{})
+	w.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall timer did not fire")
+	}
+	if w.Now() <= 0 {
+		t.Error("wall Now() not advancing")
+	}
+	tm := w.After(time.Hour, func() { t.Error("cancelled wall timer fired") })
+	if !tm.Stop() {
+		t.Error("Stop on pending wall timer returned false")
+	}
+}

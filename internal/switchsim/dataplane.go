@@ -1,0 +1,185 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// Receive implements netsim.Node: a frame arrived on a data-plane port.
+// Lookup goes against the data-plane table — rules still waiting for a
+// sync are invisible here, which is exactly the control/data gap RUM
+// detects.
+func (sw *Switch) Receive(fr *netsim.Frame, inPort uint16) {
+	fields := fr.Pkt.Fields
+	fields.InPort = inPort
+	entry := sw.dataTable.Lookup(fields, len(fr.Pkt.Payload))
+	if entry == nil {
+		// Table miss. The evaluation's switches carry an explicit
+		// low-priority drop-all rule, so a miss means genuinely
+		// unroutable traffic; we drop and record rather than flooding
+		// the controller (miss_send_len = 0 behaviour).
+		sw.net.RecordDrop(fr, sw.name, "table miss")
+		return
+	}
+	sw.executeActions(fr, inPort, entry.Actions, of.ReasonAction)
+}
+
+// executeActions applies an OpenFlow 1.0 action list to a frame: header
+// rewrites mutate the packet in order; each output action forwards a copy.
+// An action list without outputs (or an empty one) drops the packet.
+func (sw *Switch) executeActions(fr *netsim.Frame, inPort uint16, actions []of.Action, pktInReason uint8) {
+	if len(actions) == 0 {
+		sw.net.RecordDrop(fr, sw.name, "drop rule")
+		return
+	}
+	cur := fr // lazily cloned on first rewrite to keep the fast path cheap
+	cloned := false
+	mutate := func() *packet.Fields {
+		if !cloned {
+			cur = cur.Clone()
+			cloned = true
+		}
+		return &cur.Pkt.Fields
+	}
+	outputs := 0
+	for _, a := range actions {
+		switch act := a.(type) {
+		case of.ActionOutput:
+			outputs++
+			sw.output(cur.Clone(), inPort, act.Port, pktInReason)
+		case of.ActionSetNWTOS:
+			mutate().NWTOS = act.TOS
+		case of.ActionSetVLANVID:
+			f := mutate()
+			f.DLVLAN = act.VID & 0x0fff
+		case of.ActionSetVLANPCP:
+			mutate().DLPCP = act.PCP & 7
+		case of.ActionStripVLAN:
+			f := mutate()
+			f.DLVLAN = packet.VLANNone
+			f.DLPCP = 0
+		case of.ActionSetDLAddr:
+			f := mutate()
+			if act.Dst {
+				f.DLDst = act.Addr
+			} else {
+				f.DLSrc = act.Addr
+			}
+		case of.ActionSetNWAddr:
+			f := mutate()
+			if act.Dst {
+				f.NWDst = act.Addr
+			} else {
+				f.NWSrc = act.Addr
+			}
+		case of.ActionSetTPPort:
+			f := mutate()
+			if act.Dst {
+				f.TPDst = act.Port
+			} else {
+				f.TPSrc = act.Port
+			}
+		}
+	}
+	if outputs == 0 {
+		sw.net.RecordDrop(fr, sw.name, "no output action")
+	}
+}
+
+// output forwards one frame copy to a (possibly special) port.
+func (sw *Switch) output(fr *netsim.Frame, inPort uint16, port uint16, pktInReason uint8) {
+	switch port {
+	case of.PortController:
+		sw.queuePacketIn(fr, inPort, pktInReason)
+	case of.PortInPort:
+		sw.net.Transmit(sw, inPort, fr)
+	case of.PortFlood, of.PortAll:
+		for _, p := range sw.net.Ports(sw.name) {
+			if p == inPort {
+				continue
+			}
+			sw.net.Transmit(sw, p, fr.Clone())
+		}
+	case of.PortTable, of.PortNormal, of.PortLocal, of.PortNone:
+		sw.net.RecordDrop(fr, sw.name, fmt.Sprintf("unsupported special port %#x", port))
+	default:
+		sw.net.Transmit(sw, port, fr)
+	}
+}
+
+// queuePacketIn funnels a frame through the rate-limited PacketIn path
+// toward the controller.
+func (sw *Switch) queuePacketIn(fr *netsim.Frame, inPort uint16, reason uint8) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.pktInQueue = append(sw.pktInQueue, pktInJob{fr: fr, inPort: inPort, reason: reason})
+	sw.kickPktInLocked()
+}
+
+func (sw *Switch) kickPktInLocked() {
+	if sw.pktInBusy || len(sw.pktInQueue) == 0 {
+		return
+	}
+	job := sw.pktInQueue[0]
+	sw.pktInQueue = sw.pktInQueue[1:]
+	sw.pktInBusy = true
+	sw.clk.After(sw.prof.PacketInTime, func() { sw.completePktIn(job) })
+}
+
+func (sw *Switch) completePktIn(job pktInJob) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.pktInsSent++
+	sw.stealAcc += sw.prof.StealPerPacketIn
+	data := job.fr.Pkt.Marshal()
+	pin := &of.PacketIn{
+		BufferID: of.BufferNone,
+		TotalLen: uint16(len(data)),
+		InPort:   job.inPort,
+		Reason:   job.reason,
+		Data:     data,
+	}
+	sw.sendLocked(pin)
+	sw.pktInBusy = false
+	sw.kickPktInLocked()
+}
+
+func (sw *Switch) kickPktOutLocked() {
+	if sw.pktOutBusy || len(sw.pktOutQueue) == 0 {
+		return
+	}
+	job := sw.pktOutQueue[0]
+	sw.pktOutQueue = sw.pktOutQueue[1:]
+	sw.pktOutBusy = true
+	sw.clk.After(sw.prof.PacketOutTime, func() { sw.completePktOut(job) })
+}
+
+// completePktOut executes a PacketOut: decode the payload and run its
+// action list as if the packet entered the pipeline.
+func (sw *Switch) completePktOut(po *of.PacketOut) {
+	sw.mu.Lock()
+	sw.pktOutsProcessed++
+	sw.stealAcc += sw.prof.StealPerPacketOut
+	sw.pktOutBusy = false
+	sw.kickPktOutLocked()
+	sw.mu.Unlock()
+
+	pkt, err := packet.Unmarshal(po.Data)
+	if err != nil {
+		sw.mu.Lock()
+		e := &of.Error{ErrType: of.ErrTypeBadRequest, Code: 4 /* bad packet */}
+		e.SetXID(po.GetXID())
+		sw.sendLocked(e)
+		sw.mu.Unlock()
+		return
+	}
+	fr := &netsim.Frame{Pkt: pkt, FlowID: -1, SentAt: sw.clk.Now(), Trace: []string{sw.name}}
+	inPort := po.InPort
+	if inPort == of.PortNone || inPort == of.PortController {
+		inPort = 0
+	}
+	sw.executeActions(fr, inPort, po.Actions, of.ReasonNoMatch)
+}

@@ -1,0 +1,463 @@
+package switchsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"rum/internal/flowtable"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// RuleActivation records one rule becoming visible (or disappearing) in the
+// data plane — the ground truth the evaluation compares acknowledgment
+// times against.
+type RuleActivation struct {
+	XID      uint32 // xid of the FlowMod that caused the change
+	Match    of.Match
+	Priority uint16
+	Deleted  bool
+	At       time.Duration
+}
+
+// queuedMsg is a control-plane message awaiting the FIFO server.
+type queuedMsg struct {
+	msg of.Message
+	seq uint64 // FlowMod sequence number (0 for non-mods)
+}
+
+// pendingMod is a control-plane-completed FlowMod awaiting data-plane sync.
+type pendingMod struct {
+	fm  *of.FlowMod
+	seq uint64
+}
+
+// barrierWaiter is a Correct-mode barrier reply held until the data plane
+// catches up with every FlowMod received before it.
+type barrierWaiter struct {
+	xid uint32
+	seq uint64 // all mods with seq <= this must be applied
+}
+
+// Switch is an emulated OpenFlow 1.0 switch attached to a netsim.Network.
+type Switch struct {
+	name string
+	dpid uint64
+	prof Profile
+	clk  sim.Clock
+	net  *netsim.Network
+
+	mu   sync.Mutex
+	conn transport.Conn
+
+	// Control-plane view of the flow table (updated when the server
+	// finishes a FlowMod) and the lagging data-plane copy (updated at
+	// sync time). Lookups for real traffic go to dataTable only.
+	ctrlTable *flowtable.Table
+	dataTable *flowtable.Table
+
+	ctrlQueue []queuedMsg
+	ctrlBusy  bool
+	syncDue   bool
+	syncArmed bool
+
+	pendingSync []pendingMod
+	modSeq      uint64 // FlowMods enqueued
+	appliedSeq  uint64 // highest FlowMod seq applied to the data plane (FIFO modes)
+	barWaiters  []barrierWaiter
+
+	pktOutQueue []*of.PacketOut
+	pktOutBusy  bool
+	pktInQueue  []pktInJob
+	pktInBusy   bool
+
+	stealAcc time.Duration
+
+	activations []RuleActivation
+	rng         *rand.Rand
+
+	// Counters for benchmarks.
+	modsProcessed    uint64
+	pktOutsProcessed uint64
+	pktInsSent       uint64
+	syncs            uint64
+}
+
+type pktInJob struct {
+	fr     *netsim.Frame
+	inPort uint16
+	reason uint8
+}
+
+// New creates a switch, attaches it to the network, and starts its sync
+// timer. The control channel is attached later with AttachConn.
+func New(name string, dpid uint64, prof Profile, clk sim.Clock, net *netsim.Network) *Switch {
+	sw := &Switch{
+		name:      name,
+		dpid:      dpid,
+		prof:      prof,
+		clk:       clk,
+		net:       net,
+		ctrlTable: flowtable.New(),
+		dataTable: flowtable.New(),
+		rng:       rand.New(rand.NewSource(prof.ReorderSeed)),
+	}
+	net.Attach(sw)
+	return sw
+}
+
+// Name implements netsim.Node.
+func (sw *Switch) Name() string { return sw.name }
+
+// DPID returns the datapath id.
+func (sw *Switch) DPID() uint64 { return sw.dpid }
+
+// Profile returns the timing profile.
+func (sw *Switch) Profile() Profile { return sw.prof }
+
+// AttachConn wires the control channel; the switch starts consuming
+// messages from it immediately.
+func (sw *Switch) AttachConn(c transport.Conn) {
+	sw.mu.Lock()
+	sw.conn = c
+	sw.mu.Unlock()
+	c.SetHandler(sw.onCtrlMsg)
+}
+
+// onCtrlMsg dispatches a controller→switch message.
+func (sw *Switch) onCtrlMsg(m of.Message) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	switch mm := m.(type) {
+	case *of.PacketOut:
+		sw.pktOutQueue = append(sw.pktOutQueue, mm)
+		sw.kickPktOutLocked()
+	case *of.Hello:
+		// Nothing to do; transport owns version agreement.
+	case *of.FlowMod:
+		sw.modSeq++
+		sw.ctrlQueue = append(sw.ctrlQueue, queuedMsg{msg: mm, seq: sw.modSeq})
+		sw.kickCtrlLocked()
+	default:
+		sw.ctrlQueue = append(sw.ctrlQueue, queuedMsg{msg: m})
+		sw.kickCtrlLocked()
+	}
+}
+
+// kickCtrlLocked starts the control-plane server if it is idle. A due sync
+// preempts the queue (the sync stall is what delays message processing on
+// the real hardware).
+func (sw *Switch) kickCtrlLocked() {
+	if sw.ctrlBusy {
+		return
+	}
+	if sw.syncDue {
+		// Rules become visible at the sync boundary; the stall then
+		// blocks the control plane while the push completes. The maximum
+		// control→data lag is therefore exactly one sync period.
+		sw.ctrlBusy = true
+		sw.applySyncLocked()
+		sw.clk.After(sw.prof.SyncStall, sw.endSyncStall)
+		return
+	}
+	if len(sw.ctrlQueue) == 0 {
+		return
+	}
+	job := sw.ctrlQueue[0]
+	sw.ctrlQueue = sw.ctrlQueue[1:]
+	sw.ctrlBusy = true
+	st := sw.serviceTimeLocked(job.msg)
+	sw.clk.After(st, func() { sw.completeCtrl(job) })
+}
+
+// serviceTimeLocked models per-message control-plane cost, including the
+// occupancy-dependent FlowMod slowdown and fast-path interference stealing.
+func (sw *Switch) serviceTimeLocked(m of.Message) time.Duration {
+	switch m.(type) {
+	case *of.FlowMod:
+		base := sw.prof.ModBase + time.Duration(sw.ctrlTable.Len())*sw.prof.ModPerEntry
+		steal := sw.stealAcc
+		if max := time.Duration(float64(base) * sw.prof.MaxStealFactor); steal > max {
+			steal = max
+		}
+		sw.stealAcc = 0
+		return base + steal
+	case *of.BarrierRequest:
+		return sw.prof.BarrierTime
+	default:
+		return sw.prof.MiscTime
+	}
+}
+
+// completeCtrl finishes one control-plane job.
+func (sw *Switch) completeCtrl(job queuedMsg) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	switch m := job.msg.(type) {
+	case *of.FlowMod:
+		sw.modsProcessed++
+		sw.ctrlTable.Apply(m)
+		if sw.prof.SyncPeriod == 0 {
+			// Software switch: the data plane is updated synchronously.
+			sw.applyModLocked(pendingMod{fm: m, seq: job.seq})
+			sw.appliedSeq = job.seq
+			sw.releaseBarriersLocked()
+		} else {
+			sw.pendingSync = append(sw.pendingSync, pendingMod{fm: m, seq: job.seq})
+			sw.armSyncLocked()
+		}
+	case *of.BarrierRequest:
+		sw.completeBarrierLocked(m)
+	case *of.EchoRequest:
+		reply := &of.EchoReply{Data: m.Data}
+		reply.SetXID(m.GetXID())
+		sw.sendLocked(reply)
+	case *of.FeaturesRequest:
+		sw.sendLocked(sw.featuresReplyLocked(m.GetXID()))
+	case *of.GetConfigRequest:
+		reply := &of.GetConfigReply{SwitchConfig: of.SwitchConfig{MissSendLen: 128}}
+		reply.SetXID(m.GetXID())
+		sw.sendLocked(reply)
+	case *of.SetConfig:
+		// Accepted silently.
+	case *of.StatsRequest:
+		sw.sendLocked(sw.statsReplyLocked(m))
+	case *of.Vendor:
+		e := &of.Error{ErrType: of.ErrTypeBadRequest, Code: 3 /* bad vendor */}
+		e.SetXID(m.GetXID())
+		sw.sendLocked(e)
+	}
+	sw.ctrlBusy = false
+	sw.kickCtrlLocked()
+}
+
+// completeBarrierLocked implements the profile's barrier semantics.
+func (sw *Switch) completeBarrierLocked(m *of.BarrierRequest) {
+	reply := &of.BarrierReply{}
+	reply.SetXID(m.GetXID())
+	switch sw.prof.BarrierMode {
+	case BarrierEarly, BarrierEarlyReorder:
+		// The bug: reply before the data plane caught up.
+		sw.sendLocked(reply)
+	case BarrierCorrect:
+		// All FlowMods received before this barrier have been control-
+		// processed (FIFO server); hold the reply until they are in the
+		// data plane too.
+		barrierSeq := sw.modSeq - uint64(sw.countQueuedModsLocked())
+		if sw.appliedSeq >= barrierSeq {
+			sw.sendLocked(reply)
+			return
+		}
+		sw.barWaiters = append(sw.barWaiters, barrierWaiter{xid: m.GetXID(), seq: barrierSeq})
+	}
+}
+
+func (sw *Switch) countQueuedModsLocked() int {
+	n := 0
+	for _, q := range sw.ctrlQueue {
+		if _, ok := q.msg.(*of.FlowMod); ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (sw *Switch) releaseBarriersLocked() {
+	kept := sw.barWaiters[:0]
+	for _, w := range sw.barWaiters {
+		if sw.appliedSeq >= w.seq {
+			reply := &of.BarrierReply{}
+			reply.SetXID(w.xid)
+			sw.sendLocked(reply)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	sw.barWaiters = kept
+}
+
+// armSyncLocked schedules the next data-plane sync. The sync clock is
+// phase-aligned to multiples of SyncPeriod (a free-running hardware sync
+// engine) but armed lazily, so an idle switch schedules no events.
+func (sw *Switch) armSyncLocked() {
+	if sw.syncArmed || sw.prof.SyncPeriod == 0 || len(sw.pendingSync) == 0 {
+		return
+	}
+	now := sw.clk.Now()
+	period := sw.prof.SyncPeriod
+	next := (now/period + 1) * period
+	sw.syncArmed = true
+	sw.clk.After(next-now, sw.onSyncTimer)
+}
+
+// onSyncTimer requests a sync when work is pending.
+func (sw *Switch) onSyncTimer() {
+	sw.mu.Lock()
+	sw.syncArmed = false
+	if len(sw.pendingSync) > 0 && !sw.syncDue {
+		sw.syncDue = true
+		sw.kickCtrlLocked()
+	}
+	sw.mu.Unlock()
+}
+
+// applySyncLocked pushes pending rules into the data plane.
+func (sw *Switch) applySyncLocked() {
+	sw.syncDue = false
+	sw.syncs++
+	batch := sw.pendingSync
+	rest := []pendingMod(nil)
+	if sw.prof.BarrierMode == BarrierEarlyReorder {
+		// Shuffle, then honor the batch bound: later mods can land in an
+		// earlier sync than their predecessors — reordering across
+		// barriers.
+		shuffled := append([]pendingMod(nil), batch...)
+		sw.rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if sw.prof.SyncBatch > 0 && len(shuffled) > sw.prof.SyncBatch {
+			applied := shuffled[:sw.prof.SyncBatch]
+			appliedSet := make(map[uint64]bool, len(applied))
+			for _, p := range applied {
+				appliedSet[p.seq] = true
+			}
+			for _, p := range batch {
+				if !appliedSet[p.seq] {
+					rest = append(rest, p)
+				}
+			}
+			batch = applied
+		} else {
+			batch = shuffled
+		}
+	} else if sw.prof.SyncBatch > 0 && len(batch) > sw.prof.SyncBatch {
+		rest = append(rest, batch[sw.prof.SyncBatch:]...)
+		batch = batch[:sw.prof.SyncBatch]
+	}
+	for _, p := range batch {
+		sw.applyModLocked(p)
+		if sw.prof.BarrierMode != BarrierEarlyReorder && p.seq > sw.appliedSeq {
+			sw.appliedSeq = p.seq
+		}
+	}
+	sw.pendingSync = rest
+	sw.releaseBarriersLocked()
+	sw.armSyncLocked() // leftovers (bounded batches) wait for the next sync
+}
+
+// endSyncStall resumes control-plane processing after the sync stall.
+func (sw *Switch) endSyncStall() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.ctrlBusy = false
+	sw.kickCtrlLocked()
+}
+
+// applyModLocked pushes one FlowMod into the data-plane table and records
+// the activations.
+func (sw *Switch) applyModLocked(p pendingMod) {
+	changed := sw.dataTable.Apply(p.fm)
+	now := sw.clk.Now()
+	for _, c := range changed {
+		sw.activations = append(sw.activations, RuleActivation{
+			XID:      p.fm.GetXID(),
+			Match:    c.Match,
+			Priority: c.Priority,
+			Deleted:  c.Deleted,
+			At:       now,
+		})
+	}
+}
+
+func (sw *Switch) sendLocked(m of.Message) {
+	if sw.conn != nil {
+		_ = sw.conn.Send(m)
+	}
+}
+
+func (sw *Switch) featuresReplyLocked(xid uint32) *of.FeaturesReply {
+	reply := &of.FeaturesReply{
+		DatapathID: sw.dpid,
+		NBuffers:   0,
+		NTables:    1,
+		Actions:    0xfff,
+	}
+	reply.SetXID(xid)
+	for _, p := range sw.net.Ports(sw.name) {
+		reply.Ports = append(reply.Ports, of.PhyPort{
+			PortNo: p,
+			Name:   portName(p),
+			HWAddr: of.EthAddr{0x02, 0, byte(sw.dpid >> 8), byte(sw.dpid), 0, byte(p)},
+		})
+	}
+	return reply
+}
+
+func portName(p uint16) string {
+	const digits = "0123456789"
+	if p < 10 {
+		return "eth" + digits[p:p+1]
+	}
+	return "eth" + digits[p/10:p/10+1] + digits[p%10:p%10+1]
+}
+
+// statsReplyLocked answers the subset of stats requests the system uses.
+// Replies reflect the control-plane table — deliberately: the paper notes
+// statistics are a control-plane view and cannot substitute for data-plane
+// acknowledgments (§3.1).
+func (sw *Switch) statsReplyLocked(req *of.StatsRequest) *of.StatsReply {
+	reply := &of.StatsReply{StatsType: req.StatsType}
+	reply.SetXID(req.GetXID())
+	switch req.StatsType {
+	case of.StatsTable:
+		lookups, matched := sw.dataTable.Stats()
+		entry := of.TableStatsEntry{
+			TableID:      0,
+			Name:         sw.prof.Name,
+			Wildcards:    of.WcAll,
+			MaxEntries:   65536,
+			ActiveCount:  uint32(sw.ctrlTable.Len()),
+			LookupCount:  lookups,
+			MatchedCount: matched,
+		}
+		reply.Body = entry.Marshal()
+	case of.StatsFlow:
+		for _, e := range sw.ctrlTable.Entries() {
+			fe := of.FlowStatsEntry{
+				Match:       e.Match,
+				Priority:    e.Priority,
+				Cookie:      e.Cookie,
+				PacketCount: e.Packets,
+				ByteCount:   e.Bytes,
+				Actions:     e.Actions,
+			}
+			reply.Body = append(reply.Body, fe.Marshal()...)
+		}
+	}
+	return reply
+}
+
+// Activations snapshots the data-plane activation log.
+func (sw *Switch) Activations() []RuleActivation {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return append([]RuleActivation(nil), sw.activations...)
+}
+
+// DataTable exposes the data-plane table (read-mostly; used by tests and
+// experiment assertions).
+func (sw *Switch) DataTable() *flowtable.Table { return sw.dataTable }
+
+// CtrlTable exposes the control-plane table.
+func (sw *Switch) CtrlTable() *flowtable.Table { return sw.ctrlTable }
+
+// Counters returns processing counters: FlowMods completed, PacketOuts
+// executed, PacketIns emitted, and syncs performed.
+func (sw *Switch) Counters() (mods, pktOuts, pktIns, syncs uint64) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.modsProcessed, sw.pktOutsProcessed, sw.pktInsSent, sw.syncs
+}

@@ -1,0 +1,220 @@
+// Package transport carries OpenFlow messages between controllers, RUM
+// proxies and switches. Two implementations share one interface: Pipe
+// builds an in-memory connection pair whose delivery is driven by a
+// simulated clock (deterministic experiments), and TCP wraps a net.Conn
+// with OpenFlow framing (real deployments). RUM layers are written against
+// Conn and run unchanged over either.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+)
+
+// Handler consumes received messages. Handlers must not block: in
+// simulation they run on the simulator goroutine; over TCP they run on the
+// connection's reader goroutine.
+type Handler func(m of.Message)
+
+// Conn is an asynchronous, message-oriented OpenFlow channel endpoint.
+type Conn interface {
+	// Send queues m for delivery to the peer. It never blocks.
+	Send(m of.Message) error
+	// SetHandler installs the receive callback. Messages arriving before a
+	// handler is installed are buffered and delivered on installation, in
+	// order.
+	SetHandler(h Handler)
+	// Close tears the connection down; the peer's handler receives no
+	// further messages.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeEnd is one end of an in-memory connection pair.
+type pipeEnd struct {
+	clock   sim.Clock
+	latency time.Duration
+
+	mu      sync.Mutex
+	peer    *pipeEnd
+	handler Handler
+	backlog []of.Message
+	closed  bool
+}
+
+// Pipe creates a connected pair of in-memory conns with the given one-way
+// delivery latency, clocked by clk. Message structs are passed by pointer
+// without re-encoding; senders must not mutate a message after Send.
+func Pipe(clk sim.Clock, latency time.Duration) (a, b Conn) {
+	ea := &pipeEnd{clock: clk, latency: latency}
+	eb := &pipeEnd{clock: clk, latency: latency}
+	ea.peer = eb
+	eb.peer = ea
+	return ea, eb
+}
+
+func (e *pipeEnd) Send(m of.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	peer := e.peer
+	e.mu.Unlock()
+	e.clock.After(e.latency, func() { peer.deliver(m) })
+	return nil
+}
+
+func (e *pipeEnd) deliver(m of.Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	h := e.handler
+	if h == nil {
+		e.backlog = append(e.backlog, m)
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	h(m)
+}
+
+func (e *pipeEnd) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	backlog := e.backlog
+	e.backlog = nil
+	e.mu.Unlock()
+	for _, m := range backlog {
+		h(m)
+	}
+}
+
+func (e *pipeEnd) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return nil
+}
+
+// tcpConn adapts a stream connection (normally TCP) to Conn with OpenFlow
+// framing. Sends are serialized through a writer goroutine so Send never
+// blocks on the network.
+type tcpConn struct {
+	nc     net.Conn
+	sendCh chan of.Message
+
+	mu      sync.Mutex
+	handler Handler
+	backlog []of.Message
+	closed  bool
+	readErr error
+
+	done chan struct{}
+}
+
+// NewTCP wraps an established stream connection. The caller owns protocol
+// behaviour (hello exchange etc.); NewTCP only frames messages.
+func NewTCP(nc net.Conn) Conn {
+	c := &tcpConn{
+		nc:     nc,
+		sendCh: make(chan of.Message, 1024),
+		done:   make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.writeLoop()
+	return c
+}
+
+// Dial connects to an OpenFlow endpoint over TCP.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCP(nc), nil
+}
+
+func (c *tcpConn) readLoop() {
+	for {
+		m, err := of.ReadMessage(c.nc)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			c.Close()
+			return
+		}
+		c.mu.Lock()
+		h := c.handler
+		if h == nil {
+			c.backlog = append(c.backlog, m)
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		h(m)
+	}
+}
+
+func (c *tcpConn) writeLoop() {
+	for {
+		select {
+		case m := <-c.sendCh:
+			if err := of.WriteMessage(c.nc, m); err != nil {
+				c.Close()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *tcpConn) Send(m of.Message) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	select {
+	case c.sendCh <- m:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *tcpConn) SetHandler(h Handler) {
+	c.mu.Lock()
+	c.handler = h
+	backlog := c.backlog
+	c.backlog = nil
+	c.mu.Unlock()
+	for _, m := range backlog {
+		h(m)
+	}
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	return c.nc.Close()
+}

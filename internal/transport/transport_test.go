@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+)
+
+func TestPipeDeliveryAndLatency(t *testing.T) {
+	s := sim.New()
+	a, b := Pipe(s, 2*time.Millisecond)
+	var gotAt time.Duration
+	b.SetHandler(func(m of.Message) {
+		if m.MsgType() != of.TypeBarrierRequest {
+			t.Errorf("got %v, want barrier request", m.MsgType())
+		}
+		gotAt = s.Now()
+	})
+	if err := a.Send(&of.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if gotAt != 2*time.Millisecond {
+		t.Errorf("delivered at %v, want 2ms", gotAt)
+	}
+}
+
+func TestPipeOrderPreserved(t *testing.T) {
+	s := sim.New()
+	a, b := Pipe(s, time.Millisecond)
+	var xids []uint32
+	b.SetHandler(func(m of.Message) { xids = append(xids, m.GetXID()) })
+	for i := uint32(1); i <= 20; i++ {
+		fm := &of.FlowMod{Match: of.MatchAll(), Command: of.FCAdd}
+		fm.SetXID(i)
+		if err := a.Send(fm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if len(xids) != 20 {
+		t.Fatalf("delivered %d messages, want 20", len(xids))
+	}
+	for i, x := range xids {
+		if x != uint32(i+1) {
+			t.Fatalf("reordered delivery: %v", xids)
+		}
+	}
+}
+
+func TestPipeBacklogBeforeHandler(t *testing.T) {
+	s := sim.New()
+	a, b := Pipe(s, 0)
+	_ = a.Send(&of.Hello{})
+	_ = a.Send(&of.BarrierRequest{})
+	s.Run() // delivered with no handler: buffered
+	var got []of.MsgType
+	b.SetHandler(func(m of.Message) { got = append(got, m.MsgType()) })
+	if len(got) != 2 || got[0] != of.TypeHello || got[1] != of.TypeBarrierRequest {
+		t.Fatalf("backlog delivery = %v", got)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	s := sim.New()
+	a, b := Pipe(s, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&of.Hello{}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	// Messages in flight toward a closed endpoint are dropped silently.
+	_ = b.Send(&of.Hello{})
+	_ = b
+	s.Run()
+}
+
+func TestTCPConnRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		msgs []of.Message
+		mu   sync.Mutex
+	}
+	var res result
+	done := make(chan struct{})
+
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		server := NewTCP(nc)
+		count := 0
+		server.SetHandler(func(m of.Message) {
+			res.mu.Lock()
+			res.msgs = append(res.msgs, m)
+			count++
+			if count == 3 {
+				close(done)
+			}
+			res.mu.Unlock()
+			// Echo barriers back as replies.
+			if m.MsgType() == of.TypeBarrierRequest {
+				br := &of.BarrierReply{}
+				br.SetXID(m.GetXID())
+				_ = server.Send(br)
+			}
+		})
+	}()
+
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reply := make(chan of.Message, 1)
+	client.SetHandler(func(m of.Message) { reply <- m })
+
+	_ = client.Send(&of.Hello{})
+	fm := &of.FlowMod{Match: of.MatchAll(), Command: of.FCAdd, Priority: 7,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 1}}}
+	fm.SetXID(42)
+	_ = client.Send(fm)
+	br := &of.BarrierRequest{}
+	br.SetXID(43)
+	_ = client.Send(br)
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not receive 3 messages")
+	}
+	select {
+	case m := <-reply:
+		if m.MsgType() != of.TypeBarrierReply || m.GetXID() != 43 {
+			t.Errorf("reply = %v xid=%d, want barrier reply 43", m.MsgType(), m.GetXID())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no barrier reply")
+	}
+
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	if len(res.msgs) != 3 {
+		t.Fatalf("server saw %d messages, want 3", len(res.msgs))
+	}
+	gotFM, ok := res.msgs[1].(*of.FlowMod)
+	if !ok || gotFM.Priority != 7 || gotFM.GetXID() != 42 {
+		t.Errorf("flow mod did not survive framing: %#v", res.msgs[1])
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err == nil {
+			_ = NewTCP(nc)
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := c.Send(&of.Hello{}); err != ErrClosed {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close = %v, want nil", err)
+	}
+}

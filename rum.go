@@ -1,0 +1,115 @@
+// Package rum is the public API of RUM (Rule Update Monitoring), a
+// reproduction of "Providing Reliable FIB Update Acknowledgments in SDN"
+// (Kuźniar, Perešíni, Kostić — CoNEXT 2014).
+//
+// RUM is a transparent layer between an SDN controller and its OpenFlow
+// 1.0 switches. It intercepts the control channel and guarantees that the
+// controller never receives an acknowledgment for a rule modification
+// before the rule is actually visible in the switch's data plane. On
+// switches with broken barrier implementations — which answer early, or
+// reorder rule installations across barriers — this is the difference
+// between consistent updates that hold in practice and transient black
+// holes, loops, or security-policy violations.
+//
+// # Techniques
+//
+// RUM offers the paper's five acknowledgment techniques (§3), selected
+// via Config.Technique:
+//
+//   - TechBarriers — trust barrier replies (the broken baseline);
+//   - TechTimeout — fixed worst-case delay after each barrier reply;
+//   - TechAdaptive — switch-model-based estimated activation times;
+//   - TechSequential — a versioned data-plane probe rule confirms whole
+//     batches (needs a switch that does not reorder across barriers);
+//   - TechGeneral — per-rule data-plane probes that work even on
+//     reordering switches, with automatic fallback when no distinguishing
+//     probe packet exists.
+//
+// Fine-grained per-rule acknowledgments are delivered to RUM-aware
+// controllers as OpenFlow Error messages with the reserved type
+// ErrTypeRUMAck (§4). Setting Config.BarrierLayer additionally restores
+// reliable barrier semantics for unmodified controllers (§2).
+//
+// # Deployments
+//
+// The same layer code runs two ways:
+//
+//   - In simulation (see internal/experiments and the examples): a
+//     deterministic discrete-event engine drives an emulated network and
+//     emulated switches, reproducing the paper's evaluation.
+//   - As a real TCP proxy (ProxyServer, cmd/rumproxy): switches connect
+//     to RUM as if it were the controller; RUM connects onward to the
+//     real controller, impersonating the switches.
+package rum
+
+import (
+	"rum/internal/core"
+	"rum/internal/of"
+	"rum/internal/sim"
+)
+
+// Technique selects how RUM decides a rule is active in the data plane.
+type Technique = core.Technique
+
+// The acknowledgment techniques of §3 of the paper.
+const (
+	TechBarriers   = core.TechBarriers
+	TechTimeout    = core.TechTimeout
+	TechAdaptive   = core.TechAdaptive
+	TechSequential = core.TechSequential
+	TechGeneral    = core.TechGeneral
+	TechNoWait     = core.TechNoWait
+)
+
+// Config parameterizes a RUM instance; see core.Config for field
+// documentation.
+type Config = core.Config
+
+// Topology is RUM's map of inter-switch links, used to route probe
+// packets around each probed switch.
+type Topology = core.Topology
+
+// TopoLink is one inter-switch link.
+type TopoLink = core.TopoLink
+
+// NewTopology builds a topology from a link list.
+func NewTopology(links []TopoLink) *Topology { return core.NewTopology(links) }
+
+// RUM is a deployment of the monitoring layer across a set of switches.
+type RUM = core.RUM
+
+// New creates a RUM instance. Attach switches with AttachSwitch, then
+// install probe infrastructure with Bootstrap.
+func New(cfg Config, topo *Topology) *RUM { return core.New(cfg, topo) }
+
+// Clock abstracts time: sim.New() for deterministic simulation,
+// NewWallClock() for real deployments.
+type Clock = sim.Clock
+
+// NewSimClock returns a deterministic discrete-event clock (and engine).
+func NewSimClock() *sim.Sim { return sim.New() }
+
+// NewWallClock returns a real-time clock.
+func NewWallClock() *sim.Wall { return sim.NewWall() }
+
+// ErrTypeRUMAck is the reserved OpenFlow error type carrying RUM's
+// positive acknowledgments; see ParseAck.
+const ErrTypeRUMAck = of.ErrTypeRUMAck
+
+// Ack codes delivered with ErrTypeRUMAck.
+const (
+	AckInstalled = of.RUMAckInstalled
+	AckRemoved   = of.RUMAckRemoved
+	AckFallback  = of.RUMAckFallback
+)
+
+// ParseAck inspects a controller-received OpenFlow message; if it is a
+// RUM positive acknowledgment it returns the acknowledged FlowMod's
+// transaction id and the ack code.
+func ParseAck(m of.Message) (ackedXID uint32, code uint16, ok bool) {
+	e, isErr := m.(*of.Error)
+	if !isErr {
+		return 0, 0, false
+	}
+	return e.IsRUMAck()
+}

@@ -1,0 +1,218 @@
+package rum
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// TestTCPDeploymentEndToEnd runs the full production path on loopback TCP:
+// three emulated switches (wall-clock data plane) dial a RUM ProxyServer,
+// which dials a stub controller. The controller installs a rule through
+// RUM with general probing and must receive the fine-grained ack only
+// after the rule is truly in the switch's data plane.
+func TestTCPDeploymentEndToEnd(t *testing.T) {
+	clk := NewWallClock()
+	network := netsim.New(clk)
+
+	// Shrink the hardware profile's timescales so the wall-clock test
+	// stays fast while preserving the lag behaviour.
+	hp := switchsim.ProfileHP5406zl()
+	hp.SyncPeriod = 50 * time.Millisecond
+	hp.SyncStall = 2 * time.Millisecond
+	hp.ModBase = 200 * time.Microsecond
+	profs := map[string]switchsim.Profile{
+		"s1": switchsim.ProfileSoftware(),
+		"s2": hp,
+		"s3": switchsim.ProfileSoftware(),
+	}
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range []string{"s1", "s2", "s3"} {
+		switches[name] = switchsim.New(name, uint64(i+1), profs[name], clk, network)
+	}
+	h1 := netsim.NewHost(network, "h1")
+	h2 := netsim.NewHost(network, "h2")
+	lat := 100 * time.Microsecond
+	network.Connect(h1, h1.Port(), switches["s1"], 1, lat)
+	network.Connect(switches["s1"], 2, switches["s2"], 1, lat)
+	network.Connect(switches["s2"], 2, switches["s3"], 2, lat)
+	network.Connect(switches["s1"], 3, switches["s3"], 3, lat)
+	network.Connect(switches["s3"], 1, h2, h2.Port(), lat)
+
+	// Stub controller: accepts RUM's per-switch connections, records acks.
+	ctrlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrlLn.Close()
+	type ack struct {
+		xid  uint32
+		code uint16
+		at   time.Time
+	}
+	var mu sync.Mutex
+	var acks []ack
+	var ctrlConns []transport.Conn
+	dpids := make(map[transport.Conn]uint64)
+	go func() {
+		for {
+			nc, err := ctrlLn.Accept()
+			if err != nil {
+				return
+			}
+			conn := transport.NewTCP(nc)
+			mu.Lock()
+			ctrlConns = append(ctrlConns, conn)
+			mu.Unlock()
+			conn.SetHandler(func(m of.Message) {
+				if xid, code, ok := ParseAck(m); ok {
+					mu.Lock()
+					acks = append(acks, ack{xid: xid, code: code, at: time.Now()})
+					mu.Unlock()
+					return
+				}
+				if fr, ok := m.(*of.FeaturesReply); ok {
+					mu.Lock()
+					dpids[conn] = fr.DatapathID
+					mu.Unlock()
+				}
+			})
+			_ = conn.Send(&of.Hello{})
+		}
+	}()
+
+	// RUM proxy.
+	topo := NewTopology([]TopoLink{
+		{A: "s1", APort: 2, B: "s2", BPort: 1},
+		{A: "s2", APort: 2, B: "s3", BPort: 2},
+		{A: "s1", APort: 3, B: "s3", BPort: 3},
+	})
+	srv, err := NewProxyServer(ProxyConfig{
+		RUM:      Config{Clock: clk, Technique: TechGeneral, RUMAware: true},
+		Topology: topo,
+		Switches: []SwitchIdentity{
+			{DPID: 1, Name: "s1"}, {DPID: 2, Name: "s2"}, {DPID: 3, Name: "s3"},
+		},
+		ControllerAddr: ctrlLn.Addr().String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyLn.Close()
+	go func() { _ = srv.Serve(proxyLn) }()
+
+	// Switches dial RUM.
+	for _, name := range []string{"s1", "s2", "s3"} {
+		nc, err := net.Dial("tcp", proxyLn.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		switches[name].AttachConn(transport.NewTCP(nc))
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.Attached() == 3 })
+	// Let probe infrastructure sync into the data planes.
+	time.Sleep(200 * time.Millisecond)
+
+	// The "controller" (via its s2 connection) installs a rule on s2.
+	mu.Lock()
+	if len(ctrlConns) != 3 {
+		mu.Unlock()
+		t.Fatalf("controller has %d conns, want 3", len(ctrlConns))
+	}
+	mu.Unlock()
+
+	// Find s2's controller-side conn by sending a features request on
+	// each and matching the dpid (the permanent handler records replies).
+	mu.Lock()
+	for _, c := range ctrlConns {
+		fr := &of.FeaturesRequest{}
+		fr.SetXID(777)
+		_ = c.Send(fr)
+	}
+	mu.Unlock()
+	var s2conn transport.Conn
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for c, d := range dpids {
+			if d == 2 {
+				s2conn = c
+			}
+		}
+		return s2conn != nil
+	})
+
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.MustParseAddr("10.0.0.1"))
+	m.SetNWDst(netip.MustParseAddr("10.1.0.1"))
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: m,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 2}}}
+	fm.SetXID(4242)
+	sent := time.Now()
+	if err := s2conn.Send(fm); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, a := range acks {
+			if a.xid == 4242 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The ack must not precede the data-plane activation.
+	acts := switches["s2"].Activations()
+	var activated bool
+	for _, a := range acts {
+		if a.XID == 4242 {
+			activated = true
+		}
+	}
+	if !activated {
+		t.Fatal("rule acked but never activated in the data plane")
+	}
+	mu.Lock()
+	var ackDelay time.Duration
+	for _, a := range acks {
+		if a.xid == 4242 {
+			ackDelay = a.at.Sub(sent)
+		}
+	}
+	mu.Unlock()
+	// The sync period is 50ms, so a correct ack cannot arrive faster.
+	if ackDelay < 25*time.Millisecond {
+		t.Errorf("ack arrived after %v; suspiciously before the data-plane sync window", ackDelay)
+	}
+}
+
+func waitFor(t *testing.T, max time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(max)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}

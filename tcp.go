@@ -1,0 +1,163 @@
+package rum
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rum/internal/core"
+	"rum/internal/of"
+	"rum/internal/transport"
+)
+
+// SwitchIdentity names one switch RUM expects to connect.
+type SwitchIdentity struct {
+	// DPID is the datapath id the switch reports in its FeaturesReply.
+	DPID uint64
+	// Name must match the topology's switch names.
+	Name string
+}
+
+// ProxyConfig parameterizes a TCP deployment of RUM (cmd/rumproxy).
+type ProxyConfig struct {
+	// RUM is the monitoring-layer configuration. Clock defaults to a wall
+	// clock.
+	RUM Config
+	// Topology describes the inter-switch links (probe routing).
+	Topology *Topology
+	// Switches maps expected datapath ids to topology names. Connections
+	// from unknown datapaths are rejected.
+	Switches []SwitchIdentity
+	// ControllerAddr is the real controller's TCP address; RUM dials one
+	// connection per switch, impersonating it (§4 of the paper).
+	ControllerAddr string
+	// HandshakeTimeout bounds the identification handshake per switch.
+	HandshakeTimeout time.Duration
+}
+
+// ProxyServer runs RUM as a real TCP proxy: switches connect to it as if
+// it were the controller; it connects onward to the actual controller.
+type ProxyServer struct {
+	cfg  ProxyConfig
+	rum  *RUM
+	byID map[uint64]string
+
+	mu       sync.Mutex
+	attached map[string]bool
+}
+
+// NewProxyServer validates the configuration and builds the server.
+func NewProxyServer(cfg ProxyConfig) (*ProxyServer, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("rum: ProxyConfig.Topology is required")
+	}
+	if cfg.ControllerAddr == "" {
+		return nil, fmt.Errorf("rum: ProxyConfig.ControllerAddr is required")
+	}
+	if cfg.RUM.Clock == nil {
+		cfg.RUM.Clock = NewWallClock()
+	}
+	if cfg.HandshakeTimeout == 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	byID := make(map[uint64]string, len(cfg.Switches))
+	for _, s := range cfg.Switches {
+		if s.Name == "" {
+			return nil, fmt.Errorf("rum: switch %#x has no name", s.DPID)
+		}
+		byID[s.DPID] = s.Name
+	}
+	return &ProxyServer{
+		cfg:      cfg,
+		rum:      core.New(cfg.RUM, cfg.Topology),
+		byID:     byID,
+		attached: make(map[string]bool),
+	}, nil
+}
+
+// RUM exposes the underlying instance (stats, Bootstrap).
+func (p *ProxyServer) RUM() *RUM { return p.rum }
+
+// Serve accepts switch connections on ln until the listener closes. Once
+// every configured switch has attached, probe infrastructure is installed
+// automatically.
+func (p *ProxyServer) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := p.handle(nc); err != nil {
+				_ = nc.Close()
+			}
+		}()
+	}
+}
+
+// handle identifies one switch connection and splices it into RUM.
+func (p *ProxyServer) handle(nc net.Conn) error {
+	// Identification handshake, performed by RUM itself before the
+	// controller ever sees the switch: hello + features request.
+	deadline := time.Now().Add(p.cfg.HandshakeTimeout)
+	_ = nc.SetDeadline(deadline)
+	if err := of.WriteMessage(nc, &of.Hello{}); err != nil {
+		return err
+	}
+	fr := &of.FeaturesRequest{}
+	fr.SetXID(0xf0f0f0f0)
+	if err := of.WriteMessage(nc, fr); err != nil {
+		return err
+	}
+	var dpid uint64
+	for {
+		m, err := of.ReadMessage(nc)
+		if err != nil {
+			return err
+		}
+		if rep, ok := m.(*of.FeaturesReply); ok {
+			dpid = rep.DatapathID
+			break
+		}
+		// Hello / echo traffic before the reply is fine; answer echoes.
+		if er, ok := m.(*of.EchoRequest); ok {
+			rep := &of.EchoReply{Data: er.Data}
+			rep.SetXID(er.GetXID())
+			if err := of.WriteMessage(nc, rep); err != nil {
+				return err
+			}
+		}
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	name, known := p.byID[dpid]
+	if !known {
+		return fmt.Errorf("rum: unknown datapath %#x", dpid)
+	}
+	ctrlNC, err := net.Dial("tcp", p.cfg.ControllerAddr)
+	if err != nil {
+		return fmt.Errorf("rum: dialing controller for %s: %w", name, err)
+	}
+	swConn := transport.NewTCP(nc)
+	ctrlConn := transport.NewTCP(ctrlNC)
+	p.rum.AttachSwitch(name, dpid, ctrlConn, swConn)
+
+	p.mu.Lock()
+	p.attached[name] = true
+	ready := len(p.attached) == len(p.byID)
+	p.mu.Unlock()
+	if ready {
+		if err := p.rum.Bootstrap(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Attached reports how many switches have completed identification.
+func (p *ProxyServer) Attached() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.attached)
+}
