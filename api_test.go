@@ -1,0 +1,408 @@
+package rum
+
+// Tests of the redesigned public API: pluggable ack strategies (registry,
+// per-switch overrides, user-supplied implementations), ack futures
+// (Watch / AwaitAck / Done), the typed event stream, and the wire-level
+// ParseAck compatibility path.
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// simTriangle is the paper's triangle topology on the deterministic sim
+// clock, driven through the public API.
+type simTriangle struct {
+	clk      *sim.Sim
+	r        *RUM
+	switches map[string]*switchsim.Switch
+	ctrl     map[string]transport.Conn
+}
+
+func newSimTriangle(t *testing.T, cfg Config) *simTriangle {
+	t.Helper()
+	clk := NewSimClock()
+	network := netsim.New(clk)
+	profs := map[string]switchsim.Profile{
+		"s1": switchsim.ProfileSoftware(),
+		"s2": switchsim.ProfileHP5406zl(),
+		"s3": switchsim.ProfileSoftware(),
+	}
+	tri := &simTriangle{
+		clk:      clk,
+		switches: make(map[string]*switchsim.Switch),
+		ctrl:     make(map[string]transport.Conn),
+	}
+	for i, name := range []string{"s1", "s2", "s3"} {
+		tri.switches[name] = switchsim.New(name, uint64(i+1), profs[name], clk, network)
+	}
+	h1 := netsim.NewHost(network, "h1")
+	h2 := netsim.NewHost(network, "h2")
+	lat := 20 * time.Microsecond
+	network.Connect(h1, h1.Port(), tri.switches["s1"], 1, lat)
+	network.Connect(tri.switches["s1"], 2, tri.switches["s2"], 1, lat)
+	network.Connect(tri.switches["s2"], 2, tri.switches["s3"], 2, lat)
+	network.Connect(tri.switches["s1"], 3, tri.switches["s3"], 3, lat)
+	network.Connect(tri.switches["s3"], 1, h2, h2.Port(), lat)
+
+	cfg.Clock = clk
+	cfg.RUMAware = true
+	r, err := New(cfg, NewTopology([]TopoLink{
+		{A: "s1", APort: 2, B: "s2", BPort: 1},
+		{A: "s2", APort: 2, B: "s3", BPort: 2},
+		{A: "s1", APort: 3, B: "s3", BPort: 3},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri.r = r
+	for name, sw := range tri.switches {
+		ctrlTop, ctrlBottom := transport.Pipe(clk, 100*time.Microsecond)
+		rumSide, swSide := transport.Pipe(clk, 100*time.Microsecond)
+		sw.AttachConn(swSide)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			t.Fatal(err)
+		}
+		tri.ctrl[name] = ctrlTop
+	}
+	if err := r.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(700 * time.Millisecond)
+	return tri
+}
+
+func testFlowMod(i int, xid uint32, outPort uint16) *of.FlowMod {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}))
+	m.SetNWDst(netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}))
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: m,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: outPort}}}
+	fm.SetXID(xid)
+	return fm
+}
+
+// TestAwaitAckSimHappyPath: an ack future registered before the FlowMod
+// resolves into a typed installed result, never before the rule's real
+// data-plane activation; a follow-up deletion resolves as removed.
+func TestAwaitAckSimHappyPath(t *testing.T) {
+	tri := newSimTriangle(t, Config{Technique: TechSequential, ProbeEvery: 2})
+
+	fm := testFlowMod(0, 1000, 2)
+	h := tri.r.Watch("s2", fm.GetXID())
+	if _, ok := h.Result(); ok {
+		t.Fatal("future resolved before the FlowMod was even sent")
+	}
+	_ = tri.ctrl["s2"].Send(fm)
+	tri.clk.RunFor(4 * time.Second)
+
+	// The simulation has fully resolved the future; AwaitAck returns
+	// without blocking.
+	res, err := h.AwaitAck(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switch != "s2" || res.XID != 1000 {
+		t.Errorf("result identity = %s/%d, want s2/1000", res.Switch, res.XID)
+	}
+	if res.Outcome != OutcomeInstalled {
+		t.Errorf("outcome = %s, want installed", res.Outcome)
+	}
+	if res.Latency <= 0 || res.ConfirmedAt != res.IssuedAt+res.Latency {
+		t.Errorf("inconsistent timing: issued=%v confirmed=%v latency=%v",
+			res.IssuedAt, res.ConfirmedAt, res.Latency)
+	}
+	var activatedAt time.Duration
+	for _, a := range tri.switches["s2"].Activations() {
+		if a.XID == 1000 {
+			activatedAt = a.At
+		}
+	}
+	if activatedAt == 0 {
+		t.Fatal("rule never activated in the data plane")
+	}
+	if res.ConfirmedAt < activatedAt {
+		t.Errorf("ack future resolved at %v before activation at %v", res.ConfirmedAt, activatedAt)
+	}
+
+	// Deleting the rule resolves a second future as removed.
+	del := &of.FlowMod{Command: of.FCDeleteStrict, Priority: 100, Match: fm.Match,
+		BufferID: of.BufferNone, OutPort: of.PortNone}
+	del.SetXID(1001)
+	hDel := tri.r.Watch("s2", del.GetXID())
+	_ = tri.ctrl["s2"].Send(del)
+	tri.clk.RunFor(4 * time.Second)
+	delRes, ok := hDel.Result()
+	if !ok {
+		t.Fatal("deletion future never resolved")
+	}
+	if delRes.Outcome != OutcomeRemoved {
+		t.Errorf("deletion outcome = %s, want removed", delRes.Outcome)
+	}
+}
+
+// TestAwaitAckContextCancel: a future whose modification never resolves
+// honors context cancellation.
+func TestAwaitAckContextCancel(t *testing.T) {
+	tri := newSimTriangle(t, Config{Technique: TechSequential})
+	h := tri.r.Watch("s2", 9999) // never sent
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.AwaitAck(ctx); err != context.Canceled {
+		t.Fatalf("AwaitAck(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := h.AwaitAck(ctx2); err != context.DeadlineExceeded {
+		t.Fatalf("AwaitAck(deadline ctx) err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, ok := h.Result(); ok {
+		t.Fatal("unresolved future reported a result")
+	}
+}
+
+// TestAwaitAckFallbackOutcome: a host-facing rule (no probe possible)
+// resolves its future with the typed fallback outcome.
+func TestAwaitAckFallbackOutcome(t *testing.T) {
+	tri := newSimTriangle(t, Config{Technique: TechGeneral})
+	fm := testFlowMod(1, 2000, 5) // port 5 is unwired: probe impossible
+	h := tri.r.Watch("s2", fm.GetXID())
+	_ = tri.ctrl["s2"].Send(fm)
+	tri.clk.RunFor(3 * time.Second)
+	res, ok := h.Result()
+	if !ok {
+		t.Fatal("fallback future never resolved")
+	}
+	if res.Outcome != OutcomeFallback {
+		t.Errorf("outcome = %s, want fallback", res.Outcome)
+	}
+	if res.Code != AckFallback {
+		t.Errorf("wire code = %d, want AckFallback", res.Code)
+	}
+}
+
+// recordingStrategy is a user-supplied AckStrategy: it records every
+// modification it is asked about and confirms through the timer-tick
+// hook, exercising OnFlowMod, OnTick/ScheduleTick, and Confirm from
+// outside the core package.
+type recordingStrategy struct {
+	mu   sync.Mutex
+	seen map[string][]uint32 // switch → xids observed
+}
+
+func (s *recordingStrategy) Name() string { return "test-recording" }
+
+func (s *recordingStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	return &recordingSwitch{parent: s, sc: sc}
+}
+
+func (s *recordingStrategy) xids(sw string) []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint32(nil), s.seen[sw]...)
+}
+
+type recordingSwitch struct {
+	BaseSwitchStrategy
+	parent *recordingStrategy
+	sc     StrategyContext
+
+	mu      sync.Mutex
+	pending []*Update
+}
+
+func (t *recordingSwitch) OnFlowMod(u *Update) {
+	t.parent.mu.Lock()
+	t.parent.seen[t.sc.Switch()] = append(t.parent.seen[t.sc.Switch()], u.XID())
+	t.parent.mu.Unlock()
+	t.mu.Lock()
+	t.pending = append(t.pending, u)
+	t.mu.Unlock()
+	t.sc.ScheduleTick(2 * time.Millisecond)
+}
+
+func (t *recordingSwitch) OnTick(now time.Duration) {
+	t.mu.Lock()
+	ready := t.pending
+	t.pending = nil
+	t.mu.Unlock()
+	for _, u := range ready {
+		t.sc.Confirm(u, OutcomeInstalled)
+	}
+}
+
+// lastRecording hands the most recently built registry instance to the
+// test that configured it.
+var lastRecording *recordingStrategy
+
+func init() {
+	RegisterStrategy("test-recording", func(Config) AckStrategy {
+		s := &recordingStrategy{seen: make(map[string][]uint32)}
+		lastRecording = s
+		return s
+	})
+}
+
+// TestPerSwitchStrategyOverride: a deployment mixing the barrier baseline
+// with a user-registered strategy on one switch routes each switch's
+// modifications to its own strategy.
+func TestPerSwitchStrategyOverride(t *testing.T) {
+	tri := newSimTriangle(t, Config{
+		Technique: TechBarriers,
+		PerSwitch: map[string]Technique{"s2": "test-recording"},
+	})
+	rec := lastRecording
+	if rec == nil {
+		t.Fatal("registry never built the test strategy")
+	}
+
+	h2 := tri.r.Watch("s2", 3000)
+	h1 := tri.r.Watch("s1", 3001)
+	_ = tri.ctrl["s2"].Send(testFlowMod(0, 3000, 2))
+	_ = tri.ctrl["s1"].Send(testFlowMod(1, 3001, 2))
+	tri.clk.RunFor(2 * time.Second)
+
+	if got := rec.xids("s2"); len(got) != 1 || got[0] != 3000 {
+		t.Errorf("custom strategy saw s2 xids %v, want [3000]", got)
+	}
+	if got := rec.xids("s1"); len(got) != 0 {
+		t.Errorf("custom strategy saw s1 xids %v, want none (s1 uses the default)", got)
+	}
+	res2, ok := h2.Result()
+	if !ok || res2.Outcome != OutcomeInstalled {
+		t.Errorf("s2 future = %+v ok=%v, want installed via custom strategy", res2, ok)
+	}
+	if _, ok := h1.Result(); !ok {
+		t.Error("s1 future never resolved via the default barrier strategy")
+	}
+}
+
+// TestPerSwitchMixedProbing: the sequential deployment keeps working for
+// the switches it serves when another switch is overridden to a
+// control-plane technique — probe arrivals are routed across strategies.
+func TestPerSwitchMixedProbing(t *testing.T) {
+	tri := newSimTriangle(t, Config{
+		Technique:  TechSequential,
+		ProbeEvery: 2,
+		PerSwitch:  map[string]Technique{"s3": TechTimeout},
+	})
+	h := tri.r.Watch("s2", 4000)
+	_ = tri.ctrl["s2"].Send(testFlowMod(0, 4000, 2))
+	h3 := tri.r.Watch("s3", 4001)
+	_ = tri.ctrl["s3"].Send(testFlowMod(1, 4001, 2))
+	tri.clk.RunFor(4 * time.Second)
+
+	res, ok := h.Result()
+	if !ok {
+		t.Fatal("sequential-probed s2 never confirmed in the mixed deployment")
+	}
+	var activatedAt time.Duration
+	for _, a := range tri.switches["s2"].Activations() {
+		if a.XID == 4000 {
+			activatedAt = a.At
+		}
+	}
+	if res.ConfirmedAt < activatedAt {
+		t.Errorf("s2 confirmed at %v before activation at %v", res.ConfirmedAt, activatedAt)
+	}
+	if _, ok := h3.Result(); !ok {
+		t.Error("timeout-strategy s3 never confirmed")
+	}
+	_, probes, _ := tri.r.Stats()
+	if probes == 0 {
+		t.Error("sequential deployment sent no probes in the mixed setup")
+	}
+}
+
+// TestEventStream: Subscribe delivers typed AckEvents and ProbeEvents
+// carrying the same story as Stats, structured.
+func TestEventStream(t *testing.T) {
+	tri := newSimTriangle(t, Config{Technique: TechSequential, ProbeEvery: 2})
+	sub := tri.r.Subscribe(1024)
+	defer sub.Close()
+
+	h := tri.r.Watch("s2", 5000)
+	_ = tri.ctrl["s2"].Send(testFlowMod(0, 5000, 2))
+	tri.clk.RunFor(4 * time.Second)
+	if _, ok := h.Result(); !ok {
+		t.Fatal("mod never confirmed")
+	}
+
+	var acks, probes int
+	var ackEv AckEvent
+	for drained := false; !drained; {
+		select {
+		case ev := <-sub.C:
+			switch e := ev.(type) {
+			case AckEvent:
+				acks++
+				if e.XID == 5000 {
+					ackEv = e
+				}
+			case ProbeEvent:
+				probes += e.Count
+			}
+		default:
+			drained = true
+		}
+	}
+	if acks == 0 || probes == 0 {
+		t.Fatalf("event stream: acks=%d probes=%d, want both > 0", acks, probes)
+	}
+	if ackEv.XID != 5000 || ackEv.Switch != "s2" || ackEv.Outcome != OutcomeInstalled {
+		t.Errorf("ack event = %+v, want installed s2/5000", ackEv)
+	}
+	if ackEv.Latency <= 0 || ackEv.At != ackEv.IssuedAt+ackEv.Latency {
+		t.Errorf("ack event timing inconsistent: %+v", ackEv)
+	}
+	_, statProbes, _ := tri.r.Stats()
+	if uint64(probes) != statProbes {
+		t.Errorf("event stream counted %d probes, Stats reports %d", probes, statProbes)
+	}
+}
+
+// TestParseAckWire keeps the wire-level compatibility path covered: a
+// controller on the far side of a TCP proxy still decodes RUM acks from
+// reserved-type OpenFlow errors.
+func TestParseAckWire(t *testing.T) {
+	ack := of.NewRUMAck(0xabcd, AckInstalled)
+	xid, code, ok := ParseAck(ack)
+	if !ok || xid != 0xabcd || code != AckInstalled {
+		t.Fatalf("ParseAck(ack) = %v %v %v", xid, code, ok)
+	}
+	if _, _, ok := ParseAck(&of.BarrierReply{}); ok {
+		t.Error("ParseAck accepted a barrier reply")
+	}
+	plain := &of.Error{ErrType: of.ErrTypeBadRequest, Code: 1}
+	if _, _, ok := ParseAck(plain); ok {
+		t.Error("ParseAck accepted a genuine error")
+	}
+}
+
+// TestSubscriptionDropsWhenFull: a full subscriber buffer never blocks
+// the update pipeline; overflow is counted.
+func TestSubscriptionDropsWhenFull(t *testing.T) {
+	tri := newSimTriangle(t, Config{Technique: TechSequential, ProbeEvery: 2})
+	sub := tri.r.Subscribe(1) // tiny buffer, never drained during the run
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		_ = tri.ctrl["s2"].Send(testFlowMod(i, uint32(6000+i), 2))
+	}
+	tri.clk.RunFor(4 * time.Second)
+	if sub.Dropped() == 0 {
+		t.Error("expected dropped events on a full buffer")
+	}
+}

@@ -10,7 +10,11 @@
 //	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
 //	  -switches 1=s1,2=s2,3=s3 \
 //	  -links s1:2-s2:1,s2:2-s3:2,s1:3-s3:3 \
-//	  -technique general -barrier-layer
+//	  -technique general -per-switch s2=adaptive -barrier-layer
+//
+// -technique selects any registered ack strategy by name; -per-switch
+// overrides it for individual switches, so heterogeneous deployments can
+// mix techniques (the adaptive technique is switch-model-specific).
 package main
 
 import (
@@ -18,7 +22,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -31,7 +34,10 @@ func main() {
 	controller := flag.String("controller", "127.0.0.1:6653", "real controller address")
 	switchesFlag := flag.String("switches", "", "dpid=name pairs, comma separated")
 	linksFlag := flag.String("links", "", "inter-switch links a:pa-b:pb, comma separated")
-	techniqueFlag := flag.String("technique", "general", "barriers|timeout|adaptive|sequential|general|nowait")
+	techniqueFlag := flag.String("technique", "general",
+		"default ack strategy: "+strings.Join(rum.StrategyNames(), "|"))
+	perSwitchFlag := flag.String("per-switch", "",
+		"per-switch strategy overrides, name=strategy pairs, comma separated")
 	timeout := flag.Duration("timeout", 300*time.Millisecond, "timeout-technique delay / fallback delay")
 	rate := flag.Float64("rate", 200, "adaptive-technique assumed mods/sec")
 	probeEvery := flag.Int("probe-every", 10, "sequential probing batch size")
@@ -52,10 +58,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("rumproxy: -technique: %v", err)
 	}
+	perSwitch, err := parsePerSwitch(*perSwitchFlag)
+	if err != nil {
+		log.Fatalf("rumproxy: -per-switch: %v", err)
+	}
 
 	srv, err := rum.NewProxyServer(rum.ProxyConfig{
 		RUM: rum.Config{
 			Technique:        tech,
+			PerSwitch:        perSwitch,
 			RUMAware:         *rumAware,
 			Timeout:          *timeout,
 			AssumedRate:      *rate,
@@ -135,21 +146,37 @@ func parseEnd(s string) (string, uint16, error) {
 	return name, uint16(port), nil
 }
 
+// parseTechnique resolves a strategy name against the registry (with the
+// historical "nowait" spelling accepted for TechNoWait).
 func parseTechnique(s string) (rum.Technique, error) {
-	switch strings.ToLower(s) {
-	case "barriers":
-		return rum.TechBarriers, nil
-	case "timeout":
-		return rum.TechTimeout, nil
-	case "adaptive":
-		return rum.TechAdaptive, nil
-	case "sequential":
-		return rum.TechSequential, nil
-	case "general":
-		return rum.TechGeneral, nil
-	case "nowait":
-		return rum.TechNoWait, nil
+	name := strings.ToLower(s)
+	if name == "nowait" {
+		name = string(rum.TechNoWait)
 	}
-	fmt.Fprintf(os.Stderr, "unknown technique %q\n", s)
-	return 0, fmt.Errorf("unknown technique %q", s)
+	for _, reg := range rum.StrategyNames() {
+		if name == reg {
+			return rum.Technique(name), nil
+		}
+	}
+	return "", fmt.Errorf("unknown technique %q (registered: %s)", s, strings.Join(rum.StrategyNames(), ", "))
+}
+
+// parsePerSwitch parses name=strategy override pairs.
+func parsePerSwitch(s string) (map[string]rum.Technique, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]rum.Technique)
+	for _, pair := range strings.Split(s, ",") {
+		name, techStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad pair %q (want switch=strategy)", pair)
+		}
+		tech, err := parseTechnique(techStr)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = tech
+	}
+	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"slices"
 	"time"
 
 	"rum/internal/core"
@@ -22,18 +23,11 @@ func main() {
 	technique := flag.String("technique", "sequential", "RUM technique for the safe run")
 	flag.Parse()
 
-	var tech core.Technique
-	switch *technique {
-	case "sequential":
-		tech = core.TechSequential
-	case "general":
-		tech = core.TechGeneral
-	case "timeout":
-		tech = core.TechTimeout
-	case "adaptive":
-		tech = core.TechAdaptive
-	default:
-		log.Fatalf("unknown technique %q", *technique)
+	// Any registered ack strategy works for the safe run; validate the
+	// name against the registry.
+	tech := core.Technique(*technique)
+	if !slices.Contains(core.StrategyNames(), *technique) {
+		log.Fatalf("unknown technique %q (registered: %v)", *technique, core.StrategyNames())
 	}
 
 	fmt.Printf("migrating %d flows (250 pkt/s each) on the triangle topology\n\n", *flows)

@@ -42,8 +42,9 @@ func main() {
 	network.Connect(switches["s1"], 3, switches["s3"], 3, lat)
 	network.Connect(switches["s3"], 1, h2, h2.Port(), lat)
 
-	// RUM with general (per-rule) data-plane probing.
-	r := rum.New(rum.Config{
+	// RUM with general (per-rule) data-plane probing, selected by strategy
+	// name from the registry.
+	r, err := rum.New(rum.Config{
 		Clock:     clk,
 		Technique: rum.TechGeneral,
 		RUMAware:  true,
@@ -52,6 +53,9 @@ func main() {
 		{A: "s2", APort: 2, B: "s3", BPort: 2},
 		{A: "s1", APort: 3, B: "s3", BPort: 3},
 	}))
+	if err != nil {
+		panic(err)
+	}
 
 	// Splice RUM between a "controller" conn and each switch.
 	ctrl := map[string]transport.Conn{}
@@ -59,22 +63,24 @@ func main() {
 		ctrlTop, ctrlBottom := transport.Pipe(clk, 100*time.Microsecond)
 		rumSide, swSide := transport.Pipe(clk, 100*time.Microsecond)
 		sw.AttachConn(swSide)
-		r.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			panic(err)
+		}
 		ctrl[name] = ctrlTop
 	}
 
-	// Watch what the controller receives from s2.
-	var barrierReplyAt, rumAckAt time.Duration
+	// Watch the barrier reply on the wire; RUM's own ack arrives as a
+	// typed AckResult through the future below.
+	var barrierReplyAt time.Duration
 	ctrl["s2"].SetHandler(func(m of.Message) {
 		if m.MsgType() == of.TypeBarrierReply {
 			barrierReplyAt = clk.Now()
 		}
-		if xid, code, ok := rum.ParseAck(m); ok {
-			rumAckAt = clk.Now()
-			fmt.Printf("t=%8v  RUM ack for xid %d (code %d): rule is IN THE DATA PLANE\n",
-				clk.Now().Round(time.Millisecond), xid, code)
-		}
 	})
+
+	// And subscribe to the typed event stream for probe visibility.
+	sub := r.Subscribe(256)
+	defer sub.Close()
 
 	// Install probe rules, wait for the switch data planes to absorb them.
 	if err := r.Bootstrap(); err != nil {
@@ -83,6 +89,8 @@ func main() {
 	clk.RunFor(700 * time.Millisecond)
 
 	// The controller installs a rule on the buggy switch, with a barrier.
+	// Watch the modification first: the handle resolves into a typed
+	// AckResult once RUM proves the rule is in the data plane.
 	start := clk.Now()
 	m := of.MatchAll()
 	m.Wildcards &^= of.WcDLType
@@ -93,12 +101,34 @@ func main() {
 		BufferID: of.BufferNone, OutPort: of.PortNone,
 		Actions: []of.Action{of.ActionOutput{Port: 2}}}
 	fm.SetXID(1)
+	handle := r.Watch("s2", fm.GetXID())
 	_ = ctrl["s2"].Send(fm)
 	br := &of.BarrierRequest{}
 	br.SetXID(2)
 	_ = ctrl["s2"].Send(br)
 
 	clk.RunFor(2 * time.Second)
+
+	res, ok := handle.Result()
+	if !ok {
+		panic("rule never acknowledged")
+	}
+	rumAckAt := res.ConfirmedAt
+	fmt.Printf("t=%8v  ack future resolved: xid=%d outcome=%s latency=%v\n",
+		res.ConfirmedAt.Round(time.Millisecond), res.XID, res.Outcome,
+		res.Latency.Round(time.Millisecond))
+	probes := 0
+	for drained := false; !drained; {
+		select {
+		case ev := <-sub.C:
+			if _, isProbe := ev.(rum.ProbeEvent); isProbe {
+				probes++
+			}
+		default:
+			drained = true
+		}
+	}
+	fmt.Printf("           event stream saw %d probe injections\n", probes)
 
 	// Ground truth from the emulated switch.
 	var activatedAt time.Duration

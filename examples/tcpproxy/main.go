@@ -1,12 +1,15 @@
 // TCP deployment: the production wiring of §4, entirely on loopback. An
 // emulated switch network (real-time clock) dials a RUM ProxyServer over
 // TCP; RUM dials a miniature controller; the controller installs a rule
-// on the buggy switch and receives a data-plane-verified acknowledgment.
+// on the buggy switch and awaits the data-plane-verified acknowledgment
+// as a typed ack future (AwaitAck) — ParseAck remains available for
+// controllers on the far side of the wire.
 //
 // Run: go run ./examples/tcpproxy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -57,7 +60,6 @@ func main() {
 	defer ctrlLn.Close()
 	var mu sync.Mutex
 	conns := map[uint64]transport.Conn{}
-	ackCh := make(chan uint32, 16)
 	go func() {
 		for {
 			nc, err := ctrlLn.Accept()
@@ -66,10 +68,6 @@ func main() {
 			}
 			conn := transport.NewTCP(nc)
 			conn.SetHandler(func(m of.Message) {
-				if xid, _, ok := rum.ParseAck(m); ok {
-					ackCh <- xid
-					return
-				}
 				if fr, ok := m.(*of.FeaturesReply); ok {
 					mu.Lock()
 					conns[fr.DatapathID] = conn
@@ -138,15 +136,20 @@ func main() {
 		BufferID: of.BufferNone, OutPort: of.PortNone,
 		Actions: []of.Action{of.ActionOutput{Port: 2}}}
 	fm.SetXID(4242)
+	// Register the ack future before sending, then block on it: under a
+	// wall clock AwaitAck is an ordinary blocking call.
+	handle := srv.RUM().Watch("s2", fm.GetXID())
 	sentAt := time.Now()
 	_ = s2conn.Send(fm)
-	fmt.Println("FlowMod xid=4242 sent to s2 through RUM; waiting for the data-plane-verified ack...")
+	fmt.Println("FlowMod xid=4242 sent to s2 through RUM; awaiting the data-plane-verified ack...")
 
-	select {
-	case xid := <-ackCh:
-		fmt.Printf("RUM ack for xid=%d after %v (data-plane sync period is %v)\n",
-			xid, time.Since(sentAt).Round(time.Millisecond), hp.SyncPeriod)
-	case <-time.After(10 * time.Second):
-		log.Fatal("no ack within 10s")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := handle.AwaitAck(ctx)
+	if err != nil {
+		log.Fatalf("no ack within 10s: %v", err)
 	}
+	fmt.Printf("ack future: xid=%d outcome=%s latency=%v wall=%v (data-plane sync period is %v)\n",
+		res.XID, res.Outcome, res.Latency.Round(time.Millisecond),
+		time.Since(sentAt).Round(time.Millisecond), hp.SyncPeriod)
 }

@@ -1,0 +1,3 @@
+module rum
+
+go 1.22

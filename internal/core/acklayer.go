@@ -2,35 +2,27 @@ package core
 
 import (
 	"sync"
-	"time"
 
 	"rum/internal/of"
+	"rum/internal/packet"
 	"rum/internal/proxy"
 )
 
-// pending is one controller FlowMod awaiting data-plane confirmation.
-type pending struct {
-	xid      uint32
-	seq      uint64 // per-session issue order
-	fm       *of.FlowMod
-	issuedAt time.Duration
-	done     bool
-}
-
 // confirmListener observes confirmations (the barrier layer registers one).
-type confirmListener func(p *pending, code uint16)
+type confirmListener func(u *Update, outcome Outcome)
 
 // ackLayer is the acknowledgment layer (§2): it tracks every FlowMod the
-// controller sends, hands it to the configured technique, and emits a
-// fine-grained ack to RUM-aware controllers once the technique proves the
-// rule is in the data plane.
+// controller sends, hands it to the switch's configured AckStrategy, and —
+// once the strategy proves the rule is in the data plane — emits a
+// fine-grained ack to RUM-aware controllers, resolves ack futures, and
+// publishes an AckEvent.
 type ackLayer struct {
 	sess *session
 
 	mu        sync.Mutex
 	ctx       *proxy.Context
 	nextSeq   uint64
-	pendings  []*pending // issue order; confirmed entries are pruned
+	pendings  []*Update // issue order; confirmed entries are pruned
 	listeners []confirmListener
 }
 
@@ -43,31 +35,53 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	case *of.FlowMod:
 		a.mu.Lock()
 		a.nextSeq++
-		p := &pending{
+		u := &Update{
+			sw:       a.sess.name,
 			xid:      mm.GetXID(),
 			seq:      a.nextSeq,
 			fm:       mm,
 			issuedAt: ctx.Clock().Now(),
 		}
-		a.pendings = append(a.pendings, p)
+		a.pendings = append(a.pendings, u)
 		a.mu.Unlock()
 		ctx.ToSwitch(m)
-		a.sess.tech.onFlowMod(a, ctx, p)
+		a.sess.strat.OnFlowMod(u)
 	default:
 		ctx.ToSwitch(m)
 	}
 }
 
-// FromSwitch implements proxy.Layer: RUM-internal replies and probe
-// PacketIns are consumed by the technique; everything else passes through.
+// FromSwitch implements proxy.Layer: barrier replies and probe PacketIns
+// are offered to the strategy (and, for probes, to every cross-switch
+// probe-routing deployment); switch errors fail their pending update; and
+// replies to RUM-internal messages are suppressed. Everything else passes
+// through.
 func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 	a.mu.Lock()
 	a.ctx = ctx
 	a.mu.Unlock()
-	if a.sess.tech.onFromSwitch(a, ctx, m) {
-		return
+	switch mm := m.(type) {
+	case *of.BarrierReply:
+		if a.sess.strat.OnBarrierReply(mm) {
+			return
+		}
+	case *of.PacketIn:
+		if pkt, err := packet.Unmarshal(mm.Data); err == nil {
+			if a.sess.strat.OnProbe(mm, pkt.Fields) {
+				return
+			}
+			if a.sess.rum.routeProbe(a.sess.name, mm, pkt.Fields) {
+				return
+			}
+		}
+	case *of.Error:
+		// A genuine switch error for a tracked FlowMod resolves it as
+		// failed; the error itself still reaches the controller below.
+		if _, _, isAck := mm.IsRUMAck(); !isAck && errorBlamesFlowMod(mm) {
+			a.failByXID(mm.GetXID())
+		}
 	}
-	// Suppress replies to RUM-generated messages that the technique did
+	// Suppress replies to RUM-generated messages that the strategy did
 	// not claim (errors for probe rules, stray barrier replies).
 	if IsRUMXID(m.GetXID()) && m.MsgType() != of.TypePacketIn {
 		return
@@ -82,14 +96,16 @@ func (a *ackLayer) onConfirm(fn confirmListener) {
 	a.listeners = append(a.listeners, fn)
 }
 
-// confirm marks p as data-plane-confirmed and emits acknowledgments.
-func (a *ackLayer) confirm(p *pending, code uint16) {
+// takeConfirmed atomically marks u resolved and prunes it; it reports
+// false when u was already resolved, and returns the resources needed to
+// emit the resolution.
+func (a *ackLayer) takeConfirmed(u *Update) (ctx *proxy.Context, listeners []confirmListener, ok bool) {
 	a.mu.Lock()
-	if p.done {
-		a.mu.Unlock()
-		return
+	defer a.mu.Unlock()
+	if u.done {
+		return nil, nil, false
 	}
-	p.done = true
+	u.done = true
 	kept := a.pendings[:0]
 	for _, q := range a.pendings {
 		if !q.done {
@@ -97,158 +113,112 @@ func (a *ackLayer) confirm(p *pending, code uint16) {
 		}
 	}
 	a.pendings = kept
-	ctx := a.ctx
-	listeners := append([]confirmListener(nil), a.listeners...)
-	a.mu.Unlock()
+	return a.ctx, append([]confirmListener(nil), a.listeners...), true
+}
 
-	if a.sess.rum.cfg.RUMAware && ctx != nil {
-		ack := of.NewRUMAck(p.xid, code)
-		ack.SetXID(a.sess.rum.newXID())
-		ctx.ToController(ack)
-		a.sess.rum.mu.Lock()
-		a.sess.rum.acksSent++
-		a.sess.rum.mu.Unlock()
+// confirm resolves u with the given outcome: it emits the wire-level ack
+// to RUM-aware controllers (fallback included, failed excluded), resolves
+// ack futures, publishes an AckEvent, and notifies listeners.
+func (a *ackLayer) confirm(u *Update, outcome Outcome) {
+	ctx, listeners, ok := a.takeConfirmed(u)
+	if !ok {
+		return
 	}
+	// Deletions confirmed by order-preserving strategies arrive as
+	// OutcomeInstalled; refine them so callers see "removed".
+	if outcome == OutcomeInstalled &&
+		(u.fm.Command == of.FCDelete || u.fm.Command == of.FCDeleteStrict) {
+		outcome = OutcomeRemoved
+	}
+	r := a.sess.rum
+	code, hasWire := outcome.wireCode()
+	if hasWire && r.cfg.RUMAware && ctx != nil {
+		ack := of.NewRUMAck(u.xid, code)
+		ack.SetXID(r.newXID())
+		ctx.ToController(ack)
+		r.noteAck()
+	}
+	now := a.sess.clock().Now()
+	res := AckResult{
+		Switch:      u.sw,
+		XID:         u.xid,
+		Outcome:     outcome,
+		Code:        code,
+		IssuedAt:    u.issuedAt,
+		ConfirmedAt: now,
+		Latency:     now - u.issuedAt,
+	}
+	r.resolveWatch(res)
+	r.publish(AckEvent{
+		Switch:   u.sw,
+		XID:      u.xid,
+		Outcome:  outcome,
+		Code:     code,
+		IssuedAt: u.issuedAt,
+		At:       now,
+		Latency:  res.Latency,
+	})
 	for _, fn := range listeners {
-		fn(p, code)
+		fn(u, outcome)
+	}
+	// Let the strategy drop per-update state for resolutions it did not
+	// initiate (switch errors, detach) — a failed update's probe must not
+	// clog the probe pump forever.
+	if ro, ok := a.sess.strat.(ResolutionObserver); ok {
+		ro.OnUpdateResolved(u, outcome)
 	}
 }
 
 // confirmUpTo confirms every pending mod with seq <= seq (order-preserving
-// techniques: barriers, timeout, sequential).
-func (a *ackLayer) confirmUpTo(seq uint64, code uint16) {
+// strategies: barriers, timeout, sequential).
+func (a *ackLayer) confirmUpTo(seq uint64, outcome Outcome) {
 	a.mu.Lock()
-	var ready []*pending
-	for _, p := range a.pendings {
-		if p.seq <= seq && !p.done {
-			ready = append(ready, p)
+	var ready []*Update
+	for _, u := range a.pendings {
+		if u.seq <= seq && !u.done {
+			ready = append(ready, u)
 		}
 	}
 	a.mu.Unlock()
-	for _, p := range ready {
-		a.confirm(p, code)
+	for _, u := range ready {
+		a.confirm(u, outcome)
 	}
 }
 
-// unconfirmed snapshots the not-yet-confirmed mods in issue order.
-func (a *ackLayer) unconfirmed() []*pending {
+// errorBlamesFlowMod reports whether a switch error can be attributed to
+// a FlowMod: flow-mod-failed errors always are; otherwise the error's
+// echoed offending-message header decides. A payload too short to carry
+// the header is NOT attributed — an xid collision with another message
+// type must never mark a healthy update failed (a missed failure merely
+// leaves the update to its strategy; a false failure discards the
+// eventual genuine confirmation).
+func errorBlamesFlowMod(e *of.Error) bool {
+	if e.ErrType == of.ErrTypeFlowModFailed {
+		return true
+	}
+	return len(e.Data) >= 2 && of.MsgType(e.Data[1]) == of.TypeFlowMod
+}
+
+// pendingSnapshot copies the unresolved updates in issue order.
+func (a *ackLayer) pendingSnapshot() []*Update {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return append([]*pending(nil), a.pendings...)
+	return append([]*Update(nil), a.pendings...)
 }
 
-// currentSeq returns the seq of the most recently tracked FlowMod.
-func (a *ackLayer) currentSeq() uint64 {
+// failByXID resolves the pending update with the given controller xid as
+// failed, if one exists.
+func (a *ackLayer) failByXID(xid uint32) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.nextSeq
-}
-
-// technique is the strategy deciding when a tracked FlowMod is confirmed.
-type technique interface {
-	// onFlowMod is invoked after the FlowMod was forwarded toward the
-	// switch.
-	onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending)
-	// onFromSwitch may consume a switch→controller message (returns true
-	// to stop propagation).
-	onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool
-}
-
-// noWaitTech confirms instantly: no guarantees, fastest possible updates —
-// the evaluation's lower bound.
-type noWaitTech struct{}
-
-func (noWaitTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
-	a.confirm(p, of.RUMAckInstalled)
-}
-
-func (noWaitTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
-	return false
-}
-
-// barrierTech implements TechBarriers (delay == 0) and TechTimeout
-// (delay > 0): a RUM barrier follows every FlowMod; the reply — plus the
-// configured safety delay — confirms everything issued before it (§3.1).
-type barrierTech struct {
-	sess  *session
-	delay time.Duration
-
-	mu       sync.Mutex
-	barriers map[uint32]uint64 // barrier xid → covered seq
-}
-
-func newBarrierTech(s *session, delay time.Duration) *barrierTech {
-	return &barrierTech{sess: s, delay: delay, barriers: make(map[uint32]uint64)}
-}
-
-func (t *barrierTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
-	br := &of.BarrierRequest{}
-	xid := t.sess.rum.newXID()
-	br.SetXID(xid)
-	t.mu.Lock()
-	t.barriers[xid] = p.seq
-	t.mu.Unlock()
-	ctx.ToSwitch(br)
-}
-
-func (t *barrierTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
-	rep, ok := m.(*of.BarrierReply)
-	if !ok {
-		return false
+	var victim *Update
+	for _, u := range a.pendings {
+		if u.xid == xid && !u.done {
+			victim = u
+			break
+		}
 	}
-	t.mu.Lock()
-	seq, mine := t.barriers[rep.GetXID()]
-	if mine {
-		delete(t.barriers, rep.GetXID())
+	a.mu.Unlock()
+	if victim != nil {
+		a.confirm(victim, OutcomeFailed)
 	}
-	t.mu.Unlock()
-	if !mine {
-		return false
-	}
-	if t.delay == 0 {
-		a.confirmUpTo(seq, of.RUMAckInstalled)
-	} else {
-		ctx.Clock().After(t.delay, func() {
-			a.confirmUpTo(seq, of.RUMAckInstalled)
-		})
-	}
-	return true
-}
-
-// adaptiveTech implements TechAdaptive: a virtual-time model of the
-// switch's installation pipeline. Each forwarded FlowMod advances the
-// modeled completion time by 1/AssumedRate; with a modeled sync period the
-// estimated activation rounds up to the next sync boundary. The technique
-// is exactly as safe as its model — overestimate the rate and
-// acknowledgments arrive before the data plane does (the paper's
-// "adaptive 250" failure mode).
-type adaptiveTech struct {
-	sess *session
-
-	mu sync.Mutex
-	vt time.Duration // modeled control-plane completion time
-}
-
-func newAdaptiveTech(s *session) *adaptiveTech { return &adaptiveTech{sess: s} }
-
-func (t *adaptiveTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
-	cfg := t.sess.rum.cfg
-	now := ctx.Clock().Now()
-	perMod := time.Duration(float64(time.Second) / cfg.AssumedRate)
-	t.mu.Lock()
-	if t.vt < now {
-		t.vt = now
-	}
-	t.vt += perMod
-	est := t.vt
-	t.mu.Unlock()
-	if s := cfg.ModelSyncPeriod; s > 0 {
-		est = ((est+s-1)/s)*s + cfg.ModelSyncSlack
-	}
-	delay := est - now
-	ctx.Clock().After(delay, func() { a.confirm(p, of.RUMAckInstalled) })
-}
-
-func (t *adaptiveTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
-	return false
 }

@@ -73,7 +73,7 @@ func (b *barrierLayer) absorbBarrierLocked(ctx *proxy.Context, m *of.BarrierRequ
 		reply := &of.BarrierReply{}
 		reply.SetXID(m.GetXID())
 		// Reply directly: nothing may be pending ahead of it.
-		b.sess.proxy.SendToController(reply)
+		b.sess.sendToController(reply)
 		return
 	}
 	covers := make(map[uint32]bool, len(b.unconf))
@@ -107,12 +107,13 @@ func (b *barrierLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 	ctx.ToController(m)
 }
 
-// onConfirm receives confirmations from the ack layer.
-func (b *barrierLayer) onConfirm(p *pending, code uint16) {
+// onConfirm receives confirmations from the ack layer (every outcome,
+// including failed: a rejected modification must not wedge barriers).
+func (b *barrierLayer) onConfirm(u *Update, outcome Outcome) {
 	b.mu.Lock()
-	delete(b.unconf, p.xid)
+	delete(b.unconf, u.xid)
 	for _, w := range b.waiters {
-		delete(w.covers, p.xid)
+		delete(w.covers, u.xid)
 	}
 	b.releaseLocked()
 	b.mu.Unlock()
@@ -128,12 +129,12 @@ func (b *barrierLayer) releaseLocked() {
 		b.waiters = b.waiters[1:]
 		reply := &of.BarrierReply{}
 		reply.SetXID(w.xid)
-		b.sess.proxy.SendToController(reply)
+		b.sess.sendToController(reply)
 		// Flush held switch→controller messages.
 		upQ := b.upQ
 		b.upQ = nil
 		for _, m := range upQ {
-			b.sess.proxy.SendToController(m)
+			b.sess.sendToController(m)
 		}
 		// In buffer mode, release held commands up to (and absorbing) the
 		// next barrier.

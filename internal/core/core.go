@@ -1,10 +1,12 @@
 // Package core implements RUM (Rule Update Monitoring): a transparent
 // layer between an SDN controller and its OpenFlow switches that
 // acknowledges a rule modification only once the rule is visible in the
-// data plane — never sooner. It provides the paper's five acknowledgment
-// techniques (§3), fine-grained per-rule acks delivered as reserved-code
-// OpenFlow errors (§4), and a reliable barrier layer (§2) that restores
-// barrier semantics on switches that answer early or reorder.
+// data plane — never sooner. The paper's five acknowledgment techniques
+// (§3) are pluggable AckStrategy implementations selected through a
+// registry; fine-grained per-rule acks are delivered as reserved-code
+// OpenFlow errors (§4) and as typed, awaitable AckResults; a reliable
+// barrier layer (§2) restores barrier semantics on switches that answer
+// early or reorder.
 package core
 
 import (
@@ -15,57 +17,65 @@ import (
 	"time"
 
 	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
 	"rum/internal/proxy"
 	"rum/internal/sim"
 	"rum/internal/transport"
 )
 
-// Technique selects how RUM decides a rule is active in the data plane.
-type Technique int
+// Technique names a registered acknowledgment strategy. The zero value
+// selects the barrier baseline. User strategies registered with
+// RegisterStrategy are selectable by their registration name.
+type Technique string
 
+// The acknowledgment techniques of §3 of the paper, pre-registered in
+// the strategy registry.
 const (
 	// TechBarriers trusts the switch's barrier replies (the broken
 	// baseline of §3.1).
-	TechBarriers Technique = iota
+	TechBarriers Technique = "barriers"
 	// TechTimeout waits a fixed worst-case delay after each barrier reply.
-	TechTimeout
+	TechTimeout Technique = "timeout"
 	// TechAdaptive estimates activation from a switch performance model
 	// (issue rate + sync period).
-	TechAdaptive
+	TechAdaptive Technique = "adaptive"
 	// TechSequential confirms batches with a versioned probe rule
 	// (§3.2.1); valid for switches that do not reorder across barriers.
-	TechSequential
+	TechSequential Technique = "sequential"
 	// TechGeneral probes every modification individually (§3.2.2); valid
 	// even for reordering switches.
-	TechGeneral
+	TechGeneral Technique = "general"
 	// TechNoWait acknowledges immediately on forwarding — the
 	// no-guarantees lower bound the evaluation compares against.
-	TechNoWait
+	TechNoWait Technique = "no-wait"
 )
 
 func (t Technique) String() string {
-	switch t {
-	case TechBarriers:
-		return "barriers"
-	case TechTimeout:
-		return "timeout"
-	case TechAdaptive:
-		return "adaptive"
-	case TechSequential:
-		return "sequential"
-	case TechGeneral:
-		return "general"
-	case TechNoWait:
-		return "no-wait"
-	default:
-		return "unknown"
+	if t == "" {
+		return string(TechBarriers)
 	}
+	return string(t)
 }
 
 // Config parameterizes a RUM instance.
 type Config struct {
-	Clock     sim.Clock
+	Clock sim.Clock
+
+	// Technique names the registered strategy used for switches without a
+	// more specific selection. Empty selects TechBarriers.
 	Technique Technique
+
+	// Strategy, when non-nil, supplies the default strategy directly —
+	// user-defined strategies need not be registered. It overrides
+	// Technique, and must not be shared across RUM instances.
+	Strategy AckStrategy
+
+	// PerSwitch overrides the strategy for individual switches by
+	// registered name, so heterogeneous deployments can mix techniques
+	// (the adaptive technique is explicitly switch-model-specific).
+	// Switches using the same name share one AckStrategy deployment.
+	PerSwitch map[string]Technique
 
 	// RUMAware controllers receive per-rule positive acknowledgments as
 	// OpenFlow errors with type of.ErrTypeRUMAck.
@@ -120,6 +130,9 @@ type Config struct {
 
 // Defaults fills unset fields with the paper's evaluation parameters.
 func (c Config) Defaults() Config {
+	if c.Technique == "" {
+		c.Technique = TechBarriers
+	}
 	if c.Timeout == 0 {
 		c.Timeout = 300 * time.Millisecond
 	}
@@ -264,11 +277,16 @@ type RUM struct {
 	cfg  Config
 	topo *Topology
 
+	defaultStrat AckStrategy
+	strats       map[Technique]AckStrategy // named deployments incl. overrides
+	deployments  []AckStrategy             // distinct deployments, probe-routing order
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	colors   map[string]int // general probing: switch → color index
 	nextXID  uint32
-	seqState *seqState // shared sequential-probing version space
+	watchers map[watchKey][]*UpdateHandle
+	subs     []*Subscription
 
 	// stats
 	acksSent   uint64
@@ -276,17 +294,54 @@ type RUM struct {
 	fallbacks  uint64
 }
 
-// New creates a RUM instance. Switches are attached with AttachSwitch;
-// probe infrastructure is installed with Bootstrap.
-func New(cfg Config, topo *Topology) *RUM {
+// New creates a RUM instance, resolving the configured default and
+// per-switch strategies against the registry. Switches are attached with
+// AttachSwitch; probe infrastructure is installed with Bootstrap.
+func New(cfg Config, topo *Topology) (*RUM, error) {
 	cfg = cfg.Defaults()
 	r := &RUM{
 		cfg:      cfg,
 		topo:     topo,
 		sessions: make(map[string]*session),
 		nextXID:  rumXIDBase,
-		seqState: newSeqState(),
+		strats:   make(map[Technique]AckStrategy),
 	}
+	if cfg.Strategy != nil {
+		r.defaultStrat = cfg.Strategy
+		r.cfg.Technique = Technique(cfg.Strategy.Name())
+		// A PerSwitch entry naming this strategy must resolve to the same
+		// deployment, not a fresh registry instance with disjoint state.
+		r.strats[r.cfg.Technique] = cfg.Strategy
+	} else {
+		s, err := newRegisteredStrategy(cfg.Technique, r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.defaultStrat = s
+		r.strats[cfg.Technique] = s
+	}
+	r.deployments = append(r.deployments, r.defaultStrat)
+	overrides := make([]string, 0, len(cfg.PerSwitch))
+	for sw := range cfg.PerSwitch {
+		overrides = append(overrides, sw)
+	}
+	sort.Strings(overrides)
+	for _, sw := range overrides {
+		name := cfg.PerSwitch[sw]
+		if name == "" {
+			return nil, fmt.Errorf("core: PerSwitch[%q] names no strategy", sw)
+		}
+		if _, done := r.strats[name]; done {
+			continue
+		}
+		s, err := newRegisteredStrategy(name, r.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: PerSwitch[%q]: %w", sw, err)
+		}
+		r.strats[name] = s
+		r.deployments = append(r.deployments, s)
+	}
+
 	adj := make(map[uint64][]uint64)
 	names := topo.Switches()
 	idx := make(map[string]uint64, len(names))
@@ -302,7 +357,7 @@ func New(cfg Config, topo *Topology) *RUM {
 	for n, i := range idx {
 		r.colors[n] = colors[i]
 	}
-	return r
+	return r, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -325,60 +380,92 @@ func (r *RUM) newXID() uint32 {
 	return r.nextXID
 }
 
+// strategyFor resolves the deployment serving one switch.
+func (r *RUM) strategyFor(name string) AckStrategy {
+	if t, ok := r.cfg.PerSwitch[name]; ok {
+		if s, ok := r.strats[t]; ok {
+			return s
+		}
+	}
+	return r.defaultStrat
+}
+
 // AttachSwitch splices RUM between a switch-side conn and a
-// controller-side conn. The layer chain is
+// controller-side conn, instantiating the switch's configured ack
+// strategy. The layer chain is
 // controller → [barrier layer] → ack layer → switch.
-func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) *proxy.Session {
-	s := &session{rum: r, name: name}
+// Attaching two switches under one name is an error.
+func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) (*proxy.Session, error) {
+	r.mu.Lock()
+	if _, dup := r.sessions[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: switch %q already attached", name)
+	}
+	r.mu.Unlock()
+
+	s := &session{rum: r, name: name, swConn: swConn, ctConn: ctrlConn}
 	al := &ackLayer{sess: s}
 	s.ack = al
-	switch r.cfg.Technique {
-	case TechBarriers:
-		s.tech = newBarrierTech(s, 0)
-	case TechTimeout:
-		s.tech = newBarrierTech(s, r.cfg.Timeout)
-	case TechAdaptive:
-		s.tech = newAdaptiveTech(s)
-	case TechSequential:
-		s.tech = newSequentialTech(s)
-	case TechGeneral:
-		s.tech = newGeneralTech(s)
-	case TechNoWait:
-		s.tech = noWaitTech{}
-	default:
-		panic(fmt.Sprintf("core: unknown technique %d", r.cfg.Technique))
-	}
 	var layers []proxy.Layer
 	if r.cfg.BarrierLayer {
 		s.bar = &barrierLayer{sess: s, buffer: r.cfg.BufferForReorder}
 		layers = append(layers, s.bar)
 	}
 	layers = append(layers, al)
+	// The strategy must exist before NewSession starts message flow:
+	// backlogged TCP traffic is flushed through the layer chain inside
+	// NewSession and reaches s.strat immediately.
+	s.strat = r.strategyFor(name).ForSwitch(strategyCtx{s: s})
 	ps := proxy.NewSession(name, dpid, r.cfg.Clock, ctrlConn, swConn, layers...)
 	s.proxy = ps
 
+	// Publication is the LAST step: a session in r.sessions is always
+	// fully built, so a concurrent DetachSwitch never observes (or
+	// races on) half-initialized fields. A racing duplicate rolls its
+	// fully-built session back here.
 	r.mu.Lock()
+	if _, dup := r.sessions[name]; dup {
+		r.mu.Unlock()
+		_ = ps.Close()
+		if d, ok := s.strat.(SwitchDetacher); ok {
+			d.Detach()
+		}
+		return nil, fmt.Errorf("core: switch %q already attached", name)
+	}
 	r.sessions[name] = s
 	r.mu.Unlock()
-	return ps
+	return ps, nil
 }
 
 // session is RUM's per-switch state bundle.
 type session struct {
-	rum   *RUM
-	name  string
-	proxy *proxy.Session
-	ack   *ackLayer
-	bar   *barrierLayer
-	tech  technique
+	rum    *RUM
+	name   string
+	proxy  *proxy.Session
+	swConn transport.Conn // direct switch channel; valid before proxy is
+	ctConn transport.Conn // direct controller channel; valid before proxy is
+	ack    *ackLayer
+	bar    *barrierLayer
+	strat  SwitchStrategy
 }
+
+// sendToSwitch injects a message directly on the switch's control
+// channel, below the whole layer chain. Unlike going through the proxy
+// session it is safe during attach, before message flow starts
+// (backlogged traffic is flushed through the layers inside NewSession).
+func (s *session) sendToSwitch(m of.Message) { _ = s.swConn.Send(m) }
+
+// sendToController injects a message directly on the controller channel,
+// above the whole layer chain; like sendToSwitch it is safe before the
+// proxy session exists.
+func (s *session) sendToController(m of.Message) { _ = s.ctConn.Send(m) }
 
 func (s *session) clock() sim.Clock { return s.rum.cfg.Clock }
 
 // injector picks the neighbor switch A used to inject probes toward s
 // (deterministically: the smallest-named attached neighbor), returning A's
-// session and A's port toward s.
-func (s *session) injector() (*session, uint16, bool) {
+// name and A's port toward s.
+func (s *session) injector() (string, uint16, bool) {
 	r := s.rum
 	neighbors := r.topo.Neighbors(s.name)
 	type cand struct {
@@ -395,11 +482,11 @@ func (s *session) injector() (*session, uint16, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range cands {
-		if as, ok := r.sessions[c.name]; ok {
-			return as, c.port, true
+		if _, ok := r.sessions[c.name]; ok {
+			return c.name, c.port, true
 		}
 	}
-	return nil, 0, false
+	return "", 0, false
 }
 
 // receiver picks the neighbor switch C whose probe-catch rule collects
@@ -428,6 +515,37 @@ func (s *session) receiver() (string, uint16, bool) {
 	return "", 0, false
 }
 
+// DetachSwitch removes an attached switch: it closes both sides of the
+// proxied control channel, tears the switch's strategy state out of its
+// deployment (releasing e.g. sequential probe-rule versions), and
+// resolves every still-pending update as failed — their futures resolve
+// and dependent barriers unwedge. The name is then free for a fresh
+// AttachSwitch (switch reconnection). It reports whether the switch was
+// attached.
+func (r *RUM) DetachSwitch(name string) bool {
+	r.mu.Lock()
+	s, ok := r.sessions[name]
+	if ok {
+		delete(r.sessions, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	// Sessions are published fully built (AttachSwitch inserts last), so
+	// proxy and strat are always valid here.
+	_ = s.proxy.Close()
+	if d, ok := s.strat.(SwitchDetacher); ok {
+		d.Detach()
+	}
+	if s.ack != nil {
+		for _, u := range s.ack.pendingSnapshot() {
+			s.ack.confirm(u, OutcomeFailed)
+		}
+	}
+	return true
+}
+
 // sessionByName returns the session proxying the named switch.
 func (r *RUM) sessionByName(name string) (*session, bool) {
 	r.mu.Lock()
@@ -436,10 +554,22 @@ func (r *RUM) sessionByName(name string) (*session, bool) {
 	return s, ok
 }
 
+// routeProbe offers an unclaimed probe PacketIn to every strategy
+// deployment that collects probes across switches.
+func (r *RUM) routeProbe(recv string, pin *of.PacketIn, f packet.Fields) bool {
+	for _, d := range r.deployments {
+		if pr, ok := d.(ProbeRouter); ok && pr.RouteProbe(recv, pin, f) {
+			return true
+		}
+	}
+	return false
+}
+
 // Bootstrap installs RUM's probe infrastructure rules on every attached
-// switch: the probe-catch rule (and, for the sequential technique, the
-// initial versioned probe rule). It must be called after all switches are
-// attached; rules become effective once each switch's data plane syncs.
+// switch whose strategy preinstalls rules (the probe-catch rule and, for
+// the sequential technique, the initial versioned probe rule). It must be
+// called after all switches are attached; rules become effective once
+// each switch's data plane syncs.
 func (r *RUM) Bootstrap() error {
 	r.mu.Lock()
 	sessions := make([]*session, 0, len(r.sessions))
@@ -449,8 +579,8 @@ func (r *RUM) Bootstrap() error {
 	r.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].name < sessions[j].name })
 	for _, s := range sessions {
-		if b, ok := s.tech.(bootstrapper); ok {
-			if err := b.bootstrap(); err != nil {
+		if b, ok := s.strat.(SwitchBootstrapper); ok {
+			if err := b.Bootstrap(); err != nil {
 				return fmt.Errorf("core: bootstrap %s: %w", s.name, err)
 			}
 		}
@@ -458,13 +588,42 @@ func (r *RUM) Bootstrap() error {
 	return nil
 }
 
-// bootstrapper is implemented by techniques that preinstall rules.
-type bootstrapper interface {
-	bootstrap() error
+// BootstrapSwitch installs probe infrastructure on a single attached
+// switch — the reconnection path: re-bootstrapping everyone would reset
+// live probe rules (e.g. the sequential technique's versioned rule) on
+// switches with confirmations in flight. Other switches' strategies get
+// the chance to reinstall rules they own on the (possibly
+// empty-tabled) returning switch via NeighborBootstrapper.
+func (r *RUM) BootstrapSwitch(name string) error {
+	s, ok := r.sessionByName(name)
+	if !ok {
+		return fmt.Errorf("core: bootstrap %s: not attached", name)
+	}
+	if b, ok := s.strat.(SwitchBootstrapper); ok {
+		if err := b.Bootstrap(); err != nil {
+			return fmt.Errorf("core: bootstrap %s: %w", name, err)
+		}
+	}
+	r.mu.Lock()
+	others := make([]*session, 0, len(r.sessions))
+	for n, o := range r.sessions {
+		if n != name {
+			others = append(others, o)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(others, func(i, j int) bool { return others[i].name < others[j].name })
+	for _, o := range others {
+		if nb, ok := o.strat.(NeighborBootstrapper); ok {
+			nb.BootstrapNeighbor(name)
+		}
+	}
+	return nil
 }
 
 // Stats reports RUM-level counters: fine-grained acks emitted, probe
-// packets injected, and control-plane fallbacks taken.
+// packets injected, and control-plane fallbacks taken. The event stream
+// (Subscribe) carries the same information in structured form.
 func (r *RUM) Stats() (acks, probes, fallbacks uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

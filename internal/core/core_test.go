@@ -75,14 +75,20 @@ func newTestbed(t *testing.T, cfg Config, s2prof switchsim.Profile) *testbed {
 
 	cfg.Clock = s
 	cfg.RUMAware = true
-	tb.rum = New(cfg, triangleTopology())
+	r, err := New(cfg, triangleTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.rum = r
 	for name, sw := range tb.switches {
 		name := name
 		// controller <-> RUM pipe and RUM <-> switch pipe.
 		ctrlTop, ctrlBottom := transport.Pipe(s, 100*time.Microsecond)
 		rumSide, swSide := transport.Pipe(s, 100*time.Microsecond)
 		sw.AttachConn(swSide)
-		tb.rum.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide)
+		if _, err := tb.rum.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			t.Fatal(err)
+		}
 		tb.ctrl[name] = ctrlTop
 		ctrlTop.SetHandler(func(m of.Message) {
 			if e, ok := m.(*of.Error); ok {
@@ -508,7 +514,10 @@ func TestSequentialManyBatchesRecyclesVersions(t *testing.T) {
 }
 
 func TestCatchTosColoring(t *testing.T) {
-	r := New(Config{Clock: sim.New(), Technique: TechGeneral}, triangleTopology())
+	r, err := New(Config{Clock: sim.New(), Technique: TechGeneral}, triangleTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
 	s1, s2, s3 := r.CatchTos("s1"), r.CatchTos("s2"), r.CatchTos("s3")
 	if s1 == s2 || s2 == s3 || s1 == s3 {
 		t.Errorf("triangle coloring not proper: %d %d %d", s1, s2, s3)
@@ -533,9 +542,22 @@ func TestTechniqueString(t *testing.T) {
 	for tech, want := range map[Technique]string{
 		TechBarriers: "barriers", TechTimeout: "timeout", TechAdaptive: "adaptive",
 		TechSequential: "sequential", TechGeneral: "general", TechNoWait: "no-wait",
+		Technique(""): "barriers", // zero value defaults to the baseline
 	} {
 		if got := tech.String(); got != want {
-			t.Errorf("Technique(%d).String() = %q, want %q", tech, got, want)
+			t.Errorf("Technique(%q).String() = %q, want %q", string(tech), got, want)
+		}
+	}
+	// Every paper technique must be registered.
+	names := StrategyNames()
+	reg := make(map[string]bool, len(names))
+	for _, n := range names {
+		reg[n] = true
+	}
+	for _, tech := range []Technique{TechBarriers, TechTimeout, TechAdaptive,
+		TechSequential, TechGeneral, TechNoWait} {
+		if !reg[string(tech)] {
+			t.Errorf("technique %q not in strategy registry %v", tech, names)
 		}
 	}
 }

@@ -173,13 +173,97 @@ func TestTopologyHelpers(t *testing.T) {
 func TestBootstrapFailsWithoutNeighbors(t *testing.T) {
 	s := sim.New()
 	topo := NewTopology([]TopoLink{{A: "x", APort: 1, B: "y", BPort: 1}})
-	r := New(Config{Clock: s, Technique: TechSequential}, topo)
+	r, err := New(Config{Clock: s, Technique: TechSequential}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Attach only "x": its receiver "y" has no session.
 	a1, _ := transport.Pipe(s, 0)
 	b1, _ := transport.Pipe(s, 0)
-	r.AttachSwitch("x", 1, a1, b1)
+	if _, err := r.AttachSwitch("x", 1, a1, b1); err != nil {
+		t.Fatal(err)
+	}
 	if err := r.Bootstrap(); err == nil {
 		t.Fatal("Bootstrap succeeded for a switch with no attached neighbor")
+	}
+}
+
+// TestDetachSwitchAllowsReattach: a duplicate attach is rejected until
+// the stale session is detached (switch reconnection in TCP deployments).
+func TestDetachSwitchAllowsReattach(t *testing.T) {
+	s := sim.New()
+	topo := NewTopology([]TopoLink{{A: "x", APort: 1, B: "y", BPort: 1}})
+	r, err := New(Config{Clock: s, Technique: TechBarriers}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := func() error {
+		a, _ := transport.Pipe(s, 0)
+		b, _ := transport.Pipe(s, 0)
+		_, err := r.AttachSwitch("x", 1, a, b)
+		return err
+	}
+	if err := attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := attach(); err == nil {
+		t.Fatal("duplicate attach succeeded")
+	}
+	if !r.DetachSwitch("x") {
+		t.Fatal("DetachSwitch reported x not attached")
+	}
+	if r.DetachSwitch("x") {
+		t.Fatal("second DetachSwitch reported success")
+	}
+	if err := attach(); err != nil {
+		t.Fatalf("re-attach after detach failed: %v", err)
+	}
+}
+
+// TestDetachFailsPendingFutures: detaching a switch resolves its
+// in-flight updates as failed so ack futures do not hang forever.
+func TestDetachFailsPendingFutures(t *testing.T) {
+	s := sim.New()
+	topo := NewTopology([]TopoLink{{A: "x", APort: 1, B: "y", BPort: 1}})
+	r, err := New(Config{Clock: s, Technique: TechSequential}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlTop, ctrlBottom := transport.Pipe(s, 0)
+	rumSide, _ := transport.Pipe(s, 0)
+	if _, err := r.AttachSwitch("x", 1, ctrlBottom, rumSide); err != nil {
+		t.Fatal(err)
+	}
+	// Never bootstrapped: the sequential strategy cannot confirm anything,
+	// so the update stays pending.
+	h := r.Watch("x", 42)
+	_ = ctrlTop.Send(flowModFor(t, 0, 42))
+	s.Run()
+	if _, ok := h.Result(); ok {
+		t.Fatal("update confirmed without probe infrastructure")
+	}
+	if !r.DetachSwitch("x") {
+		t.Fatal("DetachSwitch failed")
+	}
+	res, ok := h.Result()
+	if !ok {
+		t.Fatal("future still unresolved after detach")
+	}
+	if res.Outcome != OutcomeFailed {
+		t.Errorf("outcome = %s, want failed", res.Outcome)
+	}
+
+	// A cancelled watch never resolves.
+	h2 := r.Watch("x", 43)
+	h2.Cancel()
+	if _, err := r.AttachSwitch("x", 1, ctrlBottom, rumSide); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctrlTop.Send(flowModFor(t, 1, 43))
+	s.Run()
+	r.DetachSwitch("x")
+	if _, ok := h2.Result(); ok {
+		t.Error("cancelled watch resolved")
 	}
 }
 

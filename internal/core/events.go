@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Event is one typed observability event published by a RUM instance:
+// an AckEvent, ProbeEvent, or FallbackEvent. Subscribe with
+// RUM.Subscribe. Events are the structured form of the aggregate
+// counters reported by RUM.Stats.
+type Event interface {
+	isEvent()
+}
+
+// AckEvent is published every time an update resolves (any Outcome,
+// including OutcomeFailed, which produces no wire-level ack).
+type AckEvent struct {
+	// Switch is the switch the modification targeted.
+	Switch string
+	// XID is the controller transaction id of the FlowMod.
+	XID uint32
+	// Outcome is the typed confirmation result.
+	Outcome Outcome
+	// Code is the wire-level RUM ack code (zero for OutcomeFailed).
+	Code uint16
+	// IssuedAt and At bracket the update's lifetime on the RUM clock.
+	IssuedAt time.Duration
+	At       time.Duration
+	// Latency is the activation latency RUM observed (At - IssuedAt).
+	Latency time.Duration
+}
+
+func (AckEvent) isEvent() {}
+
+// ProbeEvent is published when probe packets are injected for a switch.
+type ProbeEvent struct {
+	// Switch is the probed switch.
+	Switch string
+	// Count is how many probe packets this injection covered.
+	Count int
+	At    time.Duration
+}
+
+func (ProbeEvent) isEvent() {}
+
+// FallbackEvent is published when a strategy abandons data-plane probing
+// for one update and takes a control-plane fallback.
+type FallbackEvent struct {
+	Switch string
+	XID    uint32
+	At     time.Duration
+}
+
+func (FallbackEvent) isEvent() {}
+
+// Subscription is one subscriber's view of a RUM instance's event
+// stream. Receive from C; call Close when done. Delivery is best-effort:
+// events that would block are dropped and counted.
+type Subscription struct {
+	// C carries the events.
+	C <-chan Event
+
+	r       *RUM
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Subscribe registers a new event subscriber with the given channel
+// buffer (minimum 1). Events published while the buffer is full are
+// dropped, never blocking the update pipeline.
+func (r *RUM) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{r: r, ch: make(chan Event, buf)}
+	s.C = s.ch
+	r.mu.Lock()
+	r.subs = append(r.subs, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Close unregisters the subscription. It does not close C (late sends
+// race-free); after Close no further events are delivered.
+func (s *Subscription) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	kept := r.subs[:0]
+	for _, q := range r.subs {
+		if q != s {
+			kept = append(kept, q)
+		}
+	}
+	r.subs = kept
+	r.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded because the buffer was
+// full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+func (s *Subscription) deliver(ev Event) {
+	if s.closed.Load() {
+		return
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// subsSnapshotLocked copies the subscriber list; caller holds r.mu.
+func (r *RUM) subsSnapshotLocked() []*Subscription {
+	if len(r.subs) == 0 {
+		return nil
+	}
+	return append([]*Subscription(nil), r.subs...)
+}
+
+func fanout(subs []*Subscription, ev Event) {
+	for _, s := range subs {
+		s.deliver(ev)
+	}
+}
+
+// publish fans an event out to every subscriber.
+func (r *RUM) publish(ev Event) {
+	r.mu.Lock()
+	subs := r.subsSnapshotLocked()
+	r.mu.Unlock()
+	fanout(subs, ev)
+}
+
+// noteProbes counts injected probes and publishes a ProbeEvent, sharing
+// one critical section (probe injection is the hot path).
+func (r *RUM) noteProbes(sw string, n int) {
+	r.mu.Lock()
+	r.probesSent += uint64(n)
+	subs := r.subsSnapshotLocked()
+	r.mu.Unlock()
+	if subs != nil {
+		fanout(subs, ProbeEvent{Switch: sw, Count: n, At: r.cfg.Clock.Now()})
+	}
+}
+
+// noteFallback counts a control-plane fallback and publishes a
+// FallbackEvent.
+func (r *RUM) noteFallback(u *Update) {
+	r.mu.Lock()
+	r.fallbacks++
+	subs := r.subsSnapshotLocked()
+	r.mu.Unlock()
+	if subs != nil {
+		fanout(subs, FallbackEvent{Switch: u.sw, XID: u.xid, At: r.cfg.Clock.Now()})
+	}
+}
+
+// noteAck counts one wire-level fine-grained acknowledgment.
+func (r *RUM) noteAck() {
+	r.mu.Lock()
+	r.acksSent++
+	r.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AckResult is the typed resolution of one rule modification: what a
+// RUM-aware caller gets instead of hand-parsing ErrTypeRUMAck errors.
+type AckResult struct {
+	// Switch and XID identify the modification.
+	Switch string
+	XID    uint32
+	// Outcome is the typed result (installed / removed / fallback /
+	// failed).
+	Outcome Outcome
+	// Code is the wire-level ack code (zero for OutcomeFailed).
+	Code uint16
+	// IssuedAt and ConfirmedAt bracket the update on the RUM clock.
+	IssuedAt    time.Duration
+	ConfirmedAt time.Duration
+	// Latency is the activation latency RUM observed for the rule.
+	Latency time.Duration
+}
+
+// UpdateHandle is an awaitable future for one FlowMod's acknowledgment.
+// Obtain it from RUM.Watch before sending the FlowMod.
+type UpdateHandle struct {
+	r    *RUM
+	sw   string
+	xid  uint32
+	done chan struct{}
+
+	mu        sync.Mutex
+	res       AckResult
+	resolved  bool
+	cancelled bool
+}
+
+// Switch returns the watched switch name.
+func (h *UpdateHandle) Switch() string { return h.sw }
+
+// XID returns the watched transaction id.
+func (h *UpdateHandle) XID() uint32 { return h.xid }
+
+// Done returns a channel closed when the acknowledgment arrives. Use it
+// in select loops or with simulated clocks, where blocking in AwaitAck
+// would stall the goroutine that must drive the simulation.
+func (h *UpdateHandle) Done() <-chan struct{} { return h.done }
+
+// Result returns the acknowledgment if it has arrived.
+func (h *UpdateHandle) Result() (AckResult, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.resolved
+}
+
+// AwaitAck blocks until the acknowledgment arrives or ctx is done. Under
+// a wall clock (TCP deployments) it is safe to block any goroutine; under
+// a simulated clock, drive the simulation first and AwaitAck returns the
+// already-resolved result immediately.
+func (h *UpdateHandle) AwaitAck(ctx context.Context) (AckResult, error) {
+	select {
+	case <-h.done:
+		res, _ := h.Result()
+		return res, nil
+	default:
+	}
+	select {
+	case <-h.done:
+		res, _ := h.Result()
+		return res, nil
+	case <-ctx.Done():
+		return AckResult{}, ctx.Err()
+	}
+}
+
+// Cancel abandons the watch, releasing the registration for a
+// modification that will never be sent (or whose result no longer
+// matters). An unresolved handle never resolves after Cancel returns — a
+// confirmation racing the cancellation is discarded; a handle that had
+// already resolved stays resolved.
+func (h *UpdateHandle) Cancel() {
+	if h.r != nil {
+		h.r.unwatch(h)
+	}
+	h.mu.Lock()
+	if !h.resolved {
+		h.cancelled = true
+	}
+	h.mu.Unlock()
+}
+
+func (h *UpdateHandle) resolve(res AckResult) {
+	h.mu.Lock()
+	if h.resolved || h.cancelled {
+		h.mu.Unlock()
+		return
+	}
+	h.res = res
+	h.resolved = true
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// watchKey identifies a watched modification.
+type watchKey struct {
+	sw  string
+	xid uint32
+}
+
+// Watch returns an ack future for the FlowMod with the given transaction
+// id on the named switch. Call it before sending the FlowMod: an update
+// that resolved before Watch was registered is not replayed. Multiple
+// handles may watch the same modification.
+func (r *RUM) Watch(sw string, xid uint32) *UpdateHandle {
+	h := &UpdateHandle{r: r, sw: sw, xid: xid, done: make(chan struct{})}
+	k := watchKey{sw: sw, xid: xid}
+	r.mu.Lock()
+	if r.watchers == nil {
+		r.watchers = make(map[watchKey][]*UpdateHandle)
+	}
+	r.watchers[k] = append(r.watchers[k], h)
+	r.mu.Unlock()
+	return h
+}
+
+// unwatch removes one handle's registration.
+func (r *RUM) unwatch(h *UpdateHandle) {
+	k := watchKey{sw: h.sw, xid: h.xid}
+	r.mu.Lock()
+	hs := r.watchers[k]
+	kept := hs[:0]
+	for _, q := range hs {
+		if q != h {
+			kept = append(kept, q)
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.watchers, k)
+	} else {
+		r.watchers[k] = kept
+	}
+	r.mu.Unlock()
+}
+
+// resolveWatch delivers a result to every handle watching it.
+func (r *RUM) resolveWatch(res AckResult) {
+	k := watchKey{sw: res.Switch, xid: res.XID}
+	r.mu.Lock()
+	hs := r.watchers[k]
+	if hs != nil {
+		delete(r.watchers, k)
+	}
+	r.mu.Unlock()
+	for _, h := range hs {
+		h.resolve(res)
+	}
+}

@@ -1,13 +1,14 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"time"
 
 	"rum/internal/flowtable"
 	"rum/internal/hsa"
 	"rum/internal/of"
 	"rum/internal/packet"
-	"rum/internal/proxy"
 )
 
 // probeMode describes what signal confirms a tracked modification.
@@ -25,7 +26,7 @@ const (
 
 // genProbe is one outstanding general-probing measurement.
 type genProbe struct {
-	p        *pending
+	u        *Update
 	mode     probeMode
 	probePkt packet.Fields // packet injected via the injector A
 	expected packet.Fields // fields as they arrive at the receiver C
@@ -36,35 +37,131 @@ type genProbe struct {
 	sent     bool          // at least one probe injected
 }
 
-// generalTech implements §3.2.2: each modification gets its own probe
-// packet, crafted to hit exactly the probed rule and to be distinguishable
-// from the rules beneath it. It works even when the switch reorders
-// modifications, because no inference is made from other rules' fates.
-type generalTech struct {
-	sess *session
+// generalStrategy implements §3.2.2 as an AckStrategy: each modification
+// gets its own probe packet, crafted to hit exactly the probed rule and
+// to be distinguishable from the rules beneath it. It works even when the
+// switch reorders modifications, because no inference is made from other
+// rules' fates. Probes surface at neighbor switches, so the deployment
+// routes arrivals across every switch it serves.
+type generalStrategy struct {
+	mu       sync.Mutex
+	bySwitch []*generalSwitch // deterministic attach order
+}
+
+func newGeneralStrategy() *generalStrategy { return &generalStrategy{} }
+
+func (g *generalStrategy) Name() string { return string(TechGeneral) }
+
+func (g *generalStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	t := &generalSwitch{parent: g, sc: sc, shadow: flowtable.New()}
+	g.mu.Lock()
+	g.bySwitch = append(g.bySwitch, t)
+	g.mu.Unlock()
+	return t
+}
+
+// remove drops a detached per-switch instance from probe routing.
+func (g *generalStrategy) remove(t *generalSwitch) {
+	g.mu.Lock()
+	kept := g.bySwitch[:0]
+	for _, q := range g.bySwitch {
+		if q != t {
+			kept = append(kept, q)
+		}
+	}
+	g.bySwitch = kept
+	g.mu.Unlock()
+}
+
+// RouteProbe implements ProbeRouter: a probe arrival at receiver recv is
+// matched against every served switch's outstanding probes. Packets
+// carrying the receiver's probe-catch ToS are RUM's to consume whether or
+// not they match.
+func (g *generalStrategy) RouteProbe(recv string, pin *of.PacketIn, f packet.Fields) bool {
+	// Sequential probes live in their own header space (the reserved
+	// probe-sink destination); never claim them, even when their version
+	// ToS collides with a catch value (possible in mixed deployments:
+	// versions cycle 0x04..0xf8, which overlaps the catch range).
+	if f.NWDstAddr() == ProbeSinkIP {
+		return false
+	}
+	g.mu.Lock()
+	insts := append([]*generalSwitch(nil), g.bySwitch...)
+	g.mu.Unlock()
+	if len(insts) == 0 {
+		return false
+	}
+	if f.NWTOS != insts[0].sc.CatchTos(recv) {
+		return false
+	}
+	for _, t := range insts {
+		if t.noteArrival(recv, f) {
+			break
+		}
+	}
+	return true
+}
+
+// generalSwitch is the per-switch half of the general strategy.
+type generalSwitch struct {
+	BaseSwitchStrategy
+	parent *generalStrategy
+	sc     StrategyContext
 
 	mu               sync.Mutex
-	ackl             *ackLayer
 	shadow           *flowtable.Table // control-plane intent: all mods forwarded so far
 	probes           []*genProbe      // issue order
 	pumping          bool
 	bootOK           bool
-	fallbackBarriers map[uint32]*pending
+	detached         bool
+	fallbackBarriers map[uint32]*Update
 }
 
-func newGeneralTech(s *session) *generalTech {
-	return &generalTech{sess: s, shadow: flowtable.New()}
+// Detach implements SwitchDetacher: drop outstanding probes (stopping the
+// pump at its next tick) and leave probe routing.
+func (t *generalSwitch) Detach() {
+	t.mu.Lock()
+	t.detached = true
+	t.probes = nil
+	t.fallbackBarriers = nil
+	t.mu.Unlock()
+	t.parent.remove(t)
 }
 
-// bootstrap installs the probe-catch rule: ToS == S_self → controller.
-func (t *generalTech) bootstrap() error {
-	if _, _, ok := t.sess.injector(); !ok {
-		return errNoNeighbor(t.sess.name)
+// Bootstrap installs the probe-catch rule (ToS == S_self → controller)
+// on this switch, and — because this switch's probes surface at its
+// neighbors, which in a heterogeneous deployment may run strategies that
+// install no catch rules of their own — the neighbors' catch rules on
+// every attached neighbor (idempotent adds).
+func (t *generalSwitch) Bootstrap() error {
+	if _, _, ok := t.sc.Injector(); !ok {
+		return errNoNeighbor(t.sc.Switch())
 	}
+	t.sc.SendToSwitch(t.catchRuleMod(t.sc.Switch()))
+	neighbors := t.sc.Topology().Neighbors(t.sc.Switch())
+	names := make([]string, 0, len(neighbors))
+	for _, nb := range neighbors {
+		names = append(names, nb)
+	}
+	sort.Strings(names)
+	for _, nb := range names {
+		if !t.sc.Attached(nb) {
+			continue
+		}
+		t.sc.Inject(nb, t.catchRuleMod(nb))
+	}
+	t.mu.Lock()
+	t.bootOK = true
+	t.mu.Unlock()
+	return nil
+}
+
+// catchRuleMod builds sw's probe-catch rule: ToS == S_sw → controller.
+func (t *generalSwitch) catchRuleMod(sw string) *of.FlowMod {
 	m := of.MatchAll()
 	m.Wildcards &^= of.WcDLType | of.WcNWTOS
 	m.DLType = packet.EtherTypeIPv4
-	m.NWTOS = t.sess.rum.CatchTos(t.sess.name)
+	m.NWTOS = t.sc.CatchTos(sw)
 	catch := &of.FlowMod{
 		Command:  of.FCAdd,
 		Priority: PrioCatch,
@@ -73,29 +170,24 @@ func (t *generalTech) bootstrap() error {
 		OutPort:  of.PortNone,
 		Actions:  []of.Action{of.ActionOutput{Port: of.PortController, MaxLen: 0xffff}},
 	}
-	catch.SetXID(t.sess.rum.newXID())
-	t.sess.proxy.SendToSwitch(catch)
-	t.mu.Lock()
-	t.bootOK = true
-	t.mu.Unlock()
-	return nil
+	catch.SetXID(t.sc.NewXID())
+	return catch
 }
 
-func (t *generalTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+func (t *generalSwitch) OnFlowMod(u *Update) {
 	t.mu.Lock()
-	t.ackl = a
-	boot := t.bootOK
+	boot := t.bootOK && !t.detached
 	// Snapshot the table before this mod, then advance the shadow intent.
 	before := t.shadow.Rules()
-	t.shadow.Apply(p.fm)
+	t.shadow.Apply(u.FlowMod())
 	t.mu.Unlock()
 	if !boot {
-		t.fallback(ctx, p)
+		t.fallback(u)
 		return
 	}
-	probe, err := t.buildProbe(p, before)
+	probe, err := t.buildProbe(u, before)
 	if err != nil {
-		t.fallback(ctx, p)
+		t.fallback(u)
 		return
 	}
 	t.mu.Lock()
@@ -105,10 +197,49 @@ func (t *generalTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
 	t.ensurePump()
 }
 
+// OnUpdateResolved implements ResolutionObserver: drop the probe and any
+// fallback barrier of an update that was resolved outside the strategy
+// (switch error, detach); its signal can never arrive, and a clogged
+// probe list would starve newer updates of their ProbeBatch slots.
+func (t *generalSwitch) OnUpdateResolved(u *Update, outcome Outcome) {
+	t.mu.Lock()
+	kept := t.probes[:0]
+	for _, gp := range t.probes {
+		if gp.u != u {
+			kept = append(kept, gp)
+		}
+	}
+	t.probes = kept
+	for xid, fu := range t.fallbackBarriers {
+		if fu == u {
+			delete(t.fallbackBarriers, xid)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// BootstrapNeighbor implements NeighborBootstrapper: a reconnecting
+// neighbor (possibly back with an empty flow table) gets its probe-catch
+// rule reinstalled, since this switch's probes may surface there.
+func (t *generalSwitch) BootstrapNeighbor(sw string) {
+	t.mu.Lock()
+	active := t.bootOK && !t.detached
+	t.mu.Unlock()
+	if !active {
+		return
+	}
+	for _, nb := range t.sc.Topology().Neighbors(t.sc.Switch()) {
+		if nb == sw {
+			t.sc.Inject(sw, t.catchRuleMod(sw))
+			return
+		}
+	}
+}
+
 // buildProbe crafts the probe for one modification, given the rule table
 // before the modification was applied.
-func (t *generalTech) buildProbe(p *pending, before []hsa.Rule) (*genProbe, error) {
-	fm := p.fm
+func (t *generalSwitch) buildProbe(u *Update, before []hsa.Rule) (*genProbe, error) {
+	fm := u.FlowMod()
 	rule := hsa.Rule{Priority: fm.Priority, Match: fm.Match.Normalize(), Actions: fm.Actions}
 	switch fm.Command {
 	case of.FCAdd, of.FCModify, of.FCModifyStrict:
@@ -118,9 +249,9 @@ func (t *generalTech) buildProbe(p *pending, before []hsa.Rule) (*genProbe, erro
 		// distinguish from.
 		table := rulesExcept(before, rule.Match, rule.Priority)
 		if len(fm.Actions) == 0 {
-			return t.buildDropProbe(p, rule, table)
+			return t.buildDropProbe(u, rule, table)
 		}
-		return t.buildForwardProbe(p, rule, table)
+		return t.buildForwardProbe(u, rule, table)
 	case of.FCDelete, of.FCDeleteStrict:
 		// Probe the rule being removed: its probe keeps arriving while
 		// the rule is present and stops when it is gone.
@@ -129,7 +260,7 @@ func (t *generalTech) buildProbe(p *pending, before []hsa.Rule) (*genProbe, erro
 			return nil, hsa.ErrNoProbe // nothing to observe
 		}
 		table := rulesExcept(before, victim.Match, victim.Priority)
-		gp, err := t.buildForwardProbe(p, *victim, table)
+		gp, err := t.buildForwardProbe(u, *victim, table)
 		if err != nil {
 			return nil, err
 		}
@@ -141,17 +272,16 @@ func (t *generalTech) buildProbe(p *pending, before []hsa.Rule) (*genProbe, erro
 }
 
 // buildForwardProbe handles rules that forward to a next-hop switch C.
-func (t *generalTech) buildForwardProbe(p *pending, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
-	r := t.sess.rum
+func (t *generalSwitch) buildForwardProbe(u *Update, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
 	outPort, ok := firstOutput(rule.Actions)
 	if !ok {
 		return nil, hsa.ErrNoProbe
 	}
-	recv := r.topo.Neighbors(t.sess.name)[outPort]
+	recv := t.sc.Topology().Neighbors(t.sc.Switch())[outPort]
 	if recv == "" {
 		return nil, hsa.ErrNoProbe // next hop is a host or unknown
 	}
-	if _, attached := r.sessionByName(recv); !attached {
+	if !t.sc.Attached(recv) {
 		return nil, hsa.ErrNoProbe
 	}
 	// The probed rule must leave ToS to the probe (H must be wildcarded on
@@ -161,7 +291,7 @@ func (t *generalTech) buildForwardProbe(p *pending, rule hsa.Rule, table []hsa.R
 	}
 	pin := of.MatchAll()
 	pin.Wildcards &^= of.WcNWTOS
-	pin.NWTOS = r.CatchTos(recv)
+	pin.NWTOS = t.sc.CatchTos(recv)
 	fields, err := hsa.FindProbe(rule, table, pin)
 	if err != nil {
 		return nil, err
@@ -169,7 +299,7 @@ func (t *generalTech) buildForwardProbe(p *pending, rule hsa.Rule, table []hsa.R
 	expected := applyRewrites(fields, rule.Actions)
 	expected.InPort = 0
 	return &genProbe{
-		p:        p,
+		u:        u,
 		mode:     expectArrival,
 		probePkt: fields,
 		expected: expected,
@@ -180,8 +310,7 @@ func (t *generalTech) buildForwardProbe(p *pending, rule hsa.Rule, table []hsa.R
 // buildDropProbe handles installs of drop rules: confirmable only when a
 // lower-priority rule currently forwards the probe to a catchable switch D
 // (the probe then *stops* arriving once the drop rule lands).
-func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
-	r := t.sess.rum
+func (t *generalSwitch) buildDropProbe(u *Update, rule hsa.Rule, table []hsa.Rule) (*genProbe, error) {
 	// First find a probe ignoring the receiver pin: the distinguishing
 	// signal comes from the fallback rule's forwarding.
 	fields, err := hsa.FindProbe(rule, table, of.MatchAll())
@@ -196,11 +325,11 @@ func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule
 	if !ok {
 		return nil, hsa.ErrNoProbe
 	}
-	recv := r.topo.Neighbors(t.sess.name)[fbPort]
+	recv := t.sc.Topology().Neighbors(t.sc.Switch())[fbPort]
 	if recv == "" {
 		return nil, hsa.ErrNoProbe
 	}
-	if _, attached := r.sessionByName(recv); !attached {
+	if !t.sc.Attached(recv) {
 		return nil, hsa.ErrNoProbe
 	}
 	if rule.Match.Wildcards&of.WcNWTOS == 0 || rewritesTos(fb.Actions) {
@@ -210,7 +339,7 @@ func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule
 	// observable.
 	pin := of.MatchAll()
 	pin.Wildcards &^= of.WcNWTOS
-	pin.NWTOS = r.CatchTos(recv)
+	pin.NWTOS = t.sc.CatchTos(recv)
 	fields, err = hsa.FindProbe(rule, table, pin)
 	if err != nil {
 		return nil, err
@@ -218,7 +347,7 @@ func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule
 	expected := applyRewrites(fields, fb.Actions)
 	expected.InPort = 0
 	return &genProbe{
-		p:        p,
+		u:        u,
 		mode:     expectSilence,
 		probePkt: fields,
 		expected: expected,
@@ -229,78 +358,39 @@ func (t *generalTech) buildDropProbe(p *pending, rule hsa.Rule, table []hsa.Rule
 // fallback acknowledges via the control-plane timeout technique when no
 // probe exists (§3.2.2: "RUM falls back to one of the control plane-based
 // techniques").
-func (t *generalTech) fallback(ctx *proxy.Context, p *pending) {
-	r := t.sess.rum
-	r.mu.Lock()
-	r.fallbacks++
-	r.mu.Unlock()
+func (t *generalSwitch) fallback(u *Update) {
+	t.sc.NoteFallback(u)
 	br := &of.BarrierRequest{}
-	xid := r.newXID()
+	xid := t.sc.NewXID()
 	br.SetXID(xid)
 	t.mu.Lock()
 	if t.fallbackBarriers == nil {
-		t.fallbackBarriers = make(map[uint32]*pending)
+		t.fallbackBarriers = make(map[uint32]*Update)
 	}
-	t.fallbackBarriers[xid] = p
+	t.fallbackBarriers[xid] = u
 	t.mu.Unlock()
-	ctx.ToSwitch(br)
+	t.sc.SendToSwitch(br)
 }
 
-func (t *generalTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
-	switch mm := m.(type) {
-	case *of.BarrierReply:
-		t.mu.Lock()
-		p, mine := t.fallbackBarriers[mm.GetXID()]
-		if mine {
-			delete(t.fallbackBarriers, mm.GetXID())
-		}
-		t.mu.Unlock()
-		if !mine {
-			return false
-		}
-		ctx.Clock().After(t.sess.rum.cfg.Timeout, func() {
-			a.confirm(p, of.RUMAckFallback)
-		})
-		return true
-	case *of.PacketIn:
-		pkt, err := packet.Unmarshal(mm.Data)
-		if err != nil {
-			return false
-		}
-		f := pkt.Fields
-		// Only ToS values in RUM's probe space are RUM's to consume.
-		if f.NWTOS != t.sess.rum.CatchTos(t.sess.name) {
-			return false
-		}
-		t.sess.rum.routeGenProbe(t.sess.name, f)
-		return true
+func (t *generalSwitch) OnBarrierReply(rep *of.BarrierReply) bool {
+	t.mu.Lock()
+	u, mine := t.fallbackBarriers[rep.GetXID()]
+	if mine {
+		delete(t.fallbackBarriers, rep.GetXID())
 	}
-	return false
-}
-
-// routeGenProbe matches a probe arrival at receiver recv against every
-// session's outstanding probes.
-func (r *RUM) routeGenProbe(recv string, f packet.Fields) {
-	r.mu.Lock()
-	sessions := make([]*session, 0, len(r.sessions))
-	for _, s := range r.sessions {
-		sessions = append(sessions, s)
+	t.mu.Unlock()
+	if !mine {
+		return false
 	}
-	r.mu.Unlock()
-	for _, s := range sessions {
-		gt, ok := s.tech.(*generalTech)
-		if !ok {
-			continue
-		}
-		if gt.noteArrival(recv, f) {
-			return
-		}
-	}
+	t.sc.Clock().After(t.sc.Config().Timeout, func() {
+		t.sc.Confirm(u, OutcomeFallback)
+	})
+	return true
 }
 
 // noteArrival processes one probe arrival; returns true when it matched an
-// outstanding probe of this session.
-func (t *generalTech) noteArrival(recv string, f packet.Fields) bool {
+// outstanding probe of this switch.
+func (t *generalSwitch) noteArrival(recv string, f packet.Fields) bool {
 	f.InPort = 0 // receivers see their own in_port; expectations carry none
 	t.mu.Lock()
 	var match *genProbe
@@ -310,25 +400,24 @@ func (t *generalTech) noteArrival(recv string, f packet.Fields) bool {
 			break
 		}
 	}
-	var confirmNow *pending
+	var confirmNow *Update
 	if match != nil {
 		switch match.mode {
 		case expectArrival:
-			confirmNow = match.p
+			confirmNow = match.u
 			t.removeProbeLocked(match)
 		case expectSilence:
 			match.arrived = true
 		}
 	}
-	a := t.ackl
 	t.mu.Unlock()
-	if confirmNow != nil && a != nil {
-		a.confirm(confirmNow, of.RUMAckInstalled)
+	if confirmNow != nil {
+		t.sc.Confirm(confirmNow, OutcomeInstalled)
 	}
 	return match != nil
 }
 
-func (t *generalTech) removeProbeLocked(gp *genProbe) {
+func (t *generalSwitch) removeProbeLocked(gp *genProbe) {
 	kept := t.probes[:0]
 	for _, q := range t.probes {
 		if q != gp {
@@ -339,7 +428,7 @@ func (t *generalTech) removeProbeLocked(gp *genProbe) {
 }
 
 // ensurePump starts the periodic probing tick.
-func (t *generalTech) ensurePump() {
+func (t *generalSwitch) ensurePump() {
 	t.mu.Lock()
 	if t.pumping {
 		t.mu.Unlock()
@@ -347,14 +436,14 @@ func (t *generalTech) ensurePump() {
 	}
 	t.pumping = true
 	t.mu.Unlock()
-	t.sess.clock().After(t.sess.rum.cfg.ProbeInterval, t.pumpTick)
+	t.sc.ScheduleTick(t.sc.Config().ProbeInterval)
 }
 
-// pumpTick probes up to ProbeBatch oldest outstanding modifications
-// (§5.1: "probing up to 30 oldest flow modifications at once, every
-// 10 ms") and evaluates silence-mode probes.
-func (t *generalTech) pumpTick() {
-	cfg := t.sess.rum.cfg
+// OnTick probes up to ProbeBatch oldest outstanding modifications (§5.1:
+// "probing up to 30 oldest flow modifications at once, every 10 ms") and
+// evaluates silence-mode probes.
+func (t *generalSwitch) OnTick(now time.Duration) {
+	cfg := t.sc.Config()
 	t.mu.Lock()
 	if len(t.probes) == 0 {
 		t.pumping = false
@@ -385,23 +474,20 @@ func (t *generalTech) pumpTick() {
 	for _, gp := range silent {
 		t.removeProbeLocked(gp)
 	}
-	a := t.ackl
 	t.mu.Unlock()
 
 	for _, gp := range silent {
-		if a != nil {
-			a.confirm(gp.p, of.RUMAckInstalled)
-		}
+		t.sc.Confirm(gp.u, OutcomeInstalled)
 	}
 	for _, gp := range round {
 		t.injectProbe(gp)
 	}
-	t.sess.clock().After(cfg.ProbeInterval, t.pumpTick)
+	t.sc.ScheduleTick(cfg.ProbeInterval)
 }
 
 // injectProbe sends the probe packet via the injector neighbor A.
-func (t *generalTech) injectProbe(gp *genProbe) {
-	inj, port, ok := t.sess.injector()
+func (t *generalSwitch) injectProbe(gp *genProbe) {
+	inj, port, ok := t.sc.Injector()
 	if !ok {
 		return
 	}
@@ -416,14 +502,14 @@ func (t *generalTech) injectProbe(gp *genProbe) {
 		Actions:  []of.Action{of.ActionOutput{Port: port}},
 		Data:     pkt.Marshal(),
 	}
-	po.SetXID(t.sess.rum.newXID())
-	inj.proxy.SendToSwitch(po)
+	po.SetXID(t.sc.NewXID())
+	if !t.sc.Inject(inj, po) {
+		return
+	}
 	t.mu.Lock()
 	gp.sent = true
 	t.mu.Unlock()
-	t.sess.rum.mu.Lock()
-	t.sess.rum.probesSent++
-	t.sess.rum.mu.Unlock()
+	t.sc.NoteProbe(1)
 }
 
 // --- helpers ---

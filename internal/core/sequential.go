@@ -2,17 +2,18 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"rum/internal/of"
 	"rum/internal/packet"
-	"rum/internal/proxy"
 	"rum/internal/sim"
 )
 
-// seqState is the RUM-wide sequential-probing version space. Probe-rule
-// versions live in the ToS byte (§4: 64 values, recycled), so the number
-// of outstanding epochs across all switches is bounded; flushes beyond the
-// window are deferred until confirmations free versions.
+// seqState is the deployment-wide sequential-probing version space.
+// Probe-rule versions live in the ToS byte (§4: 64 values, recycled), so
+// the number of outstanding epochs across all switches is bounded;
+// flushes beyond the window are deferred until confirmations free
+// versions.
 type seqState struct {
 	mu          sync.Mutex
 	nextVer     int                 // monotonically increasing epoch counter
@@ -26,10 +27,10 @@ func newSeqState() *seqState {
 // seqEpoch is one probe-rule version covering a batch of modifications on
 // one switch.
 type seqEpoch struct {
-	tech *sequentialTech
-	id   int
-	tos  uint8
-	mods []*pending
+	owner *sequentialSwitch
+	id    int
+	tos   uint8
+	mods  []*Update
 }
 
 // allocate reserves a version; ok=false when the ToS space is exhausted
@@ -38,7 +39,7 @@ type seqEpoch struct {
 // otherwise a probe stamped by the old rule would instantly (and wrongly)
 // confirm the new epoch. This is the correctness constraint behind the
 // paper's "periodically recycle" remark (§4).
-func (s *seqState) allocate(t *sequentialTech, mods []*pending, exclude uint8) (*seqEpoch, bool) {
+func (s *seqState) allocate(t *sequentialSwitch, mods []*Update, exclude uint8) (*seqEpoch, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.outstanding) >= tosVersionCount-2 {
@@ -54,7 +55,7 @@ func (s *seqState) allocate(t *sequentialTech, mods []*pending, exclude uint8) (
 		if _, taken := s.outstanding[tos]; taken {
 			continue
 		}
-		e := &seqEpoch{tech: t, id: id, tos: tos, mods: mods}
+		e := &seqEpoch{owner: t, id: id, tos: tos, mods: mods}
 		s.outstanding[tos] = e
 		return e, true
 	}
@@ -73,14 +74,26 @@ func (s *seqState) observe(tos uint8) *seqEpoch {
 	return e
 }
 
+// releaseOwner drops every epoch owned by t (detach: the versions would
+// otherwise stay pinned forever, shrinking the shared window).
+func (s *seqState) releaseOwner(t *sequentialSwitch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for tos, e := range s.outstanding {
+		if e.owner == t {
+			delete(s.outstanding, tos)
+		}
+	}
+}
+
 // release drops every epoch of t with id <= maxID (confirmed transitively
 // by a later version's arrival on a non-reordering switch).
-func (s *seqState) release(t *sequentialTech, maxID int) []*seqEpoch {
+func (s *seqState) release(t *sequentialSwitch, maxID int) []*seqEpoch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*seqEpoch
 	for tos, e := range s.outstanding {
-		if e.tech == t && e.id <= maxID {
+		if e.owner == t && e.id <= maxID {
 			out = append(out, e)
 			delete(s.outstanding, tos)
 		}
@@ -88,19 +101,90 @@ func (s *seqState) release(t *sequentialTech, maxID int) []*seqEpoch {
 	return out
 }
 
-// sequentialTech implements §3.2.1: every batch of ProbeEvery real
-// modifications is followed by a barrier and an update of the switch's
-// single probe rule, bumping the ToS version it stamps onto probe packets.
-// Observing a probe with version v proves the probe-rule update — and, on
-// a switch that does not reorder across barriers, every earlier
-// modification — is in the data plane.
-type sequentialTech struct {
-	sess *session
+// sequentialStrategy implements §3.2.1 as an AckStrategy: every batch of
+// ProbeEvery real modifications is followed by a barrier and an update of
+// the switch's single probe rule, bumping the ToS version it stamps onto
+// probe packets. Observing a probe with version v proves the probe-rule
+// update — and, on a switch that does not reorder across barriers, every
+// earlier modification — is in the data plane. The version space is
+// shared across every switch the deployment serves.
+type sequentialStrategy struct {
+	seq *seqState
+}
+
+func newSequentialStrategy() *sequentialStrategy {
+	return &sequentialStrategy{seq: newSeqState()}
+}
+
+func (s *sequentialStrategy) Name() string { return string(TechSequential) }
+
+func (s *sequentialStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	return &sequentialSwitch{parent: s, sc: sc}
+}
+
+// RouteProbe implements ProbeRouter: sequential probes surface at the
+// receiver C, not the probed switch B, so arrivals anywhere in the
+// deployment are resolved against the shared version space. Every packet
+// addressed to the probe sink is RUM's to consume; preprobes (not yet
+// stamped) carry no information.
+func (s *sequentialStrategy) RouteProbe(recv string, pin *of.PacketIn, f packet.Fields) bool {
+	if f.NWDstAddr() != ProbeSinkIP {
+		return false
+	}
+	if f.NWTOS != TosPreprobe {
+		s.route(f.NWTOS)
+	}
+	return true
+}
+
+// route resolves a stamped sequential probe: the ToS version identifies
+// the epoch (and thus the probed switch), confirming that epoch and every
+// earlier one on the same switch.
+func (s *sequentialStrategy) route(tos uint8) {
+	epoch := s.seq.observe(tos)
+	if epoch == nil {
+		return
+	}
+	t := epoch.owner
+	released := s.seq.release(t, epoch.id)
+	released = append(released, epoch)
+	var maxSeq uint64
+	for _, e := range released {
+		for _, u := range e.mods {
+			if u.Seq() > maxSeq {
+				maxSeq = u.Seq()
+			}
+		}
+	}
+	t.mu.Lock()
+	t.activeVer = epoch.tos
+	if t.lastEpoch != nil && t.lastEpoch.id <= epoch.id {
+		t.lastEpoch = nil
+	}
+	deferred := t.deferred
+	t.deferred = nil
+	t.mu.Unlock()
+	t.sc.ConfirmUpTo(maxSeq, OutcomeInstalled)
+	// Retry deferred batches now that versions are free.
+	for _, mods := range deferred {
+		t.mu.Lock()
+		t.batch = append(mods, t.batch...)
+		t.mu.Unlock()
+	}
+	if len(deferred) > 0 {
+		t.flush()
+	}
+}
+
+// sequentialSwitch is the per-switch half of the sequential strategy.
+type sequentialSwitch struct {
+	BaseSwitchStrategy
+	parent *sequentialStrategy
+	sc     StrategyContext
 
 	mu        sync.Mutex
-	ackl      *ackLayer
-	batch     []*pending
-	deferred  [][]*pending // batches awaiting a free version
+	batch     []*Update
+	deferred  [][]*Update // batches awaiting a free version
 	pumping   bool
 	flushTm   sim.Timer
 	recvName  string
@@ -108,20 +192,31 @@ type sequentialTech struct {
 	lastEpoch *seqEpoch // newest unconfirmed epoch (probe target)
 	activeVer uint8     // newest version observed in the data plane
 	bootOK    bool
+	detached  bool
 }
 
-func newSequentialTech(s *session) *sequentialTech {
-	return &sequentialTech{sess: s}
+// Detach implements SwitchDetacher: stop batching and pumping, release
+// the switch's outstanding probe-rule versions back to the shared space.
+func (t *sequentialSwitch) Detach() {
+	t.mu.Lock()
+	t.detached = true
+	t.batch, t.deferred, t.lastEpoch = nil, nil, nil
+	if t.flushTm != nil {
+		t.flushTm.Stop()
+		t.flushTm = nil
+	}
+	t.mu.Unlock()
+	t.parent.seq.releaseOwner(t)
 }
 
-// bootstrap installs the probe-catch rule and the initial probe rule.
+// Bootstrap installs the probe-catch rule and the initial probe rule.
 // Catch rule: packets for the probe sink that are no longer preprobes go
 // to the controller. Probe rule (higher priority): preprobe packets get
 // stamped with the current version and forwarded to the receiver C.
-func (t *sequentialTech) bootstrap() error {
-	recv, port, ok := t.sess.receiver()
+func (t *sequentialSwitch) Bootstrap() error {
+	recv, port, ok := t.sc.Receiver()
 	if !ok {
-		return errNoNeighbor(t.sess.name)
+		return errNoNeighbor(t.sc.Switch())
 	}
 	t.mu.Lock()
 	t.recvName = recv
@@ -129,6 +224,25 @@ func (t *sequentialTech) bootstrap() error {
 	t.bootOK = true
 	t.mu.Unlock()
 
+	catch := t.catchRuleMod()
+	t.sc.SendToSwitch(catch)
+
+	// In a heterogeneous deployment the receiver C may run a different
+	// strategy and never install a catch rule of its own; the prober's
+	// infrastructure follows it there (an add with identical match and
+	// priority is an idempotent replace).
+	t.sc.Inject(recv, t.catchRuleMod())
+
+	// The bootstrap probe rule stamps tosBootstrap, a value allocate()
+	// never hands out, so a pre-existing rule can never confirm an epoch.
+	probe := t.probeRuleMod(tosBootstrap)
+	t.sc.SendToSwitch(probe)
+	return nil
+}
+
+// catchRuleMod builds the probe-catch rule: packets for the probe sink
+// that are no longer preprobes go to the controller.
+func (t *sequentialSwitch) catchRuleMod() *of.FlowMod {
 	catch := &of.FlowMod{
 		Command:  of.FCAdd,
 		Priority: PrioCatch,
@@ -137,14 +251,8 @@ func (t *sequentialTech) bootstrap() error {
 		OutPort:  of.PortNone,
 		Actions:  []of.Action{of.ActionOutput{Port: of.PortController, MaxLen: 0xffff}},
 	}
-	catch.SetXID(t.sess.rum.newXID())
-	t.sess.proxy.SendToSwitch(catch)
-
-	// The bootstrap probe rule stamps tosBootstrap, a value allocate()
-	// never hands out, so a pre-existing rule can never confirm an epoch.
-	probe := t.probeRuleMod(tosBootstrap)
-	t.sess.proxy.SendToSwitch(probe)
-	return nil
+	catch.SetXID(t.sc.NewXID())
+	return catch
 }
 
 // tosBootstrap is the initial probe-rule version (outside the allocated
@@ -170,7 +278,7 @@ func probeRuleMatch() of.Match {
 
 // probeRuleMod builds the versioned probe rule: rewrite ToS to ver and
 // forward to the receiver.
-func (t *sequentialTech) probeRuleMod(ver uint8) *of.FlowMod {
+func (t *sequentialSwitch) probeRuleMod(ver uint8) *of.FlowMod {
 	fm := &of.FlowMod{
 		Command:  of.FCAdd, // add-with-same-match-and-priority == replace
 		Priority: PrioProbe,
@@ -182,33 +290,69 @@ func (t *sequentialTech) probeRuleMod(ver uint8) *of.FlowMod {
 			of.ActionOutput{Port: t.recvPort},
 		},
 	}
-	fm.SetXID(t.sess.rum.newXID())
+	fm.SetXID(t.sc.NewXID())
 	return fm
 }
 
-func (t *sequentialTech) onFlowMod(a *ackLayer, ctx *proxy.Context, p *pending) {
+func (t *sequentialSwitch) OnFlowMod(u *Update) {
 	t.mu.Lock()
-	t.ackl = a
-	t.batch = append(t.batch, p)
-	full := len(t.batch) >= t.sess.rum.cfg.ProbeEvery
+	t.batch = append(t.batch, u)
+	full := len(t.batch) >= t.sc.Config().ProbeEvery
 	if !full && t.flushTm == nil {
-		t.flushTm = ctx.Clock().After(t.sess.rum.cfg.ProbeFlush, func() {
+		t.flushTm = t.sc.Clock().After(t.sc.Config().ProbeFlush, func() {
 			t.mu.Lock()
 			t.flushTm = nil
 			t.mu.Unlock()
-			t.flush(ctx)
+			t.flush()
 		})
 	}
 	t.mu.Unlock()
 	if full {
-		t.flush(ctx)
+		t.flush()
+	}
+}
+
+// OnUpdateResolved implements ResolutionObserver: an update resolved
+// outside the strategy (switch error, detach) leaves the unflushed batch
+// queues so it is not retained indefinitely. Updates already inside an
+// epoch stay there; the epoch's eventual confirmation skips them.
+func (t *sequentialSwitch) OnUpdateResolved(u *Update, outcome Outcome) {
+	t.mu.Lock()
+	kept := t.batch[:0]
+	for _, q := range t.batch {
+		if q != u {
+			kept = append(kept, q)
+		}
+	}
+	t.batch = kept
+	for i, mods := range t.deferred {
+		keptd := mods[:0]
+		for _, q := range mods {
+			if q != u {
+				keptd = append(keptd, q)
+			}
+		}
+		t.deferred[i] = keptd
+	}
+	t.mu.Unlock()
+}
+
+// BootstrapNeighbor implements NeighborBootstrapper: when this switch's
+// probe receiver reconnects (possibly with an empty flow table), its
+// catch rule is reinstalled so confirmations keep flowing.
+func (t *sequentialSwitch) BootstrapNeighbor(sw string) {
+	t.mu.Lock()
+	mine := t.bootOK && !t.detached && t.recvName == sw
+	t.mu.Unlock()
+	if mine {
+		t.sc.Inject(sw, t.catchRuleMod())
 	}
 }
 
 // flush closes the current batch: barrier + probe-rule version bump.
-func (t *sequentialTech) flush(ctx *proxy.Context) {
+func (t *sequentialSwitch) flush() {
 	t.mu.Lock()
-	if len(t.batch) == 0 || !t.bootOK {
+	if len(t.batch) == 0 || !t.bootOK || t.detached {
 		t.mu.Unlock()
 		return
 	}
@@ -218,7 +362,7 @@ func (t *sequentialTech) flush(ctx *proxy.Context) {
 		t.flushTm.Stop()
 		t.flushTm = nil
 	}
-	epoch, ok := t.sess.rum.seqState.allocate(t, mods, t.activeVer)
+	epoch, ok := t.parent.seq.allocate(t, mods, t.activeVer)
 	if !ok {
 		// Version space exhausted: re-queue and retry on confirmation.
 		t.deferred = append(t.deferred, mods)
@@ -229,16 +373,16 @@ func (t *sequentialTech) flush(ctx *proxy.Context) {
 	t.mu.Unlock()
 
 	br := &of.BarrierRequest{}
-	br.SetXID(t.sess.rum.newXID())
-	ctx.ToSwitch(br)
-	ctx.ToSwitch(t.probeRuleMod(epoch.tos))
+	br.SetXID(t.sc.NewXID())
+	t.sc.SendToSwitch(br)
+	t.sc.SendToSwitch(t.probeRuleMod(epoch.tos))
 	t.injectProbe()
 	t.ensurePump()
 }
 
 // injectProbe sends one preprobe packet via the injector neighbor A.
-func (t *sequentialTech) injectProbe() {
-	inj, port, ok := t.sess.injector()
+func (t *sequentialSwitch) injectProbe() {
+	inj, port, ok := t.sc.Injector()
 	if !ok {
 		return
 	}
@@ -250,16 +394,15 @@ func (t *sequentialTech) injectProbe() {
 		Actions:  []of.Action{of.ActionOutput{Port: port}},
 		Data:     pkt.Marshal(),
 	}
-	po.SetXID(t.sess.rum.newXID())
-	inj.proxy.SendToSwitch(po)
-	t.sess.rum.mu.Lock()
-	t.sess.rum.probesSent++
-	t.sess.rum.mu.Unlock()
+	po.SetXID(t.sc.NewXID())
+	if t.sc.Inject(inj, po) {
+		t.sc.NoteProbe(1)
+	}
 }
 
-// ensurePump keeps a periodic probe injector running while epochs are
+// ensurePump keeps the periodic probe injector ticking while epochs are
 // outstanding.
-func (t *sequentialTech) ensurePump() {
+func (t *sequentialSwitch) ensurePump() {
 	t.mu.Lock()
 	if t.pumping {
 		t.mu.Unlock()
@@ -267,12 +410,13 @@ func (t *sequentialTech) ensurePump() {
 	}
 	t.pumping = true
 	t.mu.Unlock()
-	t.sess.clock().After(t.sess.rum.cfg.ProbeResend, t.pumpTick)
+	t.sc.ScheduleTick(t.sc.Config().ProbeResend)
 }
 
-func (t *sequentialTech) pumpTick() {
+// OnTick re-injects the probe while an epoch is outstanding.
+func (t *sequentialSwitch) OnTick(now time.Duration) {
 	t.mu.Lock()
-	outstanding := t.lastEpoch != nil
+	outstanding := t.lastEpoch != nil && !t.detached
 	if !outstanding {
 		t.pumping = false
 		t.mu.Unlock()
@@ -280,89 +424,7 @@ func (t *sequentialTech) pumpTick() {
 	}
 	t.mu.Unlock()
 	t.injectProbe()
-	t.sess.clock().After(t.sess.rum.cfg.ProbeResend, t.pumpTick)
-}
-
-// onFromSwitch consumes probe PacketIns arriving at THIS session — for
-// sequential probing the receiver C is a different switch, so arrivals are
-// routed here via routeSeqProbe below; this hook handles only the case
-// where this session is itself a receiver.
-func (t *sequentialTech) onFromSwitch(a *ackLayer, ctx *proxy.Context, m of.Message) bool {
-	pin, ok := m.(*of.PacketIn)
-	if !ok {
-		return false
-	}
-	pkt, err := packet.Unmarshal(pin.Data)
-	if err != nil {
-		return false
-	}
-	f := pkt.Fields
-	if f.NWDstAddr() != ProbeSinkIP {
-		return false
-	}
-	// A probe observed anywhere is consumed; preprobes (not yet stamped)
-	// carry no information.
-	if f.NWTOS != TosPreprobe {
-		t.sess.rum.routeSeqProbe(f.NWTOS)
-	}
-	return true
-}
-
-// routeSeqProbe resolves a stamped sequential probe: the ToS version
-// identifies the epoch (and thus the probed switch), confirming that epoch
-// and every earlier one on the same switch.
-func (r *RUM) routeSeqProbe(tos uint8) {
-	epoch := r.seqState.observe(tos)
-	if epoch == nil {
-		return
-	}
-	t := epoch.tech
-	released := r.seqState.release(t, epoch.id)
-	released = append(released, epoch)
-	var maxSeq uint64
-	for _, e := range released {
-		for _, p := range e.mods {
-			if p.seq > maxSeq {
-				maxSeq = p.seq
-			}
-		}
-	}
-	t.mu.Lock()
-	t.activeVer = epoch.tos
-	if t.lastEpoch != nil && t.lastEpoch.id <= epoch.id {
-		t.lastEpoch = nil
-	}
-	a := t.ackl
-	deferred := t.deferred
-	t.deferred = nil
-	t.mu.Unlock()
-	if a != nil {
-		a.confirmUpTo(maxSeq, of.RUMAckInstalled)
-	}
-	// Retry deferred batches now that versions are free.
-	for _, mods := range deferred {
-		t.mu.Lock()
-		t.batch = append(mods, t.batch...)
-		t.mu.Unlock()
-	}
-	if len(deferred) > 0 {
-		t.mu.Lock()
-		ctx := proxyCtxOf(a)
-		t.mu.Unlock()
-		if ctx != nil {
-			t.flush(ctx)
-		}
-	}
-}
-
-// proxyCtxOf extracts the last seen context from an ack layer.
-func proxyCtxOf(a *ackLayer) *proxy.Context {
-	if a == nil {
-		return nil
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.ctx
+	t.sc.ScheduleTick(t.sc.Config().ProbeResend)
 }
 
 // errNoNeighbor reports a switch with no attached neighbor to probe

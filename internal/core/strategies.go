@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"rum/internal/of"
+)
+
+// The paper's five techniques (§3) plus the no-wait lower bound register
+// themselves here; Config.Technique and Config.PerSwitch select them by
+// these names.
+func init() {
+	RegisterStrategy(string(TechBarriers), func(Config) AckStrategy {
+		return &barrierStrategy{name: string(TechBarriers)}
+	})
+	RegisterStrategy(string(TechTimeout), func(cfg Config) AckStrategy {
+		return &barrierStrategy{name: string(TechTimeout), delay: cfg.Timeout}
+	})
+	RegisterStrategy(string(TechAdaptive), func(Config) AckStrategy {
+		return adaptiveStrategy{}
+	})
+	RegisterStrategy(string(TechSequential), func(Config) AckStrategy {
+		return newSequentialStrategy()
+	})
+	RegisterStrategy(string(TechGeneral), func(Config) AckStrategy {
+		return newGeneralStrategy()
+	})
+	RegisterStrategy(string(TechNoWait), func(Config) AckStrategy {
+		return noWaitStrategy{}
+	})
+}
+
+// noWaitStrategy confirms instantly: no guarantees, fastest possible
+// updates — the evaluation's lower bound.
+type noWaitStrategy struct{}
+
+func (noWaitStrategy) Name() string { return string(TechNoWait) }
+
+func (noWaitStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	return &noWaitSwitch{sc: sc}
+}
+
+type noWaitSwitch struct {
+	BaseSwitchStrategy
+	sc StrategyContext
+}
+
+func (t *noWaitSwitch) OnFlowMod(u *Update) { t.sc.Confirm(u, OutcomeInstalled) }
+
+// barrierStrategy implements TechBarriers (delay == 0) and TechTimeout
+// (delay > 0): a RUM barrier follows every FlowMod; the reply — plus the
+// configured safety delay — confirms everything issued before it (§3.1).
+type barrierStrategy struct {
+	name  string
+	delay time.Duration
+}
+
+func (s *barrierStrategy) Name() string { return s.name }
+
+func (s *barrierStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	return &barrierSwitch{sc: sc, delay: s.delay, barriers: make(map[uint32]uint64)}
+}
+
+type barrierSwitch struct {
+	BaseSwitchStrategy
+	sc    StrategyContext
+	delay time.Duration
+
+	mu       sync.Mutex
+	barriers map[uint32]uint64 // barrier xid → covered seq
+}
+
+func (t *barrierSwitch) OnFlowMod(u *Update) {
+	br := &of.BarrierRequest{}
+	xid := t.sc.NewXID()
+	br.SetXID(xid)
+	t.mu.Lock()
+	t.barriers[xid] = u.Seq()
+	t.mu.Unlock()
+	t.sc.SendToSwitch(br)
+}
+
+func (t *barrierSwitch) OnBarrierReply(rep *of.BarrierReply) bool {
+	t.mu.Lock()
+	seq, mine := t.barriers[rep.GetXID()]
+	if mine {
+		delete(t.barriers, rep.GetXID())
+	}
+	t.mu.Unlock()
+	if !mine {
+		return false
+	}
+	if t.delay == 0 {
+		t.sc.ConfirmUpTo(seq, OutcomeInstalled)
+	} else {
+		t.sc.Clock().After(t.delay, func() {
+			t.sc.ConfirmUpTo(seq, OutcomeInstalled)
+		})
+	}
+	return true
+}
+
+// adaptiveStrategy implements TechAdaptive: a virtual-time model of the
+// switch's installation pipeline. Each forwarded FlowMod advances the
+// modeled completion time by 1/AssumedRate; with a modeled sync period the
+// estimated activation rounds up to the next sync boundary. The technique
+// is exactly as safe as its model — overestimate the rate and
+// acknowledgments arrive before the data plane does (the paper's
+// "adaptive 250" failure mode).
+type adaptiveStrategy struct{}
+
+func (adaptiveStrategy) Name() string { return string(TechAdaptive) }
+
+func (adaptiveStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
+	return &adaptiveSwitch{sc: sc}
+}
+
+type adaptiveSwitch struct {
+	BaseSwitchStrategy
+	sc StrategyContext
+
+	mu sync.Mutex
+	vt time.Duration // modeled control-plane completion time
+}
+
+func (t *adaptiveSwitch) OnFlowMod(u *Update) {
+	cfg := t.sc.Config()
+	now := t.sc.Clock().Now()
+	perMod := time.Duration(float64(time.Second) / cfg.AssumedRate)
+	t.mu.Lock()
+	if t.vt < now {
+		t.vt = now
+	}
+	t.vt += perMod
+	est := t.vt
+	t.mu.Unlock()
+	if s := cfg.ModelSyncPeriod; s > 0 {
+		est = ((est+s-1)/s)*s + cfg.ModelSyncSlack
+	}
+	t.sc.Clock().After(est-now, func() { t.sc.Confirm(u, OutcomeInstalled) })
+}

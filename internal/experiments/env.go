@@ -100,14 +100,20 @@ func NewTriangle(cfg EnvConfig) *Env {
 	rumCfg := cfg.RUM
 	rumCfg.Clock = s
 	rumCfg.RUMAware = true
-	e.RUM = core.New(rumCfg, topo)
+	r, err := core.New(rumCfg, topo)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building RUM: %v", err))
+	}
+	e.RUM = r
 
 	ctrlConns := make(map[string]transport.Conn)
 	for name, sw := range e.Switches {
 		ctrlTop, ctrlBottom := transport.Pipe(s, cfg.CtrlLatency)
 		rumSide, swSide := transport.Pipe(s, cfg.CtrlLatency)
 		sw.AttachConn(swSide)
-		e.RUM.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide)
+		if _, err := e.RUM.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			panic(fmt.Sprintf("experiments: attaching %s: %v", name, err))
+		}
 		ctrlConns[name] = ctrlTop
 	}
 	e.Client = controller.NewClient(s, cfg.AckMode, ctrlConns)

@@ -85,13 +85,18 @@ func Firewall(o FirewallOpts) *FirewallResult {
 		mode = "RUM general probing"
 		tech = core.TechGeneral
 	}
-	rum := core.New(core.Config{Clock: s, Technique: tech, RUMAware: true}, topo)
+	rum, err := core.New(core.Config{Clock: s, Technique: tech, RUMAware: true}, topo)
+	if err != nil {
+		panic(err)
+	}
 	ctrlConns := make(map[string]transport.Conn)
 	for name, sw := range switches {
 		ctrlTop, ctrlBottom := transport.Pipe(s, 100*time.Microsecond)
 		rumSide, swSide := transport.Pipe(s, 100*time.Microsecond)
 		sw.AttachConn(swSide)
-		rum.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide)
+		if _, err := rum.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			panic(err)
+		}
 		ctrlConns[name] = ctrlTop
 	}
 	client := controller.NewClient(s, ackModeFor(tech), ctrlConns)

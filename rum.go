@@ -11,32 +11,62 @@
 // between consistent updates that hold in practice and transient black
 // holes, loops, or security-policy violations.
 //
-// # Techniques
+// # Acknowledgment strategies
 //
-// RUM offers the paper's five acknowledgment techniques (§3), selected
-// via Config.Technique:
+// How RUM decides a rule is active is pluggable: an AckStrategy value
+// builds one SwitchStrategy per attached switch, and RUM drives it
+// through four hooks — flow-mod observed (OnFlowMod), barrier reply
+// (OnBarrierReply), probe result (OnProbe), and timer tick (OnTick).
+// The paper's five techniques (§3) ship as registered strategies,
+// selected by name via Config.Technique:
 //
-//   - TechBarriers — trust barrier replies (the broken baseline);
-//   - TechTimeout — fixed worst-case delay after each barrier reply;
-//   - TechAdaptive — switch-model-based estimated activation times;
-//   - TechSequential — a versioned data-plane probe rule confirms whole
-//     batches (needs a switch that does not reorder across barriers);
-//   - TechGeneral — per-rule data-plane probes that work even on
-//     reordering switches, with automatic fallback when no distinguishing
-//     probe packet exists.
+//   - TechBarriers ("barriers") — trust barrier replies (the broken
+//     baseline);
+//   - TechTimeout ("timeout") — fixed worst-case delay after each
+//     barrier reply;
+//   - TechAdaptive ("adaptive") — switch-model-based estimated
+//     activation times;
+//   - TechSequential ("sequential") — a versioned data-plane probe rule
+//     confirms whole batches (needs a switch that does not reorder
+//     across barriers);
+//   - TechGeneral ("general") — per-rule data-plane probes that work
+//     even on reordering switches, with automatic fallback when no
+//     distinguishing probe packet exists;
+//   - TechNoWait ("no-wait") — acknowledge instantly, the evaluation's
+//     lower bound.
 //
-// Fine-grained per-rule acknowledgments are delivered to RUM-aware
-// controllers as OpenFlow Error messages with the reserved type
-// ErrTypeRUMAck (§4). Setting Config.BarrierLayer additionally restores
-// reliable barrier semantics for unmodified controllers (§2).
+// User-defined strategies register with RegisterStrategy and become
+// selectable by the same name mechanism; Config.Strategy injects an
+// unregistered instance directly. Because the adaptive technique is
+// explicitly switch-model-specific, Config.PerSwitch overrides the
+// strategy per switch, so one deployment can mix techniques across
+// heterogeneous switch models.
+//
+// # Typed acknowledgments
+//
+// Three consumption surfaces, from highest- to lowest-level:
+//
+//   - Ack futures: RUM.Watch(switch, xid) before sending a FlowMod
+//     returns an UpdateHandle whose AwaitAck (or Done/Result, under a
+//     simulated clock) yields a typed AckResult — installed, removed,
+//     fallback, or failed, with the observed activation latency.
+//   - Event stream: RUM.Subscribe delivers AckEvent, ProbeEvent, and
+//     FallbackEvent values — the structured form of RUM.Stats.
+//   - Wire compatibility: RUM-aware controllers on the far side of a TCP
+//     proxy receive per-rule acknowledgments as OpenFlow Error messages
+//     with the reserved type ErrTypeRUMAck (§4); ParseAck decodes them.
+//
+// Setting Config.BarrierLayer additionally restores reliable barrier
+// semantics for unmodified controllers (§2).
 //
 // # Deployments
 //
 // The same layer code runs two ways:
 //
 //   - In simulation (see internal/experiments and the examples): a
-//     deterministic discrete-event engine drives an emulated network and
-//     emulated switches, reproducing the paper's evaluation.
+//     deterministic discrete-event engine (NewSimClock) drives an
+//     emulated network and emulated switches, reproducing the paper's
+//     evaluation.
 //   - As a real TCP proxy (ProxyServer, cmd/rumproxy): switches connect
 //     to RUM as if it were the controller; RUM connects onward to the
 //     real controller, impersonating the switches.
@@ -45,13 +75,16 @@ package rum
 import (
 	"rum/internal/core"
 	"rum/internal/of"
+	"rum/internal/packet"
 	"rum/internal/sim"
 )
 
-// Technique selects how RUM decides a rule is active in the data plane.
+// Technique names a registered acknowledgment strategy; the zero value
+// selects the barrier baseline.
 type Technique = core.Technique
 
-// The acknowledgment techniques of §3 of the paper.
+// The built-in strategy names (the paper's five techniques of §3 plus
+// the no-wait lower bound).
 const (
 	TechBarriers   = core.TechBarriers
 	TechTimeout    = core.TechTimeout
@@ -60,6 +93,81 @@ const (
 	TechGeneral    = core.TechGeneral
 	TechNoWait     = core.TechNoWait
 )
+
+// AckStrategy builds per-switch acknowledgment strategies; one value
+// serves one RUM instance. Implement it (together with SwitchStrategy)
+// to plug a custom technique into RUM, and register it with
+// RegisterStrategy to select it by name.
+type AckStrategy = core.AckStrategy
+
+// SwitchStrategy is the per-switch half of an AckStrategy: the hooks RUM
+// drives for one switch. Embed BaseSwitchStrategy for no-op defaults of
+// everything but OnFlowMod.
+type SwitchStrategy = core.SwitchStrategy
+
+// StrategyContext is a SwitchStrategy's handle on its deployment: clock,
+// topology, probe injection, and the confirmation sinks.
+type StrategyContext = core.StrategyContext
+
+// BaseSwitchStrategy provides no-op defaults for every SwitchStrategy
+// hook except OnFlowMod.
+type BaseSwitchStrategy = core.BaseSwitchStrategy
+
+// SwitchBootstrapper is implemented by SwitchStrategy values that
+// preinstall infrastructure rules (driven by RUM.Bootstrap).
+type SwitchBootstrapper = core.SwitchBootstrapper
+
+// ProbeRouter is implemented by AckStrategy deployments whose probe
+// packets surface at switches other than the probed one.
+type ProbeRouter = core.ProbeRouter
+
+// StrategyFactory builds an AckStrategy from an effective configuration.
+type StrategyFactory = core.StrategyFactory
+
+// RegisterStrategy makes a strategy selectable by name via
+// Config.Technique and Config.PerSwitch. It panics on duplicate names.
+func RegisterStrategy(name string, f StrategyFactory) { core.RegisterStrategy(name, f) }
+
+// StrategyNames lists the registered strategy names in sorted order.
+func StrategyNames() []string { return core.StrategyNames() }
+
+// Update is one tracked FlowMod awaiting data-plane confirmation, as
+// seen by strategies.
+type Update = core.Update
+
+// Outcome is the typed result of one acknowledged modification.
+type Outcome = core.Outcome
+
+// The acknowledgment outcomes.
+const (
+	OutcomeInstalled = core.OutcomeInstalled
+	OutcomeRemoved   = core.OutcomeRemoved
+	OutcomeFallback  = core.OutcomeFallback
+	OutcomeFailed    = core.OutcomeFailed
+)
+
+// AckResult is the typed resolution of one rule modification.
+type AckResult = core.AckResult
+
+// UpdateHandle is an awaitable future for one FlowMod's acknowledgment;
+// obtain it from RUM.Watch before sending the FlowMod.
+type UpdateHandle = core.UpdateHandle
+
+// Event is one typed observability event (AckEvent, ProbeEvent, or
+// FallbackEvent); subscribe with RUM.Subscribe.
+type Event = core.Event
+
+// AckEvent reports one resolved update.
+type AckEvent = core.AckEvent
+
+// ProbeEvent reports injected probe packets.
+type ProbeEvent = core.ProbeEvent
+
+// FallbackEvent reports a control-plane fallback.
+type FallbackEvent = core.FallbackEvent
+
+// Subscription is one subscriber's view of the event stream.
+type Subscription = core.Subscription
 
 // Config parameterizes a RUM instance; see core.Config for field
 // documentation.
@@ -78,11 +186,12 @@ func NewTopology(links []TopoLink) *Topology { return core.NewTopology(links) }
 // RUM is a deployment of the monitoring layer across a set of switches.
 type RUM = core.RUM
 
-// New creates a RUM instance. Attach switches with AttachSwitch, then
-// install probe infrastructure with Bootstrap.
-func New(cfg Config, topo *Topology) *RUM { return core.New(cfg, topo) }
+// New creates a RUM instance, resolving the configured strategies
+// against the registry. Attach switches with AttachSwitch, then install
+// probe infrastructure with Bootstrap.
+func New(cfg Config, topo *Topology) (*RUM, error) { return core.New(cfg, topo) }
 
-// Clock abstracts time: sim.New() for deterministic simulation,
+// Clock abstracts time: NewSimClock() for deterministic simulation,
 // NewWallClock() for real deployments.
 type Clock = sim.Clock
 
@@ -91,6 +200,28 @@ func NewSimClock() *sim.Sim { return sim.New() }
 
 // NewWallClock returns a real-time clock.
 func NewWallClock() *sim.Wall { return sim.NewWall() }
+
+// Message is one OpenFlow message crossing the proxied control channel.
+type Message = of.Message
+
+// FlowMod is an OpenFlow 1.0 flow-table modification.
+type FlowMod = of.FlowMod
+
+// BarrierRequest and BarrierReply are the OpenFlow barrier pair.
+type (
+	BarrierRequest = of.BarrierRequest
+	BarrierReply   = of.BarrierReply
+)
+
+// PacketIn carries a data-plane packet punted to the controller.
+type PacketIn = of.PacketIn
+
+// PacketOut injects a data-plane packet through a switch.
+type PacketOut = of.PacketOut
+
+// PacketFields is the parsed header-field view of a data-plane packet,
+// as handed to SwitchStrategy.OnProbe.
+type PacketFields = packet.Fields
 
 // ErrTypeRUMAck is the reserved OpenFlow error type carrying RUM's
 // positive acknowledgments; see ParseAck.
@@ -105,7 +236,9 @@ const (
 
 // ParseAck inspects a controller-received OpenFlow message; if it is a
 // RUM positive acknowledgment it returns the acknowledged FlowMod's
-// transaction id and the ack code.
+// transaction id and the ack code. It is the wire-level compatibility
+// path for controllers on the far side of a TCP proxy; in-process
+// callers should prefer RUM.Watch and AwaitAck.
 func ParseAck(m of.Message) (ackedXID uint32, code uint16, ok bool) {
 	e, isErr := m.(*of.Error)
 	if !isErr {

@@ -1,6 +1,7 @@
 package rum
 
 import (
+	"context"
 	"net"
 	"net/netip"
 	"sync"
@@ -164,11 +165,29 @@ func TestTCPDeploymentEndToEnd(t *testing.T) {
 		BufferID: of.BufferNone, OutPort: of.PortNone,
 		Actions: []of.Action{of.ActionOutput{Port: 2}}}
 	fm.SetXID(4242)
+	// Register the ack future before sending: the in-process path to the
+	// same acknowledgment the wire carries.
+	handle := srv.RUM().Watch("s2", fm.GetXID())
 	sent := time.Now()
 	if err := s2conn.Send(fm); err != nil {
 		t.Fatal(err)
 	}
 
+	// Under a wall clock AwaitAck is an ordinary blocking call.
+	awaitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := handle.AwaitAck(awaitCtx)
+	if err != nil {
+		t.Fatalf("AwaitAck: %v", err)
+	}
+	if res.Outcome != OutcomeInstalled || res.Switch != "s2" || res.XID != 4242 {
+		t.Errorf("AwaitAck result = %+v, want installed s2/4242", res)
+	}
+	if res.Latency < 25*time.Millisecond {
+		t.Errorf("future latency %v; suspiciously before the data-plane sync window", res.Latency)
+	}
+
+	// The wire-level ack (ParseAck compatibility path) arrives too.
 	waitFor(t, 10*time.Second, func() bool {
 		mu.Lock()
 		defer mu.Unlock()

@@ -2,6 +2,7 @@ package rum
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -21,8 +22,9 @@ type SwitchIdentity struct {
 
 // ProxyConfig parameterizes a TCP deployment of RUM (cmd/rumproxy).
 type ProxyConfig struct {
-	// RUM is the monitoring-layer configuration. Clock defaults to a wall
-	// clock.
+	// RUM is the monitoring-layer configuration (including strategy
+	// selection via Technique, Strategy, and PerSwitch). Clock defaults
+	// to a wall clock.
 	RUM Config
 	// Topology describes the inter-switch links (probe routing).
 	Topology *Topology
@@ -34,6 +36,11 @@ type ProxyConfig struct {
 	ControllerAddr string
 	// HandshakeTimeout bounds the identification handshake per switch.
 	HandshakeTimeout time.Duration
+	// OnError receives asynchronous errors from connection-handler
+	// goroutines (failed handshakes, rejected datapaths, controller dial
+	// failures, bootstrap errors). Defaults to logging via the standard
+	// logger.
+	OnError func(error)
 }
 
 // ProxyServer runs RUM as a real TCP proxy: switches connect to it as if
@@ -45,6 +52,7 @@ type ProxyServer struct {
 
 	mu       sync.Mutex
 	attached map[string]bool
+	booted   bool
 }
 
 // NewProxyServer validates the configuration and builds the server.
@@ -62,26 +70,52 @@ func NewProxyServer(cfg ProxyConfig) (*ProxyServer, error) {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
 	byID := make(map[uint64]string, len(cfg.Switches))
+	names := make(map[string]bool, len(cfg.Switches))
 	for _, s := range cfg.Switches {
 		if s.Name == "" {
 			return nil, fmt.Errorf("rum: switch %#x has no name", s.DPID)
 		}
 		byID[s.DPID] = s.Name
+		names[s.Name] = true
+	}
+	// Catch per-switch override typos here, against the authoritative set
+	// of attachable switches (a name may legitimately be absent from the
+	// topology when its strategy needs no probe routing).
+	for sw := range cfg.RUM.PerSwitch {
+		if !names[sw] {
+			return nil, fmt.Errorf("rum: PerSwitch[%q] names a switch not in ProxyConfig.Switches", sw)
+		}
+	}
+	r, err := core.New(cfg.RUM, cfg.Topology)
+	if err != nil {
+		return nil, err
 	}
 	return &ProxyServer{
 		cfg:      cfg,
-		rum:      core.New(cfg.RUM, cfg.Topology),
+		rum:      r,
 		byID:     byID,
 		attached: make(map[string]bool),
 	}, nil
 }
 
-// RUM exposes the underlying instance (stats, Bootstrap).
+// RUM exposes the underlying instance (Watch, Subscribe, Stats,
+// Bootstrap).
 func (p *ProxyServer) RUM() *RUM { return p.rum }
+
+// reportError surfaces an asynchronous error from a handler goroutine.
+func (p *ProxyServer) reportError(err error) {
+	if p.cfg.OnError != nil {
+		p.cfg.OnError(err)
+		return
+	}
+	log.Printf("rum: %v", err)
+}
 
 // Serve accepts switch connections on ln until the listener closes. Once
 // every configured switch has attached, probe infrastructure is installed
-// automatically.
+// automatically. Per-connection failures are reported through
+// ProxyConfig.OnError and close the offending connection; they do not
+// stop the server.
 func (p *ProxyServer) Serve(ln net.Listener) error {
 	for {
 		nc, err := ln.Accept()
@@ -91,30 +125,33 @@ func (p *ProxyServer) Serve(ln net.Listener) error {
 		go func() {
 			if err := p.handle(nc); err != nil {
 				_ = nc.Close()
+				p.reportError(err)
 			}
 		}()
 	}
 }
 
-// handle identifies one switch connection and splices it into RUM.
+// handle identifies one switch connection and splices it into RUM. On
+// error every resource it acquired — including the onward controller
+// connection — is released before returning.
 func (p *ProxyServer) handle(nc net.Conn) error {
 	// Identification handshake, performed by RUM itself before the
 	// controller ever sees the switch: hello + features request.
 	deadline := time.Now().Add(p.cfg.HandshakeTimeout)
 	_ = nc.SetDeadline(deadline)
 	if err := of.WriteMessage(nc, &of.Hello{}); err != nil {
-		return err
+		return fmt.Errorf("handshake: %w", err)
 	}
 	fr := &of.FeaturesRequest{}
 	fr.SetXID(0xf0f0f0f0)
 	if err := of.WriteMessage(nc, fr); err != nil {
-		return err
+		return fmt.Errorf("handshake: %w", err)
 	}
 	var dpid uint64
 	for {
 		m, err := of.ReadMessage(nc)
 		if err != nil {
-			return err
+			return fmt.Errorf("handshake: %w", err)
 		}
 		if rep, ok := m.(*of.FeaturesReply); ok {
 			dpid = rep.DatapathID
@@ -125,7 +162,7 @@ func (p *ProxyServer) handle(nc net.Conn) error {
 			rep := &of.EchoReply{Data: er.Data}
 			rep.SetXID(er.GetXID())
 			if err := of.WriteMessage(nc, rep); err != nil {
-				return err
+				return fmt.Errorf("handshake: %w", err)
 			}
 		}
 	}
@@ -133,24 +170,68 @@ func (p *ProxyServer) handle(nc net.Conn) error {
 
 	name, known := p.byID[dpid]
 	if !known {
-		return fmt.Errorf("rum: unknown datapath %#x", dpid)
+		return fmt.Errorf("unknown datapath %#x", dpid)
 	}
 	ctrlNC, err := net.Dial("tcp", p.cfg.ControllerAddr)
 	if err != nil {
-		return fmt.Errorf("rum: dialing controller for %s: %w", name, err)
+		return fmt.Errorf("dialing controller for %s: %w", name, err)
 	}
 	swConn := transport.NewTCP(nc)
 	ctrlConn := transport.NewTCP(ctrlNC)
-	p.rum.AttachSwitch(name, dpid, ctrlConn, swConn)
+	_, err = p.rum.AttachSwitch(name, dpid, ctrlConn, swConn)
+	if err != nil {
+		// A switch that reconnects after a dropped TCP session still owns
+		// its name: evict the stale session (closing its conns) and splice
+		// the new connection in its place. Last-connected wins — two live
+		// devices misconfigured with the same DPID will evict each other,
+		// visible as a reconnect loop in the OnError/log stream.
+		if p.rum.DetachSwitch(name) {
+			_, err = p.rum.AttachSwitch(name, dpid, ctrlConn, swConn)
+		}
+	}
+	if err != nil {
+		// The dialed controller connection is not yet owned by a session
+		// and must not leak.
+		_ = ctrlConn.Close()
+		return fmt.Errorf("attaching %s: %w", name, err)
+	}
 
 	p.mu.Lock()
 	p.attached[name] = true
 	ready := len(p.attached) == len(p.byID)
+	alreadyBooted := p.booted
+	if ready && !p.booted {
+		// Claim the fleet-wide bootstrap atomically: a switch reconnecting
+		// while it is in flight must take the single-switch path, not start
+		// a second, concurrent full Bootstrap that would reset live probe
+		// rules.
+		p.booted = true
+	}
 	p.mu.Unlock()
-	if ready {
-		if err := p.rum.Bootstrap(); err != nil {
-			return err
+	var bootErr error
+	switch {
+	case alreadyBooted:
+		// Reconnection after the fleet was bootstrapped: reinstall probe
+		// infrastructure on this switch only — re-bootstrapping everyone
+		// would reset live probe rules mid-confirmation.
+		bootErr = p.rum.BootstrapSwitch(name)
+	case ready:
+		bootErr = p.rum.Bootstrap()
+		if bootErr != nil {
+			// Release the claim so the next attach retries the full
+			// Bootstrap.
+			p.mu.Lock()
+			p.booted = false
+			p.mu.Unlock()
 		}
+	}
+	if bootErr != nil {
+		// Bootstrap failures are fleet-level configuration problems, not
+		// this connection's fault: keep the session proxying (RUM degrades
+		// to pass-through for unbootstrapped strategies) and surface the
+		// error. With p.booted still false, the next attach retries the
+		// full Bootstrap.
+		p.reportError(fmt.Errorf("rum: bootstrap: %w", bootErr))
 	}
 	return nil
 }
