@@ -9,7 +9,12 @@ package rum
 // virtual time).
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,7 +24,58 @@ import (
 	"rum/internal/hsa"
 	"rum/internal/metrics"
 	"rum/internal/of"
+	"rum/internal/transport"
 )
+
+// --- Machine-readable results (the CI regression gate's input) ---
+
+// benchOut collects the scale benchmarks' metrics; TestMain writes them
+// to BENCH_results.json (override with BENCH_OUT) after the run, and
+// cmd/benchcheck compares that file against the checked-in
+// BENCH_baseline.json.
+var benchOut = struct {
+	mu sync.Mutex
+	m  map[string]map[string]float64
+}{m: make(map[string]map[string]float64)}
+
+func benchRecord(name string, metrics map[string]float64) {
+	benchOut.mu.Lock()
+	defer benchOut.mu.Unlock()
+	cur := benchOut.m[name]
+	if cur == nil {
+		cur = make(map[string]float64)
+		benchOut.m[name] = cur
+	}
+	for k, v := range metrics {
+		cur[k] = v
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchOut.mu.Lock()
+	defer benchOut.mu.Unlock()
+	if len(benchOut.m) > 0 {
+		path := os.Getenv("BENCH_OUT")
+		if path == "" {
+			path = "BENCH_results.json"
+		}
+		buf, err := json.MarshalIndent(map[string]any{"benchmarks": benchOut.m}, "", "  ")
+		if err == nil {
+			buf = append(buf, '\n')
+			err = os.WriteFile(path, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
+		}
+	}
+	os.Exit(code)
+}
 
 // BenchmarkFig1b regenerates Figure 1b: broken-time CDFs for plain
 // barriers vs RUM sequential probing during the 300-flow migration.
@@ -241,6 +297,215 @@ func BenchmarkColoring(b *testing.B) {
 			b.Fatal("bad coloring")
 		}
 	}
+}
+
+// --- Scale benchmarks (sharded hot path + fat-tree workload) ---
+//
+// These are the benchmarks the CI bench job gates on: they record their
+// headline metrics via benchRecord, and cmd/benchcheck fails the build
+// when a metric regresses more than the tolerance against
+// BENCH_baseline.json (see README "Scale benchmarks").
+
+// churnBenchResult is one churn run's outcome.
+type churnBenchResult struct {
+	updatesPerSec float64
+	p99           time.Duration
+}
+
+// runWallChurn drives a RUM deployment of instant echo switches under
+// concurrent per-switch FlowMod churn on a wall clock: one driver
+// goroutine per switch, every update awaited through its ack future.
+// This is the shard-contention micro-benchmark substrate — no netsim, no
+// simulated delays, nothing but the RUM hot path and the scheduler.
+func runWallChurn(b *testing.B, nSwitches, updatesPerSwitch int, unsharded bool) churnBenchResult {
+	b.Helper()
+	clk := NewWallClock()
+	r, err := New(Config{
+		Clock:     clk,
+		Technique: TechBarriers,
+		Unsharded: unsharded,
+	}, NewTopology(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conns := make([]transport.Conn, nSwitches)
+	for i := 0; i < nSwitches; i++ {
+		name := fmt.Sprintf("sw%02d", i)
+		ctrlTop, ctrlBottom := transport.Pipe(clk, 0)
+		rumSide, swSide := transport.Pipe(clk, 0)
+		swSide.SetHandler(func(m Message) {
+			if br, ok := m.(*BarrierRequest); ok {
+				rep := &BarrierReply{}
+				rep.SetXID(br.GetXID())
+				_ = swSide.Send(rep)
+			}
+		})
+		ctrlTop.SetHandler(func(Message) {})
+		if _, err := r.AttachSwitch(name, uint64(i+1), ctrlBottom, rumSide); err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = ctrlTop
+	}
+
+	// Closed-loop churn: every switch's driver keeps a bounded window of
+	// updates in flight (like a batching controller with a send window),
+	// awaiting the oldest ack before issuing more. Sends are pipelined in
+	// small wire batches — exactly what a controller's TCP stream does —
+	// identically for both modes, so the measured difference is the RUM
+	// hot path, not driver overhead.
+	const (
+		window    = 256
+		sendBatch = 16
+	)
+	latencies := make([]time.Duration, 0, nSwitches*updatesPerSwitch)
+	var latMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < nSwitches; i++ {
+		wg.Add(1)
+		go func(swIdx int) {
+			defer wg.Done()
+			sw := fmt.Sprintf("sw%02d", swIdx)
+			conn := conns[swIdx]
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			local := make([]time.Duration, 0, updatesPerSwitch)
+			inflight := make([]*UpdateHandle, 0, window)
+			pending := make([]Message, 0, sendBatch)
+			bs := conn.(transport.BatchSender)
+			await := func(h *UpdateHandle) bool {
+				res, err := h.AwaitAck(ctx)
+				if err != nil {
+					b.Errorf("%s xid %d: %v", sw, h.XID(), err)
+					return false
+				}
+				if res.Outcome != OutcomeInstalled {
+					b.Errorf("%s xid %d: outcome %v", sw, h.XID(), res.Outcome)
+					return false
+				}
+				local = append(local, res.Latency)
+				return true
+			}
+			for u := 0; u < updatesPerSwitch; u++ {
+				xid := uint32(swIdx*100000 + u + 1)
+				fm := &FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+					BufferID: of.BufferNone, OutPort: of.PortNone,
+					Actions: []of.Action{of.ActionOutput{Port: 1}}}
+				fm.SetXID(xid)
+				inflight = append(inflight, r.Watch(sw, xid))
+				pending = append(pending, fm)
+				if len(pending) >= sendBatch || u == updatesPerSwitch-1 {
+					if err := bs.SendBatch(pending); err != nil {
+						b.Errorf("%s: send: %v", sw, err)
+						return
+					}
+					// The batch slice is handed to the transport; start fresh.
+					pending = make([]Message, 0, sendBatch)
+				}
+				if len(inflight) >= window {
+					if !await(inflight[0]) {
+						return
+					}
+					inflight = inflight[1:]
+				}
+			}
+			for _, h := range inflight {
+				if !await(h) {
+					return
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := 0; i < nSwitches; i++ {
+		r.DetachSwitch(fmt.Sprintf("sw%02d", i))
+	}
+	total := nSwitches * updatesPerSwitch
+	if len(latencies) != total {
+		b.Fatalf("churn resolved %d/%d updates", len(latencies), total)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	return churnBenchResult{
+		updatesPerSec: float64(total) / elapsed.Seconds(),
+		p99:           p99,
+	}
+}
+
+// BenchmarkShardContention is the multi-switch churn micro-benchmark:
+// 32 switches × 300 updates driven concurrently, once over the sharded
+// hot path and once over the pre-sharding Unsharded baseline (one
+// RUM-wide mutex, unbatched sends). The recorded speedup is the
+// sharding refactor's acceptance metric (≥2x, enforced by
+// cmd/benchcheck).
+func BenchmarkShardContention(b *testing.B) {
+	const (
+		nSwitches        = 32
+		updatesPerSwitch = 1000
+	)
+	run := func(b *testing.B, unsharded bool, prefix string) {
+		var res churnBenchResult
+		for i := 0; i < b.N; i++ {
+			res = runWallChurn(b, nSwitches, updatesPerSwitch, unsharded)
+		}
+		b.ReportMetric(res.updatesPerSec, "updates/s")
+		b.ReportMetric(float64(res.p99.Microseconds())/1000, "p99_ack_ms")
+		benchRecord("ShardContention", map[string]float64{
+			"switches":                  nSwitches,
+			"updates":                   nSwitches * updatesPerSwitch,
+			prefix + "_updates_per_sec": res.updatesPerSec,
+			prefix + "_p99_ack_ms":      float64(res.p99.Microseconds()) / 1000,
+		})
+	}
+	b.Run("unsharded", func(b *testing.B) { run(b, true, "unsharded") })
+	b.Run("sharded", func(b *testing.B) { run(b, false, "sharded") })
+
+	benchOut.mu.Lock()
+	m := benchOut.m["ShardContention"]
+	sharded, unsharded := m["sharded_updates_per_sec"], m["unsharded_updates_per_sec"]
+	benchOut.mu.Unlock()
+	if unsharded > 0 {
+		speedup := sharded / unsharded
+		b.ReportMetric(speedup, "x_speedup")
+		benchRecord("ShardContention", map[string]float64{"speedup": speedup})
+	}
+}
+
+// BenchmarkFatTreeChurn runs the datacenter-scale workload: a k=8
+// fat-tree (80 switches) absorbing 2000 concurrent updates with
+// per-layer strategy mixing (sequential edge, general aggregation,
+// timeout core), reporting proxy throughput and the simulated ack-latency
+// tail.
+func BenchmarkFatTreeChurn(b *testing.B) {
+	var res *experiments.FatTreeChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.FatTreeChurn(experiments.FatTreeChurnOpts{
+			K:                8,
+			UpdatesPerSwitch: 25,
+			Mixed:            true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Updates {
+			b.Fatalf("churn completed %d/%d updates (failed=%d unacked=%d)",
+				res.Completed, res.Updates, res.Failed, res.Unacked)
+		}
+	}
+	b.ReportMetric(res.UpdatesPerSec, "updates/s")
+	b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ack_ms")
+	benchRecord("FatTreeChurn", map[string]float64{
+		"switches":        float64(res.Switches),
+		"updates":         float64(res.Updates),
+		"updates_per_sec": res.UpdatesPerSec,
+		"p50_ack_ms":      float64(res.P50.Microseconds()) / 1000,
+		"p99_ack_ms":      float64(res.P99.Microseconds()) / 1000,
+	})
 }
 
 // BenchmarkSimThroughput measures raw event-engine throughput.

@@ -1,0 +1,152 @@
+// Command benchcheck is the CI benchmark-regression gate: it compares a
+// BENCH_results.json produced by the scale benchmarks (go test -bench,
+// whose TestMain writes the file) against the checked-in
+// BENCH_baseline.json and exits non-zero when a gated metric regressed
+// beyond the tolerance.
+//
+// Only metrics present in the baseline are checked, so the baseline file
+// doubles as the gate's configuration: omit a machine-dependent metric
+// (e.g. a wall-clock latency tail) to keep it informational. Direction is
+// inferred from the metric name:
+//
+//   - *_per_sec and speedup: higher is better; fail below
+//     baseline×(1−tolerance);
+//   - *_ms: lower is better; fail above baseline×(1+tolerance);
+//   - anything else (switches, updates — workload sizes): fail below
+//     baseline (the workload must not silently shrink).
+//
+// The sharding acceptance gate is separate and absolute: the
+// ShardContention speedup must stay ≥ -min-speedup regardless of what
+// the baseline says.
+//
+// Usage: go run ./cmd/benchcheck [-baseline BENCH_baseline.json]
+// [-results BENCH_results.json] [-tolerance 0.20] [-min-speedup 2.0]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type benchFile struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func load(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no \"benchmarks\" object", path)
+	}
+	return &f, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
+	resultsPath := flag.String("results", "BENCH_results.json", "fresh benchmark results file")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed relative regression per metric")
+	minSpeedup := flag.Float64("min-speedup", 2.0,
+		"absolute floor for the ShardContention sharded/unsharded speedup (0 disables)")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal("loading baseline: %v", err)
+	}
+	results, err := load(*resultsPath)
+	if err != nil {
+		fatal("loading results: %v", err)
+	}
+
+	failures := 0
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		res, ok := results.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %s: benchmark missing from results\n", name)
+			failures++
+			continue
+		}
+		metrics := make([]string, 0, len(base))
+		for m := range base {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			want := base[m]
+			got, ok := res[m]
+			if !ok {
+				fmt.Printf("FAIL %s.%s: metric missing from results\n", name, m)
+				failures++
+				continue
+			}
+			switch {
+			case strings.HasSuffix(m, "_per_sec") || m == "speedup":
+				floor := want * (1 - *tolerance)
+				if got < floor {
+					fmt.Printf("FAIL %s.%s: %.2f < %.2f (baseline %.2f − %.0f%%)\n",
+						name, m, got, floor, want, *tolerance*100)
+					failures++
+					continue
+				}
+				fmt.Printf("ok   %s.%s: %.2f (baseline %.2f)\n", name, m, got, want)
+			case strings.HasSuffix(m, "_ms"):
+				ceil := want * (1 + *tolerance)
+				if got > ceil {
+					fmt.Printf("FAIL %s.%s: %.3f ms > %.3f ms (baseline %.3f + %.0f%%)\n",
+						name, m, got, ceil, want, *tolerance*100)
+					failures++
+					continue
+				}
+				fmt.Printf("ok   %s.%s: %.3f ms (baseline %.3f)\n", name, m, got, want)
+			default:
+				if got < want {
+					fmt.Printf("FAIL %s.%s: workload shrank: %.0f < baseline %.0f\n", name, m, got, want)
+					failures++
+					continue
+				}
+				fmt.Printf("ok   %s.%s: %.0f (baseline %.0f)\n", name, m, got, want)
+			}
+		}
+	}
+
+	if *minSpeedup > 0 {
+		sc, ok := results.Benchmarks["ShardContention"]
+		speedup, has := sc["speedup"]
+		if !ok || !has {
+			fmt.Println("FAIL ShardContention.speedup: missing from results")
+			failures++
+		} else if speedup < *minSpeedup {
+			fmt.Printf("FAIL ShardContention.speedup: %.2fx < required %.2fx (sharded hot path regressed)\n",
+				speedup, *minSpeedup)
+			failures++
+		} else {
+			fmt.Printf("ok   ShardContention.speedup: %.2fx (≥ %.2fx required)\n", speedup, *minSpeedup)
+		}
+	}
+
+	if failures > 0 {
+		fatal("%d benchmark regression(s); refresh BENCH_baseline.json only for intentional changes (see README)", failures)
+	}
+	fmt.Println("benchcheck: all gated metrics within tolerance")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

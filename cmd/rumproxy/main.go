@@ -15,6 +15,12 @@
 // -technique selects any registered ack strategy by name; -per-switch
 // overrides it for individual switches, so heterogeneous deployments can
 // mix techniques (the adaptive technique is switch-model-specific).
+//
+// For datacenter-scale fabrics, -fattree k generates the whole k-ary
+// fat-tree switch set and link map in place of -switches/-links:
+//
+//	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
+//	  -fattree 8 -technique sequential -barrier-layer
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 	controller := flag.String("controller", "127.0.0.1:6653", "real controller address")
 	switchesFlag := flag.String("switches", "", "dpid=name pairs, comma separated")
 	linksFlag := flag.String("links", "", "inter-switch links a:pa-b:pb, comma separated")
+	fattree := flag.Int("fattree", 0,
+		"generate a k-ary fat-tree fabric instead of -switches/-links (dpids 1..N in layer order)")
 	techniqueFlag := flag.String("technique", "general",
 		"default ack strategy: "+strings.Join(rum.StrategyNames(), "|"))
 	perSwitchFlag := flag.String("per-switch", "",
@@ -46,13 +54,30 @@ func main() {
 	rumAware := flag.Bool("acks", true, "emit fine-grained RUM acks to the controller")
 	flag.Parse()
 
-	switches, err := parseSwitches(*switchesFlag)
-	if err != nil {
-		log.Fatalf("rumproxy: -switches: %v", err)
-	}
-	links, err := parseLinks(*linksFlag)
-	if err != nil {
-		log.Fatalf("rumproxy: -links: %v", err)
+	var switches []rum.SwitchIdentity
+	var topo *rum.Topology
+	if *fattree > 0 {
+		if *switchesFlag != "" || *linksFlag != "" {
+			log.Fatalf("rumproxy: -fattree replaces -switches/-links; do not combine them")
+		}
+		ft, err := rum.NewFatTree(*fattree)
+		if err != nil {
+			log.Fatalf("rumproxy: -fattree: %v", err)
+		}
+		topo, switches = rum.FatTreeTopology(ft)
+		log.Printf("rumproxy: generated k=%d fat-tree fabric: %d switches, %d links",
+			*fattree, ft.NumSwitches(), len(ft.Links))
+	} else {
+		var err error
+		switches, err = parseSwitches(*switchesFlag)
+		if err != nil {
+			log.Fatalf("rumproxy: -switches: %v", err)
+		}
+		links, err := parseLinks(*linksFlag)
+		if err != nil {
+			log.Fatalf("rumproxy: -links: %v", err)
+		}
+		topo = rum.NewTopology(links)
 	}
 	tech, err := parseTechnique(*techniqueFlag)
 	if err != nil {
@@ -74,7 +99,7 @@ func main() {
 			BarrierLayer:     *barrierLayer,
 			BufferForReorder: *buffer,
 		},
-		Topology:       rum.NewTopology(links),
+		Topology:       topo,
 		Switches:       switches,
 		ControllerAddr: *controller,
 	})

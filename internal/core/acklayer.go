@@ -26,7 +26,11 @@ type ackLayer struct {
 	listeners []confirmListener
 }
 
-// FromController implements proxy.Layer.
+// FromController implements proxy.Layer. The ack layer is the
+// switch-nearest layer, so instead of writing to the connection directly
+// it hands every switch-bound message to the session's shard, whose
+// outbox batches the injection (and coalesces RUM barriers) off the
+// dispatch path.
 func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	a.mu.Lock()
 	a.ctx = ctx
@@ -44,10 +48,10 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 		}
 		a.pendings = append(a.pendings, u)
 		a.mu.Unlock()
-		ctx.ToSwitch(m)
+		a.sess.sendToSwitch(m)
 		a.sess.strat.OnFlowMod(u)
 	default:
-		ctx.ToSwitch(m)
+		a.sess.sendToSwitch(m)
 	}
 }
 
@@ -62,6 +66,15 @@ func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 	a.mu.Unlock()
 	switch mm := m.(type) {
 	case *of.BarrierReply:
+		// A reply to a barrier that swallowed earlier RUM barriers in the
+		// shard's outbox stands in for all of them (a later barrier's
+		// reply is the stronger signal); synthesize the swallowed replies
+		// so strategies observe every barrier they emitted, oldest first.
+		for _, dx := range a.sess.shard.takeCoalesced(mm.GetXID()) {
+			synth := &of.BarrierReply{}
+			synth.SetXID(dx)
+			a.sess.strat.OnBarrierReply(synth)
+		}
 		if a.sess.strat.OnBarrierReply(mm) {
 			return
 		}
@@ -124,6 +137,12 @@ func (a *ackLayer) confirm(u *Update, outcome Outcome) {
 	if !ok {
 		return
 	}
+	a.emitResolution(ctx, listeners, u, outcome)
+}
+
+// emitResolution performs the lock-free tail of a confirmation for an
+// update already marked done and pruned.
+func (a *ackLayer) emitResolution(ctx *proxy.Context, listeners []confirmListener, u *Update, outcome Outcome) {
 	// Deletions confirmed by order-preserving strategies arrive as
 	// OutcomeInstalled; refine them so callers see "removed".
 	if outcome == OutcomeInstalled &&
@@ -170,18 +189,34 @@ func (a *ackLayer) confirm(u *Update, outcome Outcome) {
 }
 
 // confirmUpTo confirms every pending mod with seq <= seq (order-preserving
-// strategies: barriers, timeout, sequential).
+// strategies: barriers, timeout, sequential). The whole prefix is marked
+// and pruned in one pass under the lock — with coalesced barriers a
+// single reply routinely resolves a large batch, and per-update
+// re-pruning would make that quadratic.
 func (a *ackLayer) confirmUpTo(seq uint64, outcome Outcome) {
 	a.mu.Lock()
 	var ready []*Update
+	kept := a.pendings[:0]
 	for _, u := range a.pendings {
-		if u.seq <= seq && !u.done {
-			ready = append(ready, u)
+		if u.done {
+			continue
 		}
+		if u.seq <= seq {
+			u.done = true
+			ready = append(ready, u)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	a.pendings = kept
+	ctx := a.ctx
+	var listeners []confirmListener
+	if len(ready) > 0 {
+		listeners = append([]confirmListener(nil), a.listeners...)
 	}
 	a.mu.Unlock()
 	for _, u := range ready {
-		a.confirm(u, outcome)
+		a.emitResolution(ctx, listeners, u, outcome)
 	}
 }
 

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// TestMixedStrategyChurn32Switches drives one RUM deployment with 32
+// switches running a PerSwitch mix of all five resolving techniques
+// under genuinely concurrent churn on a wall clock — one driver
+// goroutine per switch, every message crossing timer goroutines. With
+// the race detector on, this is the sharded hot path's concurrency
+// certification: per-shard state, xid allocation, watch futures, event
+// fanout, and the coalesced-barrier bookkeeping all run in parallel.
+//
+// The general-probing switches are deliberately left unbootstrapped (no
+// topology), which forces their control-plane fallback path — so the
+// test also mixes outcome flavors, not just techniques.
+func TestMixedStrategyChurn32Switches(t *testing.T) {
+	const (
+		nSwitches = 32
+		nUpdates  = 20
+	)
+	techs := []Technique{TechBarriers, TechTimeout, TechAdaptive, TechGeneral, TechNoWait}
+
+	clk := sim.NewWall()
+	perSwitch := make(map[string]Technique)
+	swTech := make(map[string]Technique)
+	names := make([]string, nSwitches)
+	for i := range names {
+		names[i] = fmt.Sprintf("sw%02d", i)
+		perSwitch[names[i]] = techs[i%len(techs)]
+		swTech[names[i]] = techs[i%len(techs)]
+	}
+	r, err := New(Config{
+		Clock:       clk,
+		Technique:   TechBarriers,
+		PerSwitch:   perSwitch,
+		RUMAware:    true,
+		Timeout:     2 * time.Millisecond, // timeout technique + general fallback delay
+		AssumedRate: 50000,                // adaptive: 20µs modeled per mod
+	}, NewTopology(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sub := r.Subscribe(nSwitches * nUpdates)
+	defer sub.Close()
+
+	ctrls := make(map[string]transport.Conn, nSwitches)
+	for _, name := range names {
+		ctrlTop, ctrlBottom := transport.Pipe(clk, 0)
+		rumSide, swSide := transport.Pipe(clk, 0)
+		// Echo switch: answer every barrier instantly.
+		swSide.SetHandler(func(m of.Message) {
+			if br, ok := m.(*of.BarrierRequest); ok {
+				rep := &of.BarrierReply{}
+				rep.SetXID(br.GetXID())
+				_ = swSide.Send(rep)
+			}
+		})
+		ctrlTop.SetHandler(func(of.Message) {})
+		if _, err := r.AttachSwitch(name, 1, ctrlBottom, rumSide); err != nil {
+			t.Fatal(err)
+		}
+		ctrls[name] = ctrlTop
+	}
+
+	type outcome struct {
+		sw  string
+		res AckResult
+	}
+	results := make(chan outcome, nSwitches*nUpdates)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(swIdx int, sw string) {
+			defer wg.Done()
+			conn := ctrls[sw]
+			var handles []*UpdateHandle
+			for u := 0; u < nUpdates; u++ {
+				xid := uint32(swIdx*1000 + u + 1)
+				handles = append(handles, r.Watch(sw, xid))
+				if err := conn.Send(testFlowMod(xid)); err != nil {
+					t.Errorf("%s: send: %v", sw, err)
+					return
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for _, h := range handles {
+				res, err := h.AwaitAck(ctx)
+				if err != nil {
+					t.Errorf("%s xid %d: ack never arrived: %v", sw, h.XID(), err)
+					return
+				}
+				results <- outcome{sw: sw, res: res}
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	close(results)
+
+	counts := make(map[Outcome]int)
+	for o := range results {
+		counts[o.res.Outcome]++
+		want := OutcomeInstalled
+		if swTech[o.sw] == TechGeneral {
+			// Unbootstrapped general probing falls back to the control
+			// plane: weaker guarantee, distinct outcome.
+			want = OutcomeFallback
+		}
+		if o.res.Outcome != want {
+			t.Fatalf("%s (technique %s) xid %d resolved %v, want %v",
+				o.sw, swTech[o.sw], o.res.XID, o.res.Outcome, want)
+		}
+		if o.res.Latency < 0 {
+			t.Fatalf("%s xid %d negative latency %v", o.sw, o.res.XID, o.res.Latency)
+		}
+	}
+	total := counts[OutcomeInstalled] + counts[OutcomeFallback]
+	if total != nSwitches*nUpdates {
+		t.Fatalf("resolved %d updates, want %d", total, nSwitches*nUpdates)
+	}
+	if counts[OutcomeFallback] == 0 {
+		t.Fatal("no fallback outcomes: the general-probing switches did not exercise their path")
+	}
+
+	acks, _, fallbacks := r.Stats()
+	if acks != uint64(nSwitches*nUpdates) {
+		t.Fatalf("Stats reports %d acks, want %d", acks, nSwitches*nUpdates)
+	}
+	if fallbacks == 0 {
+		t.Fatal("Stats reports zero fallbacks despite general-probing switches")
+	}
+}
+
+// TestWallClockDetachReattach cycles a wall-clock (pump-goroutine) switch
+// through detach-during-churn and reattach: the new session's shard must
+// flush normally — a drain flag stranded by the old pump would wedge
+// every post-reattach update forever.
+func TestWallClockDetachReattach(t *testing.T) {
+	clk := sim.NewWall()
+	r, err := New(Config{Clock: clk, Technique: TechBarriers}, NewTopology(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := func() transport.Conn {
+		ctrlTop, ctrlBottom := transport.Pipe(clk, 0)
+		rumSide, swSide := transport.Pipe(clk, 0)
+		swSide.SetHandler(func(m of.Message) {
+			if br, ok := m.(*of.BarrierRequest); ok {
+				rep := &of.BarrierReply{}
+				rep.SetXID(br.GetXID())
+				_ = swSide.Send(rep)
+			}
+		})
+		ctrlTop.SetHandler(func(of.Message) {})
+		if _, err := r.AttachSwitch("s1", 1, ctrlBottom, rumSide); err != nil {
+			t.Fatal(err)
+		}
+		return ctrlTop
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for cycle := 0; cycle < 5; cycle++ {
+		conn := attach()
+		var handles []*UpdateHandle
+		for u := 0; u < 50; u++ {
+			xid := uint32(cycle*1000 + u + 1)
+			handles = append(handles, r.Watch("s1", xid))
+			if err := conn.Send(testFlowMod(xid)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Detach mid-churn: whatever is unresolved must fail, not hang.
+		if !r.DetachSwitch("s1") {
+			t.Fatalf("cycle %d: DetachSwitch reported not attached", cycle)
+		}
+		for _, h := range handles {
+			if _, err := h.AwaitAck(ctx); err != nil {
+				t.Fatalf("cycle %d xid %d: future wedged across detach: %v", cycle, h.XID(), err)
+			}
+		}
+	}
+	// A final clean cycle: everything must confirm as installed.
+	conn := attach()
+	var handles []*UpdateHandle
+	for u := 0; u < 50; u++ {
+		xid := uint32(9000 + u)
+		handles = append(handles, r.Watch("s1", xid))
+		if err := conn.Send(testFlowMod(xid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range handles {
+		res, err := h.AwaitAck(ctx)
+		if err != nil {
+			t.Fatalf("post-reattach xid %d wedged: %v", h.XID(), err)
+		}
+		if res.Outcome != OutcomeInstalled {
+			t.Fatalf("post-reattach xid %d outcome %v, want installed", h.XID(), res.Outcome)
+		}
+	}
+	r.DetachSwitch("s1")
+}

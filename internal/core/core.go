@@ -14,6 +14,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rum/internal/hsa"
@@ -126,6 +127,15 @@ type Config struct {
 	// unconfirmed barrier before releasing them to the switch — required
 	// for switches that reorder across barriers (§2).
 	BufferForReorder bool
+
+	// Unsharded reverts the update/ack hot path to its pre-sharding
+	// execution mode: every switch's bookkeeping serializes behind one
+	// RUM-wide mutex and switch-bound messages are sent one at a time
+	// with the lock held — no per-switch shards, no batched injection, no
+	// barrier coalescing. It exists as the baseline the shard-contention
+	// regression benchmarks compare against; production deployments
+	// should leave it false.
+	Unsharded bool
 }
 
 // Defaults fills unset fields with the paper's evaluation parameters.
@@ -273,6 +283,16 @@ const rumXIDBase uint32 = 0xf0000000
 func IsRUMXID(x uint32) bool { return x >= rumXIDBase }
 
 // RUM is one deployment of the monitoring layer across a set of switches.
+//
+// Concurrency: the hot path is sharded per switch. Each switch's pending
+// updates, ack futures, and outbound message queue live on its shard (see
+// shard), guarded by that shard's mutex alone; cross-switch state is
+// lock-free (atomic xid allocation and counters) or read-mostly (the
+// subscriber list behind an RWMutex). The RUM-level mutex mu guards only
+// the cold paths — attach, detach, bootstrap — so no global lock is ever
+// held across strategy code or message sends. Config.Unsharded collapses
+// all shard locks onto legacyMu, restoring the pre-sharding behavior for
+// baseline benchmarks.
 type RUM struct {
 	cfg  Config
 	topo *Topology
@@ -280,18 +300,21 @@ type RUM struct {
 	defaultStrat AckStrategy
 	strats       map[Technique]AckStrategy // named deployments incl. overrides
 	deployments  []AckStrategy             // distinct deployments, probe-routing order
+	colors       map[string]int            // general probing: switch → color index (read-only after New)
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	colors   map[string]int // general probing: switch → color index
-	nextXID  uint32
-	watchers map[watchKey][]*UpdateHandle
-	subs     []*Subscription
+	mu       sync.Mutex // cold path: attach/detach/bootstrap serialization
+	legacyMu sync.Mutex // Unsharded mode: the pre-shard RUM-wide lock
+	shards   sync.Map   // switch name → *shard; entries persist across reattach
+
+	nextXID atomic.Uint32
+
+	subsMu sync.RWMutex
+	subs   []*Subscription
 
 	// stats
-	acksSent   uint64
-	probesSent uint64
-	fallbacks  uint64
+	acksSent   atomic.Uint64
+	probesSent atomic.Uint64
+	fallbacks  atomic.Uint64
 }
 
 // New creates a RUM instance, resolving the configured default and
@@ -300,12 +323,11 @@ type RUM struct {
 func New(cfg Config, topo *Topology) (*RUM, error) {
 	cfg = cfg.Defaults()
 	r := &RUM{
-		cfg:      cfg,
-		topo:     topo,
-		sessions: make(map[string]*session),
-		nextXID:  rumXIDBase,
-		strats:   make(map[Technique]AckStrategy),
+		cfg:    cfg,
+		topo:   topo,
+		strats: make(map[Technique]AckStrategy),
 	}
+	r.nextXID.Store(rumXIDBase)
 	if cfg.Strategy != nil {
 		r.defaultStrat = cfg.Strategy
 		r.cfg.Technique = Technique(cfg.Strategy.Name())
@@ -369,15 +391,38 @@ func (r *RUM) CatchTos(sw string) uint8 {
 	return tosCatchBase + 4*uint8(r.colors[sw])
 }
 
-// newXID allocates a RUM-internal transaction id.
+// newXID allocates a RUM-internal transaction id, lock-free on the
+// sharded path (xids are the one piece of cross-switch hot-path state
+// left, so they must not funnel through a mutex).
 func (r *RUM) newXID() uint32 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nextXID++
-	if r.nextXID < rumXIDBase {
-		r.nextXID = rumXIDBase + 1
+	if r.cfg.Unsharded {
+		r.legacyMu.Lock()
+		defer r.legacyMu.Unlock()
+		x := r.nextXID.Load() + 1
+		if x < rumXIDBase {
+			x = rumXIDBase + 1
+		}
+		r.nextXID.Store(x)
+		return x
 	}
-	return r.nextXID
+	for {
+		x := r.nextXID.Add(1)
+		if x > rumXIDBase {
+			return x
+		}
+		// Wrapped around uint32 space: park the counter back at the base
+		// and retry (losers of the CAS retry on the fresh value).
+		r.nextXID.CompareAndSwap(x, rumXIDBase)
+	}
+}
+
+// shardFor returns (creating on first use) the named switch's shard.
+func (r *RUM) shardFor(name string) *shard {
+	if v, ok := r.shards.Load(name); ok {
+		return v.(*shard)
+	}
+	v, _ := r.shards.LoadOrStore(name, &shard{r: r, name: name})
+	return v.(*shard)
 }
 
 // strategyFor resolves the deployment serving one switch.
@@ -396,14 +441,17 @@ func (r *RUM) strategyFor(name string) AckStrategy {
 // controller → [barrier layer] → ack layer → switch.
 // Attaching two switches under one name is an error.
 func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) (*proxy.Session, error) {
+	// Attach and detach serialize on the cold-path mutex for their whole
+	// duration, so a session observed through a shard is always fully
+	// built. Hot-path traffic (already-attached switches) never takes mu.
 	r.mu.Lock()
-	if _, dup := r.sessions[name]; dup {
-		r.mu.Unlock()
+	defer r.mu.Unlock()
+	sh := r.shardFor(name)
+	if sh.session() != nil {
 		return nil, fmt.Errorf("core: switch %q already attached", name)
 	}
-	r.mu.Unlock()
 
-	s := &session{rum: r, name: name, swConn: swConn, ctConn: ctrlConn}
+	s := &session{rum: r, name: name, shard: sh, swConn: swConn, ctConn: ctrlConn}
 	al := &ackLayer{sess: s}
 	s.ack = al
 	var layers []proxy.Layer
@@ -412,28 +460,14 @@ func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.
 		layers = append(layers, s.bar)
 	}
 	layers = append(layers, al)
-	// The strategy must exist before NewSession starts message flow:
-	// backlogged TCP traffic is flushed through the layer chain inside
-	// NewSession and reaches s.strat immediately.
+	// The strategy and the shard binding must exist before NewSession
+	// starts message flow: backlogged TCP traffic is flushed through the
+	// layer chain inside NewSession and reaches s.strat (and the shard's
+	// outbox) immediately.
 	s.strat = r.strategyFor(name).ForSwitch(strategyCtx{s: s})
+	sh.bind(s)
 	ps := proxy.NewSession(name, dpid, r.cfg.Clock, ctrlConn, swConn, layers...)
 	s.proxy = ps
-
-	// Publication is the LAST step: a session in r.sessions is always
-	// fully built, so a concurrent DetachSwitch never observes (or
-	// races on) half-initialized fields. A racing duplicate rolls its
-	// fully-built session back here.
-	r.mu.Lock()
-	if _, dup := r.sessions[name]; dup {
-		r.mu.Unlock()
-		_ = ps.Close()
-		if d, ok := s.strat.(SwitchDetacher); ok {
-			d.Detach()
-		}
-		return nil, fmt.Errorf("core: switch %q already attached", name)
-	}
-	r.sessions[name] = s
-	r.mu.Unlock()
 	return ps, nil
 }
 
@@ -441,6 +475,7 @@ func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.
 type session struct {
 	rum    *RUM
 	name   string
+	shard  *shard
 	proxy  *proxy.Session
 	swConn transport.Conn // direct switch channel; valid before proxy is
 	ctConn transport.Conn // direct controller channel; valid before proxy is
@@ -449,11 +484,27 @@ type session struct {
 	strat  SwitchStrategy
 }
 
-// sendToSwitch injects a message directly on the switch's control
-// channel, below the whole layer chain. Unlike going through the proxy
-// session it is safe during attach, before message flow starts
-// (backlogged traffic is flushed through the layers inside NewSession).
-func (s *session) sendToSwitch(m of.Message) { _ = s.swConn.Send(m) }
+// sendToSwitch queues a message for the switch's control channel through
+// the session's shard: sends batch per flush and RUM barriers coalesce.
+// It is safe during attach, before message flow starts (the shard is
+// bound before NewSession flushes backlogged traffic through the layers).
+func (s *session) sendToSwitch(m of.Message) { s.shard.enqueue(m) }
+
+// sendToSwitchNow writes directly to the switch connection, below the
+// shard's outbox; only shard flushes (which own the ordering) call it.
+func (s *session) sendToSwitchNow(m of.Message) { _ = s.swConn.Send(m) }
+
+// sendBatchToSwitchNow writes a whole flushed batch to the switch
+// connection, in one transport operation when the conn supports it.
+func (s *session) sendBatchToSwitchNow(ms []of.Message) {
+	if bs, ok := s.swConn.(transport.BatchSender); ok {
+		_ = bs.SendBatch(ms)
+		return
+	}
+	for _, m := range ms {
+		_ = s.swConn.Send(m)
+	}
+}
 
 // sendToController injects a message directly on the controller channel,
 // above the whole layer chain; like sendToSwitch it is safe before the
@@ -479,10 +530,8 @@ func (s *session) injector() (string, uint16, bool) {
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].name < cands[j].name })
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, c := range cands {
-		if _, ok := r.sessions[c.name]; ok {
+		if _, ok := r.sessionByName(c.name); ok {
 			return c.name, c.port, true
 		}
 	}
@@ -505,10 +554,8 @@ func (s *session) receiver() (string, uint16, bool) {
 		cands = append(cands, cand{nb, port})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].name > cands[j].name })
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, c := range cands {
-		if _, ok := r.sessions[c.name]; ok {
+		if _, ok := r.sessionByName(c.name); ok {
 			return c.name, c.port, true
 		}
 	}
@@ -516,42 +563,69 @@ func (s *session) receiver() (string, uint16, bool) {
 }
 
 // DetachSwitch removes an attached switch: it closes both sides of the
-// proxied control channel, tears the switch's strategy state out of its
-// deployment (releasing e.g. sequential probe-rule versions), and
-// resolves every still-pending update as failed — their futures resolve
-// and dependent barriers unwedge. The name is then free for a fresh
-// AttachSwitch (switch reconnection). It reports whether the switch was
-// attached.
+// proxied control channel, drops the shard's unflushed outbox, tears the
+// switch's strategy state out of its deployment (releasing e.g.
+// sequential probe-rule versions), resolves every still-pending update
+// as failed — including updates whose FlowMods were still queued in an
+// in-flight injection batch — and then fails every remaining registered
+// ack future for the switch (a watched FlowMod may have died on the
+// closing control channel before RUM ever tracked it). Futures resolve
+// and dependent barriers unwedge instead of waiting on a send that will
+// never happen. The name is then free for a fresh AttachSwitch (switch
+// reconnection). It reports whether the switch was attached.
 func (r *RUM) DetachSwitch(name string) bool {
 	r.mu.Lock()
-	s, ok := r.sessions[name]
+	v, ok := r.shards.Load(name)
+	var s *session
+	var sh *shard
 	if ok {
-		delete(r.sessions, name)
+		sh = v.(*shard)
+		s = sh.session()
+		if s != nil {
+			sh.close()
+		}
 	}
 	r.mu.Unlock()
-	if !ok {
+	if s == nil {
 		return false
 	}
-	// Sessions are published fully built (AttachSwitch inserts last), so
-	// proxy and strat are always valid here.
+	// Attach holds mu until the session is fully built, so proxy and
+	// strat are always valid here.
 	_ = s.proxy.Close()
 	if d, ok := s.strat.(SwitchDetacher); ok {
 		d.Detach()
 	}
-	if s.ack != nil {
-		for _, u := range s.ack.pendingSnapshot() {
-			s.ack.confirm(u, OutcomeFailed)
-		}
+	for _, u := range s.ack.pendingSnapshot() {
+		s.ack.confirm(u, OutcomeFailed)
 	}
+	sh.failAllWatchers(r.cfg.Clock.Now())
 	return true
 }
 
-// sessionByName returns the session proxying the named switch.
+// sessionByName returns the session proxying the named switch. It is the
+// hot-path lookup (probe injection, attachment checks) and touches only
+// the lock-free shard map plus the target shard's own lock.
 func (r *RUM) sessionByName(name string) (*session, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.sessions[name]
-	return s, ok
+	v, ok := r.shards.Load(name)
+	if !ok {
+		return nil, false
+	}
+	s := v.(*shard).session()
+	return s, s != nil
+}
+
+// attachedSessions snapshots the attached sessions sorted by name (cold
+// paths: bootstrap).
+func (r *RUM) attachedSessions() []*session {
+	var out []*session
+	r.shards.Range(func(_, v any) bool {
+		if s := v.(*shard).session(); s != nil {
+			out = append(out, s)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // routeProbe offers an unclaimed probe PacketIn to every strategy
@@ -571,14 +645,7 @@ func (r *RUM) routeProbe(recv string, pin *of.PacketIn, f packet.Fields) bool {
 // called after all switches are attached; rules become effective once
 // each switch's data plane syncs.
 func (r *RUM) Bootstrap() error {
-	r.mu.Lock()
-	sessions := make([]*session, 0, len(r.sessions))
-	for _, s := range r.sessions {
-		sessions = append(sessions, s)
-	}
-	r.mu.Unlock()
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i].name < sessions[j].name })
-	for _, s := range sessions {
+	for _, s := range r.attachedSessions() {
 		if b, ok := s.strat.(SwitchBootstrapper); ok {
 			if err := b.Bootstrap(); err != nil {
 				return fmt.Errorf("core: bootstrap %s: %w", s.name, err)
@@ -604,16 +671,10 @@ func (r *RUM) BootstrapSwitch(name string) error {
 			return fmt.Errorf("core: bootstrap %s: %w", name, err)
 		}
 	}
-	r.mu.Lock()
-	others := make([]*session, 0, len(r.sessions))
-	for n, o := range r.sessions {
-		if n != name {
-			others = append(others, o)
+	for _, o := range r.attachedSessions() {
+		if o.name == name {
+			continue
 		}
-	}
-	r.mu.Unlock()
-	sort.Slice(others, func(i, j int) bool { return others[i].name < others[j].name })
-	for _, o := range others {
 		if nb, ok := o.strat.(NeighborBootstrapper); ok {
 			nb.BootstrapNeighbor(name)
 		}
@@ -625,7 +686,5 @@ func (r *RUM) BootstrapSwitch(name string) error {
 // packets injected, and control-plane fallbacks taken. The event stream
 // (Subscribe) carries the same information in structured form.
 func (r *RUM) Stats() (acks, probes, fallbacks uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.acksSent, r.probesSent, r.fallbacks
+	return r.acksSent.Load(), r.probesSent.Load(), r.fallbacks.Load()
 }

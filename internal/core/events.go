@@ -76,9 +76,9 @@ func (r *RUM) Subscribe(buf int) *Subscription {
 	}
 	s := &Subscription{r: r, ch: make(chan Event, buf)}
 	s.C = s.ch
-	r.mu.Lock()
+	r.subsMu.Lock()
 	r.subs = append(r.subs, s)
-	r.mu.Unlock()
+	r.subsMu.Unlock()
 	return s
 }
 
@@ -89,15 +89,15 @@ func (s *Subscription) Close() {
 		return
 	}
 	r := s.r
-	r.mu.Lock()
-	kept := r.subs[:0]
+	r.subsMu.Lock()
+	kept := make([]*Subscription, 0, len(r.subs))
 	for _, q := range r.subs {
 		if q != s {
 			kept = append(kept, q)
 		}
 	}
 	r.subs = kept
-	r.mu.Unlock()
+	r.subsMu.Unlock()
 }
 
 // Dropped reports how many events were discarded because the buffer was
@@ -115,8 +115,18 @@ func (s *Subscription) deliver(ev Event) {
 	}
 }
 
-// subsSnapshotLocked copies the subscriber list; caller holds r.mu.
-func (r *RUM) subsSnapshotLocked() []*Subscription {
+// subsSnapshot copies the subscriber list. On the sharded path it takes
+// only a read lock, so concurrent publishers from different shards never
+// serialize; in Unsharded mode it funnels through the RUM-wide legacy
+// mutex like the rest of the pre-shard hot path.
+func (r *RUM) subsSnapshot() []*Subscription {
+	if r.cfg.Unsharded {
+		// Contention emulation only; subsMu below still owns the data.
+		r.legacyMu.Lock()
+		defer r.legacyMu.Unlock()
+	}
+	r.subsMu.RLock()
+	defer r.subsMu.RUnlock()
 	if len(r.subs) == 0 {
 		return nil
 	}
@@ -131,20 +141,14 @@ func fanout(subs []*Subscription, ev Event) {
 
 // publish fans an event out to every subscriber.
 func (r *RUM) publish(ev Event) {
-	r.mu.Lock()
-	subs := r.subsSnapshotLocked()
-	r.mu.Unlock()
-	fanout(subs, ev)
+	fanout(r.subsSnapshot(), ev)
 }
 
-// noteProbes counts injected probes and publishes a ProbeEvent, sharing
-// one critical section (probe injection is the hot path).
+// noteProbes counts injected probes and publishes a ProbeEvent (probe
+// injection is the hot path: the count is a lock-free atomic).
 func (r *RUM) noteProbes(sw string, n int) {
-	r.mu.Lock()
-	r.probesSent += uint64(n)
-	subs := r.subsSnapshotLocked()
-	r.mu.Unlock()
-	if subs != nil {
+	r.probesSent.Add(uint64(n))
+	if subs := r.subsSnapshot(); subs != nil {
 		fanout(subs, ProbeEvent{Switch: sw, Count: n, At: r.cfg.Clock.Now()})
 	}
 }
@@ -152,18 +156,17 @@ func (r *RUM) noteProbes(sw string, n int) {
 // noteFallback counts a control-plane fallback and publishes a
 // FallbackEvent.
 func (r *RUM) noteFallback(u *Update) {
-	r.mu.Lock()
-	r.fallbacks++
-	subs := r.subsSnapshotLocked()
-	r.mu.Unlock()
-	if subs != nil {
+	r.fallbacks.Add(1)
+	if subs := r.subsSnapshot(); subs != nil {
 		fanout(subs, FallbackEvent{Switch: u.sw, XID: u.xid, At: r.cfg.Clock.Now()})
 	}
 }
 
 // noteAck counts one wire-level fine-grained acknowledgment.
 func (r *RUM) noteAck() {
-	r.mu.Lock()
-	r.acksSent++
-	r.mu.Unlock()
+	if r.cfg.Unsharded {
+		r.legacyMu.Lock()
+		defer r.legacyMu.Unlock()
+	}
+	r.acksSent.Add(1)
 }

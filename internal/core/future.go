@@ -104,57 +104,25 @@ func (h *UpdateHandle) resolve(res AckResult) {
 	close(h.done)
 }
 
-// watchKey identifies a watched modification.
-type watchKey struct {
-	sw  string
-	xid uint32
-}
-
 // Watch returns an ack future for the FlowMod with the given transaction
 // id on the named switch. Call it before sending the FlowMod: an update
 // that resolved before Watch was registered is not replayed. Multiple
-// handles may watch the same modification.
+// handles may watch the same modification. Registrations live on the
+// switch's shard, so watch traffic on one switch never contends with
+// another's; watching a switch that is not attached yet is allowed (the
+// shard outlives attach/detach cycles).
 func (r *RUM) Watch(sw string, xid uint32) *UpdateHandle {
 	h := &UpdateHandle{r: r, sw: sw, xid: xid, done: make(chan struct{})}
-	k := watchKey{sw: sw, xid: xid}
-	r.mu.Lock()
-	if r.watchers == nil {
-		r.watchers = make(map[watchKey][]*UpdateHandle)
-	}
-	r.watchers[k] = append(r.watchers[k], h)
-	r.mu.Unlock()
+	r.shardFor(sw).watch(h)
 	return h
 }
 
 // unwatch removes one handle's registration.
 func (r *RUM) unwatch(h *UpdateHandle) {
-	k := watchKey{sw: h.sw, xid: h.xid}
-	r.mu.Lock()
-	hs := r.watchers[k]
-	kept := hs[:0]
-	for _, q := range hs {
-		if q != h {
-			kept = append(kept, q)
-		}
-	}
-	if len(kept) == 0 {
-		delete(r.watchers, k)
-	} else {
-		r.watchers[k] = kept
-	}
-	r.mu.Unlock()
+	r.shardFor(h.sw).unwatch(h)
 }
 
 // resolveWatch delivers a result to every handle watching it.
 func (r *RUM) resolveWatch(res AckResult) {
-	k := watchKey{sw: res.Switch, xid: res.XID}
-	r.mu.Lock()
-	hs := r.watchers[k]
-	if hs != nil {
-		delete(r.watchers, k)
-	}
-	r.mu.Unlock()
-	for _, h := range hs {
-		h.resolve(res)
-	}
+	r.shardFor(res.Switch).resolveWatch(res)
 }

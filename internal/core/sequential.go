@@ -18,6 +18,7 @@ type seqState struct {
 	mu          sync.Mutex
 	nextVer     int                 // monotonically increasing epoch counter
 	outstanding map[uint8]*seqEpoch // tos value → unconfirmed epoch
+	waiters     []*sequentialSwitch // switches with deferred batches, FIFO
 }
 
 func newSeqState() *seqState {
@@ -39,10 +40,16 @@ type seqEpoch struct {
 // otherwise a probe stamped by the old rule would instantly (and wrongly)
 // confirm the new epoch. This is the correctness constraint behind the
 // paper's "periodically recycle" remark (§4).
+//
+// On failure t is queued as a waiter inside the same critical section —
+// registering it after the fact would race confirmations on other
+// switches that drain the whole outstanding set in between, leaving t
+// queued with no future confirmation to ever wake it.
 func (s *seqState) allocate(t *sequentialSwitch, mods []*Update, exclude uint8) (*seqEpoch, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.outstanding) >= tosVersionCount-2 {
+		s.addWaiterLocked(t)
 		return nil, false
 	}
 	for {
@@ -74,8 +81,37 @@ func (s *seqState) observe(tos uint8) *seqEpoch {
 	return e
 }
 
-// releaseOwner drops every epoch owned by t (detach: the versions would
-// otherwise stay pinned forever, shrinking the shared window).
+// addWaiterLocked queues a switch whose flush found the version space
+// exhausted; caller holds s.mu. Any confirmation that frees a version
+// drains the queue — crucially, not just confirmations of the waiter's
+// own epochs: at scale (many switches sharing the 61-value space) a
+// switch may have its very first flush deferred and would otherwise
+// never be retried, wedging its updates forever.
+func (s *seqState) addWaiterLocked(t *sequentialSwitch) {
+	for _, w := range s.waiters {
+		if w == t {
+			return
+		}
+	}
+	s.waiters = append(s.waiters, t)
+}
+
+// nextWaiter pops the oldest waiting switch, but only while the version
+// space has room for its retry to succeed.
+func (s *seqState) nextWaiter() *sequentialSwitch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) == 0 || len(s.outstanding) >= tosVersionCount-2 {
+		return nil
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	return w
+}
+
+// releaseOwner drops every epoch owned by t and removes it from the
+// waiter queue (detach: the versions would otherwise stay pinned forever,
+// shrinking the shared window).
 func (s *seqState) releaseOwner(t *sequentialSwitch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -84,6 +120,13 @@ func (s *seqState) releaseOwner(t *sequentialSwitch) {
 			delete(s.outstanding, tos)
 		}
 	}
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w != t {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
 }
 
 // release drops every epoch of t with id <= maxID (confirmed transitively
@@ -161,18 +204,16 @@ func (s *sequentialStrategy) route(tos uint8) {
 	if t.lastEpoch != nil && t.lastEpoch.id <= epoch.id {
 		t.lastEpoch = nil
 	}
-	deferred := t.deferred
-	t.deferred = nil
 	t.mu.Unlock()
 	t.sc.ConfirmUpTo(maxSeq, OutcomeInstalled)
-	// Retry deferred batches now that versions are free.
-	for _, mods := range deferred {
-		t.mu.Lock()
-		t.batch = append(mods, t.batch...)
-		t.mu.Unlock()
-	}
-	if len(deferred) > 0 {
-		t.flush()
+	// Versions were freed: drain waiting switches (possibly including the
+	// confirmed one) so their deferred batches retry.
+	for {
+		w := s.seq.nextWaiter()
+		if w == nil {
+			return
+		}
+		w.retryDeferred()
 	}
 }
 
@@ -349,6 +390,21 @@ func (t *sequentialSwitch) BootstrapNeighbor(sw string) {
 	}
 }
 
+// retryDeferred folds the deferred batches back into the live batch (in
+// original order, ahead of newer mods) and flushes again.
+func (t *sequentialSwitch) retryDeferred() {
+	t.mu.Lock()
+	deferred := t.deferred
+	t.deferred = nil
+	for i := len(deferred) - 1; i >= 0; i-- {
+		t.batch = append(deferred[i], t.batch...)
+	}
+	t.mu.Unlock()
+	if len(deferred) > 0 {
+		t.flush()
+	}
+}
+
 // flush closes the current batch: barrier + probe-rule version bump.
 func (t *sequentialSwitch) flush() {
 	t.mu.Lock()
@@ -362,9 +418,12 @@ func (t *sequentialSwitch) flush() {
 		t.flushTm.Stop()
 		t.flushTm = nil
 	}
+	// allocate queues t as a version-space waiter on failure, atomically
+	// with the exhaustion check; the deferred append below happens before
+	// t.mu is released, so a concurrent drain cannot observe the waiter
+	// with nothing to retry.
 	epoch, ok := t.parent.seq.allocate(t, mods, t.activeVer)
 	if !ok {
-		// Version space exhausted: re-queue and retry on confirmation.
 		t.deferred = append(t.deferred, mods)
 		t.mu.Unlock()
 		return

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+)
+
+// shard is one switch's slice of the update/ack hot path. Every attached
+// switch gets its own shard — its own mutex, its own switch-bound message
+// queue (the outbox), and its own ack-future watcher table — so the
+// dispatch path of one switch never contends with another's and no
+// RUM-wide lock is held across strategy code. Shards are created on
+// demand (Watch may register futures before the switch attaches) and
+// survive detach/reattach cycles; only the session binding comes and
+// goes.
+//
+// Outbox semantics: messages bound for the switch are appended under the
+// shard lock and flushed in batches off the dispatch path. Under a
+// simulated clock the flush is a scheduled event (clock.After(0) — the
+// discrete-event engine is single-threaded by design, so a goroutine
+// would race it); under any other clock the shard runs its own pump
+// goroutine, woken through a channel handoff, so enqueuing never blocks
+// on the wire. Batching is what makes coalescing possible: while a burst
+// sits in the outbox, RUM-internal BarrierRequests collapse into the
+// newest one, because on a FIFO switch a reply to a later barrier is a
+// strictly stronger signal than a reply to an earlier one. The shard
+// remembers the xids it swallowed and synthesizes their replies when the
+// surviving barrier's reply arrives, so strategies observe every barrier
+// they sent.
+//
+// In Config.Unsharded mode (the pre-sharding baseline kept for regression
+// benchmarks) all of this is bypassed: every shard serializes behind the
+// RUM-wide legacy mutex and messages are sent unbatched, with the lock
+// held across the send.
+type shard struct {
+	r    *RUM
+	name string
+
+	mu        sync.Mutex
+	sess      *session // nil while the switch is detached
+	gen       uint64   // bumped by close(); stale drainers bail on mismatch
+	outbox    []of.Message
+	flushing  bool                // a flush is scheduled or the pump is mid-drain
+	wake      chan struct{}       // pump handoff (nil in scheduled-flush mode)
+	stop      chan struct{}       // closes with the session to end the pump
+	coalesced map[uint32][]uint32 // surviving RUM barrier xid → swallowed xids
+	watchers  map[uint32][]*UpdateHandle
+}
+
+// lock takes the shard's hot-path lock — the per-shard mutex, or the
+// RUM-wide legacy mutex in Unsharded mode.
+func (sh *shard) lock() {
+	if sh.r.cfg.Unsharded {
+		sh.r.legacyMu.Lock()
+	} else {
+		sh.mu.Lock()
+	}
+}
+
+func (sh *shard) unlock() {
+	if sh.r.cfg.Unsharded {
+		sh.r.legacyMu.Unlock()
+	} else {
+		sh.mu.Unlock()
+	}
+}
+
+// session returns the attached session, or nil while detached.
+func (sh *shard) session() *session {
+	sh.lock()
+	defer sh.unlock()
+	return sh.sess
+}
+
+// bind attaches a session to the shard, reopening the outbox. Away from
+// the single-threaded simulated clock it also starts the shard's pump
+// goroutine (one per attached switch), which owns draining the outbox.
+func (sh *shard) bind(s *session) {
+	sh.lock()
+	sh.sess = s
+	_, isSim := sh.r.cfg.Clock.(*sim.Sim)
+	if !isSim && !sh.r.cfg.Unsharded {
+		sh.wake = make(chan struct{}, 1)
+		sh.stop = make(chan struct{})
+		go sh.pump(sh.wake, sh.stop, sh.gen)
+	}
+	sh.unlock()
+}
+
+// close detaches the shard from its session. The unflushed outbox is
+// dropped — its FlowMods are still tracked by the ack layer, whose
+// pending updates the detach path resolves as failed, so an in-flight
+// batch fails its futures instead of wedging — and pending coalesced
+// barrier bookkeeping is discarded (the replies can no longer arrive).
+// A flush that fires after close observes the nil session and does
+// nothing; enqueues race-free no-op until the next bind.
+func (sh *shard) close() {
+	sh.lock()
+	sh.sess = nil
+	sh.outbox = nil
+	sh.coalesced = nil
+	// Reset the drain state: the pump may exit on stop with a wake token
+	// unserviced, and a flushing flag left true would make every enqueue
+	// after a reattach skip waking the new pump — wedging the shard
+	// forever. The generation bump makes any drainer still in flight from
+	// this session bail instead of touching the next session's state.
+	sh.flushing = false
+	sh.gen++
+	if sh.stop != nil {
+		close(sh.stop)
+		sh.wake, sh.stop = nil, nil
+	}
+	sh.unlock()
+}
+
+// enqueue queues a switch-bound message on the shard's outbox and
+// schedules a flush if none is pending. RUM-internal barriers coalesce
+// into the queue's newest barrier. Messages enqueued while the switch is
+// detached are dropped (their updates fail via the detach path).
+func (sh *shard) enqueue(m of.Message) {
+	if sh.r.cfg.Unsharded {
+		// Pre-shard baseline: one RUM-wide mutex held across the send,
+		// no batching, no coalescing.
+		sh.r.legacyMu.Lock()
+		s := sh.sess
+		if s != nil {
+			s.sendToSwitchNow(m)
+		}
+		sh.r.legacyMu.Unlock()
+		return
+	}
+	sh.mu.Lock()
+	if sh.sess == nil {
+		sh.mu.Unlock()
+		return
+	}
+	if br, ok := m.(*of.BarrierRequest); ok && IsRUMXID(br.GetXID()) {
+		sh.coalesceBarriersLocked(br.GetXID())
+	}
+	sh.outbox = append(sh.outbox, m)
+	if sh.flushing {
+		sh.mu.Unlock()
+		return
+	}
+	sh.flushing = true
+	wake := sh.wake
+	gen := sh.gen
+	sh.mu.Unlock()
+	if wake != nil {
+		wake <- struct{}{} // buffered; only sent on the false→true edge
+		return
+	}
+	sh.r.cfg.Clock.After(0, func() { sh.flush(gen) })
+}
+
+// pump is the shard's drain goroutine (non-simulated clocks): it wakes on
+// the channel handoff from enqueue and flushes until the session closes.
+func (sh *shard) pump(wake <-chan struct{}, stop <-chan struct{}, gen uint64) {
+	for {
+		select {
+		case <-wake:
+			sh.flush(gen)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// coalesceBarriersLocked removes every queued RUM-internal BarrierRequest
+// and records their xids (plus any xids those had already swallowed)
+// against the barrier about to be enqueued. Controller barriers are never
+// touched: their replies belong to the controller.
+func (sh *shard) coalesceBarriersLocked(keptXID uint32) {
+	kept := sh.outbox[:0]
+	var dropped []uint32
+	for _, q := range sh.outbox {
+		if br, ok := q.(*of.BarrierRequest); ok && IsRUMXID(br.GetXID()) {
+			dropped = append(dropped, sh.coalesced[br.GetXID()]...)
+			delete(sh.coalesced, br.GetXID())
+			dropped = append(dropped, br.GetXID())
+			continue
+		}
+		kept = append(kept, q)
+	}
+	sh.outbox = kept
+	if len(dropped) == 0 {
+		return
+	}
+	if sh.coalesced == nil {
+		sh.coalesced = make(map[uint32][]uint32)
+	}
+	sh.coalesced[keptXID] = append(sh.coalesced[keptXID], dropped...)
+}
+
+// flush drains the outbox onto the switch connection. Batches are sent
+// outside the shard lock — the flushing flag guarantees a single drainer
+// per generation, so enqueues proceed concurrently and FIFO order holds —
+// and the loop re-checks for messages enqueued while a batch was on the
+// wire. A drainer whose generation is stale (the session detached, and
+// possibly reattached, underneath it) backs out without touching the
+// current generation's state.
+func (sh *shard) flush(gen uint64) {
+	for {
+		sh.mu.Lock()
+		if sh.gen != gen {
+			sh.mu.Unlock()
+			return
+		}
+		if len(sh.outbox) == 0 || sh.sess == nil {
+			sh.outbox = nil
+			sh.flushing = false
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.outbox
+		sh.outbox = nil
+		s := sh.sess
+		sh.mu.Unlock()
+		s.sendBatchToSwitchNow(batch)
+	}
+}
+
+// takeCoalesced removes and returns the barrier xids swallowed into the
+// barrier with the given xid (nil for barriers that swallowed none).
+func (sh *shard) takeCoalesced(xid uint32) []uint32 {
+	sh.lock()
+	defer sh.unlock()
+	if len(sh.coalesced) == 0 {
+		return nil
+	}
+	d := sh.coalesced[xid]
+	delete(sh.coalesced, xid)
+	return d
+}
+
+// watch registers an ack future on the shard.
+func (sh *shard) watch(h *UpdateHandle) {
+	sh.lock()
+	if sh.watchers == nil {
+		sh.watchers = make(map[uint32][]*UpdateHandle)
+	}
+	sh.watchers[h.xid] = append(sh.watchers[h.xid], h)
+	sh.unlock()
+}
+
+// unwatch removes one handle's registration.
+func (sh *shard) unwatch(h *UpdateHandle) {
+	sh.lock()
+	hs := sh.watchers[h.xid]
+	kept := hs[:0]
+	for _, q := range hs {
+		if q != h {
+			kept = append(kept, q)
+		}
+	}
+	if len(kept) == 0 {
+		delete(sh.watchers, h.xid)
+	} else {
+		sh.watchers[h.xid] = kept
+	}
+	sh.unlock()
+}
+
+// resolveWatch delivers a result to every handle watching its xid.
+func (sh *shard) resolveWatch(res AckResult) {
+	sh.lock()
+	hs := sh.watchers[res.XID]
+	if hs != nil {
+		delete(sh.watchers, res.XID)
+	}
+	sh.unlock()
+	for _, h := range hs {
+		h.resolve(res)
+	}
+}
+
+// failAllWatchers resolves every registered ack future as failed (detach:
+// a watched FlowMod may have been lost in flight on the closing control
+// channel without ever being tracked, and its future must not wait for a
+// switch that is gone).
+func (sh *shard) failAllWatchers(now time.Duration) {
+	sh.lock()
+	watchers := sh.watchers
+	sh.watchers = nil
+	sh.unlock()
+	for xid, hs := range watchers {
+		res := AckResult{
+			Switch:      sh.name,
+			XID:         xid,
+			Outcome:     OutcomeFailed,
+			IssuedAt:    now,
+			ConfirmedAt: now,
+		}
+		for _, h := range hs {
+			h.resolve(res)
+		}
+	}
+}

@@ -49,8 +49,15 @@ type noWaitSwitch struct {
 func (t *noWaitSwitch) OnFlowMod(u *Update) { t.sc.Confirm(u, OutcomeInstalled) }
 
 // barrierStrategy implements TechBarriers (delay == 0) and TechTimeout
-// (delay > 0): a RUM barrier follows every FlowMod; the reply — plus the
-// configured safety delay — confirms everything issued before it (§3.1).
+// (delay > 0): a RUM barrier follows the controller's FlowMods; the reply
+// — plus the configured safety delay — confirms everything issued before
+// it (§3.1). Barrier emission is burst-coalesced: OnFlowMod marks the
+// switch dirty and schedules one emission off the dispatch path, so a
+// burst of modifications shares a single barrier covering the newest
+// sequence number (semantically identical — a later barrier's reply
+// confirms a superset — but K-fold cheaper on the wire and in the
+// switch's control queue). Unsharded mode keeps the historical
+// one-barrier-per-FlowMod behavior.
 type barrierStrategy struct {
 	name  string
 	delay time.Duration
@@ -69,14 +76,43 @@ type barrierSwitch struct {
 
 	mu       sync.Mutex
 	barriers map[uint32]uint64 // barrier xid → covered seq
+	dirty    bool              // an emission is scheduled for maxSeq
+	maxSeq   uint64
 }
 
 func (t *barrierSwitch) OnFlowMod(u *Update) {
+	if t.sc.Config().Unsharded {
+		br := &of.BarrierRequest{}
+		xid := t.sc.NewXID()
+		br.SetXID(xid)
+		t.mu.Lock()
+		t.barriers[xid] = u.Seq()
+		t.mu.Unlock()
+		t.sc.SendToSwitch(br)
+		return
+	}
+	t.mu.Lock()
+	if u.Seq() > t.maxSeq {
+		t.maxSeq = u.Seq()
+	}
+	if t.dirty {
+		t.mu.Unlock()
+		return
+	}
+	t.dirty = true
+	t.mu.Unlock()
+	t.sc.Clock().After(0, t.emitBarrier)
+}
+
+// emitBarrier sends the one barrier covering every FlowMod observed since
+// the last emission.
+func (t *barrierSwitch) emitBarrier() {
 	br := &of.BarrierRequest{}
 	xid := t.sc.NewXID()
 	br.SetXID(xid)
 	t.mu.Lock()
-	t.barriers[xid] = u.Seq()
+	t.dirty = false
+	t.barriers[xid] = t.maxSeq
 	t.mu.Unlock()
 	t.sc.SendToSwitch(br)
 }

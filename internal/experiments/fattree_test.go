@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/core"
+)
+
+// TestFatTreeChurnSmall runs the scale workload end to end on a k=4
+// fat-tree (20 switches) with the per-layer strategy mix: every update
+// must resolve positively within the simulated deadline.
+func TestFatTreeChurnSmall(t *testing.T) {
+	res, err := FatTreeChurn(FatTreeChurnOpts{
+		K:                4,
+		UpdatesPerSwitch: 8,
+		Mixed:            true,
+		Deadline:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 20 {
+		t.Fatalf("k=4 fat-tree ran %d switches, want 20", res.Switches)
+	}
+	if res.Updates != 160 || res.Completed != 160 {
+		t.Fatalf("completed %d/%d updates (failed=%d unacked=%d)",
+			res.Completed, res.Updates, res.Failed, res.Unacked)
+	}
+	if res.P99 <= 0 || res.P50 > res.P99 {
+		t.Fatalf("implausible latency percentiles p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Probes == 0 {
+		t.Fatal("mixed strategies ran but no probes were injected")
+	}
+}
+
+// TestFatTreeChurnUnshardedParity runs the same small workload over the
+// pre-sharding compatibility path: the sharded refactor must not change
+// what completes, only how fast.
+func TestFatTreeChurnUnshardedParity(t *testing.T) {
+	res, err := FatTreeChurn(FatTreeChurnOpts{
+		K:                4,
+		UpdatesPerSwitch: 4,
+		Mixed:            true,
+		Unsharded:        true,
+		Deadline:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Updates {
+		t.Fatalf("unsharded path completed %d/%d updates (failed=%d unacked=%d)",
+			res.Completed, res.Updates, res.Failed, res.Unacked)
+	}
+}
+
+// TestFatTreeChurnSingleTechnique covers the homogeneous configuration
+// (every switch on the timeout technique).
+func TestFatTreeChurnSingleTechnique(t *testing.T) {
+	res, err := FatTreeChurn(FatTreeChurnOpts{
+		K:                4,
+		UpdatesPerSwitch: 4,
+		Technique:        core.TechTimeout,
+		Deadline:         30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Updates {
+		t.Fatalf("completed %d/%d updates", res.Completed, res.Updates)
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import "fmt"
+
+// FatTreeLink is one inter-switch link of a fat-tree fabric, expressed in
+// the same (name, port)×2 form RUM's topology map uses.
+type FatTreeLink struct {
+	A     string
+	APort uint16
+	B     string
+	BPort uint16
+}
+
+// FatTree is a k-ary fat-tree switch fabric (Al-Fares et al.): (k/2)²
+// core switches and k pods of k/2 aggregation plus k/2 edge switches,
+// every switch with k ports. It is the scale workload's topology — a
+// k=8 instance is an 80-switch datacenter fabric — generated as pure
+// wiring data so the same spec can drive the simulated network, RUM's
+// topology map, and a TCP deployment's flag set.
+//
+// Port conventions (1-based, matching the rest of the system):
+//
+//   - edge switch: ports 1..k/2 face hosts, port k/2+1+j reaches the
+//     pod's aggregation switch j;
+//   - aggregation switch j: port i+1 reaches the pod's edge switch i,
+//     port k/2+1+m reaches core switch j*(k/2)+m;
+//   - core switch: port p+1 reaches pod p.
+type FatTree struct {
+	K     int
+	Core  []string // (k/2)² names, index c = j*(k/2)+m
+	Agg   []string // k*(k/2) names, pod-major
+	Edge  []string // k*(k/2) names, pod-major
+	Links []FatTreeLink
+	// HostPorts lists each edge switch's host-facing ports (1..k/2).
+	HostPorts map[string][]uint16
+}
+
+// NewFatTree generates a k-ary fat-tree. k must be even and in [2, 16]
+// (16 pods of 8+8 switches is already a 320-switch fabric; larger k
+// overflows nothing but helps nobody in simulation).
+func NewFatTree(k int) (*FatTree, error) {
+	if k < 2 || k > 16 || k%2 != 0 {
+		return nil, fmt.Errorf("netsim: fat-tree arity k=%d must be even and in [2, 16]", k)
+	}
+	half := k / 2
+	ft := &FatTree{K: k, HostPorts: make(map[string][]uint16)}
+
+	for c := 0; c < half*half; c++ {
+		ft.Core = append(ft.Core, fmt.Sprintf("c%02d", c))
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			ft.Agg = append(ft.Agg, fmt.Sprintf("p%02da%d", p, i))
+			ft.Edge = append(ft.Edge, fmt.Sprintf("p%02de%d", p, i))
+		}
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			edge := ft.Edge[p*half+i]
+			for h := 1; h <= half; h++ {
+				ft.HostPorts[edge] = append(ft.HostPorts[edge], uint16(h))
+			}
+			// Edge i to every aggregation switch j in the pod.
+			for j := 0; j < half; j++ {
+				ft.Links = append(ft.Links, FatTreeLink{
+					A: edge, APort: uint16(half + 1 + j),
+					B: ft.Agg[p*half+j], BPort: uint16(i + 1),
+				})
+			}
+		}
+		// Aggregation j to its k/2 core switches.
+		for j := 0; j < half; j++ {
+			agg := ft.Agg[p*half+j]
+			for m := 0; m < half; m++ {
+				ft.Links = append(ft.Links, FatTreeLink{
+					A: agg, APort: uint16(half + 1 + m),
+					B: ft.Core[j*half+m], BPort: uint16(p + 1),
+				})
+			}
+		}
+	}
+	return ft, nil
+}
+
+// Switches lists every switch name: core, then aggregation, then edge
+// (pod-major within a layer). The order is deterministic and doubles as
+// the datapath-id assignment for deployments that need one.
+func (ft *FatTree) Switches() []string {
+	out := make([]string, 0, len(ft.Core)+len(ft.Agg)+len(ft.Edge))
+	out = append(out, ft.Core...)
+	out = append(out, ft.Agg...)
+	out = append(out, ft.Edge...)
+	return out
+}
+
+// NumSwitches returns the fabric size: (k/2)² + k² (80 for k=8).
+func (ft *FatTree) NumSwitches() int {
+	return len(ft.Core) + len(ft.Agg) + len(ft.Edge)
+}
+
+// InterPorts returns a switch's inter-switch ports in ascending order —
+// the ports churn workloads may point forwarding rules at.
+func (ft *FatTree) InterPorts(sw string) []uint16 {
+	var out []uint16
+	for _, l := range ft.Links {
+		if l.A == sw {
+			out = append(out, l.APort)
+		}
+		if l.B == sw {
+			out = append(out, l.BPort)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import "testing"
+
+func TestFatTreeK8Counts(t *testing.T) {
+	ft, err := NewFatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.NumSwitches(); got != 80 {
+		t.Fatalf("k=8 fat-tree has %d switches, want 80", got)
+	}
+	if len(ft.Core) != 16 || len(ft.Agg) != 32 || len(ft.Edge) != 32 {
+		t.Fatalf("layer sizes core=%d agg=%d edge=%d, want 16/32/32",
+			len(ft.Core), len(ft.Agg), len(ft.Edge))
+	}
+	// Inter-switch links: k*(k/2)² agg-core + k*(k/2)² edge-agg = 256.
+	if len(ft.Links) != 256 {
+		t.Fatalf("k=8 fat-tree has %d links, want 256", len(ft.Links))
+	}
+}
+
+func TestFatTreePortsConsistent(t *testing.T) {
+	ft, err := NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No port may be used twice on the same switch (including host ports).
+	used := make(map[string]map[uint16]bool)
+	claim := func(sw string, p uint16) {
+		if used[sw] == nil {
+			used[sw] = make(map[uint16]bool)
+		}
+		if used[sw][p] {
+			t.Fatalf("port %d of %s wired twice", p, sw)
+		}
+		used[sw][p] = true
+	}
+	for _, l := range ft.Links {
+		claim(l.A, l.APort)
+		claim(l.B, l.BPort)
+	}
+	for sw, ports := range ft.HostPorts {
+		for _, p := range ports {
+			claim(sw, p)
+		}
+	}
+	// Every switch has exactly k ports in use and every port is in 1..k.
+	for _, sw := range ft.Switches() {
+		if len(used[sw]) != ft.K {
+			t.Fatalf("%s uses %d ports, want %d", sw, len(used[sw]), ft.K)
+		}
+		for p := range used[sw] {
+			if p < 1 || p > uint16(ft.K) {
+				t.Fatalf("%s uses out-of-range port %d", sw, p)
+			}
+		}
+	}
+	// Every switch's inter-switch port list matches the links.
+	for _, sw := range ft.Core {
+		if got := len(ft.InterPorts(sw)); got != ft.K {
+			t.Fatalf("core %s has %d inter-switch ports, want %d", sw, got, ft.K)
+		}
+	}
+	for _, sw := range ft.Edge {
+		if got := len(ft.InterPorts(sw)); got != ft.K/2 {
+			t.Fatalf("edge %s has %d inter-switch ports, want %d", sw, got, ft.K/2)
+		}
+	}
+}
+
+func TestFatTreeRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 7, 18} {
+		if _, err := NewFatTree(k); err == nil {
+			t.Fatalf("NewFatTree(%d) accepted, want error", k)
+		}
+	}
+}

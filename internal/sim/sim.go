@@ -184,13 +184,26 @@ func NewWall() *Wall { return &Wall{origin: time.Now()} }
 // Now returns time elapsed since the clock was created.
 func (w *Wall) Now() time.Duration { return time.Since(w.origin) }
 
-// After schedules fn on a timer goroutine.
+// After schedules fn on a timer goroutine. Zero (and negative) delays —
+// the dominant case on hot paths like zero-latency transport delivery and
+// shard flush handoff — skip the timer heap and dispatch straight onto a
+// fresh goroutine.
 func (w *Wall) After(d time.Duration, fn func()) Timer {
-	return wallTimer{time.AfterFunc(d, fn)}
+	if d <= 0 {
+		go fn()
+		return firedTimer{}
+	}
+	return wallTimer{t: time.AfterFunc(d, fn)}
 }
 
 type wallTimer struct{ t *time.Timer }
 
 func (t wallTimer) Stop() bool { return t.t.Stop() }
+
+// firedTimer is the Timer of a callback already dispatched: Stop reports
+// that the cancellation came too late.
+type firedTimer struct{}
+
+func (firedTimer) Stop() bool { return false }
 
 var _ Clock = (*Wall)(nil)

@@ -81,6 +81,7 @@ type Switch struct {
 
 	// Counters for benchmarks.
 	modsProcessed    uint64
+	barriersServed   uint64
 	pktOutsProcessed uint64
 	pktInsSent       uint64
 	syncs            uint64
@@ -236,6 +237,7 @@ func (sw *Switch) completeCtrl(job queuedMsg) {
 
 // completeBarrierLocked implements the profile's barrier semantics.
 func (sw *Switch) completeBarrierLocked(m *of.BarrierRequest) {
+	sw.barriersServed++
 	reply := &of.BarrierReply{}
 	reply.SetXID(m.GetXID())
 	switch sw.prof.BarrierMode {
@@ -460,4 +462,12 @@ func (sw *Switch) Counters() (mods, pktOuts, pktIns, syncs uint64) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	return sw.modsProcessed, sw.pktOutsProcessed, sw.pktInsSent, sw.syncs
+}
+
+// BarriersServed returns how many BarrierRequests the control plane has
+// completed — the coalesced-barrier workload metric.
+func (sw *Switch) BarriersServed() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.barriersServed
 }

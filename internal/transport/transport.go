@@ -38,7 +38,26 @@ type Conn interface {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("transport: connection closed")
 
+// BatchSender is implemented by conns that can hand a whole batch to the
+// wire in one operation — one scheduled delivery for an in-memory pipe,
+// one writer hand-off for TCP — preserving message order. RUM's per-switch
+// shards use it to amortize transport overhead across a flush.
+type BatchSender interface {
+	// SendBatch queues ms for in-order delivery to the peer. Like Send it
+	// never blocks. The slice is retained until delivery: the caller must
+	// hand over ownership and not reuse it.
+	SendBatch(ms []of.Message) error
+}
+
 // pipeEnd is one end of an in-memory connection pair.
+//
+// Delivery is strictly FIFO per direction: every send is stamped with a
+// sequence number under the sender's lock, and the receiving end releases
+// arrivals in stamp order. Under the single-threaded simulated clock this
+// changes nothing; under a wall clock — where each scheduled delivery
+// runs on its own timer goroutine and same-deadline timers fire in
+// unspecified order — it is what upholds the in-order contract RUM's
+// barrier semantics are built on.
 type pipeEnd struct {
 	clock   sim.Clock
 	latency time.Duration
@@ -48,6 +67,11 @@ type pipeEnd struct {
 	handler Handler
 	backlog []of.Message
 	closed  bool
+
+	txSeq      uint64                  // next sequence stamp for sends from this end
+	rxNext     uint64                  // next stamp due for delivery at this end
+	rxPend     map[uint64][]of.Message // out-of-order arrivals awaiting predecessors
+	delivering bool                    // a goroutine is draining rxPend in order
 }
 
 // Pipe creates a connected pair of in-memory conns with the given one-way
@@ -62,31 +86,72 @@ func Pipe(clk sim.Clock, latency time.Duration) (a, b Conn) {
 }
 
 func (e *pipeEnd) Send(m of.Message) error {
+	return e.send([]of.Message{m})
+}
+
+// SendBatch implements BatchSender: the whole batch rides one scheduled
+// delivery (messages keep their order and share the link latency).
+func (e *pipeEnd) SendBatch(ms []of.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	return e.send(ms)
+}
+
+func (e *pipeEnd) send(ms []of.Message) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return ErrClosed
 	}
 	peer := e.peer
+	seq := e.txSeq
+	e.txSeq++
 	e.mu.Unlock()
-	e.clock.After(e.latency, func() { peer.deliver(m) })
+	e.clock.After(e.latency, func() { peer.arrive(seq, ms) })
 	return nil
 }
 
-func (e *pipeEnd) deliver(m of.Message) {
+// arrive accepts one send's messages at the receiving end and releases
+// pending arrivals in stamp order. The first goroutine in becomes the
+// drainer; later (possibly earlier-stamped) arrivals just park their
+// payload and leave, so handlers run in order on exactly one goroutine at
+// a time.
+func (e *pipeEnd) arrive(seq uint64, ms []of.Message) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return
 	}
-	h := e.handler
-	if h == nil {
-		e.backlog = append(e.backlog, m)
+	if e.rxPend == nil {
+		e.rxPend = make(map[uint64][]of.Message)
+	}
+	e.rxPend[seq] = ms
+	if e.delivering {
 		e.mu.Unlock()
 		return
 	}
+	e.delivering = true
+	for !e.closed {
+		due, ok := e.rxPend[e.rxNext]
+		if !ok {
+			break
+		}
+		delete(e.rxPend, e.rxNext)
+		e.rxNext++
+		h := e.handler
+		if h == nil {
+			e.backlog = append(e.backlog, due...)
+			continue
+		}
+		e.mu.Unlock()
+		for _, m := range due {
+			h(m)
+		}
+		e.mu.Lock()
+	}
+	e.delivering = false
 	e.mu.Unlock()
-	h(m)
 }
 
 func (e *pipeEnd) SetHandler(h Handler) {
@@ -194,6 +259,18 @@ func (c *tcpConn) Send(m of.Message) error {
 	case <-c.done:
 		return ErrClosed
 	}
+}
+
+// SendBatch implements BatchSender over the writer channel; the batch
+// stays in order because Send is the only producer path and the caller
+// owns batch ordering.
+func (c *tcpConn) SendBatch(ms []of.Message) error {
+	for _, m := range ms {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *tcpConn) SetHandler(h Handler) {

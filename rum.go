@@ -74,6 +74,7 @@ package rum
 
 import (
 	"rum/internal/core"
+	"rum/internal/netsim"
 	"rum/internal/of"
 	"rum/internal/packet"
 	"rum/internal/sim"
@@ -182,6 +183,31 @@ type TopoLink = core.TopoLink
 
 // NewTopology builds a topology from a link list.
 func NewTopology(links []TopoLink) *Topology { return core.NewTopology(links) }
+
+// FatTree is a generated k-ary fat-tree switch fabric — the
+// datacenter-scale workload's topology ((k/2)² core switches plus k pods
+// of k/2 aggregation and k/2 edge switches; 80 switches at k=8).
+type FatTree = netsim.FatTree
+
+// NewFatTree generates a k-ary fat-tree fabric description (k even, in
+// [2, 16]).
+func NewFatTree(k int) (*FatTree, error) { return netsim.NewFatTree(k) }
+
+// FatTreeTopology expands a fat-tree fabric into RUM's topology map plus
+// the switch identity list a TCP proxy deployment expects, with datapath
+// ids assigned 1..N in FatTree.Switches order.
+func FatTreeTopology(ft *FatTree) (*Topology, []SwitchIdentity) {
+	links := make([]TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		links[i] = TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	names := ft.Switches()
+	ids := make([]SwitchIdentity, len(names))
+	for i, name := range names {
+		ids[i] = SwitchIdentity{DPID: uint64(i + 1), Name: name}
+	}
+	return NewTopology(links), ids
+}
 
 // RUM is a deployment of the monitoring layer across a set of switches.
 type RUM = core.RUM
