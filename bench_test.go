@@ -12,9 +12,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"rum/internal/hsa"
 	"rum/internal/metrics"
 	"rum/internal/of"
+	"rum/internal/sim"
 	"rum/internal/transport"
 )
 
@@ -335,9 +338,12 @@ func runWallChurn(b *testing.B, nSwitches, updatesPerSwitch int, unsharded bool)
 		rumSide, swSide := transport.Pipe(clk, 0)
 		swSide.SetHandler(func(m Message) {
 			if br, ok := m.(*BarrierRequest); ok {
-				rep := &BarrierReply{}
+				rep := of.AcquireBarrierReply()
 				rep.SetXID(br.GetXID())
 				_ = swSide.Send(rep)
+				// The served request is dead (RUM tracks barriers by xid);
+				// recycle it like a real switch would.
+				of.Release(br)
 			}
 		})
 		ctrlTop.SetHandler(func(Message) {})
@@ -522,4 +528,262 @@ func BenchmarkSimThroughput(b *testing.B) {
 	b.ResetTimer()
 	s.After(time.Microsecond, tick)
 	s.Run()
+}
+
+// --- Wire-path benchmarks (zero-allocation codec + coalescing writer) ---
+
+// runWireThroughput drives FlowMod batches through a loopback TCP pair in
+// the given transport mode, flow-controlled by barrier echoes, and
+// returns sustained updates/sec. The server decodes every frame (pooled
+// reader + pooled structs) and answers each batch's barrier; both sides
+// run the same mode so the measured difference is purely the wire path.
+func runWireThroughput(b *testing.B, unbuffered bool) float64 {
+	b.Helper()
+	client, server := wireLoopbackPair(b, unbuffered)
+	defer client.Close()
+	defer server.Close()
+
+	canRecycleEcho := transport.EncodesFrames(server)
+	server.SetHandler(func(m Message) {
+		switch mm := m.(type) {
+		case *of.FlowMod:
+			of.Release(mm)
+		case *of.BarrierRequest:
+			rep := of.AcquireBarrierReply()
+			rep.SetXID(mm.GetXID())
+			_ = server.Send(rep)
+			if canRecycleEcho {
+				// The coalescing conn encoded the reply during Send, so
+				// ownership is back with us; the unbuffered conn still
+				// holds it in its queue.
+				of.Release(rep)
+			}
+			of.Release(mm)
+		}
+	})
+	replies := make(chan struct{}, 64)
+	client.SetHandler(func(m Message) {
+		if rep, ok := m.(*BarrierReply); ok {
+			of.Release(rep)
+			replies <- struct{}{}
+		}
+	})
+
+	const (
+		batchSize = 64
+		batches   = 512
+		window    = 8 // barrier round trips in flight
+	)
+	// One reusable template batch: the coalescing conn serializes frames
+	// during SendBatch, so the structs are reusable immediately; the
+	// unbuffered conn queues them, but they are never mutated.
+	batch := make([]Message, 0, batchSize+1)
+	for i := 0; i < batchSize; i++ {
+		fm := &FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone,
+			Actions: []of.Action{of.ActionSetNWTOS{TOS: 4}, of.ActionOutput{Port: 2}}}
+		fm.SetXID(uint32(i + 1))
+		batch = append(batch, fm)
+	}
+	bs := client.(transport.BatchSender)
+	start := time.Now()
+	inflight := 0
+	for k := 0; k < batches; k++ {
+		if inflight == window {
+			<-replies
+			inflight--
+		}
+		br := &BarrierRequest{}
+		br.SetXID(uint32(0x1000 + k))
+		if err := bs.SendBatch(append(batch, br)); err != nil {
+			b.Fatalf("send batch %d: %v", k, err)
+		}
+		inflight++
+	}
+	for ; inflight > 0; inflight-- {
+		<-replies
+	}
+	elapsed := time.Since(start)
+	return float64(batches*batchSize) / elapsed.Seconds()
+}
+
+// wireLoopbackPair builds a connected loopback TCP transport pair.
+func wireLoopbackPair(b *testing.B, unbuffered bool) (client, server transport.Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- nc
+	}()
+	cnc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snc, ok := <-accepted
+	if !ok {
+		b.Fatal("accept failed")
+	}
+	mk := transport.NewTCP
+	if unbuffered {
+		mk = transport.NewTCPUnbuffered
+	}
+	return mk(cnc), mk(snc)
+}
+
+// measureWireAllocs measures steady-state allocations per frame on the
+// encode+send path of the coalescing conn: actionless FlowMods (action
+// decode necessarily boxes interface values on the *receiving* side, and
+// the receiver shares this process) plus one barrier per round, window 1,
+// every decoded struct recycled. The whole pipeline — MarshalAppend into
+// the recycled write buffer, one coalesced Write, pooled decode, pooled
+// barrier echo — is allocation-free once warm.
+func measureWireAllocs(b *testing.B) float64 {
+	b.Helper()
+	client, server := wireLoopbackPair(b, false)
+	defer client.Close()
+	defer server.Close()
+
+	canRecycleEcho := transport.EncodesFrames(server)
+	server.SetHandler(func(m Message) {
+		switch mm := m.(type) {
+		case *of.FlowMod:
+			of.Release(mm)
+		case *of.BarrierRequest:
+			rep := of.AcquireBarrierReply()
+			rep.SetXID(mm.GetXID())
+			_ = server.Send(rep)
+			if canRecycleEcho {
+				// The coalescing conn encoded the reply during Send, so
+				// ownership is back with us; the unbuffered conn still
+				// holds it in its queue.
+				of.Release(rep)
+			}
+			of.Release(mm)
+		}
+	})
+	replies := make(chan struct{}, 1)
+	client.SetHandler(func(m Message) {
+		if rep, ok := m.(*BarrierReply); ok {
+			of.Release(rep)
+			replies <- struct{}{}
+		}
+	})
+
+	const batchSize = 64
+	batch := make([]Message, 0, batchSize+1)
+	for i := 0; i < batchSize; i++ {
+		fm := &FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone}
+		fm.SetXID(uint32(i + 1))
+		batch = append(batch, fm)
+	}
+	br := &BarrierRequest{}
+	br.SetXID(0xbead)
+	batch = append(batch, br)
+	bs := client.(transport.BatchSender)
+	round := func() {
+		if err := bs.SendBatch(batch); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+		<-replies
+	}
+	// Warm the pools and the write-buffer free list before measuring.
+	for i := 0; i < 32; i++ {
+		round()
+	}
+	perRound := testing.AllocsPerRun(200, round)
+	return perRound / float64(batchSize)
+}
+
+// BenchmarkWireThroughput is the zero-allocation wire-path acceptance
+// benchmark: loopback TCP, updates/sec for the historical unbuffered
+// one-Write-per-frame path vs the coalescing writer, plus steady-state
+// allocs per encoded+sent frame. cmd/benchcheck gates the coalescing
+// speedup (≥1.3x absolute) and the alloc count (0 per op) against
+// BENCH_baseline.json.
+func BenchmarkWireThroughput(b *testing.B) {
+	var unbuf, coal float64
+	b.Run("unbuffered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			unbuf = runWireThroughput(b, true)
+		}
+		b.ReportMetric(unbuf, "updates/s")
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coal = runWireThroughput(b, false)
+		}
+		b.ReportMetric(coal, "updates/s")
+	})
+	allocs := 0.0
+	b.Run("allocs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			allocs = measureWireAllocs(b)
+		}
+		b.ReportMetric(allocs, "allocs/frame")
+	})
+	if unbuf == 0 || coal == 0 {
+		return // sub-benchmark filtered out; nothing to record
+	}
+	speedup := coal / unbuf
+	b.ReportMetric(speedup, "x_speedup")
+	benchRecord("WireThroughput", map[string]float64{
+		"updates":                    512 * 64,
+		"unbuffered_updates_per_sec": unbuf,
+		"coalesced_updates_per_sec":  coal,
+		"coalesce_speedup":           speedup,
+		"encode_send_allocs_per_op":  allocs,
+	})
+}
+
+// BenchmarkTimerWheel loads the wall-clock deadline wheel with well over
+// 100k concurrent pending deadlines — the timeout/adaptive strategies'
+// worst case under datacenter churn — and measures schedule throughput
+// and full drain.
+func BenchmarkTimerWheel(b *testing.B) {
+	const timers = 120000
+	var schedPerSec float64
+	var maxPending int
+	for i := 0; i < b.N; i++ {
+		w := sim.NewWheel(time.Millisecond)
+		var fired atomic.Int64
+		done := make(chan struct{})
+		start := time.Now()
+		for j := 0; j < timers; j++ {
+			// All deadlines far enough out that every timer is pending at
+			// once, spread across two wheel levels.
+			d := 150*time.Millisecond + time.Duration(j%350)*time.Millisecond
+			w.Schedule(d, func() {
+				if fired.Add(1) == timers {
+					close(done)
+				}
+			})
+		}
+		schedPerSec = float64(timers) / time.Since(start).Seconds()
+		maxPending = w.Pending()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			b.Fatalf("wheel drained %d/%d timers", fired.Load(), timers)
+		}
+	}
+	if maxPending < 100000 {
+		b.Fatalf("only %d deadlines concurrently pending, want >= 100000", maxPending)
+	}
+	b.ReportMetric(schedPerSec, "schedule/s")
+	b.ReportMetric(float64(maxPending), "max_pending")
+	benchRecord("TimerWheel", map[string]float64{
+		"timers":           timers,
+		"max_pending":      float64(maxPending),
+		"schedule_per_sec": schedPerSec,
+	})
 }

@@ -9,18 +9,23 @@
 // (e.g. a wall-clock latency tail) to keep it informational. Direction is
 // inferred from the metric name:
 //
-//   - *_per_sec and speedup: higher is better; fail below
+//   - *_per_sec and *speedup: higher is better; fail below
 //     baseline×(1−tolerance);
 //   - *_ms: lower is better; fail above baseline×(1+tolerance);
-//   - anything else (switches, updates — workload sizes): fail below
-//     baseline (the workload must not silently shrink).
+//   - *_allocs_per_op: lower is better; fail above
+//     baseline×(1+tolerance) — a zero baseline therefore demands exactly
+//     zero allocations (the zero-alloc wire path's acceptance gate);
+//   - anything else (switches, updates, timers — workload sizes): fail
+//     below baseline (the workload must not silently shrink).
 //
-// The sharding acceptance gate is separate and absolute: the
-// ShardContention speedup must stay ≥ -min-speedup regardless of what
-// the baseline says.
+// Two acceptance gates are separate and absolute, regardless of what the
+// baseline says: the ShardContention speedup must stay ≥ -min-speedup,
+// and the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
+// (the coalescing writer must beat the unbuffered path by ≥30%).
 //
 // Usage: go run ./cmd/benchcheck [-baseline BENCH_baseline.json]
 // [-results BENCH_results.json] [-tolerance 0.20] [-min-speedup 2.0]
+// [-min-wire-speedup 1.3]
 package main
 
 import (
@@ -57,6 +62,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed relative regression per metric")
 	minSpeedup := flag.Float64("min-speedup", 2.0,
 		"absolute floor for the ShardContention sharded/unsharded speedup (0 disables)")
+	minWireSpeedup := flag.Float64("min-wire-speedup", 1.3,
+		"absolute floor for the WireThroughput coalesced/unbuffered speedup (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -96,7 +103,7 @@ func main() {
 				continue
 			}
 			switch {
-			case strings.HasSuffix(m, "_per_sec") || m == "speedup":
+			case strings.HasSuffix(m, "_per_sec") || strings.HasSuffix(m, "speedup"):
 				floor := want * (1 - *tolerance)
 				if got < floor {
 					fmt.Printf("FAIL %s.%s: %.2f < %.2f (baseline %.2f − %.0f%%)\n",
@@ -105,6 +112,15 @@ func main() {
 					continue
 				}
 				fmt.Printf("ok   %s.%s: %.2f (baseline %.2f)\n", name, m, got, want)
+			case strings.HasSuffix(m, "_allocs_per_op"):
+				ceil := want * (1 + *tolerance)
+				if got > ceil {
+					fmt.Printf("FAIL %s.%s: %.4f allocs/op > %.4f (baseline %.4f + %.0f%%)\n",
+						name, m, got, ceil, want, *tolerance*100)
+					failures++
+					continue
+				}
+				fmt.Printf("ok   %s.%s: %.4f allocs/op (baseline %.4f)\n", name, m, got, want)
 			case strings.HasSuffix(m, "_ms"):
 				ceil := want * (1 + *tolerance)
 				if got > ceil {
@@ -137,6 +153,21 @@ func main() {
 			failures++
 		} else {
 			fmt.Printf("ok   ShardContention.speedup: %.2fx (≥ %.2fx required)\n", speedup, *minSpeedup)
+		}
+	}
+
+	if *minWireSpeedup > 0 {
+		wt, ok := results.Benchmarks["WireThroughput"]
+		speedup, has := wt["coalesce_speedup"]
+		if !ok || !has {
+			fmt.Println("FAIL WireThroughput.coalesce_speedup: missing from results")
+			failures++
+		} else if speedup < *minWireSpeedup {
+			fmt.Printf("FAIL WireThroughput.coalesce_speedup: %.2fx < required %.2fx (coalescing writer regressed)\n",
+				speedup, *minWireSpeedup)
+			failures++
+		} else {
+			fmt.Printf("ok   WireThroughput.coalesce_speedup: %.2fx (≥ %.2fx required)\n", speedup, *minWireSpeedup)
 		}
 	}
 

@@ -21,6 +21,12 @@
 //
 //	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
 //	  -fattree 8 -technique sequential -barrier-layer
+//
+// -pprof ADDR serves net/http/pprof so wire-path CPU and allocation
+// profiles can be captured from a live proxy:
+//
+//	rumproxy ... -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: live wire-path profiles
 	"strconv"
 	"strings"
 	"time"
@@ -52,7 +60,18 @@ func main() {
 	barrierLayer := flag.Bool("barrier-layer", false, "enable the reliable barrier layer")
 	buffer := flag.Bool("buffer", false, "buffer commands after unconfirmed barriers (reordering switches)")
 	rumAware := flag.Bool("acks", true, "emit fine-grained RUM acks to the controller")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) for live wire-path profiles")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("rumproxy: pprof at http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rumproxy: pprof server: %v", err)
+			}
+		}()
+	}
 
 	var switches []rum.SwitchIdentity
 	var topo *rum.Topology

@@ -70,12 +70,20 @@ func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 		// shard's outbox stands in for all of them (a later barrier's
 		// reply is the stronger signal); synthesize the swallowed replies
 		// so strategies observe every barrier they emitted, oldest first.
+		// Synthesized replies live exactly for the strategy callback, so
+		// they cycle through the codec pool.
 		for _, dx := range a.sess.shard.takeCoalesced(mm.GetXID()) {
-			synth := &of.BarrierReply{}
+			synth := of.AcquireBarrierReply()
 			synth.SetXID(dx)
 			a.sess.strat.OnBarrierReply(synth)
+			of.Release(synth)
 		}
 		if a.sess.strat.OnBarrierReply(mm) {
+			// Strategies only ever claim replies to their own barriers:
+			// the reply is consumed here, was never forwarded, and no one
+			// upstream retains it (switches reply-and-forget, strategies
+			// keep xids, not pointers) — recycle it.
+			of.Release(mm)
 			return
 		}
 	case *of.PacketIn:
@@ -95,8 +103,12 @@ func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 		}
 	}
 	// Suppress replies to RUM-generated messages that the strategy did
-	// not claim (errors for probe rules, stray barrier replies).
+	// not claim (errors for probe rules, stray barrier replies). This is
+	// their final consumption point, so poolable ones are recycled;
+	// PacketIns are exempt from both the suppression and the release —
+	// probe handling may retain them.
 	if IsRUMXID(m.GetXID()) && m.MsgType() != of.TypePacketIn {
+		of.Release(m)
 		return
 	}
 	ctx.ToController(m)

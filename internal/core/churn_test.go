@@ -61,7 +61,7 @@ func TestMixedStrategyChurn32Switches(t *testing.T) {
 		// Echo switch: answer every barrier instantly.
 		swSide.SetHandler(func(m of.Message) {
 			if br, ok := m.(*of.BarrierRequest); ok {
-				rep := &of.BarrierReply{}
+				rep := of.AcquireBarrierReply()
 				rep.SetXID(br.GetXID())
 				_ = swSide.Send(rep)
 			}
@@ -157,7 +157,7 @@ func TestWallClockDetachReattach(t *testing.T) {
 		rumSide, swSide := transport.Pipe(clk, 0)
 		swSide.SetHandler(func(m of.Message) {
 			if br, ok := m.(*of.BarrierRequest); ok {
-				rep := &of.BarrierReply{}
+				rep := of.AcquireBarrierReply()
 				rep.SetXID(br.GetXID())
 				_ = swSide.Send(rep)
 			}

@@ -276,11 +276,13 @@ const (
 
 // rumXIDBase marks transaction ids RUM generates for its own messages;
 // replies carrying them are consumed by RUM and never reach the
-// controller. Controllers must allocate xids below this base.
-const rumXIDBase uint32 = 0xf0000000
+// controller. Controllers must allocate xids below this base. The range
+// itself is defined next to the wire protocol (of.RUMXIDBase) so
+// switch-side code can recognize RUM traffic without importing core.
+const rumXIDBase = of.RUMXIDBase
 
 // IsRUMXID reports whether an xid belongs to RUM's reserved range.
-func IsRUMXID(x uint32) bool { return x >= rumXIDBase }
+func IsRUMXID(x uint32) bool { return of.IsRUMXID(x) }
 
 // RUM is one deployment of the monitoring layer across a set of switches.
 //
@@ -496,13 +498,28 @@ func (s *session) sendToSwitchNow(m of.Message) { _ = s.swConn.Send(m) }
 
 // sendBatchToSwitchNow writes a whole flushed batch to the switch
 // connection, in one transport operation when the conn supports it.
+//
+// This is the shard pump's pool release point: on conns that serialize
+// frames during the send (TCP), RUM regains exclusive ownership of its
+// own barrier requests the moment the call returns — nothing else ever
+// references them (strategies track barriers by xid only) — so they go
+// back to the codec pool. On pipes the structs travel by pointer and the
+// receiving switch releases them instead.
 func (s *session) sendBatchToSwitchNow(ms []of.Message) {
 	if bs, ok := s.swConn.(transport.BatchSender); ok {
 		_ = bs.SendBatch(ms)
+	} else {
+		for _, m := range ms {
+			_ = s.swConn.Send(m)
+		}
+	}
+	if !transport.EncodesFrames(s.swConn) {
 		return
 	}
 	for _, m := range ms {
-		_ = s.swConn.Send(m)
+		if br, ok := m.(*of.BarrierRequest); ok && IsRUMXID(br.GetXID()) {
+			of.Release(br)
+		}
 	}
 }
 

@@ -360,7 +360,7 @@ func (t *generalSwitch) buildDropProbe(u *Update, rule hsa.Rule, table []hsa.Rul
 // techniques").
 func (t *generalSwitch) fallback(u *Update) {
 	t.sc.NoteFallback(u)
-	br := &of.BarrierRequest{}
+	br := of.AcquireBarrierRequest()
 	xid := t.sc.NewXID()
 	br.SetXID(xid)
 	t.mu.Lock()

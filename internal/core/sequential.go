@@ -431,7 +431,7 @@ func (t *sequentialSwitch) flush() {
 	t.lastEpoch = epoch
 	t.mu.Unlock()
 
-	br := &of.BarrierRequest{}
+	br := of.AcquireBarrierRequest()
 	br.SetXID(t.sc.NewXID())
 	t.sc.SendToSwitch(br)
 	t.sc.SendToSwitch(t.probeRuleMod(epoch.tos))

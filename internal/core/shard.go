@@ -181,6 +181,10 @@ func (sh *shard) coalesceBarriersLocked(keptXID uint32) {
 			dropped = append(dropped, sh.coalesced[br.GetXID()]...)
 			delete(sh.coalesced, br.GetXID())
 			dropped = append(dropped, br.GetXID())
+			// The swallowed barrier never reaches the wire and the outbox
+			// was its only reference (strategies remember xids, not
+			// structs): recycle it.
+			of.Release(br)
 			continue
 		}
 		kept = append(kept, q)

@@ -41,7 +41,7 @@ func newShardBed(t *testing.T, cfg Config, latency time.Duration) *shardBed {
 		if br, ok := m.(*of.BarrierRequest); ok {
 			bed.barriers++
 			if bed.echo {
-				rep := &of.BarrierReply{}
+				rep := of.AcquireBarrierReply()
 				rep.SetXID(br.GetXID())
 				_ = swSide.Send(rep)
 			}
@@ -181,7 +181,7 @@ func TestDetachFailsInFlightBatch(t *testing.T) {
 	rumSide, swSide := transport.Pipe(bed.sim, 0)
 	swSide.SetHandler(func(m of.Message) {
 		if br, ok := m.(*of.BarrierRequest); ok {
-			rep := &of.BarrierReply{}
+			rep := of.AcquireBarrierReply()
 			rep.SetXID(br.GetXID())
 			_ = swSide.Send(rep)
 		}

@@ -82,7 +82,7 @@ type barrierSwitch struct {
 
 func (t *barrierSwitch) OnFlowMod(u *Update) {
 	if t.sc.Config().Unsharded {
-		br := &of.BarrierRequest{}
+		br := of.AcquireBarrierRequest()
 		xid := t.sc.NewXID()
 		br.SetXID(xid)
 		t.mu.Lock()
@@ -107,7 +107,7 @@ func (t *barrierSwitch) OnFlowMod(u *Update) {
 // emitBarrier sends the one barrier covering every FlowMod observed since
 // the last emission.
 func (t *barrierSwitch) emitBarrier() {
-	br := &of.BarrierRequest{}
+	br := of.AcquireBarrierRequest()
 	xid := t.sc.NewXID()
 	br.SetXID(xid)
 	t.mu.Lock()

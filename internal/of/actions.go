@@ -27,8 +27,15 @@ const (
 // Action is a single entry of a FlowMod/PacketOut action list.
 type Action interface {
 	ActionType() ActionType
-	// marshal appends the encoded action (with its type/len preamble).
+	// marshal appends the encoded action (with its type/len preamble) in
+	// place into buf: no intermediate buffers are allocated.
 	marshal(buf []byte) []byte
+}
+
+// putActionHeader writes the common ofp_action_header preamble.
+func putActionHeader(b []byte, t ActionType, l uint16) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(t))
+	binary.BigEndian.PutUint16(b[2:4], l)
 }
 
 // ActionOutput forwards the packet to a port. MaxLen limits the bytes sent
@@ -41,12 +48,11 @@ type ActionOutput struct {
 func (a ActionOutput) ActionType() ActionType { return ActOutput }
 
 func (a ActionOutput) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(ActOutput))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, ActOutput, 8)
 	binary.BigEndian.PutUint16(b[4:6], a.Port)
 	binary.BigEndian.PutUint16(b[6:8], a.MaxLen)
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionOutput) String() string { return fmt.Sprintf("output:%d", a.Port) }
@@ -57,11 +63,10 @@ type ActionSetVLANVID struct{ VID uint16 }
 func (a ActionSetVLANVID) ActionType() ActionType { return ActSetVLANVID }
 
 func (a ActionSetVLANVID) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetVLANVID))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, ActSetVLANVID, 8)
 	binary.BigEndian.PutUint16(b[4:6], a.VID)
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetVLANVID) String() string { return fmt.Sprintf("set_vlan_vid:%d", a.VID) }
@@ -72,11 +77,10 @@ type ActionSetVLANPCP struct{ PCP uint8 }
 func (a ActionSetVLANPCP) ActionType() ActionType { return ActSetVLANPCP }
 
 func (a ActionSetVLANPCP) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetVLANPCP))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, ActSetVLANPCP, 8)
 	b[4] = a.PCP
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetVLANPCP) String() string { return fmt.Sprintf("set_vlan_pcp:%d", a.PCP) }
@@ -87,10 +91,9 @@ type ActionStripVLAN struct{}
 func (ActionStripVLAN) ActionType() ActionType { return ActStripVLAN }
 
 func (ActionStripVLAN) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(ActStripVLAN))
-	binary.BigEndian.PutUint16(b[2:4], 8)
-	return append(buf, b...)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, ActStripVLAN, 8)
+	return buf
 }
 
 func (ActionStripVLAN) String() string { return "strip_vlan" }
@@ -109,11 +112,10 @@ func (a ActionSetDLAddr) ActionType() ActionType {
 }
 
 func (a ActionSetDLAddr) marshal(buf []byte) []byte {
-	b := make([]byte, 16)
-	binary.BigEndian.PutUint16(b[0:2], uint16(a.ActionType()))
-	binary.BigEndian.PutUint16(b[2:4], 16)
+	buf, b := grow(buf, 16)
+	putActionHeader(b, a.ActionType(), 16)
 	copy(b[4:10], a.Addr[:])
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetDLAddr) String() string {
@@ -137,11 +139,10 @@ func (a ActionSetNWAddr) ActionType() ActionType {
 }
 
 func (a ActionSetNWAddr) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(a.ActionType()))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, a.ActionType(), 8)
 	copy(b[4:8], a.Addr[:])
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetNWAddr) String() string {
@@ -159,11 +160,10 @@ type ActionSetNWTOS struct{ TOS uint8 }
 func (a ActionSetNWTOS) ActionType() ActionType { return ActSetNWTOS }
 
 func (a ActionSetNWTOS) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(ActSetNWTOS))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, ActSetNWTOS, 8)
 	b[4] = a.TOS
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetNWTOS) String() string { return fmt.Sprintf("set_nw_tos:%d", a.TOS) }
@@ -182,11 +182,10 @@ func (a ActionSetTPPort) ActionType() ActionType {
 }
 
 func (a ActionSetTPPort) marshal(buf []byte) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:2], uint16(a.ActionType()))
-	binary.BigEndian.PutUint16(b[2:4], 8)
+	buf, b := grow(buf, 8)
+	putActionHeader(b, a.ActionType(), 8)
 	binary.BigEndian.PutUint16(b[4:6], a.Port)
-	return append(buf, b...)
+	return buf
 }
 
 func (a ActionSetTPPort) String() string {
@@ -197,18 +196,29 @@ func (a ActionSetTPPort) String() string {
 	return fmt.Sprintf("set_tp_%s:%d", dir, a.Port)
 }
 
-// MarshalActions encodes an action list in wire format.
-func MarshalActions(actions []Action) []byte {
-	var buf []byte
+// AppendActions appends an action list's wire format to buf.
+func AppendActions(buf []byte, actions []Action) []byte {
 	for _, a := range actions {
 		buf = a.marshal(buf)
 	}
 	return buf
 }
 
+// MarshalActions encodes an action list into a fresh buffer.
+func MarshalActions(actions []Action) []byte {
+	return AppendActions(nil, actions)
+}
+
 // UnmarshalActions decodes a wire action list.
 func UnmarshalActions(buf []byte) ([]Action, error) {
-	var actions []Action
+	return UnmarshalActionsAppend(nil, buf)
+}
+
+// UnmarshalActionsAppend decodes a wire action list, appending the actions
+// to dst. Decoders that own a reusable message struct pass the struct's
+// existing slice truncated to zero so its capacity is reused.
+func UnmarshalActionsAppend(dst []Action, buf []byte) ([]Action, error) {
+	actions := dst
 	for len(buf) > 0 {
 		if len(buf) < 4 {
 			return nil, fmt.Errorf("of: truncated action header (%d bytes)", len(buf))

@@ -177,6 +177,13 @@ func (m *Match) Marshal() []byte {
 	return buf
 }
 
+// Append appends the 40-byte wire encoding to buf in place.
+func (m *Match) Append(buf []byte) []byte {
+	buf, b := grow(buf, MatchLen)
+	m.MarshalTo(b)
+	return buf
+}
+
 // MarshalTo encodes the match into buf, which must be at least MatchLen long.
 func (m *Match) MarshalTo(buf []byte) {
 	binary.BigEndian.PutUint32(buf[0:4], m.Wildcards)

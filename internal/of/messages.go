@@ -8,9 +8,9 @@ import (
 // Hello opens version negotiation.
 type Hello struct{ xid }
 
-func (*Hello) MsgType() MsgType                { return TypeHello }
-func (*Hello) MarshalBody() ([]byte, error)    { return nil, nil }
-func (*Hello) UnmarshalBody(data []byte) error { return nil }
+func (*Hello) MsgType() MsgType                      { return TypeHello }
+func (*Hello) AppendBody(buf []byte) ([]byte, error) { return buf, nil }
+func (*Hello) UnmarshalBody(data []byte) error       { return nil }
 
 // EchoRequest is a liveness probe; the payload is echoed back.
 type EchoRequest struct {
@@ -18,10 +18,12 @@ type EchoRequest struct {
 	Data []byte
 }
 
-func (*EchoRequest) MsgType() MsgType               { return TypeEchoRequest }
-func (m *EchoRequest) MarshalBody() ([]byte, error) { return m.Data, nil }
+func (*EchoRequest) MsgType() MsgType { return TypeEchoRequest }
+func (m *EchoRequest) AppendBody(buf []byte) ([]byte, error) {
+	return append(buf, m.Data...), nil
+}
 func (m *EchoRequest) UnmarshalBody(data []byte) error {
-	m.Data = append([]byte(nil), data...)
+	m.Data = append(m.Data[:0], data...)
 	return nil
 }
 
@@ -31,10 +33,12 @@ type EchoReply struct {
 	Data []byte
 }
 
-func (*EchoReply) MsgType() MsgType               { return TypeEchoReply }
-func (m *EchoReply) MarshalBody() ([]byte, error) { return m.Data, nil }
+func (*EchoReply) MsgType() MsgType { return TypeEchoReply }
+func (m *EchoReply) AppendBody(buf []byte) ([]byte, error) {
+	return append(buf, m.Data...), nil
+}
 func (m *EchoReply) UnmarshalBody(data []byte) error {
-	m.Data = append([]byte(nil), data...)
+	m.Data = append(m.Data[:0], data...)
 	return nil
 }
 
@@ -47,11 +51,10 @@ type Vendor struct {
 
 func (*Vendor) MsgType() MsgType { return TypeVendor }
 
-func (m *Vendor) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 4+len(m.Data))
-	binary.BigEndian.PutUint32(buf[0:4], m.VendorID)
-	copy(buf[4:], m.Data)
-	return buf, nil
+func (m *Vendor) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 4)
+	binary.BigEndian.PutUint32(b, m.VendorID)
+	return append(buf, m.Data...), nil
 }
 
 func (m *Vendor) UnmarshalBody(data []byte) error {
@@ -59,7 +62,7 @@ func (m *Vendor) UnmarshalBody(data []byte) error {
 		return fmt.Errorf("vendor body too short (%d)", len(data))
 	}
 	m.VendorID = binary.BigEndian.Uint32(data[0:4])
-	m.Data = append([]byte(nil), data[4:]...)
+	m.Data = append(m.Data[:0], data[4:]...)
 	return nil
 }
 
@@ -75,12 +78,11 @@ type Error struct {
 
 func (*Error) MsgType() MsgType { return TypeError }
 
-func (m *Error) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 4+len(m.Data))
-	binary.BigEndian.PutUint16(buf[0:2], m.ErrType)
-	binary.BigEndian.PutUint16(buf[2:4], m.Code)
-	copy(buf[4:], m.Data)
-	return buf, nil
+func (m *Error) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 4)
+	binary.BigEndian.PutUint16(b[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(b[2:4], m.Code)
+	return append(buf, m.Data...), nil
 }
 
 func (m *Error) UnmarshalBody(data []byte) error {
@@ -89,7 +91,7 @@ func (m *Error) UnmarshalBody(data []byte) error {
 	}
 	m.ErrType = binary.BigEndian.Uint16(data[0:2])
 	m.Code = binary.BigEndian.Uint16(data[2:4])
-	m.Data = append([]byte(nil), data[4:]...)
+	m.Data = append(m.Data[:0], data[4:]...)
 	return nil
 }
 
@@ -113,9 +115,9 @@ func NewRUMAck(ackedXID uint32, code uint16) *Error {
 // FeaturesRequest asks the switch for its datapath description.
 type FeaturesRequest struct{ xid }
 
-func (*FeaturesRequest) MsgType() MsgType                { return TypeFeaturesRequest }
-func (*FeaturesRequest) MarshalBody() ([]byte, error)    { return nil, nil }
-func (*FeaturesRequest) UnmarshalBody(data []byte) error { return nil }
+func (*FeaturesRequest) MsgType() MsgType                      { return TypeFeaturesRequest }
+func (*FeaturesRequest) AppendBody(buf []byte) ([]byte, error) { return buf, nil }
+func (*FeaturesRequest) UnmarshalBody(data []byte) error       { return nil }
 
 // PhyPort describes one physical port (ofp_phy_port, 48 bytes).
 type PhyPort struct {
@@ -133,12 +135,15 @@ type PhyPort struct {
 const phyPortLen = 48
 
 func (p *PhyPort) marshal(buf []byte) []byte {
-	b := make([]byte, phyPortLen)
+	buf, b := grow(buf, phyPortLen)
 	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
 	copy(b[2:8], p.HWAddr[:])
-	copy(b[8:24], p.Name) // zero padded, truncated at 16
+	// Names are zero padded and always NUL terminated on the wire, so at
+	// most 15 name bytes survive encoding — matching what the decoder
+	// accepts.
+	copy(b[8:24], p.Name)
 	if len(p.Name) >= 16 {
-		b[23] = 0 // keep NUL terminated
+		b[23] = 0
 	}
 	binary.BigEndian.PutUint32(b[24:28], p.Config)
 	binary.BigEndian.PutUint32(b[28:32], p.State)
@@ -146,7 +151,7 @@ func (p *PhyPort) marshal(buf []byte) []byte {
 	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
 	binary.BigEndian.PutUint32(b[40:44], p.Supported)
 	binary.BigEndian.PutUint32(b[44:48], p.Peer)
-	return append(buf, b...)
+	return buf
 }
 
 func unmarshalPhyPort(b []byte) (PhyPort, error) {
@@ -156,7 +161,10 @@ func unmarshalPhyPort(b []byte) (PhyPort, error) {
 	}
 	p.PortNo = binary.BigEndian.Uint16(b[0:2])
 	copy(p.HWAddr[:], b[2:8])
-	name := b[8:24]
+	// The name field is NUL-terminated on the wire; cap unterminated
+	// (non-conforming) input at 15 bytes — the longest name the encoder
+	// can represent — so decode→encode→decode is a fixed point.
+	name := b[8:23]
 	for i, c := range name {
 		if c == 0 {
 			name = name[:i]
@@ -186,13 +194,13 @@ type FeaturesReply struct {
 
 func (*FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
 
-func (m *FeaturesReply) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 24)
-	binary.BigEndian.PutUint64(buf[0:8], m.DatapathID)
-	binary.BigEndian.PutUint32(buf[8:12], m.NBuffers)
-	buf[12] = m.NTables
-	binary.BigEndian.PutUint32(buf[16:20], m.Capabilities)
-	binary.BigEndian.PutUint32(buf[20:24], m.Actions)
+func (m *FeaturesReply) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 24)
+	binary.BigEndian.PutUint64(b[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(b[8:12], m.NBuffers)
+	b[12] = m.NTables
+	binary.BigEndian.PutUint32(b[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(b[20:24], m.Actions)
 	for i := range m.Ports {
 		buf = m.Ports[i].marshal(buf)
 	}
@@ -227,9 +235,9 @@ func (m *FeaturesReply) UnmarshalBody(data []byte) error {
 // GetConfigRequest asks for the switch configuration.
 type GetConfigRequest struct{ xid }
 
-func (*GetConfigRequest) MsgType() MsgType                { return TypeGetConfigRequest }
-func (*GetConfigRequest) MarshalBody() ([]byte, error)    { return nil, nil }
-func (*GetConfigRequest) UnmarshalBody(data []byte) error { return nil }
+func (*GetConfigRequest) MsgType() MsgType                      { return TypeGetConfigRequest }
+func (*GetConfigRequest) AppendBody(buf []byte) ([]byte, error) { return buf, nil }
+func (*GetConfigRequest) UnmarshalBody(data []byte) error       { return nil }
 
 // SwitchConfig carries flags and miss_send_len (shared by Get/Set config).
 type SwitchConfig struct {
@@ -237,10 +245,10 @@ type SwitchConfig struct {
 	MissSendLen uint16
 }
 
-func (c *SwitchConfig) marshalConfig() ([]byte, error) {
-	buf := make([]byte, 4)
-	binary.BigEndian.PutUint16(buf[0:2], c.Flags)
-	binary.BigEndian.PutUint16(buf[2:4], c.MissSendLen)
+func (c *SwitchConfig) appendConfig(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 4)
+	binary.BigEndian.PutUint16(b[0:2], c.Flags)
+	binary.BigEndian.PutUint16(b[2:4], c.MissSendLen)
 	return buf, nil
 }
 
@@ -259,9 +267,9 @@ type GetConfigReply struct {
 	SwitchConfig
 }
 
-func (*GetConfigReply) MsgType() MsgType                  { return TypeGetConfigReply }
-func (m *GetConfigReply) MarshalBody() ([]byte, error)    { return m.marshalConfig() }
-func (m *GetConfigReply) UnmarshalBody(data []byte) error { return m.unmarshalConfig(data) }
+func (*GetConfigReply) MsgType() MsgType                        { return TypeGetConfigReply }
+func (m *GetConfigReply) AppendBody(buf []byte) ([]byte, error) { return m.appendConfig(buf) }
+func (m *GetConfigReply) UnmarshalBody(data []byte) error       { return m.unmarshalConfig(data) }
 
 // SetConfig updates the switch configuration.
 type SetConfig struct {
@@ -269,9 +277,9 @@ type SetConfig struct {
 	SwitchConfig
 }
 
-func (*SetConfig) MsgType() MsgType                  { return TypeSetConfig }
-func (m *SetConfig) MarshalBody() ([]byte, error)    { return m.marshalConfig() }
-func (m *SetConfig) UnmarshalBody(data []byte) error { return m.unmarshalConfig(data) }
+func (*SetConfig) MsgType() MsgType                        { return TypeSetConfig }
+func (m *SetConfig) AppendBody(buf []byte) ([]byte, error) { return m.appendConfig(buf) }
+func (m *SetConfig) UnmarshalBody(data []byte) error       { return m.unmarshalConfig(data) }
 
 // PacketIn delivers a data-plane packet to the controller. RUM's probing
 // techniques receive probe packets back through PacketIns (§3.2).
@@ -286,14 +294,13 @@ type PacketIn struct {
 
 func (*PacketIn) MsgType() MsgType { return TypePacketIn }
 
-func (m *PacketIn) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 10+len(m.Data))
-	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
-	binary.BigEndian.PutUint16(buf[4:6], m.TotalLen)
-	binary.BigEndian.PutUint16(buf[6:8], m.InPort)
-	buf[8] = m.Reason
-	copy(buf[10:], m.Data)
-	return buf, nil
+func (m *PacketIn) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 10)
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(b[6:8], m.InPort)
+	b[8] = m.Reason
+	return append(buf, m.Data...), nil
 }
 
 func (m *PacketIn) UnmarshalBody(data []byte) error {
@@ -304,7 +311,7 @@ func (m *PacketIn) UnmarshalBody(data []byte) error {
 	m.TotalLen = binary.BigEndian.Uint16(data[4:6])
 	m.InPort = binary.BigEndian.Uint16(data[6:8])
 	m.Reason = data[8]
-	m.Data = append([]byte(nil), data[10:]...)
+	m.Data = append(m.Data[:0], data[10:]...)
 	return nil
 }
 
@@ -320,15 +327,15 @@ type PacketOut struct {
 
 func (*PacketOut) MsgType() MsgType { return TypePacketOut }
 
-func (m *PacketOut) MarshalBody() ([]byte, error) {
-	acts := MarshalActions(m.Actions)
-	buf := make([]byte, 8, 8+len(acts)+len(m.Data))
-	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
-	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
-	binary.BigEndian.PutUint16(buf[6:8], uint16(len(acts)))
-	buf = append(buf, acts...)
-	buf = append(buf, m.Data...)
-	return buf, nil
+func (m *PacketOut) AppendBody(buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf, b := grow(buf, 8)
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	buf = AppendActions(buf, m.Actions)
+	actLen := len(buf) - start - 8
+	binary.BigEndian.PutUint16(buf[start+6:start+8], uint16(actLen))
+	return append(buf, m.Data...), nil
 }
 
 func (m *PacketOut) UnmarshalBody(data []byte) error {
@@ -342,11 +349,11 @@ func (m *PacketOut) UnmarshalBody(data []byte) error {
 		return fmt.Errorf("packet_out actions_len %d exceeds body", actLen)
 	}
 	var err error
-	m.Actions, err = UnmarshalActions(data[8 : 8+actLen])
+	m.Actions, err = UnmarshalActionsAppend(m.Actions[:0], data[8:8+actLen])
 	if err != nil {
 		return err
 	}
-	m.Data = append([]byte(nil), data[8+actLen:]...)
+	m.Data = append(m.Data[:0], data[8+actLen:]...)
 	return nil
 }
 
@@ -367,11 +374,9 @@ type FlowMod struct {
 
 func (*FlowMod) MsgType() MsgType { return TypeFlowMod }
 
-func (m *FlowMod) MarshalBody() ([]byte, error) {
-	acts := MarshalActions(m.Actions)
-	buf := make([]byte, MatchLen+24+len(acts))
-	m.Match.MarshalTo(buf)
-	b := buf[MatchLen:]
+func (m *FlowMod) AppendBody(buf []byte) ([]byte, error) {
+	buf = m.Match.Append(buf)
+	buf, b := grow(buf, 24)
 	binary.BigEndian.PutUint64(b[0:8], m.Cookie)
 	binary.BigEndian.PutUint16(b[8:10], m.Command)
 	binary.BigEndian.PutUint16(b[10:12], m.IdleTimeout)
@@ -380,8 +385,7 @@ func (m *FlowMod) MarshalBody() ([]byte, error) {
 	binary.BigEndian.PutUint32(b[16:20], m.BufferID)
 	binary.BigEndian.PutUint16(b[20:22], m.OutPort)
 	binary.BigEndian.PutUint16(b[22:24], m.Flags)
-	copy(b[24:], acts)
-	return buf, nil
+	return AppendActions(buf, m.Actions), nil
 }
 
 func (m *FlowMod) UnmarshalBody(data []byte) error {
@@ -402,7 +406,7 @@ func (m *FlowMod) UnmarshalBody(data []byte) error {
 	m.BufferID = binary.BigEndian.Uint32(b[16:20])
 	m.OutPort = binary.BigEndian.Uint16(b[20:22])
 	m.Flags = binary.BigEndian.Uint16(b[22:24])
-	m.Actions, err = UnmarshalActions(b[24:])
+	m.Actions, err = UnmarshalActionsAppend(m.Actions[:0], b[24:])
 	return err
 }
 
@@ -438,10 +442,9 @@ type FlowRemoved struct {
 
 func (*FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
 
-func (m *FlowRemoved) MarshalBody() ([]byte, error) {
-	buf := make([]byte, MatchLen+40)
-	m.Match.MarshalTo(buf)
-	b := buf[MatchLen:]
+func (m *FlowRemoved) AppendBody(buf []byte) ([]byte, error) {
+	buf = m.Match.Append(buf)
+	buf, b := grow(buf, 40)
 	binary.BigEndian.PutUint64(b[0:8], m.Cookie)
 	binary.BigEndian.PutUint16(b[8:10], m.Priority)
 	b[10] = m.Reason
@@ -483,9 +486,9 @@ type PortStatus struct {
 
 func (*PortStatus) MsgType() MsgType { return TypePortStatus }
 
-func (m *PortStatus) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 8)
-	buf[0] = m.Reason
+func (m *PortStatus) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 8)
+	b[0] = m.Reason
 	return m.Desc.marshal(buf), nil
 }
 
@@ -504,13 +507,13 @@ func (m *PortStatus) UnmarshalBody(data []byte) error {
 // motivate this whole system.
 type BarrierRequest struct{ xid }
 
-func (*BarrierRequest) MsgType() MsgType                { return TypeBarrierRequest }
-func (*BarrierRequest) MarshalBody() ([]byte, error)    { return nil, nil }
-func (*BarrierRequest) UnmarshalBody(data []byte) error { return nil }
+func (*BarrierRequest) MsgType() MsgType                      { return TypeBarrierRequest }
+func (*BarrierRequest) AppendBody(buf []byte) ([]byte, error) { return buf, nil }
+func (*BarrierRequest) UnmarshalBody(data []byte) error       { return nil }
 
 // BarrierReply answers a BarrierRequest.
 type BarrierReply struct{ xid }
 
-func (*BarrierReply) MsgType() MsgType                { return TypeBarrierReply }
-func (*BarrierReply) MarshalBody() ([]byte, error)    { return nil, nil }
-func (*BarrierReply) UnmarshalBody(data []byte) error { return nil }
+func (*BarrierReply) MsgType() MsgType                      { return TypeBarrierReply }
+func (*BarrierReply) AppendBody(buf []byte) ([]byte, error) { return buf, nil }
+func (*BarrierReply) UnmarshalBody(data []byte) error       { return nil }

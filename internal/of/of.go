@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the only protocol version this package speaks.
@@ -55,7 +56,10 @@ const (
 	TypeQueueGetConfigReply   MsgType = 21
 )
 
-var msgTypeNames = map[MsgType]string{
+// msgTypeNames is a dense array indexed by MsgType: String sits on every
+// log and trace line, so the lookup must be a bounds check and a load, not
+// a map hash.
+var msgTypeNames = [...]string{
 	TypeHello:                 "HELLO",
 	TypeError:                 "ERROR",
 	TypeEchoRequest:           "ECHO_REQUEST",
@@ -81,8 +85,22 @@ var msgTypeNames = map[MsgType]string{
 }
 
 func (t MsgType) String() string {
-	if s, ok := msgTypeNames[t]; ok {
-		return s
+	// Fast paths for the message types that dominate traces: the compiler
+	// turns these into direct string constants with no table access.
+	switch t {
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeBarrierRequest:
+		return "BARRIER_REQUEST"
+	case TypeBarrierReply:
+		return "BARRIER_REPLY"
+	case TypePacketIn:
+		return "PACKET_IN"
+	case TypeError:
+		return "ERROR"
+	}
+	if int(t) < len(msgTypeNames) {
+		return msgTypeNames[t]
 	}
 	return fmt.Sprintf("OFPT(%d)", uint8(t))
 }
@@ -155,6 +173,15 @@ const (
 // BufferNone is the buffer_id meaning "not buffered".
 const BufferNone uint32 = 0xffffffff
 
+// RUMXIDBase marks the transaction-id range RUM reserves for its own
+// messages (§4 of the paper): replies carrying such xids are consumed by
+// the RUM layer and never reach the controller. Controllers must allocate
+// xids below this base.
+const RUMXIDBase uint32 = 0xf0000000
+
+// IsRUMXID reports whether an xid belongs to RUM's reserved range.
+func IsRUMXID(x uint32) bool { return x >= RUMXIDBase }
+
 // Header is the fixed 8-byte OpenFlow header present on every message.
 type Header struct {
 	Type MsgType
@@ -162,38 +189,73 @@ type Header struct {
 }
 
 // Message is implemented by every OpenFlow message struct in this package.
-// MarshalBody encodes everything after the 8-byte header; the framing layer
-// prepends version/type/length/xid.
+// AppendBody appends the encoding of everything after the 8-byte header;
+// the framing layer prepends version/type/length/xid (see MarshalAppend).
 type Message interface {
 	MsgType() MsgType
 	GetXID() uint32
 	SetXID(uint32)
-	MarshalBody() ([]byte, error)
+	// AppendBody appends the wire encoding of the message body to buf and
+	// returns the extended slice. Implementations write in place into
+	// caller-owned storage: a caller holding a buffer with enough capacity
+	// pays zero allocations.
+	AppendBody(buf []byte) ([]byte, error)
 	UnmarshalBody(data []byte) error
 }
 
-// Marshal encodes a full message (header + body) into wire format.
-func Marshal(m Message) ([]byte, error) {
-	body, err := m.MarshalBody()
+// grow extends buf by n zero bytes and returns the grown slice together
+// with the new n-byte region. Reused capacity is explicitly zeroed so that
+// encodings with pad bytes stay byte-identical to a fresh allocation.
+func grow(buf []byte, n int) ([]byte, []byte) {
+	l := len(buf)
+	if cap(buf) < l+n {
+		nb := make([]byte, l+n, 2*(l+n)+64)
+		copy(nb, buf)
+		return nb, nb[l:]
+	}
+	buf = buf[:l+n]
+	b := buf[l:]
+	for i := range b {
+		b[i] = 0
+	}
+	return buf, b
+}
+
+// MarshalAppend appends m's full wire encoding (header + body) to buf and
+// returns the extended slice. It is the zero-allocation encode primitive:
+// with sufficient capacity in buf, no memory is allocated.
+func MarshalAppend(buf []byte, m Message) ([]byte, error) {
+	start := len(buf)
+	buf, _ = grow(buf, HeaderLen)
+	buf, err := m.AppendBody(buf)
 	if err != nil {
-		return nil, err
+		return buf[:start], err
 	}
-	total := HeaderLen + len(body)
+	total := len(buf) - start
 	if total > MaxMessageLen {
-		return nil, fmt.Errorf("of: %s message length %d exceeds 16-bit length field", m.MsgType(), total)
+		return buf[:start], fmt.Errorf("of: %s message length %d exceeds 16-bit length field", m.MsgType(), total)
 	}
-	buf := make([]byte, total)
-	buf[0] = Version
-	buf[1] = byte(m.MsgType())
-	binary.BigEndian.PutUint16(buf[2:4], uint16(total))
-	binary.BigEndian.PutUint32(buf[4:8], m.GetXID())
-	copy(buf[HeaderLen:], body)
+	hdr := buf[start:]
+	hdr[0] = Version
+	hdr[1] = byte(m.MsgType())
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(total))
+	binary.BigEndian.PutUint32(hdr[4:8], m.GetXID())
 	return buf, nil
 }
 
+// Marshal encodes a full message (header + body) into a fresh buffer.
+func Marshal(m Message) ([]byte, error) {
+	return MarshalAppend(nil, m)
+}
+
 // Unmarshal decodes one complete wire message. data must contain exactly one
-// message (header length field == len(data)).
+// message (header length field == len(data)). Variable-length fields are
+// copied out of data, so the caller may reuse the buffer afterwards.
 func Unmarshal(data []byte) (Message, error) {
+	return unmarshal(data, false)
+}
+
+func unmarshal(data []byte, pooled bool) (Message, error) {
 	if len(data) < HeaderLen {
 		return nil, fmt.Errorf("of: message shorter than header (%d bytes)", len(data))
 	}
@@ -205,12 +267,20 @@ func Unmarshal(data []byte) (Message, error) {
 		return nil, fmt.Errorf("of: length field %d != buffer %d", length, len(data))
 	}
 	t := MsgType(data[1])
-	m := NewMessage(t)
+	var m Message
+	if pooled {
+		m = AcquireMessage(t)
+	} else {
+		m = NewMessage(t)
+	}
 	if m == nil {
 		return nil, fmt.Errorf("of: unknown message type %d", t)
 	}
 	m.SetXID(binary.BigEndian.Uint32(data[4:8]))
 	if err := m.UnmarshalBody(data[HeaderLen:]); err != nil {
+		if pooled {
+			Release(m)
+		}
 		return nil, fmt.Errorf("of: decoding %s body: %w", t, err)
 	}
 	return m, nil
@@ -281,14 +351,25 @@ func ReadMessage(r io.Reader) (Message, error) {
 	return Unmarshal(buf)
 }
 
-// WriteMessage marshals m and writes it to w.
+// WriteMessage marshals m and writes it to w in one Write, encoding
+// through a pooled scratch buffer.
 func WriteMessage(w io.Writer, m Message) error {
-	buf, err := Marshal(m)
-	if err != nil {
-		return err
+	bp := encodeBufPool.Get().(*[]byte)
+	buf, err := MarshalAppend((*bp)[:0], m)
+	if err == nil {
+		_, err = w.Write(buf)
 	}
-	_, err = w.Write(buf)
+	*bp = buf[:0]
+	encodeBufPool.Put(bp)
 	return err
+}
+
+// encodeBufPool recycles scratch encode buffers for WriteMessage.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
 // xid embeds the mutable transaction id shared by all messages.

@@ -1,0 +1,92 @@
+package of
+
+import "sync"
+
+// Message pooling for the wire hot path. FlowMods, barriers, PacketIns and
+// Errors dominate the controller channel during rule updates; recycling
+// their structs (and the action/data scratch hanging off them) keeps the
+// steady-state decode path from hammering the allocator.
+//
+// Ownership contract: Release hands the message back to the codec — the
+// caller must hold the only live reference. Messages travel by pointer
+// through in-memory pipes, so only the final consumer of a message may
+// release it, and only when it provably never escaped (RUM releases its
+// own barrier replies, for example, because they are consumed inside the
+// ack layer and never forwarded). Releasing is always optional: a message
+// that is retained somewhere is simply left to the garbage collector.
+
+var (
+	flowModPool    = sync.Pool{New: func() any { return new(FlowMod) }}
+	barrierReqPool = sync.Pool{New: func() any { return new(BarrierRequest) }}
+	barrierRepPool = sync.Pool{New: func() any { return new(BarrierReply) }}
+	packetInPool   = sync.Pool{New: func() any { return new(PacketIn) }}
+	errorPool      = sync.Pool{New: func() any { return new(Error) }}
+)
+
+// AcquireFlowMod returns a zeroed FlowMod, recycled when possible. The
+// Actions slice capacity of a previously released FlowMod is retained for
+// decode reuse.
+func AcquireFlowMod() *FlowMod { return flowModPool.Get().(*FlowMod) }
+
+// AcquireBarrierRequest returns a zeroed BarrierRequest, recycled when
+// possible.
+func AcquireBarrierRequest() *BarrierRequest { return barrierReqPool.Get().(*BarrierRequest) }
+
+// AcquireBarrierReply returns a zeroed BarrierReply, recycled when
+// possible.
+func AcquireBarrierReply() *BarrierReply { return barrierRepPool.Get().(*BarrierReply) }
+
+// AcquirePacketIn returns a zeroed PacketIn, recycled when possible.
+func AcquirePacketIn() *PacketIn { return packetInPool.Get().(*PacketIn) }
+
+// AcquireError returns a zeroed Error, recycled when possible.
+func AcquireError() *Error { return errorPool.Get().(*Error) }
+
+// AcquireMessage returns a zero message struct for the given type, served
+// from the type's pool for the hot message types and freshly allocated
+// otherwise. It returns nil for unknown types, like NewMessage.
+func AcquireMessage(t MsgType) Message {
+	switch t {
+	case TypeFlowMod:
+		return AcquireFlowMod()
+	case TypeBarrierRequest:
+		return AcquireBarrierRequest()
+	case TypeBarrierReply:
+		return AcquireBarrierReply()
+	case TypePacketIn:
+		return AcquirePacketIn()
+	case TypeError:
+		return AcquireError()
+	default:
+		return NewMessage(t)
+	}
+}
+
+// Release resets m and returns it to its type's pool. It is a no-op for
+// message types that are not pooled. The caller must own the only live
+// reference to m; see the ownership contract above.
+func Release(m Message) {
+	switch mm := m.(type) {
+	case *FlowMod:
+		acts := mm.Actions[:0]
+		*mm = FlowMod{}
+		mm.Actions = acts
+		flowModPool.Put(mm)
+	case *BarrierRequest:
+		mm.XID = 0
+		barrierReqPool.Put(mm)
+	case *BarrierReply:
+		mm.XID = 0
+		barrierRepPool.Put(mm)
+	case *PacketIn:
+		data := mm.Data[:0]
+		*mm = PacketIn{}
+		mm.Data = data
+		packetInPool.Put(mm)
+	case *Error:
+		data := mm.Data[:0]
+		*mm = Error{}
+		mm.Data = data
+		errorPool.Put(mm)
+	}
+}

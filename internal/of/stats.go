@@ -28,12 +28,11 @@ type StatsRequest struct {
 
 func (*StatsRequest) MsgType() MsgType { return TypeStatsRequest }
 
-func (m *StatsRequest) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 4+len(m.Body))
-	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
-	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
-	copy(buf[4:], m.Body)
-	return buf, nil
+func (m *StatsRequest) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 4)
+	binary.BigEndian.PutUint16(b[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	return append(buf, m.Body...), nil
 }
 
 func (m *StatsRequest) UnmarshalBody(data []byte) error {
@@ -42,7 +41,7 @@ func (m *StatsRequest) UnmarshalBody(data []byte) error {
 	}
 	m.StatsType = binary.BigEndian.Uint16(data[0:2])
 	m.Flags = binary.BigEndian.Uint16(data[2:4])
-	m.Body = append([]byte(nil), data[4:]...)
+	m.Body = append(m.Body[:0], data[4:]...)
 	return nil
 }
 
@@ -56,12 +55,11 @@ type StatsReply struct {
 
 func (*StatsReply) MsgType() MsgType { return TypeStatsReply }
 
-func (m *StatsReply) MarshalBody() ([]byte, error) {
-	buf := make([]byte, 4+len(m.Body))
-	binary.BigEndian.PutUint16(buf[0:2], m.StatsType)
-	binary.BigEndian.PutUint16(buf[2:4], m.Flags)
-	copy(buf[4:], m.Body)
-	return buf, nil
+func (m *StatsReply) AppendBody(buf []byte) ([]byte, error) {
+	buf, b := grow(buf, 4)
+	binary.BigEndian.PutUint16(b[0:2], m.StatsType)
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	return append(buf, m.Body...), nil
 }
 
 func (m *StatsReply) UnmarshalBody(data []byte) error {
@@ -70,7 +68,7 @@ func (m *StatsReply) UnmarshalBody(data []byte) error {
 	}
 	m.StatsType = binary.BigEndian.Uint16(data[0:2])
 	m.Flags = binary.BigEndian.Uint16(data[2:4])
-	m.Body = append([]byte(nil), data[4:]...)
+	m.Body = append(m.Body[:0], data[4:]...)
 	return nil
 }
 
@@ -83,10 +81,15 @@ type FlowStatsRequestBody struct {
 
 // Marshal encodes the flow stats request body.
 func (b *FlowStatsRequestBody) Marshal() []byte {
-	buf := make([]byte, MatchLen+4)
-	b.Match.MarshalTo(buf)
-	buf[MatchLen] = b.TableID
-	binary.BigEndian.PutUint16(buf[MatchLen+2:MatchLen+4], b.OutPort)
+	return b.Append(nil)
+}
+
+// Append appends the flow stats request body to buf in place.
+func (b *FlowStatsRequestBody) Append(buf []byte) []byte {
+	buf, s := grow(buf, MatchLen+4)
+	b.Match.MarshalTo(s)
+	s[MatchLen] = b.TableID
+	binary.BigEndian.PutUint16(s[MatchLen+2:MatchLen+4], b.OutPort)
 	return buf
 }
 
@@ -123,22 +126,26 @@ type FlowStatsEntry struct {
 
 // Marshal encodes the entry (length-prefixed as the spec requires).
 func (e *FlowStatsEntry) Marshal() []byte {
-	acts := MarshalActions(e.Actions)
-	length := 4 + MatchLen + 44 + len(acts)
-	buf := make([]byte, length)
-	binary.BigEndian.PutUint16(buf[0:2], uint16(length))
-	buf[2] = e.TableID
-	e.Match.MarshalTo(buf[4:])
-	b := buf[4+MatchLen:]
-	binary.BigEndian.PutUint32(b[0:4], e.DurationSec)
-	binary.BigEndian.PutUint32(b[4:8], e.DurationNsec)
-	binary.BigEndian.PutUint16(b[8:10], e.Priority)
-	binary.BigEndian.PutUint16(b[10:12], e.IdleTimeout)
-	binary.BigEndian.PutUint16(b[12:14], e.HardTimeout)
-	binary.BigEndian.PutUint64(b[20:28], e.Cookie)
-	binary.BigEndian.PutUint64(b[28:36], e.PacketCount)
-	binary.BigEndian.PutUint64(b[36:44], e.ByteCount)
-	copy(b[44:], acts)
+	return e.Append(nil)
+}
+
+// Append appends the entry's wire encoding to buf in place.
+func (e *FlowStatsEntry) Append(buf []byte) []byte {
+	start := len(buf)
+	buf, b := grow(buf, 4+MatchLen+44)
+	b[2] = e.TableID
+	e.Match.MarshalTo(b[4:])
+	f := b[4+MatchLen:]
+	binary.BigEndian.PutUint32(f[0:4], e.DurationSec)
+	binary.BigEndian.PutUint32(f[4:8], e.DurationNsec)
+	binary.BigEndian.PutUint16(f[8:10], e.Priority)
+	binary.BigEndian.PutUint16(f[10:12], e.IdleTimeout)
+	binary.BigEndian.PutUint16(f[12:14], e.HardTimeout)
+	binary.BigEndian.PutUint64(f[20:28], e.Cookie)
+	binary.BigEndian.PutUint64(f[28:36], e.PacketCount)
+	binary.BigEndian.PutUint64(f[36:44], e.ByteCount)
+	buf = AppendActions(buf, e.Actions)
+	binary.BigEndian.PutUint16(buf[start:start+2], uint16(len(buf)-start))
 	return buf
 }
 
@@ -194,17 +201,22 @@ const tableStatsLen = 64
 
 // Marshal encodes the table stats entry.
 func (e *TableStatsEntry) Marshal() []byte {
-	buf := make([]byte, tableStatsLen)
-	buf[0] = e.TableID
-	copy(buf[4:36], e.Name)
+	return e.Append(nil)
+}
+
+// Append appends the entry's wire encoding to buf in place.
+func (e *TableStatsEntry) Append(buf []byte) []byte {
+	buf, b := grow(buf, tableStatsLen)
+	b[0] = e.TableID
+	copy(b[4:36], e.Name)
 	if len(e.Name) >= 32 {
-		buf[35] = 0
+		b[35] = 0
 	}
-	binary.BigEndian.PutUint32(buf[36:40], e.Wildcards)
-	binary.BigEndian.PutUint32(buf[40:44], e.MaxEntries)
-	binary.BigEndian.PutUint32(buf[44:48], e.ActiveCount)
-	binary.BigEndian.PutUint64(buf[48:56], e.LookupCount)
-	binary.BigEndian.PutUint64(buf[56:64], e.MatchedCount)
+	binary.BigEndian.PutUint32(b[36:40], e.Wildcards)
+	binary.BigEndian.PutUint32(b[40:44], e.MaxEntries)
+	binary.BigEndian.PutUint32(b[44:48], e.ActiveCount)
+	binary.BigEndian.PutUint64(b[48:56], e.LookupCount)
+	binary.BigEndian.PutUint64(b[56:64], e.MatchedCount)
 	return buf
 }
 

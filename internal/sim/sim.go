@@ -7,6 +7,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -174,31 +175,51 @@ var _ Clock = (*Sim)(nil)
 
 // Wall is a Clock backed by real time, for deployments of RUM as an actual
 // TCP proxy. The zero value is not usable; call NewWall.
+//
+// Positive delays are scheduled on a process-wide hierarchical timer
+// wheel (see Wheel) instead of one time.AfterFunc per deadline: the
+// timeout and adaptive strategies park one deadline per in-flight rule
+// update, and the wheel holds hundreds of thousands of them with O(1)
+// insert/cancel and a single ticking goroutine. Deadlines are rounded up
+// to the wheel tick (DefaultWheelTick), never down — callbacks may run a
+// tick late but never early.
 type Wall struct {
 	origin time.Time
+	wheel  *Wheel
+}
+
+// wallWheel is the process-wide deadline wheel shared by every Wall
+// clock; its driver goroutine parks itself whenever no deadlines are
+// pending, so idle processes (and benchmark loops creating many clocks)
+// pay nothing.
+var (
+	wallWheelOnce sync.Once
+	wallWheel     *Wheel
+)
+
+func sharedWheel() *Wheel {
+	wallWheelOnce.Do(func() { wallWheel = NewWheel(DefaultWheelTick) })
+	return wallWheel
 }
 
 // NewWall returns a wall clock with its origin at the current time.
-func NewWall() *Wall { return &Wall{origin: time.Now()} }
+func NewWall() *Wall { return &Wall{origin: time.Now(), wheel: sharedWheel()} }
 
 // Now returns time elapsed since the clock was created.
 func (w *Wall) Now() time.Duration { return time.Since(w.origin) }
 
-// After schedules fn on a timer goroutine. Zero (and negative) delays —
+// After schedules fn once d has elapsed. Zero (and negative) delays —
 // the dominant case on hot paths like zero-latency transport delivery and
-// shard flush handoff — skip the timer heap and dispatch straight onto a
-// fresh goroutine.
+// shard flush handoff — skip all timer machinery and dispatch straight
+// onto a fresh goroutine; positive delays go through the shared timer
+// wheel.
 func (w *Wall) After(d time.Duration, fn func()) Timer {
 	if d <= 0 {
 		go fn()
 		return firedTimer{}
 	}
-	return wallTimer{t: time.AfterFunc(d, fn)}
+	return w.wheel.Schedule(d, fn)
 }
-
-type wallTimer struct{ t *time.Timer }
-
-func (t wallTimer) Stop() bool { return t.t.Stop() }
 
 // firedTimer is the Timer of a callback already dispatched: Stop reports
 // that the cancellation came too late.

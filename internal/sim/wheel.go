@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Wheel is a hierarchical timer wheel: four levels of 256 slots over a
+// coarse tick, with O(1) insert and cancel. It exists for the wall-clock
+// deployment's deadline load — the timeout and adaptive acknowledgment
+// strategies hold one pending deadline per unconfirmed rule update, so a
+// proxy absorbing a datacenter churn burst parks tens of thousands of
+// timers at once. A heap (or the runtime timer heap behind
+// time.AfterFunc) pays O(log n) churn per insert/cancel at exactly the
+// moment the hot path is busiest; the wheel pays a pointer splice.
+//
+// Precision is deliberately coarse: a timer fires on the first tick
+// boundary at or after its deadline, so callbacks run up to one tick
+// late and never early. RUM's deadlines are safety margins (fixed
+// timeouts, modeled sync periods, probe ticks), where a millisecond of
+// lateness only adds slack.
+//
+// The driver goroutine is started lazily by the first Schedule and parks
+// itself again whenever the wheel drains, so idle wheels cost nothing and
+// wheels need no explicit shutdown.
+type Wheel struct {
+	tick time.Duration
+
+	mu      sync.Mutex
+	base    time.Time // wall time of tick 0 for the current run
+	cur     uint64    // last expired tick
+	levels  [wheelLevels][wheelSlots]wheelList
+	pending int
+	running bool
+}
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	wheelSpan   = uint64(1) << (wheelLevels * wheelBits) // ticks addressable
+)
+
+// DefaultWheelTick is the granularity wall clocks schedule deadlines at.
+const DefaultWheelTick = time.Millisecond
+
+// wheelTimer is one pending deadline, linked into its slot's list.
+type wheelTimer struct {
+	w    *Wheel
+	fn   func()
+	at   uint64 // absolute expiry tick
+	list *wheelList
+	prev *wheelTimer
+	next *wheelTimer
+}
+
+// wheelList is an intrusive doubly-linked slot list.
+type wheelList struct {
+	head, tail *wheelTimer
+}
+
+func (l *wheelList) push(t *wheelTimer) {
+	t.list = l
+	t.prev = l.tail
+	t.next = nil
+	if l.tail != nil {
+		l.tail.next = t
+	} else {
+		l.head = t
+	}
+	l.tail = t
+}
+
+func (l *wheelList) remove(t *wheelTimer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.list, t.prev, t.next = nil, nil, nil
+}
+
+// take empties the list and returns its head; entries stay chained via
+// next (prev/list are cleared as the caller walks them).
+func (l *wheelList) take() *wheelTimer {
+	h := l.head
+	l.head, l.tail = nil, nil
+	return h
+}
+
+// NewWheel creates a wheel with the given tick (DefaultWheelTick when
+// zero or negative).
+func NewWheel(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = DefaultWheelTick
+	}
+	return &Wheel{tick: tick}
+}
+
+// Tick returns the wheel's granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Pending returns the number of scheduled, unfired, uncancelled timers.
+func (w *Wheel) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
+// Schedule arranges fn to run once d has elapsed (rounded up to the next
+// tick boundary, clamped into the wheel's horizon). fn runs on its own
+// goroutine, like time.AfterFunc.
+func (w *Wheel) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	w.mu.Lock()
+	if !w.running {
+		w.running = true
+		w.base = time.Now()
+		w.cur = 0
+		go w.run()
+	}
+	now := time.Since(w.base)
+	// Round up: never fire before the deadline.
+	at := uint64((now + d + w.tick - 1) / w.tick)
+	if at <= w.cur {
+		at = w.cur + 1
+	}
+	if at-w.cur >= wheelSpan {
+		at = w.cur + wheelSpan - 1
+	}
+	t := &wheelTimer{w: w, fn: fn, at: at}
+	w.place(t)
+	w.pending++
+	w.mu.Unlock()
+	return t
+}
+
+// place links t into the level whose span covers its remaining delta.
+// Callers hold w.mu.
+func (w *Wheel) place(t *wheelTimer) {
+	delta := t.at - w.cur
+	for level := 0; level < wheelLevels; level++ {
+		if delta < uint64(1)<<((level+1)*wheelBits) || level == wheelLevels-1 {
+			slot := (t.at >> (level * wheelBits)) & wheelMask
+			w.levels[level][slot].push(t)
+			return
+		}
+	}
+}
+
+// cascade re-places the timers of the given level's current slot one
+// level down; when that slot index just wrapped too, it cascades the next
+// level up first. Callers hold w.mu.
+func (w *Wheel) cascade(level int) {
+	if level >= wheelLevels {
+		return
+	}
+	slot := (w.cur >> (level * wheelBits)) & wheelMask
+	if slot == 0 {
+		w.cascade(level + 1)
+	}
+	for t := w.levels[level][slot].take(); t != nil; {
+		next := t.next
+		t.list, t.prev, t.next = nil, nil, nil
+		w.place(t)
+		t = next
+	}
+}
+
+// advanceTo expires every tick up to target and returns the fired timers
+// chained via next. Callers hold w.mu.
+func (w *Wheel) advanceTo(target uint64) *wheelTimer {
+	var fired, tail *wheelTimer
+	for w.cur < target {
+		w.cur++
+		if w.cur&wheelMask == 0 {
+			w.cascade(1)
+		}
+		for t := w.levels[0][w.cur&wheelMask].take(); t != nil; {
+			next := t.next
+			t.list, t.prev, t.next = nil, nil, nil
+			w.pending--
+			if tail == nil {
+				fired, tail = t, t
+			} else {
+				tail.next = t
+				tail = t
+			}
+			t = next
+		}
+	}
+	return fired
+}
+
+// run is the driver goroutine: it advances the wheel once per tick and
+// dispatches expired callbacks, exiting when the wheel drains.
+func (w *Wheel) run() {
+	tk := time.NewTicker(w.tick)
+	defer tk.Stop()
+	for range tk.C {
+		w.mu.Lock()
+		target := uint64(time.Since(w.base) / w.tick)
+		fired := w.advanceTo(target)
+		idle := w.pending == 0
+		if idle {
+			w.running = false
+		}
+		w.mu.Unlock()
+		for t := fired; t != nil; {
+			next := t.next
+			t.next = nil
+			go t.fn()
+			t = next
+		}
+		if idle {
+			return
+		}
+	}
+}
+
+// Stop implements Timer: it cancels the pending callback, reporting
+// whether the cancellation happened before the callback was dispatched.
+func (t *wheelTimer) Stop() bool {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if t.list == nil {
+		return false
+	}
+	t.list.remove(t)
+	w.pending--
+	return true
+}

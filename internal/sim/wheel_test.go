@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWheelFires checks basic firing: never early, roughly on time.
+func TestWheelFires(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	start := time.Now()
+	done := make(chan time.Duration, 1)
+	w.Schedule(20*time.Millisecond, func() { done <- time.Since(start) })
+	select {
+	case elapsed := <-done:
+		if elapsed < 20*time.Millisecond {
+			t.Errorf("fired early: %v < 20ms", elapsed)
+		}
+		if elapsed > 500*time.Millisecond {
+			t.Errorf("fired way late: %v", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestWheelOrdering checks that deadlines across cascade boundaries fire
+// in deadline order (within tick granularity).
+func TestWheelOrdering(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	// Spread across level 0 and level 1 of the wheel (delta > 256 ticks).
+	delays := []time.Duration{300 * time.Millisecond, 5 * time.Millisecond, 120 * time.Millisecond, 40 * time.Millisecond}
+	want := []int{1, 3, 2, 0} // indexes sorted by delay
+	for i, d := range delays {
+		i := i
+		w.Schedule(d, func() {
+			mu.Lock()
+			order = append(order, i)
+			n := len(order)
+			mu.Unlock()
+			if n == len(delays) {
+				close(done)
+			}
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timers never all fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelStop checks O(1) cancellation semantics.
+func TestWheelStop(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var fired atomic.Bool
+	tm := w.Schedule(50*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop before expiry must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+	if p := w.Pending(); p != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", p)
+	}
+}
+
+// TestWheelIdleRestart checks the driver parks when drained and restarts
+// on the next Schedule.
+func TestWheelIdleRestart(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	for round := 0; round < 3; round++ {
+		done := make(chan struct{})
+		w.Schedule(5*time.Millisecond, func() { close(done) })
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: timer never fired", round)
+		}
+		// Let the driver observe the drain and park.
+		deadline := time.Now().Add(time.Second)
+		for w.Pending() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestWheelConcurrentScheduleCancel hammers the wheel from many
+// goroutines (run under -race).
+func TestWheelConcurrentScheduleCancel(t *testing.T) {
+	w := NewWheel(time.Millisecond)
+	var fired, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	const perG, goroutines = 200, 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d := time.Duration(1+(seed*perG+i)%400) * time.Millisecond
+				tm := w.Schedule(d, func() { fired.Add(1) })
+				if i%3 == 0 {
+					if tm.Stop() {
+						cancelled.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(perG * goroutines)
+	deadline := time.Now().Add(10 * time.Second)
+	for fired.Load()+cancelled.Load() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := fired.Load() + cancelled.Load(); got != total {
+		t.Fatalf("resolved %d/%d timers (fired %d, cancelled %d, pending %d)",
+			got, total, fired.Load(), cancelled.Load(), w.Pending())
+	}
+}
+
+// TestWallAfterUsesWheel checks Wall's positive-delay path fires and is
+// cancellable through the shared wheel.
+func TestWallAfterUsesWheel(t *testing.T) {
+	w := NewWall()
+	done := make(chan struct{})
+	w.After(10*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wall.After through wheel never fired")
+	}
+	var fired atomic.Bool
+	tm := w.After(100*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop on wheel-scheduled Wall timer must report true")
+	}
+	time.Sleep(200 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped Wall timer fired")
+	}
+}

@@ -212,6 +212,16 @@ func (sw *Switch) completeCtrl(job queuedMsg) {
 		}
 	case *of.BarrierRequest:
 		sw.completeBarrierLocked(m)
+		// Served RUM-internal barrier requests are dead: RUM's strategies
+		// and shards track barriers by xid and retain no reference once
+		// the request reached the switch (over TCP the switch's copy was
+		// decoded fresh; over a pipe the sender handed ownership over).
+		// Recycle them through the codec pool. Controller barriers may
+		// still be referenced by controller-side bookkeeping and are left
+		// to the garbage collector.
+		if of.IsRUMXID(m.GetXID()) {
+			of.Release(m)
+		}
 	case *of.EchoRequest:
 		reply := &of.EchoReply{Data: m.Data}
 		reply.SetXID(m.GetXID())
@@ -236,25 +246,32 @@ func (sw *Switch) completeCtrl(job queuedMsg) {
 }
 
 // completeBarrierLocked implements the profile's barrier semantics.
+// Replies come from the codec pool; their final consumer (RUM's ack
+// layer for RUM barriers) recycles them.
 func (sw *Switch) completeBarrierLocked(m *of.BarrierRequest) {
 	sw.barriersServed++
-	reply := &of.BarrierReply{}
-	reply.SetXID(m.GetXID())
 	switch sw.prof.BarrierMode {
 	case BarrierEarly, BarrierEarlyReorder:
 		// The bug: reply before the data plane caught up.
-		sw.sendLocked(reply)
+		sw.sendBarrierReplyLocked(m.GetXID())
 	case BarrierCorrect:
 		// All FlowMods received before this barrier have been control-
 		// processed (FIFO server); hold the reply until they are in the
 		// data plane too.
 		barrierSeq := sw.modSeq - uint64(sw.countQueuedModsLocked())
 		if sw.appliedSeq >= barrierSeq {
-			sw.sendLocked(reply)
+			sw.sendBarrierReplyLocked(m.GetXID())
 			return
 		}
 		sw.barWaiters = append(sw.barWaiters, barrierWaiter{xid: m.GetXID(), seq: barrierSeq})
 	}
+}
+
+// sendBarrierReplyLocked emits one pool-backed barrier reply.
+func (sw *Switch) sendBarrierReplyLocked(xid uint32) {
+	reply := of.AcquireBarrierReply()
+	reply.SetXID(xid)
+	sw.sendLocked(reply)
 }
 
 func (sw *Switch) countQueuedModsLocked() int {
@@ -271,9 +288,7 @@ func (sw *Switch) releaseBarriersLocked() {
 	kept := sw.barWaiters[:0]
 	for _, w := range sw.barWaiters {
 		if sw.appliedSeq >= w.seq {
-			reply := &of.BarrierReply{}
-			reply.SetXID(w.xid)
-			sw.sendLocked(reply)
+			sw.sendBarrierReplyLocked(w.xid)
 		} else {
 			kept = append(kept, w)
 		}

@@ -40,13 +40,32 @@ var ErrClosed = errors.New("transport: connection closed")
 
 // BatchSender is implemented by conns that can hand a whole batch to the
 // wire in one operation — one scheduled delivery for an in-memory pipe,
-// one writer hand-off for TCP — preserving message order. RUM's per-switch
+// one coalesced flush for TCP — preserving message order. RUM's per-switch
 // shards use it to amortize transport overhead across a flush.
 type BatchSender interface {
 	// SendBatch queues ms for in-order delivery to the peer. Like Send it
-	// never blocks. The slice is retained until delivery: the caller must
-	// hand over ownership and not reuse it.
+	// never blocks. The conn may retain the slice until delivery: the
+	// caller must hand over ownership and not reuse it.
 	SendBatch(ms []of.Message) error
+}
+
+// FrameEncoder is implemented by conns that serialize each message into
+// wire bytes while Send/SendBatch runs: once the call returns, the conn
+// holds no reference to the message struct and the caller regains
+// exclusive ownership (it may recycle the message via of.Release). Pipes
+// deliver message structs by pointer and therefore do not implement it.
+type FrameEncoder interface {
+	// EncodesFrames reports whether sends copy messages into wire form
+	// before returning.
+	EncodesFrames() bool
+}
+
+// EncodesFrames reports whether c copies messages into wire bytes during
+// Send, i.e. whether the sender keeps exclusive ownership of sent message
+// structs.
+func EncodesFrames(c Conn) bool {
+	fe, ok := c.(FrameEncoder)
+	return ok && fe.EncodesFrames()
 }
 
 // pipeEnd is one end of an in-memory connection pair.
@@ -151,6 +170,13 @@ func (e *pipeEnd) arrive(seq uint64, ms []of.Message) {
 		e.mu.Lock()
 	}
 	e.delivering = false
+	// Go maps never shrink their bucket arrays: a burst of out-of-order
+	// deliveries would pin the high-water mark of reorder buffers for the
+	// life of the pipe. Drop the map whenever it drains so long-lived
+	// wall-clock pipes return that memory.
+	if len(e.rxPend) == 0 {
+		e.rxPend = nil
+	}
 	e.mu.Unlock()
 }
 
@@ -168,15 +194,38 @@ func (e *pipeEnd) SetHandler(h Handler) {
 func (e *pipeEnd) Close() error {
 	e.mu.Lock()
 	e.closed = true
+	e.rxPend = nil
 	e.mu.Unlock()
 	return nil
 }
 
 // tcpConn adapts a stream connection (normally TCP) to Conn with OpenFlow
-// framing. Sends are serialized through a writer goroutine so Send never
-// blocks on the network.
+// framing and a coalescing writer: Send serializes the frame into a
+// pending write buffer and a dedicated writer goroutine flushes everything
+// accumulated since the last flush in a single Write (a writev via
+// net.Buffers when a burst spilled across buffers). A burst of N messages
+// therefore costs one syscall, not N, and the encode path allocates
+// nothing at steady state: write buffers cycle through a free list and
+// frames are appended in place with of.MarshalAppend.
+//
+// The framing reader is pooled symmetrically: one buffered reader and one
+// reusable frame buffer per connection, decoding hot message types into
+// pooled structs.
 type tcpConn struct {
-	nc     net.Conn
+	nc         net.Conn
+	unbuffered bool
+
+	// Coalescing writer state (default mode).
+	wmu     sync.Mutex
+	wbuf    []byte      // frames accumulating toward the next flush
+	wspill  net.Buffers // filled buffers awaiting the writer (burst overflow)
+	wfree   [][]byte    // recycled flush buffers
+	scratch net.Buffers // writer-owned flush snapshot (headers survive the write)
+	wvecs   net.Buffers // writer-owned writev scratch (consumed by WriteTo)
+	wake    chan struct{}
+
+	// Unbuffered mode (the pre-coalescing baseline): one queued message
+	// and one Write syscall per frame.
 	sendCh chan of.Message
 
 	mu      sync.Mutex
@@ -188,16 +237,37 @@ type tcpConn struct {
 	done chan struct{}
 }
 
-// NewTCP wraps an established stream connection. The caller owns protocol
-// behaviour (hello exchange etc.); NewTCP only frames messages.
+// flushBufSize is the target capacity of one coalescing buffer; a buffer
+// that reaches it is spilled to the writer queue and a fresh one started.
+const flushBufSize = 64 << 10
+
+// NewTCP wraps an established stream connection with the coalescing
+// writer. The caller owns protocol behaviour (hello exchange etc.); NewTCP
+// only frames messages.
 func NewTCP(nc net.Conn) Conn {
 	c := &tcpConn{
-		nc:     nc,
-		sendCh: make(chan of.Message, 1024),
-		done:   make(chan struct{}),
+		nc:   nc,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
 	}
 	go c.readLoop()
 	go c.writeLoop()
+	return c
+}
+
+// NewTCPUnbuffered wraps a stream connection with the historical
+// one-Write-per-message path. It exists as the baseline the wire
+// throughput benchmarks compare the coalescing writer against; production
+// deployments should use NewTCP.
+func NewTCPUnbuffered(nc net.Conn) Conn {
+	c := &tcpConn{
+		nc:         nc,
+		unbuffered: true,
+		sendCh:     make(chan of.Message, 1024),
+		done:       make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.writeLoopUnbuffered()
 	return c
 }
 
@@ -210,9 +280,20 @@ func Dial(addr string) (Conn, error) {
 	return NewTCP(nc), nil
 }
 
+// EncodesFrames implements FrameEncoder: both TCP modes serialize the
+// message during Send and retain no reference to the struct.
+func (c *tcpConn) EncodesFrames() bool { return !c.unbuffered }
+
 func (c *tcpConn) readLoop() {
+	var read func() (of.Message, error)
+	if c.unbuffered {
+		read = func() (of.Message, error) { return of.ReadMessage(c.nc) }
+	} else {
+		mr := of.NewMessageReader(c.nc)
+		read = mr.ReadMessage
+	}
 	for {
-		m, err := of.ReadMessage(c.nc)
+		m, err := read()
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -232,7 +313,155 @@ func (c *tcpConn) readLoop() {
 	}
 }
 
+// appendFrameLocked encodes m onto the current coalescing buffer, spilling
+// a full buffer to the writer queue. Callers hold wmu.
+func (c *tcpConn) appendFrameLocked(m of.Message) error {
+	if c.wbuf == nil {
+		if n := len(c.wfree); n > 0 {
+			c.wbuf = c.wfree[n-1][:0]
+			c.wfree[n-1] = nil
+			c.wfree = c.wfree[:n-1]
+		} else {
+			c.wbuf = make([]byte, 0, flushBufSize)
+		}
+	}
+	buf, err := of.MarshalAppend(c.wbuf, m)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	if len(c.wbuf) >= flushBufSize {
+		c.wspill = append(c.wspill, c.wbuf)
+		c.wbuf = nil
+	}
+	return nil
+}
+
+// nudge wakes the writer; the 1-slot channel makes repeated nudges free.
+func (c *tcpConn) nudge() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (c *tcpConn) Send(m of.Message) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if c.unbuffered {
+		select {
+		case c.sendCh <- m:
+			return nil
+		case <-c.done:
+			return ErrClosed
+		}
+	}
+	c.wmu.Lock()
+	err := c.appendFrameLocked(m)
+	c.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.nudge()
+	return nil
+}
+
+// SendBatch implements BatchSender: the whole batch is encoded under one
+// lock acquisition and handed to the writer with one wake-up, so it rides
+// at most two Writes (one per spilled buffer boundary) regardless of size.
+func (c *tcpConn) SendBatch(ms []of.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	if c.unbuffered {
+		for _, m := range ms {
+			if err := c.Send(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c.wmu.Lock()
+	for _, m := range ms {
+		if err := c.appendFrameLocked(m); err != nil {
+			c.wmu.Unlock()
+			return err
+		}
+	}
+	c.wmu.Unlock()
+	c.nudge()
+	return nil
+}
+
 func (c *tcpConn) writeLoop() {
+	for {
+		select {
+		case <-c.wake:
+			if !c.flushPending() {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// flushPending drains everything queued by Send/SendBatch. It returns
+// false once the connection is dead. All buffers flushed together go to
+// the kernel in one operation: a single Write in the common case, a writev
+// via net.Buffers when a burst spilled across coalescing buffers.
+func (c *tcpConn) flushPending() bool {
+	for {
+		c.wmu.Lock()
+		bufs := append(c.scratch[:0], c.wspill...)
+		c.wspill = c.wspill[:0]
+		if len(c.wbuf) > 0 {
+			bufs = append(bufs, c.wbuf)
+			c.wbuf = nil
+		}
+		c.wmu.Unlock()
+		if len(bufs) == 0 {
+			c.scratch = bufs
+			return true
+		}
+		var err error
+		if len(bufs) == 1 {
+			_, err = c.nc.Write(bufs[0])
+		} else {
+			// net.Buffers.WriteTo consumes what it writes: it nils the
+			// elements of the slice it is given as they drain. Hand it a
+			// separate snapshot (writer-owned, reused) so the headers in
+			// bufs survive for recycling.
+			c.wvecs = append(c.wvecs[:0], bufs...)
+			_, err = c.wvecs.WriteTo(c.nc)
+		}
+		c.wmu.Lock()
+		for i, b := range bufs {
+			if cap(b) >= flushBufSize && len(c.wfree) < 4 {
+				c.wfree = append(c.wfree, b[:0])
+			}
+			bufs[i] = nil
+		}
+		c.scratch = bufs[:0]
+		c.wmu.Unlock()
+		if err != nil {
+			c.Close()
+			return false
+		}
+	}
+}
+
+func (c *tcpConn) writeLoopUnbuffered() {
 	for {
 		select {
 		case m := <-c.sendCh:
@@ -244,33 +473,6 @@ func (c *tcpConn) writeLoop() {
 			return
 		}
 	}
-}
-
-func (c *tcpConn) Send(m of.Message) error {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	select {
-	case c.sendCh <- m:
-		return nil
-	case <-c.done:
-		return ErrClosed
-	}
-}
-
-// SendBatch implements BatchSender over the writer channel; the batch
-// stays in order because Send is the only producer path and the caller
-// owns batch ordering.
-func (c *tcpConn) SendBatch(ms []of.Message) error {
-	for _, m := range ms {
-		if err := c.Send(m); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (c *tcpConn) SetHandler(h Handler) {
