@@ -228,6 +228,9 @@ func (t *recordingSwitch) OnFlowMod(u *Update) {
 	t.parent.mu.Lock()
 	t.parent.seen[t.sc.Switch()] = append(t.parent.seen[t.sc.Switch()], u.XID())
 	t.parent.mu.Unlock()
+	// Updates are pooled: storing one past OnFlowMod requires a
+	// reference, released once the strategy is done with it.
+	u.Retain()
 	t.mu.Lock()
 	t.pending = append(t.pending, u)
 	t.mu.Unlock()
@@ -241,6 +244,7 @@ func (t *recordingSwitch) OnTick(now time.Duration) {
 	t.mu.Unlock()
 	for _, u := range ready {
 		t.sc.Confirm(u, OutcomeInstalled)
+		u.Release()
 	}
 }
 

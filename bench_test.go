@@ -505,12 +505,134 @@ func BenchmarkFatTreeChurn(b *testing.B) {
 	}
 	b.ReportMetric(res.UpdatesPerSec, "updates/s")
 	b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ack_ms")
-	benchRecord("FatTreeChurn", map[string]float64{
+	metrics := map[string]float64{
 		"switches":        float64(res.Switches),
 		"updates":         float64(res.Updates),
 		"updates_per_sec": res.UpdatesPerSec,
 		"p50_ack_ms":      float64(res.P50.Microseconds()) / 1000,
 		"p99_ack_ms":      float64(res.P99.Microseconds()) / 1000,
+	}
+	// Per-cohort tails (informational, not baseline-gated): this is the
+	// instrumentation that attributed the historical flat 300 ms p99 to
+	// the timeout cohort's fixed full-table hold.
+	for tech, st := range res.PerTechnique {
+		metrics["p99_ack_ms_"+tech.String()] = float64(st.P99.Microseconds()) / 1000
+	}
+	benchRecord("FatTreeChurn", metrics)
+}
+
+// --- Ack-path benchmarks (O(1) seq-ring bookkeeping, pooled updates) ---
+
+// ackPathBed proxies one switch through RUM over loopback TCP on both
+// sides — the production deployment shape, where every conn encodes
+// frames and the whole track→flush→reply→confirm→ack pipeline runs on
+// pooled structs. The returned round function pushes one batch of
+// batchSize actionless FlowMods and blocks until their RUM acks arrive.
+func ackPathBed(b *testing.B, batchSize int) (round func(), close func()) {
+	b.Helper()
+	clk := NewWallClock()
+	r, err := New(Config{Clock: clk, Technique: TechBarriers, RUMAware: true}, NewTopology(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCtrl, rumCtrl := wireLoopbackPair(b, false)
+	rumSw, benchSw := wireLoopbackPair(b, false)
+
+	benchSw.SetHandler(func(m Message) {
+		switch mm := m.(type) {
+		case *of.FlowMod:
+			of.Release(mm)
+		case *of.BarrierRequest:
+			rep := of.AcquireBarrierReply()
+			rep.SetXID(mm.GetXID())
+			_ = benchSw.Send(rep)
+			of.Release(rep) // the conn encoded it during Send
+			of.Release(mm)
+		}
+	})
+	acks := make(chan struct{}, 4*batchSize)
+	benchCtrl.SetHandler(func(m Message) {
+		if e, ok := m.(*of.Error); ok {
+			if _, _, isAck := e.IsRUMAck(); isAck {
+				of.Release(e)
+				acks <- struct{}{}
+			}
+		}
+	})
+	if _, err := r.AttachSwitch("s1", 1, rumCtrl, rumSw); err != nil {
+		b.Fatal(err)
+	}
+
+	batch := make([]Message, 0, batchSize)
+	for i := 0; i < batchSize; i++ {
+		fm := &FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone}
+		fm.SetXID(uint32(i + 1))
+		batch = append(batch, fm)
+	}
+	bs := benchCtrl.(transport.BatchSender)
+	round = func() {
+		if err := bs.SendBatch(batch); err != nil {
+			b.Fatalf("ack path send: %v", err)
+		}
+		for i := 0; i < batchSize; i++ {
+			<-acks
+		}
+	}
+	return round, func() {
+		r.DetachSwitch("s1")
+		benchCtrl.Close()
+		benchSw.Close()
+	}
+}
+
+// BenchmarkAckPath is the acknowledgment hot path's acceptance
+// benchmark: end-to-end confirmed updates/sec through a full TCP-proxied
+// deployment, and steady-state allocations per confirmed update across
+// the entire pipeline — decode, seq-ring tracking, shard flush, barrier
+// coalescing, confirmation, and the wire-level ack. cmd/benchcheck gates
+// the alloc count at zero and the throughput against BENCH_baseline.json.
+func BenchmarkAckPath(b *testing.B) {
+	const batchSize = 64
+	var perSec, allocs float64
+	allocsRan := false
+	b.Run("throughput", func(b *testing.B) {
+		round, done := ackPathBed(b, batchSize)
+		defer done()
+		const rounds = 512
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			for k := 0; k < rounds; k++ {
+				round()
+			}
+			perSec = float64(rounds*batchSize) / time.Since(start).Seconds()
+		}
+		b.ReportMetric(perSec, "updates/s")
+	})
+	b.Run("allocs", func(b *testing.B) {
+		round, done := ackPathBed(b, batchSize)
+		defer done()
+		for i := 0; i < b.N; i++ {
+			// Warm every pool (updates, codec structs, ring, outbox
+			// backings, write buffers) before measuring.
+			for k := 0; k < 32; k++ {
+				round()
+			}
+			allocs = testing.AllocsPerRun(200, round) / float64(batchSize)
+			allocsRan = true
+		}
+		b.ReportMetric(allocs, "allocs/update")
+	})
+	if perSec == 0 || !allocsRan {
+		// A sub-benchmark was filtered out: recording a zero-valued
+		// alloc metric that was never measured would silently satisfy
+		// the zero-alloc gate.
+		return
+	}
+	benchRecord("AckPath", map[string]float64{
+		"updates":                     512 * batchSize,
+		"confirmed_per_sec":           perSec,
+		"allocs_per_confirmed_update": allocs,
 	})
 }
 

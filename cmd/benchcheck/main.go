@@ -12,20 +12,26 @@
 //   - *_per_sec and *speedup: higher is better; fail below
 //     baseline×(1−tolerance);
 //   - *_ms: lower is better; fail above baseline×(1+tolerance);
-//   - *_allocs_per_op: lower is better; fail above
-//     baseline×(1+tolerance) — a zero baseline therefore demands exactly
-//     zero allocations (the zero-alloc wire path's acceptance gate);
+//   - metrics containing "allocs" (allocs-per-op, allocs-per-confirmed-
+//     update): lower is better; fail above baseline×(1+tolerance) — a
+//     zero baseline therefore demands exactly zero allocations (the
+//     zero-alloc wire- and ack-path acceptance gates);
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Two acceptance gates are separate and absolute, regardless of what the
+// Four acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
-// and the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
-// (the coalescing writer must beat the unbuffered path by ≥30%).
+// the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
+// (the coalescing writer must beat the unbuffered path by ≥30%), the
+// AckPath steady-state allocations per confirmed update must stay ≤
+// -max-ack-allocs (zero: the ack hot path must not regain allocations),
+// and the FatTreeChurn simulated ack-latency p99 must stay ≤
+// -max-fattree-p99-ms (100 ms — a ≥3x improvement over the 300.46 ms
+// fixed-timeout tail this gate exists to keep fixed).
 //
 // Usage: go run ./cmd/benchcheck [-baseline BENCH_baseline.json]
 // [-results BENCH_results.json] [-tolerance 0.20] [-min-speedup 2.0]
-// [-min-wire-speedup 1.3]
+// [-min-wire-speedup 1.3] [-max-ack-allocs 0] [-max-fattree-p99-ms 100]
 package main
 
 import (
@@ -64,6 +70,10 @@ func main() {
 		"absolute floor for the ShardContention sharded/unsharded speedup (0 disables)")
 	minWireSpeedup := flag.Float64("min-wire-speedup", 1.3,
 		"absolute floor for the WireThroughput coalesced/unbuffered speedup (0 disables)")
+	maxAckAllocs := flag.Float64("max-ack-allocs", 0,
+		"absolute ceiling for AckPath.allocs_per_confirmed_update (negative disables)")
+	maxFatTreeP99 := flag.Float64("max-fattree-p99-ms", 100,
+		"absolute ceiling for FatTreeChurn.p99_ack_ms in milliseconds (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -112,7 +122,7 @@ func main() {
 					continue
 				}
 				fmt.Printf("ok   %s.%s: %.2f (baseline %.2f)\n", name, m, got, want)
-			case strings.HasSuffix(m, "_allocs_per_op"):
+			case strings.Contains(m, "allocs"):
 				ceil := want * (1 + *tolerance)
 				if got > ceil {
 					fmt.Printf("FAIL %s.%s: %.4f allocs/op > %.4f (baseline %.4f + %.0f%%)\n",
@@ -168,6 +178,36 @@ func main() {
 			failures++
 		} else {
 			fmt.Printf("ok   WireThroughput.coalesce_speedup: %.2fx (≥ %.2fx required)\n", speedup, *minWireSpeedup)
+		}
+	}
+
+	if *maxAckAllocs >= 0 {
+		ap, ok := results.Benchmarks["AckPath"]
+		allocs, has := ap["allocs_per_confirmed_update"]
+		if !ok || !has {
+			fmt.Println("FAIL AckPath.allocs_per_confirmed_update: missing from results")
+			failures++
+		} else if allocs > *maxAckAllocs {
+			fmt.Printf("FAIL AckPath.allocs_per_confirmed_update: %.4f > %.4f (ack hot path allocates again)\n",
+				allocs, *maxAckAllocs)
+			failures++
+		} else {
+			fmt.Printf("ok   AckPath.allocs_per_confirmed_update: %.4f (≤ %.4f required)\n", allocs, *maxAckAllocs)
+		}
+	}
+
+	if *maxFatTreeP99 > 0 {
+		ft, ok := results.Benchmarks["FatTreeChurn"]
+		p99, has := ft["p99_ack_ms"]
+		if !ok || !has {
+			fmt.Println("FAIL FatTreeChurn.p99_ack_ms: missing from results")
+			failures++
+		} else if p99 > *maxFatTreeP99 {
+			fmt.Printf("FAIL FatTreeChurn.p99_ack_ms: %.2f ms > %.2f ms (ack tail-latency fix regressed)\n",
+				p99, *maxFatTreeP99)
+			failures++
+		} else {
+			fmt.Printf("ok   FatTreeChurn.p99_ack_ms: %.2f ms (≤ %.2f ms required)\n", p99, *maxFatTreeP99)
 		}
 	}
 

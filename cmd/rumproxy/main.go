@@ -22,11 +22,20 @@
 //	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
 //	  -fattree 8 -technique sequential -barrier-layer
 //
-// -pprof ADDR serves net/http/pprof so wire-path CPU and allocation
-// profiles can be captured from a live proxy:
+// -pprof ADDR serves net/http/pprof so CPU, allocation, and
+// mutex-contention profiles can be captured from a live proxy. Mutex
+// profiling is enabled by default alongside the endpoint (allocation
+// profiling is always on in the Go runtime), so tail-latency
+// investigations start from profiles instead of guesses:
 //
 //	rumproxy ... -pprof localhost:6060
-//	go tool pprof http://localhost:6060/debug/pprof/profile
+//	go tool pprof http://localhost:6060/debug/pprof/profile   # CPU
+//	go tool pprof http://localhost:6060/debug/pprof/allocs    # allocations
+//	go tool pprof http://localhost:6060/debug/pprof/mutex     # lock contention
+//
+// -mutex-fraction tunes the contention sampling rate (0 disables);
+// -block-rate ns enables blocking profiles at the given sampling
+// granularity (off by default — it is the most intrusive of the three).
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof: live wire-path profiles
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -61,12 +71,21 @@ func main() {
 	buffer := flag.Bool("buffer", false, "buffer commands after unconfirmed barriers (reordering switches)")
 	rumAware := flag.Bool("acks", true, "emit fine-grained RUM acks to the controller")
 	pprofAddr := flag.String("pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060) for live wire-path profiles")
+		"serve net/http/pprof on this address (e.g. localhost:6060) for live CPU/allocation/mutex profiles")
+	mutexFraction := flag.Int("mutex-fraction", 100,
+		"with -pprof: sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables)")
+	blockRate := flag.Int("block-rate", 0,
+		"with -pprof: blocking-profile sampling granularity in ns for /debug/pprof/block (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
 		go func() {
-			log.Printf("rumproxy: pprof at http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("rumproxy: pprof at http://%s/debug/pprof/ (allocs, mutex 1/%d, block %dns)",
+				*pprofAddr, *mutexFraction, *blockRate)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("rumproxy: pprof server: %v", err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rum/internal/of"
 	"rum/internal/packet"
@@ -11,19 +12,88 @@ import (
 // confirmListener observes confirmations (the barrier layer registers one).
 type confirmListener func(u *Update, outcome Outcome)
 
+// ackRingMinCap is the initial seq-ring capacity; it grows by doubling to
+// the workload's high-water mark and stays there for the session.
+const ackRingMinCap = 256
+
+// confirmScratch recycles the ready-lists confirmUpTo drains batches
+// into, so a coalesced barrier reply resolving hundreds of updates
+// allocates nothing at steady state.
+var confirmScratch = sync.Pool{New: func() any {
+	s := make([]*Update, 0, 64)
+	return &s
+}}
+
 // ackLayer is the acknowledgment layer (§2): it tracks every FlowMod the
 // controller sends, hands it to the switch's configured AckStrategy, and —
 // once the strategy proves the rule is in the data plane — emits a
 // fine-grained ack to RUM-aware controllers, resolves ack futures, and
 // publishes an AckEvent.
+//
+// Bookkeeping is O(1) per update: seq is monotonic per session, so the
+// pending set is a seq-indexed ring buffer (seq s lives at ring[s&mask])
+// bounded by [head, nextSeq]. Confirming a prefix is a head-pointer
+// advance; an out-of-order confirmation just marks its slot done and the
+// hole is reaped when the head passes it — no rescanning, ever. The head
+// doubles as the published confirmed-prefix watermark the barrier layer
+// and work-proportional timeout bounds read lock-free.
 type ackLayer struct {
 	sess *session
 
+	// ctx is the layer's proxy context, captured from the first message
+	// to cross the layer (contexts are per-layer singletons, so there is
+	// nothing to re-store per message).
+	ctx atomic.Pointer[proxy.Context]
+
+	// head is the lowest unresolved seq (confirmedThrough() == head-1);
+	// issued mirrors nextSeq. Both are written under mu and read
+	// lock-free by the barrier layer and strategies.
+	head   atomic.Uint64
+	issued atomic.Uint64
+	// emitting counts confirmation batches whose watermark advance is
+	// published but whose acks/listeners have not finished emitting; the
+	// barrier layer must not reply directly past them (see quiescentAt).
+	emitting atomic.Int32
+
 	mu        sync.Mutex
-	ctx       *proxy.Context
 	nextSeq   uint64
-	pendings  []*Update // issue order; confirmed entries are pruned
-	listeners []confirmListener
+	ring      []*Update // power-of-two window [head, nextSeq], one ref per slot
+	wireQ     []*Update // FIFO awaiting wire-encode release (recycleFM sessions)
+	wireHead  int
+	listeners []confirmListener // copy-on-write; snapshots are immutable
+}
+
+func newAckLayer(s *session) *ackLayer {
+	a := &ackLayer{sess: s}
+	a.head.Store(1)
+	return a
+}
+
+// captureCtx latches the layer's proxy context once; both directions
+// share the same per-layer Context value.
+func (a *ackLayer) captureCtx(ctx *proxy.Context) {
+	if a.ctx.Load() == nil {
+		a.ctx.Store(ctx)
+	}
+}
+
+// confirmedThrough returns the contiguous confirmed seq prefix: every
+// update with seq <= the returned value has resolved.
+func (a *ackLayer) confirmedThrough() uint64 { return a.head.Load() - 1 }
+
+// issuedThrough returns the newest seq handed out so far.
+func (a *ackLayer) issuedThrough() uint64 { return a.issued.Load() }
+
+// quiescentAt reports whether every update with seq <= upTo has resolved
+// AND its acks have been serialized. The watermark advances under the
+// mutex before acks are emitted outside it, so watermark-coverage alone
+// would let a concurrently absorbed barrier reply overtake the covered
+// updates' acks on the controller channel. The emitting counter is
+// incremented in the same critical section as the watermark store and
+// dropped once the batch's acks are out (with its listener calls still
+// pending), so a zero read here means no ack-reordering window is open.
+func (a *ackLayer) quiescentAt(upTo uint64) bool {
+	return a.confirmedThrough() >= upTo && a.emitting.Load() == 0
 }
 
 // FromController implements proxy.Layer. The ack layer is the
@@ -32,27 +102,120 @@ type ackLayer struct {
 // outbox batches the injection (and coalesces RUM barriers) off the
 // dispatch path.
 func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
-	a.mu.Lock()
-	a.ctx = ctx
-	a.mu.Unlock()
-	switch mm := m.(type) {
-	case *of.FlowMod:
-		a.mu.Lock()
-		a.nextSeq++
-		u := &Update{
-			sw:       a.sess.name,
-			xid:      mm.GetXID(),
-			seq:      a.nextSeq,
-			fm:       mm,
-			issuedAt: ctx.Clock().Now(),
-		}
-		a.pendings = append(a.pendings, u)
-		a.mu.Unlock()
+	a.captureCtx(ctx)
+	mm, ok := m.(*of.FlowMod)
+	if !ok {
 		a.sess.sendToSwitch(m)
-		a.sess.strat.OnFlowMod(u)
-	default:
-		a.sess.sendToSwitch(m)
+		return
 	}
+	u := acquireUpdate()
+	u.sw = a.sess.name
+	u.xid = mm.GetXID()
+	u.fm = mm
+	u.issuedAt = ctx.Clock().Now()
+	// On sessions whose conns both encode frames, the decoded FlowMod is
+	// exclusively RUM's: the wire watermark below returns it to the codec
+	// pool once it has been serialized toward the switch and the update
+	// has fully resolved.
+	wire := a.sess.recycleFM && !IsRUMXID(u.xid)
+	u.ownFM = wire
+	a.mu.Lock()
+	a.nextSeq++
+	u.seq = a.nextSeq
+	a.issued.Store(a.nextSeq)
+	a.ringPutLocked(u)
+	if wire {
+		u.Retain() // wire reference, dropped by noteFlushed after encoding
+		a.wireQ = append(a.wireQ, u)
+	}
+	// The outbox enqueue stays inside the critical section: noteFlushed
+	// pairs wire-queue entries with encoded FlowMods purely by FIFO
+	// position, so the two queues must observe the same order even when
+	// dispatch paths race (buffer-mode barrier release runs concurrently
+	// with the controller reader). Lock order is ackLayer.mu → shard.mu,
+	// never reversed (noteFlushed runs after the flush drops the shard
+	// lock), and enqueue never blocks.
+	a.sess.sendToSwitch(m)
+	a.mu.Unlock()
+	a.sess.strat.OnFlowMod(u)
+	u.Release() // the tracking frame's reference
+}
+
+// ringPutLocked places u at its seq slot, growing (and rehashing) the
+// ring when the pending window outgrows it. The slot holds one reference.
+func (a *ackLayer) ringPutLocked(u *Update) {
+	h := a.head.Load()
+	if n := uint64(len(a.ring)); n == 0 || u.seq-h+1 > n {
+		need := u.seq - h + 1
+		grown := uint64(ackRingMinCap)
+		for grown < need {
+			grown <<= 1
+		}
+		nr := make([]*Update, grown)
+		for s := h; s < u.seq; s++ {
+			nr[s&(grown-1)] = a.ring[s&uint64(len(a.ring)-1)]
+		}
+		a.ring = nr
+	}
+	a.ring[u.seq&uint64(len(a.ring)-1)] = u
+	u.Retain()
+}
+
+// reapLocked advances the head past resolved updates, clearing their
+// slots and dropping the slots' references. Out-of-order confirmations
+// leave done holes behind the head; this is where they are collected.
+func (a *ackLayer) reapLocked() {
+	h := a.head.Load()
+	mask := uint64(len(a.ring) - 1)
+	for h <= a.nextSeq {
+		u := a.ring[h&mask]
+		if !u.done {
+			break
+		}
+		a.ring[h&mask] = nil
+		h++
+		u.Release()
+	}
+	a.head.Store(h)
+}
+
+// noteFlushed reports that the shard encoded n tracked FlowMods onto the
+// wire (FIFO, so they are exactly the next n wire-queue entries); their
+// wire references drop, letting fully-resolved updates recycle their
+// decoded FlowMods back to the codec pool.
+func (a *ackLayer) noteFlushed(n int) {
+	a.mu.Lock()
+	for ; n > 0 && a.wireHead < len(a.wireQ); n-- {
+		u := a.wireQ[a.wireHead]
+		a.wireQ[a.wireHead] = nil
+		a.wireHead++
+		u.Release()
+	}
+	if a.wireHead == len(a.wireQ) {
+		a.wireQ = a.wireQ[:0]
+		a.wireHead = 0
+	}
+	a.mu.Unlock()
+}
+
+// releaseWire drops the wire references of updates still queued for
+// encoding when the session detaches: the shard dropped its outbox, so
+// noteFlushed will never pop them. Their decoded FlowMods are handed to
+// the garbage collector instead of the codec pool (ownFM is cleared
+// first) — a flush already in flight may still be serializing the
+// structs, so recycling them here would hand the encoder a reused
+// buffer. Detach is cold; the pool just misses.
+func (a *ackLayer) releaseWire() {
+	a.mu.Lock()
+	for ; a.wireHead < len(a.wireQ); a.wireHead++ {
+		u := a.wireQ[a.wireHead]
+		a.wireQ[a.wireHead] = nil
+		u.ownFM = false
+		u.Release()
+	}
+	a.wireQ = a.wireQ[:0]
+	a.wireHead = 0
+	a.mu.Unlock()
 }
 
 // FromSwitch implements proxy.Layer: barrier replies and probe PacketIns
@@ -61,9 +224,7 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 // replies to RUM-internal messages are suppressed. Everything else passes
 // through.
 func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
-	a.mu.Lock()
-	a.ctx = ctx
-	a.mu.Unlock()
+	a.captureCtx(ctx)
 	switch mm := m.(type) {
 	case *of.BarrierReply:
 		// A reply to a barrier that swallowed earlier RUM barriers in the
@@ -72,11 +233,14 @@ func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 		// so strategies observe every barrier they emitted, oldest first.
 		// Synthesized replies live exactly for the strategy callback, so
 		// they cycle through the codec pool.
-		for _, dx := range a.sess.shard.takeCoalesced(mm.GetXID()) {
-			synth := of.AcquireBarrierReply()
-			synth.SetXID(dx)
-			a.sess.strat.OnBarrierReply(synth)
-			of.Release(synth)
+		if dropped := a.sess.shard.takeCoalesced(mm.GetXID()); dropped != nil {
+			for _, dx := range dropped {
+				synth := of.AcquireBarrierReply()
+				synth.SetXID(dx)
+				a.sess.strat.OnBarrierReply(synth)
+				of.Release(synth)
+			}
+			a.sess.shard.releaseCoalesced(dropped)
 		}
 		if a.sess.strat.OnBarrierReply(mm) {
 			// Strategies only ever claim replies to their own barriers:
@@ -114,31 +278,37 @@ func (a *ackLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 	ctx.ToController(m)
 }
 
-// onConfirm registers a confirmation listener.
+// onConfirm registers a confirmation listener. The listener slice is
+// copy-on-write: emitters publish resolutions against an immutable
+// snapshot without copying per confirmation.
 func (a *ackLayer) onConfirm(fn confirmListener) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.listeners = append(a.listeners, fn)
+	ls := make([]confirmListener, len(a.listeners)+1)
+	copy(ls, a.listeners)
+	ls[len(ls)-1] = fn
+	a.listeners = ls
+	a.mu.Unlock()
 }
 
-// takeConfirmed atomically marks u resolved and prunes it; it reports
-// false when u was already resolved, and returns the resources needed to
-// emit the resolution.
+// takeConfirmed atomically marks u resolved; it reports false when u was
+// already resolved, and returns the resources needed to emit the
+// resolution. On success the caller inherits one reference to u (the
+// emission reference) and must Release it after emitting.
 func (a *ackLayer) takeConfirmed(u *Update) (ctx *proxy.Context, listeners []confirmListener, ok bool) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if u.done {
+		a.mu.Unlock()
 		return nil, nil, false
 	}
 	u.done = true
-	kept := a.pendings[:0]
-	for _, q := range a.pendings {
-		if !q.done {
-			kept = append(kept, q)
-		}
+	u.Retain()        // emission reference
+	a.emitting.Add(1) // paired with the Add(-1) in confirm
+	if u.seq == a.head.Load() {
+		a.reapLocked()
 	}
-	a.pendings = kept
-	return a.ctx, append([]confirmListener(nil), a.listeners...), true
+	listeners = a.listeners
+	a.mu.Unlock()
+	return a.ctx.Load(), listeners, true
 }
 
 // confirm resolves u with the given outcome: it emits the wire-level ack
@@ -149,24 +319,45 @@ func (a *ackLayer) confirm(u *Update, outcome Outcome) {
 	if !ok {
 		return
 	}
-	a.emitResolution(ctx, listeners, u, outcome)
+	refined := a.emitResolution(ctx, u, outcome)
+	// Drop the emission marker after the ack is serialized but BEFORE
+	// the listeners run: a barrier queued while the marker was up is
+	// then guaranteed a still-pending listener call to drain it.
+	a.emitting.Add(-1)
+	for _, fn := range listeners {
+		fn(u, refined)
+	}
+	u.Release()
+}
+
+// refineOutcome maps a prefix-confirmed deletion to "removed":
+// order-preserving strategies confirm deletions as OutcomeInstalled.
+func refineOutcome(u *Update, outcome Outcome) Outcome {
+	if outcome == OutcomeInstalled &&
+		(u.fm.Command == of.FCDelete || u.fm.Command == of.FCDeleteStrict) {
+		return OutcomeRemoved
+	}
+	return outcome
 }
 
 // emitResolution performs the lock-free tail of a confirmation for an
-// update already marked done and pruned.
-func (a *ackLayer) emitResolution(ctx *proxy.Context, listeners []confirmListener, u *Update, outcome Outcome) {
-	// Deletions confirmed by order-preserving strategies arrive as
-	// OutcomeInstalled; refine them so callers see "removed".
-	if outcome == OutcomeInstalled &&
-		(u.fm.Command == of.FCDelete || u.fm.Command == of.FCDeleteStrict) {
-		outcome = OutcomeRemoved
-	}
+// update already marked done, returning the refined outcome; the caller
+// holds a reference to u and owns notifying the confirmation listeners.
+func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome) Outcome {
+	outcome = refineOutcome(u, outcome)
 	r := a.sess.rum
 	code, hasWire := outcome.wireCode()
 	if hasWire && r.cfg.RUMAware && ctx != nil {
-		ack := of.NewRUMAck(u.xid, code)
+		ack := of.AcquireError()
+		of.FillRUMAck(ack, u.xid, code)
 		ack.SetXID(r.newXID())
 		ctx.ToController(ack)
+		if a.sess.recycleAcks {
+			// The controller conn serialized the ack during Send (the
+			// barrier layer passes RUM acks straight through), so RUM is
+			// its sole owner again.
+			of.Release(ack)
+		}
 		r.noteAck()
 	}
 	now := a.sess.clock().Now()
@@ -180,17 +371,18 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, listeners []confirmListene
 		Latency:     now - u.issuedAt,
 	}
 	r.resolveWatch(res)
-	r.publish(AckEvent{
-		Switch:   u.sw,
-		XID:      u.xid,
-		Outcome:  outcome,
-		Code:     code,
-		IssuedAt: u.issuedAt,
-		At:       now,
-		Latency:  res.Latency,
-	})
-	for _, fn := range listeners {
-		fn(u, outcome)
+	// Only box the event when someone is listening: the interface
+	// conversion heap-allocates, and this is the per-update hot path.
+	if subs := r.subsSnapshot(); subs != nil {
+		fanout(subs, AckEvent{
+			Switch:   u.sw,
+			XID:      u.xid,
+			Outcome:  outcome,
+			Code:     code,
+			IssuedAt: u.issuedAt,
+			At:       now,
+			Latency:  res.Latency,
+		})
 	}
 	// Let the strategy drop per-update state for resolutions it did not
 	// initiate (switch errors, detach) — a failed update's probe must not
@@ -198,38 +390,72 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, listeners []confirmListene
 	if ro, ok := a.sess.strat.(ResolutionObserver); ok {
 		ro.OnUpdateResolved(u, outcome)
 	}
+	return outcome
 }
 
 // confirmUpTo confirms every pending mod with seq <= seq (order-preserving
-// strategies: barriers, timeout, sequential). The whole prefix is marked
-// and pruned in one pass under the lock — with coalesced barriers a
-// single reply routinely resolves a large batch, and per-update
-// re-pruning would make that quadratic.
+// strategies: barriers, timeout, adaptive, sequential). The whole prefix
+// is a single head-pointer advance under the lock — with coalesced
+// barriers one reply routinely resolves a large batch, and the cost is
+// O(batch), independent of how many further updates are pending.
 func (a *ackLayer) confirmUpTo(seq uint64, outcome Outcome) {
+	sp := confirmScratch.Get().(*[]*Update)
+	ready := (*sp)[:0]
 	a.mu.Lock()
-	var ready []*Update
-	kept := a.pendings[:0]
-	for _, u := range a.pendings {
-		if u.done {
-			continue
+	if len(a.ring) > 0 {
+		if seq > a.nextSeq {
+			seq = a.nextSeq
 		}
-		if u.seq <= seq {
+		mask := uint64(len(a.ring) - 1)
+		h := a.head.Load()
+		for ; h <= seq; h++ {
+			u := a.ring[h&mask]
+			a.ring[h&mask] = nil
+			if u.done {
+				// Confirmed out of order earlier; its resolution was
+				// already emitted — the slot reference just dies here.
+				u.Release()
+				continue
+			}
 			u.done = true
-			ready = append(ready, u)
-		} else {
-			kept = append(kept, u)
+			ready = append(ready, u) // slot reference rides along
+		}
+		if len(ready) > 0 {
+			a.emitting.Add(1) // one batch; dropped after the listener loop
+		}
+		a.head.Store(h)
+		a.reapLocked() // collect trailing out-of-order holes
+	}
+	listeners := a.listeners
+	a.mu.Unlock()
+	ctx := a.ctx.Load()
+	// Emit every ack in the batch before notifying listeners: the
+	// confirmed-prefix watermark already covers the whole batch, so a
+	// listener poked mid-batch (the barrier layer) would release a
+	// barrier reply ahead of the remaining — already confirmed, not yet
+	// emitted — acks, reordering the controller's view.
+	for _, u := range ready {
+		a.emitResolution(ctx, u, outcome)
+	}
+	if len(ready) > 0 {
+		// As in confirm: acks are out, listeners still pending — any
+		// barrier that queued against this batch's marker drains below.
+		a.emitting.Add(-1)
+	}
+	if len(listeners) > 0 {
+		for _, u := range ready {
+			refined := refineOutcome(u, outcome)
+			for _, fn := range listeners {
+				fn(u, refined)
+			}
 		}
 	}
-	a.pendings = kept
-	ctx := a.ctx
-	var listeners []confirmListener
-	if len(ready) > 0 {
-		listeners = append([]confirmListener(nil), a.listeners...)
+	for i, u := range ready {
+		u.Release()
+		ready[i] = nil
 	}
-	a.mu.Unlock()
-	for _, u := range ready {
-		a.emitResolution(ctx, listeners, u, outcome)
-	}
+	*sp = ready[:0]
+	confirmScratch.Put(sp)
 }
 
 // errorBlamesFlowMod reports whether a switch error can be attributed to
@@ -246,26 +472,61 @@ func errorBlamesFlowMod(e *of.Error) bool {
 	return len(e.Data) >= 2 && of.MsgType(e.Data[1]) == of.TypeFlowMod
 }
 
-// pendingSnapshot copies the unresolved updates in issue order.
-func (a *ackLayer) pendingSnapshot() []*Update {
+// takePendingRetained snapshots the unresolved updates in issue order,
+// holding one reference each; the caller must Release them (detach).
+func (a *ackLayer) takePendingRetained() []*Update {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return append([]*Update(nil), a.pendings...)
+	var out []*Update
+	if len(a.ring) == 0 {
+		return nil
+	}
+	mask := uint64(len(a.ring) - 1)
+	for s := a.head.Load(); s <= a.nextSeq; s++ {
+		if u := a.ring[s&mask]; u != nil && !u.done {
+			u.Retain()
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// pendingCount reports how many updates are unresolved (tests).
+func (a *ackLayer) pendingCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.ring) == 0 {
+		return 0
+	}
+	n := 0
+	mask := uint64(len(a.ring) - 1)
+	for s := a.head.Load(); s <= a.nextSeq; s++ {
+		if u := a.ring[s&mask]; u != nil && !u.done {
+			n++
+		}
+	}
+	return n
 }
 
 // failByXID resolves the pending update with the given controller xid as
-// failed, if one exists.
+// failed, if one exists. Errors are rare, so the linear walk over the
+// pending window stays off the hot path.
 func (a *ackLayer) failByXID(xid uint32) {
 	a.mu.Lock()
 	var victim *Update
-	for _, u := range a.pendings {
-		if u.xid == xid && !u.done {
-			victim = u
-			break
+	if len(a.ring) > 0 {
+		mask := uint64(len(a.ring) - 1)
+		for s := a.head.Load(); s <= a.nextSeq; s++ {
+			if u := a.ring[s&mask]; u != nil && u.xid == xid && !u.done {
+				victim = u
+				victim.Retain()
+				break
+			}
 		}
 	}
 	a.mu.Unlock()
 	if victim != nil {
 		a.confirm(victim, OutcomeFailed)
+		victim.Release()
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rum/internal/of"
 	"rum/internal/proxy"
@@ -16,30 +17,47 @@ import (
 // barrier), and — in buffer mode, for switches that reorder across
 // barriers — withholds every subsequent controller command until the
 // barrier resolves.
+//
+// Bookkeeping rides the ack layer's seq ring: because the ack layer
+// assigns a monotonic seq to every forwarded FlowMod and publishes its
+// contiguous confirmed prefix, a barrier is just the interval boundary
+// "all seqs <= upTo" — captured as one integer when the barrier is
+// absorbed and compared against the watermark on every confirmation. The
+// per-xid unconfirmed/covered map churn of the map-based implementation
+// is gone.
 type barrierLayer struct {
 	sess   *session
 	buffer bool
 
+	// ctx is the layer's proxy context, captured once from the first
+	// message (contexts are per-layer singletons).
+	ctx atomic.Pointer[proxy.Context]
+
 	mu         sync.Mutex
 	registered bool
-	ctx        *proxy.Context
-	unconf     map[uint32]bool // xids of forwarded, unconfirmed FlowMods
-	waiters    []*barWaiter
+	waiters    []barWaiter  // absorbed barriers, FIFO
 	downQ      []of.Message // held controller→switch messages (buffer mode)
 	upQ        []of.Message // held switch→controller messages
 }
 
-// barWaiter is one absorbed barrier.
+// barWaiter is one absorbed barrier: it resolves once the ack layer's
+// confirmed prefix reaches upTo (every modification forwarded before the
+// barrier carries a seq <= upTo).
 type barWaiter struct {
-	xid     uint32
-	covers  map[uint32]bool // unconfirmed xids it waits for
-	buffers bool            // whether downQ holds messages released by it
+	xid  uint32
+	upTo uint64
+}
+
+func (b *barrierLayer) captureCtx(ctx *proxy.Context) {
+	if b.ctx.Load() == nil {
+		b.ctx.Store(ctx)
+	}
 }
 
 // FromController implements proxy.Layer.
 func (b *barrierLayer) FromController(ctx *proxy.Context, m of.Message) {
+	b.captureCtx(ctx)
 	b.mu.Lock()
-	b.ctx = ctx
 	if !b.registered {
 		b.registered = true
 		b.sess.ack.onConfirm(b.onConfirm)
@@ -50,44 +68,45 @@ func (b *barrierLayer) FromController(ctx *proxy.Context, m of.Message) {
 		b.mu.Unlock()
 		return
 	}
-	switch mm := m.(type) {
-	case *of.BarrierRequest:
-		b.absorbBarrierLocked(ctx, mm)
+	if mm, ok := m.(*of.BarrierRequest); ok {
+		b.absorbBarrierLocked(mm)
 		b.mu.Unlock()
-	case *of.FlowMod:
-		if b.unconf == nil {
-			b.unconf = make(map[uint32]bool)
-		}
-		b.unconf[mm.GetXID()] = true
-		b.mu.Unlock()
-		ctx.ToSwitch(m)
-	default:
-		b.mu.Unlock()
-		ctx.ToSwitch(m)
+		return
 	}
+	// FlowMods need no bookkeeping here: the ack layer downstream assigns
+	// their seqs synchronously during ToSwitch, which is what the next
+	// absorbed barrier's interval boundary reads.
+	b.mu.Unlock()
+	ctx.ToSwitch(m)
 }
 
 // absorbBarrierLocked registers (or immediately answers) a barrier.
-func (b *barrierLayer) absorbBarrierLocked(ctx *proxy.Context, m *of.BarrierRequest) {
-	if len(b.unconf) == 0 {
+func (b *barrierLayer) absorbBarrierLocked(m *of.BarrierRequest) {
+	upTo := b.sess.ack.issuedThrough()
+	// Direct reply only when no older barrier is still queued AND no
+	// confirmation is mid-emission: the watermark advances before the
+	// covered acks are serialized and before the listeners run, so
+	// either an earlier waiter may be releasable-but-unreleased here, or
+	// a direct reply would overtake acks the controller must see first.
+	// Queueing is always safe: the emitting marker drops only once the
+	// acks are out but while the listener calls are still pending, so a
+	// waiter queued against either condition has a listener call coming
+	// that drains every eligible waiter in order.
+	if len(b.waiters) == 0 && b.sess.ack.quiescentAt(upTo) {
 		reply := &of.BarrierReply{}
 		reply.SetXID(m.GetXID())
 		// Reply directly: nothing may be pending ahead of it.
 		b.sess.sendToController(reply)
 		return
 	}
-	covers := make(map[uint32]bool, len(b.unconf))
-	for x := range b.unconf {
-		covers[x] = true
-	}
-	b.waiters = append(b.waiters, &barWaiter{xid: m.GetXID(), covers: covers})
+	b.waiters = append(b.waiters, barWaiter{xid: m.GetXID(), upTo: upTo})
 }
 
 // FromSwitch implements proxy.Layer: messages are held while a barrier
 // reply is pending so the controller's view stays ordered.
 func (b *barrierLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
+	b.captureCtx(ctx)
 	b.mu.Lock()
-	b.ctx = ctx
 	if len(b.waiters) > 0 {
 		// Fine-grained RUM acks bypass the hold: they are the mechanism a
 		// RUM-aware controller uses to make progress toward resolving the
@@ -111,20 +130,16 @@ func (b *barrierLayer) FromSwitch(ctx *proxy.Context, m of.Message) {
 // including failed: a rejected modification must not wedge barriers).
 func (b *barrierLayer) onConfirm(u *Update, outcome Outcome) {
 	b.mu.Lock()
-	delete(b.unconf, u.xid)
-	for _, w := range b.waiters {
-		delete(w.covers, u.xid)
-	}
 	b.releaseLocked()
 	b.mu.Unlock()
 }
 
 // releaseLocked answers resolved barriers in order and releases held
 // traffic. The head barrier gates everything: replies are emitted
-// strictly in barrier order.
+// strictly in barrier order, each requiring the full confirmed prefix to
+// reach its interval boundary.
 func (b *barrierLayer) releaseLocked() {
-	ctx := b.ctx
-	for len(b.waiters) > 0 && len(b.waiters[0].covers) == 0 {
+	for len(b.waiters) > 0 && b.sess.ack.confirmedThrough() >= b.waiters[0].upTo {
 		w := b.waiters[0]
 		b.waiters = b.waiters[1:]
 		reply := &of.BarrierReply{}
@@ -139,7 +154,7 @@ func (b *barrierLayer) releaseLocked() {
 		// In buffer mode, release held commands up to (and absorbing) the
 		// next barrier.
 		if b.buffer {
-			b.releaseDownLocked(ctx)
+			b.releaseDownLocked(b.ctx.Load())
 		}
 	}
 }
@@ -152,18 +167,11 @@ func (b *barrierLayer) releaseDownLocked(ctx *proxy.Context) {
 	for len(b.downQ) > 0 && len(b.waiters) == 0 {
 		m := b.downQ[0]
 		b.downQ = b.downQ[1:]
-		switch mm := m.(type) {
-		case *of.BarrierRequest:
-			b.absorbBarrierLocked(ctx, mm)
-		case *of.FlowMod:
-			if b.unconf == nil {
-				b.unconf = make(map[uint32]bool)
-			}
-			b.unconf[mm.GetXID()] = true
-			b.forwardUnlocked(ctx, m)
-		default:
-			b.forwardUnlocked(ctx, m)
+		if mm, ok := m.(*of.BarrierRequest); ok {
+			b.absorbBarrierLocked(mm)
+			continue
 		}
+		b.forwardUnlocked(ctx, m)
 	}
 }
 

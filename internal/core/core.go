@@ -87,6 +87,19 @@ type Config struct {
 	// 300-rule table).
 	Timeout time.Duration
 
+	// TimeoutRate, when > 0, makes TechTimeout's post-barrier safety
+	// delay proportional to the outstanding work instead of always
+	// charging the full worst case: a barrier reply covering n
+	// still-unconfirmed modifications waits n/TimeoutRate seconds
+	// (clamped to Timeout, floored at the timer-wheel tick). The paper's
+	// fixed 300 ms bound is the worst case for a full 300-rule table —
+	// an implied floor of 1000 installs/sec; TimeoutRate applies that
+	// same per-rule conservatism to the actual queue depth, so a 25-rule
+	// burst is held 25 ms, not 300. It is what keeps the fat-tree churn
+	// workload's ack-latency tail flat. Zero keeps the paper's fixed
+	// delay.
+	TimeoutRate float64
+
 	// AssumedRate is TechAdaptive's modeled switch installation rate in
 	// rules/second (the paper evaluates 200 and 250).
 	AssumedRate float64
@@ -454,7 +467,15 @@ func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.
 	}
 
 	s := &session{rum: r, name: name, shard: sh, swConn: swConn, ctConn: ctrlConn}
-	al := &ackLayer{sess: s}
+	// Pool-recycling release points depend on who owns message structs:
+	// frame-encoding conns copy to wire bytes during Send, so RUM regains
+	// exclusive ownership of acks it emits upward and — when the decode
+	// side is also RUM's own (both conns encode) — of the tracked
+	// FlowMods it decoded. Pipes pass pointers and keep shared ownership.
+	s.recycleAcks = transport.EncodesFrames(ctrlConn)
+	s.reuseBatch = transport.EncodesFrames(swConn)
+	s.recycleFM = s.recycleAcks && s.reuseBatch && !r.cfg.Unsharded
+	al := newAckLayer(s)
 	s.ack = al
 	var layers []proxy.Layer
 	if r.cfg.BarrierLayer {
@@ -484,6 +505,17 @@ type session struct {
 	ack    *ackLayer
 	bar    *barrierLayer
 	strat  SwitchStrategy
+
+	// recycleAcks: the controller conn encodes frames, so emitted RUM
+	// acks return to the codec pool after Send. reuseBatch: the switch
+	// conn encodes frames during SendBatch and retains neither the batch
+	// slice nor the message structs, so the shard may recycle drained
+	// outbox backings (pipes retain the slice until delivery). recycleFM:
+	// both conns encode frames, so tracked FlowMods (decoded by RUM,
+	// serialized by RUM) recycle once flushed to the wire and resolved.
+	recycleAcks bool
+	reuseBatch  bool
+	recycleFM   bool
 }
 
 // sendToSwitch queues a message for the switch's control channel through
@@ -516,10 +548,24 @@ func (s *session) sendBatchToSwitchNow(ms []of.Message) {
 	if !transport.EncodesFrames(s.swConn) {
 		return
 	}
+	flowMods := 0
 	for _, m := range ms {
-		if br, ok := m.(*of.BarrierRequest); ok && IsRUMXID(br.GetXID()) {
-			of.Release(br)
+		switch mm := m.(type) {
+		case *of.BarrierRequest:
+			if IsRUMXID(mm.GetXID()) {
+				of.Release(mm)
+			}
+		case *of.FlowMod:
+			if !IsRUMXID(mm.GetXID()) {
+				flowMods++
+			}
 		}
+	}
+	// Tracked FlowMods are encoded in seq order (the outbox is FIFO);
+	// advance the ack layer's wire watermark so resolved updates can
+	// recycle their decoded structs.
+	if s.recycleFM && flowMods > 0 {
+		s.ack.noteFlushed(flowMods)
 	}
 }
 
@@ -609,11 +655,15 @@ func (r *RUM) DetachSwitch(name string) bool {
 	// Attach holds mu until the session is fully built, so proxy and
 	// strat are always valid here.
 	_ = s.proxy.Close()
+	// The shard's outbox is gone: wire references for never-encoded
+	// FlowMods must drop here or the pooled updates leak.
+	s.ack.releaseWire()
 	if d, ok := s.strat.(SwitchDetacher); ok {
 		d.Detach()
 	}
-	for _, u := range s.ack.pendingSnapshot() {
+	for _, u := range s.ack.takePendingRetained() {
 		s.ack.confirm(u, OutcomeFailed)
+		u.Release()
 	}
 	sh.failAllWatchers(r.cfg.Clock.Now())
 	return true

@@ -32,6 +32,10 @@ type UpdateHandle struct {
 	xid  uint32
 	done chan struct{}
 
+	// nextWatch chains handles watching the same xid on one shard
+	// (guarded by the shard lock; see shard.watch).
+	nextWatch *UpdateHandle
+
 	mu        sync.Mutex
 	res       AckResult
 	resolved  bool

@@ -122,9 +122,17 @@ type generalSwitch struct {
 func (t *generalSwitch) Detach() {
 	t.mu.Lock()
 	t.detached = true
+	probes := t.probes
+	fallbacks := t.fallbackBarriers
 	t.probes = nil
 	t.fallbackBarriers = nil
 	t.mu.Unlock()
+	for _, gp := range probes {
+		gp.u.Release()
+	}
+	for _, u := range fallbacks {
+		u.Release()
+	}
 	t.parent.remove(t)
 }
 
@@ -190,6 +198,7 @@ func (t *generalSwitch) OnFlowMod(u *Update) {
 		t.fallback(u)
 		return
 	}
+	u.Retain() // the outstanding probe's reference on the pooled update
 	t.mu.Lock()
 	t.probes = append(t.probes, probe)
 	t.mu.Unlock()
@@ -202,20 +211,27 @@ func (t *generalSwitch) OnFlowMod(u *Update) {
 // (switch error, detach); its signal can never arrive, and a clogged
 // probe list would starve newer updates of their ProbeBatch slots.
 func (t *generalSwitch) OnUpdateResolved(u *Update, outcome Outcome) {
+	dropped := 0
 	t.mu.Lock()
 	kept := t.probes[:0]
 	for _, gp := range t.probes {
 		if gp.u != u {
 			kept = append(kept, gp)
+		} else {
+			dropped++
 		}
 	}
 	t.probes = kept
 	for xid, fu := range t.fallbackBarriers {
 		if fu == u {
 			delete(t.fallbackBarriers, xid)
+			dropped++
 		}
 	}
 	t.mu.Unlock()
+	for ; dropped > 0; dropped-- {
+		u.Release()
+	}
 }
 
 // BootstrapNeighbor implements NeighborBootstrapper: a reconnecting
@@ -363,6 +379,7 @@ func (t *generalSwitch) fallback(u *Update) {
 	br := of.AcquireBarrierRequest()
 	xid := t.sc.NewXID()
 	br.SetXID(xid)
+	u.Retain() // the fallback-barrier table's reference
 	t.mu.Lock()
 	if t.fallbackBarriers == nil {
 		t.fallbackBarriers = make(map[uint32]*Update)
@@ -382,8 +399,12 @@ func (t *generalSwitch) OnBarrierReply(rep *of.BarrierReply) bool {
 	if !mine {
 		return false
 	}
+	// The table's reference moves into the timer closure: even if the
+	// update resolves elsewhere (error, detach) before the deadline, the
+	// late Confirm hits this same — still live — struct and no-ops.
 	t.sc.Clock().After(t.sc.Config().Timeout, func() {
 		t.sc.Confirm(u, OutcomeFallback)
+		u.Release()
 	})
 	return true
 }
@@ -413,6 +434,7 @@ func (t *generalSwitch) noteArrival(recv string, f packet.Fields) bool {
 	t.mu.Unlock()
 	if confirmNow != nil {
 		t.sc.Confirm(confirmNow, OutcomeInstalled)
+		confirmNow.Release() // the removed probe's reference
 	}
 	return match != nil
 }
@@ -478,6 +500,7 @@ func (t *generalSwitch) OnTick(now time.Duration) {
 
 	for _, gp := range silent {
 		t.sc.Confirm(gp.u, OutcomeInstalled)
+		gp.u.Release() // the removed probe's reference
 	}
 	for _, gp := range round {
 		t.injectProbe(gp)

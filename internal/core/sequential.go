@@ -111,12 +111,15 @@ func (s *seqState) nextWaiter() *sequentialSwitch {
 
 // releaseOwner drops every epoch owned by t and removes it from the
 // waiter queue (detach: the versions would otherwise stay pinned forever,
-// shrinking the shared window).
-func (s *seqState) releaseOwner(t *sequentialSwitch) {
+// shrinking the shared window). The dropped epochs are returned so the
+// caller can release their retained updates.
+func (s *seqState) releaseOwner(t *sequentialSwitch) []*seqEpoch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var out []*seqEpoch
 	for tos, e := range s.outstanding {
 		if e.owner == t {
+			out = append(out, e)
 			delete(s.outstanding, tos)
 		}
 	}
@@ -127,6 +130,7 @@ func (s *seqState) releaseOwner(t *sequentialSwitch) {
 		}
 	}
 	s.waiters = kept
+	return out
 }
 
 // release drops every epoch of t with id <= maxID (confirmed transitively
@@ -206,6 +210,13 @@ func (s *sequentialStrategy) route(tos uint8) {
 	}
 	t.mu.Unlock()
 	t.sc.ConfirmUpTo(maxSeq, OutcomeInstalled)
+	// The confirmed epochs are gone from the outstanding set; drop their
+	// references on the pooled updates.
+	for _, e := range released {
+		for _, u := range e.mods {
+			u.Release()
+		}
+	}
 	// Versions were freed: drain waiting switches (possibly including the
 	// confirmed one) so their deferred batches retry.
 	for {
@@ -237,17 +248,31 @@ type sequentialSwitch struct {
 }
 
 // Detach implements SwitchDetacher: stop batching and pumping, release
-// the switch's outstanding probe-rule versions back to the shared space.
+// the switch's outstanding probe-rule versions back to the shared space
+// (and the retained updates inside the dropped batches and epochs).
 func (t *sequentialSwitch) Detach() {
 	t.mu.Lock()
 	t.detached = true
+	batch, deferred := t.batch, t.deferred
 	t.batch, t.deferred, t.lastEpoch = nil, nil, nil
 	if t.flushTm != nil {
 		t.flushTm.Stop()
 		t.flushTm = nil
 	}
 	t.mu.Unlock()
-	t.parent.seq.releaseOwner(t)
+	for _, u := range batch {
+		u.Release()
+	}
+	for _, mods := range deferred {
+		for _, u := range mods {
+			u.Release()
+		}
+	}
+	for _, e := range t.parent.seq.releaseOwner(t) {
+		for _, u := range e.mods {
+			u.Release()
+		}
+	}
 }
 
 // Bootstrap installs the probe-catch rule and the initial probe rule.
@@ -336,6 +361,7 @@ func (t *sequentialSwitch) probeRuleMod(ver uint8) *of.FlowMod {
 }
 
 func (t *sequentialSwitch) OnFlowMod(u *Update) {
+	u.Retain() // the batch's reference; rides into the epoch on flush
 	t.mu.Lock()
 	t.batch = append(t.batch, u)
 	full := len(t.batch) >= t.sc.Config().ProbeEvery
@@ -358,11 +384,14 @@ func (t *sequentialSwitch) OnFlowMod(u *Update) {
 // queues so it is not retained indefinitely. Updates already inside an
 // epoch stay there; the epoch's eventual confirmation skips them.
 func (t *sequentialSwitch) OnUpdateResolved(u *Update, outcome Outcome) {
+	dropped := 0
 	t.mu.Lock()
 	kept := t.batch[:0]
 	for _, q := range t.batch {
 		if q != u {
 			kept = append(kept, q)
+		} else {
+			dropped++
 		}
 	}
 	t.batch = kept
@@ -371,11 +400,16 @@ func (t *sequentialSwitch) OnUpdateResolved(u *Update, outcome Outcome) {
 		for _, q := range mods {
 			if q != u {
 				keptd = append(keptd, q)
+			} else {
+				dropped++
 			}
 		}
 		t.deferred[i] = keptd
 	}
 	t.mu.Unlock()
+	for ; dropped > 0; dropped-- {
+		u.Release()
+	}
 }
 
 // BootstrapNeighbor implements NeighborBootstrapper: when this switch's

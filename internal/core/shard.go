@@ -31,6 +31,11 @@ import (
 // surviving barrier's reply arrives, so strategies observe every barrier
 // they sent.
 //
+// Nothing here allocates at steady state: drained outbox backings are
+// recycled through a spare slot, ack-future registrations chain
+// intrusively through the handles themselves, and the coalesced-xid
+// slices cycle through a small per-shard free list.
+//
 // In Config.Unsharded mode (the pre-sharding baseline kept for regression
 // benchmarks) all of this is bypassed: every shard serializes behind the
 // RUM-wide legacy mutex and messages are sent unbatched, with the lock
@@ -43,11 +48,13 @@ type shard struct {
 	sess      *session // nil while the switch is detached
 	gen       uint64   // bumped by close(); stale drainers bail on mismatch
 	outbox    []of.Message
-	flushing  bool                // a flush is scheduled or the pump is mid-drain
-	wake      chan struct{}       // pump handoff (nil in scheduled-flush mode)
-	stop      chan struct{}       // closes with the session to end the pump
-	coalesced map[uint32][]uint32 // surviving RUM barrier xid → swallowed xids
-	watchers  map[uint32][]*UpdateHandle
+	obSpare   []of.Message             // recycled backing of the last drained batch
+	flushing  bool                     // a flush is scheduled or the pump is mid-drain
+	wake      chan struct{}            // pump handoff (nil in scheduled-flush mode)
+	stop      chan struct{}            // closes with the session to end the pump
+	coalesced map[uint32][]uint32      // surviving RUM barrier xid → swallowed xids
+	xidFree   [][]uint32               // recycled swallowed-xid slices
+	watchers  map[uint32]*UpdateHandle // heads of intrusive per-xid chains
 }
 
 // lock takes the shard's hot-path lock — the per-shard mutex, or the
@@ -101,7 +108,9 @@ func (sh *shard) close() {
 	sh.lock()
 	sh.sess = nil
 	sh.outbox = nil
+	sh.obSpare = nil
 	sh.coalesced = nil
+	sh.xidFree = nil
 	// Reset the drain state: the pump may exit on stop with a wake token
 	// unserviced, and a flushing flag left true would make every enqueue
 	// after a reattach skip waking the new pump — wedging the shard
@@ -169,6 +178,31 @@ func (sh *shard) pump(wake <-chan struct{}, stop <-chan struct{}, gen uint64) {
 	}
 }
 
+// getXidSliceLocked returns a recycled swallowed-xid slice.
+func (sh *shard) getXidSliceLocked() []uint32 {
+	if n := len(sh.xidFree); n > 0 {
+		s := sh.xidFree[n-1]
+		sh.xidFree[n-1] = nil
+		sh.xidFree = sh.xidFree[:n-1]
+		return s[:0]
+	}
+	return make([]uint32, 0, 8)
+}
+
+func (sh *shard) putXidSliceLocked(s []uint32) {
+	if s != nil && len(sh.xidFree) < 4 {
+		sh.xidFree = append(sh.xidFree, s[:0])
+	}
+}
+
+// releaseCoalesced recycles a slice returned by takeCoalesced once the
+// ack layer has synthesized its replies.
+func (sh *shard) releaseCoalesced(xids []uint32) {
+	sh.lock()
+	sh.putXidSliceLocked(xids)
+	sh.unlock()
+}
+
 // coalesceBarriersLocked removes every queued RUM-internal BarrierRequest
 // and records their xids (plus any xids those had already swallowed)
 // against the barrier about to be enqueued. Controller barriers are never
@@ -178,8 +212,14 @@ func (sh *shard) coalesceBarriersLocked(keptXID uint32) {
 	var dropped []uint32
 	for _, q := range sh.outbox {
 		if br, ok := q.(*of.BarrierRequest); ok && IsRUMXID(br.GetXID()) {
-			dropped = append(dropped, sh.coalesced[br.GetXID()]...)
-			delete(sh.coalesced, br.GetXID())
+			if dropped == nil {
+				dropped = sh.getXidSliceLocked()
+			}
+			if prior := sh.coalesced[br.GetXID()]; prior != nil {
+				dropped = append(dropped, prior...)
+				delete(sh.coalesced, br.GetXID())
+				sh.putXidSliceLocked(prior)
+			}
 			dropped = append(dropped, br.GetXID())
 			// The swallowed barrier never reaches the wire and the outbox
 			// was its only reference (strategies remember xids, not
@@ -191,44 +231,65 @@ func (sh *shard) coalesceBarriersLocked(keptXID uint32) {
 	}
 	sh.outbox = kept
 	if len(dropped) == 0 {
+		sh.putXidSliceLocked(dropped)
 		return
 	}
 	if sh.coalesced == nil {
 		sh.coalesced = make(map[uint32][]uint32)
 	}
-	sh.coalesced[keptXID] = append(sh.coalesced[keptXID], dropped...)
+	sh.coalesced[keptXID] = dropped
 }
 
 // flush drains the outbox onto the switch connection. Batches are sent
 // outside the shard lock — the flushing flag guarantees a single drainer
 // per generation, so enqueues proceed concurrently and FIFO order holds —
 // and the loop re-checks for messages enqueued while a batch was on the
-// wire. A drainer whose generation is stale (the session detached, and
-// possibly reattached, underneath it) backs out without touching the
-// current generation's state.
+// wire. Drained batch backings are handed back as the next outbox so the
+// steady state runs on two recycled slices. A drainer whose generation is
+// stale (the session detached, and possibly reattached, underneath it)
+// backs out without touching the current generation's state.
 func (sh *shard) flush(gen uint64) {
+	var spent []of.Message
 	for {
 		sh.mu.Lock()
 		if sh.gen != gen {
 			sh.mu.Unlock()
 			return
 		}
+		if spent != nil && sh.obSpare == nil {
+			sh.obSpare = spent
+			spent = nil
+		}
 		if len(sh.outbox) == 0 || sh.sess == nil {
-			sh.outbox = nil
 			sh.flushing = false
 			sh.mu.Unlock()
 			return
 		}
 		batch := sh.outbox
-		sh.outbox = nil
+		if sh.obSpare != nil {
+			sh.outbox = sh.obSpare[:0]
+			sh.obSpare = nil
+		} else {
+			sh.outbox = nil
+		}
 		s := sh.sess
 		sh.mu.Unlock()
 		s.sendBatchToSwitchNow(batch)
+		if s.reuseBatch {
+			// The conn serialized the batch during SendBatch and retains
+			// nothing; the backing array becomes the next outbox. Pipes
+			// instead own the slice until delivery — hand it over.
+			for i := range batch {
+				batch[i] = nil
+			}
+			spent = batch[:0]
+		}
 	}
 }
 
 // takeCoalesced removes and returns the barrier xids swallowed into the
-// barrier with the given xid (nil for barriers that swallowed none).
+// barrier with the given xid (nil for barriers that swallowed none). The
+// caller returns the slice via releaseCoalesced when done.
 func (sh *shard) takeCoalesced(xid uint32) []uint32 {
 	sh.lock()
 	defer sh.unlock()
@@ -240,30 +301,42 @@ func (sh *shard) takeCoalesced(xid uint32) []uint32 {
 	return d
 }
 
-// watch registers an ack future on the shard.
+// watch registers an ack future on the shard. Handles watching the same
+// xid chain intrusively through the handles themselves, so registration
+// churn allocates nothing beyond the handle.
 func (sh *shard) watch(h *UpdateHandle) {
 	sh.lock()
 	if sh.watchers == nil {
-		sh.watchers = make(map[uint32][]*UpdateHandle)
+		sh.watchers = make(map[uint32]*UpdateHandle)
 	}
-	sh.watchers[h.xid] = append(sh.watchers[h.xid], h)
+	h.nextWatch = sh.watchers[h.xid]
+	sh.watchers[h.xid] = h
 	sh.unlock()
 }
 
-// unwatch removes one handle's registration.
+// unwatch removes one handle's registration. A handle no longer reachable
+// from the table (a resolver took its chain) is left alone — resolve on a
+// cancelled handle is a no-op.
 func (sh *shard) unwatch(h *UpdateHandle) {
 	sh.lock()
-	hs := sh.watchers[h.xid]
-	kept := hs[:0]
-	for _, q := range hs {
-		if q != h {
-			kept = append(kept, q)
+	if cur, ok := sh.watchers[h.xid]; ok {
+		switch {
+		case cur == h:
+			if h.nextWatch == nil {
+				delete(sh.watchers, h.xid)
+			} else {
+				sh.watchers[h.xid] = h.nextWatch
+			}
+			h.nextWatch = nil
+		default:
+			for p := cur; p != nil; p = p.nextWatch {
+				if p.nextWatch == h {
+					p.nextWatch = h.nextWatch
+					h.nextWatch = nil
+					break
+				}
+			}
 		}
-	}
-	if len(kept) == 0 {
-		delete(sh.watchers, h.xid)
-	} else {
-		sh.watchers[h.xid] = kept
 	}
 	sh.unlock()
 }
@@ -271,13 +344,16 @@ func (sh *shard) unwatch(h *UpdateHandle) {
 // resolveWatch delivers a result to every handle watching its xid.
 func (sh *shard) resolveWatch(res AckResult) {
 	sh.lock()
-	hs := sh.watchers[res.XID]
-	if hs != nil {
+	h := sh.watchers[res.XID]
+	if h != nil {
 		delete(sh.watchers, res.XID)
 	}
 	sh.unlock()
-	for _, h := range hs {
+	for h != nil {
+		next := h.nextWatch
+		h.nextWatch = nil
 		h.resolve(res)
+		h = next
 	}
 }
 
@@ -290,7 +366,7 @@ func (sh *shard) failAllWatchers(now time.Duration) {
 	watchers := sh.watchers
 	sh.watchers = nil
 	sh.unlock()
-	for xid, hs := range watchers {
+	for xid, h := range watchers {
 		res := AckResult{
 			Switch:      sh.name,
 			XID:         xid,
@@ -298,8 +374,11 @@ func (sh *shard) failAllWatchers(now time.Duration) {
 			IssuedAt:    now,
 			ConfirmedAt: now,
 		}
-		for _, h := range hs {
+		for h != nil {
+			next := h.nextWatch
+			h.nextWatch = nil
 			h.resolve(res)
+			h = next
 		}
 	}
 }

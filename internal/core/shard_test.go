@@ -143,7 +143,7 @@ func TestDetachFailsInFlightBatch(t *testing.T) {
 	if !ok {
 		t.Fatal("s1 not attached")
 	}
-	for len(sess.ack.pendingSnapshot()) < n {
+	for sess.ack.pendingCount() < n {
 		if !bed.sim.Step() {
 			t.Fatal("simulation drained before the batch was tracked")
 		}
@@ -197,5 +197,27 @@ func TestDetachFailsInFlightBatch(t *testing.T) {
 	bed.sim.Run()
 	if res, ok := h.Result(); !ok || res.Outcome != OutcomeInstalled {
 		t.Fatalf("post-reattach update: resolved=%v outcome=%v, want installed", ok, res.Outcome)
+	}
+	// The failed updates went back to the pool; re-using their exact xids
+	// on the fresh session must resolve cleanly through recycled structs
+	// (and must not disturb the already-failed futures).
+	var reused []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		reused = append(reused, bed.rum.Watch("s1", i))
+		if err := ctrlTop.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bed.sim.Run()
+	for i, h := range reused {
+		res, ok := h.Result()
+		if !ok || res.Outcome != OutcomeInstalled {
+			t.Fatalf("recycled xid %d: resolved=%v outcome=%v, want installed", i+1, ok, res.Outcome)
+		}
+	}
+	for i, h := range handles {
+		if res, _ := h.Result(); res.Outcome != OutcomeFailed {
+			t.Fatalf("detached update %d outcome flipped to %v after xid reuse", i+1, res.Outcome)
+		}
 	}
 }

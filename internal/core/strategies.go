@@ -15,7 +15,7 @@ func init() {
 		return &barrierStrategy{name: string(TechBarriers)}
 	})
 	RegisterStrategy(string(TechTimeout), func(cfg Config) AckStrategy {
-		return &barrierStrategy{name: string(TechTimeout), delay: cfg.Timeout}
+		return &barrierStrategy{name: string(TechTimeout), delay: cfg.Timeout, rate: cfg.TimeoutRate}
 	})
 	RegisterStrategy(string(TechAdaptive), func(Config) AckStrategy {
 		return adaptiveStrategy{}
@@ -48,6 +48,12 @@ type noWaitSwitch struct {
 
 func (t *noWaitSwitch) OnFlowMod(u *Update) { t.sc.Confirm(u, OutcomeInstalled) }
 
+// minTimeoutHold floors the work-proportional timeout hold: below a
+// millisecond a safety margin is indistinguishable from clock/timer
+// granularity (wall clocks schedule at millisecond ticks) and adds no
+// real conservatism.
+const minTimeoutHold = time.Millisecond
+
 // barrierStrategy implements TechBarriers (delay == 0) and TechTimeout
 // (delay > 0): a RUM barrier follows the controller's FlowMods; the reply
 // — plus the configured safety delay — confirms everything issued before
@@ -58,21 +64,34 @@ func (t *noWaitSwitch) OnFlowMod(u *Update) { t.sc.Confirm(u, OutcomeInstalled) 
 // confirms a superset — but K-fold cheaper on the wire and in the
 // switch's control queue). Unsharded mode keeps the historical
 // one-barrier-per-FlowMod behavior.
+//
+// With rate > 0 (Config.TimeoutRate) the safety delay after a reply is
+// work-proportional: outstanding/rate, clamped to delay. The fixed delay
+// models the worst case for a full table; charging it to every reply is
+// what put a flat 300 ms floor under the fat-tree workload's ack-latency
+// tail, when a typical coalesced burst leaves only a handful of rules
+// outstanding.
 type barrierStrategy struct {
 	name  string
 	delay time.Duration
+	rate  float64
 }
 
 func (s *barrierStrategy) Name() string { return s.name }
 
 func (s *barrierStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
-	return &barrierSwitch{sc: sc, delay: s.delay, barriers: make(map[uint32]uint64)}
+	t := &barrierSwitch{sc: sc, delay: s.delay, rate: s.rate, barriers: make(map[uint32]uint64)}
+	t.emit = t.emitBarrier
+	return t
 }
 
 type barrierSwitch struct {
 	BaseSwitchStrategy
 	sc    StrategyContext
 	delay time.Duration
+	rate  float64
+
+	emit func() // pre-bound emitBarrier: no closure allocation per burst
 
 	mu       sync.Mutex
 	barriers map[uint32]uint64 // barrier xid → covered seq
@@ -101,7 +120,7 @@ func (t *barrierSwitch) OnFlowMod(u *Update) {
 	}
 	t.dirty = true
 	t.mu.Unlock()
-	t.sc.Clock().After(0, t.emitBarrier)
+	t.sc.Clock().After(0, t.emit)
 }
 
 // emitBarrier sends the one barrier covering every FlowMod observed since
@@ -127,10 +146,28 @@ func (t *barrierSwitch) OnBarrierReply(rep *of.BarrierReply) bool {
 	if !mine {
 		return false
 	}
-	if t.delay == 0 {
+	hold := t.delay
+	if hold > 0 && t.rate > 0 {
+		// Work-proportional bound: the reply proves the switch's control
+		// plane reached the barrier, so what can still be missing from
+		// the data plane is at most the unconfirmed backlog. Charging
+		// backlog/rate keeps the per-rule conservatism of the fixed
+		// worst case without taxing small bursts the full-table delay.
+		hold = 0
+		if ct := t.sc.ConfirmedThrough(); seq > ct {
+			hold = time.Duration(float64(seq-ct) / t.rate * float64(time.Second))
+		}
+		if hold < minTimeoutHold {
+			hold = minTimeoutHold
+		}
+		if hold > t.delay {
+			hold = t.delay
+		}
+	}
+	if hold == 0 {
 		t.sc.ConfirmUpTo(seq, OutcomeInstalled)
 	} else {
-		t.sc.Clock().After(t.delay, func() {
+		t.sc.Clock().After(hold, func() {
 			t.sc.ConfirmUpTo(seq, OutcomeInstalled)
 		})
 	}
@@ -174,5 +211,9 @@ func (t *adaptiveSwitch) OnFlowMod(u *Update) {
 	if s := cfg.ModelSyncPeriod; s > 0 {
 		est = ((est+s-1)/s)*s + cfg.ModelSyncSlack
 	}
-	t.sc.Clock().After(est-now, func() { t.sc.Confirm(u, OutcomeInstalled) })
+	// Modeled completion times are monotonic in issue order, so the
+	// deadline confirms the whole prefix by seq — the timer captures no
+	// Update pointer and needs no reference on the pooled struct.
+	seq := u.Seq()
+	t.sc.Clock().After(est-now, func() { t.sc.ConfirmUpTo(seq, OutcomeInstalled) })
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rum/internal/of"
@@ -61,6 +62,17 @@ func (o Outcome) wireCode() (code uint16, ok bool) {
 // Update is one tracked controller FlowMod awaiting data-plane
 // confirmation. Strategies receive it in OnFlowMod and hand it back via
 // StrategyContext.Confirm (or ConfirmUpTo, using its Seq).
+//
+// Updates are reference-counted and recycled through a pool: the ack
+// layer holds a reference while the update is pending, so reading or
+// confirming it during OnFlowMod — or any time before it resolves — is
+// always safe. A strategy that stores an Update past the point where the
+// update may resolve *outside* the strategy (a switch error, a detach,
+// a confirmation from another code path) must Retain it when storing and
+// Release it when done; otherwise a recycled struct could be confirmed
+// or read as a different, live update. The built-in probing strategies
+// retain the updates they track; ConfirmUpTo-style strategies that
+// remember only Seq values need no references at all.
 type Update struct {
 	sw       string
 	xid      uint32
@@ -68,6 +80,40 @@ type Update struct {
 	fm       *of.FlowMod
 	issuedAt time.Duration
 	done     bool // guarded by the owning ackLayer's mutex
+	ownFM    bool // fm came off the wire and returns to the codec pool
+	refs     atomic.Int32
+}
+
+var updatePool = sync.Pool{New: func() any { return new(Update) }}
+
+// acquireUpdate returns a recycled Update holding one reference.
+func acquireUpdate() *Update {
+	u := updatePool.Get().(*Update)
+	u.refs.Store(1)
+	return u
+}
+
+// Retain adds a reference, keeping the update (and its FlowMod) alive
+// and un-recycled until a matching Release. See the Update type
+// documentation for when strategies must call it.
+func (u *Update) Retain() { u.refs.Add(1) }
+
+// Release drops a reference taken by Retain (or handed over by the ack
+// layer). When the last reference drops the struct is recycled; callers
+// must not touch u afterwards.
+func (u *Update) Release() {
+	n := u.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("core: Update released more often than retained")
+	}
+	if u.ownFM && u.fm != nil {
+		of.Release(u.fm)
+	}
+	*u = Update{}
+	updatePool.Put(u)
 }
 
 // Switch returns the name of the switch the modification targets.
@@ -116,6 +162,11 @@ type StrategyContext interface {
 	// ConfirmUpTo confirms every unresolved update with Seq <= seq
 	// (order-preserving strategies).
 	ConfirmUpTo(seq uint64, outcome Outcome)
+	// ConfirmedThrough returns this switch's contiguous confirmed
+	// prefix: every update with Seq <= the returned value has resolved.
+	// The gap to the newest Seq is the switch's outstanding work — what
+	// work-proportional safety bounds (Config.TimeoutRate) scale by.
+	ConfirmedThrough() uint64
 	// ScheduleTick arranges a single OnTick callback on the strategy after
 	// d has elapsed. Periodic strategies re-arm from inside OnTick.
 	ScheduleTick(d time.Duration)
@@ -310,6 +361,8 @@ func (c strategyCtx) Confirm(u *Update, outcome Outcome) { c.s.ack.confirm(u, ou
 func (c strategyCtx) ConfirmUpTo(seq uint64, outcome Outcome) {
 	c.s.ack.confirmUpTo(seq, outcome)
 }
+
+func (c strategyCtx) ConfirmedThrough() uint64 { return c.s.ack.confirmedThrough() }
 
 func (c strategyCtx) ScheduleTick(d time.Duration) {
 	clk := c.Clock()

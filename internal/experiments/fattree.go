@@ -41,6 +41,14 @@ type FatTreeChurnOpts struct {
 	// Technique is the non-mixed (and core-layer) strategy; default
 	// timeout.
 	Technique core.Technique
+	// TimeoutRate is the timeout technique's work-proportional bound in
+	// rules/sec (core.Config.TimeoutRate). The default 1000 is the rate
+	// the paper's fixed 300 ms / 300-rule worst case already assumes; it
+	// is what keeps the churn's ack-latency tail proportional to the
+	// actual burst size instead of flat at the full-table worst case.
+	// Negative restores the fixed-delay behavior (the tail-regression
+	// baseline).
+	TimeoutRate float64
 	// Unsharded runs the pre-sharding compatibility hot path (the
 	// regression baseline).
 	Unsharded bool
@@ -67,6 +75,9 @@ func (o FatTreeChurnOpts) Defaults() FatTreeChurnOpts {
 	}
 	if o.Technique == "" {
 		o.Technique = core.TechTimeout
+	}
+	if o.TimeoutRate == 0 {
+		o.TimeoutRate = 1000
 	}
 	if o.CtrlLatency == 0 {
 		o.CtrlLatency = 100 * time.Microsecond
@@ -101,12 +112,25 @@ type FatTreeChurnResult struct {
 	// time, issue → confirmation).
 	P50, P99 time.Duration
 
+	// PerTechnique breaks the latency distribution down by strategy
+	// cohort — the instrumentation that located the original 300 ms p99
+	// (every update on a timeout-technique core switch paid the fixed
+	// full-table hold, while the probing cohorts confirmed in ~2 ms).
+	PerTechnique map[core.Technique]CohortStats
+
 	Acks, Probes, Fallbacks uint64
 
 	// SwitchBarriers is the total number of BarrierRequests the fabric's
 	// control planes served — the sharded core's coalescing shows up here
 	// as a direct reduction in switch work for the same update count.
 	SwitchBarriers uint64
+}
+
+// CohortStats is one strategy cohort's slice of the ack-latency
+// distribution.
+type CohortStats struct {
+	Updates  int
+	P50, P99 time.Duration
 }
 
 // FatTreeChurn builds a k-ary fat-tree of emulated switches proxied by
@@ -135,6 +159,9 @@ func FatTreeChurn(opts FatTreeChurnOpts) (*FatTreeChurnResult, error) {
 		Technique: opts.Technique,
 		RUMAware:  true,
 		Unsharded: opts.Unsharded,
+	}
+	if opts.TimeoutRate > 0 {
+		cfg.TimeoutRate = opts.TimeoutRate
 	}
 	if opts.Mixed {
 		cfg.PerSwitch = make(map[string]core.Technique)
@@ -170,6 +197,12 @@ func FatTreeChurn(opts FatTreeChurnOpts) (*FatTreeChurnResult, error) {
 	// inter-switch ports so the probing strategies can observe them),
 	// all switches in parallel.
 	names := ft.Switches()
+	techniqueOf := func(sw string) core.Technique {
+		if t, ok := cfg.PerSwitch[sw]; ok {
+			return t
+		}
+		return opts.Technique
+	}
 	total := len(names) * opts.UpdatesPerSwitch
 	handles := make([]*core.UpdateHandle, 0, total)
 	flowID := 0
@@ -212,7 +245,16 @@ func FatTreeChurn(opts FatTreeChurnOpts) (*FatTreeChurnResult, error) {
 		WallElapsed: wall,
 		SimElapsed:  s.Now() - churnStart,
 	}
+	percentiles := func(lats []time.Duration) (p50, p99 time.Duration) {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		return lats[len(lats)*50/100], lats[i99]
+	}
 	var lats []time.Duration
+	cohorts := make(map[core.Technique][]time.Duration)
 	for _, h := range handles {
 		ar, ok := h.Result()
 		switch {
@@ -223,19 +265,21 @@ func FatTreeChurn(opts FatTreeChurnOpts) (*FatTreeChurnResult, error) {
 		default:
 			res.Completed++
 			lats = append(lats, ar.Latency)
+			tech := techniqueOf(ar.Switch)
+			cohorts[tech] = append(cohorts[tech], ar.Latency)
 		}
 	}
 	if wall > 0 {
 		res.UpdatesPerSec = float64(res.Completed) / wall.Seconds()
 	}
 	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50 = lats[len(lats)*50/100]
-		p99 := len(lats) * 99 / 100
-		if p99 >= len(lats) {
-			p99 = len(lats) - 1
+		res.P50, res.P99 = percentiles(lats)
+		res.PerTechnique = make(map[core.Technique]CohortStats, len(cohorts))
+		for tech, cl := range cohorts {
+			st := CohortStats{Updates: len(cl)}
+			st.P50, st.P99 = percentiles(cl)
+			res.PerTechnique[tech] = st
 		}
-		res.P99 = lats[p99]
 	}
 	res.Acks, res.Probes, res.Fallbacks = r.Stats()
 	for _, sw := range switches {

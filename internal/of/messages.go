@@ -107,9 +107,20 @@ func (m *Error) IsRUMAck() (ackedXID uint32, code uint16, ok bool) {
 // NewRUMAck builds the positive-acknowledgment error RUM sends to RUM-aware
 // controllers for the FlowMod with the given xid.
 func NewRUMAck(ackedXID uint32, code uint16) *Error {
-	data := make([]byte, 4)
-	binary.BigEndian.PutUint32(data, ackedXID)
-	return &Error{ErrType: ErrTypeRUMAck, Code: code, Data: data}
+	e := &Error{}
+	FillRUMAck(e, ackedXID, code)
+	return e
+}
+
+// FillRUMAck formats e (typically pool-recycled via AcquireError) as the
+// positive acknowledgment for the FlowMod with the given xid, reusing
+// e's payload buffer.
+func FillRUMAck(e *Error, ackedXID uint32, code uint16) {
+	e.ErrType = ErrTypeRUMAck
+	e.Code = code
+	var xid [4]byte
+	binary.BigEndian.PutUint32(xid[:], ackedXID)
+	e.Data = append(e.Data[:0], xid[:]...)
 }
 
 // FeaturesRequest asks the switch for its datapath description.
