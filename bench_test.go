@@ -521,6 +521,38 @@ func BenchmarkFatTreeChurn(b *testing.B) {
 	benchRecord("FatTreeChurn", metrics)
 }
 
+// BenchmarkFatTreeChurnFaultWrapped runs the same k=8 churn with the
+// fault-injection wrapper interposed on every switch conn but no faults
+// triggered (faults.Passthrough): the cost of having the chaos layer in
+// the stack while it is disabled. cmd/benchcheck gates the simulated-p99
+// ratio against plain FatTreeChurn at ≤1.05 — the wrapper must be free
+// when off.
+func BenchmarkFatTreeChurnFaultWrapped(b *testing.B) {
+	var res *experiments.FaultChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.FaultChurn(experiments.FaultChurnOpts{
+			Profile:          experiments.FaultNone,
+			K:                8,
+			UpdatesPerSwitch: 25,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Acked != res.Updates {
+			b.Fatalf("wrapped churn acked %d/%d (failed=%d wedged=%d)",
+				res.Acked, res.Updates, res.FailedTyped, res.Wedged)
+		}
+	}
+	b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ack_ms")
+	benchRecord("FatTreeChurnFaultWrapped", map[string]float64{
+		"switches":   float64(res.Switches),
+		"updates":    float64(res.Updates),
+		"p50_ack_ms": float64(res.P50.Microseconds()) / 1000,
+		"p99_ack_ms": float64(res.P99.Microseconds()) / 1000,
+	})
+}
+
 // --- Ack-path benchmarks (O(1) seq-ring bookkeeping, pooled updates) ---
 
 // ackPathBed proxies one switch through RUM over loopback TCP on both

@@ -19,19 +19,23 @@
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Four acceptance gates are separate and absolute, regardless of what the
+// Five acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
 // the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
 // (the coalescing writer must beat the unbuffered path by ≥30%), the
 // AckPath steady-state allocations per confirmed update must stay ≤
 // -max-ack-allocs (zero: the ack hot path must not regain allocations),
-// and the FatTreeChurn simulated ack-latency p99 must stay ≤
+// the FatTreeChurn simulated ack-latency p99 must stay ≤
 // -max-fattree-p99-ms (100 ms — a ≥3x improvement over the 300.46 ms
-// fixed-timeout tail this gate exists to keep fixed).
+// fixed-timeout tail this gate exists to keep fixed), and the
+// fault-wrapped churn's p99 must stay within -max-faultwrap-p99-ratio
+// (1.05) of the plain churn's — the chaos layer must cost ≤5% when
+// disabled.
 //
 // Usage: go run ./cmd/benchcheck [-baseline BENCH_baseline.json]
 // [-results BENCH_results.json] [-tolerance 0.20] [-min-speedup 2.0]
 // [-min-wire-speedup 1.3] [-max-ack-allocs 0] [-max-fattree-p99-ms 100]
+// [-max-faultwrap-p99-ratio 1.05]
 package main
 
 import (
@@ -74,6 +78,8 @@ func main() {
 		"absolute ceiling for AckPath.allocs_per_confirmed_update (negative disables)")
 	maxFatTreeP99 := flag.Float64("max-fattree-p99-ms", 100,
 		"absolute ceiling for FatTreeChurn.p99_ack_ms in milliseconds (0 disables)")
+	maxFaultWrapRatio := flag.Float64("max-faultwrap-p99-ratio", 1.05,
+		"absolute ceiling for FatTreeChurnFaultWrapped.p99_ack_ms / FatTreeChurn.p99_ack_ms (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -208,6 +214,26 @@ func main() {
 			failures++
 		} else {
 			fmt.Printf("ok   FatTreeChurn.p99_ack_ms: %.2f ms (≤ %.2f ms required)\n", p99, *maxFatTreeP99)
+		}
+	}
+
+	if *maxFaultWrapRatio > 0 {
+		plain, okPlain := results.Benchmarks["FatTreeChurn"]["p99_ack_ms"]
+		wrapped, okWrapped := results.Benchmarks["FatTreeChurnFaultWrapped"]["p99_ack_ms"]
+		switch {
+		case !okPlain || !okWrapped:
+			fmt.Println("FAIL FatTreeChurnFaultWrapped p99 ratio: metric missing from results")
+			failures++
+		case plain <= 0:
+			fmt.Println("FAIL FatTreeChurnFaultWrapped p99 ratio: FatTreeChurn.p99_ack_ms is zero")
+			failures++
+		case wrapped/plain > *maxFaultWrapRatio:
+			fmt.Printf("FAIL FatTreeChurnFaultWrapped p99 ratio: %.3f > %.2f (disabled fault wrapper is not free)\n",
+				wrapped/plain, *maxFaultWrapRatio)
+			failures++
+		default:
+			fmt.Printf("ok   FatTreeChurnFaultWrapped p99 ratio: %.3f (≤ %.2f required)\n",
+				wrapped/plain, *maxFaultWrapRatio)
 		}
 	}
 

@@ -1,0 +1,97 @@
+// Command doccheck is the documentation link checker CI runs over
+// README.md and docs/: every relative markdown link (and image) must
+// resolve to an existing file or directory, so the docs overhaul cannot
+// rot silently as files move. External links (http, https, mailto) and
+// pure in-page anchors are not checked; fenced code blocks are skipped.
+//
+// Usage: go run ./cmd/doccheck [paths...]   (default: README.md docs)
+//
+// A directory argument is walked for *.md files.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) /
+// ![alt](target). Targets with spaces-then-quotes ("title" syntax) keep
+// only the path part.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"README.md", "docs"}
+	}
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fatal("walking %s: %v", a, err)
+		}
+	}
+
+	broken, checked := 0, 0
+	for _, file := range files {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		dir := filepath.Dir(file)
+		inFence := false
+		for ln, line := range strings.Split(string(buf), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue // pure in-page anchor
+				}
+				checked++
+				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+					fmt.Printf("BROKEN %s:%d: %s\n", file, ln+1, m[0])
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fatal("%d broken relative link(s) across %d checked", broken, checked)
+	}
+	fmt.Printf("doccheck: %d relative links ok across %d file(s)\n", checked, len(files))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "doccheck: "+format+"\n", args...)
+	os.Exit(1)
+}

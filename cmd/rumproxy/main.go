@@ -36,6 +36,17 @@
 // -mutex-fraction tunes the contention sampling rate (0 disables);
 // -block-rate ns enables blocking profiles at the given sampling
 // granularity (off by default — it is the most intrusive of the three).
+//
+// -faults interposes the deterministic fault-injection layer on every
+// switch-side connection — chaos testing a live deployment without
+// touching the switches:
+//
+//	rumproxy ... -faults "drop=0.01,dup=0.005,delay=2ms:0.02" -fault-seed 7
+//
+// Supported faults: drop=P, dup=P, reorder=P, corrupt=P, delay=DUR:P,
+// cut=P (kills the channel; the switch's reconnect loop recovers it),
+// plus "flowmods" to restrict the preceding rules to FlowMods. See
+// docs/ARCHITECTURE.md for the fault layer's position in the stack.
 package main
 
 import (
@@ -76,6 +87,9 @@ func main() {
 		"with -pprof: sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables)")
 	blockRate := flag.Int("block-rate", 0,
 		"with -pprof: blocking-profile sampling granularity in ns for /debug/pprof/block (0 disables)")
+	faultSpec := flag.String("faults", "",
+		"fault-injection spec for switch conns, e.g. \"drop=0.01,dup=0.005,delay=2ms:0.02\" (empty/none disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -140,9 +154,14 @@ func main() {
 		Topology:       topo,
 		Switches:       switches,
 		ControllerAddr: *controller,
+		FaultSpec:      *faultSpec,
+		FaultSeed:      *faultSeed,
 	})
 	if err != nil {
 		log.Fatalf("rumproxy: %v", err)
+	}
+	if srv.FaultsArmed() {
+		log.Printf("rumproxy: fault injection armed: %s (seed %d)", *faultSpec, *faultSeed)
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -65,21 +65,49 @@ type Client struct {
 	onPacketIn func(sw string, pin *of.PacketIn)
 }
 
-// NewClient creates a controller over the given per-switch conns.
+// NewClient creates a controller over the given per-switch conns. The
+// map is copied: after construction, SetConn is the only way to change
+// the client's conn set (callers retaining their map cannot bypass the
+// client's locking).
 func NewClient(clk sim.Clock, mode AckMode, conns map[string]transport.Conn) *Client {
+	own := make(map[string]transport.Conn, len(conns))
+	for name, conn := range conns {
+		own[name] = conn
+	}
 	c := &Client{
 		clk:        clk,
 		mode:       mode,
-		conns:      conns,
+		conns:      own,
 		nextXID:    1,
 		waiting:    make(map[uint32]func()),
 		barrierFor: make(map[uint32]uint32),
 	}
-	for name, conn := range conns {
+	for name, conn := range own {
 		name := name
 		conn.SetHandler(func(m of.Message) { c.onMessage(name, m) })
 	}
 	return c
+}
+
+// SetConn replaces (or adds) the conn serving one switch — the
+// reconnection path: after a fault-killed control channel is re-dialed,
+// the client resumes issuing updates to the switch over the new conn.
+// Completion callbacks registered on the old conn stay registered; it is
+// the caller's job to have resolved (or abandoned) them, e.g. through
+// RUM's detach path failing the futures.
+func (c *Client) SetConn(sw string, conn transport.Conn) {
+	c.mu.Lock()
+	c.conns[sw] = conn
+	c.mu.Unlock()
+	conn.SetHandler(func(m of.Message) { c.onMessage(sw, m) })
+}
+
+// conn looks up the conn serving a switch.
+func (c *Client) conn(sw string) (transport.Conn, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, ok := c.conns[sw]
+	return conn, ok
 }
 
 // SetPacketInHandler installs a callback for data-plane packets forwarded
@@ -130,7 +158,7 @@ func (c *Client) onMessage(sw string, m of.Message) {
 	case *of.EchoRequest:
 		reply := &of.EchoReply{Data: mm.Data}
 		reply.SetXID(mm.GetXID())
-		if conn, ok := c.conns[sw]; ok {
+		if conn, ok := c.conn(sw); ok {
 			_ = conn.Send(reply)
 		}
 	}
@@ -151,7 +179,7 @@ func (c *Client) complete(xid uint32) {
 // SendMod sends one FlowMod and invokes done when it is acknowledged
 // according to the client's AckMode.
 func (c *Client) SendMod(sw string, fm *of.FlowMod, done func()) error {
-	conn, ok := c.conns[sw]
+	conn, ok := c.conn(sw)
 	if !ok {
 		return fmt.Errorf("controller: unknown switch %q", sw)
 	}
@@ -196,7 +224,7 @@ func (c *Client) SendMod(sw string, fm *of.FlowMod, done func()) error {
 
 // SendBarrier sends a BarrierRequest and invokes done on the reply.
 func (c *Client) SendBarrier(sw string, done func()) error {
-	conn, ok := c.conns[sw]
+	conn, ok := c.conn(sw)
 	if !ok {
 		return fmt.Errorf("controller: unknown switch %q", sw)
 	}
@@ -212,7 +240,7 @@ func (c *Client) SendBarrier(sw string, done func()) error {
 
 // Send transmits a raw message with no completion tracking.
 func (c *Client) Send(sw string, m of.Message) error {
-	conn, ok := c.conns[sw]
+	conn, ok := c.conn(sw)
 	if !ok {
 		return fmt.Errorf("controller: unknown switch %q", sw)
 	}

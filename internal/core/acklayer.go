@@ -292,15 +292,20 @@ func (a *ackLayer) onConfirm(fn confirmListener) {
 
 // takeConfirmed atomically marks u resolved; it reports false when u was
 // already resolved, and returns the resources needed to emit the
-// resolution. On success the caller inherits one reference to u (the
-// emission reference) and must Release it after emitting.
-func (a *ackLayer) takeConfirmed(u *Update) (ctx *proxy.Context, listeners []confirmListener, ok bool) {
+// resolution. A non-nil cause records the typed failure reason
+// (ErrChannelLost, ErrSwitchRestarted, ErrSwitchRejected) under the same
+// critical section that settles the done flag, so racing resolvers never
+// observe a half-written cause. On success the caller inherits one
+// reference to u (the emission reference) and must Release it after
+// emitting.
+func (a *ackLayer) takeConfirmed(u *Update, cause error) (ctx *proxy.Context, listeners []confirmListener, ok bool) {
 	a.mu.Lock()
 	if u.done {
 		a.mu.Unlock()
 		return nil, nil, false
 	}
 	u.done = true
+	u.failErr = cause
 	u.Retain()        // emission reference
 	a.emitting.Add(1) // paired with the Add(-1) in confirm
 	if u.seq == a.head.Load() {
@@ -315,7 +320,13 @@ func (a *ackLayer) takeConfirmed(u *Update) (ctx *proxy.Context, listeners []con
 // to RUM-aware controllers (fallback included, failed excluded), resolves
 // ack futures, publishes an AckEvent, and notifies listeners.
 func (a *ackLayer) confirm(u *Update, outcome Outcome) {
-	ctx, listeners, ok := a.takeConfirmed(u)
+	a.confirmCause(u, outcome, nil)
+}
+
+// confirmCause is confirm with a typed failure cause attached to the
+// resolution (detach, switch errors); AckResult.Err carries it.
+func (a *ackLayer) confirmCause(u *Update, outcome Outcome, cause error) {
+	ctx, listeners, ok := a.takeConfirmed(u, cause)
 	if !ok {
 		return
 	}
@@ -369,6 +380,7 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome
 		IssuedAt:    u.issuedAt,
 		ConfirmedAt: now,
 		Latency:     now - u.issuedAt,
+		Err:         u.failErr,
 	}
 	r.resolveWatch(res)
 	// Only box the event when someone is listening: the interface
@@ -382,6 +394,7 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome
 			IssuedAt: u.issuedAt,
 			At:       now,
 			Latency:  res.Latency,
+			Err:      u.failErr,
 		})
 	}
 	// Let the strategy drop per-update state for resolutions it did not
@@ -526,7 +539,7 @@ func (a *ackLayer) failByXID(xid uint32) {
 	}
 	a.mu.Unlock()
 	if victim != nil {
-		a.confirm(victim, OutcomeFailed)
+		a.confirmCause(victim, OutcomeFailed, ErrSwitchRejected)
 		victim.Release()
 	}
 }

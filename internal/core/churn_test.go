@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"rum/internal/faults"
 	"rum/internal/of"
 	"rum/internal/sim"
 	"rum/internal/transport"
@@ -210,4 +212,104 @@ func TestWallClockDetachReattach(t *testing.T) {
 		}
 	}
 	r.DetachSwitch("s1")
+}
+
+// TestFaultInjectedDetachChurn extends the detach-race churn with the
+// fault layer: the switch conn randomly drops messages and cuts itself
+// mid-batch (ActCut during a shard flush), the cut detaches the session
+// from a timer goroutine while the driver is still sending, and the
+// cycle ends with an explicit detach racing whatever is in flight. Under
+// -race this certifies the recovery path's concurrency; the refcount
+// check certifies that a conn fault-killed mid-encode leaks no wireQ
+// references and no pooled updates.
+func TestFaultInjectedDetachChurn(t *testing.T) {
+	clk := sim.NewWall()
+	r, err := New(Config{
+		Clock:        clk,
+		Technique:    TechTimeout,
+		Timeout:      2 * time.Millisecond,
+		BarrierRetry: 5 * time.Millisecond, // fast liveness net: dropped replies re-emit quickly
+	}, NewTopology(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Earlier wall-clock tests in this package may still be draining
+	// emission tails on timer goroutines; let the package-global
+	// refcount settle before baselining it, or a late release would
+	// read as a spurious "leak" below.
+	before := LiveUpdates()
+	for settle := time.Now().Add(5 * time.Second); ; {
+		time.Sleep(20 * time.Millisecond)
+		cur := LiveUpdates()
+		if cur == before || time.Now().After(settle) {
+			before = cur
+			break
+		}
+		before = cur
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const cycles = 8
+	const nUpdates = 100
+	for cycle := 0; cycle < cycles; cycle++ {
+		inj := faults.NewInjector(int64(cycle + 1))
+		plan := &faults.Plan{Rules: []faults.Rule{
+			{Action: faults.ActCut, Prob: 0.002, Dir: faults.DirToSwitch},
+			{Action: faults.ActDrop, Prob: 0.05},
+		}}
+		ctrlTop, ctrlBottom := transport.Pipe(clk, 0)
+		rumSide, swSide := transport.Pipe(clk, 0)
+		swSide.SetHandler(func(m of.Message) {
+			if br, ok := m.(*of.BarrierRequest); ok {
+				rep := of.AcquireBarrierReply()
+				rep.SetXID(br.GetXID())
+				_ = swSide.Send(rep)
+			}
+		})
+		ctrlTop.SetHandler(func(of.Message) {})
+		wrapped := faults.Wrap(rumSide, clk, inj, plan).(*faults.Conn)
+		wrapped.OnKill(func() { r.DetachSwitchCause("s1", ErrChannelLost) })
+		if _, err := r.AttachSwitch("s1", 1, ctrlBottom, wrapped); err != nil {
+			t.Fatal(err)
+		}
+
+		// Watch everything before sending anything: a mid-churn cut
+		// detaches from a timer goroutine, and futures registered after
+		// its failAllWatchers sweep would never resolve.
+		handles := make([]*UpdateHandle, nUpdates)
+		for u := range handles {
+			handles[u] = r.Watch("s1", uint32(cycle*1000+u+1))
+		}
+		for u := range handles {
+			_ = ctrlTop.Send(testFlowMod(uint32(cycle*1000 + u + 1)))
+		}
+		// Detach races in-flight flushes (and possibly the fault cut's
+		// own detach — a second detach is a no-op).
+		r.DetachSwitchCause("s1", ErrChannelLost)
+
+		for _, h := range handles {
+			res, err := h.AwaitAck(ctx)
+			if err != nil {
+				t.Fatalf("cycle %d xid %d wedged across fault-killed detach: %v", cycle, h.XID(), err)
+			}
+			if res.Outcome == OutcomeFailed && !errors.Is(res.Err, ErrChannelLost) {
+				t.Fatalf("cycle %d xid %d failed without typed cause: %v", cycle, h.XID(), res.Err)
+			}
+		}
+	}
+
+	// Emission tails (listener calls, releases) may still be running on
+	// timer goroutines right after the last future resolves; poll the
+	// refcount back to its pre-churn value.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if LiveUpdates() == before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled-update refcount leak: %d live before churn, %d after", before, LiveUpdates())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

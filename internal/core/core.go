@@ -7,6 +7,16 @@
 // OpenFlow errors (§4) and as typed, awaitable AckResults; a reliable
 // barrier layer (§2) restores barrier semantics on switches that answer
 // early or reorder.
+//
+// The hot path is sharded per switch, with O(1) seq-ring acknowledgment
+// bookkeeping and pooled, reference-counted updates; failure and
+// recovery are first-class — a lost control channel or a switch restart
+// detaches the session and resolves every in-flight future with a typed
+// cause (ErrChannelLost, ErrSwitchRestarted), and each strategy carries
+// a liveness net so lossy channels cannot wedge confirmations. The
+// canonical long-form references are docs/ARCHITECTURE.md (stack,
+// FlowMod lifecycle, concurrency model, ownership contracts) and
+// docs/STRATEGIES.md (per-technique guarantees and fault behavior).
 package core
 
 import (
@@ -100,6 +110,18 @@ type Config struct {
 	// delay.
 	TimeoutRate float64
 
+	// BarrierRetry is the liveness net of the barrier-reply techniques
+	// (TechBarriers, TechTimeout): when covered work is outstanding and
+	// the confirmed watermark has not advanced for a full interval, the
+	// strategy re-emits a fresh barrier covering the same work instead
+	// of waiting forever — on a lossy control channel a dropped
+	// BarrierRequest or BarrierReply would otherwise wedge every
+	// covered future. The progress check keeps the net silent on a
+	// healthy channel, even under sustained load (default 500 ms, far
+	// above any normal inter-confirmation gap). Negative disables it,
+	// restoring the trust-one-barrier behavior.
+	BarrierRetry time.Duration
+
 	// AssumedRate is TechAdaptive's modeled switch installation rate in
 	// rules/second (the paper evaluates 200 and 250).
 	AssumedRate float64
@@ -158,6 +180,9 @@ func (c Config) Defaults() Config {
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 300 * time.Millisecond
+	}
+	if c.BarrierRetry == 0 {
+		c.BarrierRetry = 500 * time.Millisecond
 	}
 	if c.AssumedRate == 0 {
 		c.AssumedRate = 200
@@ -636,7 +661,24 @@ func (s *session) receiver() (string, uint16, bool) {
 // and dependent barriers unwedge instead of waiting on a send that will
 // never happen. The name is then free for a fresh AttachSwitch (switch
 // reconnection). It reports whether the switch was attached.
+//
+// Failed futures carry ErrChannelLost; when the detach is driven by a
+// known switch crash, use DetachSwitchCause with ErrSwitchRestarted so
+// controllers can tell "re-issue the in-flight updates" apart from
+// "replay the whole FIB".
 func (r *RUM) DetachSwitch(name string) bool {
+	return r.DetachSwitchCause(name, ErrChannelLost)
+}
+
+// DetachSwitchCause is DetachSwitch with an explicit typed cause
+// delivered on every failed future and AckEvent (AckResult.Err). The
+// recovery paths use ErrChannelLost for a lost control channel and
+// ErrSwitchRestarted for a crash that wiped the switch's FIB; a nil
+// cause is recorded as ErrChannelLost.
+func (r *RUM) DetachSwitchCause(name string, cause error) bool {
+	if cause == nil {
+		cause = ErrChannelLost
+	}
 	r.mu.Lock()
 	v, ok := r.shards.Load(name)
 	var s *session
@@ -662,11 +704,23 @@ func (r *RUM) DetachSwitch(name string) bool {
 		d.Detach()
 	}
 	for _, u := range s.ack.takePendingRetained() {
-		s.ack.confirm(u, OutcomeFailed)
+		s.ack.confirmCause(u, OutcomeFailed, cause)
 		u.Release()
 	}
-	sh.failAllWatchers(r.cfg.Clock.Now())
+	sh.failAllWatchers(r.cfg.Clock.Now(), cause)
 	return true
+}
+
+// SwitchConn returns the switch-side conn of an attached session (nil
+// while detached). Fault harnesses use it to reach the fault wrapper
+// interposed at AttachSwitch (e.g. to cut the channel mid-run); it is
+// not a send path — all traffic must flow through the session's layers.
+func (r *RUM) SwitchConn(name string) transport.Conn {
+	s, ok := r.sessionByName(name)
+	if !ok {
+		return nil
+	}
+	return s.swConn
 }
 
 // sessionByName returns the session proxying the named switch. It is the

@@ -1,0 +1,33 @@
+package core
+
+import "errors"
+
+// The typed failure causes carried by AckResult.Err (and AckEvent.Err)
+// when an update resolves as OutcomeFailed. They let callers of
+// UpdateHandle.AwaitAck distinguish "the switch said no" from "the
+// switch went away", and — for the recovery paths — whether the switch's
+// FIB survived:
+//
+//   - ErrChannelLost: the control channel to the switch died (TCP reset,
+//     fault-injected cut, proxy eviction). The switch itself may still
+//     hold every previously installed rule; once it reconnects, only the
+//     updates that were in flight are in doubt and must be re-issued.
+//   - ErrSwitchRestarted: the switch crashed and came back with an empty
+//     flow table. Every rule — confirmed or not — is gone; the controller
+//     must replay the full intended state, not just the failed updates.
+//   - ErrSwitchRejected: the switch answered the modification with an
+//     OpenFlow error; the rule never reached the data plane.
+//
+// Match with errors.Is: DetachSwitchCause wraps nothing, so the
+// sentinels compare directly.
+var (
+	// ErrChannelLost reports that the switch's control channel was lost
+	// while the update was in flight.
+	ErrChannelLost = errors.New("rum: control channel lost")
+	// ErrSwitchRestarted reports that the switch restarted and wiped its
+	// FIB while the update was in flight.
+	ErrSwitchRestarted = errors.New("rum: switch restarted, FIB state lost")
+	// ErrSwitchRejected reports that the switch rejected the modification
+	// with an OpenFlow error.
+	ErrSwitchRejected = errors.New("rum: switch rejected the modification")
+)

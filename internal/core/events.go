@@ -29,6 +29,10 @@ type AckEvent struct {
 	At       time.Duration
 	// Latency is the activation latency RUM observed (At - IssuedAt).
 	Latency time.Duration
+	// Err carries the typed failure cause for OutcomeFailed resolutions
+	// (ErrChannelLost, ErrSwitchRestarted, ErrSwitchRejected), nil
+	// otherwise.
+	Err error
 }
 
 func (AckEvent) isEvent() {}

@@ -22,6 +22,10 @@ type AckResult struct {
 	ConfirmedAt time.Duration
 	// Latency is the activation latency RUM observed for the rule.
 	Latency time.Duration
+	// Err carries the typed failure cause when Outcome is OutcomeFailed:
+	// ErrChannelLost, ErrSwitchRestarted, or ErrSwitchRejected (nil for
+	// positive outcomes). Match with errors.Is.
+	Err error
 }
 
 // UpdateHandle is an awaitable future for one FlowMod's acknowledgment.

@@ -376,17 +376,50 @@ func (t *generalSwitch) buildDropProbe(u *Update, rule hsa.Rule, table []hsa.Rul
 // techniques").
 func (t *generalSwitch) fallback(u *Update) {
 	t.sc.NoteFallback(u)
-	br := of.AcquireBarrierRequest()
-	xid := t.sc.NewXID()
-	br.SetXID(xid)
 	u.Retain() // the fallback-barrier table's reference
+	t.sendFallbackBarrier(u)
+}
+
+// sendFallbackBarrier emits one fallback barrier holding the table's
+// reference on u, and arms the lost-barrier retry: if the reply is still
+// missing a full Config.BarrierRetry later (a dropped request or reply
+// on a faulty channel), the entry is re-issued with a fresh barrier
+// instead of wedging the future. The reference migrates across retries
+// and is finally released by OnBarrierReply's deadline timer,
+// OnUpdateResolved, or Detach.
+func (t *generalSwitch) sendFallbackBarrier(u *Update) {
+	xid := t.sc.NewXID()
 	t.mu.Lock()
+	if t.detached {
+		t.mu.Unlock()
+		u.Release()
+		return
+	}
 	if t.fallbackBarriers == nil {
 		t.fallbackBarriers = make(map[uint32]*Update)
 	}
 	t.fallbackBarriers[xid] = u
 	t.mu.Unlock()
+	br := of.AcquireBarrierRequest()
+	br.SetXID(xid)
 	t.sc.SendToSwitch(br)
+	retry := t.sc.Config().BarrierRetry
+	if retry < 0 {
+		return
+	}
+	t.sc.Clock().After(retry, func() {
+		t.mu.Lock()
+		fu, still := t.fallbackBarriers[xid]
+		if still && fu == u {
+			delete(t.fallbackBarriers, xid)
+		} else {
+			still = false
+		}
+		t.mu.Unlock()
+		if still {
+			t.sendFallbackBarrier(u)
+		}
+	})
 }
 
 func (t *generalSwitch) OnBarrierReply(rep *of.BarrierReply) bool {
@@ -476,11 +509,30 @@ func (t *generalSwitch) OnTick(now time.Duration) {
 	if n > len(t.probes) {
 		n = len(t.probes)
 	}
+	// A probe whose signal has not resolved after this many rounds —
+	// twice the control-plane safety bound — will never resolve: its
+	// FlowMod was lost toward the switch, or the probe path itself is
+	// broken (a lossy data plane eating the signal, a detached
+	// receiver). Expire it into the control-plane fallback rather than
+	// probing forever; on a healthy deployment even the slowest
+	// hardware profile confirms well inside one Timeout. The floor
+	// keeps a short Timeout (or a coarse ProbeInterval) from expiring
+	// probes before they had a full round trip plus a silence verdict
+	// — expiring on round one would silently replace the data-plane
+	// guarantee with the fallback everywhere.
+	maxRounds := int(2*cfg.Timeout/cfg.ProbeInterval) + 1
+	if floor := cfg.QuietRounds + 2; maxRounds < floor {
+		maxRounds = floor
+	}
 	round := make([]*genProbe, n)
 	copy(round, t.probes[:n])
-	var silent []*genProbe
+	var silent, expired []*genProbe
 	for _, gp := range round {
 		gp.rounds++
+		if gp.rounds >= maxRounds {
+			expired = append(expired, gp)
+			continue
+		}
 		if gp.mode == expectSilence && gp.sent {
 			if gp.arrived {
 				gp.quiet = 0
@@ -496,16 +548,36 @@ func (t *generalSwitch) OnTick(now time.Duration) {
 	for _, gp := range silent {
 		t.removeProbeLocked(gp)
 	}
+	for _, gp := range expired {
+		t.removeProbeLocked(gp)
+	}
 	t.mu.Unlock()
 
 	for _, gp := range silent {
 		t.sc.Confirm(gp.u, OutcomeInstalled)
 		gp.u.Release() // the removed probe's reference
 	}
+	for _, gp := range expired {
+		t.fallback(gp.u)
+		gp.u.Release() // the removed probe's reference
+	}
 	for _, gp := range round {
+		if probeIn(silent, gp) || probeIn(expired, gp) {
+			continue // resolved this tick; don't waste a packet on it
+		}
 		t.injectProbe(gp)
 	}
 	t.sc.ScheduleTick(cfg.ProbeInterval)
+}
+
+// probeIn reports whether gp is in the (small) resolved-this-tick list.
+func probeIn(list []*genProbe, gp *genProbe) bool {
+	for _, q := range list {
+		if q == gp {
+			return true
+		}
+	}
+	return false
 }
 
 // injectProbe sends the probe packet via the injector neighbor A.

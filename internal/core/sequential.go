@@ -245,7 +245,21 @@ type sequentialSwitch struct {
 	activeVer uint8     // newest version observed in the data plane
 	bootOK    bool
 	detached  bool
+
+	// Re-probe liveness net: stuckEpoch/stuckTicks count probe-pump
+	// ticks during which lastEpoch has not advanced. An epoch can only
+	// stall forever when its probe-rule FlowMod (or the receiver's catch
+	// rule) was lost on a faulty channel — probe *packets* are already
+	// re-injected every tick — so after seqReprobeTicks the rules are
+	// re-emitted (adds with identical match are idempotent replaces).
+	stuckEpoch *seqEpoch
+	stuckTicks int
 }
+
+// seqReprobeTicks is how many silent probe-pump rounds (ProbeResend
+// apart; 40 × 5 ms = 200 ms at the defaults) an epoch may stall before
+// its probe rule and the receiver's catch rule are re-emitted.
+const seqReprobeTicks = 40
 
 // Detach implements SwitchDetacher: stop batching and pumping, release
 // the switch's outstanding probe-rule versions back to the shared space
@@ -506,16 +520,35 @@ func (t *sequentialSwitch) ensurePump() {
 	t.sc.ScheduleTick(t.sc.Config().ProbeResend)
 }
 
-// OnTick re-injects the probe while an epoch is outstanding.
+// OnTick re-injects the probe while an epoch is outstanding; an epoch
+// stalled for seqReprobeTicks rounds gets its probe rule (and the
+// receiver's catch rule) re-emitted — the lost-FlowMod recovery path.
 func (t *sequentialSwitch) OnTick(now time.Duration) {
 	t.mu.Lock()
-	outstanding := t.lastEpoch != nil && !t.detached
-	if !outstanding {
+	last := t.lastEpoch
+	if last == nil || t.detached {
 		t.pumping = false
+		t.stuckEpoch, t.stuckTicks = nil, 0
 		t.mu.Unlock()
 		return
 	}
+	var reemit *of.FlowMod
+	var recatch string
+	if last == t.stuckEpoch {
+		t.stuckTicks++
+		if t.stuckTicks >= seqReprobeTicks {
+			t.stuckTicks = 0
+			reemit = t.probeRuleMod(last.tos)
+			recatch = t.recvName
+		}
+	} else {
+		t.stuckEpoch, t.stuckTicks = last, 0
+	}
 	t.mu.Unlock()
+	if reemit != nil {
+		t.sc.SendToSwitch(reemit)
+		t.sc.Inject(recatch, t.catchRuleMod())
+	}
 	t.injectProbe()
 	t.sc.ScheduleTick(t.sc.Config().ProbeResend)
 }

@@ -357,11 +357,11 @@ func (sh *shard) resolveWatch(res AckResult) {
 	}
 }
 
-// failAllWatchers resolves every registered ack future as failed (detach:
-// a watched FlowMod may have been lost in flight on the closing control
-// channel without ever being tracked, and its future must not wait for a
-// switch that is gone).
-func (sh *shard) failAllWatchers(now time.Duration) {
+// failAllWatchers resolves every registered ack future as failed with
+// the given typed cause (detach: a watched FlowMod may have been lost in
+// flight on the closing control channel without ever being tracked, and
+// its future must not wait for a switch that is gone).
+func (sh *shard) failAllWatchers(now time.Duration, cause error) {
 	sh.lock()
 	watchers := sh.watchers
 	sh.watchers = nil
@@ -373,6 +373,7 @@ func (sh *shard) failAllWatchers(now time.Duration) {
 			Outcome:     OutcomeFailed,
 			IssuedAt:    now,
 			ConfirmedAt: now,
+			Err:         cause,
 		}
 		for h != nil {
 			next := h.nextWatch

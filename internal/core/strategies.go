@@ -80,8 +80,10 @@ type barrierStrategy struct {
 func (s *barrierStrategy) Name() string { return s.name }
 
 func (s *barrierStrategy) ForSwitch(sc StrategyContext) SwitchStrategy {
-	t := &barrierSwitch{sc: sc, delay: s.delay, rate: s.rate, barriers: make(map[uint32]uint64)}
+	t := &barrierSwitch{sc: sc, delay: s.delay, rate: s.rate,
+		retry: sc.Config().BarrierRetry, barriers: make(map[uint32]uint64)}
 	t.emit = t.emitBarrier
+	t.watch = t.watchdog
 	return t
 }
 
@@ -90,13 +92,18 @@ type barrierSwitch struct {
 	sc    StrategyContext
 	delay time.Duration
 	rate  float64
+	retry time.Duration // Config.BarrierRetry (negative: net disabled)
 
-	emit func() // pre-bound emitBarrier: no closure allocation per burst
+	emit  func() // pre-bound emitBarrier: no closure allocation per burst
+	watch func() // pre-bound watchdog: one allocation per switch, ever
 
 	mu       sync.Mutex
 	barriers map[uint32]uint64 // barrier xid → covered seq
 	dirty    bool              // an emission is scheduled for maxSeq
 	maxSeq   uint64
+	watching bool   // the barrier-retry watchdog timer is armed
+	watchCT  uint64 // watermark at the last watchdog observation
+	detached bool
 }
 
 func (t *barrierSwitch) OnFlowMod(u *Update) {
@@ -105,9 +112,13 @@ func (t *barrierSwitch) OnFlowMod(u *Update) {
 		xid := t.sc.NewXID()
 		br.SetXID(xid)
 		t.mu.Lock()
+		if u.Seq() > t.maxSeq {
+			t.maxSeq = u.Seq()
+		}
 		t.barriers[xid] = u.Seq()
 		t.mu.Unlock()
 		t.sc.SendToSwitch(br)
+		t.ensureWatch()
 		return
 	}
 	t.mu.Lock()
@@ -134,6 +145,79 @@ func (t *barrierSwitch) emitBarrier() {
 	t.barriers[xid] = t.maxSeq
 	t.mu.Unlock()
 	t.sc.SendToSwitch(br)
+	t.ensureWatch()
+}
+
+// Detach implements SwitchDetacher: disarm the watchdog's re-arm loop and
+// drop barrier bookkeeping (the replies can no longer arrive; the detach
+// path resolves the covered futures).
+func (t *barrierSwitch) Detach() {
+	t.mu.Lock()
+	t.detached = true
+	clear(t.barriers)
+	t.mu.Unlock()
+}
+
+// ensureWatch arms the barrier-retry watchdog while confirmations are
+// outstanding. The callback is pre-bound, so steady-state arming costs a
+// timer insertion and no allocation — the zero-alloc ack path gate
+// covers this code.
+func (t *barrierSwitch) ensureWatch() {
+	if t.retry < 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.watching || t.detached {
+		t.mu.Unlock()
+		return
+	}
+	t.watching = true
+	t.watchCT = t.sc.ConfirmedThrough()
+	t.mu.Unlock()
+	t.sc.Clock().After(t.retry, t.watch)
+}
+
+// watchdog is the liveness net for lost barriers. It is progress-based:
+// a retry fires only when covered work is outstanding AND the confirmed
+// watermark has not moved for a full retry interval — on a healthy
+// channel under sustained load the watermark always advances between
+// ticks, so the net stays silent; a stalled watermark means the barrier
+// (or its reply) was lost, and a fresh barrier is emitted. A later
+// barrier's reply confirms a superset, so a spurious retry is harmless
+// while a missing one wedges every covered future. Confirmed
+// bookkeeping is swept on the way through.
+func (t *barrierSwitch) watchdog() {
+	ct := t.sc.ConfirmedThrough()
+	t.mu.Lock()
+	if t.detached {
+		t.watching = false
+		t.mu.Unlock()
+		return
+	}
+	for xid, seq := range t.barriers {
+		if seq <= ct {
+			delete(t.barriers, xid)
+		}
+	}
+	if t.maxSeq <= ct {
+		t.watching = false
+		t.mu.Unlock()
+		return
+	}
+	stalled := ct == t.watchCT
+	t.watchCT = ct
+	if !stalled {
+		t.mu.Unlock()
+		t.sc.Clock().After(t.retry, t.watch)
+		return
+	}
+	xid := t.sc.NewXID()
+	t.barriers[xid] = t.maxSeq
+	t.mu.Unlock()
+	br := of.AcquireBarrierRequest()
+	br.SetXID(xid)
+	t.sc.SendToSwitch(br)
+	t.sc.Clock().After(t.retry, t.watch)
 }
 
 func (t *barrierSwitch) OnBarrierReply(rep *of.BarrierReply) bool {

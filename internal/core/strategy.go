@@ -79,17 +79,33 @@ type Update struct {
 	seq      uint64 // per-switch issue order
 	fm       *of.FlowMod
 	issuedAt time.Duration
-	done     bool // guarded by the owning ackLayer's mutex
-	ownFM    bool // fm came off the wire and returns to the codec pool
+	done     bool  // guarded by the owning ackLayer's mutex
+	failErr  error // typed failure cause; written under the same mutex
+	ownFM    bool  // fm came off the wire and returns to the codec pool
 	refs     atomic.Int32
 }
 
 var updatePool = sync.Pool{New: func() any { return new(Update) }}
 
+// liveUpdates counts Update structs holding at least one reference — the
+// pool-leak detector the reconnect/fault tests assert on: after every
+// future has resolved and every switch has detached, it must return to
+// its pre-workload value, or a reference was leaked (the struct would
+// never recycle) or double-released (the struct would recycle while
+// still reachable).
+var liveUpdates atomic.Int64
+
+// LiveUpdates reports how many tracked updates currently hold
+// references. It is a debugging/verification counter: sample it before
+// and after a workload whose futures have all resolved — a non-zero
+// delta is a refcount leak.
+func LiveUpdates() int64 { return liveUpdates.Load() }
+
 // acquireUpdate returns a recycled Update holding one reference.
 func acquireUpdate() *Update {
 	u := updatePool.Get().(*Update)
 	u.refs.Store(1)
+	liveUpdates.Add(1)
 	return u
 }
 
@@ -113,6 +129,7 @@ func (u *Update) Release() {
 		of.Release(u.fm)
 	}
 	*u = Update{}
+	liveUpdates.Add(-1)
 	updatePool.Put(u)
 }
 

@@ -1,0 +1,573 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/faults"
+	"rum/internal/netsim"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// FaultProfile names one adversarial condition the reliability suite
+// runs the fat-tree churn under. The paper's premise is that control
+// planes lie; these profiles make them lie in specific, reproducible
+// ways so each AckStrategy's reliability claim is measurable.
+type FaultProfile string
+
+const (
+	// FaultNone runs the churn through the fault wrapper with no faults
+	// triggered — the wrapper-overhead baseline the benchcheck gate
+	// compares against plain FatTreeChurn.
+	FaultNone FaultProfile = "none"
+	// FaultLoss drops 5% of control-channel messages in each direction
+	// and 2% of data-plane frames (probe loss). Barrier-trusting
+	// strategies false-ack dropped FlowMods; probing strategies must
+	// re-probe and re-emit lost infrastructure rules.
+	FaultLoss FaultProfile = "loss"
+	// FaultDupReorder duplicates 5% and reorders 5% of control
+	// messages — stale and out-of-order replies must not corrupt
+	// bookkeeping.
+	FaultDupReorder FaultProfile = "dup-reorder"
+	// FaultCorrupt flips a byte in 5% of control messages — mangled
+	// xids masquerade as replies to messages never sent.
+	FaultCorrupt FaultProfile = "corrupt"
+	// FaultDisconnect cuts the control channel of FaultSwitches
+	// switches mid-churn; RUM detaches them with ErrChannelLost and the
+	// harness reconnects after RecoverAfter. Switch FIBs survive.
+	FaultDisconnect FaultProfile = "disconnect"
+	// FaultRestart crashes FaultSwitches switches mid-churn with a full
+	// FIB wipe (ErrSwitchRestarted); reconnection re-bootstraps probe
+	// infrastructure on the empty switch.
+	FaultRestart FaultProfile = "restart"
+	// FaultStall degrades FaultSwitches switches to the paper's HP
+	// hardware behaviour mid-churn: 300 ms data-plane syncs with
+	// control-plane stalls and early barrier replies.
+	FaultStall FaultProfile = "stall"
+)
+
+// FaultProfiles lists every profile in suite order.
+func FaultProfiles() []FaultProfile {
+	return []FaultProfile{FaultNone, FaultLoss, FaultDupReorder, FaultCorrupt,
+		FaultDisconnect, FaultRestart, FaultStall}
+}
+
+// switchFaults reports whether the profile includes switch-level events.
+func (p FaultProfile) switchFaults() bool {
+	return p == FaultDisconnect || p == FaultRestart || p == FaultStall
+}
+
+// messagePlan builds the profile's message-level fault plan.
+func (p FaultProfile) messagePlan() *faults.Plan {
+	switch p {
+	case FaultLoss:
+		return &faults.Plan{Rules: []faults.Rule{{Action: faults.ActDrop, Prob: 0.05}}}
+	case FaultDupReorder:
+		return &faults.Plan{Rules: []faults.Rule{
+			{Action: faults.ActDup, Prob: 0.05},
+			{Action: faults.ActReorder, Prob: 0.05},
+		}}
+	case FaultCorrupt:
+		return &faults.Plan{Rules: []faults.Rule{{Action: faults.ActCorrupt, Prob: 0.05}}}
+	default:
+		// Switch-level profiles and the baseline keep the wrapper in
+		// place with no message faults, so the overhead is uniform.
+		return faults.Passthrough()
+	}
+}
+
+// FaultChurnOpts parameterizes the reliability workload: the fat-tree
+// churn of FatTreeChurn, run through the fault-injection layer.
+type FaultChurnOpts struct {
+	// Profile selects the adversarial condition (default FaultNone).
+	Profile FaultProfile
+	// Seed feeds the deterministic injector: same seed, same schedule,
+	// same ack trace (default 1).
+	Seed int64
+	// K is the fat-tree arity (default 4 → 20 switches; the suite runs
+	// every profile, so it is sized for CI rather than scale).
+	K int
+	// UpdatesPerSwitch is the wave-1 update count per switch, and the
+	// wave-2 count per recovered switch (default 20).
+	UpdatesPerSwitch int
+	// Burst and Stagger shape the churn like FatTreeChurnOpts
+	// (defaults 5, 500µs).
+	Burst   int
+	Stagger time.Duration
+	// Uniform runs every switch on Technique. By default the suite
+	// mixes strategies per layer (edge: sequential, agg: general,
+	// core: Technique), as in FatTreeChurn — comparing techniques
+	// under the same faults is the suite's point.
+	Uniform bool
+	// Technique is the uniform (and core-layer) strategy; default
+	// timeout.
+	Technique core.Technique
+	// FaultSwitches is how many switches suffer switch-level faults
+	// under the disconnect/restart/stall profiles, drawn round-robin
+	// from the edge, aggregation, and core layers (default 3 — one per
+	// cohort).
+	FaultSwitches int
+	// FaultAt is when the switch-level fault fires, relative to churn
+	// start (default 1ms — mid wave 1).
+	FaultAt time.Duration
+	// RecoverAfter is the outage duration before the harness reconnects
+	// a cut or crashed switch (default 50ms).
+	RecoverAfter time.Duration
+	// CtrlLatency and LinkLatency mirror EnvConfig (defaults
+	// 100µs/20µs).
+	CtrlLatency time.Duration
+	LinkLatency time.Duration
+	// Deadline bounds the simulated run; futures unresolved at the
+	// deadline are wedged (default 30s — far beyond every liveness
+	// net's retry interval).
+	Deadline time.Duration
+}
+
+// Defaults fills zero fields.
+func (o FaultChurnOpts) Defaults() FaultChurnOpts {
+	if o.Profile == "" {
+		o.Profile = FaultNone
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.UpdatesPerSwitch == 0 {
+		o.UpdatesPerSwitch = 20
+	}
+	if o.Burst == 0 {
+		o.Burst = 5
+	}
+	if o.Stagger == 0 {
+		o.Stagger = 500 * time.Microsecond
+	}
+	if o.Technique == "" {
+		o.Technique = core.TechTimeout
+	}
+	if o.FaultSwitches == 0 {
+		o.FaultSwitches = 3
+	}
+	if o.FaultAt == 0 {
+		o.FaultAt = time.Millisecond
+	}
+	if o.RecoverAfter == 0 {
+		o.RecoverAfter = 50 * time.Millisecond
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = 100 * time.Microsecond
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 20 * time.Microsecond
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	return o
+}
+
+// TechFaultStats is one strategy cohort's reliability scorecard.
+// Updates = Acked + FailedTyped + SendFailed + Wedged.
+type TechFaultStats struct {
+	// Updates is the cohort's issued update count.
+	Updates int
+	// Acked resolved with a positive outcome (installed, removed, or
+	// fallback).
+	Acked int
+	// FailedTyped resolved as failed with a typed cause — the honest
+	// answer on a dead channel.
+	FailedTyped int
+	// SendFailed never left the controller: the send itself failed on
+	// a dead controller-side channel.
+	SendFailed int
+	// Wedged never resolved before the deadline: the strategy lost an
+	// update. The acceptance gate requires zero.
+	Wedged int
+	// FalseAcks were acknowledged installed/removed although the rule
+	// never became visible in the switch's data plane — the paper's
+	// headline failure, measured per strategy under faults.
+	FalseAcks int
+}
+
+// FaultChurnResult reports one profile run.
+type FaultChurnResult struct {
+	Profile  FaultProfile
+	Seed     int64
+	Switches int
+	// Updates counts issued updates (Acked + FailedTyped + SendFailed
+	// + Wedged); SendFailed counts those whose send already failed on
+	// a dead controller-side channel (the controller knows
+	// immediately — they are neither acked nor wedged).
+	Updates    int
+	SendFailed int
+
+	Acked       int
+	FailedTyped int
+	Wedged      int
+	FalseAcks   int
+
+	// ChannelLost / Restarted / Rejected break FailedTyped down by
+	// cause.
+	ChannelLost int
+	Restarted   int
+	Rejected    int
+
+	// P50/P99 are ack-latency percentiles over positive resolutions
+	// (simulated time).
+	P50, P99 time.Duration
+
+	// RecoveryMax is the worst observed recovery latency across faulted
+	// switches: channel cut → first positive ack after reconnection
+	// (zero when the profile has no reconnect phase).
+	RecoveryMax time.Duration
+
+	PerTechnique map[core.Technique]TechFaultStats
+
+	// Injected is the message-fault tally.
+	Injected faults.Stats
+
+	// Trace is a canonical per-update resolution transcript. Two runs
+	// with the same opts (and seed) produce byte-identical traces —
+	// the deterministic-replay acceptance test.
+	Trace string
+}
+
+// String summarizes the run in one line.
+func (r *FaultChurnResult) String() string {
+	return fmt.Sprintf("faults{%s seed=%d}: %d/%d acked, %d failed-typed, %d wedged, %d false-acks, recovery %v",
+		r.Profile, r.Seed, r.Acked, r.Updates, r.FailedTyped, r.Wedged, r.FalseAcks, r.RecoveryMax)
+}
+
+// faultTargets picks the switches that suffer switch-level faults:
+// round-robin across edge, aggregation, and core layers so every
+// strategy cohort of the mixed deployment is hit. A layer that runs out
+// is skipped (not treated as the end), so n targets are returned as
+// long as the fabric has that many switches.
+func faultTargets(ft *netsim.FatTree, n int) []string {
+	layers := [][]string{ft.Edge, ft.Agg, ft.Core}
+	var out []string
+	for idx := 0; len(out) < n; idx++ {
+		took := false
+		for _, layer := range layers {
+			if idx < len(layer) {
+				out = append(out, layer[idx])
+				took = true
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		if !took {
+			break // every layer exhausted: the whole fabric is faulted
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultChurn drives the fat-tree churn through the fault layer under one
+// profile and scores every strategy's reliability: completeness (no
+// wedged futures), honesty (false-ack rate against data-plane ground
+// truth), and recovery (reconnect latency).
+func FaultChurn(opts FaultChurnOpts) (*FaultChurnResult, error) {
+	opts = opts.Defaults()
+	ft, err := netsim.NewFatTree(opts.K)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New()
+	n := netsim.New(s)
+	inj := faults.NewInjector(opts.Seed)
+	plan := opts.Profile.messagePlan()
+
+	names := ft.Switches()
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range names {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, opts.LinkLatency)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	if opts.Profile == FaultLoss {
+		// Lossy data plane: 2% of frames (including probe packets) die
+		// on the wire, so probing strategies must re-inject.
+		n.SetTransmitFilter(func(string, uint16, *netsim.Frame) bool {
+			return !lossRoll(inj)
+		})
+	}
+
+	cfg := core.Config{
+		Clock:       s,
+		Technique:   opts.Technique,
+		RUMAware:    true,
+		TimeoutRate: 1000,
+	}
+	if !opts.Uniform {
+		cfg.PerSwitch = make(map[string]core.Technique)
+		for _, sw := range ft.Edge {
+			cfg.PerSwitch[sw] = core.TechSequential
+		}
+		for _, sw := range ft.Agg {
+			cfg.PerSwitch[sw] = core.TechGeneral
+		}
+	}
+	r, err := core.New(cfg, core.NewTopology(links))
+	if err != nil {
+		return nil, err
+	}
+
+	// attach wires one switch through a fault-wrapped control channel;
+	// it is also the reconnection path.
+	ctrlConns := make(map[string]transport.Conn)
+	attach := func(name string) error {
+		sw := switches[name]
+		ctrlTop, ctrlBottom := transport.Pipe(s, opts.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, opts.CtrlLatency)
+		sw.AttachConn(swSide)
+		wrapped := faults.Wrap(rumSide, s, inj, plan)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, wrapped); err != nil {
+			return fmt.Errorf("experiments: attaching %s: %w", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+		return nil
+	}
+	for _, name := range names {
+		if err := attach(name); err != nil {
+			return nil, err
+		}
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := r.Bootstrap(); err != nil {
+		return nil, err
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	techniqueOf := func(sw string) core.Technique {
+		if t, ok := cfg.PerSwitch[sw]; ok {
+			return t
+		}
+		return opts.Technique
+	}
+
+	// The workload: wave 1 hits every switch; wave 2 hits recovered
+	// switches after reconnection (the recovery-latency probe).
+	type issued struct {
+		sw     string
+		xid    uint32
+		handle *core.UpdateHandle
+	}
+	var all []issued
+	sendFailed := make(map[int]bool)
+	flowID := 0
+	issueWave := func(targets []string, startIn time.Duration) {
+		for _, name := range targets {
+			ports := ft.InterPorts(name)
+			for u := 0; u < opts.UpdatesPerSwitch; u++ {
+				sw, port := name, ports[u%len(ports)]
+				f := controller.FlowSpec{ID: flowID}
+				f.Src, f.Dst = controller.FlowAddr(flowID)
+				flowID++
+				fm := controller.AddRule(f, 100, port)
+				fm.SetXID(client.NewXID())
+				idx := len(all)
+				all = append(all, issued{sw: sw, xid: fm.GetXID(), handle: r.Watch(sw, fm.GetXID())})
+				delay := startIn + time.Duration(u/opts.Burst)*opts.Stagger
+				s.After(delay, func() {
+					if err := client.Send(sw, fm); err != nil {
+						// The controller-side channel is down: the
+						// controller knows instantly; the future is
+						// abandoned, not wedged.
+						sendFailed[idx] = true
+						all[idx].handle.Cancel()
+					}
+				})
+			}
+		}
+	}
+
+	churnStart := s.Now()
+	issueWave(names, 0)
+
+	// Switch-level fault schedule.
+	var targets []string
+	cutAt := make(map[string]time.Duration)
+	if opts.Profile.switchFaults() {
+		targets = faultTargets(ft, opts.FaultSwitches)
+		for _, name := range targets {
+			name := name
+			switch opts.Profile {
+			case FaultStall:
+				s.After(opts.FaultAt, func() {
+					switches[name].MutateProfile(func(p *switchsim.Profile) {
+						hp := switchsim.ProfileHP5406zl()
+						p.BarrierMode = hp.BarrierMode
+						p.ModBase = hp.ModBase
+						p.ModPerEntry = hp.ModPerEntry
+						p.SyncPeriod = hp.SyncPeriod
+						p.SyncStall = hp.SyncStall
+					})
+				})
+			case FaultDisconnect, FaultRestart:
+				cause := core.ErrChannelLost
+				if opts.Profile == FaultRestart {
+					cause = core.ErrSwitchRestarted
+				}
+				s.After(opts.FaultAt, func() {
+					cutAt[name] = s.Now()
+					if fc, ok := r.SwitchConn(name).(*faults.Conn); ok {
+						fc.Kill()
+					}
+					if opts.Profile == FaultRestart {
+						switches[name].Crash(true)
+					}
+					r.DetachSwitchCause(name, cause)
+					// The controller side learns the session died.
+					_ = ctrlConns[name].Close()
+				})
+				s.After(opts.FaultAt+opts.RecoverAfter, func() {
+					if err := attach(name); err != nil {
+						panic(err) // deterministic harness bug, not a runtime condition
+					}
+					client.SetConn(name, ctrlConns[name])
+					if err := r.BootstrapSwitch(name); err != nil {
+						panic(err)
+					}
+					// Wave 2: fresh updates through the recovered
+					// session measure recovery latency end to end.
+					issueWave([]string{name}, 2*time.Millisecond)
+				})
+			}
+		}
+	}
+
+	// Drive to completion. Reconnect profiles first run past the
+	// recovery point unconditionally: wave 1 may fully resolve before
+	// the outage ends, and wave 2's futures only exist once the
+	// reconnect event has fired.
+	if opts.Profile == FaultDisconnect || opts.Profile == FaultRestart {
+		s.RunFor(opts.FaultAt + opts.RecoverAfter + 5*time.Millisecond)
+	}
+	deadline := churnStart + opts.Deadline
+	resolvedAll := func() bool {
+		for i, it := range all {
+			if sendFailed[i] {
+				continue
+			}
+			if _, ok := it.handle.Result(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for !resolvedAll() && s.Now() < deadline {
+		s.RunFor(10 * time.Millisecond)
+	}
+
+	// Ground truth: every xid that ever became visible in a data plane.
+	activated := make(map[string]map[uint32]bool, len(names))
+	for _, name := range names {
+		m := make(map[uint32]bool)
+		for _, a := range switches[name].Activations() {
+			m[a.XID] = true
+		}
+		activated[name] = m
+	}
+
+	res := &FaultChurnResult{
+		Profile:      opts.Profile,
+		Seed:         opts.Seed,
+		Switches:     len(names),
+		Updates:      len(all),
+		PerTechnique: make(map[core.Technique]TechFaultStats),
+	}
+	var trace strings.Builder
+	var lats []time.Duration
+	for i, it := range all {
+		tech := techniqueOf(it.sw)
+		st := res.PerTechnique[tech]
+		st.Updates++
+		ar, ok := it.handle.Result()
+		switch {
+		case sendFailed[i]:
+			res.SendFailed++
+			st.SendFailed++
+			fmt.Fprintf(&trace, "%d %s %d send-failed\n", i, it.sw, it.xid)
+		case !ok:
+			res.Wedged++
+			st.Wedged++
+			fmt.Fprintf(&trace, "%d %s %d WEDGED\n", i, it.sw, it.xid)
+		case ar.Outcome == core.OutcomeFailed:
+			res.FailedTyped++
+			st.FailedTyped++
+			switch {
+			case errors.Is(ar.Err, core.ErrSwitchRestarted):
+				res.Restarted++
+			case errors.Is(ar.Err, core.ErrChannelLost):
+				res.ChannelLost++
+			case errors.Is(ar.Err, core.ErrSwitchRejected):
+				res.Rejected++
+			}
+			fmt.Fprintf(&trace, "%d %s %d failed %v @%d\n", i, it.sw, it.xid, ar.Err, ar.ConfirmedAt.Nanoseconds())
+		default:
+			res.Acked++
+			st.Acked++
+			lats = append(lats, ar.Latency)
+			falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
+				!activated[it.sw][it.xid]
+			if falseAck {
+				res.FalseAcks++
+				st.FalseAcks++
+			}
+			fmt.Fprintf(&trace, "%d %s %d %s false=%v @%d\n",
+				i, it.sw, it.xid, ar.Outcome, falseAck, ar.ConfirmedAt.Nanoseconds())
+		}
+		res.PerTechnique[tech] = st
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		res.P50, res.P99 = lats[len(lats)*50/100], lats[i99]
+	}
+	for _, name := range targets {
+		cut, wasCut := cutAt[name]
+		if !wasCut {
+			continue
+		}
+		var first time.Duration
+		for _, it := range all {
+			if it.sw != name {
+				continue
+			}
+			if ar, ok := it.handle.Result(); ok && ar.Outcome != core.OutcomeFailed && ar.ConfirmedAt > cut {
+				if first == 0 || ar.ConfirmedAt < first {
+					first = ar.ConfirmedAt
+				}
+			}
+		}
+		if first > 0 && first-cut > res.RecoveryMax {
+			res.RecoveryMax = first - cut
+		}
+	}
+	res.Injected = inj.Stats()
+	fmt.Fprintf(&trace, "injected: %s\n", res.Injected)
+	res.Trace = trace.String()
+	return res, nil
+}
+
+// lossRoll is the data-plane frame-loss coin (2%), drawn from the shared
+// deterministic injector.
+func lossRoll(in *faults.Injector) bool { return in.Roll(0.02) }

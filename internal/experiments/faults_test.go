@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"testing"
+
+	"rum/internal/core"
+)
+
+// TestFaultChurnCleanBaseline: with the wrapper in place but no faults
+// triggered, the churn behaves exactly like the healthy workload — every
+// future acks positively, nothing fails, nothing lies.
+func TestFaultChurnCleanBaseline(t *testing.T) {
+	res, err := FaultChurn(FaultChurnOpts{Profile: FaultNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wedged != 0 || res.FailedTyped != 0 || res.SendFailed != 0 {
+		t.Fatalf("clean run not clean: %s", res)
+	}
+	if res.Acked != res.Updates {
+		t.Fatalf("clean run acked %d/%d", res.Acked, res.Updates)
+	}
+	if res.FalseAcks != 0 {
+		t.Fatalf("clean run produced %d false acks", res.FalseAcks)
+	}
+}
+
+// TestFaultSuiteResolvesEveryFuture is the acceptance gate: under every
+// fault profile, every strategy resolves 100% of its futures — a
+// positive ack or a typed error, never a wedge.
+func TestFaultSuiteResolvesEveryFuture(t *testing.T) {
+	for _, profile := range FaultProfiles() {
+		profile := profile
+		t.Run(string(profile), func(t *testing.T) {
+			res, err := FaultChurn(FaultChurnOpts{Profile: profile, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			if res.Wedged != 0 {
+				for tech, st := range res.PerTechnique {
+					if st.Wedged > 0 {
+						t.Errorf("%s: technique %s wedged %d/%d futures", profile, tech, st.Wedged, st.Updates)
+					}
+				}
+				t.Fatalf("%s: %d futures never resolved", profile, res.Wedged)
+			}
+			if res.Acked+res.FailedTyped+res.SendFailed != res.Updates {
+				t.Fatalf("%s: accounting broken: %s", profile, res)
+			}
+			for tech, st := range res.PerTechnique {
+				if st.Acked+st.FailedTyped+st.SendFailed+st.Wedged != st.Updates {
+					t.Fatalf("%s: cohort %s does not sum: %+v", profile, tech, st)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultLossExposesFalseAcks reproduces the paper's core claim under
+// message loss: control-plane techniques acknowledge updates the switch
+// never applied, while the general probing technique — whose positive
+// acks require observing the rule in the data plane — never lies.
+func TestFaultLossExposesFalseAcks(t *testing.T) {
+	res, err := FaultChurn(FaultChurnOpts{Profile: FaultLoss, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Wedged != 0 {
+		t.Fatalf("loss run wedged %d futures", res.Wedged)
+	}
+	if res.FalseAcks == 0 {
+		t.Fatal("5% message loss produced zero false acks — the control-plane techniques should be lying")
+	}
+	if st := res.PerTechnique[core.TechGeneral]; st.FalseAcks != 0 {
+		t.Fatalf("general probing produced %d false acks; its positive acks must be data-plane-proven", st.FalseAcks)
+	}
+}
+
+// TestFaultDisconnectRecovery: cut channels resolve their in-flight
+// futures with ErrChannelLost, and the reconnected switches confirm new
+// updates within a bounded recovery window.
+func TestFaultDisconnectRecovery(t *testing.T) {
+	res, err := FaultChurn(FaultChurnOpts{Profile: FaultDisconnect, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Wedged != 0 {
+		t.Fatalf("disconnect run wedged %d futures", res.Wedged)
+	}
+	if res.ChannelLost == 0 {
+		t.Fatal("no future resolved with ErrChannelLost despite cut channels")
+	}
+	if res.Restarted != 0 {
+		t.Fatalf("disconnect (no crash) mis-reported %d ErrSwitchRestarted failures", res.Restarted)
+	}
+	if res.RecoveryMax == 0 {
+		t.Fatal("no post-reconnect ack observed: recovery latency unmeasured")
+	}
+	opts := FaultChurnOpts{}.Defaults()
+	if bound := opts.RecoverAfter + opts.Deadline/10; res.RecoveryMax > bound {
+		t.Fatalf("recovery took %v (> %v): reconnected switches confirm too slowly", res.RecoveryMax, bound)
+	}
+}
+
+// TestFaultRestartTypedErrors: a crash with FIB wipe fails in-flight
+// futures with ErrSwitchRestarted, distinguishable from a mere channel
+// loss.
+func TestFaultRestartTypedErrors(t *testing.T) {
+	res, err := FaultChurn(FaultChurnOpts{Profile: FaultRestart, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Wedged != 0 {
+		t.Fatalf("restart run wedged %d futures", res.Wedged)
+	}
+	if res.Restarted == 0 {
+		t.Fatal("no future resolved with ErrSwitchRestarted despite switch crashes")
+	}
+	if res.RecoveryMax == 0 {
+		t.Fatal("no post-restart ack observed")
+	}
+}
+
+// TestFaultReplayDeterministic is the seed-replay acceptance test: two
+// runs of the same fault schedule produce byte-identical ack traces, and
+// a different seed produces a different schedule.
+func TestFaultReplayDeterministic(t *testing.T) {
+	run := func(seed int64) *FaultChurnResult {
+		res, err := FaultChurn(FaultChurnOpts{Profile: FaultLoss, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	if a.Trace != b.Trace {
+		t.Fatalf("same seed diverged:\n--- run A ---\n%s\n--- run B ---\n%s", a.Trace, b.Trace)
+	}
+	if a.Injected != b.Injected {
+		t.Fatalf("same seed, different fault tallies: %s vs %s", a.Injected, b.Injected)
+	}
+	if other := run(43); other.Trace == a.Trace {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestFaultReconnectZeroPoolLeaks asserts the recovery path's refcount
+// hygiene: after a crash-restart churn fully resolves, the live pooled
+// Update count returns exactly to its pre-run value — no ring slot,
+// wire-queue entry, strategy table, or probe list leaked a reference,
+// and nothing was double-released.
+func TestFaultReconnectZeroPoolLeaks(t *testing.T) {
+	before := core.LiveUpdates()
+	res, err := FaultChurn(FaultChurnOpts{Profile: FaultRestart, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wedged != 0 {
+		t.Fatalf("run wedged %d futures; leak accounting needs full resolution", res.Wedged)
+	}
+	if after := core.LiveUpdates(); after != before {
+		t.Fatalf("pooled-update refcount leak across reconnect: %d live before, %d after", before, after)
+	}
+}

@@ -1,0 +1,274 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// Conn interposes a fault plan on a transport.Conn. It implements
+// transport.Conn and transport.BatchSender; it deliberately does NOT
+// implement transport.FrameEncoder, because faulted messages may be
+// retained past Send (delay, reorder) — a wrapped session runs under
+// shared-ownership (pipe) rules regardless of the inner conn.
+type Conn struct {
+	inner transport.Conn
+	clock sim.Clock
+	inj   *Injector
+	plan  *Plan
+
+	killed atomic.Bool
+	onKill atomic.Pointer[func()]
+
+	mu      sync.Mutex
+	handler transport.Handler
+	// held are the per-direction ActReorder hold slots: a held message
+	// is released after the next same-direction message passes, or by
+	// the ReorderHold flush timer.
+	held [2]of.Message
+}
+
+// Wrap interposes the plan on inner, sharing the injector (and therefore
+// one deterministic roll sequence) with every other wrapper of the
+// deployment. A disabled plan returns inner unchanged — zero overhead
+// when fault injection is off; use Passthrough to keep the wrapper layer
+// in place with no faults (the overhead benchmark).
+func Wrap(inner transport.Conn, clk sim.Clock, inj *Injector, plan *Plan) transport.Conn {
+	if !plan.Enabled() {
+		return inner
+	}
+	return &Conn{inner: inner, clock: clk, inj: inj, plan: plan}
+}
+
+// OnKill registers a callback fired (once, via the clock so no wrapper
+// lock is held) when the connection is cut by an ActCut rule or Kill.
+// The recovery harness uses it to drive DetachSwitchCause + reattach.
+func (c *Conn) OnKill(fn func()) { c.onKill.Store(&fn) }
+
+// Kill severs the connection as a fault: both directions go silent,
+// Send/SendBatch return transport.ErrClosed, the inner conn closes, and
+// the OnKill hook fires. Idempotent.
+func (c *Conn) Kill() {
+	if c.killed.Swap(true) {
+		return
+	}
+	c.mu.Lock()
+	c.held[0], c.held[1] = nil, nil
+	c.mu.Unlock()
+	_ = c.inner.Close()
+	if fn := c.onKill.Load(); fn != nil {
+		c.clock.After(0, *fn)
+	}
+}
+
+// Killed reports whether the connection has been cut.
+func (c *Conn) Killed() bool { return c.killed.Load() }
+
+// decide returns the action for one message: the first rule matching the
+// direction and predicate rolls its probability; a hit decides, a miss
+// falls through to the next rule. The bool reports whether any fault
+// applies.
+func (c *Conn) decide(dir Direction, m of.Message) (Rule, bool) {
+	for _, r := range c.plan.Rules {
+		if r.Dir != DirBoth && r.Dir != dir {
+			continue
+		}
+		if r.Match != nil && !r.Match(m) {
+			continue
+		}
+		if c.inj.roll(r.Prob) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// apply runs one message through the plan, invoking deliver zero, one,
+// or two times. It reports false when this message triggered an ActCut
+// (or the conn was already dead); the caller owns invoking Kill — after
+// flushing whatever already made it to the wire, so a mid-batch cut
+// severs behind the delivered prefix, not before it.
+func (c *Conn) apply(dir Direction, m of.Message, deliver func(of.Message)) bool {
+	if c.killed.Load() {
+		return false
+	}
+	rule, faulted := c.decide(dir, m)
+	if !faulted {
+		c.deliverOrdered(dir, m, deliver)
+		return true
+	}
+	c.inj.note(rule.Action)
+	switch rule.Action {
+	case ActDrop:
+		// Discarded silently — over a pipe the struct simply never
+		// arrives; ownership stays shared so nothing is released here.
+	case ActDup:
+		c.deliverOrdered(dir, m, deliver)
+		if clone := cloneMessage(c.inj, m, false); clone != nil {
+			c.deliverOrdered(dir, clone, deliver)
+		}
+	case ActReorder:
+		c.holdForReorder(dir, m, deliver)
+	case ActDelay:
+		// Deferred deliveries must not use the caller's deliver: a
+		// SendBatch collector is dead once its batch flushes, and a
+		// message appended to it after the flush would be silently
+		// lost instead of delayed. Late deliveries always go straight
+		// to the inner conn / handler.
+		late := c.lateDeliver(dir)
+		c.clock.After(rule.Delay, func() {
+			if !c.killed.Load() {
+				late(m)
+			}
+		})
+	case ActCorrupt:
+		if clone := cloneMessage(c.inj, m, true); clone != nil {
+			c.deliverOrdered(dir, clone, deliver)
+		}
+	case ActCut:
+		return false
+	}
+	return true
+}
+
+// deliverOrdered delivers m, first releasing any reorder-held
+// predecessor's successor slot: the held message goes out immediately
+// after m, which is the swap ActReorder models.
+func (c *Conn) deliverOrdered(dir Direction, m of.Message, deliver func(of.Message)) {
+	deliver(m)
+	c.mu.Lock()
+	held := c.held[dir&1]
+	c.held[dir&1] = nil
+	c.mu.Unlock()
+	if held != nil {
+		deliver(held)
+	}
+}
+
+// holdForReorder parks m in the direction's hold slot (flushing any
+// previous occupant first so at most one message is ever held) and arms
+// the flush timer for the no-successor case.
+func (c *Conn) holdForReorder(dir Direction, m of.Message, deliver func(of.Message)) {
+	c.mu.Lock()
+	prev := c.held[dir&1]
+	c.held[dir&1] = m
+	c.mu.Unlock()
+	if prev != nil {
+		deliver(prev)
+	}
+	// The flush timer outlives the caller's deliver (a SendBatch may
+	// have flushed long before it fires): deliver late, directly.
+	late := c.lateDeliver(dir)
+	c.clock.After(ReorderHold, func() {
+		c.mu.Lock()
+		flush := c.held[dir&1]
+		if flush != m {
+			// A successor already released it (or a newer hold took the
+			// slot); this timer has nothing to do.
+			c.mu.Unlock()
+			return
+		}
+		c.held[dir&1] = nil
+		c.mu.Unlock()
+		if !c.killed.Load() {
+			late(flush)
+		}
+	})
+}
+
+// lateDeliver returns the direction's deferred delivery path, used by
+// timers that may fire after the triggering Send/SendBatch returned.
+func (c *Conn) lateDeliver(dir Direction) func(of.Message) {
+	if dir == DirFromSwitch {
+		return c.deliverUp
+	}
+	return func(m of.Message) { _ = c.inner.Send(m) }
+}
+
+// Send implements transport.Conn.
+func (c *Conn) Send(m of.Message) error {
+	if c.killed.Load() {
+		return transport.ErrClosed
+	}
+	if !c.apply(DirToSwitch, m, func(out of.Message) { _ = c.inner.Send(out) }) {
+		c.Kill()
+	}
+	return nil
+}
+
+// SendBatch implements transport.BatchSender: survivors of the fault
+// plan ride one inner SendBatch so batch/latency semantics match the
+// unwrapped conn; a mid-batch ActCut discards the rest of the batch —
+// the "control channel dies mid-batch" scenario the recovery tests
+// exercise.
+func (c *Conn) SendBatch(ms []of.Message) error {
+	if c.killed.Load() {
+		return transport.ErrClosed
+	}
+	out := make([]of.Message, 0, len(ms))
+	cut := false
+	for _, m := range ms {
+		if !c.apply(DirToSwitch, m, func(o of.Message) { out = append(out, o) }) {
+			cut = true
+			break
+		}
+	}
+	err := c.flushBatch(out)
+	if cut {
+		// The prefix is on the wire; everything after the cut point is
+		// lost with the channel.
+		c.Kill()
+	}
+	return err
+}
+
+func (c *Conn) flushBatch(out []of.Message) error {
+	if len(out) == 0 {
+		return nil
+	}
+	if bs, ok := c.inner.(transport.BatchSender); ok {
+		return bs.SendBatch(out)
+	}
+	for _, m := range out {
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetHandler implements transport.Conn: received messages run through
+// the plan's DirFromSwitch rules before reaching h.
+func (c *Conn) SetHandler(h transport.Handler) {
+	c.mu.Lock()
+	c.handler = h
+	c.mu.Unlock()
+	c.inner.SetHandler(func(m of.Message) {
+		if !c.apply(DirFromSwitch, m, c.deliverUp) && !c.killed.Load() {
+			c.Kill()
+		}
+	})
+}
+
+func (c *Conn) deliverUp(m of.Message) {
+	if c.killed.Load() {
+		return
+	}
+	c.mu.Lock()
+	h := c.handler
+	c.mu.Unlock()
+	if h != nil {
+		h(m)
+	}
+}
+
+// Close implements transport.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.held[0], c.held[1] = nil, nil
+	c.mu.Unlock()
+	return c.inner.Close()
+}

@@ -1,0 +1,377 @@
+// Package faults is RUM's deterministic fault-injection subsystem: the
+// adversarial conditions the paper's premise rests on ("switch
+// acknowledgments are unreliable"), made reproducible. It supplies
+//
+//   - a message-level fault layer (Wrap) that interposes on a
+//     transport.Conn and drops, duplicates, reorders, delays, corrupts,
+//     or cuts individual OpenFlow messages, selected by direction,
+//     message type, and xid predicate;
+//   - a seedable Injector whose decisions are a pure function of the
+//     seed and the message sequence, so a fault schedule replays
+//     identically under the simulated clock (the seed-replay tests in
+//     internal/experiments assert byte-identical ack traces);
+//   - named fault profiles and a flag-friendly ParsePlan syntax shared
+//     by cmd/rumproxy (-faults), examples/chaos, and the reliability
+//     experiment suite in internal/experiments.
+//
+// Switch-level faults — crash with FIB wipe, restart, slow-dataplane
+// stalls — live on switchsim.Switch (Crash, MutateProfile) and the
+// data-plane frame-loss hook on netsim.Network (SetTransmitFilter); the
+// orchestration that ties them to RUM's detach/reattach recovery path is
+// internal/experiments/faults.go.
+//
+// Ownership: the wrapper may retain, clone, and re-deliver messages, so
+// it deliberately does not implement transport.FrameEncoder — a wrapped
+// session runs under the pipe (shared ownership) rules of the buffer
+// contract in docs/ARCHITECTURE.md, never the recycle-after-Send rules.
+// Duplicated and corrupted messages are materialized as fresh structs
+// via an encode/decode round trip, so a downstream consumer releasing
+// its copy to the codec pool can never double-release the original.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rum/internal/of"
+)
+
+// Direction selects which flow of a wrapped connection a rule applies
+// to. The wrapper sits on RUM's switch-side conn, so DirToSwitch covers
+// controller/RUM → switch traffic (FlowMods, barriers, probes) and
+// DirFromSwitch covers switch → RUM traffic (barrier replies, PacketIns,
+// errors).
+type Direction uint8
+
+const (
+	// DirBoth applies the rule to both directions.
+	DirBoth Direction = iota
+	// DirToSwitch applies the rule to messages sent toward the switch.
+	DirToSwitch
+	// DirFromSwitch applies the rule to messages received from the
+	// switch.
+	DirFromSwitch
+)
+
+// Action is the fault applied to a matched message.
+type Action uint8
+
+const (
+	// ActDrop discards the message.
+	ActDrop Action = iota
+	// ActDup delivers the message and then a clone of it.
+	ActDup
+	// ActReorder holds the message back and releases it after the next
+	// message in the same direction passes (or after ReorderHold, for a
+	// tail message with no successor).
+	ActReorder
+	// ActDelay delivers the message after an extra Rule.Delay.
+	ActDelay
+	// ActCorrupt flips a byte of the encoded frame and delivers the
+	// re-decoded result; frames that no longer decode are dropped.
+	ActCorrupt
+	// ActCut kills the connection: the message and everything after it
+	// (in both directions) is discarded, Send returns
+	// transport.ErrClosed, and the OnKill hook fires — the fault-layer
+	// model of a control channel dying mid-batch.
+	ActCut
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActDrop:
+		return "drop"
+	case ActDup:
+		return "dup"
+	case ActReorder:
+		return "reorder"
+	case ActDelay:
+		return "delay"
+	case ActCorrupt:
+		return "corrupt"
+	case ActCut:
+		return "cut"
+	default:
+		return "unknown"
+	}
+}
+
+// ReorderHold bounds how long an ActReorder-held message waits for a
+// successor before being flushed anyway.
+const ReorderHold = 5 * time.Millisecond
+
+// Rule is one fault: an action applied with probability Prob to every
+// message that matches Dir and Match.
+type Rule struct {
+	// Dir restricts the rule to one flow direction (DirBoth: no
+	// restriction).
+	Dir Direction
+	// Action is the fault to apply.
+	Action Action
+	// Prob is the per-message trigger probability in [0, 1]. Rolls are
+	// consumed per matched rule, in plan order, until one triggers
+	// (probabilities of exactly 0 or 1 decide without consuming a
+	// roll). Determinism needs only that the consumption sequence be a
+	// pure function of the seed and the message stream — which it is
+	// for a fixed plan; editing a plan's rules therefore reshuffles the
+	// schedule downstream of the first change.
+	Prob float64
+	// Delay is ActDelay's added latency.
+	Delay time.Duration
+	// Match restricts the rule to specific messages; nil matches every
+	// message. Compose with MatchType and MatchXID.
+	Match func(of.Message) bool
+}
+
+// MatchType builds a Rule.Match accepting the listed message types.
+func MatchType(types ...of.MsgType) func(of.Message) bool {
+	return func(m of.Message) bool {
+		t := m.MsgType()
+		for _, want := range types {
+			if t == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// MatchXID builds a Rule.Match from a transaction-id predicate (e.g.
+// of.IsRUMXID to fault only RUM's own probe/barrier traffic).
+func MatchXID(pred func(uint32) bool) func(of.Message) bool {
+	return func(m of.Message) bool { return pred(m.GetXID()) }
+}
+
+// Plan is an ordered rule list. For each message the rules are tried in
+// order; the first rule that matches and wins its probability roll
+// supplies the fault, and later rules are not consulted (nor their
+// rolls consumed).
+type Plan struct {
+	Rules []Rule
+}
+
+// Enabled reports whether the plan carries any rules. Wrap returns the
+// inner conn untouched for a disabled plan.
+func (p *Plan) Enabled() bool { return p != nil && len(p.Rules) > 0 }
+
+// Passthrough returns a plan with a single never-triggering rule: every
+// message traverses the full fault-evaluation path but none is faulted.
+// It is the overhead-measurement configuration the
+// FatTreeChurnFaultWrapped benchmark (and its benchcheck ≤5% p99 gate)
+// runs under.
+func Passthrough() *Plan {
+	return &Plan{Rules: []Rule{{Action: ActDrop, Prob: 0}}}
+}
+
+// Stats counts the faults an Injector has applied.
+type Stats struct {
+	Dropped    uint64
+	Duplicated uint64
+	Reordered  uint64
+	Delayed    uint64
+	Corrupted  uint64
+	Cuts       uint64
+}
+
+// String formats the counters compactly (zero counters elided).
+func (s Stats) String() string {
+	parts := make([]string, 0, 6)
+	add := func(name string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("dropped", s.Dropped)
+	add("duplicated", s.Duplicated)
+	add("reordered", s.Reordered)
+	add("delayed", s.Delayed)
+	add("corrupted", s.Corrupted)
+	add("cuts", s.Cuts)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Injector is the seeded randomness source shared by every fault wrapper
+// of one deployment. Its decisions depend only on the seed and the order
+// in which rolls are consumed, so a single-threaded simulation replays a
+// fault schedule exactly; under a wall clock the mutex keeps it safe but
+// goroutine interleaving makes schedules statistical rather than
+// reproducible.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector creates an injector from a seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the injector's seed (experiment reporting).
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Roll consumes one probability roll from the deterministic stream —
+// for harnesses that draw additional fault coins (e.g. data-plane frame
+// loss) from the same seed.
+func (in *Injector) Roll(p float64) bool { return in.roll(p) }
+
+// roll consumes one probability roll.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	hit := p >= 1 || in.rng.Float64() < p
+	in.mu.Unlock()
+	return hit
+}
+
+// intn consumes one bounded integer roll (corruption offsets).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	v := in.rng.Intn(n)
+	in.mu.Unlock()
+	return v
+}
+
+func (in *Injector) note(a Action) {
+	in.mu.Lock()
+	switch a {
+	case ActDrop:
+		in.stats.Dropped++
+	case ActDup:
+		in.stats.Duplicated++
+	case ActReorder:
+		in.stats.Reordered++
+	case ActDelay:
+		in.stats.Delayed++
+	case ActCorrupt:
+		in.stats.Corrupted++
+	case ActCut:
+		in.stats.Cuts++
+	}
+	in.mu.Unlock()
+}
+
+// ParsePlan builds a Plan from the compact key=value syntax used by
+// cmd/rumproxy's -faults flag. Keys are comma separated:
+//
+//	drop=P          drop each message with probability P
+//	dup=P           duplicate with probability P
+//	reorder=P       hold-and-swap with probability P
+//	corrupt=P       flip one encoded byte with probability P
+//	delay=DUR:P     add DUR extra latency with probability P
+//	cut=P           kill the channel with probability P (per message)
+//	flowmods        restrict the preceding rules to FlowMods only
+//
+// Example: "drop=0.01,dup=0.005,delay=2ms:0.02". Every rule applies to
+// both directions; programmatic users build Plans directly for
+// finer-grained control.
+func ParsePlan(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return &Plan{}, nil
+	}
+	p := &Plan{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if field == "flowmods" {
+			match := MatchType(of.TypeFlowMod)
+			for i := range p.Rules {
+				p.Rules[i].Match = match
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		rule := Rule{Dir: DirBoth}
+		switch key {
+		case "drop":
+			rule.Action = ActDrop
+		case "dup":
+			rule.Action = ActDup
+		case "reorder":
+			rule.Action = ActReorder
+		case "corrupt":
+			rule.Action = ActCorrupt
+		case "cut":
+			rule.Action = ActCut
+		case "delay":
+			rule.Action = ActDelay
+			durStr, probStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: delay wants DUR:PROB, got %q", val)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("faults: delay duration %q: %v", durStr, err)
+			}
+			rule.Delay = d
+			val = probStr
+		default:
+			return nil, fmt.Errorf("faults: unknown fault %q", key)
+		}
+		prob, err := strconv.ParseFloat(val, 64)
+		// The negated range check also rejects NaN, which would slip
+		// through `prob < 0 || prob > 1` and arm a rule that never fires.
+		if err != nil || !(prob >= 0 && prob <= 1) {
+			return nil, fmt.Errorf("faults: probability %q for %s must be in [0,1]", val, key)
+		}
+		rule.Prob = prob
+		p.Rules = append(p.Rules, rule)
+	}
+	return p, nil
+}
+
+// cloneMessage materializes an independent copy of m through an
+// encode/decode round trip; corrupt optionally flips one byte of the
+// encoded frame first (offset chosen by the injector, header length
+// field excluded so the frame still parses as one message). It returns
+// nil when the (possibly corrupted) frame no longer decodes.
+func cloneMessage(in *Injector, m of.Message, corrupt bool) of.Message {
+	buf, err := of.Marshal(m)
+	if err != nil {
+		return nil
+	}
+	if corrupt && len(buf) > 4 {
+		// Flip within the body or the type/xid region, never the
+		// version byte (offset 0) or the 16-bit length (offsets 2-3): a
+		// mangled length would model a framing desync, which over TCP
+		// kills the whole connection rather than one message — that
+		// fault is ActCut's job. Candidates are {1} ∪ [4, len-1],
+		// chosen uniformly.
+		off := in.intn(len(buf) - 3)
+		if off == 0 {
+			off = 1
+		} else {
+			off += 3
+		}
+		buf[off] ^= 0xff
+	}
+	out, err := of.Unmarshal(buf)
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+func testFlowMod(xid uint32) *of.FlowMod {
+	fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: of.MatchAll(),
+		BufferID: of.BufferNone, OutPort: of.PortNone}
+	fm.SetXID(xid)
+	return fm
+}
+
+// bed wires wrapper → pipe → recorder under a sim clock and returns the
+// wrapped conn, the received-xid log, and the engine.
+func bed(t *testing.T, plan *Plan, seed int64) (transport.Conn, *[]uint32, *sim.Sim) {
+	t.Helper()
+	s := sim.New()
+	a, b := transport.Pipe(s, time.Millisecond)
+	var got []uint32
+	b.SetHandler(func(m of.Message) { got = append(got, m.GetXID()) })
+	return Wrap(a, s, NewInjector(seed), plan), &got, s
+}
+
+func TestWrapDisabledPlanIsTransparent(t *testing.T) {
+	s := sim.New()
+	a, _ := transport.Pipe(s, 0)
+	if w := Wrap(a, s, NewInjector(1), &Plan{}); w != a {
+		t.Fatal("empty plan should return the inner conn unchanged")
+	}
+	if w := Wrap(a, s, NewInjector(1), nil); w != a {
+		t.Fatal("nil plan should return the inner conn unchanged")
+	}
+	if w := Wrap(a, s, NewInjector(1), Passthrough()); w == a {
+		t.Fatal("Passthrough plan should keep the wrapper layer in place")
+	}
+}
+
+func TestDropAllDeliversNothing(t *testing.T) {
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActDrop, Prob: 1}}}, 1)
+	for i := 1; i <= 10; i++ {
+		if err := c.Send(testFlowMod(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("dropped messages arrived: %v", *got)
+	}
+}
+
+func TestDupDeliversIndependentClone(t *testing.T) {
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActDup, Prob: 1}}}, 1)
+	if err := c.Send(testFlowMod(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if len(*got) != 2 || (*got)[0] != 7 || (*got)[1] != 7 {
+		t.Fatalf("want xids [7 7], got %v", *got)
+	}
+}
+
+func TestReorderSwapsWithSuccessor(t *testing.T) {
+	// Only the first message triggers (match on xid 1): 1 is held, 2
+	// passes, 1 follows.
+	match := MatchXID(func(x uint32) bool { return x == 1 })
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActReorder, Prob: 1, Match: match}}}, 1)
+	_ = c.Send(testFlowMod(1))
+	_ = c.Send(testFlowMod(2))
+	s.RunFor(time.Second)
+	if len(*got) != 2 || (*got)[0] != 2 || (*got)[1] != 1 {
+		t.Fatalf("want reordered [2 1], got %v", *got)
+	}
+}
+
+func TestReorderTailFlushesByTimer(t *testing.T) {
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActReorder, Prob: 1}}}, 1)
+	_ = c.Send(testFlowMod(9))
+	s.RunFor(time.Millisecond) // before the hold elapses: still parked
+	if len(*got) != 0 {
+		t.Fatalf("held message leaked early: %v", *got)
+	}
+	s.RunFor(ReorderHold + 10*time.Millisecond)
+	if len(*got) != 1 || (*got)[0] != 9 {
+		t.Fatalf("want timer-flushed [9], got %v", *got)
+	}
+}
+
+// TestDelayInSendBatchStillDelivers pins the batched deferred-delivery
+// path: a delayed (or timer-flushed reordered) message from a SendBatch
+// must reach the wire after its hold, not die with the batch's already
+// flushed collector.
+func TestDelayInSendBatchStillDelivers(t *testing.T) {
+	const extra = 50 * time.Millisecond
+	match := MatchXID(func(x uint32) bool { return x == 2 })
+	plan := &Plan{Rules: []Rule{{Action: ActDelay, Prob: 1, Delay: extra, Match: match}}}
+	c, got, s := bed(t, plan, 1)
+	bs := c.(transport.BatchSender)
+	if err := bs.SendBatch([]of.Message{testFlowMod(1), testFlowMod(2), testFlowMod(3)}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(extra / 2)
+	if len(*got) != 2 || (*got)[0] != 1 || (*got)[1] != 3 {
+		t.Fatalf("undelayed batch part: want [1 3], got %v", *got)
+	}
+	s.RunFor(extra)
+	if len(*got) != 3 || (*got)[2] != 2 {
+		t.Fatalf("delayed batch message lost: got %v", *got)
+	}
+}
+
+func TestReorderTailInSendBatchFlushesByTimer(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Action: ActReorder, Prob: 1,
+		Match: MatchXID(func(x uint32) bool { return x == 2 })}}}
+	c, got, s := bed(t, plan, 1)
+	bs := c.(transport.BatchSender)
+	if err := bs.SendBatch([]of.Message{testFlowMod(1), testFlowMod(2)}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(ReorderHold + 10*time.Millisecond)
+	if len(*got) != 2 || (*got)[0] != 1 || (*got)[1] != 2 {
+		t.Fatalf("reorder-held batch tail lost: got %v", *got)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	const extra = 50 * time.Millisecond
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActDelay, Prob: 1, Delay: extra}}}, 1)
+	_ = c.Send(testFlowMod(3))
+	s.RunFor(extra / 2)
+	if len(*got) != 0 {
+		t.Fatal("delayed message arrived early")
+	}
+	s.RunFor(extra)
+	if len(*got) != 1 {
+		t.Fatalf("delayed message never arrived: %v", *got)
+	}
+}
+
+func TestCorruptMutatesButStaysDecodable(t *testing.T) {
+	c, got, s := bed(t, &Plan{Rules: []Rule{{Action: ActCorrupt, Prob: 1}}}, 42)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		_ = c.Send(testFlowMod(uint32(i)))
+	}
+	s.RunFor(time.Second)
+	if len(*got) == 0 {
+		t.Fatal("every corrupted frame failed to decode; expected most to survive")
+	}
+	if len(*got) > n {
+		t.Fatalf("corruption multiplied messages: %d > %d", len(*got), n)
+	}
+	mutated := 0
+	for i, xid := range *got {
+		if xid != uint32(i+1) {
+			mutated++
+		}
+	}
+	t.Logf("corrupt: %d delivered, %d with visibly mangled xids", len(*got), mutated)
+}
+
+func TestCutKillsMidBatchAndFiresOnKill(t *testing.T) {
+	// Cut triggers only on xid 3: the batch dies at its third message.
+	match := MatchXID(func(x uint32) bool { return x == 3 })
+	plan := &Plan{Rules: []Rule{{Action: ActCut, Prob: 1, Match: match}}}
+	s := sim.New()
+	a, b := transport.Pipe(s, time.Millisecond)
+	var got []uint32
+	b.SetHandler(func(m of.Message) { got = append(got, m.GetXID()) })
+	w := Wrap(a, s, NewInjector(1), plan).(*Conn)
+	killed := false
+	w.OnKill(func() { killed = true })
+	batch := []of.Message{testFlowMod(1), testFlowMod(2), testFlowMod(3), testFlowMod(4), testFlowMod(5)}
+	if err := w.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("want the pre-cut prefix [1 2], got %v", got)
+	}
+	if !killed {
+		t.Fatal("OnKill hook never fired")
+	}
+	if !w.Killed() {
+		t.Fatal("Killed() false after cut")
+	}
+	if err := w.Send(testFlowMod(6)); err != transport.ErrClosed {
+		t.Fatalf("post-cut Send: want ErrClosed, got %v", err)
+	}
+}
+
+// TestInjectorDeterminism replays one loss schedule twice from the same
+// seed and asserts the surviving message sets are identical, and that a
+// different seed produces a different schedule.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func(seed int64) []uint32 {
+		plan := &Plan{Rules: []Rule{{Action: ActDrop, Prob: 0.3}}}
+		c, got, s := bed(t, plan, seed)
+		for i := 1; i <= 200; i++ {
+			_ = c.Send(testFlowMod(uint32(i)))
+		}
+		s.RunFor(time.Second)
+		return *got
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different survivor counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	other := run(8)
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("drop=0.01,dup=0.005,reorder=0.02,corrupt=0.001,delay=2ms:0.05,cut=0.0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 6 {
+		t.Fatalf("want 6 rules, got %d", len(p.Rules))
+	}
+	if p.Rules[4].Action != ActDelay || p.Rules[4].Delay != 2*time.Millisecond {
+		t.Fatalf("delay rule mis-parsed: %+v", p.Rules[4])
+	}
+	if p, err := ParsePlan(""); err != nil || p.Enabled() {
+		t.Fatalf("empty spec: want disabled plan, got %+v err %v", p, err)
+	}
+	if p, err := ParsePlan("none"); err != nil || p.Enabled() {
+		t.Fatalf("none spec: want disabled plan, got %+v err %v", p, err)
+	}
+	if _, err := ParsePlan("explode=0.5"); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	if _, err := ParsePlan("drop=1.5"); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if _, err := ParsePlan("drop=NaN"); err == nil {
+		t.Fatal("NaN probability accepted")
+	}
+	if _, err := ParsePlan("delay=abc:0.1"); err == nil {
+		t.Fatal("bad delay duration accepted")
+	}
+	// flowmods narrows earlier rules.
+	p, err = ParsePlan("drop=0.1,flowmods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Match == nil {
+		t.Fatal("flowmods did not install a match")
+	}
+	if !p.Rules[0].Match(testFlowMod(1)) {
+		t.Fatal("flowmods match rejects a FlowMod")
+	}
+	if p.Rules[0].Match(&of.BarrierRequest{}) {
+		t.Fatal("flowmods match accepts a barrier")
+	}
+}

@@ -3,7 +3,9 @@
 // links, with per-flow traffic generators and arrival recording. It stands
 // in for the paper's physical triangle testbed; the observable quantities —
 // which packets arrive where, and when — are the same ones the paper
-// measures.
+// measures. For fault experiments, SetTransmitFilter injects data-plane
+// frame loss (probe packets dying in flight), and the FatTree generator
+// produces the datacenter-scale fabric the churn workloads run on.
 package netsim
 
 import (
@@ -58,11 +60,12 @@ type link struct {
 type Network struct {
 	Clock sim.Clock
 
-	mu     sync.Mutex
-	nodes  map[string]Node
-	links  map[string]map[uint16]*link // node name -> port -> link
-	onDrop func(fr *Frame, where string, reason string)
-	drops  []Drop
+	mu       sync.Mutex
+	nodes    map[string]Node
+	links    map[string]map[uint16]*link // node name -> port -> link
+	onDrop   func(fr *Frame, where string, reason string)
+	txFilter func(from string, outPort uint16, fr *Frame) bool
+	drops    []Drop
 }
 
 // Drop records a frame that died in the network.
@@ -113,13 +116,19 @@ func (n *Network) Connect(a Node, pa uint16, b Node, pb uint16, latency time.Dur
 
 // Transmit sends a frame out of node's port. The frame is delivered to the
 // link peer after the link latency; if the port is unwired, the frame is
-// dropped.
+// dropped. A transmit filter (SetTransmitFilter) may veto the frame
+// first — data-plane frame loss for fault experiments.
 func (n *Network) Transmit(node Node, outPort uint16, fr *Frame) {
 	n.mu.Lock()
 	l, ok := n.links[node.Name()][outPort]
+	filter := n.txFilter
 	n.mu.Unlock()
 	if !ok {
 		n.RecordDrop(fr, node.Name(), fmt.Sprintf("unwired port %d", outPort))
+		return
+	}
+	if filter != nil && !filter(node.Name(), outPort, fr) {
+		n.RecordDrop(fr, node.Name(), "fault: link loss")
 		return
 	}
 	dst := l.a
@@ -157,6 +166,17 @@ func (n *Network) Ports(nodeName string) []uint16 {
 	}
 	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 	return ports
+}
+
+// SetTransmitFilter installs a veto hook consulted for every frame about
+// to cross a wired link: returning false drops the frame (recorded as a
+// fault drop). The fault experiments use it to model lossy data-plane
+// links — probe packets die in flight and the probing strategies must
+// re-inject. A nil filter restores lossless links.
+func (n *Network) SetTransmitFilter(fn func(from string, outPort uint16, fr *Frame) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.txFilter = fn
 }
 
 // SetDropHandler installs a callback invoked for every dropped frame.

@@ -126,12 +126,16 @@ func (sw *Switch) kickPktInLocked() {
 	job := sw.pktInQueue[0]
 	sw.pktInQueue = sw.pktInQueue[1:]
 	sw.pktInBusy = true
-	sw.clk.After(sw.prof.PacketInTime, func() { sw.completePktIn(job) })
+	epoch := sw.epoch
+	sw.clk.After(sw.prof.PacketInTime, func() { sw.completePktIn(job, epoch) })
 }
 
-func (sw *Switch) completePktIn(job pktInJob) {
+func (sw *Switch) completePktIn(job pktInJob, epoch uint64) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if sw.epoch != epoch {
+		return
+	}
 	sw.pktInsSent++
 	sw.stealAcc += sw.prof.StealPerPacketIn
 	data := job.fr.Pkt.Marshal()
@@ -154,13 +158,18 @@ func (sw *Switch) kickPktOutLocked() {
 	job := sw.pktOutQueue[0]
 	sw.pktOutQueue = sw.pktOutQueue[1:]
 	sw.pktOutBusy = true
-	sw.clk.After(sw.prof.PacketOutTime, func() { sw.completePktOut(job) })
+	epoch := sw.epoch
+	sw.clk.After(sw.prof.PacketOutTime, func() { sw.completePktOut(job, epoch) })
 }
 
 // completePktOut executes a PacketOut: decode the payload and run its
 // action list as if the packet entered the pipeline.
-func (sw *Switch) completePktOut(po *of.PacketOut) {
+func (sw *Switch) completePktOut(po *of.PacketOut, epoch uint64) {
 	sw.mu.Lock()
+	if sw.epoch != epoch {
+		sw.mu.Unlock()
+		return
+	}
 	sw.pktOutsProcessed++
 	sw.stealAcc += sw.prof.StealPerPacketOut
 	sw.pktOutBusy = false

@@ -52,6 +52,10 @@ type Switch struct {
 
 	mu   sync.Mutex
 	conn transport.Conn
+	// epoch invalidates in-flight timer callbacks across a Crash: every
+	// scheduled completion captures the epoch at arm time and bails on
+	// mismatch, so a restarted switch never executes a pre-crash job.
+	epoch uint64
 
 	// Control-plane view of the flow table (updated when the server
 	// finishes a FlowMod) and the lagging data-plane copy (updated at
@@ -161,7 +165,8 @@ func (sw *Switch) kickCtrlLocked() {
 		// control→data lag is therefore exactly one sync period.
 		sw.ctrlBusy = true
 		sw.applySyncLocked()
-		sw.clk.After(sw.prof.SyncStall, sw.endSyncStall)
+		epoch := sw.epoch
+		sw.clk.After(sw.prof.SyncStall, func() { sw.endSyncStall(epoch) })
 		return
 	}
 	if len(sw.ctrlQueue) == 0 {
@@ -171,7 +176,8 @@ func (sw *Switch) kickCtrlLocked() {
 	sw.ctrlQueue = sw.ctrlQueue[1:]
 	sw.ctrlBusy = true
 	st := sw.serviceTimeLocked(job.msg)
-	sw.clk.After(st, func() { sw.completeCtrl(job) })
+	epoch := sw.epoch
+	sw.clk.After(st, func() { sw.completeCtrl(job, epoch) })
 }
 
 // serviceTimeLocked models per-message control-plane cost, including the
@@ -194,9 +200,12 @@ func (sw *Switch) serviceTimeLocked(m of.Message) time.Duration {
 }
 
 // completeCtrl finishes one control-plane job.
-func (sw *Switch) completeCtrl(job queuedMsg) {
+func (sw *Switch) completeCtrl(job queuedMsg, epoch uint64) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if sw.epoch != epoch {
+		return // the switch crashed while this job was in service
+	}
 	switch m := job.msg.(type) {
 	case *of.FlowMod:
 		sw.modsProcessed++
@@ -307,12 +316,17 @@ func (sw *Switch) armSyncLocked() {
 	period := sw.prof.SyncPeriod
 	next := (now/period + 1) * period
 	sw.syncArmed = true
-	sw.clk.After(next-now, sw.onSyncTimer)
+	epoch := sw.epoch
+	sw.clk.After(next-now, func() { sw.onSyncTimer(epoch) })
 }
 
 // onSyncTimer requests a sync when work is pending.
-func (sw *Switch) onSyncTimer() {
+func (sw *Switch) onSyncTimer(epoch uint64) {
 	sw.mu.Lock()
+	if sw.epoch != epoch {
+		sw.mu.Unlock()
+		return
+	}
 	sw.syncArmed = false
 	if len(sw.pendingSync) > 0 && !sw.syncDue {
 		sw.syncDue = true
@@ -366,11 +380,56 @@ func (sw *Switch) applySyncLocked() {
 }
 
 // endSyncStall resumes control-plane processing after the sync stall.
-func (sw *Switch) endSyncStall() {
+func (sw *Switch) endSyncStall(epoch uint64) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if sw.epoch != epoch {
+		return
+	}
 	sw.ctrlBusy = false
 	sw.kickCtrlLocked()
+}
+
+// Crash models a switch failure: the control channel drops, every queued
+// and in-service control-plane job dies with it, and — when wipeFIB is
+// set — both flow tables are cleared, the way a real switch reboots with
+// an empty FIB. The data-plane activation log survives as the
+// experiment's ground truth. The switch stays down (it processes
+// nothing) until AttachConn wires a fresh control channel; RUM's side of
+// recovery is DetachSwitchCause + AttachSwitch + BootstrapSwitch.
+func (sw *Switch) Crash(wipeFIB bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	conn := sw.conn
+	sw.conn = nil
+	sw.epoch++ // strands every scheduled completion from this life
+	sw.ctrlQueue = nil
+	sw.pendingSync = nil
+	sw.barWaiters = nil
+	sw.pktOutQueue = nil
+	sw.pktInQueue = nil
+	sw.ctrlBusy, sw.pktOutBusy, sw.pktInBusy = false, false, false
+	sw.syncDue, sw.syncArmed = false, false
+	sw.stealAcc = 0
+	sw.modSeq, sw.appliedSeq = 0, 0
+	if wipeFIB {
+		sw.ctrlTable = flowtable.New()
+		sw.dataTable = flowtable.New()
+	}
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// MutateProfile adjusts the switch's timing profile in place (under the
+// switch lock) — the slow-dataplane fault: e.g. stretching SyncPeriod
+// and SyncStall mid-run degrades a software-profile switch to the HP
+// hardware behaviour. The change applies to subsequent service-time and
+// sync computations; jobs already in service finish on the old timings.
+func (sw *Switch) MutateProfile(fn func(p *Profile)) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	fn(&sw.prof)
 }
 
 // applyModLocked pushes one FlowMod into the data-plane table and records

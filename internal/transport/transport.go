@@ -2,8 +2,12 @@
 // proxies and switches. Two implementations share one interface: Pipe
 // builds an in-memory connection pair whose delivery is driven by a
 // simulated clock (deterministic experiments), and TCP wraps a net.Conn
-// with OpenFlow framing (real deployments). RUM layers are written against
-// Conn and run unchanged over either.
+// with OpenFlow framing and a coalescing, zero-allocation writer (real
+// deployments). RUM layers are written against Conn and run unchanged
+// over either; internal/faults wraps any Conn with deterministic fault
+// injection. Who owns a message after Send — and when it may be
+// recycled — is governed by the FrameEncoder marker; the full
+// buffer-ownership contract is documented in docs/ARCHITECTURE.md.
 package transport
 
 import (

@@ -150,6 +150,24 @@ const (
 // AckResult is the typed resolution of one rule modification.
 type AckResult = core.AckResult
 
+// The typed failure causes carried by AckResult.Err (and AckEvent.Err)
+// when an update resolves as OutcomeFailed; match with errors.Is.
+// ErrChannelLost means the switch's control channel died with the update
+// in flight (re-issue it after reconnection); ErrSwitchRestarted means
+// the switch crashed and lost its whole FIB (replay the intended state);
+// ErrSwitchRejected means the switch answered with an OpenFlow error.
+var (
+	ErrChannelLost     = core.ErrChannelLost
+	ErrSwitchRestarted = core.ErrSwitchRestarted
+	ErrSwitchRejected  = core.ErrSwitchRejected
+)
+
+// LiveUpdates reports how many pooled tracked-update structs currently
+// hold references — a debugging counter for verifying that workloads
+// (especially detach/reconnect cycles) leak no update references. See
+// docs/ARCHITECTURE.md's ownership contract.
+func LiveUpdates() int64 { return core.LiveUpdates() }
+
 // UpdateHandle is an awaitable future for one FlowMod's acknowledgment;
 // obtain it from RUM.Watch before sending the FlowMod.
 type UpdateHandle = core.UpdateHandle

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rum/internal/core"
+	"rum/internal/faults"
 	"rum/internal/of"
 	"rum/internal/transport"
 )
@@ -41,6 +42,17 @@ type ProxyConfig struct {
 	// failures, bootstrap errors). Defaults to logging via the standard
 	// logger.
 	OnError func(error)
+	// FaultSpec, when non-empty, interposes the fault-injection layer on
+	// every switch-side connection — chaos testing a live proxy. The
+	// syntax is internal/faults.ParsePlan's ("drop=0.01,dup=0.005,
+	// delay=2ms:0.02,..."); "none" or empty disables injection entirely.
+	// A proxied session with faults enabled runs under shared-ownership
+	// buffer rules, so the zero-copy recycling fast paths are bypassed.
+	FaultSpec string
+	// FaultSeed seeds the fault schedule (default 1). Over a wall clock
+	// schedules are statistical rather than replayable; the seed still
+	// pins the decision stream for a given message interleaving.
+	FaultSeed int64
 }
 
 // ProxyServer runs RUM as a real TCP proxy: switches connect to it as if
@@ -49,6 +61,9 @@ type ProxyServer struct {
 	cfg  ProxyConfig
 	rum  *RUM
 	byID map[uint64]string
+
+	faultPlan *faults.Plan     // nil when fault injection is off
+	faultInj  *faults.Injector // shared across every wrapped conn
 
 	mu       sync.Mutex
 	attached map[string]bool
@@ -90,12 +105,40 @@ func NewProxyServer(cfg ProxyConfig) (*ProxyServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ProxyServer{
+	p := &ProxyServer{
 		cfg:      cfg,
 		rum:      r,
 		byID:     byID,
 		attached: make(map[string]bool),
-	}, nil
+	}
+	if cfg.FaultSpec != "" {
+		plan, err := faults.ParsePlan(cfg.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("rum: ProxyConfig.FaultSpec: %w", err)
+		}
+		if plan.Enabled() {
+			seed := cfg.FaultSeed
+			if seed == 0 {
+				seed = 1
+			}
+			p.faultPlan = plan
+			p.faultInj = faults.NewInjector(seed)
+		}
+	}
+	return p, nil
+}
+
+// FaultsArmed reports whether ProxyConfig.FaultSpec parsed to an active
+// fault plan (an empty or "none" spec leaves injection off).
+func (p *ProxyServer) FaultsArmed() bool { return p.faultInj != nil }
+
+// FaultStats reports the fault-injection tally when ProxyConfig.FaultSpec
+// is active (zero value otherwise).
+func (p *ProxyServer) FaultStats() faults.Stats {
+	if p.faultInj == nil {
+		return faults.Stats{}
+	}
+	return p.faultInj.Stats()
 }
 
 // RUM exposes the underlying instance (Watch, Subscribe, Stats,
@@ -178,6 +221,21 @@ func (p *ProxyServer) handle(nc net.Conn) error {
 	}
 	swConn := transport.NewTCP(nc)
 	ctrlConn := transport.NewTCP(ctrlNC)
+	if p.faultPlan != nil {
+		wrapped := faults.Wrap(swConn, p.cfg.RUM.Clock, p.faultInj, p.faultPlan)
+		if fc, ok := wrapped.(*faults.Conn); ok {
+			// A fault-cut channel looks exactly like a switch dying: the
+			// session is detached (failing its futures with
+			// ErrChannelLost) and the real switch's broken TCP conn will
+			// drive its reconnect loop back through Serve.
+			fc.OnKill(func() {
+				if p.rum.DetachSwitchCause(name, ErrChannelLost) {
+					p.reportError(fmt.Errorf("faults: cut control channel of %s", name))
+				}
+			})
+		}
+		swConn = wrapped
+	}
 	_, err = p.rum.AttachSwitch(name, dpid, ctrlConn, swConn)
 	if err != nil {
 		// A switch that reconnects after a dropped TCP session still owns
