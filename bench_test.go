@@ -553,6 +553,48 @@ func BenchmarkFatTreeChurnFaultWrapped(b *testing.B) {
 	})
 }
 
+// BenchmarkPlannerFatTree runs the full consistent-update pipeline on
+// the k=8 fat-tree: plan compilation, per-wave HSA transient
+// verification, and fault-free execution to completion, with the FIB
+// ground-truth checks (new paths installed, old rules retired, zero
+// double-installs). The recorded verify_ratio — HSA wall time over
+// end-to-end plan wall time — is the planner's acceptance metric:
+// cmd/benchcheck gates it at ≤ 0.20 (-max-planner-verify-ratio), so
+// transient verification must stay a thin slice of the update pipeline,
+// never its bottleneck.
+func BenchmarkPlannerFatTree(b *testing.B) {
+	var res *experiments.PlannedMigrationResult
+	var planWall, verifyWall time.Duration
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.PlannedMigration(experiments.PlannedMigrationOpts{K: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed || res.Wedged != 0 || !res.FinalStateOK || res.DoubleInstalls != 0 {
+			b.Fatalf("planned migration unhealthy: %s", res)
+		}
+		if res.VerifiedWaves != res.Waves {
+			b.Fatalf("verified %d/%d waves", res.VerifiedWaves, res.Waves)
+		}
+		planWall += res.PlanWall
+		verifyWall += res.VerifyWall
+	}
+	// Aggregate the ratio over every iteration — single runs are at the
+	// mercy of scheduler noise in the few-millisecond walls.
+	ratio := float64(verifyWall) / float64(planWall)
+	b.ReportMetric(planWall.Seconds()*1000/float64(b.N), "plan_wall_ms")
+	b.ReportMetric(verifyWall.Seconds()*1000/float64(b.N), "verify_wall_ms")
+	b.ReportMetric(ratio*100, "verify_pct")
+	benchRecord("PlannerFatTree", map[string]float64{
+		"switches":       float64(res.Switches),
+		"segments":       float64(res.Segments),
+		"waves":          float64(res.Waves),
+		"verified_waves": float64(res.VerifiedWaves),
+		"verify_ratio":   ratio,
+	})
+}
+
 // --- Ack-path benchmarks (O(1) seq-ring bookkeeping, pooled updates) ---
 
 // ackPathBed proxies one switch through RUM over loopback TCP on both

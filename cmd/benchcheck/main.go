@@ -19,7 +19,7 @@
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Five acceptance gates are separate and absolute, regardless of what the
+// Six acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
 // the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
 // (the coalescing writer must beat the unbuffered path by ≥30%), the
@@ -27,15 +27,19 @@
 // -max-ack-allocs (zero: the ack hot path must not regain allocations),
 // the FatTreeChurn simulated ack-latency p99 must stay ≤
 // -max-fattree-p99-ms (100 ms — a ≥3x improvement over the 300.46 ms
-// fixed-timeout tail this gate exists to keep fixed), and the
-// fault-wrapped churn's p99 must stay within -max-faultwrap-p99-ratio
-// (1.05) of the plain churn's — the chaos layer must cost ≤5% when
-// disabled.
+// fixed-timeout tail this gate exists to keep fixed), the fault-wrapped
+// churn's p99 must stay within -max-faultwrap-p99-ratio (1.05) of the
+// plain churn's — the chaos layer must cost ≤5% when disabled — and the
+// PlannerFatTree verify_ratio (HSA wall time over end-to-end plan wall
+// time) must stay ≤ -max-planner-verify-ratio (0.20: transient
+// verification must remain a thin slice of the update pipeline). The
+// ratio is a fraction of a wall time, so the baseline's direction
+// inference cannot gate it; it lives only here.
 //
 // Usage: go run ./cmd/benchcheck [-baseline BENCH_baseline.json]
 // [-results BENCH_results.json] [-tolerance 0.20] [-min-speedup 2.0]
 // [-min-wire-speedup 1.3] [-max-ack-allocs 0] [-max-fattree-p99-ms 100]
-// [-max-faultwrap-p99-ratio 1.05]
+// [-max-faultwrap-p99-ratio 1.05] [-max-planner-verify-ratio 0.20]
 package main
 
 import (
@@ -80,6 +84,8 @@ func main() {
 		"absolute ceiling for FatTreeChurn.p99_ack_ms in milliseconds (0 disables)")
 	maxFaultWrapRatio := flag.Float64("max-faultwrap-p99-ratio", 1.05,
 		"absolute ceiling for FatTreeChurnFaultWrapped.p99_ack_ms / FatTreeChurn.p99_ack_ms (0 disables)")
+	maxVerifyRatio := flag.Float64("max-planner-verify-ratio", 0.20,
+		"absolute ceiling for PlannerFatTree.verify_ratio, HSA verify wall over plan wall (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -234,6 +240,21 @@ func main() {
 		default:
 			fmt.Printf("ok   FatTreeChurnFaultWrapped p99 ratio: %.3f (≤ %.2f required)\n",
 				wrapped/plain, *maxFaultWrapRatio)
+		}
+	}
+
+	if *maxVerifyRatio > 0 {
+		pf, ok := results.Benchmarks["PlannerFatTree"]
+		ratio, has := pf["verify_ratio"]
+		if !ok || !has {
+			fmt.Println("FAIL PlannerFatTree.verify_ratio: missing from results")
+			failures++
+		} else if ratio > *maxVerifyRatio {
+			fmt.Printf("FAIL PlannerFatTree.verify_ratio: %.3f > %.2f (HSA verification dominates the update pipeline)\n",
+				ratio, *maxVerifyRatio)
+			failures++
+		} else {
+			fmt.Printf("ok   PlannerFatTree.verify_ratio: %.3f (≤ %.2f required)\n", ratio, *maxVerifyRatio)
 		}
 	}
 

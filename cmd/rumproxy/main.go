@@ -47,6 +47,19 @@
 // cut=P (kills the channel; the switch's reconnect loop recovers it),
 // plus "flowmods" to restrict the preceding rules to FlowMods. See
 // docs/ARCHITECTURE.md for the fault layer's position in the stack.
+//
+// -plan turns rumproxy into a consistent-update dry run: instead of
+// serving, it compiles one path change into the planner's wave schedule,
+// verifies every transient wave with header-space analysis against a
+// synthetic FIB holding the old path, prints the schedule and verdict,
+// and exits (non-zero if any wave is unsafe). Only the topology flags
+// (-links or -fattree) are consulted:
+//
+//	rumproxy -links s1:2-s2:1,s2:2-s3:2,s1:3-s3:3 \
+//	  -plan "10.0.0.1>10.1.0.1" -plan-prio 100 \
+//	  -plan-old s1:3,s3:1 -plan-new s1:2,s2:2,s3:1
+//
+// See docs/PLANNER.md for the wave model and verification obligations.
 package main
 
 import (
@@ -56,12 +69,15 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof: live wire-path profiles
+	"net/netip"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"rum"
+	ctrl "rum/internal/controller"
+	"rum/internal/of"
 )
 
 func main() {
@@ -90,7 +106,23 @@ func main() {
 	faultSpec := flag.String("faults", "",
 		"fault-injection spec for switch conns, e.g. \"drop=0.01,dup=0.005,delay=2ms:0.02\" (empty/none disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule")
+	planFlow := flag.String("plan", "",
+		"dry run: compile and HSA-verify a path change instead of serving; flow as SRC>DST, e.g. \"10.0.0.1>10.1.0.1\"")
+	planOld := flag.String("plan-old", "", "with -plan: old path hops switch:outport, comma separated")
+	planNew := flag.String("plan-new", "", "with -plan: new path hops switch:outport, comma separated")
+	planPrio := flag.Uint("plan-prio", 100, "with -plan: priority of the migrating flow rules")
 	flag.Parse()
+
+	if *planFlow != "" {
+		links, err := planLinks(*fattree, *linksFlag)
+		if err != nil {
+			log.Fatalf("rumproxy: -plan: %v", err)
+		}
+		if err := runPlanMode(links, *planFlow, *planOld, *planNew, uint16(*planPrio)); err != nil {
+			log.Fatalf("rumproxy: -plan: %v", err)
+		}
+		return
+	}
 
 	if *pprofAddr != "" {
 		runtime.SetMutexProfileFraction(*mutexFraction)
@@ -241,6 +273,170 @@ func parseTechnique(s string) (rum.Technique, error) {
 		}
 	}
 	return "", fmt.Errorf("unknown technique %q (registered: %s)", s, strings.Join(rum.StrategyNames(), ", "))
+}
+
+// planLinks resolves the topology for -plan mode from either -fattree or
+// -links, without requiring the serving-mode switch identities.
+func planLinks(fattree int, linksFlag string) ([]rum.TopoLink, error) {
+	if fattree > 0 {
+		if linksFlag != "" {
+			return nil, fmt.Errorf("-fattree replaces -links; do not combine them")
+		}
+		ft, err := rum.NewFatTree(fattree)
+		if err != nil {
+			return nil, err
+		}
+		links := make([]rum.TopoLink, len(ft.Links))
+		for i, l := range ft.Links {
+			links[i] = rum.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+		}
+		return links, nil
+	}
+	return parseLinks(linksFlag)
+}
+
+// runPlanMode compiles one path change into its wave schedule, verifies
+// every transient wave against a synthetic FIB holding the old path, and
+// prints the schedule and verdict. Nothing is sent anywhere: this is the
+// offline half of the planner, for vetting an update before deploying it
+// through a live proxy.
+func runPlanMode(links []rum.TopoLink, flowSpec, oldSpec, newSpec string, prio uint16) error {
+	srcStr, dstStr, ok := strings.Cut(flowSpec, ">")
+	if !ok {
+		return fmt.Errorf("bad -plan flow %q (want SRC>DST)", flowSpec)
+	}
+	src, err := netip.ParseAddr(srcStr)
+	if err != nil || !src.Is4() {
+		return fmt.Errorf("bad -plan source %q (want IPv4)", srcStr)
+	}
+	dst, err := netip.ParseAddr(dstStr)
+	if err != nil || !dst.Is4() {
+		return fmt.Errorf("bad -plan destination %q (want IPv4)", dstStr)
+	}
+	oldHops, err := parseHops(oldSpec)
+	if err != nil {
+		return fmt.Errorf("-plan-old: %v", err)
+	}
+	newHops, err := parseHops(newSpec)
+	if err != nil {
+		return fmt.Errorf("-plan-new: %v", err)
+	}
+	if len(newHops) == 0 {
+		return fmt.Errorf("-plan-new is required")
+	}
+
+	pc := rum.PathChange{
+		Name:     flowSpec,
+		Match:    ctrl.FlowMatch(ctrl.FlowSpec{Src: src, Dst: dst}),
+		Priority: prio,
+		Old:      oldHops,
+		New:      newHops,
+	}
+	seg, err := rum.BuildPlanSegment(pc)
+	if err != nil {
+		return err
+	}
+
+	ports := rum.PortMap(links)
+	tables := make(map[string][]rum.FIBRule)
+	for _, h := range oldHops {
+		tables[h.Switch] = append(tables[h.Switch], rum.FIBRule{
+			Priority: prio, Match: pc.Match,
+			Actions: []of.Action{of.ActionOutput{Port: h.OutPort}},
+		})
+	}
+
+	nOps := 0
+	for _, st := range seg.Stages {
+		nOps += len(st.Ops)
+	}
+	fmt.Printf("plan %q: region %s, %d waves / %d ops\n", pc.Name, seg.Region, len(seg.Stages), nOps)
+	start := time.Now()
+	for i, st := range seg.Stages {
+		next := cloneTables(tables)
+		for _, op := range st.Ops {
+			next[op.Switch] = applyFM(next[op.Switch], op.FM)
+		}
+		names := make([]string, len(st.Ops))
+		for j, op := range st.Ops {
+			names[j] = fmtPlanOp(op)
+		}
+		verr := rum.VerifyTransient(
+			&rum.NetState{Tables: tables, Ports: ports},
+			&rum.NetState{Tables: next, Ports: ports}, seg.Region)
+		if verr != nil {
+			fmt.Printf("  wave %d: %s — UNSAFE\n", i+1, strings.Join(names, ", "))
+			return fmt.Errorf("wave %d rejected: %w", i+1, verr)
+		}
+		fmt.Printf("  wave %d: %-32s verified loop-free, blackhole-free\n", i+1, strings.Join(names, ", "))
+		tables = next
+	}
+	fmt.Printf("verdict: SAFE — %d waves verified in %v\n",
+		len(seg.Stages), time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+// parseHops parses a comma-separated switch:outport hop list.
+func parseHops(s string) ([]rum.PathHop, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []rum.PathHop
+	for _, h := range strings.Split(s, ",") {
+		name, port, err := parseEnd(h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rum.PathHop{Switch: name, OutPort: port})
+	}
+	return out, nil
+}
+
+// cloneTables copies the per-switch rule slices so a staged wave never
+// mutates the previous state it is verified against.
+func cloneTables(t map[string][]rum.FIBRule) map[string][]rum.FIBRule {
+	out := make(map[string][]rum.FIBRule, len(t))
+	for k, v := range t {
+		out[k] = append([]rum.FIBRule(nil), v...)
+	}
+	return out
+}
+
+// applyFM applies one planner FlowMod to a synthetic table with the
+// flowtable's add-replaces / strict-delete semantics.
+func applyFM(table []rum.FIBRule, fm *of.FlowMod) []rum.FIBRule {
+	switch fm.Command {
+	case of.FCAdd:
+		for i, r := range table {
+			if r.Match == fm.Match && r.Priority == fm.Priority {
+				table[i].Actions = fm.Actions
+				return table
+			}
+		}
+		return append(table, rum.FIBRule{Priority: fm.Priority, Match: fm.Match, Actions: fm.Actions})
+	case of.FCDeleteStrict:
+		out := table[:0]
+		for _, r := range table {
+			if !(r.Match == fm.Match && r.Priority == fm.Priority) {
+				out = append(out, r)
+			}
+		}
+		return out
+	default:
+		return table
+	}
+}
+
+func fmtPlanOp(op rum.PlanOp) string {
+	if op.FM.Command == of.FCDeleteStrict {
+		return fmt.Sprintf("del %s", op.Switch)
+	}
+	for _, a := range op.FM.Actions {
+		if ao, isOut := a.(of.ActionOutput); isOut {
+			return fmt.Sprintf("%s→%d", op.Switch, ao.Port)
+		}
+	}
+	return op.Switch
 }
 
 // parsePerSwitch parses name=strategy override pairs.

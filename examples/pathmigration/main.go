@@ -3,6 +3,12 @@
 // acknowledgments packets drop for up to ~300 ms per flow; with RUM's
 // probing acknowledgments, nothing is lost.
 //
+// The update itself is compiled by the consistent-update planner: each
+// flow becomes a PathChange, the planner orders the waves
+// (add-before-remove, flip only after downstream confirms) and verifies
+// every transient configuration with header-space analysis before
+// releasing it. The per-run wave counts below come from that planner.
+//
 // Run: go run ./examples/pathmigration [-flows 300] [-technique sequential]
 package main
 
@@ -54,5 +60,6 @@ func report(name string, res *experiments.MigrationResult) {
 	fmt.Printf("  packets lost        : %d\n", res.TotalLost)
 	fmt.Printf("  max broken time     : %v\n", res.MaxBroken.Round(time.Millisecond))
 	fmt.Printf("  mean flow update    : %v\n", res.MeanUpdate.Round(time.Millisecond))
-	fmt.Printf("  total update length : %v\n\n", res.Duration.Round(time.Millisecond))
+	fmt.Printf("  total update length : %v\n", res.Duration.Round(time.Millisecond))
+	fmt.Printf("  waves HSA-verified  : %d (%v wall)\n\n", res.VerifiedWaves, res.VerifyWall.Round(time.Microsecond))
 }

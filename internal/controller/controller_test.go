@@ -155,26 +155,6 @@ func TestSendModUnknownSwitch(t *testing.T) {
 	}
 }
 
-func TestMigrationPlanShape(t *testing.T) {
-	flows := make([]FlowSpec, 3)
-	for i := range flows {
-		flows[i].ID = i
-		flows[i].Src, flows[i].Dst = FlowAddr(i)
-	}
-	plan := MigrationSpec{Flows: flows, S1ToS2: 2, S1ToS3: 3, S2ToS3: 2, Prio: 100}.Build()
-	if len(plan.Ops) != 6 {
-		t.Fatalf("plan has %d ops, want 6", len(plan.Ops))
-	}
-	for i := 0; i < len(plan.Ops); i += 2 {
-		if plan.Ops[i].Switch != "s2" || plan.Ops[i+1].Switch != "s1" {
-			t.Errorf("op pair %d targets %s/%s", i, plan.Ops[i].Switch, plan.Ops[i+1].Switch)
-		}
-		if len(plan.Ops[i+1].DependsOn) != 1 || plan.Ops[i+1].DependsOn[0] != i {
-			t.Errorf("ingress op %d deps = %v", i+1, plan.Ops[i+1].DependsOn)
-		}
-	}
-}
-
 func TestTwoPhasePlanShape(t *testing.T) {
 	flows := []FlowSpec{{ID: 0}}
 	flows[0].Src, flows[0].Dst = FlowAddr(0)
@@ -190,19 +170,6 @@ func TestTwoPhasePlanShape(t *testing.T) {
 	// Internal rules must match the version tag.
 	if plan.Ops[0].FM.Match.Wildcards&of.WcDLVLAN != 0 || plan.Ops[0].FM.Match.DLVLAN != 2 {
 		t.Errorf("internal rule does not match version tag: %v", plan.Ops[0].FM.Match)
-	}
-}
-
-func TestFirewallPlanShape(t *testing.T) {
-	src, _ := FlowAddr(0)
-	plan := FirewallSpec{Host: src, HTTPPort: 80, AToB: 2, BToS3: 2, BToFW: 3,
-		PrioLow: 10, PrioHigh: 20}.Build()
-	if len(plan.Ops) != 3 {
-		t.Fatalf("plan has %d ops, want 3", len(plan.Ops))
-	}
-	x := plan.Ops[2]
-	if x.Switch != "a" || len(x.DependsOn) != 2 {
-		t.Errorf("X op = %+v, want deps on Y and Z", x)
 	}
 }
 

@@ -43,41 +43,6 @@ func AddRule(f FlowSpec, prio uint16, outPort uint16) *of.FlowMod {
 	}
 }
 
-// MigrationPlan builds the paper's §1 path-migration update: every flow
-// moves from S1→S3 direct to S1→S2→S3. Per flow, the plan is the ordered
-// consistent update
-//
-//	op1: add the flow's rule at S2 (forward toward S3)
-//	op2: modify the flow's ingress rule at S1 to point at S2, AFTER op1
-//
-// so a packet follows either the old rules only or the new rules only —
-// provided op2 is issued only once op1 is truly in S2's data plane. That
-// proviso is exactly what broken barriers violate.
-type MigrationSpec struct {
-	Flows []FlowSpec
-	// Port numbers in the triangle topology.
-	S1ToS2 uint16 // S1's port toward S2
-	S1ToS3 uint16 // S1's port toward S3 (old path; informational)
-	S2ToS3 uint16 // S2's port toward S3
-	Prio   uint16
-}
-
-// Build assembles the migration plan.
-func (s MigrationSpec) Build() *Plan {
-	plan := &Plan{}
-	for _, f := range s.Flows {
-		op1 := Op{Switch: "s2", FM: AddRule(f, s.Prio, s.S2ToS3)}
-		i1 := len(plan.Ops)
-		plan.Ops = append(plan.Ops, op1)
-		// Same match and priority at S1 already exists (pointing at S3);
-		// an ADD with identical match+priority replaces it, redirecting
-		// the flow to S2.
-		op2 := Op{Switch: "s1", FM: AddRule(f, s.Prio, s.S1ToS2), DependsOn: []int{i1}}
-		plan.Ops = append(plan.Ops, op2)
-	}
-	return plan
-}
-
 // TwoPhaseSpec builds a Reitblatt-style two-phase versioned update for the
 // same migration: new-version rules are installed at every internal switch
 // first (tagged with a VLAN version), then ingress flips to stamping the
@@ -128,56 +93,5 @@ func (s TwoPhaseSpec) Build() *Plan {
 			}}
 		plan.Ops = append(plan.Ops, Op{Switch: "s1", FM: ingress, DependsOn: []int{i2, i3}})
 	}
-	return plan
-}
-
-// FirewallSpec reproduces Figure 2's security scenario: traffic from a
-// host reaches S3 directly (rule Y at switch B), except http traffic,
-// which must detour through a firewall (rule Z at switch B, higher
-// priority). Rule X at switch A starts sending the host's traffic toward
-// B only after BOTH Y and Z are in B's data plane — otherwise http
-// traffic transits B before Z exists and bypasses the firewall.
-type FirewallSpec struct {
-	Host     netip.Addr
-	HTTPPort uint16
-	AToB     uint16 // switch A's port toward B
-	BToS3    uint16 // B's port toward the destination
-	BToFW    uint16 // B's port toward the firewall
-	PrioLow  uint16
-	PrioHigh uint16
-}
-
-// Build assembles the plan: X after Y, X after Z (the paper's update
-// plan).
-func (s FirewallSpec) Build() *Plan {
-	plan := &Plan{}
-	// Y: host's traffic → S3.
-	ym := of.MatchAll()
-	ym.Wildcards &^= of.WcDLType
-	ym.DLType = packet.EtherTypeIPv4
-	ym.SetNWSrc(s.Host)
-	yfm := &of.FlowMod{Command: of.FCAdd, Priority: s.PrioLow, Match: ym,
-		BufferID: of.BufferNone, OutPort: of.PortNone,
-		Actions: []of.Action{of.ActionOutput{Port: s.BToS3}}}
-	iy := len(plan.Ops)
-	plan.Ops = append(plan.Ops, Op{Switch: "b", FM: yfm})
-
-	// Z: host's http traffic → FIREWALL (higher priority).
-	zm := ym
-	zm.Wildcards &^= of.WcNWProto | of.WcTPDst
-	zm.NWProto = packet.ProtoTCP
-	zm.TPDst = s.HTTPPort
-	zfm := &of.FlowMod{Command: of.FCAdd, Priority: s.PrioHigh, Match: zm,
-		BufferID: of.BufferNone, OutPort: of.PortNone,
-		Actions: []of.Action{of.ActionOutput{Port: s.BToFW}}}
-	iz := len(plan.Ops)
-	plan.Ops = append(plan.Ops, Op{Switch: "b", FM: zfm})
-
-	// X: start forwarding the host's traffic toward B.
-	xm := ym
-	xfm := &of.FlowMod{Command: of.FCAdd, Priority: s.PrioHigh, Match: xm,
-		BufferID: of.BufferNone, OutPort: of.PortNone,
-		Actions: []of.Action{of.ActionOutput{Port: s.AToB}}}
-	plan.Ops = append(plan.Ops, Op{Switch: "a", FM: xfm, DependsOn: []int{iy, iz}})
 	return plan
 }

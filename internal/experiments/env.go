@@ -34,6 +34,8 @@ type Env struct {
 	RUM      *core.RUM
 	Client   *controller.Client
 	H1, H2   *netsim.Host
+	// Links is the inter-switch wiring, kept for planner adjacency maps.
+	Links []core.TopoLink
 
 	// AckEvents records every RUM ack seen at the controller, by xid.
 	ackAt map[uint32]time.Duration
@@ -92,11 +94,12 @@ func NewTriangle(cfg EnvConfig) *Env {
 	n.Connect(e.Switches["s1"], 3, e.Switches["s3"], 3, cfg.LinkLatency)
 	n.Connect(e.Switches["s3"], 1, e.H2, e.H2.Port(), cfg.LinkLatency)
 
-	topo := core.NewTopology([]core.TopoLink{
+	e.Links = []core.TopoLink{
 		{A: "s1", APort: 2, B: "s2", BPort: 1},
 		{A: "s2", APort: 2, B: "s3", BPort: 2},
 		{A: "s1", APort: 3, B: "s3", BPort: 3},
-	})
+	}
+	topo := core.NewTopology(e.Links)
 	rumCfg := cfg.RUM
 	rumCfg.Clock = s
 	rumCfg.RUMAware = true

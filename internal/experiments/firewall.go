@@ -7,9 +7,11 @@ import (
 
 	"rum/internal/controller"
 	"rum/internal/core"
+	"rum/internal/hsa"
 	"rum/internal/netsim"
 	"rum/internal/of"
 	"rum/internal/packet"
+	"rum/internal/planner"
 	"rum/internal/sim"
 	"rum/internal/switchsim"
 	"rum/internal/transport"
@@ -74,11 +76,12 @@ func Firewall(o FirewallOpts) *FirewallResult {
 	n.Connect(switches["c"], 2, fw, fw.Port(), lat)
 	n.Connect(switches["s3"], 1, h2, h2.Port(), lat)
 
-	topo := core.NewTopology([]core.TopoLink{
+	links := []core.TopoLink{
 		{A: "a", APort: 2, B: "b", BPort: 1},
 		{A: "b", APort: 2, B: "s3", BPort: 2},
 		{A: "b", APort: 3, B: "c", BPort: 1},
-	})
+	}
+	topo := core.NewTopology(links)
 	mode := "broken barriers"
 	tech := core.TechBarriers
 	if o.WithRUM {
@@ -141,16 +144,60 @@ func Firewall(o FirewallOpts) *FirewallResult {
 	gen.Start(time.Millisecond)
 	s.RunFor(100 * time.Millisecond)
 
-	// The update: X after Y, X after Z.
-	plan := controller.FirewallSpec{
-		Host: host, HTTPPort: 80,
-		AToB: 2, BToS3: 2, BToFW: 3,
-		PrioLow: 50, PrioHigh: 200,
-	}.Build()
-	done := false
-	client.Execute(plan, 0, func([]controller.OpResult) { done = true })
+	// The update, as a hand-built planner segment: wave 1 installs Y
+	// (host→S3) and Z (host http→FIREWALL) at b, wave 2 releases X at a
+	// only once both confirmed — X after Y, X after Z, the paper's plan.
+	// Wave 1 changes two rules on the same switch, so HSA's transient
+	// check cannot see the Y-without-Z interleaving (the Figure 2 hazard
+	// lives inside one wave; see docs/PLANNER.md on hand-built segments) —
+	// whether the window actually closes is decided by the ack technique,
+	// which is exactly what this experiment measures.
+	ym := of.MatchAll()
+	ym.Wildcards &^= of.WcDLType
+	ym.DLType = packet.EtherTypeIPv4
+	ym.SetNWSrc(host)
+	yfm := &of.FlowMod{Command: of.FCAdd, Priority: 50, Match: ym,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 2}}} // b → s3
+	zm := ym
+	zm.Wildcards &^= of.WcNWProto | of.WcTPDst
+	zm.NWProto = packet.ProtoTCP
+	zm.TPDst = 80
+	zfm := &of.FlowMod{Command: of.FCAdd, Priority: 200, Match: zm,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 3}}} // b → c → fw
+	xfm := &of.FlowMod{Command: of.FCAdd, Priority: 200, Match: ym,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: 2}}} // a → b
+
+	pl, err := planner.New(planner.Config{
+		RUM:    rum,
+		Clock:  s,
+		Send:   func(sw string, fm *of.FlowMod) error { return client.Send(sw, fm) },
+		NewXID: client.NewXID,
+		State:  func(sw string) []hsa.Rule { return switches[sw].CtrlTable().Rules() },
+		Ports:  PortsOf(links),
+	})
+	if err != nil {
+		panic(err)
+	}
+	plan, err := pl.PlanSegments([]planner.Segment{{
+		Name:   "firewall",
+		Region: hsa.Region{Ingress: "a", Match: ym},
+		Stages: []planner.Stage{
+			{Ops: []planner.Op{{Switch: "b", FM: yfm}, {Switch: "b", FM: zfm}}},
+			{Ops: []planner.Op{{Switch: "a", FM: xfm}}},
+		},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	exec, err := pl.Execute(plan)
+	if err != nil {
+		panic(err)
+	}
 	limit := s.Now() + o.Duration
-	for !done && s.Now() < limit {
+	for !exec.Pump() && s.Now() < limit {
 		s.RunFor(10 * time.Millisecond)
 	}
 	s.RunFor(time.Second)

@@ -10,6 +10,7 @@ import (
 	"rum/internal/core"
 	"rum/internal/metrics"
 	"rum/internal/netsim"
+	"rum/internal/planner"
 	"rum/internal/switchsim"
 )
 
@@ -27,6 +28,11 @@ type MigrationResult struct {
 	MaxBroken  time.Duration
 	Completed  bool
 	Precision  time.Duration
+	// VerifiedWaves counts update waves that passed HSA transient
+	// verification before release; VerifyWall is their cumulative
+	// wall-clock verification cost.
+	VerifiedWaves int
+	VerifyWall    time.Duration
 }
 
 // MigrationOpts parameterizes the migration experiment.
@@ -37,7 +43,7 @@ type MigrationOpts struct {
 	S2        switchsim.Profile
 	NumFlows  int
 	PktPerSec int
-	Window    int // max unconfirmed ops (0 = unlimited)
+	Window    int // max concurrently migrating flows (0 = unlimited)
 	Deadline  time.Duration
 }
 
@@ -76,10 +82,8 @@ func RunMigration(o MigrationOpts) *MigrationResult {
 	env.Sim.RunFor(100 * time.Millisecond)
 
 	start := env.Sim.Now()
-	plan := controller.MigrationSpec{
-		Flows: flows, S1ToS2: 2, S1ToS3: 3, S2ToS3: 2, Prio: 100,
-	}.Build()
-	_, completed := env.RunPlan(plan, o.Window, o.Deadline)
+	pl := env.NewPlanner(o.Window)
+	exec, completed := env.RunPlanned(pl, MigrationChanges(flows, 100), o.Deadline)
 	// Drain: keep traffic running until every flow has demonstrably
 	// switched to the new path (plan completion only means the mods were
 	// acknowledged; with no-wait acks the data plane lags far behind).
@@ -110,13 +114,19 @@ func RunMigration(o MigrationOpts) *MigrationResult {
 		label = o.Technique.String()
 	}
 	res := &MigrationResult{
-		Technique: o.Technique,
-		Label:     label,
-		Flows:     o.NumFlows,
-		Updates:   updates,
-		Start:     start,
-		Completed: completed,
-		Precision: precision,
+		Technique:  o.Technique,
+		Label:      label,
+		Flows:      o.NumFlows,
+		Updates:    updates,
+		Start:      start,
+		Completed:  completed,
+		Precision:  precision,
+		VerifyWall: exec.VerifyWall(),
+	}
+	for _, ev := range exec.EventLog() {
+		if ev.Kind == planner.EventStageReleased {
+			res.VerifiedWaves++
+		}
 	}
 	var last time.Duration
 	var updateTimes []time.Duration

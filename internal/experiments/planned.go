@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/faults"
+	"rum/internal/hsa"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/planner"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// PortsOf builds the planner/verifier data-plane adjacency from topology
+// links; ports absent from the result are host-facing (egress).
+func PortsOf(links []core.TopoLink) map[string]map[uint16]hsa.PortPeer {
+	m := make(map[string]map[uint16]hsa.PortPeer)
+	add := func(sw string, port uint16, peer string, peerPort uint16) {
+		if m[sw] == nil {
+			m[sw] = make(map[uint16]hsa.PortPeer)
+		}
+		m[sw][port] = hsa.PortPeer{Switch: peer, Port: peerPort}
+	}
+	for _, l := range links {
+		add(l.A, l.APort, l.B, l.BPort)
+		add(l.B, l.BPort, l.A, l.APort)
+	}
+	return m
+}
+
+// NewPlanner wires a consistent-update planner into the environment:
+// sends go through the controller client, state is read back from the
+// switches' control tables, and waves gate on RUM's ack futures.
+func (e *Env) NewPlanner(window int) *planner.Planner {
+	p, err := planner.New(planner.Config{
+		RUM:    e.RUM,
+		Clock:  e.Sim,
+		Send:   func(sw string, fm *of.FlowMod) error { return e.Client.Send(sw, fm) },
+		NewXID: e.Client.NewXID,
+		State:  func(sw string) []hsa.Rule { return e.Switches[sw].CtrlTable().Rules() },
+		Ports:  PortsOf(e.Links),
+		Window: window,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building planner: %v", err))
+	}
+	return p
+}
+
+// RunPlanned compiles and executes path changes on the planner, driving
+// the simulation until the plan settles or the deadline passes.
+func (e *Env) RunPlanned(pl *planner.Planner, changes []planner.PathChange, deadline time.Duration) (*planner.Exec, bool) {
+	plan, err := pl.Plan(changes)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: compiling plan: %v", err))
+	}
+	exec, err := pl.Execute(plan)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: executing plan: %v", err))
+	}
+	limit := e.Sim.Now() + deadline
+	for !exec.Pump() && e.Sim.Now() < limit {
+		e.Sim.RunFor(10 * time.Millisecond)
+	}
+	return exec, exec.Done() && exec.Err() == nil
+}
+
+// MigrationChanges expresses the §1 triangle migration as planner path
+// changes: every flow moves from s1→(3)→s3 to s1→(2)→s2→(2)→s3.
+func MigrationChanges(flows []controller.FlowSpec, prio uint16) []planner.PathChange {
+	out := make([]planner.PathChange, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, planner.PathChange{
+			Name:     fmt.Sprintf("flow-%d", f.ID),
+			Match:    controller.FlowMatch(f),
+			Priority: prio,
+			Old:      []planner.PathHop{{Switch: "s1", OutPort: 3}, {Switch: "s3", OutPort: 1}},
+			New: []planner.PathHop{{Switch: "s1", OutPort: 2},
+				{Switch: "s2", OutPort: 2}, {Switch: "s3", OutPort: 1}},
+		})
+	}
+	return out
+}
+
+// PlannedMigrationOpts parameterizes the planner's scale workload: a
+// k-ary fat-tree where every flow migrates from its pod's first
+// aggregation/core pair to the last one, scheduled and verified by the
+// planner, optionally under the fault layer.
+type PlannedMigrationOpts struct {
+	// K is the fat-tree arity (default 8 → 80 switches).
+	K int
+	// Flows is the number of migrating flows (default 2·K), spread over
+	// source pods and edges.
+	Flows int
+	// Profile selects the adversarial condition; the planner must
+	// complete under FaultLoss, FaultDisconnect and FaultRestart
+	// (default FaultNone).
+	Profile FaultProfile
+	// Seed feeds the deterministic injector (default 1).
+	Seed int64
+	// FaultSwitches is how many planner-owned switches suffer
+	// switch-level faults (default 2: the first flow's new-path
+	// aggregation switch and its ingress edge).
+	FaultSwitches int
+	// FaultAt is when the fault fires, relative to plan execution start
+	// (default 1ms — mid wave 1).
+	FaultAt time.Duration
+	// RecoverAfter is the outage before reconnection (default 50ms).
+	RecoverAfter time.Duration
+	// Window caps concurrently migrating segments (0 = unlimited).
+	Window int
+	// SkipVerify disables HSA wave verification (benchmark baseline).
+	SkipVerify bool
+	// CtrlLatency and LinkLatency mirror EnvConfig (100µs/20µs).
+	CtrlLatency time.Duration
+	LinkLatency time.Duration
+	// Deadline bounds the simulated run (default 30s).
+	Deadline time.Duration
+}
+
+// Defaults fills zero fields.
+func (o PlannedMigrationOpts) Defaults() PlannedMigrationOpts {
+	if o.K == 0 {
+		o.K = 8
+	}
+	if o.Flows == 0 {
+		o.Flows = 2 * o.K
+	}
+	if o.Profile == "" {
+		o.Profile = FaultNone
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FaultSwitches == 0 {
+		o.FaultSwitches = 2
+	}
+	if o.FaultAt == 0 {
+		o.FaultAt = time.Millisecond
+	}
+	if o.RecoverAfter == 0 {
+		o.RecoverAfter = 50 * time.Millisecond
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = 100 * time.Microsecond
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 20 * time.Microsecond
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	return o
+}
+
+// PlannedMigrationResult reports one planned fat-tree migration.
+type PlannedMigrationResult struct {
+	K, Switches int
+	Flows       int
+	Profile     FaultProfile
+	Seed        int64
+
+	Segments int
+	Waves    int // waves in the compiled plan
+	// VerifiedWaves counts waves released after passing HSA transient
+	// verification (== released waves unless SkipVerify).
+	VerifiedWaves int
+	Replans       int
+	Wedged        int
+	Completed     bool
+	// NewPathOK is the install half of the FIB ground-truth check: every
+	// flow's new-path rules present in the data plane with the planned
+	// output. Install acks carry positive forwarding evidence, so this
+	// holds under every profile, including loss.
+	NewPathOK bool
+	// FinalStateOK additionally requires every old-only rule deleted.
+	// Removal confirmation is one-sided — a probe that stops being
+	// forwarded — so a lost FlowMod plus a lost probe frame can
+	// false-confirm a removal under the loss profile (see
+	// docs/PLANNER.md); the profiles with intact data planes guarantee
+	// this check.
+	FinalStateOK bool
+	// DoubleInstalls counts planner rules whose data-plane add
+	// activations exceed what re-plans legitimately allow (one per FIB
+	// lifetime: 1, or 2 on a restarted switch). The acceptance gate
+	// requires zero — re-plans must never re-send an applied rule.
+	DoubleInstalls int
+
+	// WaveStats is the per-wave latency attribution (release → confirm
+	// on the simulated clock, verification wall cost, replans).
+	WaveStats []planner.WaveStat
+	// PlanWall is the real time spent compiling, verifying and pumping
+	// the plan; VerifyWall is the HSA share of it.
+	PlanWall   time.Duration
+	VerifyWall time.Duration
+	SimElapsed time.Duration
+
+	// Trace is the canonical event transcript: same opts and seed →
+	// byte-identical trace (the deterministic-replay acceptance check).
+	Trace string
+}
+
+// String summarizes the run.
+func (r *PlannedMigrationResult) String() string {
+	return fmt.Sprintf("planned{k=%d %s seed=%d}: %d flows, %d/%d waves verified, %d replans, %d wedged, completed=%v final=%v verify=%v/%v",
+		r.K, r.Profile, r.Seed, r.Flows, r.VerifiedWaves, r.Waves, r.Replans, r.Wedged,
+		r.Completed, r.FinalStateOK, r.VerifyWall.Round(time.Microsecond), r.PlanWall.Round(time.Microsecond))
+}
+
+// plannedFlow is one flow's wiring through the fat-tree.
+type plannedFlow struct {
+	change planner.PathChange
+	// oldOnly lists switches whose rule the plan strict-deletes.
+	oldOnly []planner.PathHop
+}
+
+// plannedFlows lays out n flows: flow i enters at pod (i mod k), edge
+// ((i/k) mod k/2), exits at the next pod's same edge, and migrates from
+// the {agg 0, core 0} spine to the {agg k/2-1, core last} spine.
+func plannedFlows(ft *netsim.FatTree, n int) []plannedFlow {
+	half := ft.K / 2
+	path := func(p0, e0, p1, e1, j, m, hostPort int) []planner.PathHop {
+		c := j*half + m
+		return []planner.PathHop{
+			{Switch: ft.Edge[p0*half+e0], OutPort: uint16(half + 1 + j)},
+			{Switch: ft.Agg[p0*half+j], OutPort: uint16(half + 1 + m)},
+			{Switch: ft.Core[c], OutPort: uint16(p1 + 1)},
+			{Switch: ft.Agg[p1*half+j], OutPort: uint16(e1 + 1)},
+			{Switch: ft.Edge[p1*half+e1], OutPort: uint16(hostPort)},
+		}
+	}
+	out := make([]plannedFlow, 0, n)
+	for i := 0; i < n; i++ {
+		p0 := i % ft.K
+		p1 := (p0 + 1) % ft.K
+		e := (i / ft.K) % half
+		hostPort := 1 + i%half
+		f := controller.FlowSpec{ID: i}
+		f.Src, f.Dst = controller.FlowAddr(i)
+		old := path(p0, e, p1, e, 0, 0, hostPort)
+		new := path(p0, e, p1, e, half-1, half-1, hostPort)
+		pf := plannedFlow{change: planner.PathChange{
+			Name:     fmt.Sprintf("flow-%d", i),
+			Match:    controller.FlowMatch(f),
+			Priority: 100,
+			Old:      old,
+			New:      new,
+		}}
+		// Old-only switches: the middle three hops (spines differ; the
+		// edges are shared between both paths).
+		pf.oldOnly = old[1:4]
+		out = append(out, pf)
+	}
+	return out
+}
+
+// plannedTargets picks fault targets among switches the planner owns
+// ops on. For disconnects the first flow's ingress edge is included —
+// it has no op in flight when the fault fires, so only the harness's
+// Resync call (not a future) covers it. Restarts avoid edges: an edge
+// is some other flow's egress, and a FIB wipe there would destroy a
+// preinstalled rule the planner does not own and will not restore —
+// that is the operator's rule, outside the plan's footprint.
+func plannedTargets(flows []plannedFlow, n int, includeEdges bool) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(sw string) {
+		if !seen[sw] && len(out) < n {
+			seen[sw] = true
+			out = append(out, sw)
+		}
+	}
+	for _, pf := range flows {
+		hops := pf.change.New
+		add(hops[1].Switch) // new aggregation: wave-1 add in flight
+		if includeEdges {
+			add(hops[0].Switch) // ingress edge: no op in flight yet
+		}
+		add(hops[2].Switch) // new core
+		add(hops[3].Switch) // destination-pod aggregation
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// PlannedMigration runs the HSA-verified consistent path migration on
+// the fat-tree: the planner compiles every flow into an
+// add→flip→delete wave schedule, verifies each wave's transient states,
+// releases waves on ack futures (edge: sequential probing, aggregation
+// and core: general probing — all data-plane-proven), and survives the
+// fault layer by re-planning from switch state snapshots.
+func PlannedMigration(o PlannedMigrationOpts) (*PlannedMigrationResult, error) {
+	o = o.Defaults()
+	ft, err := netsim.NewFatTree(o.K)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New()
+	n := netsim.New(s)
+	inj := faults.NewInjector(o.Seed)
+
+	// Faults are armed when plan execution starts: the preinstalled
+	// baseline is the experiment's given starting point, the adversarial
+	// conditions apply to the consistent update itself. The Match gate
+	// fires before any probability roll, so arming at a fixed simulation
+	// point keeps the schedule deterministic.
+	armed := false
+	msgPlan := o.Profile.messagePlan()
+	for i := range msgPlan.Rules {
+		inner := msgPlan.Rules[i].Match
+		msgPlan.Rules[i].Match = func(m of.Message) bool {
+			return armed && (inner == nil || inner(m))
+		}
+	}
+
+	names := ft.Switches()
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range names {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, o.LinkLatency)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	if o.Profile == FaultLoss {
+		n.SetTransmitFilter(func(string, uint16, *netsim.Frame) bool {
+			return !armed || !lossRoll(inj)
+		})
+	}
+
+	// Reliable acks everywhere: the planner's wave gating is only as
+	// truthful as the strategy underneath, so the mixed deployment uses
+	// the probing techniques (edge: sequential, agg+core: general).
+	cfg := core.Config{Clock: s, Technique: core.TechGeneral, RUMAware: true}
+	cfg.PerSwitch = make(map[string]core.Technique)
+	for _, sw := range ft.Edge {
+		cfg.PerSwitch[sw] = core.TechSequential
+	}
+	r, err := core.New(cfg, core.NewTopology(links))
+	if err != nil {
+		return nil, err
+	}
+
+	ctrlConns := make(map[string]transport.Conn)
+	attach := func(name string) error {
+		sw := switches[name]
+		ctrlTop, ctrlBottom := transport.Pipe(s, o.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, o.CtrlLatency)
+		sw.AttachConn(swSide)
+		wrapped := faults.Wrap(rumSide, s, inj, msgPlan)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, wrapped); err != nil {
+			return fmt.Errorf("experiments: attaching %s: %w", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+		return nil
+	}
+	for _, name := range names {
+		if err := attach(name); err != nil {
+			return nil, err
+		}
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := r.Bootstrap(); err != nil {
+		return nil, err
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	// Baseline: drop-all everywhere plus every flow's old-path rules.
+	flows := plannedFlows(ft, o.Flows)
+	sendRule := func(sw string, fm *of.FlowMod) {
+		fm.SetXID(client.NewXID())
+		_ = client.Send(sw, fm)
+	}
+	dropAll := func(sw string) {
+		sendRule(sw, &of.FlowMod{Command: of.FCAdd, Priority: 1, Match: of.MatchAll(),
+			BufferID: of.BufferNone, OutPort: of.PortNone})
+	}
+	for _, name := range names {
+		dropAll(name)
+	}
+	for _, pf := range flows {
+		for _, h := range pf.change.Old {
+			sendRule(h.Switch, &of.FlowMod{Command: of.FCAdd, Priority: pf.change.Priority,
+				Match: pf.change.Match, BufferID: of.BufferNone, OutPort: of.PortNone,
+				Actions: []of.Action{of.ActionOutput{Port: h.OutPort}}})
+		}
+	}
+	s.RunFor(time.Second)
+
+	pl, err := planner.New(planner.Config{
+		RUM:    r,
+		Clock:  s,
+		Send:   func(sw string, fm *of.FlowMod) error { return client.Send(sw, fm) },
+		NewXID: client.NewXID,
+		State:  func(sw string) []hsa.Rule { return switches[sw].CtrlTable().Rules() },
+		Ports:  PortsOf(links),
+		Window: o.Window, SkipVerify: o.SkipVerify,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	changes := make([]planner.PathChange, len(flows))
+	for i, pf := range flows {
+		changes[i] = pf.change
+	}
+	armed = true
+	wallStart := time.Now()
+	plan, err := pl.Plan(changes)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := pl.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	execStart := s.Now()
+
+	// Switch-level fault schedule, aimed at planner-owned switches.
+	crashed := make(map[string]bool)
+	if o.Profile == FaultDisconnect || o.Profile == FaultRestart {
+		cause := core.ErrChannelLost
+		if o.Profile == FaultRestart {
+			cause = core.ErrSwitchRestarted
+		}
+		for _, name := range plannedTargets(flows, o.FaultSwitches, o.Profile == FaultDisconnect) {
+			name := name
+			s.After(o.FaultAt, func() {
+				if fc, ok := r.SwitchConn(name).(*faults.Conn); ok {
+					fc.Kill()
+				}
+				if o.Profile == FaultRestart {
+					crashed[name] = true
+					switches[name].Crash(true)
+				}
+				r.DetachSwitchCause(name, cause)
+				_ = ctrlConns[name].Close()
+			})
+			s.After(o.FaultAt+o.RecoverAfter, func() {
+				if err := attach(name); err != nil {
+					panic(err) // deterministic harness bug, not a runtime condition
+				}
+				client.SetConn(name, ctrlConns[name])
+				if err := r.BootstrapSwitch(name); err != nil {
+					panic(err)
+				}
+				if o.Profile == FaultRestart {
+					// The operator's baseline comes back with the switch;
+					// the planner re-issues its own rules on Resync.
+					dropAll(name)
+				}
+				exec.Resync(name)
+			})
+		}
+	}
+
+	deadline := execStart + o.Deadline
+	for !exec.Pump() && s.Now() < deadline {
+		s.RunFor(5 * time.Millisecond)
+	}
+	planWall := time.Since(wallStart)
+
+	res := &PlannedMigrationResult{
+		K: o.K, Switches: len(names), Flows: o.Flows,
+		Profile: o.Profile, Seed: o.Seed,
+		Segments:   len(plan.Segments),
+		Waves:      plan.Waves(),
+		Replans:    exec.Replans(),
+		Wedged:     exec.Wedged(),
+		Completed:  exec.Done() && exec.Err() == nil,
+		WaveStats:  exec.Waves(),
+		PlanWall:   planWall,
+		VerifyWall: exec.VerifyWall(),
+		SimElapsed: s.Now() - execStart,
+	}
+	var trace strings.Builder
+	for _, ev := range exec.EventLog() {
+		if ev.Kind == planner.EventStageReleased && !o.SkipVerify {
+			res.VerifiedWaves++
+		}
+		fmt.Fprintf(&trace, "@%d %s %s/%d %s", ev.At.Nanoseconds(), ev.Kind, ev.Segment, ev.Stage, ev.Detail)
+		if ev.Err != nil {
+			fmt.Fprintf(&trace, " err=%v", ev.Err)
+		}
+		trace.WriteByte('\n')
+	}
+	fmt.Fprintf(&trace, "injected: %s\n", inj.Stats())
+	res.Trace = trace.String()
+
+	// FIB ground truth: new-path rules present with the right output,
+	// old-only rules strict-deleted, and no rule installed more often
+	// than its switch's FIB lifetimes permit.
+	res.NewPathOK, res.FinalStateOK = true, true
+	for _, pf := range flows {
+		for _, h := range pf.change.New {
+			e := switches[h.Switch].DataTable().Find(pf.change.Match, pf.change.Priority)
+			if e == nil || len(e.Actions) != 1 {
+				res.NewPathOK = false
+				continue
+			}
+			if out, ok := e.Actions[0].(of.ActionOutput); !ok || out.Port != h.OutPort {
+				res.NewPathOK = false
+			}
+		}
+		for _, h := range pf.oldOnly {
+			if switches[h.Switch].DataTable().Find(pf.change.Match, pf.change.Priority) != nil {
+				res.FinalStateOK = false
+			}
+		}
+		for _, h := range pf.change.New {
+			adds := 0
+			for _, a := range switches[h.Switch].Activations() {
+				if !a.Deleted && a.At >= execStart && a.Match == pf.change.Match && a.Priority == pf.change.Priority {
+					adds++
+				}
+			}
+			allowed := 1
+			if crashed[h.Switch] {
+				allowed = 2
+			}
+			if adds > allowed {
+				res.DoubleInstalls += adds - allowed
+			}
+		}
+	}
+	res.FinalStateOK = res.FinalStateOK && res.NewPathOK
+	return res, nil
+}

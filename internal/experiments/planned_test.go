@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlannedMigrationClean is the no-fault baseline: every wave of the
+// fat-tree migration is HSA-verified before release, every segment
+// completes, and the data plane ends in exactly the planned state.
+func TestPlannedMigrationClean(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed {
+		t.Fatal("plan did not complete")
+	}
+	if res.Wedged != 0 || res.Replans != 0 {
+		t.Fatalf("clean run: wedged=%d replans=%d, want 0/0", res.Wedged, res.Replans)
+	}
+	// 8 flows × 3 waves (adds, ingress flip, deletes).
+	if res.Segments != 8 || res.Waves != 24 {
+		t.Fatalf("segments=%d waves=%d, want 8/24", res.Segments, res.Waves)
+	}
+	if res.VerifiedWaves != res.Waves {
+		t.Fatalf("verified %d of %d waves", res.VerifiedWaves, res.Waves)
+	}
+	if len(res.WaveStats) != res.Waves {
+		t.Fatalf("wave stats: %d, want %d", len(res.WaveStats), res.Waves)
+	}
+	for _, w := range res.WaveStats {
+		if w.Confirmed < w.Released {
+			t.Fatalf("wave %s/%d confirmed %v before release %v", w.Segment, w.Stage, w.Confirmed, w.Released)
+		}
+	}
+	if !res.FinalStateOK {
+		t.Fatal("final FIB state does not match the plan")
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs", res.DoubleInstalls)
+	}
+}
+
+// TestPlannedMigrationWindow bounds concurrent segments without changing
+// the outcome.
+func TestPlannedMigrationWindow(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !res.FinalStateOK || res.Wedged != 0 {
+		t.Fatalf("windowed run: %v", res)
+	}
+}
+
+// TestPlannedFaultLoss runs the plan over a lossy control channel and
+// data plane. Install acks carry positive forwarding evidence, so the
+// plan completes with zero wedged futures and every new-path rule in
+// place. Old-rule absence is not asserted: removal confirmation is
+// one-sided, and a lost delete plus a lost probe frame can
+// false-confirm a removal (documented in docs/PLANNER.md).
+func TestPlannedFaultLoss(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4, Profile: FaultLoss, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed || res.Wedged != 0 {
+		t.Fatalf("loss run: completed=%v wedged=%d", res.Completed, res.Wedged)
+	}
+	if !res.NewPathOK || res.DoubleInstalls != 0 {
+		t.Fatalf("loss run: new-path=%v doubles=%d", res.NewPathOK, res.DoubleInstalls)
+	}
+}
+
+// TestPlannedFaultDisconnect cuts control channels mid-wave — one target
+// with an add in flight (the future resolves ErrChannelLost and triggers
+// a re-plan) and one with none (only the harness Resync covers it). The
+// plan must complete with zero wedged futures and no double installs.
+func TestPlannedFaultDisconnect(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4, Profile: FaultDisconnect, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed {
+		t.Fatalf("disconnect run wedged: %v\n%s", res, res.Trace)
+	}
+	if res.Wedged != 0 {
+		t.Fatalf("%d wedged futures", res.Wedged)
+	}
+	if res.Replans == 0 {
+		t.Fatal("disconnect run triggered no re-plan; the fault missed the plan")
+	}
+	if !res.FinalStateOK {
+		t.Fatalf("final FIB state diverged\n%s", res.Trace)
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs\n%s", res.DoubleInstalls, res.Trace)
+	}
+}
+
+// TestPlannedFaultRestart crashes switches mid-wave with a full FIB
+// wipe: typed failures re-plan from the (empty) snapshot, confirmed
+// rules that vanished are re-issued as repair waves, and the final state
+// still matches the plan exactly.
+func TestPlannedFaultRestart(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4, Profile: FaultRestart, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed {
+		t.Fatalf("restart run wedged: %v\n%s", res, res.Trace)
+	}
+	if res.Wedged != 0 {
+		t.Fatalf("%d wedged futures", res.Wedged)
+	}
+	if res.Replans == 0 {
+		t.Fatal("restart run triggered no re-plan")
+	}
+	if !res.FinalStateOK {
+		t.Fatalf("final FIB state diverged\n%s", res.Trace)
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs\n%s", res.DoubleInstalls, res.Trace)
+	}
+}
+
+// TestPlannedReplayDeterministic re-runs the restart profile with the
+// same seed: the event transcript must be byte-identical.
+func TestPlannedReplayDeterministic(t *testing.T) {
+	opts := PlannedMigrationOpts{K: 4, Profile: FaultRestart, Seed: 42}
+	a, err := PlannedMigration(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlannedMigration(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace != b.Trace {
+		t.Fatalf("same seed, different traces:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.Trace, b.Trace)
+	}
+	if !a.Completed || a.Wedged != 0 {
+		t.Fatalf("replay runs must complete cleanly: %v", a)
+	}
+}
+
+// TestPlannedMigrationK8 is the acceptance-scale run: the full 80-switch
+// fabric, every transient wave verified.
+func TestPlannedMigrationK8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=8 fabric in -short mode")
+	}
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 8, Deadline: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed || !res.FinalStateOK || res.Wedged != 0 || res.DoubleInstalls != 0 {
+		t.Fatalf("k=8 run failed: %v", res)
+	}
+	if res.VerifiedWaves != res.Waves {
+		t.Fatalf("verified %d of %d waves", res.VerifiedWaves, res.Waves)
+	}
+}

@@ -188,8 +188,8 @@ func TestDropHandlerSeesMigrationDrops(t *testing.T) {
 	env.PreinstallMigrationState(flows)
 	gen := env.StartTraffic(flows, 250)
 	env.Sim.RunFor(100 * time.Millisecond)
-	plan := controller.MigrationSpec{Flows: flows, S1ToS2: 2, S1ToS3: 3, S2ToS3: 2, Prio: 100}.Build()
-	if _, done := env.RunPlan(plan, 0, 30*time.Second); !done {
+	pl := env.NewPlanner(0)
+	if _, done := env.RunPlanned(pl, MigrationChanges(flows, 100), 30*time.Second); !done {
 		t.Fatal("plan did not complete")
 	}
 	env.Sim.RunFor(time.Second)

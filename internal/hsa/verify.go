@@ -1,0 +1,523 @@
+// Transient-state verification for consistent updates. A network update
+// stage changes rules on some switches; while those FlowMods propagate,
+// every switch is independently in its old or its new configuration. The
+// verifier explores the union of both tables at every hop — a sound
+// over-approximation of all interleavings when a stage changes at most
+// one rule per header-space region per switch — and rejects stages whose
+// mixed states can loop or blackhole traffic. This is the "local
+// verification for global guarantees" obligation the update planner
+// discharges before releasing each wave.
+package hsa
+
+import (
+	"fmt"
+	"strings"
+
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// PortPeer names the far end of a data-plane link: the neighbor switch
+// and the ingress port the packet arrives on there.
+type PortPeer struct {
+	Switch string
+	Port   uint16
+}
+
+// NetState is a network-wide forwarding snapshot: per-switch rule tables
+// plus the data-plane adjacency. An output port with no PortPeer entry
+// is an egress (host-facing) port; a switch with no table entry has an
+// empty table.
+type NetState struct {
+	Tables map[string][]Rule
+	Ports  map[string]map[uint16]PortPeer
+}
+
+// Region is one header-space equivalence class under verification: the
+// traffic matching Match that enters the network at Ingress.
+type Region struct {
+	Ingress string
+	Match   of.Match
+}
+
+func (r Region) String() string { return fmt.Sprintf("%s@%s", r.Match, r.Ingress) }
+
+// Hop is one step of a counterexample trace.
+type Hop struct {
+	Switch  string
+	OutPort uint16 // 0 and meaningless on the final hop of a blackhole
+	Table   string // "old" or "new": which table the switch used
+}
+
+// CounterexampleError is the verifier's rejection: a concrete witness
+// packet and the shortest mixed-state trace that loops or blackholes it.
+type CounterexampleError struct {
+	Kind   string // "loop" or "blackhole"
+	Region Region
+	Packet packet.Fields
+	Path   []Hop
+}
+
+func (e *CounterexampleError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hsa: transient %s in region %s for %v: ", e.Kind, e.Region, e.Packet)
+	for i, h := range e.Path {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		if i == len(e.Path)-1 {
+			switch e.Kind {
+			case "loop":
+				fmt.Fprintf(&b, "%s (revisited)", h.Switch)
+			default:
+				fmt.Fprintf(&b, "%s (%s table drops)", h.Switch, h.Table)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%d (%s)", h.Switch, h.OutPort, h.Table)
+	}
+	return b.String()
+}
+
+// maxTraceHops bounds trace depth; any real forwarding path in the
+// fabrics under study is far shorter, and loops are caught by state
+// revisits long before the bound.
+const maxTraceHops = 64
+
+// VerifyTransient checks that the transition from oldState to newState is
+// safe for the region: no mixed old/new state can loop its traffic, and
+// — whenever the region is deliverable — no mixed state can drop traffic
+// that has already been committed into the network.
+//
+// The obligations depend on what the pure states do with the region:
+//
+//   - both old and new deliver: every mixed trace must deliver;
+//   - exactly one delivers (an install or retirement transition): mixed
+//     traces may drop at the ingress switch (traffic not yet admitted, or
+//     already retired) but never after a forwarding hop;
+//   - neither delivers: only loop-freedom is required.
+//
+// The check is sound when the stage changes at most one rule per switch
+// for the region — the planner's wave construction guarantees this.
+func VerifyTransient(oldState, newState *NetState, reg Region) error {
+	return verifyWitnesses(oldState, newState, reg, Witnesses(oldState, newState, reg))
+}
+
+func verifyWitnesses(oldState, newState *NetState, reg Region, witnesses []packet.Fields) error {
+	for _, f := range witnesses {
+		oldDelivers := pureTraceDelivers(oldState, reg.Ingress, f)
+		newDelivers := pureTraceDelivers(newState, reg.Ingress, f)
+		v := &verifier{
+			old:            oldState,
+			new:            newState,
+			requireDeliver: oldDelivers && newDelivers,
+			checkDrops:     oldDelivers || newDelivers,
+		}
+		v.explore(reg.Ingress, f, nil)
+		if v.failure != nil {
+			v.failure.Packet = f
+			v.failure.Region = reg
+			return v.failure
+		}
+	}
+	return nil
+}
+
+// WitnessCache memoizes witness samples per table version for one
+// region. A planner execution verifies every wave of a segment against a
+// model in which almost every table is unchanged (unchanged tables are
+// shared between waves by slice reference), so re-deriving the region's
+// samples from every rule in the network on every wave dominates
+// verification cost at fabric scale; the cache cuts each wave's scan to
+// the tables that wave actually changed.
+//
+// A table version is identified by (first-element pointer, length).
+// Holding the pointer keeps that version's backing array alive, so a key
+// is never reused by a different table while cached. Callers must treat
+// verified tables as immutable — replace slices, never edit in place.
+type WitnessCache struct {
+	reg    Region
+	sample packet.Fields
+	tables map[tableVersion][]packet.Fields
+	// byMatch memoizes the region's sample per distinct rule match: a
+	// fabric holds few distinct matches (one per flow plus the
+	// infrastructure rules), so a table-version miss degrades to one map
+	// probe per rule instead of a Normalize+Intersect per rule.
+	byMatch map[of.Match]matchSample
+	// primed, when non-nil, is a precomputed witness set covering every
+	// state the caller will ever pass (see Prime); verification then
+	// skips state scanning entirely.
+	primed []packet.Fields
+}
+
+type matchSample struct {
+	f        packet.Fields
+	overlaps bool
+}
+
+type tableVersion struct {
+	first *Rule
+	n     int
+}
+
+// NewWitnessCache builds a cache whose samples are valid for reg only.
+func NewWitnessCache(reg Region) *WitnessCache {
+	return &WitnessCache{
+		reg:     reg,
+		sample:  Sample(reg.Match),
+		tables:  make(map[tableVersion][]packet.Fields),
+		byMatch: make(map[of.Match]matchSample),
+	}
+}
+
+// VerifyTransient is VerifyTransient for the cache's region, reusing
+// memoized per-table witness samples.
+func (c *WitnessCache) VerifyTransient(oldState, newState *NetState) error {
+	out := c.scanState(c.base(), oldState)
+	for sw, table := range newState.Tables {
+		if !sameRules(oldState.Tables[sw], table) {
+			out = c.scanTable(out, table)
+		}
+	}
+	return verifyWitnesses(oldState, newState, c.reg, out)
+}
+
+// VerifyTransientDelta behaves like VerifyTransient when newState
+// differs from oldState only by rules whose matches appear in changed —
+// the planner's case, where the new side is staged from a known wave.
+// New-side witness samples are derived from the changed matches
+// directly, so freshly staged tables (a guaranteed cache miss every
+// wave) are never scanned. This over-approximates the witness set when
+// a change removes rules; extra witnesses are sound — the verifier just
+// checks more packets.
+func (c *WitnessCache) VerifyTransientDelta(oldState, newState *NetState, changed []of.Match) error {
+	if c.primed != nil {
+		// Merge this wave's matches copy-on-write: they are normally
+		// already primed, so the common path shares the primed slice.
+		out := c.primed
+		for _, m := range changed {
+			ms := c.matchSample(m)
+			if !ms.overlaps || containsSample(out, ms.f) {
+				continue
+			}
+			out = append(append(make([]packet.Fields, 0, len(out)+1), out...), ms.f)
+		}
+		return verifyWitnesses(oldState, newState, c.reg, out)
+	}
+	out := c.base()
+	for _, m := range changed {
+		if ms := c.matchSample(m); ms.overlaps {
+			out = addUniqueSample(out, ms.f)
+		}
+	}
+	out = c.scanState(out, oldState)
+	return verifyWitnesses(oldState, newState, c.reg, out)
+}
+
+// Prime fixes the cache's witness set up front: the union of the
+// canonical region sample, one sample per rule in st, and one sample per
+// match in extra. Subsequent VerifyTransient* calls skip state scanning
+// and verify against this set. Priming is sound only while every rule of
+// every state passed later carries a match already present in st or
+// listed in extra — the planner's case, where the model evolves solely
+// by folding the plan's own FlowMods. Callers that cannot promise that
+// must not prime: surplus witnesses are harmless, missing ones are not.
+func (c *WitnessCache) Prime(st *NetState, extra []of.Match) {
+	out := c.scanState(c.base(), st)
+	for _, m := range extra {
+		if ms := c.matchSample(m); ms.overlaps {
+			out = addUniqueSample(out, ms.f)
+		}
+	}
+	c.primed = out
+}
+
+// PrimeMatches is Prime for callers that already know the complete
+// match vocabulary of every state they will verify: one sample per
+// distinct match, no state scan. The soundness contract is Prime's.
+func (c *WitnessCache) PrimeMatches(matches []of.Match) {
+	out := c.base()
+	for _, m := range matches {
+		if ms := c.matchSample(m); ms.overlaps {
+			out = addUniqueSample(out, ms.f)
+		}
+	}
+	c.primed = out
+}
+
+// base starts a witness list with the canonical region sample. The
+// single-element backing is fresh per call so appends never share.
+func (c *WitnessCache) base() []packet.Fields {
+	return append(make([]packet.Fields, 0, 4), c.sample)
+}
+
+func (c *WitnessCache) scanState(out []packet.Fields, st *NetState) []packet.Fields {
+	for _, table := range st.Tables {
+		out = c.scanTable(out, table)
+	}
+	return out
+}
+
+func (c *WitnessCache) scanTable(out []packet.Fields, table []Rule) []packet.Fields {
+	if len(table) == 0 {
+		return out
+	}
+	key := tableVersion{&table[0], len(table)}
+	samples, ok := c.tables[key]
+	if !ok {
+		for _, r := range table {
+			if ms := c.matchSample(r.Match); ms.overlaps {
+				samples = addUniqueSample(samples, ms.f)
+			}
+		}
+		c.tables[key] = samples
+	}
+	for _, s := range samples {
+		out = addUniqueSample(out, s)
+	}
+	return out
+}
+
+func (c *WitnessCache) matchSample(m of.Match) matchSample {
+	ms, known := c.byMatch[m]
+	if !known {
+		if sub, overlaps := Intersect(c.reg.Match, m); overlaps {
+			ms = matchSample{f: Sample(sub), overlaps: true}
+		}
+		c.byMatch[m] = ms
+	}
+	return ms
+}
+
+// addUniqueSample appends f unless present. Witness sets are tiny (one
+// sample per distinct overlapping behaviour class), so linear dedup
+// beats allocating a set per wave.
+func addUniqueSample(out []packet.Fields, f packet.Fields) []packet.Fields {
+	if containsSample(out, f) {
+		return out
+	}
+	return append(out, f)
+}
+
+func containsSample(out []packet.Fields, f packet.Fields) bool {
+	for _, g := range out {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Witnesses samples concrete packets covering the region's behaviour
+// classes: the canonical region sample plus one sample per overlapping
+// rule in either state (so e.g. an http-only detour rule contributes an
+// http witness alongside the generic one).
+func Witnesses(oldState, newState *NetState, reg Region) []packet.Fields {
+	seen := make(map[packet.Fields]bool)
+	var out []packet.Fields
+	add := func(f packet.Fields) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	add(Sample(reg.Match))
+	scan := func(table []Rule) {
+		for _, r := range table {
+			if sub, ok := Intersect(reg.Match, r.Match); ok {
+				add(Sample(sub))
+			}
+		}
+	}
+	for _, table := range oldState.Tables {
+		scan(table)
+	}
+	for sw, table := range newState.Tables {
+		// The planner shares unchanged tables between states by slice
+		// reference; skip re-scanning those.
+		if sameRules(oldState.Tables[sw], table) {
+			continue
+		}
+		scan(table)
+	}
+	return out
+}
+
+// sameRules reports whether two tables are the identical slice (same
+// backing array and length) — a cheap identity check, not deep equality.
+func sameRules(a, b []Rule) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// pureTraceDelivers traces f through a single consistent state and
+// reports whether it reaches an egress port.
+func pureTraceDelivers(st *NetState, ingress string, f packet.Fields) bool {
+	sw := ingress
+	for hop := 0; hop < maxTraceHops; hop++ {
+		r := lookup(st.Tables[sw], f)
+		if r == nil {
+			return false
+		}
+		next, _, ok := forward(st, sw, r, &f)
+		if !ok {
+			return false // drop rule
+		}
+		if next == "" {
+			return true // egress
+		}
+		sw = next
+	}
+	return false
+}
+
+// forward applies the rule's actions to f and resolves the output. It
+// returns the next switch ("" for egress) and false when the rule has no
+// output action (an explicit drop). Multi-output rules follow the first
+// output (the scenarios under verification are unicast).
+func forward(st *NetState, sw string, r *Rule, f *packet.Fields) (next string, outPort uint16, ok bool) {
+	for _, a := range r.Actions {
+		switch act := a.(type) {
+		case of.ActionOutput:
+			peer, isLink := st.Ports[sw][act.Port]
+			if !isLink {
+				return "", act.Port, true // egress
+			}
+			f.InPort = peer.Port
+			return peer.Switch, act.Port, true
+		case of.ActionSetVLANVID:
+			f.DLVLAN = act.VID
+		case of.ActionSetVLANPCP:
+			f.DLPCP = act.PCP
+		case of.ActionStripVLAN:
+			f.DLVLAN = packet.VLANNone
+			f.DLPCP = 0
+		case of.ActionSetDLAddr:
+			if act.Dst {
+				f.DLDst = act.Addr
+			} else {
+				f.DLSrc = act.Addr
+			}
+		case of.ActionSetNWAddr:
+			if act.Dst {
+				f.NWDst = act.Addr
+			} else {
+				f.NWSrc = act.Addr
+			}
+		case of.ActionSetNWTOS:
+			f.NWTOS = act.TOS
+		case of.ActionSetTPPort:
+			if act.Dst {
+				f.TPDst = act.Port
+			} else {
+				f.TPSrc = act.Port
+			}
+		}
+	}
+	return "", 0, false // no output action: drop
+}
+
+// traceState identifies one exploration state. Fields participate because
+// header rewrites change downstream behaviour.
+type traceState struct {
+	sw string
+	f  packet.Fields
+}
+
+type verifier struct {
+	old, new       *NetState
+	requireDeliver bool // both pure states deliver: any drop is a failure
+	checkDrops     bool // at least one pure state delivers
+	// safe memoizes fully-explored safe states; a linear scan, since the
+	// bounded traces of real fabrics visit a handful of states.
+	safe    []traceState
+	failure *CounterexampleError
+}
+
+func (v *verifier) isSafe(st traceState) bool {
+	for _, s := range v.safe {
+		if s == st {
+			return true
+		}
+	}
+	return false
+}
+
+// explore walks every mixed old/new trace from (sw, f). path holds the
+// hops taken so far; a revisit of the current traceState within path is a
+// forwarding loop. It records the shortest failure found and returns true
+// when every branch from this state is safe.
+func (v *verifier) explore(sw string, f packet.Fields, path []Hop) bool {
+	st := traceState{sw, f}
+	if v.isSafe(st) {
+		return true
+	}
+	if len(path) >= maxTraceHops {
+		v.record("loop", append(path, Hop{Switch: sw}))
+		return false
+	}
+	ok := true
+	for _, side := range []struct {
+		name string
+		st   *NetState
+	}{{"old", v.old}, {"new", v.new}} {
+		r := lookup(side.st.Tables[sw], f)
+		if r == nil {
+			ok = v.drop(sw, side.name, path) && ok
+			continue
+		}
+		nf := f
+		next, outPort, fwd := forward(side.st, sw, r, &nf)
+		if !fwd {
+			ok = v.drop(sw, side.name, path) && ok
+			continue
+		}
+		hop := Hop{Switch: sw, OutPort: outPort, Table: side.name}
+		if next == "" {
+			continue // delivered
+		}
+		if v.onPath(path, next, nf) {
+			v.record("loop", append(append(path[:len(path):len(path)], hop), Hop{Switch: next}))
+			ok = false
+			continue
+		}
+		ok = v.explore(next, nf, append(path[:len(path):len(path)], hop)) && ok
+	}
+	if ok {
+		v.safe = append(v.safe, st)
+	}
+	return ok
+}
+
+// onPath reports whether the switch was already visited on this trace.
+// Comparing on switch identity alone (ignoring header rewrites) is
+// conservative: it never misses a forwarding loop, at worst flagging a
+// legitimate re-traversal of a header-rewriting switch — a pattern none
+// of the plans built here produce.
+func (v *verifier) onPath(path []Hop, sw string, _ packet.Fields) bool {
+	for _, h := range path {
+		if h.Switch == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// drop classifies a table-miss or drop-action at sw and records a
+// blackhole when the obligations forbid it. Returns false on failure.
+func (v *verifier) drop(sw, table string, path []Hop) bool {
+	if !v.checkDrops {
+		return true
+	}
+	if len(path) == 0 && !v.requireDeliver {
+		return true // install/retirement transition: not yet admitted
+	}
+	v.record("blackhole", append(path[:len(path):len(path)], Hop{Switch: sw, Table: table}))
+	return false
+}
+
+// record keeps the shortest counterexample found so far.
+func (v *verifier) record(kind string, path []Hop) {
+	if v.failure == nil || len(path) < len(v.failure.Path) {
+		v.failure = &CounterexampleError{Kind: kind, Path: path}
+	}
+}

@@ -1,0 +1,231 @@
+package hsa
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// The triangle fabric of the migration experiment: s1 reaches s2 (port 2)
+// and s3 (port 3); s2 reaches s3 (port 2); s3 delivers to the host on
+// port 1 (no peer = egress).
+func trianglePorts() map[string]map[uint16]PortPeer {
+	return map[string]map[uint16]PortPeer{
+		"s1": {2: {Switch: "s2", Port: 1}, 3: {Switch: "s3", Port: 3}},
+		"s2": {1: {Switch: "s1", Port: 2}, 2: {Switch: "s3", Port: 2}},
+		"s3": {2: {Switch: "s2", Port: 2}, 3: {Switch: "s1", Port: 3}},
+	}
+}
+
+func exactFlowMatch() of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.AddrFrom4([4]byte{10, 0, 0, 1}))
+	m.SetNWDst(netip.AddrFrom4([4]byte{10, 1, 0, 1}))
+	return m
+}
+
+func fwd(prio uint16, m of.Match, port uint16) Rule {
+	return Rule{Priority: prio, Match: m, Actions: []of.Action{of.ActionOutput{Port: port}}}
+}
+
+func dropAll() Rule {
+	return Rule{Priority: 1, Match: of.MatchAll()}
+}
+
+func TestVerifyTransientRejectsBadSchedules(t *testing.T) {
+	fm := exactFlowMatch()
+	reg := Region{Ingress: "s1", Match: fm}
+
+	cases := []struct {
+		name     string
+		old, new *NetState
+		wantKind string // "" = must accept
+		wantPath []string
+	}{
+		{
+			// The classic broken migration: ingress flips to the new path
+			// before the downstream rule exists. A packet committed at s1
+			// dies in s2's catch-all.
+			name: "transient blackhole: flip before add",
+			old: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 3), dropAll()},
+				"s2": {dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			new: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 2), dropAll()},
+				"s2": {dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			wantKind: "blackhole",
+			wantPath: []string{"s1", "s2"},
+		},
+		{
+			// A path reversal updated in one shot: s1 starts pointing at
+			// s2 while s2 is being flipped back toward s1.
+			name: "transient loop: simultaneous reversal",
+			old: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 3), dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			new: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 2), dropAll()},
+				"s2": {fwd(100, fm, 1), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			wantKind: "loop",
+			wantPath: []string{"s1", "s2", "s1"},
+		},
+		{
+			// Add-before-remove stage 1: installing the inert downstream
+			// rule at s2 changes nothing for in-flight traffic.
+			name: "safe: add inert downstream rule",
+			old: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 3), dropAll()},
+				"s2": {dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			new: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 3), dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+		},
+		{
+			// Stage 2 once the downstream rule is confirmed: either table
+			// at s1 delivers.
+			name: "safe: flip after downstream confirmed",
+			old: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 3), dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			new: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 2), dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+		},
+		{
+			// Fresh install: old state drops at the ingress itself (the
+			// region is not admitted yet), which is not a blackhole.
+			name: "safe: install admits new traffic",
+			old: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+			new: &NetState{Ports: trianglePorts(), Tables: map[string][]Rule{
+				"s1": {fwd(100, fm, 2), dropAll()},
+				"s2": {fwd(100, fm, 2), dropAll()},
+				"s3": {fwd(100, fm, 1), dropAll()},
+			}},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := VerifyTransient(tc.old, tc.new, reg)
+			if tc.wantKind == "" {
+				if err != nil {
+					t.Fatalf("expected schedule accepted, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected transient %s to be rejected", tc.wantKind)
+			}
+			var ce *CounterexampleError
+			if !errors.As(err, &ce) {
+				t.Fatalf("expected CounterexampleError, got %T: %v", err, err)
+			}
+			if ce.Kind != tc.wantKind {
+				t.Fatalf("kind = %q, want %q (%v)", ce.Kind, tc.wantKind, err)
+			}
+			if len(ce.Path) != len(tc.wantPath) {
+				t.Fatalf("counterexample not minimal: path %v, want switches %v", ce.Path, tc.wantPath)
+			}
+			for i, sw := range tc.wantPath {
+				if ce.Path[i].Switch != sw {
+					t.Fatalf("path[%d] = %q, want %q (%v)", i, ce.Path[i].Switch, sw, err)
+				}
+			}
+			if !Covers(reg.Match, ce.Packet) {
+				t.Fatalf("witness packet %v not inside the region", ce.Packet)
+			}
+			if !strings.Contains(err.Error(), tc.wantKind) {
+				t.Fatalf("error should name the failure kind: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyTransientWitnessClasses checks that witness sampling covers
+// distinct behaviour classes: an http-specific detour rule must
+// contribute its own witness, so a schedule that blackholes only http
+// traffic is still rejected.
+func TestVerifyTransientWitnessClasses(t *testing.T) {
+	host := of.MatchAll()
+	host.Wildcards &^= of.WcDLType
+	host.DLType = packet.EtherTypeIPv4
+	host.SetNWSrc(netip.AddrFrom4([4]byte{10, 0, 0, 1}))
+
+	http := host
+	http.Wildcards &^= of.WcNWProto | of.WcTPDst
+	http.NWProto = packet.ProtoTCP
+	http.TPDst = 80
+
+	// a —(2/1)— b —(2/2)— s3 —(1)→ host; b —(3/1)— c —(2)→ fw.
+	ports := map[string]map[uint16]PortPeer{
+		"a":  {2: {Switch: "b", Port: 1}},
+		"b":  {1: {Switch: "a", Port: 2}, 2: {Switch: "s3", Port: 2}, 3: {Switch: "c", Port: 1}},
+		"c":  {1: {Switch: "b", Port: 3}},
+		"s3": {2: {Switch: "b", Port: 2}},
+	}
+	// Old: the host's traffic flows a→b→s3 with the http detour b→c→fw
+	// in place. New (bad): the http detour rule Z is strict-deleted at b
+	// while traffic still flows — http packets committed at a now die at
+	// nothing... they fall to Y and bypass; worse, delete Y instead so
+	// http keeps its detour but generic traffic blackholes at b.
+	old := &NetState{Ports: ports, Tables: map[string][]Rule{
+		"a":  {fwd(200, host, 2), dropAll()},
+		"b":  {fwd(200, http, 3), fwd(50, host, 2), dropAll()},
+		"c":  {fwd(100, host, 2), dropAll()},
+		"s3": {fwd(100, host, 1), dropAll()},
+	}}
+	// Y removed at b: generic traffic hits the catch-all mid-path.
+	newState := &NetState{Ports: ports, Tables: map[string][]Rule{
+		"a":  {fwd(200, host, 2), dropAll()},
+		"b":  {fwd(200, http, 3), dropAll()},
+		"c":  {fwd(100, host, 2), dropAll()},
+		"s3": {fwd(100, host, 1), dropAll()},
+	}}
+	err := VerifyTransient(old, newState, Region{Ingress: "a", Match: host})
+	var ce *CounterexampleError
+	if !errors.As(err, &ce) || ce.Kind != "blackhole" {
+		t.Fatalf("expected blackhole for the non-http class, got %v", err)
+	}
+	if ce.Packet.NWProto == packet.ProtoTCP && ce.Packet.TPDst == 80 {
+		t.Fatalf("counterexample should be the non-http witness, got %v", ce.Packet)
+	}
+
+	// The reverse schedule — deleting the http detour Z while keeping Y —
+	// is a policy bypass, not a blackhole, and verification (which checks
+	// reachability, not waypointing) accepts it: both classes deliver.
+	newState2 := &NetState{Ports: ports, Tables: map[string][]Rule{
+		"a":  {fwd(200, host, 2), dropAll()},
+		"b":  {fwd(50, host, 2), dropAll()},
+		"c":  {fwd(100, host, 2), dropAll()},
+		"s3": {fwd(100, host, 1), dropAll()},
+	}}
+	if err := VerifyTransient(old, newState2, Region{Ingress: "a", Match: host}); err != nil {
+		t.Fatalf("reachability-safe schedule rejected: %v", err)
+	}
+}

@@ -1,0 +1,654 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rum/internal/core"
+	"rum/internal/flowtable"
+	"rum/internal/hsa"
+	"rum/internal/of"
+)
+
+// Exec is one plan execution in progress. It is pump-driven: nothing
+// blocks on futures, so the same executor works under the simulated
+// clock (call Pump between Sim.RunFor slices) and under a wall clock
+// (Run drives the pump loop).
+type Exec struct {
+	p    *Planner
+	plan *Plan
+
+	mu   sync.Mutex
+	segs []*segExec
+	// model is the confirmed network state: per-switch flow tables the
+	// verifier's "old" side reads. rules caches model snapshots.
+	model map[string]*flowtable.Table
+	rules map[string][]hsa.Rule
+	// scratch mirrors rules except for the switches a wave under
+	// verification touches — the verifier's "new" side, maintained
+	// incrementally so verifyStage never copies the whole fabric map.
+	scratch map[string][]hsa.Rule
+	// planMatches is every FlowMod match in the plan; witness caches are
+	// primed with it so per-wave verification never rescans the model
+	// (the model only ever evolves by folding these FlowMods).
+	planMatches []of.Match
+	// matchVocab is the deduplicated union of the model's rule matches
+	// and planMatches — the complete match vocabulary any verified state
+	// can contain. Rebuilt lazily; invalidated by re-plans.
+	matchVocab []of.Match
+
+	events     []Event
+	eventCh    chan Event
+	waves      []WaveStat
+	verifyWall time.Duration
+	replans    int
+	err        error
+	finished   bool
+	started    time.Duration
+}
+
+type segExec struct {
+	seg   *Segment
+	index int
+	stage int // next unconfirmed stage; == len(Stages) when done
+	// released is true once the current stage's ops are verified & sent.
+	released   bool
+	releasedAt time.Duration
+	verifyCost time.Duration
+	numReplans int
+	ops        []*opExec
+	// wc memoizes the region's witness samples per table version across
+	// this segment's waves (most tables are unchanged wave to wave).
+	wc *hsa.WitnessCache
+}
+
+type opExec struct {
+	op     Op
+	xid    uint32
+	handle *core.UpdateHandle
+	sent   bool
+	done   bool
+}
+
+// Execute starts a plan: it snapshots the network model, verifies and
+// releases every segment's first wave, and returns. Drive completion
+// with Pump (simulated clocks) or Run (wall clocks).
+func (p *Planner) Execute(plan *Plan) (*Exec, error) {
+	x := &Exec{
+		p:       p,
+		plan:    plan,
+		model:   make(map[string]*flowtable.Table),
+		rules:   make(map[string][]hsa.Rule),
+		scratch: make(map[string][]hsa.Rule),
+		eventCh: make(chan Event, p.cfg.EventBuffer),
+		started: p.cfg.Clock.Now(),
+	}
+	// Seed the model with every fabric switch (the verifier traces
+	// through switches no op touches) plus every op target.
+	for sw := range p.cfg.Ports {
+		x.syncModel(sw)
+	}
+	for _, seg := range plan.Segments {
+		for _, st := range seg.Stages {
+			for _, op := range st.Ops {
+				if _, ok := x.model[op.Switch]; !ok {
+					x.syncModel(op.Switch)
+				}
+				x.planMatches = append(x.planMatches, op.FM.Match)
+			}
+		}
+	}
+	x.segs = make([]*segExec, len(plan.Segments))
+	for i := range plan.Segments {
+		x.segs[i] = &segExec{seg: &plan.Segments[i], index: i}
+	}
+	x.mu.Lock()
+	x.pumpLocked()
+	x.mu.Unlock()
+	return x, nil
+}
+
+// syncModel (re)builds one switch's model table from the authoritative
+// State snapshot. Caller holds no lock or the lock; flowtable has its
+// own locking.
+func (x *Exec) syncModel(sw string) {
+	t := flowtable.New()
+	for _, r := range x.p.cfg.State(sw) {
+		t.Apply(&of.FlowMod{Command: of.FCAdd, Priority: r.Priority, Match: r.Match,
+			BufferID: of.BufferNone, OutPort: of.PortNone, Actions: r.Actions})
+	}
+	x.model[sw] = t
+	x.rules[sw] = t.Rules()
+	x.scratch[sw] = x.rules[sw]
+}
+
+// Pump advances the execution: polls futures, confirms waves, verifies
+// and releases successor waves, and re-plans after typed failures. It
+// returns true when the plan has settled (check Err for the outcome).
+func (x *Exec) Pump() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.pumpLocked()
+	return x.finished
+}
+
+func (x *Exec) pumpLocked() {
+	if x.finished {
+		return
+	}
+	for {
+		progress := false
+		for _, se := range x.segs {
+			if x.advance(se) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	done := x.err != nil
+	if x.err == nil {
+		done = true
+		for _, se := range x.segs {
+			if !x.segDone(se) {
+				done = false
+				break
+			}
+		}
+	}
+	if done {
+		x.finished = true
+		x.emit(Event{Kind: EventPlanDone, Err: x.err})
+	}
+}
+
+func (x *Exec) segDone(se *segExec) bool {
+	return se.stage >= len(se.seg.Stages) && !se.released && len(se.ops) == 0
+}
+
+// activeSegs counts segments that have begun but not finished — the
+// quantity Config.Window bounds.
+func (x *Exec) activeSegs() int {
+	n := 0
+	for _, se := range x.segs {
+		if x.segDone(se) {
+			continue
+		}
+		if se.stage > 0 || se.released || len(se.ops) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// advance moves one segment as far as it can; it reports whether any
+// state changed (so the pump loop re-runs until a fixed point).
+func (x *Exec) advance(se *segExec) bool {
+	if x.err != nil || x.segDone(se) {
+		return false
+	}
+	// A repair wave (re-issued rules for a restarted switch, created
+	// between regular waves) must confirm before anything else releases.
+	if !se.released && len(se.ops) > 0 {
+		return x.poll(se)
+	}
+	// Release the next wave once dependencies (and the segment window)
+	// allow.
+	if !se.released {
+		if se.stage == 0 && x.p.cfg.Window > 0 && x.activeSegs() >= x.p.cfg.Window {
+			return false
+		}
+		for _, dep := range x.plan.after[se.index] {
+			if !x.segDone(x.segs[dep]) {
+				return false
+			}
+		}
+		stage := &se.seg.Stages[se.stage]
+		if !x.p.cfg.SkipVerify {
+			begin := time.Now()
+			err := x.verifyStage(se, stage)
+			cost := time.Since(begin)
+			se.verifyCost = cost
+			x.verifyWall += cost
+			if err != nil {
+				x.err = fmt.Errorf("planner: wave %d of segment %q rejected: %w", se.stage, se.seg.Name, err)
+				x.emit(Event{Kind: EventVerifyFailed, Segment: se.seg.Name, Stage: se.stage, Err: err})
+				return true
+			}
+		}
+		se.ops = make([]*opExec, len(stage.Ops))
+		for i := range stage.Ops {
+			se.ops[i] = &opExec{op: stage.Ops[i]}
+			x.issue(se.ops[i])
+		}
+		se.released = true
+		se.releasedAt = x.p.cfg.Clock.Now()
+		se.numReplans = 0
+		x.emit(Event{Kind: EventStageReleased, Segment: se.seg.Name, Stage: se.stage,
+			Detail: fmt.Sprintf("%d ops", len(stage.Ops))})
+		return true
+	}
+	// Poll the in-flight wave.
+	return x.poll(se)
+}
+
+// poll drives the segment's in-flight ops. When every op has confirmed
+// it folds the wave into the model; a stage-released wave additionally
+// records attribution and advances the stage cursor (a repair wave only
+// restores the model's invariants).
+func (x *Exec) poll(se *segExec) bool {
+	progress := false
+	allDone := true
+	for _, oe := range se.ops {
+		if oe.done {
+			continue
+		}
+		if !oe.sent {
+			// A previous send failed on a dead channel; retry until the
+			// switch reattaches.
+			x.issue(oe)
+			if !oe.sent {
+				allDone = false
+				continue
+			}
+			progress = true
+		}
+		res, ok := oe.handle.Result()
+		if !ok {
+			allDone = false
+			continue
+		}
+		if res.Outcome != core.OutcomeFailed {
+			oe.done = true
+			progress = true
+			continue
+		}
+		switch {
+		case errors.Is(res.Err, core.ErrChannelLost), errors.Is(res.Err, core.ErrSwitchRestarted):
+			x.replanSwitch(se, oe.op.Switch, res.Err)
+			progress = true
+			allDone = false
+		default:
+			x.err = fmt.Errorf("planner: %s rejected op in wave %d of segment %q: %w",
+				oe.op.Switch, se.stage, se.seg.Name, res.Err)
+			return true
+		}
+	}
+	if !allDone {
+		return progress
+	}
+	// Wave confirmed: fold it into the model and record attribution.
+	now := x.p.cfg.Clock.Now()
+	for _, oe := range se.ops {
+		x.model[oe.op.Switch].Apply(oe.op.FM)
+		x.rules[oe.op.Switch] = x.model[oe.op.Switch].Rules()
+		x.scratch[oe.op.Switch] = x.rules[oe.op.Switch]
+	}
+	if se.released {
+		x.waves = append(x.waves, WaveStat{
+			Segment: se.seg.Name, Stage: se.stage, Ops: len(se.ops),
+			Released: se.releasedAt, Confirmed: now,
+			VerifyWall: se.verifyCost, Replans: se.numReplans,
+		})
+		x.emit(Event{Kind: EventStageConfirmed, Segment: se.seg.Name, Stage: se.stage})
+		se.stage++
+		se.released = false
+		if se.stage >= len(se.seg.Stages) {
+			x.emit(Event{Kind: EventSegmentDone, Segment: se.seg.Name})
+		}
+	}
+	se.ops = nil
+	return true
+}
+
+// issue allocates an xid, registers the ack future (before sending, per
+// the Watch contract), and sends. On send failure the op stays unsent
+// with its watch cancelled; a later pump retries with a fresh xid.
+func (x *Exec) issue(oe *opExec) {
+	xid := x.p.cfg.NewXID()
+	fm := oe.op.FM
+	fm.SetXID(xid)
+	oe.xid = xid
+	oe.handle = x.p.cfg.RUM.Watch(oe.op.Switch, xid)
+	if err := x.p.cfg.Send(oe.op.Switch, fm); err != nil {
+		oe.handle.Cancel()
+		oe.handle = nil
+		oe.sent = false
+		return
+	}
+	oe.sent = true
+}
+
+// replanSwitch handles a typed channel-loss/restart failure: it re-reads
+// the switch's authoritative FIB and reconciles every op this execution
+// has in flight or already confirmed on that switch. Ops whose rules
+// survived are recognized — never re-sent, so nothing double-installs —
+// and ops whose rules are missing (a restart wipes the FIB) are
+// re-issued.
+func (x *Exec) replanSwitch(se *segExec, sw string, cause error) {
+	x.replans++
+	if se != nil {
+		se.numReplans++
+	}
+	x.syncModel(sw)
+	// The authoritative re-read can surface rules the primed witness sets
+	// never saw; drop every segment's cache (and the match vocabulary) so
+	// the next verify re-primes against the reconciled model.
+	x.matchVocab = nil
+	for _, other := range x.segs {
+		other.wc = nil
+	}
+	table := x.model[sw]
+	repaired := 0
+	// Current wave of every segment: reconcile in-flight ops on sw.
+	for _, other := range x.segs {
+		for _, oe := range other.ops {
+			if oe.op.Switch != sw {
+				continue
+			}
+			if oe.done {
+				// Confirmed, but a (second) restart may have wiped the
+				// rule since; re-open the op if its effect is gone.
+				if applied(table, oe.op.FM) {
+					continue
+				}
+				oe.done = false
+				oe.handle = nil
+				oe.sent = false
+			}
+			if oe.handle != nil {
+				if res, ok := oe.handle.Result(); !ok || res.Outcome == core.OutcomeFailed {
+					oe.handle.Cancel()
+					oe.handle = nil
+					oe.sent = false
+				} else {
+					continue // resolved positively in the meantime
+				}
+			}
+			if applied(table, oe.op.FM) {
+				// The FlowMod landed but its ack was lost with the
+				// channel. Do not re-send.
+				oe.done = true
+				continue
+			}
+			x.issue(oe)
+			repaired++
+		}
+		// Earlier, already-confirmed waves of this segment: a restart may
+		// have wiped their rules. Re-issue the missing ones as a repair
+		// wave — appended to the segment's op list, which must confirm
+		// before the segment releases anything further.
+		limit := other.stage
+		for si := 0; si < limit; si++ {
+			for _, op := range other.seg.Stages[si].Ops {
+				if op.Switch != sw || applied(table, op.FM) {
+					continue
+				}
+				if inFlight(other.ops, op.FM) {
+					continue // already being repaired by an earlier replan
+				}
+				oe := &opExec{op: op}
+				x.issue(oe)
+				other.ops = append(other.ops, oe)
+				repaired++
+			}
+		}
+	}
+	ev := Event{Kind: EventReplan,
+		Detail: fmt.Sprintf("switch %s: %d ops re-issued", sw, repaired), Err: cause}
+	if se != nil {
+		ev.Segment, ev.Stage = se.seg.Name, se.stage
+	}
+	x.emit(ev)
+}
+
+// Resync reconciles the execution with a switch's authoritative state
+// after an external recovery event (reconnect, restart + re-bootstrap).
+// It covers the case the ack futures cannot signal: a switch that lost
+// its FIB while the planner had no op in flight on it. Already-confirmed
+// rules that vanished are re-issued as a repair wave; rules that
+// survived are left alone.
+func (x *Exec) Resync(sw string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.finished {
+		return
+	}
+	x.replanSwitch(nil, sw, nil)
+	x.pumpLocked()
+}
+
+// inFlight reports whether the op (identified by its FlowMod pointer —
+// stage ops share pointers with the compiled plan) is already tracked.
+func inFlight(ops []*opExec, fm *of.FlowMod) bool {
+	for _, oe := range ops {
+		if oe.op.FM == fm {
+			return true
+		}
+	}
+	return false
+}
+
+// applied reports whether the FlowMod's effect is present in the table:
+// for adds, the exact rule (match, priority, actions); for strict
+// deletes, the absence of the rule.
+func applied(t *flowtable.Table, fm *of.FlowMod) bool {
+	e := t.Find(fm.Match, fm.Priority)
+	switch fm.Command {
+	case of.FCDelete, of.FCDeleteStrict:
+		return e == nil
+	default:
+		return e != nil && of.ActionsEqual(e.Actions, fm.Actions)
+	}
+}
+
+// witnessMatches returns the complete match vocabulary: the distinct
+// rule matches present in the current model plus every plan FlowMod
+// match. Fabrics hold few distinct matches, so priming per-region
+// witness caches from this list is far cheaper than scanning the
+// model's rules once per segment.
+func (x *Exec) witnessMatches() []of.Match {
+	if x.matchVocab != nil {
+		return x.matchVocab
+	}
+	seen := make(map[of.Match]struct{})
+	add := func(m of.Match) {
+		if _, ok := seen[m]; !ok {
+			seen[m] = struct{}{}
+			x.matchVocab = append(x.matchVocab, m)
+		}
+	}
+	for _, rules := range x.rules {
+		for i := range rules {
+			add(rules[i].Match)
+		}
+	}
+	for _, m := range x.planMatches {
+		add(m)
+	}
+	return x.matchVocab
+}
+
+// verifyStage checks the wave's transient states: old = the confirmed
+// model, new = the model with the wave applied.
+func (x *Exec) verifyStage(se *segExec, stage *Stage) error {
+	// Stage each touched switch on a private copy of its rule slice —
+	// cheaper than rebuilding a flowtable per wave, and it preserves the
+	// share-by-reference invariant the witness cache keys on.
+	staged := make(map[string][]hsa.Rule)
+	for _, op := range stage.Ops {
+		tbl, ok := staged[op.Switch]
+		if !ok {
+			tbl = append([]hsa.Rule(nil), x.rules[op.Switch]...)
+		}
+		tbl, ok = applyRules(tbl, op.FM)
+		if !ok {
+			// A FlowMod command outside the planner's add/strict-delete
+			// vocabulary (hand-built segment): fall back to full
+			// flowtable semantics for this switch.
+			t := flowtable.New()
+			for _, r := range x.rules[op.Switch] {
+				t.Apply(&of.FlowMod{Command: of.FCAdd, Priority: r.Priority, Match: r.Match,
+					BufferID: of.BufferNone, OutPort: of.PortNone, Actions: r.Actions})
+			}
+			for _, redo := range stage.Ops {
+				if redo.Switch == op.Switch {
+					t.Apply(redo.FM)
+				}
+			}
+			tbl = t.Rules()
+		}
+		staged[op.Switch] = tbl
+	}
+	if se.wc == nil {
+		se.wc = hsa.NewWitnessCache(se.seg.Region)
+		// Every later model state this execution sees is the current
+		// snapshot plus folds of the plan's own FlowMods, so the witness
+		// set can be fixed now and per-wave model scans skipped.
+		se.wc.PrimeMatches(x.witnessMatches())
+	}
+	// Swap the staged slices into the scratch mirror for the duration of
+	// the check, then restore the rules↔scratch sharing.
+	for sw, tbl := range staged {
+		x.scratch[sw] = tbl
+	}
+	// The new side differs from the old only by this wave's FlowMods, so
+	// hand the cache their matches instead of letting it scan the staged
+	// tables (fresh slices — a guaranteed cache miss every wave).
+	changed := make([]of.Match, 0, len(stage.Ops))
+	for _, op := range stage.Ops {
+		changed = append(changed, op.FM.Match)
+	}
+	oldState := &hsa.NetState{Tables: x.rules, Ports: x.p.cfg.Ports}
+	newState := &hsa.NetState{Tables: x.scratch, Ports: x.p.cfg.Ports}
+	err := se.wc.VerifyTransientDelta(oldState, newState, changed)
+	for sw := range staged {
+		x.scratch[sw] = x.rules[sw]
+	}
+	return err
+}
+
+// applyRules applies a planner FlowMod to a staged rule slice with
+// flowtable add-replaces / strict-delete semantics. ok is false for
+// commands it does not model (caller falls back to a real flowtable).
+func applyRules(rules []hsa.Rule, fm *of.FlowMod) ([]hsa.Rule, bool) {
+	norm := fm.Match.Normalize()
+	switch fm.Command {
+	case of.FCAdd:
+		for i := range rules {
+			if rules[i].Priority == fm.Priority && rules[i].Match == norm {
+				rules[i].Actions = append([]of.Action(nil), fm.Actions...)
+				return rules, true
+			}
+		}
+		return append(rules, hsa.Rule{Priority: fm.Priority, Match: norm,
+			Actions: append([]of.Action(nil), fm.Actions...)}), true
+	case of.FCDeleteStrict:
+		out := rules[:0]
+		for _, r := range rules {
+			if !(r.Priority == fm.Priority && r.Match == norm) {
+				out = append(out, r)
+			}
+		}
+		return out, true
+	default:
+		return rules, false
+	}
+}
+
+func (x *Exec) emit(ev Event) {
+	ev.At = x.p.cfg.Clock.Now()
+	x.events = append(x.events, ev)
+	select {
+	case x.eventCh <- ev:
+	default: // never block the pump on a slow consumer
+	}
+}
+
+// Events streams execution events. The channel is buffered; events that
+// would block are dropped from the stream (EventLog keeps everything).
+func (x *Exec) Events() <-chan Event { return x.eventCh }
+
+// EventLog snapshots every event emitted so far.
+func (x *Exec) EventLog() []Event {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]Event(nil), x.events...)
+}
+
+// Done reports whether the plan has settled.
+func (x *Exec) Done() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.finished
+}
+
+// Err returns the failure that aborted the plan, or nil.
+func (x *Exec) Err() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+// Waves returns per-wave latency attribution for confirmed waves.
+func (x *Exec) Waves() []WaveStat {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]WaveStat(nil), x.waves...)
+}
+
+// VerifyWall is the cumulative wall-clock time spent in HSA
+// verification.
+func (x *Exec) VerifyWall() time.Duration {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.verifyWall
+}
+
+// Replans counts re-plan rounds triggered by typed failures.
+func (x *Exec) Replans() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.replans
+}
+
+// Wedged counts in-flight ops with no resolution — zero once the plan
+// settles cleanly; nonzero at a deadline means futures were lost.
+func (x *Exec) Wedged() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for _, se := range x.segs {
+		for _, oe := range se.ops {
+			if oe.done || !oe.sent {
+				continue
+			}
+			if _, ok := oe.handle.Result(); !ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Run drives the pump under a wall clock until the plan settles or ctx
+// expires. poll bounds the idle interval between pumps (default 1ms).
+func (x *Exec) Run(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	for {
+		if x.Pump() {
+			return x.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package planner turns RUM's reliable acknowledgments into an engine
+// for consistent network updates. A policy change is decomposed into
+// segments — independent header-space regions, in the spirit of
+// ez-Segway's segment scheduling — and each segment into an ordered list
+// of waves (stages): add-before-remove per flow segment, downstream
+// flips before upstream ones, deletions last. A wave is released only
+// when every prerequisite wave's AwaitAck futures have confirmed, so on
+// switches configured with a reliable technique the ordering holds in
+// the data plane, not just on the control channel.
+//
+// Before releasing a wave the planner verifies, with internal/hsa, that
+// every transient mix of pre- and post-wave forwarding state is
+// loop-free and blackhole-free for the segment's region. And it survives
+// the fault layer mid-transition: a future resolving with
+// ErrChannelLost or ErrSwitchRestarted triggers a re-plan from the
+// switch's actual FIB snapshot — already-applied rules are recognized
+// and not double-installed, lost rules are re-issued — instead of
+// wedging the update.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"rum/internal/core"
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/sim"
+)
+
+// Op is one FlowMod of a wave.
+type Op struct {
+	Switch string
+	FM     *of.FlowMod
+}
+
+// Stage is one wave: ops released together, confirmed together.
+type Stage struct {
+	Ops []Op
+}
+
+// Segment is an independently schedulable unit of a plan: the waves that
+// move one header-space region, released in order.
+type Segment struct {
+	Name   string
+	Region hsa.Region
+	Stages []Stage
+}
+
+// PathHop is one switch on a forwarding path with its output port toward
+// the next hop (or the egress port on the last hop).
+type PathHop struct {
+	Switch  string
+	OutPort uint16
+}
+
+// PathChange describes migrating one region from an old switch path to a
+// new one. Both paths start at the same ingress switch.
+type PathChange struct {
+	Name     string
+	Match    of.Match
+	Priority uint16
+	Old, New []PathHop
+}
+
+// BuildSegment compiles a path change into its wave schedule:
+//
+//	wave 1: add rules at switches only on the new path (inert until the
+//	        upstream flip, so they can install concurrently);
+//	waves:  flip switches whose output changes, downstream first — the
+//	        ingress flip is always the last flip;
+//	last:   strict-delete rules at switches only on the old path.
+func BuildSegment(pc PathChange) (Segment, error) {
+	if len(pc.New) == 0 {
+		return Segment{}, fmt.Errorf("planner: path change %q has no new path", pc.Name)
+	}
+	ingress := pc.New[0].Switch
+	if len(pc.Old) > 0 && pc.Old[0].Switch != ingress {
+		return Segment{}, fmt.Errorf("planner: path change %q moves ingress %s→%s; split it into two changes",
+			pc.Name, pc.Old[0].Switch, ingress)
+	}
+	oldOut := make(map[string]uint16, len(pc.Old))
+	for _, h := range pc.Old {
+		oldOut[h.Switch] = h.OutPort
+	}
+	newOut := make(map[string]uint16, len(pc.New))
+	for _, h := range pc.New {
+		if _, dup := newOut[h.Switch]; dup {
+			return Segment{}, fmt.Errorf("planner: path change %q visits %s twice", pc.Name, h.Switch)
+		}
+		newOut[h.Switch] = h.OutPort
+	}
+
+	seg := Segment{
+		Name:   pc.Name,
+		Region: hsa.Region{Ingress: ingress, Match: pc.Match},
+	}
+	var adds Stage
+	for _, h := range pc.New {
+		if _, onOld := oldOut[h.Switch]; !onOld {
+			adds.Ops = append(adds.Ops, Op{Switch: h.Switch, FM: addRule(pc, h.OutPort)})
+		}
+	}
+	if len(adds.Ops) > 0 {
+		seg.Stages = append(seg.Stages, adds)
+	}
+	// Flips, downstream first: an upstream flip only commits traffic to
+	// hops that are already in their final state.
+	for i := len(pc.New) - 1; i >= 0; i-- {
+		h := pc.New[i]
+		if old, onOld := oldOut[h.Switch]; onOld && old != h.OutPort {
+			seg.Stages = append(seg.Stages, Stage{Ops: []Op{
+				{Switch: h.Switch, FM: addRule(pc, h.OutPort)},
+			}})
+		}
+	}
+	var dels Stage
+	for _, h := range pc.Old {
+		if _, onNew := newOut[h.Switch]; !onNew {
+			fm := &of.FlowMod{Command: of.FCDeleteStrict, Priority: pc.Priority,
+				Match: pc.Match, BufferID: of.BufferNone, OutPort: of.PortNone}
+			dels.Ops = append(dels.Ops, Op{Switch: h.Switch, FM: fm})
+		}
+	}
+	if len(dels.Ops) > 0 {
+		seg.Stages = append(seg.Stages, dels)
+	}
+	if len(seg.Stages) == 0 {
+		return Segment{}, fmt.Errorf("planner: path change %q is a no-op", pc.Name)
+	}
+	return seg, nil
+}
+
+func addRule(pc PathChange, outPort uint16) *of.FlowMod {
+	return &of.FlowMod{Command: of.FCAdd, Priority: pc.Priority, Match: pc.Match,
+		BufferID: of.BufferNone, OutPort: of.PortNone,
+		Actions: []of.Action{of.ActionOutput{Port: outPort}}}
+}
+
+// Plan is a compiled update: segments plus the serialization edges
+// between segments whose regions overlap (disjoint segments proceed
+// concurrently; overlapping ones run in submission order).
+type Plan struct {
+	Segments []Segment
+	// after[j] lists segment indices that must complete before segment j
+	// may release its first wave.
+	after [][]int
+}
+
+// Waves returns the total wave count across segments.
+func (p *Plan) Waves() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Stages)
+	}
+	return n
+}
+
+// Ops returns the total op count across segments.
+func (p *Plan) Ops() int {
+	n := 0
+	for _, s := range p.Segments {
+		for _, st := range s.Stages {
+			n += len(st.Ops)
+		}
+	}
+	return n
+}
+
+// Config wires a Planner into a deployment. Send and NewXID are
+// typically controller.Client.Send and controller.Client.NewXID; State
+// reads back a switch's FIB snapshot (authoritative rules) for planning
+// and re-planning; Ports is the data-plane adjacency HSA traces follow.
+type Config struct {
+	// RUM provides the ack futures that gate wave release.
+	RUM *core.RUM
+	// Clock timestamps events and wave latency attribution.
+	Clock sim.Clock
+	// Send transmits one FlowMod to a switch. The planner retries sends
+	// that fail (a dead control channel) on subsequent pumps.
+	Send func(sw string, fm *of.FlowMod) error
+	// NewXID allocates transaction ids outside RUM's reserved range.
+	NewXID func() uint32
+	// State snapshots the rules currently installed on a switch. It
+	// seeds the planner's network model and is re-read after channel
+	// loss or switch restart to re-plan from actual state.
+	State func(sw string) []hsa.Rule
+	// Ports maps each switch's output ports to their link peers; ports
+	// absent from the map are egress (host) ports.
+	Ports map[string]map[uint16]hsa.PortPeer
+	// Window caps concurrently in-progress segments (0 = unlimited): a
+	// segment releases its first wave only while fewer than Window
+	// segments are mid-update — back-pressure for switch control planes.
+	Window int
+	// SkipVerify disables HSA transient verification (benchmarking the
+	// execution path in isolation).
+	SkipVerify bool
+	// EventBuffer sizes the Events channel (default 256).
+	EventBuffer int
+}
+
+// Planner compiles and executes consistent-update plans.
+type Planner struct {
+	cfg Config
+}
+
+// New validates the wiring and returns a Planner.
+func New(cfg Config) (*Planner, error) {
+	switch {
+	case cfg.RUM == nil:
+		return nil, fmt.Errorf("planner: Config.RUM is required")
+	case cfg.Clock == nil:
+		return nil, fmt.Errorf("planner: Config.Clock is required")
+	case cfg.Send == nil:
+		return nil, fmt.Errorf("planner: Config.Send is required")
+	case cfg.NewXID == nil:
+		return nil, fmt.Errorf("planner: Config.NewXID is required")
+	case cfg.State == nil:
+		return nil, fmt.Errorf("planner: Config.State is required")
+	}
+	if cfg.EventBuffer == 0 {
+		cfg.EventBuffer = 256
+	}
+	return &Planner{cfg: cfg}, nil
+}
+
+// Plan compiles path changes into a dependency-ordered plan.
+func (p *Planner) Plan(changes []PathChange) (*Plan, error) {
+	segs := make([]Segment, 0, len(changes))
+	for _, pc := range changes {
+		seg, err := BuildSegment(pc)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	return p.PlanSegments(segs)
+}
+
+// PlanSegments assembles pre-built segments (e.g. guarded installs whose
+// stages are written out explicitly) into a plan, serializing segments
+// with overlapping regions.
+func (p *Planner) PlanSegments(segs []Segment) (*Plan, error) {
+	plan := &Plan{Segments: segs, after: make([][]int, len(segs))}
+	for j := 1; j < len(segs); j++ {
+		for i := 0; i < j; i++ {
+			if hsa.Overlaps(segs[i].Region.Match, segs[j].Region.Match) {
+				plan.after[j] = append(plan.after[j], i)
+			}
+		}
+	}
+	return plan, nil
+}
+
+// EventKind tags planner events.
+type EventKind string
+
+const (
+	// EventStageReleased fires when a wave's ops are verified and sent.
+	EventStageReleased EventKind = "stage-released"
+	// EventStageConfirmed fires when every op of a wave has a positive
+	// acknowledgment.
+	EventStageConfirmed EventKind = "stage-confirmed"
+	// EventVerifyFailed fires when HSA rejects a wave's transient state;
+	// the plan aborts.
+	EventVerifyFailed EventKind = "verify-failed"
+	// EventReplan fires when a typed failure triggers a re-plan from the
+	// switch's actual FIB.
+	EventReplan EventKind = "replan"
+	// EventSegmentDone fires when a segment's last wave confirms.
+	EventSegmentDone EventKind = "segment-done"
+	// EventPlanDone fires once, when the whole plan settles (successfully
+	// or not).
+	EventPlanDone EventKind = "plan-done"
+)
+
+// Event is one step of a plan execution's observable progress.
+type Event struct {
+	At      time.Duration
+	Kind    EventKind
+	Segment string
+	Stage   int
+	Detail  string
+	Err     error
+}
+
+// WaveStat attributes latency to one released wave.
+type WaveStat struct {
+	Segment string
+	Stage   int
+	Ops     int
+	// Released and Confirmed bracket the wave on the planner's clock.
+	Released  time.Duration
+	Confirmed time.Duration
+	// VerifyWall is the wall-clock cost of this wave's HSA verification.
+	VerifyWall time.Duration
+	// Replans counts re-plans that interrupted this wave.
+	Replans int
+}

@@ -1,0 +1,154 @@
+package planner
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+func flowMatch(srcLo, dstLo byte) of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWSrc(netip.AddrFrom4([4]byte{10, 0, 0, srcLo}))
+	m.SetNWDst(netip.AddrFrom4([4]byte{10, 1, 0, dstLo}))
+	return m
+}
+
+func TestBuildSegmentWaveShape(t *testing.T) {
+	// Triangle migration: s1→s3 direct becomes s1→s2→s3.
+	seg, err := BuildSegment(PathChange{
+		Name: "migrate", Match: flowMatch(1, 1), Priority: 100,
+		Old: []PathHop{{"s1", 3}, {"s3", 1}},
+		New: []PathHop{{"s1", 2}, {"s2", 2}, {"s3", 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (add at s2, flip at s1): %+v", len(seg.Stages), seg.Stages)
+	}
+	add := seg.Stages[0]
+	if len(add.Ops) != 1 || add.Ops[0].Switch != "s2" || add.Ops[0].FM.Command != of.FCAdd {
+		t.Fatalf("stage 0 should add at s2, got %+v", add.Ops)
+	}
+	flip := seg.Stages[1]
+	if len(flip.Ops) != 1 || flip.Ops[0].Switch != "s1" {
+		t.Fatalf("stage 1 should flip s1, got %+v", flip.Ops)
+	}
+	if got := flip.Ops[0].FM.Actions[0].(of.ActionOutput).Port; got != 2 {
+		t.Fatalf("s1 flip should output to port 2, got %d", got)
+	}
+	if seg.Region.Ingress != "s1" {
+		t.Fatalf("region ingress = %q, want s1", seg.Region.Ingress)
+	}
+}
+
+func TestBuildSegmentFlipOrderAndDeletes(t *testing.T) {
+	// Old a→b→c→dst, new a→d→c→dst: add at d, flip c then a
+	// (downstream first), delete at b last.
+	seg, err := BuildSegment(PathChange{
+		Name: "reroute", Match: flowMatch(2, 2), Priority: 100,
+		Old: []PathHop{{"a", 2}, {"b", 2}, {"c", 1}},
+		New: []PathHop{{"a", 3}, {"d", 2}, {"c", 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c's output port is unchanged, so there is no flip for it: stages are
+	// [add d] [flip a] [delete b].
+	if len(seg.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3: %+v", len(seg.Stages), seg.Stages)
+	}
+	if sw := seg.Stages[0].Ops[0].Switch; sw != "d" {
+		t.Fatalf("stage 0 at %q, want d", sw)
+	}
+	if sw := seg.Stages[1].Ops[0].Switch; sw != "a" {
+		t.Fatalf("stage 1 at %q, want a", sw)
+	}
+	last := seg.Stages[2].Ops[0]
+	if last.Switch != "b" || last.FM.Command != of.FCDeleteStrict {
+		t.Fatalf("last stage should strict-delete at b, got %+v", last)
+	}
+}
+
+func TestBuildSegmentMultipleFlipsDownstreamFirst(t *testing.T) {
+	// Every hop changes its output: flips must run in reverse path order.
+	seg, err := BuildSegment(PathChange{
+		Name: "allflip", Match: flowMatch(3, 3), Priority: 100,
+		Old: []PathHop{{"a", 2}, {"b", 2}, {"c", 1}},
+		New: []PathHop{{"a", 4}, {"b", 5}, {"c", 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, st := range seg.Stages {
+		if len(st.Ops) != 1 {
+			t.Fatalf("flip stages must be singleton, got %+v", st.Ops)
+		}
+		order = append(order, st.Ops[0].Switch)
+	}
+	if got := strings.Join(order, ","); got != "c,b,a" {
+		t.Fatalf("flip order = %s, want c,b,a", got)
+	}
+}
+
+func TestBuildSegmentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		pc   PathChange
+	}{
+		{"empty new path", PathChange{Name: "x", Old: []PathHop{{"a", 1}}}},
+		{"ingress moves", PathChange{Name: "x",
+			Old: []PathHop{{"a", 1}}, New: []PathHop{{"b", 1}}}},
+		{"duplicate switch", PathChange{Name: "x",
+			New: []PathHop{{"a", 1}, {"b", 1}, {"a", 2}}}},
+		{"no-op", PathChange{Name: "x",
+			Old: []PathHop{{"a", 1}}, New: []PathHop{{"a", 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildSegment(tc.pc); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPlanSegmentsSerializesOverlaps(t *testing.T) {
+	mk := func(name string, m of.Match) Segment {
+		return Segment{Name: name, Region: hsa.Region{Ingress: "a", Match: m},
+			Stages: []Stage{{Ops: []Op{{Switch: "a", FM: &of.FlowMod{Command: of.FCAdd, Match: m}}}}}}
+	}
+	host := of.MatchAll()
+	host.Wildcards &^= of.WcDLType
+	host.DLType = packet.EtherTypeIPv4
+	host.SetNWSrc(netip.AddrFrom4([4]byte{10, 0, 0, 9}))
+
+	p := &Planner{}
+	plan, err := p.PlanSegments([]Segment{
+		mk("f1", flowMatch(1, 1)),
+		mk("f2", flowMatch(2, 2)),
+		mk("host", host), // overlaps any 10.0.0.9-sourced flow
+		mk("f9", flowMatch(9, 9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.after[0]) != 0 || len(plan.after[1]) != 0 {
+		t.Fatalf("disjoint flows must have no deps: %v", plan.after)
+	}
+	if len(plan.after[2]) != 0 {
+		t.Fatalf("host segment overlaps no earlier segment: %v", plan.after[2])
+	}
+	// f9 matches src 10.0.0.9 which the host region covers.
+	if len(plan.after[3]) != 1 || plan.after[3][0] != 2 {
+		t.Fatalf("f9 must serialize after host: %v", plan.after[3])
+	}
+	if plan.Waves() != 4 || plan.Ops() != 4 {
+		t.Fatalf("waves=%d ops=%d, want 4/4", plan.Waves(), plan.Ops())
+	}
+}

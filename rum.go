@@ -74,9 +74,11 @@ package rum
 
 import (
 	"rum/internal/core"
+	"rum/internal/hsa"
 	"rum/internal/netsim"
 	"rum/internal/of"
 	"rum/internal/packet"
+	"rum/internal/planner"
 	"rum/internal/sim"
 )
 
@@ -290,3 +292,118 @@ func ParseAck(m of.Message) (ackedXID uint32, code uint16, ok bool) {
 	}
 	return e.IsRUMAck()
 }
+
+// Planner turns RUM's reliable acknowledgments into an engine for
+// consistent network updates: policy changes compile into
+// dependency-ordered waves, each wave is verified loop- and
+// blackhole-free with header-space analysis before release, and release
+// gates on the previous wave's ack futures. See docs/PLANNER.md.
+type Planner = planner.Planner
+
+// PlannerConfig wires a Planner into a deployment (RUM instance, clock,
+// send path, FIB snapshots, data-plane adjacency).
+type PlannerConfig = planner.Config
+
+// NewPlanner validates the wiring and returns a Planner; compile updates
+// with Plan (or PlanSegments) and run them with Execute.
+func NewPlanner(cfg PlannerConfig) (*Planner, error) { return planner.New(cfg) }
+
+// PathChange describes migrating one header-space region from an old
+// switch path to a new one — the planner's policy-change input.
+type PathChange = planner.PathChange
+
+// PathHop is one switch on a forwarding path with its output port.
+type PathHop = planner.PathHop
+
+// UpdatePlan is a compiled consistent update: segments of ordered waves
+// plus the serialization edges between overlapping segments.
+type UpdatePlan = planner.Plan
+
+// PlanSegment is an independently schedulable unit of an update plan;
+// build one per PathChange with BuildPlanSegment, or assemble stages by
+// hand for updates the path-change form cannot express.
+type PlanSegment = planner.Segment
+
+// PlanStage is one wave of a segment: ops released together, confirmed
+// together.
+type PlanStage = planner.Stage
+
+// PlanOp is one FlowMod of a wave.
+type PlanOp = planner.Op
+
+// BuildPlanSegment compiles a path change into its wave schedule
+// (add-before-remove, downstream flips first, strict deletes last).
+func BuildPlanSegment(pc PathChange) (PlanSegment, error) { return planner.BuildSegment(pc) }
+
+// PlanExec is one plan execution in progress: Pump it under a simulated
+// clock or Run it under a wall clock; Events/EventLog expose progress,
+// Waves the per-wave latency attribution, and Resync reconciles a
+// switch after an external recovery event.
+type PlanExec = planner.Exec
+
+// PlannerEvent is one step of a plan execution's observable progress.
+type PlannerEvent = planner.Event
+
+// PlannerEventKind tags planner events.
+type PlannerEventKind = planner.EventKind
+
+// The planner event kinds.
+const (
+	PlanStageReleased  = planner.EventStageReleased
+	PlanStageConfirmed = planner.EventStageConfirmed
+	PlanVerifyFailed   = planner.EventVerifyFailed
+	PlanReplan         = planner.EventReplan
+	PlanSegmentDone    = planner.EventSegmentDone
+	PlanDone           = planner.EventPlanDone
+)
+
+// WaveStat attributes latency to one released wave.
+type WaveStat = planner.WaveStat
+
+// FIBRule is one installed rule in a switch's FIB snapshot, as consumed
+// by the planner's State callback and the header-space verifier.
+type FIBRule = hsa.Rule
+
+// PortPeer identifies the far end of an inter-switch link in the
+// verifier's data-plane adjacency map.
+type PortPeer = hsa.PortPeer
+
+// PortMap expands a link list into the per-switch adjacency map the
+// verifier traces (both directions of every link). Ports absent from the
+// map are treated as egress (host-facing) ports.
+func PortMap(links []TopoLink) map[string]map[uint16]PortPeer {
+	out := make(map[string]map[uint16]PortPeer)
+	add := func(sw string, port uint16, peer PortPeer) {
+		m := out[sw]
+		if m == nil {
+			m = make(map[uint16]PortPeer)
+			out[sw] = m
+		}
+		m[port] = peer
+	}
+	for _, l := range links {
+		add(l.A, l.APort, PortPeer{Switch: l.B, Port: l.BPort})
+		add(l.B, l.BPort, PortPeer{Switch: l.A, Port: l.APort})
+	}
+	return out
+}
+
+// Region is a header-space region anchored at an ingress switch — the
+// scope of one segment's verification.
+type Region = hsa.Region
+
+// NetState is a network-wide forwarding state (per-switch rule tables
+// plus adjacency) for header-space verification.
+type NetState = hsa.NetState
+
+// VerifyTransient checks that every transient mix of two forwarding
+// states is loop-free and blackhole-free for the region; on violation it
+// returns a *TransientCounterexample.
+func VerifyTransient(oldState, newState *NetState, region Region) error {
+	return hsa.VerifyTransient(oldState, newState, region)
+}
+
+// TransientCounterexample is the minimal witness VerifyTransient returns
+// for a rejected transition: the offending header-space point and the
+// path it takes.
+type TransientCounterexample = hsa.CounterexampleError
