@@ -1,0 +1,8 @@
+//go:build !linux
+
+package rum
+
+import "testing"
+
+// raiseFDLimit is a no-op where RLIMIT_NOFILE does not exist.
+func raiseFDLimit(testing.TB, uint64) {}

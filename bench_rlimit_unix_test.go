@@ -1,0 +1,34 @@
+//go:build linux
+
+package rum
+
+import (
+	"syscall"
+	"testing"
+)
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE toward the hard limit so the
+// cluster benchmark's ~1300 loopback TCP sockets fit under the common
+// 1024-descriptor default. Best effort: if the hard limit itself is too
+// low the benchmark fails with a clear dial error instead.
+func raiseFDLimit(tb testing.TB, want uint64) {
+	tb.Helper()
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		tb.Logf("rlimit: getrlimit: %v", err)
+		return
+	}
+	if rl.Cur >= want {
+		return
+	}
+	cur := rl.Cur
+	rl.Cur = want
+	if rl.Cur > rl.Max {
+		// On Linux RLIM_INFINITY is ^uint64(0), so clamping to Max is
+		// always safe.
+		rl.Cur = rl.Max
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		tb.Logf("rlimit: setrlimit %d→%d: %v", cur, rl.Cur, err)
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// noAbsolute disables every absolute gate so a test can exercise one
+// comparison in isolation.
+var noAbsolute = gateOpts{
+	tolerance:    0.20,
+	maxAckAllocs: -1, // zero means "enforce at zero", so use -1 to disable
+}
+
+func bf(m map[string]map[string]float64) *benchFile { return &benchFile{Benchmarks: m} }
+
+// TestMissingBenchmarkFails is the gate's most important property: a
+// benchmark named in the baseline that never ran — deleted, renamed, or
+// filtered out of the bench invocation — must fail the check rather than
+// vacuously pass it.
+func TestMissingBenchmarkFails(t *testing.T) {
+	baseline := bf(map[string]map[string]float64{
+		"AckPath": {"confirmed_per_sec": 1000},
+	})
+	results := bf(map[string]map[string]float64{
+		"Cluster": {"aggregate_confirmed_per_sec": 5000},
+	})
+	var out strings.Builder
+	if got := check(baseline, results, noAbsolute, &out); got != 1 {
+		t.Fatalf("check = %d failures, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL AckPath: benchmark missing from results") {
+		t.Fatalf("missing-benchmark verdict not reported:\n%s", out.String())
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	baseline := bf(map[string]map[string]float64{
+		"AckPath": {"confirmed_per_sec": 1000, "allocs_per_confirmed_update": 0},
+	})
+	results := bf(map[string]map[string]float64{
+		"AckPath": {"confirmed_per_sec": 2000},
+	})
+	var out strings.Builder
+	if got := check(baseline, results, noAbsolute, &out); got != 1 {
+		t.Fatalf("check = %d failures, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL AckPath.allocs_per_confirmed_update: metric missing") {
+		t.Fatalf("missing-metric verdict not reported:\n%s", out.String())
+	}
+}
+
+// TestDirectionInference pins the name-based gating directions: rates and
+// speedups are floors, milliseconds and allocs are ceilings, and bare
+// metrics are workload floors.
+func TestDirectionInference(t *testing.T) {
+	baseline := bf(map[string]map[string]float64{
+		"B": {
+			"x_per_sec":  1000, // floor at 800 with 20% tolerance
+			"speedup":    2.0,  // floor at 1.6
+			"p99_ms":     10,   // ceiling at 12
+			"allocs_fit": 0,    // zero baseline: ceiling stays 0
+			"switches":   320,  // workload floor, no tolerance
+		},
+	})
+	pass := bf(map[string]map[string]float64{
+		"B": {"x_per_sec": 900, "speedup": 1.7, "p99_ms": 11, "allocs_fit": 0, "switches": 320},
+	})
+	if got := check(baseline, pass, noAbsolute, io.Discard); got != 0 {
+		t.Fatalf("healthy results failed %d gates", got)
+	}
+	fail := bf(map[string]map[string]float64{
+		"B": {"x_per_sec": 700, "speedup": 1.5, "p99_ms": 13, "allocs_fit": 0.01, "switches": 319},
+	})
+	var out strings.Builder
+	if got := check(baseline, fail, noAbsolute, &out); got != 5 {
+		t.Fatalf("check = %d failures, want 5\n%s", got, out.String())
+	}
+}
+
+// TestClusterSpeedupGate covers the scale-out acceptance gate, including
+// its CPU guard: a 4-member cluster cannot beat one proxy on a starved
+// machine, so below min-cluster-cpus the ratio is informational.
+func TestClusterSpeedupGate(t *testing.T) {
+	opts := noAbsolute
+	opts.minClusterSpeedup = 2.0
+	opts.minClusterCPUs = 8
+	mk := func(agg, single, cpus float64) *benchFile {
+		return bf(map[string]map[string]float64{
+			"Cluster": {"aggregate_confirmed_per_sec": agg, "cpus": cpus},
+			"AckPath": {"confirmed_per_sec": single},
+		})
+	}
+	empty := bf(map[string]map[string]float64{})
+
+	if got := check(empty, mk(2000, 1000, 8), opts, io.Discard); got != 0 {
+		t.Fatalf("2.0x on 8 cpus: %d failures, want 0", got)
+	}
+	var out strings.Builder
+	if got := check(empty, mk(1900, 1000, 8), opts, &out); got != 1 {
+		t.Fatalf("1.9x on 8 cpus: %d failures, want 1\n%s", got, out.String())
+	}
+	out.Reset()
+	if got := check(empty, mk(600, 1000, 1), opts, &out); got != 0 {
+		t.Fatalf("starved box must not enforce: %d failures\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "not enforced") {
+		t.Fatalf("starved box should report the unenforced ratio:\n%s", out.String())
+	}
+	out.Reset()
+	if got := check(empty, mk(2000, 0, 8), opts, &out); got != 1 {
+		t.Fatalf("zero AckPath rate: %d failures, want 1\n%s", got, out.String())
+	}
+	out.Reset()
+	if got := check(empty, bf(map[string]map[string]float64{"AckPath": {"confirmed_per_sec": 1000}}), opts, &out); got != 1 {
+		t.Fatalf("missing Cluster benchmark: %d failures, want 1\n%s", got, out.String())
+	}
+}
+
+func TestHandoffRecoveryGate(t *testing.T) {
+	opts := noAbsolute
+	opts.maxHandoffMS = 250
+	empty := bf(map[string]map[string]float64{})
+	ok := bf(map[string]map[string]float64{"Cluster": {"handoff_recovery_p99_ms": 40}})
+	if got := check(empty, ok, opts, io.Discard); got != 0 {
+		t.Fatalf("40ms recovery failed: %d", got)
+	}
+	slow := bf(map[string]map[string]float64{"Cluster": {"handoff_recovery_p99_ms": 300}})
+	if got := check(empty, slow, opts, io.Discard); got != 1 {
+		t.Fatalf("300ms recovery: %d failures, want 1", got)
+	}
+	if got := check(empty, empty, opts, io.Discard); got != 1 {
+		t.Fatalf("missing handoff metric: %d failures, want 1", got)
+	}
+}
+
+// TestZeroAllocGate pins the absolute AckPath alloc gate at its default
+// zero threshold: any allocation fails, and a missing metric fails.
+func TestZeroAllocGate(t *testing.T) {
+	opts := noAbsolute
+	opts.maxAckAllocs = 0
+	empty := bf(map[string]map[string]float64{})
+	clean := bf(map[string]map[string]float64{"AckPath": {"allocs_per_confirmed_update": 0}})
+	if got := check(empty, clean, opts, io.Discard); got != 0 {
+		t.Fatalf("zero allocs failed: %d", got)
+	}
+	dirty := bf(map[string]map[string]float64{"AckPath": {"allocs_per_confirmed_update": 0.02}})
+	if got := check(empty, dirty, opts, io.Discard); got != 1 {
+		t.Fatalf("0.02 allocs: %d failures, want 1", got)
+	}
+}

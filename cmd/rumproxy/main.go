@@ -22,6 +22,20 @@
 //	rumproxy -listen :6633 -controller 127.0.0.1:6653 \
 //	  -fattree 8 -technique sequential -barrier-layer
 //
+// Fabrics too large for one proxy process shard across a cluster:
+// -cluster N -shard i makes this instance serve only the switches the
+// deterministic shard map assigns to member i (pod-aligned on fat-trees,
+// rendezvous-hashed otherwise), while retaining the full topology so
+// probe routing still sees every link. Run one instance per shard on its
+// own -listen address and point each shard's switches at their owner:
+//
+//	rumproxy -listen :6633 -fattree 16 -cluster 4 -shard 0 ...
+//	rumproxy -listen :6634 -fattree 16 -cluster 4 -shard 1 ...
+//
+// The shard map is pure function of (switch set, N), so every instance
+// computes the same assignment without coordination; see docs/CLUSTER.md
+// for the handoff protocol when a member dies.
+//
 // -pprof ADDR serves net/http/pprof so CPU, allocation, and
 // mutex-contention profiles can be captured from a live proxy. Mutex
 // profiling is enabled by default alongside the endpoint (allocation
@@ -87,6 +101,9 @@ func main() {
 	linksFlag := flag.String("links", "", "inter-switch links a:pa-b:pb, comma separated")
 	fattree := flag.Int("fattree", 0,
 		"generate a k-ary fat-tree fabric instead of -switches/-links (dpids 1..N in layer order)")
+	clusterN := flag.Int("cluster", 0,
+		"shard the fabric across this many proxy instances; this one serves only its -shard (0 disables)")
+	shard := flag.Int("shard", 0, "with -cluster: the shard index [0, N) this instance serves")
 	techniqueFlag := flag.String("technique", "general",
 		"default ack strategy: "+strings.Join(rum.StrategyNames(), "|"))
 	perSwitchFlag := flag.String("per-switch", "",
@@ -140,11 +157,13 @@ func main() {
 
 	var switches []rum.SwitchIdentity
 	var topo *rum.Topology
+	var ft *rum.FatTree
 	if *fattree > 0 {
 		if *switchesFlag != "" || *linksFlag != "" {
 			log.Fatalf("rumproxy: -fattree replaces -switches/-links; do not combine them")
 		}
-		ft, err := rum.NewFatTree(*fattree)
+		var err error
+		ft, err = rum.NewFatTree(*fattree)
 		if err != nil {
 			log.Fatalf("rumproxy: -fattree: %v", err)
 		}
@@ -162,6 +181,17 @@ func main() {
 			log.Fatalf("rumproxy: -links: %v", err)
 		}
 		topo = rum.NewTopology(links)
+	}
+	if *clusterN != 0 || *shard != 0 {
+		served, err := shardSwitches(switches, ft, *clusterN, *shard)
+		if err != nil {
+			log.Fatalf("rumproxy: %v", err)
+		}
+		log.Printf("rumproxy: cluster shard %d/%d serves %d of %d switches",
+			*shard, *clusterN, len(served), len(switches))
+		// The full topology is kept: probe routing must know every link
+		// even when a probed rule's neighbor lives on another shard.
+		switches = served
 	}
 	tech, err := parseTechnique(*techniqueFlag)
 	if err != nil {
@@ -258,6 +288,37 @@ func parseEnd(s string) (string, uint16, error) {
 		return "", 0, fmt.Errorf("bad port in %q: %v", s, err)
 	}
 	return name, uint16(port), nil
+}
+
+// shardSwitches filters the served switch set down to the shard this
+// instance owns. The shard map is a pure function of the switch set and
+// member count — pod-aligned primaries on a fat-tree, rendezvous hashing
+// otherwise — so N instances launched with identical topology flags
+// partition the fabric without coordination and without overlap.
+func shardSwitches(switches []rum.SwitchIdentity, ft *rum.FatTree, n, shard int) ([]rum.SwitchIdentity, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("-cluster needs at least 2 shards (got %d); omit it for a single proxy", n)
+	}
+	if shard < 0 || shard >= n {
+		return nil, fmt.Errorf("-shard %d out of range [0, %d)", shard, n)
+	}
+	smap, err := rum.NewShardMap(n)
+	if err != nil {
+		return nil, err
+	}
+	if ft != nil {
+		rum.AssignShardMapFatTree(smap, ft)
+	}
+	var served []rum.SwitchIdentity
+	for _, sw := range switches {
+		if owner, ok := smap.Owner(sw.Name, nil); ok && owner == shard {
+			served = append(served, sw)
+		}
+	}
+	if len(served) == 0 {
+		return nil, fmt.Errorf("shard %d/%d owns none of the %d switches", shard, n, len(switches))
+	}
+	return served, nil
 }
 
 // parseTechnique resolves a strategy name against the registry (with the

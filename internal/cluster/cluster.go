@@ -1,0 +1,280 @@
+// Package cluster shards a network across N RUM proxy instances — the
+// control-plane capacity answer to fabrics bigger than one process. Each
+// switch has a deterministic home shard (ShardMap); a Cluster front
+// routes attaches, ack-future watches, and fan-out sends to the owning
+// member; and on a member's death its switches are detached with a typed
+// ShardError cause and adopted by the next live shard in their
+// preference order, reusing the single-proxy reconnect/resync path
+// (BootstrapSwitch) so in-flight futures fail honestly and the adopted
+// switch's probe infrastructure is rebuilt — never a wedge, never a
+// false ack.
+//
+// The shape follows ez-Segway's decentralized coordination: partition
+// the network, run each partition's acknowledgment machinery locally,
+// and aggregate only what crosses partitions — here, composite ack
+// futures (WatchAll/Fanout) whose failure cause identifies the losing
+// shard.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rum/internal/core"
+	"rum/internal/proxy"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// Config wires a Cluster.
+type Config struct {
+	// Shards is the member count (ignored when Map is set).
+	Shards int
+	// Map overrides the default rendezvous-only ShardMap — e.g. one with
+	// pod-aware primaries from AssignFatTree.
+	Map *ShardMap
+	// Core is the per-member RUM configuration template; every member is
+	// built from it (same clock, same techniques, same knobs).
+	// Core.Clock is required.
+	Core core.Config
+	// Topology is the full fabric map, shared by every member. A member
+	// holds sessions only for its own switches, but it needs the whole
+	// map to pick probe injectors/receivers among those it has.
+	Topology *core.Topology
+}
+
+// Cluster fronts N RUM members with deterministic switch routing,
+// cross-member composite ack futures, and crash handoff.
+type Cluster struct {
+	smap    *ShardMap
+	members []*core.RUM
+	clk     sim.Clock
+
+	mu       sync.Mutex
+	alive    []bool
+	attached map[string]int // switch name → member index holding its session
+}
+
+// New builds the members and the routing front.
+func New(cfg Config) (*Cluster, error) {
+	smap := cfg.Map
+	if smap == nil {
+		var err error
+		if smap, err = NewShardMap(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Core.Clock == nil {
+		return nil, fmt.Errorf("cluster: Config.Core.Clock is required")
+	}
+	c := &Cluster{
+		smap:     smap,
+		members:  make([]*core.RUM, smap.N()),
+		clk:      cfg.Core.Clock,
+		alive:    make([]bool, smap.N()),
+		attached: make(map[string]int),
+	}
+	for i := range c.members {
+		r, err := core.New(cfg.Core, cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building member %d: %w", i, err)
+		}
+		c.members[i] = r
+		c.alive[i] = true
+	}
+	return c, nil
+}
+
+// N returns the member count.
+func (c *Cluster) N() int { return len(c.members) }
+
+// Member returns one member's RUM instance.
+func (c *Cluster) Member(i int) *core.RUM { return c.members[i] }
+
+// Map returns the shard map.
+func (c *Cluster) Map() *ShardMap { return c.smap }
+
+// Alive reports whether member i is up.
+func (c *Cluster) Alive(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alive[i]
+}
+
+// Owner returns the live member that should serve sw right now (its home
+// shard, or the next live shard in its preference order after deaths).
+// ok is false when every member is down.
+func (c *Cluster) Owner(sw string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ownerLocked(sw)
+}
+
+func (c *Cluster) ownerLocked(sw string) (int, bool) {
+	return c.smap.Owner(sw, func(i int) bool { return c.alive[i] })
+}
+
+// Located returns the member currently holding sw's session, if any —
+// the actual placement, which trails Owner during a handoff window.
+func (c *Cluster) Located(sw string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.attached[sw]
+	return i, ok
+}
+
+// SwitchesOf lists the switches member i currently holds, sorted.
+func (c *Cluster) SwitchesOf(i int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for sw, m := range c.attached {
+		if m == i {
+			out = append(out, sw)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachSwitch routes an attach to sw's live owner and records the
+// placement. It is both the initial wiring path and the adoption path
+// after Kill: re-attaching an orphan routes to the next live shard in
+// its preference order. The returned member index is where the session
+// landed.
+func (c *Cluster) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) (*proxy.Session, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner, ok := c.ownerLocked(name)
+	if !ok {
+		return nil, -1, fmt.Errorf("cluster: no live shard to own %s", name)
+	}
+	sess, err := c.members[owner].AttachSwitch(name, dpid, ctrlConn, swConn)
+	if err != nil {
+		return nil, -1, err
+	}
+	c.attached[name] = owner
+	return sess, owner, nil
+}
+
+// DetachSwitch detaches sw from whichever member holds it, failing its
+// pending updates and watchers with cause (nil defaults to
+// core.ErrChannelLost, matching RUM.DetachSwitch).
+func (c *Cluster) DetachSwitch(name string, cause error) bool {
+	c.mu.Lock()
+	idx, ok := c.attached[name]
+	if ok {
+		delete(c.attached, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return c.members[idx].DetachSwitchCause(name, cause)
+}
+
+// Watch returns an ack future for (sw, xid), registered on the member
+// holding sw's session. When no member holds sw — its owner died and no
+// adoption has happened yet — the returned handle is already failed with
+// a ShardError wrapping ErrProxyLost: registering a real watcher on a
+// dead shard could only wedge, and the typed failure routes the caller
+// into the same repair path DetachSwitchCause feeds.
+func (c *Cluster) Watch(sw string, xid uint32) *core.UpdateHandle {
+	c.mu.Lock()
+	idx, ok := c.attached[sw]
+	var blame int
+	if !ok {
+		if o, live := c.ownerLocked(sw); live {
+			blame = o
+		} else {
+			blame = c.smap.Rank(sw)[0]
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		return c.members[idx].Watch(sw, xid)
+	}
+	return core.FailedHandle(c.clk.Now(), sw, xid,
+		&ShardError{Shard: blame, Switch: sw, XID: xid, Err: ErrProxyLost})
+}
+
+// Kill marks member i dead and detaches every switch it holds with a
+// ShardError cause wrapping ErrProxyLost — each session's pending
+// updates and registered futures resolve as failed, typed with the
+// losing shard. It returns the orphaned switch names (sorted); re-attach
+// them via AttachSwitch (which now routes to their next-preferred live
+// shard) and rebuild their probe state with BootstrapSwitch.
+func (c *Cluster) Kill(i int) []string {
+	c.mu.Lock()
+	c.alive[i] = false
+	var orphans []string
+	for sw, m := range c.attached {
+		if m == i {
+			orphans = append(orphans, sw)
+		}
+	}
+	sort.Strings(orphans)
+	for _, sw := range orphans {
+		delete(c.attached, sw)
+	}
+	c.mu.Unlock()
+	for _, sw := range orphans {
+		c.members[i].DetachSwitchCause(sw, &ShardError{Shard: i, Switch: sw, Err: ErrProxyLost})
+	}
+	return orphans
+}
+
+// Revive marks member i live again. Switches do not move back on their
+// own: they stay with their adoptive shard until detached and
+// re-attached (sticky placement keeps handoffs rare).
+func (c *Cluster) Revive(i int) {
+	c.mu.Lock()
+	c.alive[i] = true
+	c.mu.Unlock()
+}
+
+// Bootstrap installs probe infrastructure on every live member's
+// switches (RUM.Bootstrap per member).
+func (c *Cluster) Bootstrap() error {
+	c.mu.Lock()
+	live := make([]*core.RUM, 0, len(c.members))
+	for i, r := range c.members {
+		if c.alive[i] {
+			live = append(live, r)
+		}
+	}
+	c.mu.Unlock()
+	for _, r := range live {
+		if err := r.Bootstrap(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BootstrapSwitch re-bootstraps one switch on the member holding it —
+// the adoption counterpart of RUM.BootstrapSwitch: the adopted switch's
+// FIB is re-read, probe infrastructure is reinstalled, and its new
+// neighbors refresh their catch rules.
+func (c *Cluster) BootstrapSwitch(name string) error {
+	c.mu.Lock()
+	idx, ok := c.attached[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: %s is not attached to any member", name)
+	}
+	return c.members[idx].BootstrapSwitch(name)
+}
+
+// Stats sums the members' counters (acks sent, probes injected,
+// control-plane fallbacks).
+func (c *Cluster) Stats() (acks, probes, fallbacks uint64) {
+	for _, r := range c.members {
+		a, p, f := r.Stats()
+		acks += a
+		probes += p
+		fallbacks += f
+	}
+	return acks, probes, fallbacks
+}

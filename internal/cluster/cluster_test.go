@@ -1,0 +1,357 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rum/internal/cluster"
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// TestClusterShardMapDeterministic pins the rendezvous ordering
+// contract: ranks are permutations, two maps agree, and killing one
+// shard moves only that shard's switches.
+func TestClusterShardMapDeterministic(t *testing.T) {
+	m1, err := cluster.NewShardMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := cluster.NewShardMap(4)
+	names := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		names = append(names, string(rune('a'+i%26))+string(rune('0'+i/26)))
+	}
+	owners := make(map[string]int)
+	for _, sw := range names {
+		r1, r2 := m1.Rank(sw), m2.Rank(sw)
+		if len(r1) != 4 {
+			t.Fatalf("Rank(%s) has %d entries", sw, len(r1))
+		}
+		seen := make(map[int]bool)
+		for i, s := range r1 {
+			if s != r2[i] {
+				t.Fatalf("maps disagree on %s: %v vs %v", sw, r1, r2)
+			}
+			if s < 0 || s >= 4 || seen[s] {
+				t.Fatalf("Rank(%s) = %v is not a permutation", sw, r1)
+			}
+			seen[s] = true
+		}
+		o, ok := m1.Owner(sw, nil)
+		if !ok || o != r1[0] {
+			t.Fatalf("Owner(%s) = %d,%v; want %d", sw, o, ok, r1[0])
+		}
+		owners[sw] = o
+	}
+	// Kill shard 2: only its switches move, each to its own rank[1].
+	alive := func(i int) bool { return i != 2 }
+	for _, sw := range names {
+		o, ok := m1.Owner(sw, alive)
+		if !ok {
+			t.Fatalf("Owner(%s) found no live shard", sw)
+		}
+		if owners[sw] != 2 {
+			if o != owners[sw] {
+				t.Fatalf("%s moved %d→%d although its owner survived", sw, owners[sw], o)
+			}
+			continue
+		}
+		if o == 2 {
+			t.Fatalf("%s still owned by dead shard", sw)
+		}
+		if want := m1.Rank(sw)[1]; o != want {
+			t.Fatalf("%s adopted by %d; want next-preferred %d", sw, o, want)
+		}
+	}
+}
+
+// TestClusterShardMapPrimary pins explicit primaries and the pod-aware
+// fat-tree assignment: a pod's edge and aggregation switches share a
+// shard, and a pinned primary does not disturb the failover tail.
+func TestClusterShardMapPrimary(t *testing.T) {
+	m, _ := cluster.NewShardMap(3)
+	if err := m.SetPrimary("sw", 7); err == nil {
+		t.Fatal("out-of-range primary accepted")
+	}
+	if err := m.SetPrimary("sw", 2); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Rank("sw")
+	if r[0] != 2 {
+		t.Fatalf("Rank[0] = %d; want pinned 2", r[0])
+	}
+
+	ft, err := netsim.NewFatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, _ := cluster.NewShardMap(4)
+	cluster.AssignFatTree(fm, ft)
+	half := ft.K / 2
+	for p := 0; p < ft.K; p++ {
+		want := p % 4
+		for i := 0; i < half; i++ {
+			for _, sw := range []string{ft.Edge[p*half+i], ft.Agg[p*half+i]} {
+				if o, _ := fm.Owner(sw, nil); o != want {
+					t.Fatalf("pod %d switch %s on shard %d; want %d", p, sw, o, want)
+				}
+			}
+		}
+	}
+	for c, sw := range ft.Core {
+		if o, _ := fm.Owner(sw, nil); o != c%4 {
+			t.Fatalf("core %s on shard %d; want %d", sw, o, c%4)
+		}
+	}
+}
+
+// clusterBed is a two-member cluster proxying a fully connected
+// three-switch triangle under a simulated clock: s1 and s2 live on
+// shard 0, s3 on shard 1.
+type clusterBed struct {
+	s         *sim.Sim
+	c         *cluster.Cluster
+	client    *controller.Client
+	switches  map[string]*switchsim.Switch
+	ctrlConns map[string]transport.Conn
+	links     []core.TopoLink
+	net       *netsim.Network
+}
+
+func newClusterBed(t *testing.T) *clusterBed {
+	t.Helper()
+	s := sim.New()
+	n := netsim.New(s)
+	names := []string{"s1", "s2", "s3"}
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range names {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := []core.TopoLink{
+		{A: "s1", APort: 1, B: "s2", BPort: 1},
+		{A: "s2", APort: 2, B: "s3", BPort: 1},
+		{A: "s3", APort: 2, B: "s1", BPort: 2},
+	}
+	n.Connect(switches["s1"], 1, switches["s2"], 1, 20*time.Microsecond)
+	n.Connect(switches["s2"], 2, switches["s3"], 1, 20*time.Microsecond)
+	n.Connect(switches["s3"], 2, switches["s1"], 2, 20*time.Microsecond)
+
+	smap, err := cluster.NewShardMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw, shard := range map[string]int{"s1": 0, "s2": 0, "s3": 1} {
+		if err := smap.SetPrimary(sw, shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := cluster.New(cluster.Config{
+		Map:      smap,
+		Core:     core.Config{Clock: s, Technique: core.TechBarriers, RUMAware: true},
+		Topology: core.NewTopology(links),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bed := &clusterBed{s: s, c: c, switches: switches,
+		ctrlConns: make(map[string]transport.Conn), links: links, net: n}
+	for _, name := range names {
+		bed.attach(t, name)
+	}
+	bed.client = controller.NewClient(s, controller.AckRUM, bed.ctrlConns)
+	if err := c.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(100 * time.Millisecond)
+	return bed
+}
+
+// attach wires (or re-wires) one switch through fresh pipes, routed to
+// its current live owner.
+func (bed *clusterBed) attach(t *testing.T, name string) int {
+	t.Helper()
+	ctrlTop, ctrlBottom := transport.Pipe(bed.s, 100*time.Microsecond)
+	rumSide, swSide := transport.Pipe(bed.s, 100*time.Microsecond)
+	bed.switches[name].AttachConn(swSide)
+	_, owner, err := bed.c.AttachSwitch(name, bed.switches[name].DPID(), ctrlBottom, rumSide)
+	if err != nil {
+		t.Fatalf("attaching %s: %v", name, err)
+	}
+	bed.ctrlConns[name] = ctrlTop
+	if bed.client != nil {
+		bed.client.SetConn(name, ctrlTop)
+	}
+	return owner
+}
+
+// issue sends one fresh flow rule to sw and returns its watch handle.
+func (bed *clusterBed) issue(t *testing.T, sw string, flowID int) *core.UpdateHandle {
+	t.Helper()
+	f := controller.FlowSpec{ID: flowID}
+	f.Src, f.Dst = controller.FlowAddr(flowID)
+	fm := controller.AddRule(f, 100, 1)
+	fm.SetXID(bed.client.NewXID())
+	h := bed.c.Watch(sw, fm.GetXID())
+	if err := bed.client.Send(sw, fm); err != nil {
+		t.Fatalf("send to %s: %v", sw, err)
+	}
+	return h
+}
+
+// await drives the simulation until the handle resolves.
+func (bed *clusterBed) await(t *testing.T, h *core.UpdateHandle) core.AckResult {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if ar, ok := h.Result(); ok {
+			return ar
+		}
+		bed.s.RunFor(10 * time.Millisecond)
+	}
+	t.Fatal("handle never resolved")
+	return core.AckResult{}
+}
+
+// TestClusterRoutingAndConfirm checks that attaches and watches land on
+// the owning member and futures confirm through it.
+func TestClusterRoutingAndConfirm(t *testing.T) {
+	bed := newClusterBed(t)
+	for sw, want := range map[string]int{"s1": 0, "s2": 0, "s3": 1} {
+		got, ok := bed.c.Located(sw)
+		if !ok || got != want {
+			t.Fatalf("Located(%s) = %d,%v; want %d", sw, got, ok, want)
+		}
+	}
+	ar := bed.await(t, bed.issue(t, "s3", 1))
+	if ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("s3 update failed: %v", ar.Err)
+	}
+	acks, _, _ := bed.c.Stats()
+	if acks == 0 {
+		t.Fatal("no acks counted across members")
+	}
+}
+
+// TestClusterKillHandoffReattach is the crash-handoff path: killing the
+// member owning s3 fails its in-flight future with a ShardError that
+// unwraps to ErrChannelLost, a watch during the ownerless window fails
+// fast, and re-attaching routes s3 to the surviving member where fresh
+// updates confirm again.
+func TestClusterKillHandoffReattach(t *testing.T) {
+	bed := newClusterBed(t)
+	h := bed.issue(t, "s3", 10)
+	orphans := bed.c.Kill(1)
+	if len(orphans) != 1 || orphans[0] != "s3" {
+		t.Fatalf("Kill(1) orphaned %v; want [s3]", orphans)
+	}
+	ar := bed.await(t, h)
+	if ar.Outcome != core.OutcomeFailed {
+		t.Fatalf("in-flight update on killed shard resolved %v; want failed", ar.Outcome)
+	}
+	var se *cluster.ShardError
+	if !errors.As(ar.Err, &se) || se.Shard != 1 {
+		t.Fatalf("cause %v does not name losing shard 1", ar.Err)
+	}
+	if !errors.Is(ar.Err, core.ErrChannelLost) {
+		t.Fatalf("cause %v does not unwrap to ErrChannelLost", ar.Err)
+	}
+	if !errors.Is(ar.Err, cluster.ErrProxyLost) {
+		t.Fatalf("cause %v does not match ErrProxyLost", ar.Err)
+	}
+
+	// Ownerless window: watches fail fast instead of wedging.
+	gap := bed.c.Watch("s3", 0xdead)
+	if gar, ok := gap.Result(); !ok || gar.Outcome != core.OutcomeFailed {
+		t.Fatalf("gap watch = %v,%v; want immediate typed failure", gar, ok)
+	}
+
+	// Adoption: the reattach lands on shard 0, bootstrap rebuilds probe
+	// state, and updates flow again.
+	if owner := bed.attach(t, "s3"); owner != 0 {
+		t.Fatalf("s3 adopted by shard %d; want 0", owner)
+	}
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	bed.s.RunFor(50 * time.Millisecond)
+	ar = bed.await(t, bed.issue(t, "s3", 11))
+	if ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("post-handoff update failed: %v", ar.Err)
+	}
+}
+
+// TestClusterCompositeLosingShard fans one network-wide update across
+// both members and kills shard 1 with the batch in flight: the
+// composite future must still resolve (never wedge), count the
+// survivors as confirmed, and name the losing shard in its error.
+func TestClusterCompositeLosingShard(t *testing.T) {
+	bed := newClusterBed(t)
+	ups := make([]cluster.Update, 0, 3)
+	for i, sw := range []string{"s1", "s2", "s3"} {
+		f := controller.FlowSpec{ID: 100 + i}
+		f.Src, f.Dst = controller.FlowAddr(100 + i)
+		fm := controller.AddRule(f, 100, 1)
+		fm.SetXID(bed.client.NewXID())
+		ups = append(ups, cluster.Update{Switch: sw, FM: fm})
+	}
+	ch := bed.c.Fanout(ups, func(sw string, fm *of.FlowMod) error { return bed.client.Send(sw, fm) })
+	bed.c.Kill(1)
+	var res *cluster.CompositeResult
+	for i := 0; i < 400; i++ {
+		bed.s.RunFor(10 * time.Millisecond)
+		if r, ok := ch.Result(); ok {
+			res = r
+			break
+		}
+		time.Sleep(time.Millisecond) // let the aggregator goroutine drain
+	}
+	if res == nil {
+		t.Fatal("composite future never resolved")
+	}
+	if res.OK() || res.Failed != 1 || res.Confirmed != 2 {
+		t.Fatalf("composite = %d confirmed / %d failed; want 2/1", res.Confirmed, res.Failed)
+	}
+	var se *cluster.ShardError
+	if !errors.As(res.Err, &se) || se.Shard != 1 || se.Switch != "s3" {
+		t.Fatalf("composite error %v does not identify shard 1 / s3", res.Err)
+	}
+	if len(res.Results) != 3 || res.Results[2].Switch != "s3" {
+		t.Fatalf("composite results not in input order: %+v", res.Results)
+	}
+}
+
+// TestClusterFanoutSendFailure pins the dead-controller-channel path: a
+// send that fails immediately resolves its slot as a typed failure
+// instead of leaving a watcher that can never fire.
+func TestClusterFanoutSendFailure(t *testing.T) {
+	bed := newClusterBed(t)
+	f := controller.FlowSpec{ID: 200}
+	f.Src, f.Dst = controller.FlowAddr(200)
+	fm := controller.AddRule(f, 100, 1)
+	fm.SetXID(bed.client.NewXID())
+	sendErr := errors.New("conn down")
+	ch := bed.c.Fanout([]cluster.Update{{Switch: "s2", FM: fm}},
+		func(string, *of.FlowMod) error { return sendErr })
+	var res *cluster.CompositeResult
+	for i := 0; i < 100 && res == nil; i++ {
+		bed.s.RunFor(time.Millisecond)
+		time.Sleep(time.Millisecond)
+		res, _ = ch.Result()
+	}
+	if res == nil {
+		t.Fatal("composite never resolved")
+	}
+	if res.Failed != 1 || !errors.Is(res.Err, sendErr) {
+		t.Fatalf("composite = %+v; want one failure wrapping the send error", res)
+	}
+	var se *cluster.ShardError
+	if !errors.As(res.Err, &se) || se.Switch != "s2" {
+		t.Fatalf("composite error %v does not name s2", res.Err)
+	}
+}

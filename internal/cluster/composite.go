@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"rum/internal/core"
+	"rum/internal/of"
+)
+
+// SwitchXID identifies one tracked update: a FlowMod's transaction id on
+// a switch.
+type SwitchXID struct {
+	Switch string
+	XID    uint32
+}
+
+// Update is one FlowMod addressed to a switch — the unit Fanout routes.
+type Update struct {
+	Switch string
+	FM     *of.FlowMod
+}
+
+// CompositeResult aggregates a network-wide update's per-switch
+// acknowledgments.
+type CompositeResult struct {
+	// Results holds every sub-future's resolution, in input order.
+	Results []core.AckResult
+	// Confirmed counts positive outcomes; Failed counts OutcomeFailed.
+	Confirmed int
+	Failed    int
+	// Err is nil when every update confirmed; otherwise it is the first
+	// failure in input order, always a *ShardError naming the losing
+	// shard (errors.As recovers it; errors.Is still matches the core
+	// sentinels through it).
+	Err error
+}
+
+// OK reports whether every update confirmed.
+func (r *CompositeResult) OK() bool { return r.Failed == 0 }
+
+// CompositeHandle is a single awaitable future for a network-wide
+// update fanned out across shards. It resolves once every sub-future
+// has resolved — failures included, so one dead shard cannot wedge the
+// aggregate, and the losing shard is identified in the result's Err.
+type CompositeHandle struct {
+	done chan struct{}
+
+	mu  sync.Mutex
+	res *CompositeResult
+}
+
+// Done returns a channel closed when the aggregate has resolved.
+func (h *CompositeHandle) Done() <-chan struct{} { return h.done }
+
+// Result returns the aggregate if it has resolved.
+func (h *CompositeHandle) Result() (*CompositeResult, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.res != nil
+}
+
+// AwaitAll blocks until the aggregate resolves or ctx is done. Under a
+// simulated clock, drive the simulation and poll Result instead.
+func (h *CompositeHandle) AwaitAll(ctx context.Context) (*CompositeResult, error) {
+	select {
+	case <-h.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	res, _ := h.Result()
+	return res, nil
+}
+
+// WatchAll registers an ack future for every update — each on the
+// member holding its switch — and returns one composite future over
+// them. Call it before sending the FlowMods (same contract as
+// RUM.Watch).
+func (c *Cluster) WatchAll(ids []SwitchXID) *CompositeHandle {
+	handles := make([]*core.UpdateHandle, len(ids))
+	for i, id := range ids {
+		handles[i] = c.Watch(id.Switch, id.XID)
+	}
+	return c.aggregate(handles)
+}
+
+// Fanout is the network-wide update front: it registers a watch for
+// every FlowMod, then routes each send through the supplied transmit
+// function (typically controller.Client.Send). A send that fails
+// immediately — a dead controller-side channel — resolves that slot as
+// failed with a ShardError rather than leaving a watcher that can never
+// fire. The returned composite future resolves when every switch's
+// owning proxy has answered.
+func (c *Cluster) Fanout(ups []Update, send func(sw string, fm *of.FlowMod) error) *CompositeHandle {
+	handles := make([]*core.UpdateHandle, len(ups))
+	for i, u := range ups {
+		handles[i] = c.Watch(u.Switch, u.FM.GetXID())
+	}
+	for i, u := range ups {
+		if err := send(u.Switch, u.FM); err != nil {
+			handles[i].Cancel()
+			shard := c.smap.Rank(u.Switch)[0]
+			if o, ok := c.Located(u.Switch); ok {
+				shard = o
+			}
+			handles[i] = core.FailedHandle(c.clk.Now(), u.Switch, u.FM.GetXID(),
+				&ShardError{Shard: shard, Switch: u.Switch, XID: u.FM.GetXID(), Err: err})
+		}
+	}
+	return c.aggregate(handles)
+}
+
+// aggregate collects sub-futures into a composite. One goroutine awaits
+// them in input order — completion needs all of them, so order is
+// irrelevant for latency but makes "first failure" deterministic.
+func (c *Cluster) aggregate(handles []*core.UpdateHandle) *CompositeHandle {
+	h := &CompositeHandle{done: make(chan struct{})}
+	go func() {
+		res := &CompositeResult{Results: make([]core.AckResult, len(handles))}
+		for i, sub := range handles {
+			<-sub.Done()
+			ar, _ := sub.Result()
+			res.Results[i] = ar
+			if ar.Outcome == core.OutcomeFailed {
+				res.Failed++
+				if res.Err == nil {
+					res.Err = c.shardError(ar)
+				}
+			} else {
+				res.Confirmed++
+			}
+		}
+		h.mu.Lock()
+		h.res = res
+		h.mu.Unlock()
+		close(h.done)
+	}()
+	return h
+}
+
+// shardError normalizes a failed AckResult's cause to a *ShardError
+// naming the losing shard, preserving causes that already are one.
+func (c *Cluster) shardError(ar core.AckResult) error {
+	var se *ShardError
+	if errors.As(ar.Err, &se) {
+		return ar.Err
+	}
+	shard := c.smap.Rank(ar.Switch)[0]
+	if o, ok := c.Located(ar.Switch); ok {
+		shard = o
+	}
+	return &ShardError{Shard: shard, Switch: ar.Switch, XID: ar.XID, Err: ar.Err}
+}

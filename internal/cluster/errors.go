@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rum/internal/core"
+)
+
+// ErrProxyLost is the typed cause carried by futures failed because the
+// RUM instance owning their switch died. It wraps core.ErrChannelLost —
+// from one switch's point of view a proxy crash is its control channel
+// dying — so existing errors.Is(err, core.ErrChannelLost) repair paths
+// (the planner's re-plan, the experiments' reconnect harnesses) handle
+// proxy loss without modification.
+var ErrProxyLost = fmt.Errorf("cluster: owning proxy crashed: %w", core.ErrChannelLost)
+
+// ShardError is the cluster's typed failure cause: it names the shard
+// that lost an update (or a whole switch) on top of the underlying
+// cause. Unwrap exposes the cause, so errors.Is against the core
+// sentinels (ErrChannelLost, ErrSwitchRestarted, ErrSwitchRejected)
+// keeps working through it, and errors.As(*ShardError) recovers the
+// losing shard from a composite future's failure.
+type ShardError struct {
+	// Shard is the losing shard's index.
+	Shard int
+	// Switch is the switch the failure is about.
+	Switch string
+	// XID is the failed update's transaction id; zero when the error
+	// covers the whole switch (e.g. a detach on proxy death).
+	XID uint32
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	if e.XID != 0 {
+		return fmt.Sprintf("cluster: shard %d lost update %d on %s: %v", e.Shard, e.XID, e.Switch, e.Err)
+	}
+	return fmt.Sprintf("cluster: shard %d lost switch %s: %v", e.Shard, e.Switch, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"rum/internal/netsim"
+)
+
+// ShardMap deterministically assigns switch names to one of N proxy
+// shards. Every member computes the same assignment from the map alone —
+// no coordination traffic — so a controller front, each rumproxy
+// instance, and a test harness all agree on who owns what.
+//
+// The base order is rendezvous (highest-random-weight) hashing: each
+// (switch, shard) pair gets a pseudo-random weight and a switch's
+// preference order is the shards sorted by descending weight. Rendezvous
+// ordering doubles as the failover schedule — when a shard dies, each of
+// its switches moves to its own next-preferred live shard, and no switch
+// owned by a surviving shard moves at all (minimal reshuffle).
+//
+// An explicit primary pins a switch's first choice without touching the
+// failover order. The fat-tree assignment uses it to keep a pod's edge
+// and aggregation switches on one shard: the probing techniques inject
+// and catch probe packets via neighbor switches attached to the same RUM
+// instance, so co-locating neighbors preserves data-plane probing;
+// cross-shard neighbors degrade those rules to the control-plane
+// fallback, never to a false ack.
+type ShardMap struct {
+	n       int
+	primary map[string]int
+}
+
+// NewShardMap builds a map over n shards (n ≥ 1).
+func NewShardMap(n int) (*ShardMap, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: shard count %d must be positive", n)
+	}
+	return &ShardMap{n: n, primary: make(map[string]int)}, nil
+}
+
+// N returns the shard count.
+func (m *ShardMap) N() int { return m.n }
+
+// SetPrimary pins sw's first-choice shard. The rendezvous order of the
+// remaining shards is unchanged, so failover stays minimal-reshuffle.
+func (m *ShardMap) SetPrimary(sw string, shard int) error {
+	if shard < 0 || shard >= m.n {
+		return fmt.Errorf("cluster: primary shard %d for %s out of range [0,%d)", shard, sw, m.n)
+	}
+	m.primary[sw] = shard
+	return nil
+}
+
+// score is the rendezvous weight of (sw, shard): FNV-1a over the pair.
+func (m *ShardMap) score(sw string, shard int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", sw, shard)
+	return h.Sum64()
+}
+
+// Rank returns sw's full shard preference order: the pinned primary
+// first when one is set, then the remaining shards by descending
+// rendezvous weight. Rank(sw)[0] is the home shard; the rest is the
+// adoption order on shard death.
+func (m *ShardMap) Rank(sw string) []int {
+	order := make([]int, m.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := m.score(sw, order[a]), m.score(sw, order[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	p, pinned := m.primary[sw]
+	if !pinned || order[0] == p {
+		return order
+	}
+	out := make([]int, 0, m.n)
+	out = append(out, p)
+	for _, s := range order {
+		if s != p {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Owner returns the first shard in sw's preference order that alive
+// reports up (a nil alive means every shard is up). ok is false when no
+// shard is alive.
+func (m *ShardMap) Owner(sw string, alive func(int) bool) (owner int, ok bool) {
+	for _, s := range m.Rank(sw) {
+		if alive == nil || alive(s) {
+			return s, true
+		}
+	}
+	return -1, false
+}
+
+// AssignFatTree pins pod-aware primaries for a fat-tree fabric: pod p's
+// edge and aggregation switches go to shard p mod N (keeping each pod's
+// probe injectors and receivers co-located with their targets), and core
+// switch c goes to shard c mod N (cores spread round-robin — they run
+// control-plane techniques in the mixed deployment, so co-location
+// matters less).
+func AssignFatTree(m *ShardMap, ft *netsim.FatTree) {
+	half := ft.K / 2
+	for p := 0; p < ft.K; p++ {
+		for i := 0; i < half; i++ {
+			_ = m.SetPrimary(ft.Agg[p*half+i], p%m.n)
+			_ = m.SetPrimary(ft.Edge[p*half+i], p%m.n)
+		}
+	}
+	for c, name := range ft.Core {
+		_ = m.SetPrimary(name, c%m.n)
+	}
+}

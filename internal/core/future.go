@@ -112,6 +112,22 @@ func (h *UpdateHandle) resolve(res AckResult) {
 	close(h.done)
 }
 
+// FailedHandle returns an already-resolved handle carrying a failed
+// AckResult with the given cause, stamped at now on the caller's clock.
+// Routing fronts (e.g. a cluster of RUM instances) use it to answer a
+// Watch for a switch no live proxy currently serves: registering a real
+// watcher there could only wedge, while an immediate typed failure tells
+// the caller to repair and re-issue — the same contract
+// DetachSwitchCause applies to watchers it fails.
+func FailedHandle(now time.Duration, sw string, xid uint32, cause error) *UpdateHandle {
+	h := &UpdateHandle{sw: sw, xid: xid, done: make(chan struct{})}
+	h.res = AckResult{Switch: sw, XID: xid, Outcome: OutcomeFailed,
+		IssuedAt: now, ConfirmedAt: now, Err: cause}
+	h.resolved = true
+	close(h.done)
+	return h
+}
+
 // Watch returns an ack future for the FlowMod with the given transaction
 // id on the named switch. Call it before sending the FlowMod: an update
 // that resolved before Watch was registered is not replayed. Multiple

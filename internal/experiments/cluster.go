@@ -1,0 +1,570 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/cluster"
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/faults"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// ClusterChurnOpts parameterizes the sharded-control-plane scenario: a
+// k-ary fat-tree partitioned across N RUM proxy members (pod-aware shard
+// map), mixed per-layer strategies, sustained churn, one network-wide
+// fanned-out update, and one proxy killed mid-run with its switches
+// handed off to the survivors. It extends the fault suite: the optional
+// message-fault profile rides the same deterministic injector, and two
+// runs with equal opts produce byte-identical traces.
+type ClusterChurnOpts struct {
+	// K is the fat-tree arity (default 16 → 320 switches).
+	K int
+	// Shards is the proxy member count (default 4).
+	Shards int
+	// Profile layers message-level faults over the proxy kill (default
+	// FaultNone); Seed feeds the deterministic injector (default 1).
+	Profile FaultProfile
+	Seed    int64
+	// UpdatesPerSwitch is the wave-1 count per switch and the wave-2
+	// count per orphaned switch after adoption (default 6).
+	UpdatesPerSwitch int
+	// Burst and Stagger shape the churn (defaults 5, 500µs).
+	Burst   int
+	Stagger time.Duration
+	// Technique is the core-layer strategy (default timeout); edge
+	// switches run sequential and aggregation switches general probing,
+	// as in the mixed fat-tree churn.
+	Technique core.Technique
+	// KillShard is the member killed mid-run (default 0); KillAt is when
+	// (default 1ms — mid wave 1).
+	KillShard int
+	KillAt    time.Duration
+	// FanoutLead is how long before the kill the network-wide composite
+	// update is fanned out, so the crash catches part of it in flight
+	// and the composite must name the losing shard (default 200µs).
+	FanoutLead time.Duration
+	// RecoverAfter is the outage before orphans are re-attached to their
+	// adoptive members (default 50ms).
+	RecoverAfter time.Duration
+	// CtrlLatency and LinkLatency mirror EnvConfig (defaults 100µs/20µs).
+	CtrlLatency time.Duration
+	LinkLatency time.Duration
+	// Deadline bounds the simulated run (default 30s).
+	Deadline time.Duration
+}
+
+// Defaults fills zero fields.
+func (o ClusterChurnOpts) Defaults() ClusterChurnOpts {
+	if o.K == 0 {
+		o.K = 16
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Profile == "" {
+		o.Profile = FaultNone
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.UpdatesPerSwitch == 0 {
+		o.UpdatesPerSwitch = 6
+	}
+	if o.Burst == 0 {
+		o.Burst = 5
+	}
+	if o.Stagger == 0 {
+		o.Stagger = 500 * time.Microsecond
+	}
+	if o.Technique == "" {
+		o.Technique = core.TechTimeout
+	}
+	if o.KillAt == 0 {
+		o.KillAt = time.Millisecond
+	}
+	if o.FanoutLead == 0 {
+		o.FanoutLead = 200 * time.Microsecond
+	}
+	if o.RecoverAfter == 0 {
+		o.RecoverAfter = 50 * time.Millisecond
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = 100 * time.Microsecond
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 20 * time.Microsecond
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	return o
+}
+
+// ClusterChurnResult reports one sharded-churn run.
+type ClusterChurnResult struct {
+	K        int
+	Shards   int
+	Switches int
+	// Updates counts every tracked update: wave 1, the fanned-out
+	// composite wave, repairs re-issued after adoption, and wave 2.
+	Updates    int
+	SendFailed int
+
+	Acked       int
+	FailedTyped int
+	Wedged      int
+	FalseAcks   int
+
+	// ProxyLost counts typed failures whose ShardError names the killed
+	// shard — the crash's blast radius, every one of them repairable.
+	ProxyLost int
+
+	// Orphans is how many switches the killed member held; every one is
+	// adopted by a surviving shard.
+	Orphans int
+	// RepairedInPlace counts failed updates whose rule was already in
+	// the adopted switch's re-read FIB (recognized, not re-sent);
+	// Reissued counts those actually re-sent. DoubleInstalls counts
+	// flows that activated more than once in a data plane — the repair
+	// path must keep it at zero.
+	RepairedInPlace int
+	Reissued        int
+	DoubleInstalls  int
+
+	// CompositeConfirmed / CompositeFailed split the fanned-out wave;
+	// CompositeLosingShard is the shard its aggregated error names
+	// (-1 when the whole wave confirmed).
+	CompositeConfirmed   int
+	CompositeFailed      int
+	CompositeLosingShard int
+
+	// HandoffMax is the worst switch-level recovery latency: proxy kill
+	// → first positive ack through the adoptive member.
+	HandoffMax time.Duration
+
+	// P50/P99 are ack-latency percentiles over positive resolutions.
+	P50, P99 time.Duration
+
+	PerTechnique map[core.Technique]TechFaultStats
+
+	Injected faults.Stats
+
+	// Trace is the canonical per-update transcript; equal opts (and
+	// seed) reproduce it byte for byte.
+	Trace string
+}
+
+// String summarizes the run in one line.
+func (r *ClusterChurnResult) String() string {
+	return fmt.Sprintf("cluster{k=%d shards=%d}: %d/%d acked, %d proxy-lost, %d wedged, %d false-acks, %d reissued, %d double-installs, handoff %v",
+		r.K, r.Shards, r.Acked, r.Updates, r.ProxyLost, r.Wedged, r.FalseAcks, r.Reissued, r.DoubleInstalls, r.HandoffMax)
+}
+
+// ClusterChurn partitions a fat-tree across a RUM cluster, drives
+// mixed-strategy churn plus one composite fanned-out wave through it,
+// kills one member mid-run, and scores the handoff: completeness (zero
+// wedged futures), honesty (false acks against data-plane ground truth),
+// repair hygiene (no double installs), and recovery latency.
+func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
+	opts = opts.Defaults()
+	ft, err := netsim.NewFatTree(opts.K)
+	if err != nil {
+		return nil, err
+	}
+	if opts.KillShard < 0 || opts.KillShard >= opts.Shards {
+		return nil, fmt.Errorf("experiments: kill shard %d out of range [0,%d)", opts.KillShard, opts.Shards)
+	}
+
+	s := sim.New()
+	n := netsim.New(s)
+	inj := faults.NewInjector(opts.Seed)
+	plan := opts.Profile.messagePlan()
+
+	names := ft.Switches()
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range names {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, opts.LinkLatency)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	if opts.Profile == FaultLoss {
+		n.SetTransmitFilter(func(string, uint16, *netsim.Frame) bool {
+			return !lossRoll(inj)
+		})
+	}
+
+	smap, err := cluster.NewShardMap(opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cluster.AssignFatTree(smap, ft)
+	cfg := core.Config{
+		Clock:       s,
+		Technique:   opts.Technique,
+		RUMAware:    true,
+		TimeoutRate: 1000,
+		PerSwitch:   make(map[string]core.Technique),
+	}
+	for _, sw := range ft.Edge {
+		cfg.PerSwitch[sw] = core.TechSequential
+	}
+	for _, sw := range ft.Agg {
+		cfg.PerSwitch[sw] = core.TechGeneral
+	}
+	c, err := cluster.New(cluster.Config{Map: smap, Core: cfg, Topology: core.NewTopology(links)})
+	if err != nil {
+		return nil, err
+	}
+
+	// attach wires one switch through a fault-wrapped control channel to
+	// its current live owner; it is also the adoption path after the kill.
+	ctrlConns := make(map[string]transport.Conn)
+	attach := func(name string) error {
+		sw := switches[name]
+		ctrlTop, ctrlBottom := transport.Pipe(s, opts.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, opts.CtrlLatency)
+		sw.AttachConn(swSide)
+		wrapped := faults.Wrap(rumSide, s, inj, plan)
+		if _, _, err := c.AttachSwitch(name, sw.DPID(), ctrlBottom, wrapped); err != nil {
+			return fmt.Errorf("experiments: attaching %s: %w", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+		return nil
+	}
+	for _, name := range names {
+		if err := attach(name); err != nil {
+			return nil, err
+		}
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := c.Bootstrap(); err != nil {
+		return nil, err
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	techniqueOf := func(sw string) core.Technique {
+		if t, ok := cfg.PerSwitch[sw]; ok {
+			return t
+		}
+		return opts.Technique
+	}
+
+	// Every tracked update: wave 1, repairs, wave 2. The fanned-out
+	// composite wave is tracked separately through its CompositeHandle.
+	type issued struct {
+		sw     string
+		flow   int
+		xid    uint32
+		handle *core.UpdateHandle
+	}
+	var all []issued
+	sendFailed := make(map[int]bool)
+	flowID := 0
+	flowSpec := func() (controller.FlowSpec, int) {
+		f := controller.FlowSpec{ID: flowID}
+		f.Src, f.Dst = controller.FlowAddr(flowID)
+		flowID++
+		return f, f.ID
+	}
+	issueWave := func(targets []string, startIn time.Duration, perSwitch int) {
+		for _, name := range targets {
+			ports := ft.InterPorts(name)
+			for u := 0; u < perSwitch; u++ {
+				sw, port := name, ports[u%len(ports)]
+				f, id := flowSpec()
+				fm := controller.AddRule(f, 100, port)
+				fm.SetXID(client.NewXID())
+				idx := len(all)
+				all = append(all, issued{sw: sw, flow: id, xid: fm.GetXID(), handle: c.Watch(sw, fm.GetXID())})
+				delay := startIn + time.Duration(u/opts.Burst)*opts.Stagger
+				s.After(delay, func() {
+					if err := client.Send(sw, fm); err != nil {
+						sendFailed[idx] = true
+						all[idx].handle.Cancel()
+					}
+				})
+			}
+		}
+	}
+
+	churnStart := s.Now()
+	issueWave(names, 0, opts.UpdatesPerSwitch)
+
+	// The network-wide composite wave: one rule per switch, fanned out
+	// across every member shortly before the kill so the crash catches
+	// part of it in flight.
+	fanFlows := make(map[string]int, len(names)) // switch → flow id
+	var fanHandle *cluster.CompositeHandle
+	s.After(opts.KillAt-opts.FanoutLead, func() {
+		ups := make([]cluster.Update, 0, len(names))
+		for _, name := range names {
+			ports := ft.InterPorts(name)
+			f, id := flowSpec()
+			fanFlows[name] = id
+			fm := controller.AddRule(f, 100, ports[0])
+			fm.SetXID(client.NewXID())
+			ups = append(ups, cluster.Update{Switch: name, FM: fm})
+		}
+		fanHandle = c.Fanout(ups, func(sw string, fm *of.FlowMod) error { return client.Send(sw, fm) })
+	})
+
+	// The proxy crash: every control channel the member holds dies, then
+	// the cluster detaches its switches with the typed ShardError cause.
+	var orphans []string
+	var killedAt time.Duration
+	s.After(opts.KillAt, func() {
+		killedAt = s.Now()
+		for _, name := range c.SwitchesOf(opts.KillShard) {
+			if fc, ok := c.Member(opts.KillShard).SwitchConn(name).(*faults.Conn); ok {
+				fc.Kill()
+			}
+			_ = ctrlConns[name].Close()
+		}
+		orphans = c.Kill(opts.KillShard)
+	})
+
+	// Adoption: re-attach each orphan (the cluster routes it to its
+	// next-preferred live shard), rebuild probe state, re-read the FIB
+	// and repair — failed rules already present are recognized, missing
+	// ones are re-issued — then wave 2 measures recovery end to end.
+	res := &ClusterChurnResult{
+		K: opts.K, Shards: opts.Shards, Switches: len(names),
+		CompositeLosingShard: -1,
+		PerTechnique:         make(map[core.Technique]TechFaultStats),
+	}
+	s.After(opts.KillAt+opts.RecoverAfter, func() {
+		for _, name := range orphans {
+			if err := attach(name); err != nil {
+				panic(err) // deterministic harness bug, not a runtime condition
+			}
+			client.SetConn(name, ctrlConns[name])
+			if err := c.BootstrapSwitch(name); err != nil {
+				panic(err)
+			}
+		}
+		// Repair pass over everything that failed on an orphan, against
+		// the adopted switches' authoritative FIBs.
+		present := make(map[string]map[of.Match]bool, len(orphans))
+		for _, name := range orphans {
+			m := make(map[of.Match]bool)
+			for _, r := range switches[name].CtrlTable().Rules() {
+				m[r.Match] = true
+			}
+			present[name] = m
+		}
+		repair := func(sw string, flow int) {
+			f := controller.FlowSpec{ID: flow}
+			f.Src, f.Dst = controller.FlowAddr(flow)
+			if present[sw][controller.FlowMatch(f)] {
+				res.RepairedInPlace++
+				return
+			}
+			res.Reissued++
+			fm := controller.AddRule(f, 100, ft.InterPorts(sw)[0])
+			fm.SetXID(client.NewXID())
+			idx := len(all)
+			all = append(all, issued{sw: sw, flow: flow, xid: fm.GetXID(), handle: c.Watch(sw, fm.GetXID())})
+			if err := client.Send(sw, fm); err != nil {
+				sendFailed[idx] = true
+				all[idx].handle.Cancel()
+			}
+		}
+		orphaned := make(map[string]bool, len(orphans))
+		for _, name := range orphans {
+			orphaned[name] = true
+		}
+		for _, it := range all {
+			if !orphaned[it.sw] {
+				continue
+			}
+			if ar, ok := it.handle.Result(); ok && ar.Outcome == core.OutcomeFailed {
+				repair(it.sw, it.flow)
+			}
+		}
+		if fanHandle != nil {
+			for _, name := range orphans {
+				// The fanned-out slot for an orphan failed with the kill;
+				// repair it like any other lost update.
+				repair(name, fanFlows[name])
+			}
+		}
+		issueWave(orphans, 2*time.Millisecond, opts.UpdatesPerSwitch)
+	})
+
+	// Drive past the recovery point, then to full resolution.
+	s.RunFor(opts.KillAt + opts.RecoverAfter + 5*time.Millisecond)
+	deadline := churnStart + opts.Deadline
+	resolvedAll := func() bool {
+		for i, it := range all {
+			if sendFailed[i] {
+				continue
+			}
+			if _, ok := it.handle.Result(); !ok {
+				return false
+			}
+		}
+		if fanHandle != nil {
+			if _, ok := fanHandle.Result(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for !resolvedAll() && s.Now() < deadline {
+		s.RunFor(10 * time.Millisecond)
+		time.Sleep(50 * time.Microsecond) // let the composite aggregator drain
+	}
+
+	// Ground truth: every activation in every data plane, by xid and by
+	// flow identity (for the double-install audit).
+	activatedXID := make(map[string]map[uint32]bool, len(names))
+	for _, name := range names {
+		m := make(map[uint32]bool)
+		for _, a := range switches[name].Activations() {
+			m[a.XID] = true
+		}
+		activatedXID[name] = m
+	}
+
+	res.Updates = len(all)
+	res.Orphans = len(orphans)
+	var trace strings.Builder
+	var lats []time.Duration
+	activationsPerFlow := make(map[string]map[int]int) // switch → flow → activated xids
+	countActivation := func(sw string, flow int, xid uint32) {
+		if !activatedXID[sw][xid] {
+			return
+		}
+		m := activationsPerFlow[sw]
+		if m == nil {
+			m = make(map[int]int)
+			activationsPerFlow[sw] = m
+		}
+		m[flow]++
+	}
+	scoreFailure := func(st *TechFaultStats, err error) {
+		var se *cluster.ShardError
+		if errors.As(err, &se) && se.Shard == opts.KillShard {
+			res.ProxyLost++
+		}
+		res.FailedTyped++
+		st.FailedTyped++
+	}
+	for i, it := range all {
+		tech := techniqueOf(it.sw)
+		st := res.PerTechnique[tech]
+		st.Updates++
+		ar, ok := it.handle.Result()
+		switch {
+		case sendFailed[i]:
+			res.SendFailed++
+			st.SendFailed++
+			fmt.Fprintf(&trace, "%d %s %d send-failed\n", i, it.sw, it.xid)
+		case !ok:
+			res.Wedged++
+			st.Wedged++
+			fmt.Fprintf(&trace, "%d %s %d WEDGED\n", i, it.sw, it.xid)
+		case ar.Outcome == core.OutcomeFailed:
+			scoreFailure(&st, ar.Err)
+			fmt.Fprintf(&trace, "%d %s %d failed %v @%d\n", i, it.sw, it.xid, ar.Err, ar.ConfirmedAt.Nanoseconds())
+		default:
+			res.Acked++
+			st.Acked++
+			lats = append(lats, ar.Latency)
+			falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
+				!activatedXID[it.sw][it.xid]
+			if falseAck {
+				res.FalseAcks++
+				st.FalseAcks++
+			}
+			fmt.Fprintf(&trace, "%d %s %d %s false=%v @%d\n",
+				i, it.sw, it.xid, ar.Outcome, falseAck, ar.ConfirmedAt.Nanoseconds())
+		}
+		countActivation(it.sw, it.flow, it.xid)
+		res.PerTechnique[tech] = st
+	}
+	if fanHandle != nil {
+		comp, ok := fanHandle.Result()
+		if !ok {
+			res.Wedged++
+			fmt.Fprintf(&trace, "fanout WEDGED\n")
+		} else {
+			res.CompositeConfirmed, res.CompositeFailed = comp.Confirmed, comp.Failed
+			var se *cluster.ShardError
+			if errors.As(comp.Err, &se) {
+				res.CompositeLosingShard = se.Shard
+			}
+			res.Updates += len(comp.Results)
+			for _, ar := range comp.Results {
+				tech := techniqueOf(ar.Switch)
+				st := res.PerTechnique[tech]
+				st.Updates++
+				if ar.Outcome == core.OutcomeFailed {
+					scoreFailure(&st, ar.Err)
+				} else {
+					res.Acked++
+					st.Acked++
+					lats = append(lats, ar.Latency)
+					falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
+						!activatedXID[ar.Switch][ar.XID]
+					if falseAck {
+						res.FalseAcks++
+						st.FalseAcks++
+					}
+				}
+				countActivation(ar.Switch, fanFlows[ar.Switch], ar.XID)
+				res.PerTechnique[tech] = st
+			}
+			fmt.Fprintf(&trace, "fanout confirmed=%d failed=%d losing=%d\n",
+				comp.Confirmed, comp.Failed, res.CompositeLosingShard)
+		}
+	}
+	for _, m := range activationsPerFlow {
+		for _, cnt := range m {
+			if cnt > 1 {
+				res.DoubleInstalls += cnt - 1
+			}
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		res.P50, res.P99 = lats[len(lats)*50/100], lats[i99]
+	}
+	for _, name := range orphans {
+		var first time.Duration
+		for _, it := range all {
+			if it.sw != name {
+				continue
+			}
+			if ar, ok := it.handle.Result(); ok && ar.Outcome != core.OutcomeFailed && ar.ConfirmedAt > killedAt {
+				if first == 0 || ar.ConfirmedAt < first {
+					first = ar.ConfirmedAt
+				}
+			}
+		}
+		if first > 0 && first-killedAt > res.HandoffMax {
+			res.HandoffMax = first - killedAt
+		}
+	}
+	res.Injected = inj.Stats()
+	fmt.Fprintf(&trace, "orphans: %s\n", strings.Join(orphans, ","))
+	fmt.Fprintf(&trace, "injected: %s\n", res.Injected)
+	res.Trace = trace.String()
+	return res, nil
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rum/internal/cluster"
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/hsa"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/planner"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// TestClusterChurnProxyKillHandoff is the acceptance run: the full
+// k=16 / 320-switch fat-tree partitioned across 4 proxies, mixed
+// strategies, a proxy killed mid-run. Completeness (zero wedged),
+// honesty (zero false acks for the probing cohorts), repair hygiene
+// (zero double installs), and the composite wave naming the losing
+// shard are all hard requirements.
+func TestClusterChurnProxyKillHandoff(t *testing.T) {
+	res, err := ClusterChurn(ClusterChurnOpts{UpdatesPerSwitch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.K != 16 || res.Switches != 320 || res.Shards != 4 {
+		t.Fatalf("workload shrank: k=%d switches=%d shards=%d", res.K, res.Switches, res.Shards)
+	}
+	if res.Wedged != 0 {
+		t.Fatalf("%d futures wedged", res.Wedged)
+	}
+	if res.Orphans == 0 {
+		t.Fatal("the killed shard held no switches — the handoff never happened")
+	}
+	if res.ProxyLost == 0 {
+		t.Fatal("no failure carried a ShardError naming the killed shard")
+	}
+	if res.Acked+res.FailedTyped+res.SendFailed != res.Updates {
+		t.Fatalf("accounting leak: %d+%d+%d != %d updates",
+			res.Acked, res.FailedTyped, res.SendFailed, res.Updates)
+	}
+	for _, tech := range []core.Technique{core.TechGeneral, core.TechSequential} {
+		if st := res.PerTechnique[tech]; st.FalseAcks != 0 {
+			t.Fatalf("%s cohort produced %d false acks", tech, st.FalseAcks)
+		}
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs — the FIB re-read repair path re-sent live rules", res.DoubleInstalls)
+	}
+	if res.CompositeFailed == 0 || res.CompositeLosingShard != 0 {
+		t.Fatalf("composite wave: %d failed, losing shard %d; want failures naming shard 0",
+			res.CompositeFailed, res.CompositeLosingShard)
+	}
+	if res.HandoffMax == 0 {
+		t.Fatal("no orphan confirmed an update after adoption")
+	}
+}
+
+// TestClusterChurnSeedReplayProxyKill extends the fault suite's replay
+// guarantee to proxy crashes: two runs with the same seed and profile
+// reproduce the kill, the handoff, and every resolution byte for byte,
+// and stay wedge-free under message loss layered over the crash.
+func TestClusterChurnSeedReplayProxyKill(t *testing.T) {
+	opts := ClusterChurnOpts{K: 4, Shards: 2, Profile: FaultLoss, Seed: 7, KillShard: 1}
+	a, err := ClusterChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace != b.Trace {
+		t.Fatalf("same seed produced different traces:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a.Trace, b.Trace)
+	}
+	if a.Wedged != 0 {
+		t.Fatalf("%d futures wedged under loss + proxy kill", a.Wedged)
+	}
+	if a.Orphans == 0 {
+		t.Fatal("kill shard held no switches")
+	}
+	other, err := ClusterChurn(ClusterChurnOpts{K: 4, Shards: 2, Profile: FaultLoss, Seed: 8, KillShard: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Trace == a.Trace {
+		t.Fatal("different seeds produced identical traces — the injector is not wired through")
+	}
+}
+
+// TestClusterPlannerCrossShardWaves wires the consistent-update planner
+// to a 2-member cluster through Config.Watch: a path migration whose
+// hops live on different members must release its waves on aggregated
+// cross-proxy confirmations and leave the fabric in the new state.
+func TestClusterPlannerCrossShardWaves(t *testing.T) {
+	ft, err := netsim.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	n := netsim.New(s)
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range ft.Switches() {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, 20*time.Microsecond)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	smap, err := cluster.NewShardMap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.AssignFatTree(smap, ft)
+	c, err := cluster.New(cluster.Config{
+		Map:      smap,
+		Core:     core.Config{Clock: s, Technique: core.TechTimeout, RUMAware: true, TimeoutRate: 1000},
+		Topology: core.NewTopology(links),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlConns := make(map[string]transport.Conn)
+	for _, name := range ft.Switches() {
+		ctrlTop, ctrlBottom := transport.Pipe(s, 100*time.Microsecond)
+		rumSide, swSide := transport.Pipe(s, 100*time.Microsecond)
+		switches[name].AttachConn(swSide)
+		if _, _, err := c.AttachSwitch(name, switches[name].DPID(), ctrlBottom, rumSide); err != nil {
+			t.Fatalf("attaching %s: %v", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := c.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	// Old path pod0 → c00 → pod1 (ingress edge p00e0); new path via the
+	// second aggregation plane, c02. Pod 0 lives on shard 0 and pod 1 on
+	// shard 1, so every wave's ops span both members.
+	f := controller.FlowSpec{ID: 9000}
+	f.Src, f.Dst = controller.FlowAddr(9000)
+	match := controller.FlowMatch(f)
+	oldPath := []planner.PathHop{
+		{Switch: "p00e0", OutPort: 3}, {Switch: "p00a0", OutPort: 3},
+		{Switch: "c00", OutPort: 2}, {Switch: "p01a0", OutPort: 1},
+		{Switch: "p01e0", OutPort: 1},
+	}
+	newPath := []planner.PathHop{
+		{Switch: "p00e0", OutPort: 4}, {Switch: "p00a1", OutPort: 3},
+		{Switch: "c02", OutPort: 2}, {Switch: "p01a1", OutPort: 1},
+		{Switch: "p01e0", OutPort: 1},
+	}
+	spansShards := false
+	for _, h := range newPath {
+		if o, ok := c.Located(h.Switch); ok && o == 1 {
+			spansShards = true
+		}
+	}
+	if !spansShards {
+		t.Fatal("test topology error: new path does not cross shards")
+	}
+
+	// Seed the old path, gated on cluster futures.
+	for _, h := range oldPath {
+		fm := &of.FlowMod{Command: of.FCAdd, Priority: 100, Match: match,
+			BufferID: of.BufferNone, OutPort: of.PortNone,
+			Actions: []of.Action{of.ActionOutput{Port: h.OutPort}}}
+		fm.SetXID(client.NewXID())
+		hd := c.Watch(h.Switch, fm.GetXID())
+		if err := client.Send(h.Switch, fm); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, ok := hd.Result(); ok {
+				break
+			}
+			s.RunFor(10 * time.Millisecond)
+		}
+		if ar, ok := hd.Result(); !ok || ar.Outcome == core.OutcomeFailed {
+			t.Fatalf("seeding old path on %s: %+v ok=%v", h.Switch, ar, ok)
+		}
+	}
+
+	pl, err := planner.New(planner.Config{
+		Watch:  c.Watch,
+		Clock:  s,
+		Send:   func(sw string, fm *of.FlowMod) error { return client.Send(sw, fm) },
+		NewXID: client.NewXID,
+		State:  func(sw string) []hsa.Rule { return switches[sw].CtrlTable().Rules() },
+		Ports:  PortsOf(links),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.Plan([]planner.PathChange{{
+		Name: "cross-shard", Match: match, Priority: 100, Old: oldPath, New: newPath,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := pl.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := s.Now() + 30*time.Second
+	for !exec.Pump() && s.Now() < deadline {
+		s.RunFor(10 * time.Millisecond)
+	}
+	if !exec.Done() || exec.Err() != nil {
+		t.Fatalf("cross-shard plan did not complete: done=%v err=%v wedged=%d",
+			exec.Done(), exec.Err(), exec.Wedged())
+	}
+	if exec.Wedged() != 0 {
+		t.Fatalf("%d ops wedged", exec.Wedged())
+	}
+	// The fabric must be in the new state: every new-path hop forwards
+	// out its new port, and old-only switches dropped the rule.
+	for _, h := range newPath {
+		e := switches[h.Switch].DataTable().Find(match, 100)
+		if e == nil {
+			t.Fatalf("%s: rule missing after migration", h.Switch)
+		}
+		if out, ok := e.Actions[0].(of.ActionOutput); !ok || out.Port != h.OutPort {
+			t.Fatalf("%s forwards %+v; want port %d", h.Switch, e.Actions[0], h.OutPort)
+		}
+	}
+	for _, sw := range []string{"p00a0", "c00", "p01a0"} {
+		if switches[sw].DataTable().Find(match, 100) != nil {
+			t.Fatalf("%s still holds the old-path rule", sw)
+		}
+	}
+}

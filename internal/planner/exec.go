@@ -313,7 +313,7 @@ func (x *Exec) issue(oe *opExec) {
 	fm := oe.op.FM
 	fm.SetXID(xid)
 	oe.xid = xid
-	oe.handle = x.p.cfg.RUM.Watch(oe.op.Switch, xid)
+	oe.handle = x.p.cfg.Watch(oe.op.Switch, xid)
 	if err := x.p.cfg.Send(oe.op.Switch, fm); err != nil {
 		oe.handle.Cancel()
 		oe.handle = nil

@@ -174,6 +174,14 @@ func (p *Plan) Ops() int {
 type Config struct {
 	// RUM provides the ack futures that gate wave release.
 	RUM *core.RUM
+	// Watch overrides where ack futures are registered; it defaults to
+	// RUM.Watch. A sharded multi-proxy deployment sets it to
+	// cluster.Cluster.Watch so each op's future lands on the member
+	// owning its switch — waves spanning shards then release on
+	// aggregated cross-proxy confirmations, and a proxy crash surfaces
+	// as typed ShardError failures the re-plan path already handles.
+	// When Watch is set, RUM may be nil.
+	Watch func(sw string, xid uint32) *core.UpdateHandle
 	// Clock timestamps events and wave latency attribution.
 	Clock sim.Clock
 	// Send transmits one FlowMod to a switch. The planner retries sends
@@ -207,8 +215,8 @@ type Planner struct {
 // New validates the wiring and returns a Planner.
 func New(cfg Config) (*Planner, error) {
 	switch {
-	case cfg.RUM == nil:
-		return nil, fmt.Errorf("planner: Config.RUM is required")
+	case cfg.RUM == nil && cfg.Watch == nil:
+		return nil, fmt.Errorf("planner: Config.RUM or Config.Watch is required")
 	case cfg.Clock == nil:
 		return nil, fmt.Errorf("planner: Config.Clock is required")
 	case cfg.Send == nil:
@@ -220,6 +228,9 @@ func New(cfg Config) (*Planner, error) {
 	}
 	if cfg.EventBuffer == 0 {
 		cfg.EventBuffer = 256
+	}
+	if cfg.Watch == nil {
+		cfg.Watch = cfg.RUM.Watch
 	}
 	return &Planner{cfg: cfg}, nil
 }

@@ -73,12 +73,14 @@
 package rum
 
 import (
+	"rum/internal/cluster"
 	"rum/internal/core"
 	"rum/internal/hsa"
 	"rum/internal/netsim"
 	"rum/internal/of"
 	"rum/internal/packet"
 	"rum/internal/planner"
+	"rum/internal/proxy"
 	"rum/internal/sim"
 )
 
@@ -407,3 +409,64 @@ func VerifyTransient(oldState, newState *NetState, region Region) error {
 // for a rejected transition: the offending header-space point and the
 // path it takes.
 type TransientCounterexample = hsa.CounterexampleError
+
+// Cluster shards one RUM deployment across several proxy instances for
+// fabrics too large for one process: a deterministic shard map assigns
+// every switch a preference order over members, attachments route to the
+// first live member, network-wide updates fan out through composite
+// futures, and a member crash orphans its switches with typed ShardError
+// failures until they are re-attached to (and adopted by) a survivor.
+// See docs/CLUSTER.md.
+type Cluster = cluster.Cluster
+
+// ClusterConfig wires a Cluster: member count (or an explicit shard map),
+// the per-member RUM configuration template, and the shared topology.
+type ClusterConfig = cluster.Config
+
+// NewCluster builds the member RUM instances and returns the cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ShardMap deterministically assigns switches to cluster members by
+// rendezvous hashing, with optional pinned primaries (AssignShardMapFatTree
+// pins pod-aligned primaries so data-plane probing stays shard-local).
+type ShardMap = cluster.ShardMap
+
+// NewShardMap creates a shard map over n members.
+func NewShardMap(n int) (*ShardMap, error) { return cluster.NewShardMap(n) }
+
+// AssignShardMapFatTree pins pod-aware primaries for a fat-tree fabric:
+// pod p's edge and aggregation switches map to member p mod n and core
+// switch c to member c mod n, keeping each pod's probe neighborhoods on
+// one member.
+func AssignShardMapFatTree(m *ShardMap, ft *FatTree) { cluster.AssignFatTree(m, ft) }
+
+// ProxySession is one proxied switch's session on a cluster member (or a
+// single RUM instance): the pair of pumps between its controller-side and
+// switch-side conns.
+type ProxySession = proxy.Session
+
+// SwitchXID addresses one update of a cluster-wide fanout.
+type SwitchXID = cluster.SwitchXID
+
+// ClusterUpdate is one switch-targeted FlowMod of a cluster-wide fanout.
+type ClusterUpdate = cluster.Update
+
+// CompositeHandle aggregates the ack futures of a cluster-wide fanout
+// into one awaitable result; obtain it from Cluster.WatchAll or
+// Cluster.Fanout.
+type CompositeHandle = cluster.CompositeHandle
+
+// CompositeResult is the aggregate resolution of a fanout: every
+// sub-result in input order, the confirmed/failed counts, and the first
+// failure as a typed *ShardError naming the losing shard.
+type CompositeResult = cluster.CompositeResult
+
+// ShardError is the typed failure cause for cluster updates: which shard
+// (member) lost the update, on which switch and xid, and why. It unwraps
+// to the core sentinel causes, so errors.Is(err, ErrChannelLost) and
+// errors.Is(err, ErrProxyLost) both match a crash-induced failure.
+type ShardError = cluster.ShardError
+
+// ErrProxyLost is the failure cause carried when an owning cluster member
+// crashed with updates in flight; it wraps ErrChannelLost.
+var ErrProxyLost = cluster.ErrProxyLost
