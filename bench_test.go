@@ -556,6 +556,36 @@ func BenchmarkFatTreeChurnFaultWrapped(b *testing.B) {
 	})
 }
 
+// BenchmarkOverload drives the fat-tree churn through trace-congested
+// control channels against bounded per-switch outboxes (the Shed
+// policy) and records the shed rate. The run must stay healthy — zero
+// wedged futures, zero false acks, every failure typed ErrOverloaded —
+// and cmd/benchcheck gates the shed percentage absolutely
+// (-max-overload-shed-pct): admission control may refuse work under
+// congestion collapse, but a refusal rate creeping past the ceiling
+// means the coalescing/degradation machinery stopped absorbing load.
+func BenchmarkOverload(b *testing.B) {
+	var res *experiments.OverloadChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.OverloadChurn(experiments.OverloadChurnOpts{Policy: core.OverloadShed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Wedged != 0 || res.FalseAcks != 0 || res.FailedOther != 0 {
+			b.Fatalf("overload churn unhealthy: %s", res)
+		}
+	}
+	b.ReportMetric(res.ShedPct, "shed_pct")
+	b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ack_ms")
+	benchRecord("Overload", map[string]float64{
+		"updates":    float64(res.Updates),
+		"acked":      float64(res.Acked),
+		"shed_pct":   res.ShedPct,
+		"p99_ack_ms": float64(res.P99.Microseconds()) / 1000,
+	})
+}
+
 // BenchmarkPlannerFatTree runs the full consistent-update pipeline on
 // the k=8 fat-tree: plan compilation, per-wave HSA transient
 // verification, and fault-free execution to completion, with the FIB

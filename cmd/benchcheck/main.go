@@ -21,7 +21,7 @@
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Eight acceptance gates are separate and absolute, regardless of what the
+// Nine acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
 // the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
 // (the coalescing writer must beat the unbuffered path by ≥30%), the
@@ -36,7 +36,12 @@
 // time) must stay ≤ -max-planner-verify-ratio (0.20: transient
 // verification must remain a thin slice of the update pipeline), the
 // Cluster handoff-recovery p99 (proxy crash → re-dial → adoption → first
-// confirmed update) must stay ≤ -max-handoff-recovery-ms, and the
+// confirmed update) must stay ≤ -max-handoff-recovery-ms, the Overload
+// shed_pct (updates refused with ErrOverloaded under the congested-
+// control-channel workload, BenchmarkOverload) must stay ≤
+// -max-overload-shed-pct — admission control may refuse work under
+// congestion collapse, but a creeping refusal rate means the
+// coalescing/degradation machinery stopped absorbing load — and the
 // 4-member cluster's aggregate confirmed rate must stay ≥
 // -min-cluster-speedup × the single-proxy AckPath rate — the scale-out
 // acceptance claim. Parallel speedup is physically impossible on a
@@ -49,7 +54,7 @@
 // [-min-wire-speedup 1.3] [-max-ack-allocs 0] [-max-fattree-p99-ms 100]
 // [-max-faultwrap-p99-ratio 1.05] [-max-planner-verify-ratio 0.20]
 // [-min-cluster-speedup 2.0] [-min-cluster-cpus 8]
-// [-max-handoff-recovery-ms 250]
+// [-max-handoff-recovery-ms 250] [-max-overload-shed-pct 15]
 package main
 
 import (
@@ -94,6 +99,7 @@ type gateOpts struct {
 	minClusterSpeedup float64
 	minClusterCPUs    float64
 	maxHandoffMS      float64
+	maxOverloadShed   float64
 }
 
 // check runs every baseline comparison and absolute gate, writing one
@@ -271,6 +277,21 @@ func check(baseline, results *benchFile, opts gateOpts, w io.Writer) int {
 		}
 	}
 
+	if opts.maxOverloadShed > 0 {
+		pct, has := results.Benchmarks["Overload"]["shed_pct"]
+		switch {
+		case !has:
+			fmt.Fprintln(w, "FAIL Overload.shed_pct: missing from results")
+			failures++
+		case pct > opts.maxOverloadShed:
+			fmt.Fprintf(w, "FAIL Overload.shed_pct: %.2f%% > %.2f%% (overload layer sheds too much under congestion)\n",
+				pct, opts.maxOverloadShed)
+			failures++
+		default:
+			fmt.Fprintf(w, "ok   Overload.shed_pct: %.2f%% (≤ %.2f%% required)\n", pct, opts.maxOverloadShed)
+		}
+	}
+
 	if opts.minClusterSpeedup > 0 {
 		agg, okAgg := results.Benchmarks["Cluster"]["aggregate_confirmed_per_sec"]
 		single, okSingle := results.Benchmarks["AckPath"]["confirmed_per_sec"]
@@ -323,6 +344,8 @@ func main() {
 		"CPUs the cluster speedup gate needs before it enforces (below: informational)")
 	flag.Float64Var(&opts.maxHandoffMS, "max-handoff-recovery-ms", 250,
 		"absolute ceiling for Cluster.handoff_recovery_p99_ms in milliseconds (0 disables)")
+	flag.Float64Var(&opts.maxOverloadShed, "max-overload-shed-pct", 15,
+		"absolute ceiling for Overload.shed_pct, updates refused with ErrOverloaded under the congested-channel workload (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)

@@ -135,6 +135,23 @@ func TestHandoffRecoveryGate(t *testing.T) {
 	}
 }
 
+func TestOverloadShedGate(t *testing.T) {
+	opts := noAbsolute
+	opts.maxOverloadShed = 15
+	empty := bf(map[string]map[string]float64{})
+	ok := bf(map[string]map[string]float64{"Overload": {"shed_pct": 6.7}})
+	if got := check(empty, ok, opts, io.Discard); got != 0 {
+		t.Fatalf("6.7%% shed failed: %d", got)
+	}
+	heavy := bf(map[string]map[string]float64{"Overload": {"shed_pct": 22}})
+	if got := check(empty, heavy, opts, io.Discard); got != 1 {
+		t.Fatalf("22%% shed: %d failures, want 1", got)
+	}
+	if got := check(empty, empty, opts, io.Discard); got != 1 {
+		t.Fatalf("missing shed metric: %d failures, want 1", got)
+	}
+}
+
 // TestZeroAllocGate pins the absolute AckPath alloc gate at its default
 // zero threshold: any allocation fails, and a missing metric fails.
 func TestZeroAllocGate(t *testing.T) {

@@ -57,10 +57,21 @@
 //
 //	rumproxy ... -faults "drop=0.01,dup=0.005,delay=2ms:0.02" -fault-seed 7
 //
-// Supported faults: drop=P, dup=P, reorder=P, corrupt=P, delay=DUR:P,
-// cut=P (kills the channel; the switch's reconnect loop recovers it),
-// plus "flowmods" to restrict the preceding rules to FlowMods. See
-// docs/ARCHITECTURE.md for the fault layer's position in the stack.
+// Supported faults: drop=P, dup=P, reorder=P, corrupt=P, delay=DUR:P
+// (or a uniform range, delay=DUR1-DUR2:P), cut=P (kills the channel;
+// the switch's reconnect loop recovers it), trace=FILE (replay a
+// cyclic latency/loss/bandwidth link profile — see docs/OVERLOAD.md
+// for the format), plus "flowmods" to restrict the preceding rules to
+// FlowMods. See docs/ARCHITECTURE.md for the fault layer's position in
+// the stack.
+//
+// -outbox-limit bounds each per-switch outbox and -overload selects
+// what happens at the bound (block = bounded backpressure, shed = fail
+// the update fast with a typed refusal, degrade = widen a slow
+// switch's batch window); -max-pending bounds the coalescing TCP
+// writer the same way. docs/OVERLOAD.md is the canonical reference:
+//
+//	rumproxy ... -outbox-limit 256 -overload degrade -max-pending 1048576
 //
 // -plan turns rumproxy into a consistent-update dry run: instead of
 // serving, it compiles one path change into the planner's wave schedule,
@@ -120,8 +131,16 @@ func main() {
 		"with -pprof: sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables)")
 	blockRate := flag.Int("block-rate", 0,
 		"with -pprof: blocking-profile sampling granularity in ns for /debug/pprof/block (0 disables)")
+	outboxLimit := flag.Int("outbox-limit", 0,
+		"bound each per-switch outbox to this many tracked FlowMods; at the bound the -overload policy applies (0 = unbounded)")
+	overloadFlag := flag.String("overload", "block",
+		"policy at a full outbox: block|shed|degrade (see docs/OVERLOAD.md)")
+	overloadDeadline := flag.Duration("overload-deadline", 100*time.Millisecond,
+		"with -overload block/degrade: bound on the backpressure wait before shedding")
+	maxPending := flag.Int("max-pending", 0,
+		"bound each switch conn's coalescing-writer backlog to this many bytes, same -overload policy (0 = unbounded)")
 	faultSpec := flag.String("faults", "",
-		"fault-injection spec for switch conns, e.g. \"drop=0.01,dup=0.005,delay=2ms:0.02\" (empty/none disables)")
+		"fault-injection spec for switch conns, e.g. \"drop=0.01,delay=2ms-8ms:0.02,trace=wan.trace\" (empty/none disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule")
 	planFlow := flag.String("plan", "",
 		"dry run: compile and HSA-verify a path change instead of serving; flow as SRC>DST, e.g. \"10.0.0.1>10.1.0.1\"")
@@ -201,6 +220,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("rumproxy: -per-switch: %v", err)
 	}
+	overload, err := rum.ParseOverloadPolicy(*overloadFlag)
+	if err != nil {
+		log.Fatalf("rumproxy: -overload: %v", err)
+	}
 
 	srv, err := rum.NewProxyServer(rum.ProxyConfig{
 		RUM: rum.Config{
@@ -212,10 +235,14 @@ func main() {
 			ProbeEvery:       *probeEvery,
 			BarrierLayer:     *barrierLayer,
 			BufferForReorder: *buffer,
+			OutboxLimit:      *outboxLimit,
+			Overload:         overload,
+			OverloadDeadline: *overloadDeadline,
 		},
 		Topology:       topo,
 		Switches:       switches,
 		ControllerAddr: *controller,
+		TCPMaxPending:  *maxPending,
 		FaultSpec:      *faultSpec,
 		FaultSeed:      *faultSeed,
 	})

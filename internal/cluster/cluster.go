@@ -143,9 +143,17 @@ func (c *Cluster) SwitchesOf(i int) []string {
 // after Kill: re-attaching an orphan routes to the next live shard in
 // its preference order. The returned member index is where the session
 // landed.
+//
+// A switch that is already attached is refused: with backoff-governed
+// re-dials in flight, a Revive racing an adoption must not let two
+// members both claim the session (the second attach would shadow the
+// first in the placement map and orphan its session forever).
 func (c *Cluster) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.Conn) (*proxy.Session, int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if prev, dup := c.attached[name]; dup {
+		return nil, -1, fmt.Errorf("cluster: %s is already attached to member %d", name, prev)
+	}
 	owner, ok := c.ownerLocked(name)
 	if !ok {
 		return nil, -1, fmt.Errorf("cluster: no live shard to own %s", name)

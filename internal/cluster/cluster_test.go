@@ -10,6 +10,7 @@ import (
 	"rum/internal/core"
 	"rum/internal/netsim"
 	"rum/internal/of"
+	"rum/internal/retry"
 	"rum/internal/sim"
 	"rum/internal/switchsim"
 	"rum/internal/transport"
@@ -283,6 +284,59 @@ func TestClusterKillHandoffReattach(t *testing.T) {
 	ar = bed.await(t, bed.issue(t, "s3", 11))
 	if ar.Outcome == core.OutcomeFailed {
 		t.Fatalf("post-handoff update failed: %v", ar.Err)
+	}
+}
+
+// TestClusterReviveMidBackoffNoDoubleAdopt: killing shard 1 orphans s3
+// and starts backoff-governed re-dials; reviving the shard mid-backoff
+// puts two re-dial loops in a race for the same switch (the adoptive
+// path and the revived primary's reclaim). Exactly one attach may land —
+// AttachSwitch refuses the second so two members can never both hold the
+// session — and the surviving session must still confirm updates.
+func TestClusterReviveMidBackoffNoDoubleAdopt(t *testing.T) {
+	bed := newClusterBed(t)
+	if orphans := bed.c.Kill(1); len(orphans) != 1 || orphans[0] != "s3" {
+		t.Fatalf("Kill(1) orphaned %v; want [s3]", orphans)
+	}
+	// Revive before any re-dial lands: s3's primary is live again, so
+	// both loops route to shard 1 — the race is purely over who attaches
+	// first.
+	bed.c.Revive(1)
+	winners, refused := 0, 0
+	dial := func() (transport.Conn, error) {
+		ctrlTop, ctrlBottom := transport.Pipe(bed.s, 100*time.Microsecond)
+		rumSide, swSide := transport.Pipe(bed.s, 100*time.Microsecond)
+		_, _, err := bed.c.AttachSwitch("s3", bed.switches["s3"].DPID(), ctrlBottom, rumSide)
+		if err != nil {
+			refused++
+			return nil, err
+		}
+		winners++
+		bed.switches["s3"].AttachConn(swSide)
+		bed.ctrlConns["s3"] = ctrlTop
+		return ctrlTop, nil
+	}
+	for i := 0; i < 2; i++ {
+		b := retry.New(retry.Policy{Base: 5 * time.Millisecond, Cap: 20 * time.Millisecond,
+			Multiplier: 2, Jitter: 0.5}, int64(i+1))
+		bed.client.Reconnect("s3", b, 4, dial, nil)
+	}
+	bed.s.RunFor(500 * time.Millisecond)
+	if winners != 1 {
+		t.Fatalf("%d re-dials adopted s3; want exactly 1", winners)
+	}
+	if refused == 0 {
+		t.Fatal("the losing re-dial loop never hit the double-adopt guard")
+	}
+	if owner, ok := bed.c.Located("s3"); !ok || owner != 1 {
+		t.Fatalf("s3 located on %d,%v; want revived shard 1", owner, ok)
+	}
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	bed.s.RunFor(50 * time.Millisecond)
+	if ar := bed.await(t, bed.issue(t, "s3", 21)); ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("update through the single adopted session failed: %v", ar.Err)
 	}
 }
 

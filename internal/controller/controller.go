@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rum/internal/of"
+	"rum/internal/retry"
 	"rum/internal/sim"
 	"rum/internal/transport"
 )
@@ -100,6 +101,37 @@ func (c *Client) SetConn(sw string, conn transport.Conn) {
 	c.conns[sw] = conn
 	c.mu.Unlock()
 	conn.SetHandler(func(m of.Message) { c.onMessage(sw, m) })
+}
+
+// Reconnect re-establishes the conn serving sw through the shared
+// jittered-exponential-backoff retrier (internal/retry): dial runs after
+// each backoff delay until it returns a conn or maxAttempts (<= 0:
+// unlimited) is exhausted. On success the conn is installed via SetConn,
+// the backoff resets, and onReady (if non-nil) runs — the hook where
+// callers re-bootstrap the switch and re-issue in-doubt updates.
+//
+// Reconnect returns immediately after scheduling the first attempt: a
+// lost channel is never re-dialed synchronously, so a flapping switch
+// cannot hot-loop the dial path. Determinism: with a seeded Backoff
+// under the simulated clock, the reconnect schedule replays exactly.
+func (c *Client) Reconnect(sw string, b *retry.Backoff, maxAttempts int, dial func() (transport.Conn, error), onReady func(transport.Conn)) {
+	var got transport.Conn
+	retry.Loop(c.clk, b, maxAttempts, func() bool {
+		conn, err := dial()
+		if err != nil || conn == nil {
+			return false
+		}
+		got = conn
+		return true
+	}, func(ok bool) {
+		if !ok {
+			return
+		}
+		c.SetConn(sw, got)
+		if onReady != nil {
+			onReady(got)
+		}
+	})
 }
 
 // conn looks up the conn serving a switch.

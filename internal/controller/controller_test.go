@@ -1,10 +1,12 @@
 package controller
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"rum/internal/of"
+	"rum/internal/retry"
 	"rum/internal/sim"
 	"rum/internal/transport"
 )
@@ -190,5 +192,66 @@ func TestExecuteDiamondDependency(t *testing.T) {
 	}
 	if results[3].SentAt < results[1].ConfirmedAt || results[3].SentAt < results[2].ConfirmedAt {
 		t.Error("final op sent before both middle ops confirmed")
+	}
+}
+
+// TestReconnectBackoff: a lost channel re-dials through the shared
+// jittered-backoff retrier — failed dials are spaced by growing delays,
+// success installs the conn via SetConn and fires onReady, and the
+// client resumes confirming updates over the new channel.
+func TestReconnectBackoff(t *testing.T) {
+	s, c, _ := setup(true, AckRUM)
+	// Sever s1: replace its conn with a fresh pipe pair that will play
+	// the "new" channel once dialed.
+	var dials int
+	var readyAt time.Duration
+	newCtrl, newSw := transport.Pipe(s, 100*time.Microsecond)
+	newFakeSwitch(s, newSw, true)
+	b := retry.New(retry.Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2, Jitter: 0}, 1)
+	c.Reconnect("s1", b, 0, func() (transport.Conn, error) {
+		dials++
+		if dials < 3 {
+			return nil, fmt.Errorf("switch still down")
+		}
+		return newCtrl, nil
+	}, func(transport.Conn) { readyAt = s.Now() })
+	s.Run()
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3", dials)
+	}
+	// Delays 10ms + 20ms + 40ms → ready at 70ms.
+	if readyAt != 70*time.Millisecond {
+		t.Fatalf("onReady at %v, want 70ms (10+20+40 backoff)", readyAt)
+	}
+	if b.Attempt() != 0 {
+		t.Fatalf("backoff not reset after successful reconnect: Attempt() = %d", b.Attempt())
+	}
+	// The new conn serves the switch: an update confirms over it.
+	confirmed := false
+	if err := c.SendMod("s1", mkOp("s1").FM, func() { confirmed = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !confirmed {
+		t.Fatal("update did not confirm over the reconnected channel")
+	}
+}
+
+// TestReconnectGivesUp: maxAttempts bounds the dial loop; the old conn
+// stays in place and onReady never fires.
+func TestReconnectGivesUp(t *testing.T) {
+	s, c, _ := setup(true, AckRUM)
+	dials, ready := 0, false
+	b := retry.New(retry.Policy{Base: time.Millisecond, Cap: time.Millisecond, Multiplier: 2, Jitter: 0}, 1)
+	c.Reconnect("s1", b, 3, func() (transport.Conn, error) {
+		dials++
+		return nil, fmt.Errorf("unreachable")
+	}, func(transport.Conn) { ready = true })
+	s.Run()
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3 (maxAttempts)", dials)
+	}
+	if ready {
+		t.Fatal("onReady fired for an exhausted reconnect")
 	}
 }

@@ -119,6 +119,15 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	// has fully resolved.
 	wire := a.sess.recycleFM && !IsRUMXID(u.xid)
 	u.ownFM = wire
+	// Overload admission runs before tracking and outside a.mu: the Block
+	// policy may park until the outbox drains, and a.mu must never be held
+	// across a wait (noteFlushed takes it from the flush path). A refusal
+	// sheds the update — tracked, resolved as failed with ErrOverloaded,
+	// never enqueued.
+	if a.sess.rum.overloadOn && !IsRUMXID(u.xid) && !a.sess.shard.admitUpdate() {
+		a.shed(u)
+		return
+	}
 	a.mu.Lock()
 	a.nextSeq++
 	u.seq = a.nextSeq
@@ -134,10 +143,31 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	// dispatch paths race (buffer-mode barrier release runs concurrently
 	// with the controller reader). Lock order is ackLayer.mu → shard.mu,
 	// never reversed (noteFlushed runs after the flush drops the shard
-	// lock), and enqueue never blocks.
-	a.sess.sendToSwitch(m)
+	// lock), and enqueue never blocks (admission already happened above).
+	if a.sess.rum.overloadOn && !IsRUMXID(u.xid) {
+		a.sess.sendTrackedToSwitch(m)
+	} else {
+		a.sess.sendToSwitch(m)
+	}
 	a.mu.Unlock()
 	a.sess.strat.OnFlowMod(u)
+	u.Release() // the tracking frame's reference
+}
+
+// shed resolves a tracked-but-never-sent update as failed with
+// ErrOverloaded through the normal emission machinery — the future, the
+// AckEvent stream, and strategy listeners all observe it — without the
+// FlowMod ever touching the outbox. The switch's FIB is untouched, so
+// the caller may back off and re-issue.
+func (a *ackLayer) shed(u *Update) {
+	a.mu.Lock()
+	a.nextSeq++
+	u.seq = a.nextSeq
+	a.issued.Store(a.nextSeq)
+	a.ringPutLocked(u)
+	a.mu.Unlock()
+	a.sess.rum.sheds.Add(1)
+	a.confirmCause(u, OutcomeFailed, ErrOverloaded)
 	u.Release() // the tracking frame's reference
 }
 

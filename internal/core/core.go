@@ -163,6 +163,39 @@ type Config struct {
 	// for switches that reorder across barriers (§2).
 	BufferForReorder bool
 
+	// OutboxLimit bounds each per-switch shard outbox: the number of
+	// switch-bound messages queued awaiting flush. Zero keeps the
+	// historical unbounded behavior. When set, tracked controller
+	// FlowMods that arrive at a full outbox get the Overload policy's
+	// treatment; RUM-internal messages (barriers, probes) always enqueue —
+	// barrier coalescing already bounds them. The bound is ignored in
+	// Unsharded mode (the legacy baseline has no outbox).
+	OutboxLimit int
+	// Overload selects what happens to a tracked FlowMod arriving at a
+	// full outbox: OverloadBlock (default — the dispatch goroutine waits
+	// up to OverloadDeadline for the outbox to drain, propagating
+	// backpressure into the controller's channel), OverloadShed (the
+	// update's future fails immediately with ErrOverloaded), or
+	// OverloadDegrade (flush-latency EWMA slow-switch detection widens
+	// the batch coalescing window; at the hard limit it blocks like
+	// OverloadBlock). Under a simulated clock Block cannot wait — the
+	// event loop is single-threaded — so it degrades to immediate
+	// deadline expiry (a typed ErrOverloaded, never a wedge). See
+	// docs/OVERLOAD.md for the full contract.
+	Overload OverloadPolicy
+	// OverloadDeadline bounds how long OverloadBlock (and Degrade at the
+	// limit) waits for outbox space before failing the update with
+	// ErrOverloaded (default 100ms).
+	OverloadDeadline time.Duration
+	// DegradeLatency is OverloadDegrade's slow-switch threshold: when the
+	// EWMA of outbox drain latency exceeds it, the shard widens its
+	// coalescing window to DegradeHold (default 5ms).
+	DegradeLatency time.Duration
+	// DegradeHold is the widened flush delay applied to a degraded
+	// switch, and the retry interval after a transport applied
+	// backpressure mid-batch (default 2ms).
+	DegradeHold time.Duration
+
 	// Unsharded reverts the update/ack hot path to its pre-sharding
 	// execution mode: every switch's bookkeeping serializes behind one
 	// RUM-wide mutex and switch-bound messages are sent one at a time
@@ -208,8 +241,29 @@ func (c Config) Defaults() Config {
 	if c.QuietRounds == 0 {
 		c.QuietRounds = 3
 	}
+	if c.OverloadDeadline == 0 {
+		c.OverloadDeadline = 100 * time.Millisecond
+	}
+	if c.DegradeLatency == 0 {
+		c.DegradeLatency = 5 * time.Millisecond
+	}
+	if c.DegradeHold == 0 {
+		c.DegradeHold = 2 * time.Millisecond
+	}
 	return c
 }
+
+// OverloadPolicy is the shared overload policy type (the transport's
+// writer bound uses the same one); re-exported so core callers need not
+// import transport for the constants.
+type OverloadPolicy = transport.OverloadPolicy
+
+// The overload policies, re-exported from transport.
+const (
+	OverloadBlock   = transport.OverloadBlock
+	OverloadShed    = transport.OverloadShed
+	OverloadDegrade = transport.OverloadDegrade
+)
 
 // TopoLink is one inter-switch link RUM knows about.
 type TopoLink struct {
@@ -351,10 +405,16 @@ type RUM struct {
 	subsMu sync.RWMutex
 	subs   []*Subscription
 
+	// Overload gates, resolved once in New so the hot path pays a single
+	// bool load when the bound is off. degradeOn implies overloadOn.
+	overloadOn bool
+	degradeOn  bool
+
 	// stats
 	acksSent   atomic.Uint64
 	probesSent atomic.Uint64
 	fallbacks  atomic.Uint64
+	sheds      atomic.Uint64
 }
 
 // New creates a RUM instance, resolving the configured default and
@@ -368,6 +428,8 @@ func New(cfg Config, topo *Topology) (*RUM, error) {
 		strats: make(map[Technique]AckStrategy),
 	}
 	r.nextXID.Store(rumXIDBase)
+	r.overloadOn = cfg.OutboxLimit > 0 && !cfg.Unsharded
+	r.degradeOn = r.overloadOn && cfg.Overload == OverloadDegrade
 	if cfg.Strategy != nil {
 		r.defaultStrat = cfg.Strategy
 		r.cfg.Technique = Technique(cfg.Strategy.Name())
@@ -549,21 +611,34 @@ type session struct {
 // bound before NewSession flushes backlogged traffic through the layers).
 func (s *session) sendToSwitch(m of.Message) { s.shard.enqueue(m) }
 
+// sendTrackedToSwitch is sendToSwitch for a controller FlowMod that
+// passed overload admission; it consumes the outbox reservation.
+func (s *session) sendTrackedToSwitch(m of.Message) { s.shard.enqueueReserved(m) }
+
 // sendToSwitchNow writes directly to the switch connection, below the
 // shard's outbox; only shard flushes (which own the ordering) call it.
 func (s *session) sendToSwitchNow(m of.Message) { _ = s.swConn.Send(m) }
 
 // sendBatchToSwitchNow writes a whole flushed batch to the switch
-// connection, in one transport operation when the conn supports it.
+// connection, in one transport operation when the conn supports it, and
+// returns how many messages the transport accepted. Conns implementing
+// PartialBatchSender may refuse a suffix under backpressure (trace-paced
+// fault links, bounded TCP writers); the shard requeues the remainder.
+// Plain conns always accept everything.
 //
 // This is the shard pump's pool release point: on conns that serialize
 // frames during the send (TCP), RUM regains exclusive ownership of its
 // own barrier requests the moment the call returns — nothing else ever
 // references them (strategies track barriers by xid only) — so they go
 // back to the codec pool. On pipes the structs travel by pointer and the
-// receiving switch releases them instead.
-func (s *session) sendBatchToSwitchNow(ms []of.Message) {
-	if bs, ok := s.swConn.(transport.BatchSender); ok {
+// receiving switch releases them instead. Only the accepted prefix is
+// released: a refused message is still owned by the outbox.
+func (s *session) sendBatchToSwitchNow(ms []of.Message) int {
+	sent := len(ms)
+	if ps, ok := s.swConn.(transport.PartialBatchSender); ok {
+		n, _ := ps.SendBatchPartial(ms)
+		sent = n
+	} else if bs, ok := s.swConn.(transport.BatchSender); ok {
 		_ = bs.SendBatch(ms)
 	} else {
 		for _, m := range ms {
@@ -571,10 +646,10 @@ func (s *session) sendBatchToSwitchNow(ms []of.Message) {
 		}
 	}
 	if !transport.EncodesFrames(s.swConn) {
-		return
+		return sent
 	}
 	flowMods := 0
-	for _, m := range ms {
+	for _, m := range ms[:sent] {
 		switch mm := m.(type) {
 		case *of.BarrierRequest:
 			if IsRUMXID(mm.GetXID()) {
@@ -592,6 +667,7 @@ func (s *session) sendBatchToSwitchNow(ms []of.Message) {
 	if s.recycleFM && flowMods > 0 {
 		s.ack.noteFlushed(flowMods)
 	}
+	return sent
 }
 
 // sendToController injects a message directly on the controller channel,
@@ -808,4 +884,36 @@ func (r *RUM) BootstrapSwitch(name string) error {
 // (Subscribe) carries the same information in structured form.
 func (r *RUM) Stats() (acks, probes, fallbacks uint64) {
 	return r.acksSent.Load(), r.probesSent.Load(), r.fallbacks.Load()
+}
+
+// OverloadSheds reports how many tracked updates have been shed with
+// ErrOverloaded since start (Config.OutboxLimit admission refusals).
+func (r *RUM) OverloadSheds() uint64 { return r.sheds.Load() }
+
+// OutboxHighWater reports the deepest the named switch's outbox has ever
+// been (queued messages plus the batch in flight) — the observability
+// hook for the bounded-memory guarantee of Config.OutboxLimit. Zero for
+// unknown switches.
+func (r *RUM) OutboxHighWater(name string) int {
+	v, ok := r.shards.Load(name)
+	if !ok {
+		return 0
+	}
+	sh := v.(*shard)
+	sh.lock()
+	defer sh.unlock()
+	return sh.obHighWater
+}
+
+// Degraded reports whether the named switch is currently marked slow by
+// the Degrade policy's drain-latency EWMA.
+func (r *RUM) Degraded(name string) bool {
+	v, ok := r.shards.Load(name)
+	if !ok {
+		return false
+	}
+	sh := v.(*shard)
+	sh.lock()
+	defer sh.unlock()
+	return sh.degraded
 }

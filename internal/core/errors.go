@@ -17,6 +17,11 @@ import "errors"
 //     must replay the full intended state, not just the failed updates.
 //   - ErrSwitchRejected: the switch answered the modification with an
 //     OpenFlow error; the rule never reached the data plane.
+//   - ErrOverloaded: the controller outran the switch — the per-switch
+//     outbox was at its configured bound (Config.OutboxLimit) and the
+//     overload policy shed the update (or a Block deadline expired)
+//     before it ever reached the wire. The switch is healthy and its
+//     FIB intact: back off and re-issue. See docs/OVERLOAD.md.
 //
 // Match with errors.Is: DetachSwitchCause wraps nothing, so the
 // sentinels compare directly.
@@ -30,4 +35,8 @@ var (
 	// ErrSwitchRejected reports that the switch rejected the modification
 	// with an OpenFlow error.
 	ErrSwitchRejected = errors.New("rum: switch rejected the modification")
+	// ErrOverloaded reports that the update was shed before reaching the
+	// wire because the switch's outbox was at its configured bound. The
+	// rule was never sent; the switch's state is untouched.
+	ErrOverloaded = errors.New("rum: switch outbox overloaded, update shed")
 )

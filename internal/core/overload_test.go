@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+// TestOverloadShedPolicy: with a bounded outbox and the Shed policy, a
+// burst larger than the bound must fail the overflow's futures fast with
+// ErrOverloaded — and only ErrOverloaded — while the admitted prefix
+// confirms normally and the outbox never grows past the bound.
+func TestOverloadShedPolicy(t *testing.T) {
+	const limit, n = 4, 10
+	liveBefore := LiveUpdates()
+	bed := newShardBed(t, Config{
+		Technique:   TechBarriers,
+		RUMAware:    true,
+		OutboxLimit: limit,
+		Overload:    OverloadShed,
+	}, 0)
+	var handles []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		handles = append(handles, bed.rum.Watch("s1", i))
+		if err := bed.ctrl.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bed.sim.Run()
+	installed, shed := 0, 0
+	for i, h := range handles {
+		res, ok := h.Result()
+		if !ok {
+			t.Fatalf("update %d wedged: future unresolved", i+1)
+		}
+		switch res.Outcome {
+		case OutcomeInstalled:
+			installed++
+		case OutcomeFailed:
+			if !errors.Is(res.Err, ErrOverloaded) {
+				t.Fatalf("update %d failed with %v, want ErrOverloaded", i+1, res.Err)
+			}
+			shed++
+		default:
+			t.Fatalf("update %d outcome %v", i+1, res.Outcome)
+		}
+	}
+	if shed == 0 || installed == 0 {
+		t.Fatalf("installed=%d shed=%d: burst of %d over limit %d should split", installed, shed, n, limit)
+	}
+	if installed+shed != n {
+		t.Fatalf("installed=%d + shed=%d != %d", installed, shed, n)
+	}
+	if got := bed.rum.OverloadSheds(); got != uint64(shed) {
+		t.Fatalf("OverloadSheds() = %d, want %d", got, shed)
+	}
+	// Bounded memory: tracked FlowMods never exceed the limit; the one
+	// coalesced RUM barrier may ride on top.
+	if hw := bed.rum.OutboxHighWater("s1"); hw > limit+1 {
+		t.Fatalf("outbox high water %d exceeds limit %d (+1 barrier slack)", hw, limit)
+	}
+	// No shed FlowMod reached the wire.
+	mods := 0
+	for _, m := range bed.toSwitch {
+		if _, ok := m.(*of.FlowMod); ok {
+			mods++
+		}
+	}
+	if mods != installed {
+		t.Fatalf("switch received %d FlowMods, want %d (the admitted set)", mods, installed)
+	}
+	if live := LiveUpdates() - liveBefore; live != 0 {
+		t.Fatalf("%d updates leaked (shed path must release every reference)", live)
+	}
+}
+
+// TestOverloadBlockUnderSimSheds: the discrete-event clock is
+// single-threaded, so a Block admitter cannot wait for a flush that would
+// run on the same thread. The documented degradation is an immediate
+// deadline expiry: overflow updates fail typed, nothing wedges, and the
+// simulation drains.
+func TestOverloadBlockUnderSimSheds(t *testing.T) {
+	const limit, n = 2, 6
+	bed := newShardBed(t, Config{
+		Technique:   TechBarriers,
+		RUMAware:    true,
+		OutboxLimit: limit,
+		Overload:    OverloadBlock,
+	}, 0)
+	var handles []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		handles = append(handles, bed.rum.Watch("s1", i))
+		if err := bed.ctrl.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bed.sim.Run()
+	for i, h := range handles {
+		res, ok := h.Result()
+		if !ok {
+			t.Fatalf("update %d wedged under Block+sim", i+1)
+		}
+		if res.Outcome == OutcomeFailed && !errors.Is(res.Err, ErrOverloaded) {
+			t.Fatalf("update %d failed with %v, want ErrOverloaded", i+1, res.Err)
+		}
+	}
+	if bed.rum.OverloadSheds() == 0 {
+		t.Fatal("no sheds recorded for a burst 3x the bound")
+	}
+}
+
+// TestOverloadBlockWallClock: on a real clock the Block policy parks the
+// dispatch path until the outbox drains, so a burst far larger than the
+// bound completes with zero sheds and the outbox stays bounded.
+func TestOverloadBlockWallClock(t *testing.T) {
+	const limit, n = 4, 32
+	clk := sim.NewWall()
+	cfg := Config{
+		Technique:        TechBarriers,
+		RUMAware:         true,
+		OutboxLimit:      limit,
+		Overload:         OverloadBlock,
+		OverloadDeadline: 5 * time.Second, // generous: loaded CI must not false-shed
+		Clock:            clk,
+	}
+	r, err := New(cfg, NewTopology(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlTop, ctrlBottom := transport.Pipe(clk, 0)
+	rumSide, swSide := transport.Pipe(clk, 0)
+	swSide.SetHandler(func(m of.Message) {
+		if br, ok := m.(*of.BarrierRequest); ok {
+			rep := of.AcquireBarrierReply()
+			rep.SetXID(br.GetXID())
+			_ = swSide.Send(rep)
+		}
+	})
+	ctrlTop.SetHandler(func(of.Message) {})
+	if _, err := r.AttachSwitch("s1", 1, ctrlBottom, rumSide); err != nil {
+		t.Fatal(err)
+	}
+	var handles []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		handles = append(handles, r.Watch("s1", i))
+		if err := ctrlTop.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i, h := range handles {
+		res, err := h.AwaitAck(ctx)
+		if err != nil {
+			t.Fatalf("update %d: timed out waiting under Block: %v", i+1, err)
+		}
+		if res.Outcome != OutcomeInstalled {
+			t.Fatalf("update %d: outcome %v (err %v), want installed", i+1, res.Outcome, res.Err)
+		}
+	}
+	if got := r.OverloadSheds(); got != 0 {
+		t.Fatalf("Block on a draining switch shed %d updates, want 0", got)
+	}
+	if hw := r.OutboxHighWater("s1"); hw > limit+1 {
+		t.Fatalf("outbox high water %d exceeds limit %d (+1 barrier slack)", hw, limit)
+	}
+	r.DetachSwitch("s1")
+}
+
+// throttledConn wraps a pipe end and accepts exactly one message per
+// SendBatchPartial call, refusing the rest — a stand-in for a paced,
+// congested link that forces the shard through its requeue-and-retry
+// path.
+type throttledConn struct {
+	transport.Conn
+}
+
+func (c *throttledConn) SendBatchPartial(ms []of.Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	if err := c.Conn.Send(ms[0]); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// TestOverloadDegradeSlowSwitch: the Degrade policy must notice a switch
+// whose link drains slowly (drain-latency EWMA over the threshold), flip
+// the shard into degraded mode, and still deliver everything — degraded
+// means wider batching windows, not loss.
+func TestOverloadDegradeSlowSwitch(t *testing.T) {
+	s := sim.New()
+	cfg := Config{
+		Technique:      TechBarriers,
+		RUMAware:       true,
+		OutboxLimit:    64, // roomy: this test is about slowness, not shedding
+		Overload:       OverloadDegrade,
+		DegradeLatency: 100 * time.Microsecond,
+		DegradeHold:    time.Millisecond,
+		Clock:          s,
+	}
+	r, err := New(cfg, NewTopology(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlTop, ctrlBottom := transport.Pipe(s, 0)
+	rumSide, swSide := transport.Pipe(s, 0)
+	barriers := 0
+	swSide.SetHandler(func(m of.Message) {
+		if br, ok := m.(*of.BarrierRequest); ok {
+			barriers++
+			rep := of.AcquireBarrierReply()
+			rep.SetXID(br.GetXID())
+			_ = swSide.Send(rep)
+		}
+	})
+	ctrlTop.SetHandler(func(of.Message) {})
+	if _, err := r.AttachSwitch("s1", 1, ctrlBottom, &throttledConn{Conn: rumSide}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var handles []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		handles = append(handles, r.Watch("s1", i))
+		if err := ctrlTop.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, h := range handles {
+		res, ok := h.Result()
+		if !ok || res.Outcome != OutcomeInstalled {
+			t.Fatalf("update %d: resolved=%v outcome=%v err=%v, want installed", i+1, ok, res.Outcome, res.Err)
+		}
+	}
+	if !r.Degraded("s1") {
+		t.Fatal("slow switch (1 msg per 1ms hold) not marked degraded")
+	}
+	if got := r.OverloadSheds(); got != 0 {
+		t.Fatalf("Degrade with a roomy bound shed %d updates, want 0", got)
+	}
+	// A follow-up burst on the degraded switch goes through the widened
+	// window and still confirms.
+	var again []*UpdateHandle
+	for i := uint32(100); i < 100+n; i++ {
+		again = append(again, r.Watch("s1", i))
+		if err := ctrlTop.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, h := range again {
+		res, ok := h.Result()
+		if !ok || res.Outcome != OutcomeInstalled {
+			t.Fatalf("degraded-mode update %d: resolved=%v outcome=%v, want installed", i+1, ok, res.Outcome)
+		}
+	}
+}
+
+// TestOverloadDisabledCostsNothing: with OutboxLimit zero (the default)
+// the admission gate is off — no reservations, no sheds, behavior
+// identical to the unbounded baseline.
+func TestOverloadDisabledCostsNothing(t *testing.T) {
+	bed := newShardBed(t, Config{Technique: TechBarriers, RUMAware: true}, 0)
+	const n = 16
+	var handles []*UpdateHandle
+	for i := uint32(1); i <= n; i++ {
+		handles = append(handles, bed.rum.Watch("s1", i))
+		if err := bed.ctrl.Send(testFlowMod(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bed.sim.Run()
+	for i, h := range handles {
+		if res, ok := h.Result(); !ok || res.Outcome != OutcomeInstalled {
+			t.Fatalf("update %d: resolved=%v outcome=%v, want installed", i+1, ok, res.Outcome)
+		}
+	}
+	if bed.rum.OverloadSheds() != 0 {
+		t.Fatal("sheds recorded with the bound disabled")
+	}
+}

@@ -55,6 +55,24 @@ type shard struct {
 	coalesced map[uint32][]uint32      // surviving RUM barrier xid → swallowed xids
 	xidFree   [][]uint32               // recycled swallowed-xid slices
 	watchers  map[uint32]*UpdateHandle // heads of intrusive per-xid chains
+
+	// Overload state, live only when Config.OutboxLimit > 0. reserved
+	// counts admitted tracked FlowMods not yet appended to the outbox;
+	// inFlight counts the batch currently on the wire (still occupying
+	// the bound until the transport returns); waiters are Block-policy
+	// admitters parked until a flush frees space. drainStart/drainEWMA
+	// feed the Degrade policy's slow-switch detector; degraded widens the
+	// coalescing window for flushes. obHighWater records the deepest the
+	// queue (outbox + in-flight batch) has ever been — the bounded-memory
+	// observability hook.
+	reserved    int
+	inFlight    int
+	waiters     []chan struct{}
+	noBlock     bool // simulated clock: Block cannot wait, sheds instead
+	degraded    bool
+	drainStart  time.Duration
+	drainEWMA   time.Duration
+	obHighWater int
 }
 
 // lock takes the shard's hot-path lock — the per-shard mutex, or the
@@ -89,6 +107,10 @@ func (sh *shard) bind(s *session) {
 	sh.lock()
 	sh.sess = s
 	_, isSim := sh.r.cfg.Clock.(*sim.Sim)
+	// Under the discrete-event clock every callback shares one thread, so
+	// a Block admitter cannot wait for a flush that would have to run on
+	// the same thread: Block degrades to an immediate deadline expiry.
+	sh.noBlock = isSim
 	if !isSim && !sh.r.cfg.Unsharded {
 		sh.wake = make(chan struct{}, 1)
 		sh.stop = make(chan struct{})
@@ -118,6 +140,13 @@ func (sh *shard) close() {
 	// this session bail instead of touching the next session's state.
 	sh.flushing = false
 	sh.gen++
+	// Overload state dies with the session: parked Block admitters wake
+	// and observe the nil session, reservations and in-flight counts are
+	// void (their messages were dropped above), and the slow-switch EWMA
+	// starts fresh on the next attach.
+	sh.reserved, sh.inFlight = 0, 0
+	sh.degraded, sh.drainEWMA = false, 0
+	sh.wakeWaitersLocked()
 	if sh.stop != nil {
 		close(sh.stop)
 		sh.wake, sh.stop = nil, nil
@@ -125,11 +154,87 @@ func (sh *shard) close() {
 	sh.unlock()
 }
 
+// wakeWaitersLocked releases every parked Block-policy admitter; they
+// re-check the bound (or the session) under the lock.
+func (sh *shard) wakeWaitersLocked() {
+	if len(sh.waiters) == 0 {
+		return
+	}
+	for _, ch := range sh.waiters {
+		close(ch)
+	}
+	sh.waiters = nil
+}
+
+// admitUpdate reserves outbox space for one tracked controller FlowMod
+// under the configured overload policy, reporting false when the update
+// must be shed with ErrOverloaded instead of sent. RUM-internal traffic
+// (barriers, probes, acks) never passes through here — it is bounded by
+// coalescing and must not be shed, or strategies would wedge.
+//
+// It is called by the ack layer BEFORE the update is tracked and outside
+// ackLayer.mu: the Block policy may park here, and the lock order
+// ackLayer.mu → shard.mu forbids blocking once tracking has begun.
+func (sh *shard) admitUpdate() bool {
+	limit := sh.r.cfg.OutboxLimit
+	if limit <= 0 || sh.r.cfg.Unsharded {
+		return true
+	}
+	policy := sh.r.cfg.Overload
+	var deadline time.Time
+	sh.mu.Lock()
+	for {
+		if sh.sess == nil {
+			// Detached: the enqueue will drop the message and the detach
+			// path owns failing the future — admission is not the gate.
+			sh.reserved++
+			sh.mu.Unlock()
+			return true
+		}
+		if len(sh.outbox)+sh.inFlight+sh.reserved < limit {
+			sh.reserved++
+			sh.mu.Unlock()
+			return true
+		}
+		if policy == OverloadShed || sh.noBlock {
+			sh.mu.Unlock()
+			return false
+		}
+		// Block (and Degrade at the bound): park until a flush completes
+		// or the deadline expires. The deadline is measured across all
+		// waits for this one admission.
+		if deadline.IsZero() {
+			deadline = time.Now().Add(sh.r.cfg.OverloadDeadline)
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			sh.mu.Unlock()
+			return false
+		}
+		ch := make(chan struct{})
+		sh.waiters = append(sh.waiters, ch)
+		sh.mu.Unlock()
+		t := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+		sh.mu.Lock()
+	}
+}
+
 // enqueue queues a switch-bound message on the shard's outbox and
 // schedules a flush if none is pending. RUM-internal barriers coalesce
 // into the queue's newest barrier. Messages enqueued while the switch is
 // detached are dropped (their updates fail via the detach path).
-func (sh *shard) enqueue(m of.Message) {
+func (sh *shard) enqueue(m of.Message) { sh.enqueueOpts(m, false) }
+
+// enqueueReserved is enqueue for a message that passed admitUpdate: it
+// consumes the admission reservation as it lands on the outbox.
+func (sh *shard) enqueueReserved(m of.Message) { sh.enqueueOpts(m, true) }
+
+func (sh *shard) enqueueOpts(m of.Message, reserved bool) {
 	if sh.r.cfg.Unsharded {
 		// Pre-shard baseline: one RUM-wide mutex held across the send,
 		// no batching, no coalescing.
@@ -142,6 +247,9 @@ func (sh *shard) enqueue(m of.Message) {
 		return
 	}
 	sh.mu.Lock()
+	if reserved && sh.reserved > 0 {
+		sh.reserved--
+	}
 	if sh.sess == nil {
 		sh.mu.Unlock()
 		return
@@ -150,14 +258,30 @@ func (sh *shard) enqueue(m of.Message) {
 		sh.coalesceBarriersLocked(br.GetXID())
 	}
 	sh.outbox = append(sh.outbox, m)
+	if n := len(sh.outbox) + sh.inFlight; n > sh.obHighWater {
+		sh.obHighWater = n
+	}
 	if sh.flushing {
 		sh.mu.Unlock()
 		return
 	}
 	sh.flushing = true
+	if sh.r.degradeOn {
+		sh.drainStart = sh.r.cfg.Clock.Now()
+	}
+	degraded := sh.degraded
 	wake := sh.wake
 	gen := sh.gen
 	sh.mu.Unlock()
+	if degraded {
+		// Slow switch: instead of flushing immediately, let the batch sit
+		// for DegradeHold so more messages — and more coalescible RUM
+		// barriers — accumulate per wire write. The wheel (and the sim)
+		// run callbacks on their own goroutine/turn, so a slow send here
+		// never stalls enqueuers.
+		sh.r.cfg.Clock.After(sh.r.cfg.DegradeHold, func() { sh.flush(gen) })
+		return
+	}
 	if wake != nil {
 		wake <- struct{}{} // buffered; only sent on the false→true edge
 		return
@@ -256,12 +380,21 @@ func (sh *shard) flush(gen uint64) {
 			sh.mu.Unlock()
 			return
 		}
+		// The previous iteration's batch (if any) has fully left through
+		// the transport: its slots no longer count against the bound.
+		if sh.inFlight != 0 {
+			sh.inFlight = 0
+			sh.wakeWaitersLocked()
+		}
 		if spent != nil && sh.obSpare == nil {
 			sh.obSpare = spent
 			spent = nil
 		}
 		if len(sh.outbox) == 0 || sh.sess == nil {
 			sh.flushing = false
+			if sh.r.degradeOn && sh.sess != nil {
+				sh.noteDrainedLocked()
+			}
 			sh.mu.Unlock()
 			return
 		}
@@ -272,9 +405,18 @@ func (sh *shard) flush(gen uint64) {
 		} else {
 			sh.outbox = nil
 		}
+		sh.inFlight = len(batch)
 		s := sh.sess
 		sh.mu.Unlock()
-		s.sendBatchToSwitchNow(batch)
+		sent := s.sendBatchToSwitchNow(batch)
+		if sent < len(batch) {
+			// The transport applied backpressure mid-batch: put the unsent
+			// suffix back at the head of the outbox and retry after a hold,
+			// giving the paced link time to drain. The flushing flag stays
+			// up — this drainer (now the scheduled retry) owns the outbox.
+			sh.requeue(batch, sent, gen, s)
+			return
+		}
 		if s.reuseBatch {
 			// The conn serialized the batch during SendBatch and retains
 			// nothing; the backing array becomes the next outbox. Pipes
@@ -285,6 +427,42 @@ func (sh *shard) flush(gen uint64) {
 			spent = batch[:0]
 		}
 	}
+}
+
+// noteDrainedLocked feeds the just-completed drain's latency (first
+// enqueue of the burst → outbox empty) into the slow-switch EWMA and
+// flips the degraded flag across the configured threshold. Only the
+// Degrade policy consumes the flag; the EWMA itself is cheap enough to
+// keep whenever degradeOn.
+func (sh *shard) noteDrainedLocked() {
+	lat := sh.r.cfg.Clock.Now() - sh.drainStart
+	sh.drainEWMA += (lat - sh.drainEWMA) / 8
+	sh.degraded = sh.drainEWMA > sh.r.cfg.DegradeLatency
+}
+
+// requeue prepends a partially-sent batch's unsent suffix back onto the
+// outbox and schedules a delayed retry flush. Reached only via
+// PartialBatchSender transports (trace-paced fault links, bounded TCP).
+func (sh *shard) requeue(batch []of.Message, sent int, gen uint64, s *session) {
+	rest := batch[sent:]
+	sh.mu.Lock()
+	if sh.gen != gen {
+		sh.mu.Unlock()
+		return
+	}
+	merged := make([]of.Message, 0, len(rest)+len(sh.outbox))
+	merged = append(merged, rest...)
+	merged = append(merged, sh.outbox...)
+	sh.outbox = merged
+	sh.inFlight = 0
+	if s.reuseBatch && sh.obSpare == nil {
+		for i := range batch {
+			batch[i] = nil
+		}
+		sh.obSpare = batch[:0]
+	}
+	sh.mu.Unlock()
+	sh.r.cfg.Clock.After(sh.r.cfg.DegradeHold, func() { sh.flush(gen) })
 }
 
 // takeCoalesced removes and returns the barrier xids swallowed into the

@@ -13,6 +13,7 @@ import (
 	"rum/internal/faults"
 	"rum/internal/netsim"
 	"rum/internal/of"
+	"rum/internal/retry"
 	"rum/internal/sim"
 	"rum/internal/switchsim"
 	"rum/internal/transport"
@@ -320,42 +321,26 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 		fanHandle = c.Fanout(ups, func(sw string, fm *of.FlowMod) error { return client.Send(sw, fm) })
 	})
 
-	// The proxy crash: every control channel the member holds dies, then
-	// the cluster detaches its switches with the typed ShardError cause.
-	var orphans []string
-	var killedAt time.Duration
-	s.After(opts.KillAt, func() {
-		killedAt = s.Now()
-		for _, name := range c.SwitchesOf(opts.KillShard) {
-			if fc, ok := c.Member(opts.KillShard).SwitchConn(name).(*faults.Conn); ok {
-				fc.Kill()
-			}
-			_ = ctrlConns[name].Close()
-		}
-		orphans = c.Kill(opts.KillShard)
-	})
-
-	// Adoption: re-attach each orphan (the cluster routes it to its
-	// next-preferred live shard), rebuild probe state, re-read the FIB
-	// and repair — failed rules already present are recognized, missing
-	// ones are re-issued — then wave 2 measures recovery end to end.
 	res := &ClusterChurnResult{
 		K: opts.K, Shards: opts.Shards, Switches: len(names),
 		CompositeLosingShard: -1,
 		PerTechnique:         make(map[core.Technique]TechFaultStats),
 	}
-	s.After(opts.KillAt+opts.RecoverAfter, func() {
+
+	// Adoption runs once the LAST orphan's re-dial has succeeded: probing
+	// strategies bootstrap against pod neighbors, and a pod-aware shard
+	// map makes the orphans each other's probe neighbors — so every conn
+	// must be attached before any session is rebuilt. Then the repair
+	// pass runs against the adopted switches' authoritative FIBs — failed
+	// rules already present are recognized, missing ones re-issued — and
+	// wave 2 measures recovery end to end.
+	var orphans []string
+	adoptAll := func() {
 		for _, name := range orphans {
-			if err := attach(name); err != nil {
+			if err := c.BootstrapSwitch(name); err != nil {
 				panic(err) // deterministic harness bug, not a runtime condition
 			}
-			client.SetConn(name, ctrlConns[name])
-			if err := c.BootstrapSwitch(name); err != nil {
-				panic(err)
-			}
 		}
-		// Repair pass over everything that failed on an orphan, against
-		// the adopted switches' authoritative FIBs.
 		present := make(map[string]map[of.Match]bool, len(orphans))
 		for _, name := range orphans {
 			m := make(map[of.Match]bool)
@@ -401,10 +386,49 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 			}
 		}
 		issueWave(orphans, 2*time.Millisecond, opts.UpdatesPerSwitch)
+	}
+
+	// The proxy crash: every control channel the member holds dies, the
+	// cluster detaches its switches with the typed ShardError cause, and
+	// each orphan starts a backoff-governed re-dial — attempts fail until
+	// the outage ends, then attach routes the switch to its adoptive
+	// member. Adoption (bootstrap + repair + wave 2) fires when the last
+	// re-dial lands.
+	var killedAt time.Duration
+	s.After(opts.KillAt, func() {
+		killedAt = s.Now()
+		for _, name := range c.SwitchesOf(opts.KillShard) {
+			if fc, ok := c.Member(opts.KillShard).SwitchConn(name).(*faults.Conn); ok {
+				fc.Kill()
+			}
+			_ = ctrlConns[name].Close()
+		}
+		orphans = c.Kill(opts.KillShard)
+		recoverAt := s.Now() + opts.RecoverAfter
+		reattached := 0
+		for _, name := range orphans {
+			name := name
+			client.Reconnect(name, retry.New(reconnectPolicy, reconnectSeed(opts.Seed, name)), 0,
+				func() (transport.Conn, error) {
+					if s.Now() < recoverAt {
+						return nil, errSwitchDown
+					}
+					if err := attach(name); err != nil {
+						panic(err) // deterministic harness bug, not a runtime condition
+					}
+					return ctrlConns[name], nil
+				},
+				func(transport.Conn) {
+					if reattached++; reattached == len(orphans) {
+						adoptAll()
+					}
+				})
+		}
 	})
 
-	// Drive past the recovery point, then to full resolution.
-	s.RunFor(opts.KillAt + opts.RecoverAfter + 5*time.Millisecond)
+	// Drive past the recovery point — including the worst jittered
+	// backoff step after the outage ends — then to full resolution.
+	s.RunFor(opts.KillAt + opts.RecoverAfter + 2*reconnectPolicy.Cap + 5*time.Millisecond)
 	deadline := churnStart + opts.Deadline
 	resolvedAll := func() bool {
 		for i, it := range all {

@@ -11,10 +11,36 @@ import (
 	"rum/internal/core"
 	"rum/internal/faults"
 	"rum/internal/netsim"
+	"rum/internal/retry"
 	"rum/internal/sim"
 	"rum/internal/switchsim"
 	"rum/internal/transport"
 )
+
+// reconnectPolicy is the backoff schedule the experiment harnesses feed
+// controller.Client.Reconnect when re-dialing a severed control channel:
+// jittered exponential from 5ms to a 20ms cap, tight enough that a
+// recovered switch is re-adopted within one cap of the outage ending.
+var reconnectPolicy = retry.Policy{
+	Base:       5 * time.Millisecond,
+	Cap:        20 * time.Millisecond,
+	Multiplier: 2,
+	Jitter:     0.5,
+}
+
+// errSwitchDown is what a harness dial returns while the outage lasts.
+var errSwitchDown = errors.New("experiments: switch still unreachable")
+
+// reconnectSeed derives a per-switch backoff seed from the run seed so
+// every switch jitters independently yet two runs with equal opts replay
+// identical reconnect schedules (FNV-1a over the switch name).
+func reconnectSeed(base int64, name string) int64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return base + int64(h)
+}
 
 // FaultProfile names one adversarial condition the reliability suite
 // runs the fat-tree churn under. The paper's premise is that control
@@ -434,18 +460,30 @@ func FaultChurn(opts FaultChurnOpts) (*FaultChurnResult, error) {
 					r.DetachSwitchCause(name, cause)
 					// The controller side learns the session died.
 					_ = ctrlConns[name].Close()
-				})
-				s.After(opts.FaultAt+opts.RecoverAfter, func() {
-					if err := attach(name); err != nil {
-						panic(err) // deterministic harness bug, not a runtime condition
-					}
-					client.SetConn(name, ctrlConns[name])
-					if err := r.BootstrapSwitch(name); err != nil {
-						panic(err)
-					}
-					// Wave 2: fresh updates through the recovered
-					// session measure recovery latency end to end.
-					issueWave([]string{name}, 2*time.Millisecond)
+					// Backoff-governed re-dial: attempts start one backoff
+					// delay after the cut and fail until the outage ends, so
+					// a down switch is probed at widening intervals instead
+					// of a fixed-delay hot reattach. Success installs the new
+					// conn (SetConn inside Reconnect), re-bootstraps the
+					// session, and issues wave 2 — fresh updates measuring
+					// recovery end to end.
+					recoverAt := s.Now() + opts.RecoverAfter
+					client.Reconnect(name, retry.New(reconnectPolicy, reconnectSeed(opts.Seed, name)), 0,
+						func() (transport.Conn, error) {
+							if s.Now() < recoverAt {
+								return nil, errSwitchDown
+							}
+							if err := attach(name); err != nil {
+								panic(err) // deterministic harness bug, not a runtime condition
+							}
+							return ctrlConns[name], nil
+						},
+						func(transport.Conn) {
+							if err := r.BootstrapSwitch(name); err != nil {
+								panic(err)
+							}
+							issueWave([]string{name}, 2*time.Millisecond)
+						})
 				})
 			}
 		}
@@ -454,9 +492,10 @@ func FaultChurn(opts FaultChurnOpts) (*FaultChurnResult, error) {
 	// Drive to completion. Reconnect profiles first run past the
 	// recovery point unconditionally: wave 1 may fully resolve before
 	// the outage ends, and wave 2's futures only exist once the
-	// reconnect event has fired.
+	// backoff-governed re-dial has succeeded — at worst one jittered
+	// cap (1.5×Cap) after the outage ends.
 	if opts.Profile == FaultDisconnect || opts.Profile == FaultRestart {
-		s.RunFor(opts.FaultAt + opts.RecoverAfter + 5*time.Millisecond)
+		s.RunFor(opts.FaultAt + opts.RecoverAfter + 2*reconnectPolicy.Cap + 5*time.Millisecond)
 	}
 	deadline := churnStart + opts.Deadline
 	resolvedAll := func() bool {

@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/faults"
+	"rum/internal/netsim"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// congestedTraceText is the built-in congested-control-channel profile
+// the overload harness defaults to: a healthy phase, a congestion
+// collapse (high latency, a thirteenth of the bandwidth), and a partial
+// recovery, cycling. Congestion here is queueing, not loss — deliveries
+// are paced and ordered, so the sequential technique's FIFO inference
+// stays sound and honesty failures can only come from the overload
+// machinery itself. Lossy profiles (the bundled
+// internal/faults/testdata traces) can be swapped in via Trace.
+const congestedTraceText = `# congested control channel: healthy / collapse / partial recovery
+20ms 200us 0 2000
+30ms 2ms   0 150
+10ms 500us 0 800
+`
+
+// OverloadChurnOpts parameterizes the overload-robustness workload: the
+// fat-tree churn pushed through a congested control channel (a
+// trace-shaped link per switch) against a small bounded outbox, run
+// once per OverloadPolicy.
+type OverloadChurnOpts struct {
+	// Policy is the per-switch outbox overload policy under test
+	// (default core.OverloadShed — the only policy whose behaviour is
+	// identical under the simulated and wall clocks).
+	Policy core.OverloadPolicy
+	// Seed feeds the deterministic injector (default 1).
+	Seed int64
+	// K is the fat-tree arity (default 4 → 20 switches).
+	K int
+	// UpdatesPerSwitch is the per-switch update count (default 30 —
+	// several times the outbox bound, so the congestion collapse phase
+	// must overflow it).
+	UpdatesPerSwitch int
+	// Burst and Stagger shape the churn (defaults 5, 500µs).
+	Burst   int
+	Stagger time.Duration
+	// Technique is the core-layer strategy (default timeout); edge
+	// switches run sequential and aggregation switches general probing,
+	// as in the fault suite — the probing cohorts are the ones the
+	// zero-false-ack acceptance is asserted on.
+	Technique core.Technique
+	// OutboxLimit bounds each switch shard's outbox (default 8).
+	OutboxLimit int
+	// OverloadDeadline, DegradeLatency and DegradeHold mirror
+	// core.Config (defaults 100ms, 1ms, 2ms).
+	OverloadDeadline time.Duration
+	DegradeLatency   time.Duration
+	DegradeHold      time.Duration
+	// Trace is the link profile shaping every RUM→switch channel
+	// (default: the built-in congested-control-channel profile).
+	Trace *faults.Trace
+	// CtrlLatency and LinkLatency mirror EnvConfig (defaults 100µs/20µs).
+	CtrlLatency time.Duration
+	LinkLatency time.Duration
+	// Deadline bounds the simulated run (default 30s).
+	Deadline time.Duration
+}
+
+// Defaults fills zero fields.
+func (o OverloadChurnOpts) Defaults() OverloadChurnOpts {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.K == 0 {
+		o.K = 4
+	}
+	if o.UpdatesPerSwitch == 0 {
+		o.UpdatesPerSwitch = 30
+	}
+	if o.Burst == 0 {
+		o.Burst = 5
+	}
+	if o.Stagger == 0 {
+		o.Stagger = 500 * time.Microsecond
+	}
+	if o.Technique == "" {
+		o.Technique = core.TechTimeout
+	}
+	if o.OutboxLimit == 0 {
+		o.OutboxLimit = 8
+	}
+	if o.OverloadDeadline == 0 {
+		o.OverloadDeadline = 100 * time.Millisecond
+	}
+	if o.DegradeLatency == 0 {
+		o.DegradeLatency = time.Millisecond
+	}
+	if o.DegradeHold == 0 {
+		o.DegradeHold = 2 * time.Millisecond
+	}
+	if o.Trace == nil {
+		tr, err := faults.ParseTrace("congested", congestedTraceText)
+		if err != nil {
+			panic(err) // compiled-in profile: a parse failure is a build bug
+		}
+		o.Trace = tr
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = 100 * time.Microsecond
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 20 * time.Microsecond
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	return o
+}
+
+// OverloadChurnResult reports one policy's run through the congested
+// channel.
+type OverloadChurnResult struct {
+	Policy   core.OverloadPolicy
+	Seed     int64
+	Switches int
+	// Updates = Acked + Shed + FailedOther + SendFailed + Wedged.
+	Updates    int
+	SendFailed int
+
+	Acked int
+	// Shed resolved as failed with core.ErrOverloaded — the typed
+	// fast-fail the Shed policy (and Block under the simulated clock)
+	// hands back instead of queueing without bound. FailedOther counts
+	// every other typed failure; under this harness (no channel kills)
+	// the Shed policy must keep it at zero.
+	Shed        int
+	FailedOther int
+	Wedged      int
+	FalseAcks   int
+
+	// ShedPct is Shed as a percentage of Updates — the benchcheck
+	// overload gate's metric.
+	ShedPct float64
+
+	// MaxOutboxHighWater is the worst observed per-shard
+	// outbox+in-flight occupancy across all switches — the
+	// memory-boundedness evidence.
+	MaxOutboxHighWater int
+	// DegradedSwitches counts switches still flagged slow at run end
+	// (only the Degrade policy marks any).
+	DegradedSwitches int
+
+	// P50/P99 are ack-latency percentiles over positive resolutions.
+	P50, P99 time.Duration
+
+	PerTechnique map[core.Technique]TechFaultStats
+
+	Injected faults.Stats
+
+	// Trace is the canonical per-update transcript; equal opts (and
+	// seed) reproduce it byte for byte.
+	Trace string
+}
+
+// String summarizes the run in one line.
+func (r *OverloadChurnResult) String() string {
+	return fmt.Sprintf("overload{%s seed=%d}: %d/%d acked, %d shed (%.1f%%), %d wedged, %d false-acks, outbox high-water %d, p99 %v",
+		r.Policy, r.Seed, r.Acked, r.Updates, r.Shed, r.ShedPct, r.Wedged, r.FalseAcks, r.MaxOutboxHighWater, r.P99)
+}
+
+// OverloadChurn drives the fat-tree churn through trace-congested
+// control channels against bounded per-switch outboxes and scores the
+// overload policy: completeness (zero wedged futures), honesty (zero
+// false acks for probing cohorts, sheds typed ErrOverloaded and never
+// wire-acked), and boundedness (outbox high-water never exceeds the
+// configured limit plus RUM's own barrier traffic).
+func OverloadChurn(opts OverloadChurnOpts) (*OverloadChurnResult, error) {
+	opts = opts.Defaults()
+	ft, err := netsim.NewFatTree(opts.K)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New()
+	n := netsim.New(s)
+	inj := faults.NewInjector(opts.Seed)
+	plan := &faults.Plan{Trace: opts.Trace}
+
+	names := ft.Switches()
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range names {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, opts.LinkLatency)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+
+	cfg := core.Config{
+		Clock:            s,
+		Technique:        opts.Technique,
+		RUMAware:         true,
+		TimeoutRate:      1000,
+		OutboxLimit:      opts.OutboxLimit,
+		Overload:         opts.Policy,
+		OverloadDeadline: opts.OverloadDeadline,
+		DegradeLatency:   opts.DegradeLatency,
+		DegradeHold:      opts.DegradeHold,
+		PerSwitch:        make(map[string]core.Technique),
+	}
+	for _, sw := range ft.Edge {
+		cfg.PerSwitch[sw] = core.TechSequential
+	}
+	for _, sw := range ft.Agg {
+		cfg.PerSwitch[sw] = core.TechGeneral
+	}
+	r, err := core.New(cfg, core.NewTopology(links))
+	if err != nil {
+		return nil, err
+	}
+
+	ctrlConns := make(map[string]transport.Conn)
+	for _, name := range names {
+		sw := switches[name]
+		ctrlTop, ctrlBottom := transport.Pipe(s, opts.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, opts.CtrlLatency)
+		sw.AttachConn(swSide)
+		// The congested link is RUM→switch: exactly where the bounded
+		// outbox and the trace pacer meet.
+		wrapped := faults.Wrap(rumSide, s, inj, plan)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, wrapped); err != nil {
+			return nil, fmt.Errorf("experiments: attaching %s: %w", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := r.Bootstrap(); err != nil {
+		return nil, err
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	techniqueOf := func(sw string) core.Technique {
+		if t, ok := cfg.PerSwitch[sw]; ok {
+			return t
+		}
+		return opts.Technique
+	}
+
+	type issued struct {
+		sw     string
+		xid    uint32
+		handle *core.UpdateHandle
+	}
+	var all []issued
+	sendFailed := make(map[int]bool)
+	flowID := 0
+	churnStart := s.Now()
+	for _, name := range names {
+		ports := ft.InterPorts(name)
+		for u := 0; u < opts.UpdatesPerSwitch; u++ {
+			sw, port := name, ports[u%len(ports)]
+			f := controller.FlowSpec{ID: flowID}
+			f.Src, f.Dst = controller.FlowAddr(flowID)
+			flowID++
+			fm := controller.AddRule(f, 100, port)
+			fm.SetXID(client.NewXID())
+			idx := len(all)
+			all = append(all, issued{sw: sw, xid: fm.GetXID(), handle: r.Watch(sw, fm.GetXID())})
+			delay := time.Duration(u/opts.Burst) * opts.Stagger
+			s.After(delay, func() {
+				if err := client.Send(sw, fm); err != nil {
+					sendFailed[idx] = true
+					all[idx].handle.Cancel()
+				}
+			})
+		}
+	}
+
+	deadline := churnStart + opts.Deadline
+	resolvedAll := func() bool {
+		for i, it := range all {
+			if sendFailed[i] {
+				continue
+			}
+			if _, ok := it.handle.Result(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for !resolvedAll() && s.Now() < deadline {
+		s.RunFor(10 * time.Millisecond)
+	}
+
+	// Ground truth: every xid that ever became visible in a data plane.
+	activated := make(map[string]map[uint32]bool, len(names))
+	for _, name := range names {
+		m := make(map[uint32]bool)
+		for _, a := range switches[name].Activations() {
+			m[a.XID] = true
+		}
+		activated[name] = m
+	}
+
+	res := &OverloadChurnResult{
+		Policy:       opts.Policy,
+		Seed:         opts.Seed,
+		Switches:     len(names),
+		Updates:      len(all),
+		PerTechnique: make(map[core.Technique]TechFaultStats),
+	}
+	var trace strings.Builder
+	var lats []time.Duration
+	for i, it := range all {
+		tech := techniqueOf(it.sw)
+		st := res.PerTechnique[tech]
+		st.Updates++
+		ar, ok := it.handle.Result()
+		switch {
+		case sendFailed[i]:
+			res.SendFailed++
+			st.SendFailed++
+			fmt.Fprintf(&trace, "%d %s %d send-failed\n", i, it.sw, it.xid)
+		case !ok:
+			res.Wedged++
+			st.Wedged++
+			fmt.Fprintf(&trace, "%d %s %d WEDGED\n", i, it.sw, it.xid)
+		case ar.Outcome == core.OutcomeFailed:
+			st.FailedTyped++
+			if errors.Is(ar.Err, core.ErrOverloaded) {
+				res.Shed++
+			} else {
+				res.FailedOther++
+			}
+			fmt.Fprintf(&trace, "%d %s %d failed %v @%d\n", i, it.sw, it.xid, ar.Err, ar.ConfirmedAt.Nanoseconds())
+		default:
+			res.Acked++
+			st.Acked++
+			lats = append(lats, ar.Latency)
+			falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
+				!activated[it.sw][it.xid]
+			if falseAck {
+				res.FalseAcks++
+				st.FalseAcks++
+			}
+			fmt.Fprintf(&trace, "%d %s %d %s false=%v @%d\n",
+				i, it.sw, it.xid, ar.Outcome, falseAck, ar.ConfirmedAt.Nanoseconds())
+		}
+		res.PerTechnique[tech] = st
+	}
+	if res.Updates > 0 {
+		res.ShedPct = 100 * float64(res.Shed) / float64(res.Updates)
+	}
+	for _, name := range names {
+		if hw := r.OutboxHighWater(name); hw > res.MaxOutboxHighWater {
+			res.MaxOutboxHighWater = hw
+		}
+		if r.Degraded(name) {
+			res.DegradedSwitches++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		res.P50, res.P99 = lats[len(lats)*50/100], lats[i99]
+	}
+	res.Injected = inj.Stats()
+	fmt.Fprintf(&trace, "sheds: %d high-water: %d\n", r.OverloadSheds(), res.MaxOutboxHighWater)
+	fmt.Fprintf(&trace, "injected: %s\n", res.Injected)
+	res.Trace = trace.String()
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"rum/internal/core"
+)
+
+// TestOverloadChurnPolicies drives the congested-control-channel
+// workload under every overload policy and checks the robustness
+// contract: no future wedges, no cohort false-acks, every shed is typed
+// ErrOverloaded (FailedOther stays zero — there are no channel kills in
+// this scenario), and the accounting closes.
+func TestOverloadChurnPolicies(t *testing.T) {
+	for _, policy := range []core.OverloadPolicy{core.OverloadBlock, core.OverloadShed, core.OverloadDegrade} {
+		res, err := OverloadChurn(OverloadChurnOpts{Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		t.Logf("%s", res)
+		if res.Wedged != 0 {
+			t.Errorf("%s: %d wedged futures; the overload layer must fail fast, not lose updates", policy, res.Wedged)
+		}
+		if res.FalseAcks != 0 {
+			t.Errorf("%s: %d false acks over a lossless congested link", policy, res.FalseAcks)
+		}
+		if res.FailedOther != 0 {
+			t.Errorf("%s: %d failures typed something other than ErrOverloaded", policy, res.FailedOther)
+		}
+		if res.Shed == 0 {
+			t.Errorf("%s: congestion collapse never tripped the outbox bound — the scenario is not exercising it", policy)
+		}
+		if got := res.Acked + res.Shed + res.FailedOther + res.SendFailed + res.Wedged; got != res.Updates {
+			t.Errorf("%s: accounting %d != %d updates", policy, got, res.Updates)
+		}
+		for tech, st := range res.PerTechnique {
+			if st.FalseAcks != 0 {
+				t.Errorf("%s: technique %s false-acked %d updates", policy, tech, st.FalseAcks)
+			}
+		}
+		if res.MaxOutboxHighWater <= 0 {
+			t.Errorf("%s: outbox high-water not recorded", policy)
+		}
+	}
+}
+
+// TestOverloadChurnDeterministicReplay pins the replay contract: equal
+// opts reproduce the per-update transcript byte for byte, trace pacing
+// and shed decisions included.
+func TestOverloadChurnDeterministicReplay(t *testing.T) {
+	run := func() string {
+		res, err := OverloadChurn(OverloadChurnOpts{Policy: core.OverloadShed, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same opts produced different overload transcripts")
+	}
+}

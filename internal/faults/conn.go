@@ -3,6 +3,7 @@ package faults
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rum/internal/of"
 	"rum/internal/sim"
@@ -10,10 +11,11 @@ import (
 )
 
 // Conn interposes a fault plan on a transport.Conn. It implements
-// transport.Conn and transport.BatchSender; it deliberately does NOT
+// transport.Conn, transport.BatchSender, and (for trace-driven link
+// profiles) transport.PartialBatchSender; it deliberately does NOT
 // implement transport.FrameEncoder, because faulted messages may be
-// retained past Send (delay, reorder) — a wrapped session runs under
-// shared-ownership (pipe) rules regardless of the inner conn.
+// retained past Send (delay, reorder, pacing) — a wrapped session runs
+// under shared-ownership (pipe) rules regardless of the inner conn.
 type Conn struct {
 	inner transport.Conn
 	clock sim.Clock
@@ -29,6 +31,20 @@ type Conn struct {
 	// is released after the next same-direction message passes, or by
 	// the ReorderHold flush timer.
 	held [2]of.Message
+
+	// Trace-driven link state (plan.Trace != nil). trOrigin anchors the
+	// cyclic schedule at Wrap time; tr holds the per-direction pacer.
+	trOrigin time.Duration
+	trMu     sync.Mutex
+	tr       [2]traceState
+}
+
+// traceState is one direction's link pacer: nextFree is when the link
+// can begin its next transmission, lastOut the latest scheduled delivery
+// (deliveries never overtake each other, even across interval edges).
+type traceState struct {
+	nextFree time.Duration
+	lastOut  time.Duration
 }
 
 // Wrap interposes the plan on inner, sharing the injector (and therefore
@@ -40,7 +56,11 @@ func Wrap(inner transport.Conn, clk sim.Clock, inj *Injector, plan *Plan) transp
 	if !plan.Enabled() {
 		return inner
 	}
-	return &Conn{inner: inner, clock: clk, inj: inj, plan: plan}
+	c := &Conn{inner: inner, clock: clk, inj: inj, plan: plan}
+	if plan.Trace != nil {
+		c.trOrigin = clk.Now()
+	}
+	return c
 }
 
 // OnKill registers a callback fired (once, via the clock so no wrapper
@@ -118,8 +138,12 @@ func (c *Conn) apply(dir Direction, m of.Message, deliver func(of.Message)) bool
 		// message appended to it after the flush would be silently
 		// lost instead of delayed. Late deliveries always go straight
 		// to the inner conn / handler.
+		d := rule.Delay
+		if rule.DelayMax > rule.Delay {
+			d = c.inj.durationBetween(rule.Delay, rule.DelayMax)
+		}
 		late := c.lateDeliver(dir)
-		c.clock.After(rule.Delay, func() {
+		c.clock.After(d, func() {
 			if !c.killed.Load() {
 				late(m)
 			}
@@ -188,12 +212,81 @@ func (c *Conn) lateDeliver(dir Direction) func(of.Message) {
 	return func(m of.Message) { _ = c.inner.Send(m) }
 }
 
-// Send implements transport.Conn.
+// traceFull reports whether the direction's link pacer has TraceBacklog
+// transmissions queued — the point where SendBatchPartial refuses the
+// rest of a batch so congestion backs up into the shard's overload
+// policy instead of an unbounded timer queue. Pure function of time and
+// pacer state: no roll is consumed, so a refused-and-retried message
+// perturbs nothing in the deterministic schedule it eventually joins.
+func (c *Conn) traceFull(dir Direction) bool {
+	now := c.clock.Now()
+	c.trMu.Lock()
+	defer c.trMu.Unlock()
+	iv := c.plan.Trace.at(now - c.trOrigin)
+	if iv.Bandwidth <= 0 {
+		return false
+	}
+	tx := time.Second / time.Duration(iv.Bandwidth)
+	return c.tr[dir&1].nextFree-now >= TraceBacklog*tx
+}
+
+// traceDeliver carries one message across the traced link: it occupies
+// the pacer for the current interval's per-message transmission time,
+// rolls the interval's loss probability, and schedules delivery after
+// transmission plus latency, never overtaking an earlier delivery.
+func (c *Conn) traceDeliver(dir Direction, m of.Message) {
+	now := c.clock.Now()
+	c.trMu.Lock()
+	iv := c.plan.Trace.at(now - c.trOrigin)
+	st := &c.tr[dir&1]
+	var tx time.Duration
+	if iv.Bandwidth > 0 {
+		tx = time.Second / time.Duration(iv.Bandwidth)
+	}
+	start := st.nextFree
+	if start < now {
+		start = now
+	}
+	st.nextFree = start + tx
+	at := start + tx + iv.Latency
+	if at < st.lastOut {
+		at = st.lastOut
+	}
+	st.lastOut = at
+	c.trMu.Unlock()
+	// The loss roll burns link time either way (the frame died on the
+	// wire, not in the queue), so the pacer update above stands.
+	if c.inj.roll(iv.Loss) {
+		c.inj.note(ActDrop)
+		return
+	}
+	late := c.lateDeliver(dir)
+	c.clock.After(at-now, func() {
+		if !c.killed.Load() {
+			late(m)
+		}
+	})
+}
+
+// deliverVia returns the direction's immediate delivery path for fault
+// survivors: across the traced link when the plan carries one, otherwise
+// the given direct path.
+func (c *Conn) deliverVia(dir Direction, direct func(of.Message)) func(of.Message) {
+	if c.plan.Trace == nil {
+		return direct
+	}
+	return func(m of.Message) { c.traceDeliver(dir, m) }
+}
+
+// Send implements transport.Conn. Send never refuses: a single message
+// always joins the traced link's queue (the bounded-backlog refusal is
+// SendBatchPartial's job, where the caller can requeue).
 func (c *Conn) Send(m of.Message) error {
 	if c.killed.Load() {
 		return transport.ErrClosed
 	}
-	if !c.apply(DirToSwitch, m, func(out of.Message) { _ = c.inner.Send(out) }) {
+	deliver := c.deliverVia(DirToSwitch, func(out of.Message) { _ = c.inner.Send(out) })
+	if !c.apply(DirToSwitch, m, deliver) {
 		c.Kill()
 	}
 	return nil
@@ -207,6 +300,21 @@ func (c *Conn) Send(m of.Message) error {
 func (c *Conn) SendBatch(ms []of.Message) error {
 	if c.killed.Load() {
 		return transport.ErrClosed
+	}
+	if c.plan.Trace != nil {
+		// A traced link transmits per message; batch semantics dissolve
+		// into the pacer. SendBatch must accept everything, so the
+		// backlog bound is not enforced here.
+		for _, m := range ms {
+			if c.killed.Load() {
+				return nil
+			}
+			if !c.apply(DirToSwitch, m, c.deliverVia(DirToSwitch, nil)) {
+				c.Kill()
+				return nil
+			}
+		}
+		return nil
 	}
 	out := make([]of.Message, 0, len(ms))
 	cut := false
@@ -223,6 +331,36 @@ func (c *Conn) SendBatch(ms []of.Message) error {
 		c.Kill()
 	}
 	return err
+}
+
+// SendBatchPartial implements transport.PartialBatchSender: on a traced
+// link it stops accepting messages once the link's backlog bound fills,
+// returning how many it took so the shard requeues the rest against its
+// bounded outbox — the hop that turns link congestion into overload
+// policy decisions. Without a trace it accepts the whole batch.
+func (c *Conn) SendBatchPartial(ms []of.Message) (int, error) {
+	if c.killed.Load() {
+		// Nothing will be delivered and retrying cannot help; report the
+		// batch consumed (its futures fail via the detach path).
+		return len(ms), transport.ErrClosed
+	}
+	if c.plan.Trace == nil {
+		return len(ms), c.SendBatch(ms)
+	}
+	for i, m := range ms {
+		if c.killed.Load() {
+			return len(ms), nil
+		}
+		if c.traceFull(DirToSwitch) {
+			return i, nil
+		}
+		if !c.apply(DirToSwitch, m, c.deliverVia(DirToSwitch, nil)) {
+			// Mid-batch cut: the suffix is lost with the channel.
+			c.Kill()
+			return len(ms), nil
+		}
+	}
+	return len(ms), nil
 }
 
 func (c *Conn) flushBatch(out []of.Message) error {
@@ -247,7 +385,7 @@ func (c *Conn) SetHandler(h transport.Handler) {
 	c.handler = h
 	c.mu.Unlock()
 	c.inner.SetHandler(func(m of.Message) {
-		if !c.apply(DirFromSwitch, m, c.deliverUp) && !c.killed.Load() {
+		if !c.apply(DirFromSwitch, m, c.deliverVia(DirFromSwitch, c.deliverUp)) && !c.killed.Load() {
 			c.Kill()
 		}
 	})

@@ -12,7 +12,15 @@
 //     internal/experiments assert byte-identical ack traces);
 //   - named fault profiles and a flag-friendly ParsePlan syntax shared
 //     by cmd/rumproxy (-faults), examples/chaos, and the reliability
-//     experiment suite in internal/experiments.
+//     experiment suite in internal/experiments. Delay rules accept fixed
+//     durations (delay=2ms:P) or seed-deterministic uniform ranges
+//     (delay=2ms-8ms:P);
+//   - trace-driven link profiles (Trace, trace=FILE) replaying cyclic
+//     per-interval latency/loss/bandwidth schedules — bursty WAN,
+//     congestion collapse, flapping links (see testdata/*.trace) — with
+//     per-message transmission pacing and a bounded backlog that pushes
+//     congestion back into the shard's overload policy via
+//     transport.PartialBatchSender.
 //
 // Switch-level faults — crash with FIB wipe, restart, slow-dataplane
 // stalls — live on switchsim.Switch (Crash, MutateProfile) and the
@@ -120,8 +128,12 @@ type Rule struct {
 	// for a fixed plan; editing a plan's rules therefore reshuffles the
 	// schedule downstream of the first change.
 	Prob float64
-	// Delay is ActDelay's added latency.
+	// Delay is ActDelay's added latency. When DelayMax > Delay the added
+	// latency is drawn uniformly from [Delay, DelayMax] instead, one
+	// deterministic roll per triggered delay.
 	Delay time.Duration
+	// DelayMax, when above Delay, turns the delay into a uniform range.
+	DelayMax time.Duration
 	// Match restricts the rule to specific messages; nil matches every
 	// message. Compose with MatchType and MatchXID.
 	Match func(of.Message) bool
@@ -146,17 +158,20 @@ func MatchXID(pred func(uint32) bool) func(of.Message) bool {
 	return func(m of.Message) bool { return pred(m.GetXID()) }
 }
 
-// Plan is an ordered rule list. For each message the rules are tried in
-// order; the first rule that matches and wins its probability roll
-// supplies the fault, and later rules are not consulted (nor their
-// rolls consumed).
+// Plan is an ordered rule list plus an optional trace-driven link
+// profile. For each message the rules are tried in order; the first rule
+// that matches and wins its probability roll supplies the fault, and
+// later rules are not consulted (nor their rolls consumed). Survivors
+// then cross the traced link, if any: per-interval latency, loss, and
+// bandwidth pacing (see Trace).
 type Plan struct {
 	Rules []Rule
+	Trace *Trace
 }
 
-// Enabled reports whether the plan carries any rules. Wrap returns the
-// inner conn untouched for a disabled plan.
-func (p *Plan) Enabled() bool { return p != nil && len(p.Rules) > 0 }
+// Enabled reports whether the plan carries any rules or a link trace.
+// Wrap returns the inner conn untouched for a disabled plan.
+func (p *Plan) Enabled() bool { return p != nil && (len(p.Rules) > 0 || p.Trace != nil) }
 
 // Passthrough returns a plan with a single never-triggering rule: every
 // message traverses the full fault-evaluation path but none is faulted.
@@ -242,6 +257,17 @@ func (in *Injector) roll(p float64) bool {
 	return hit
 }
 
+// durationBetween consumes one roll, uniform in [lo, hi] (delay ranges).
+func (in *Injector) durationBetween(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	in.mu.Lock()
+	d := lo + time.Duration(in.rng.Int63n(int64(hi-lo)+1))
+	in.mu.Unlock()
+	return d
+}
+
 // intn consumes one bounded integer roll (corruption offsets).
 func (in *Injector) intn(n int) int {
 	in.mu.Lock()
@@ -272,17 +298,19 @@ func (in *Injector) note(a Action) {
 // ParsePlan builds a Plan from the compact key=value syntax used by
 // cmd/rumproxy's -faults flag. Keys are comma separated:
 //
-//	drop=P          drop each message with probability P
-//	dup=P           duplicate with probability P
-//	reorder=P       hold-and-swap with probability P
-//	corrupt=P       flip one encoded byte with probability P
-//	delay=DUR:P     add DUR extra latency with probability P
-//	cut=P           kill the channel with probability P (per message)
-//	flowmods        restrict the preceding rules to FlowMods only
+//	drop=P            drop each message with probability P
+//	dup=P             duplicate with probability P
+//	reorder=P         hold-and-swap with probability P
+//	corrupt=P         flip one encoded byte with probability P
+//	delay=DUR:P       add DUR extra latency with probability P
+//	delay=DUR1-DUR2:P add uniform [DUR1,DUR2] latency with probability P
+//	cut=P             kill the channel with probability P (per message)
+//	trace=FILE        replay the link profile in FILE (see ParseTrace)
+//	flowmods          restrict the preceding rules to FlowMods only
 //
-// Example: "drop=0.01,dup=0.005,delay=2ms:0.02". Every rule applies to
-// both directions; programmatic users build Plans directly for
-// finer-grained control.
+// Example: "drop=0.01,dup=0.005,delay=2ms-8ms:0.02,trace=wan.trace".
+// Every rule applies to both directions; programmatic users build Plans
+// directly for finer-grained control.
 func ParsePlan(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "none" {
@@ -305,6 +333,14 @@ func ParsePlan(spec string) (*Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("faults: bad field %q (want key=value)", field)
 		}
+		if key == "trace" {
+			tr, err := LoadTrace(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Trace = tr
+			continue
+		}
 		rule := Rule{Dir: DirBoth}
 		switch key {
 		case "drop":
@@ -323,11 +359,20 @@ func ParsePlan(spec string) (*Plan, error) {
 			if !ok {
 				return nil, fmt.Errorf("faults: delay wants DUR:PROB, got %q", val)
 			}
-			d, err := time.ParseDuration(durStr)
-			if err != nil {
-				return nil, fmt.Errorf("faults: delay duration %q: %v", durStr, err)
+			if loStr, hiStr, isRange := strings.Cut(durStr, "-"); isRange {
+				lo, errLo := time.ParseDuration(loStr)
+				hi, errHi := time.ParseDuration(hiStr)
+				if errLo != nil || errHi != nil || lo < 0 || hi < lo {
+					return nil, fmt.Errorf("faults: delay range %q wants DUR1-DUR2 with 0 <= DUR1 <= DUR2", durStr)
+				}
+				rule.Delay, rule.DelayMax = lo, hi
+			} else {
+				d, err := time.ParseDuration(durStr)
+				if err != nil {
+					return nil, fmt.Errorf("faults: delay duration %q: %v", durStr, err)
+				}
+				rule.Delay = d
 			}
-			rule.Delay = d
 			val = probStr
 		default:
 			return nil, fmt.Errorf("faults: unknown fault %q", key)

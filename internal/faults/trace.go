@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceInterval is one window of a trace-driven link profile: for Dur,
+// the link adds Latency to every delivery, loses each message with
+// probability Loss, and transmits at most Bandwidth messages per second
+// (0 = unlimited). Transmission time is modeled per message — at 200
+// msg/s each message occupies the link for 5ms — so a burst wider than
+// the interval's bandwidth queues behind the link and arrives paced, the
+// congestion behavior the overload experiments score policies against.
+type TraceInterval struct {
+	Dur       time.Duration
+	Latency   time.Duration
+	Loss      float64
+	Bandwidth int
+}
+
+// Trace is a cyclic schedule of link conditions, replayed from the
+// moment the wrapper is created: after the last interval elapses the
+// trace wraps to the first. Loss rolls come from the deployment's
+// Injector, so a traced link replays deterministically like every other
+// fault.
+type Trace struct {
+	Name      string
+	Intervals []TraceInterval
+
+	total time.Duration
+}
+
+// Total returns one full cycle's duration.
+func (t *Trace) Total() time.Duration { return t.total }
+
+// at returns the interval covering the given offset from the trace
+// origin (cyclic).
+func (t *Trace) at(off time.Duration) TraceInterval {
+	if t.total > 0 {
+		off %= t.total
+	}
+	for _, iv := range t.Intervals {
+		if off < iv.Dur {
+			return iv
+		}
+		off -= iv.Dur
+	}
+	return t.Intervals[len(t.Intervals)-1]
+}
+
+// TraceBacklog bounds how many transmissions may queue behind a traced
+// link's bandwidth pacer (per direction) before SendBatchPartial refuses
+// further messages. The refusal is what propagates congestion upward:
+// the shard requeues the unsent suffix against its own bounded outbox,
+// where the overload policy decides to block, shed, or degrade.
+const TraceBacklog = 32
+
+// ParseTrace parses the text trace format: one interval per line as
+//
+//	DURATION LATENCY LOSS BANDWIDTH
+//
+// (e.g. "10ms 2ms 0.05 400"), where DURATION and LATENCY use Go duration
+// syntax, LOSS is a probability in [0,1], and BANDWIDTH is messages per
+// second (0 = unlimited). Blank lines and #-comments are skipped.
+func ParseTrace(name, text string) (*Trace, error) {
+	tr := &Trace{Name: name}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("faults: trace %s:%d: want DUR LATENCY LOSS BW, got %d fields", name, lineNo+1, len(fields))
+		}
+		dur, err := time.ParseDuration(fields[0])
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("faults: trace %s:%d: bad duration %q", name, lineNo+1, fields[0])
+		}
+		lat, err := time.ParseDuration(fields[1])
+		if err != nil || lat < 0 {
+			return nil, fmt.Errorf("faults: trace %s:%d: bad latency %q", name, lineNo+1, fields[1])
+		}
+		loss, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || !(loss >= 0 && loss <= 1) {
+			return nil, fmt.Errorf("faults: trace %s:%d: loss %q must be in [0,1]", name, lineNo+1, fields[2])
+		}
+		bw, err := strconv.Atoi(fields[3])
+		if err != nil || bw < 0 {
+			return nil, fmt.Errorf("faults: trace %s:%d: bad bandwidth %q (messages/sec, 0=unlimited)", name, lineNo+1, fields[3])
+		}
+		tr.Intervals = append(tr.Intervals, TraceInterval{Dur: dur, Latency: lat, Loss: loss, Bandwidth: bw})
+		tr.total += dur
+	}
+	if len(tr.Intervals) == 0 {
+		return nil, fmt.Errorf("faults: trace %s: no intervals", name)
+	}
+	return tr, nil
+}
+
+// LoadTrace reads and parses a trace file (see ParseTrace for the
+// format). The bundled profiles under internal/faults/testdata —
+// bursty_wan, congestion_collapse, flapping — are in this format.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: trace %s: %v", path, err)
+	}
+	return ParseTrace(strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)), string(data))
+}

@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+	"rum/internal/sim"
+	"rum/internal/transport"
+)
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace("t", "10ms 2ms 0.05 400\n# comment\n\n5ms 0s 0 0 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Intervals) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(tr.Intervals))
+	}
+	if tr.Total() != 15*time.Millisecond {
+		t.Fatalf("Total() = %v, want 15ms", tr.Total())
+	}
+	iv := tr.Intervals[0]
+	if iv.Dur != 10*time.Millisecond || iv.Latency != 2*time.Millisecond || iv.Loss != 0.05 || iv.Bandwidth != 400 {
+		t.Fatalf("interval 0 parsed as %+v", iv)
+	}
+	// The cyclic lookup wraps past Total.
+	if got := tr.at(26 * time.Millisecond); got != tr.Intervals[1] {
+		t.Fatalf("at(26ms) = %+v, want interval 1 (cyclic)", got)
+	}
+	for _, bad := range []string{
+		"",
+		"10ms 2ms 0.05",       // missing field
+		"10ms 2ms 1.5 0",      // loss out of range
+		"10ms 2ms nan 0",      // NaN loss
+		"0s 2ms 0 0",          // zero duration
+		"10ms -1ms 0 0",       // negative latency
+		"10ms 2ms 0 -5",       // negative bandwidth
+		"10ms 2ms 0 unlimite", // non-integer bandwidth
+	} {
+		if _, err := ParseTrace("bad", bad); err == nil {
+			t.Fatalf("ParseTrace accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadBundledProfiles(t *testing.T) {
+	for _, name := range []string{"bursty_wan", "congestion_collapse", "flapping"} {
+		tr, err := LoadTrace(filepath.Join("testdata", name+".trace"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name != name {
+			t.Fatalf("trace name %q, want %q", tr.Name, name)
+		}
+		if len(tr.Intervals) < 2 || tr.Total() <= 0 {
+			t.Fatalf("%s: degenerate profile %+v", name, tr)
+		}
+	}
+}
+
+func TestParsePlanTraceAndDelayRange(t *testing.T) {
+	p, err := ParsePlan("delay=1ms-3ms:1,trace=" + filepath.Join("testdata", "bursty_wan.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trace == nil || p.Trace.Name != "bursty_wan" {
+		t.Fatalf("plan trace not loaded: %+v", p.Trace)
+	}
+	if !p.Enabled() {
+		t.Fatal("plan with a trace must be enabled")
+	}
+	if len(p.Rules) != 1 || p.Rules[0].Delay != time.Millisecond || p.Rules[0].DelayMax != 3*time.Millisecond {
+		t.Fatalf("delay range rule parsed as %+v", p.Rules)
+	}
+	// A trace-only plan is enabled too (Wrap must interpose).
+	p2, err := ParsePlan("trace=" + filepath.Join("testdata", "flapping.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Enabled() || len(p2.Rules) != 0 {
+		t.Fatalf("trace-only plan: enabled=%v rules=%d", p2.Enabled(), len(p2.Rules))
+	}
+	for _, bad := range []string{
+		"delay=3ms-1ms:1",  // hi < lo
+		"delay=-1ms-3ms:1", // negative lo (parses as range with empty lo)
+		"trace=/nonexistent/path.trace",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan accepted %q", bad)
+		}
+	}
+}
+
+// TestDelayRangeDeterministicPerSeed: a delay=lo-hi rule draws from the
+// injector's seeded stream, so the same seed replays identical delivery
+// times and delays stay inside [lo, hi].
+func TestDelayRangeDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) string {
+		s := sim.New()
+		a, b := transport.Pipe(s, 0)
+		var log string
+		b.SetHandler(func(m of.Message) { log += fmt.Sprintf("%d@%v;", m.GetXID(), s.Now()) })
+		c := Wrap(a, s, NewInjector(seed), &Plan{Rules: []Rule{
+			{Action: ActDelay, Prob: 1, Delay: time.Millisecond, DelayMax: 9 * time.Millisecond},
+		}})
+		for i := 1; i <= 16; i++ {
+			if err := c.Send(testFlowMod(uint32(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run()
+		if s.Now() < time.Millisecond || s.Now() > 9*time.Millisecond {
+			t.Fatalf("last delivery at %v, outside the delay range", s.Now())
+		}
+		return log
+	}
+	if run(11) != run(11) {
+		t.Fatal("same seed produced different delay schedules")
+	}
+	if run(11) == run(12) {
+		t.Fatal("different seeds produced identical delay schedules")
+	}
+}
+
+// TestTracePacesBandwidth: at 100 msg/s every message occupies the link
+// for 10ms, so a burst of 4 arrives at 10/20/30/40ms plus the interval
+// latency — paced, in order, none lost.
+func TestTracePacesBandwidth(t *testing.T) {
+	s := sim.New()
+	a, b := transport.Pipe(s, 0)
+	var at []time.Duration
+	b.SetHandler(func(m of.Message) { at = append(at, s.Now()) })
+	tr, err := ParseTrace("pace", "1s 5ms 0 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(a, s, NewInjector(1), &Plan{Trace: tr})
+	for i := 1; i <= 4; i++ {
+		if err := c.Send(testFlowMod(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	want := []time.Duration{15 * time.Millisecond, 25 * time.Millisecond, 35 * time.Millisecond, 45 * time.Millisecond}
+	if len(at) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v (tx 10ms + latency 5ms)", i, at[i], want[i])
+		}
+	}
+}
+
+// TestTraceBlackoutDropsEverything: a loss-1.0 interval is a blackout —
+// nothing crosses, and the drops are counted.
+func TestTraceBlackoutDropsEverything(t *testing.T) {
+	s := sim.New()
+	a, b := transport.Pipe(s, 0)
+	delivered := 0
+	b.SetHandler(func(of.Message) { delivered++ })
+	tr, err := ParseTrace("dark", "1s 0s 1 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(1)
+	c := Wrap(a, s, inj, &Plan{Trace: tr})
+	for i := 1; i <= 8; i++ {
+		if err := c.Send(testFlowMod(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("%d messages crossed a blackout interval", delivered)
+	}
+	if inj.Stats().Dropped != 8 {
+		t.Fatalf("Dropped = %d, want 8", inj.Stats().Dropped)
+	}
+}
+
+// TestTraceBacklogRefusesBatch: once TraceBacklog transmissions queue
+// behind the pacer, SendBatchPartial must refuse the rest of the batch
+// instead of growing the timer queue without bound.
+func TestTraceBacklogRefusesBatch(t *testing.T) {
+	s := sim.New()
+	a, _ := transport.Pipe(s, 0)
+	tr, err := ParseTrace("slow", "10s 0s 0 100") // 10ms per message
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(a, s, NewInjector(1), &Plan{Trace: tr}).(*Conn)
+	ms := make([]of.Message, 2*TraceBacklog)
+	for i := range ms {
+		ms[i] = testFlowMod(uint32(i + 1))
+	}
+	n, err := c.SendBatchPartial(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != TraceBacklog {
+		t.Fatalf("accepted %d messages, want exactly the backlog bound %d", n, TraceBacklog)
+	}
+	// The refused suffix can be retried once the link drains.
+	s.RunFor(time.Duration(TraceBacklog) * 10 * time.Millisecond)
+	n2, err := c.SendBatchPartial(ms[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 == 0 {
+		t.Fatal("drained link still refuses")
+	}
+}
+
+// TestTraceShapesSwitchToControllerToo: DirFromSwitch traffic (barrier
+// replies, PacketIns) crosses the same traced link.
+func TestTraceShapesSwitchToControllerToo(t *testing.T) {
+	s := sim.New()
+	a, b := transport.Pipe(s, 0)
+	tr, err := ParseTrace("lat", "1s 7ms 0 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(a, s, NewInjector(1), &Plan{Trace: tr})
+	var at time.Duration
+	c.SetHandler(func(of.Message) { at = s.Now() })
+	if err := b.Send(testFlowMod(42)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if at != 7*time.Millisecond {
+		t.Fatalf("switch→RUM delivery at %v, want 7ms (trace latency)", at)
+	}
+}

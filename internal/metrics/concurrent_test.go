@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rum/internal/netsim"
+)
+
+// TestConcurrentAggregation pins the property the experiment harness
+// depends on when per-policy scoring fans out: every aggregation helper
+// copies its input before sorting, so many goroutines may share one
+// sample slice. Run under -race, this catches any future "optimization"
+// that sorts in place.
+func TestConcurrentAggregation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	samples := make([]time.Duration, 4096)
+	for i := range samples {
+		samples[i] = time.Duration(r.Intn(1_000_000)) * time.Microsecond
+	}
+	orig := append([]time.Duration(nil), samples...)
+
+	wantP99 := Percentile(samples, 99)
+	wantMean := Mean(samples)
+	wantFrac := FractionAtOrBelow(samples, 500*time.Millisecond)
+	wantCDFLen := len(CDF(samples))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := Percentile(samples, 99); got != wantP99 {
+					t.Errorf("concurrent p99 = %v, want %v", got, wantP99)
+					return
+				}
+				if got := Mean(samples); got != wantMean {
+					t.Errorf("concurrent mean = %v, want %v", got, wantMean)
+					return
+				}
+				if got := FractionAtOrBelow(samples, 500*time.Millisecond); got != wantFrac {
+					t.Errorf("concurrent fraction = %v, want %v", got, wantFrac)
+					return
+				}
+				if got := len(CDF(samples)); got != wantCDFLen {
+					t.Errorf("concurrent CDF has %d points, want %d", got, wantCDFLen)
+					return
+				}
+				_ = Min(samples)
+				_ = Max(samples)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range samples {
+		if samples[i] != orig[i] {
+			t.Fatalf("shared sample slice mutated at index %d: %v != %v", i, samples[i], orig[i])
+		}
+	}
+}
+
+// TestConcurrentAnalyzeMigration shares one arrival log across parallel
+// AnalyzeMigration calls — the shape the harness takes when scoring the
+// same run against several flow predicates at once.
+func TestConcurrentAnalyzeMigration(t *testing.T) {
+	var arrivals []netsim.Arrival
+	for flow := 0; flow < 32; flow++ {
+		for seq := 0; seq < 20; seq++ {
+			hops := []string{"h1", "s1", "s3", "h2"}
+			if seq >= 10 {
+				hops = []string{"h1", "s1", "s2", "s3", "h2"}
+			}
+			arrivals = append(arrivals, netsim.Arrival{
+				FlowID: flow, Seq: seq,
+				At:    time.Duration(seq) * 4 * time.Millisecond,
+				Trace: hops,
+			})
+		}
+	}
+	isNew := func(a netsim.Arrival) bool { return a.Via("s2") }
+
+	want := AnalyzeMigration(arrivals, isNew, 4*time.Millisecond)
+	wantSwitched, wantLost := SwitchedCount(want), TotalLost(want)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ups := AnalyzeMigration(arrivals, isNew, 4*time.Millisecond)
+				if len(ups) != len(want) {
+					t.Errorf("concurrent analysis found %d flows, want %d", len(ups), len(want))
+					return
+				}
+				if got := SwitchedCount(ups); got != wantSwitched {
+					t.Errorf("concurrent switched count = %d, want %d", got, wantSwitched)
+					return
+				}
+				if got := TotalLost(ups); got != wantLost {
+					t.Errorf("concurrent lost count = %d, want %d", got, wantLost)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

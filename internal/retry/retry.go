@@ -1,0 +1,142 @@
+// Package retry provides the shared jittered-exponential-backoff policy
+// used everywhere RUM re-dials a lost switch channel: the controller
+// library's reconnect path, the experiments' resync harnesses, and the
+// cluster's crash→re-dial handoff.
+//
+// Backoff state is deterministic: jitter comes from a seeded generator so
+// a replayed fault schedule produces byte-identical reconnect timing (and
+// therefore byte-identical experiment traces). Delays grow geometrically
+// from Base up to Cap and reset to Base on success, so a switch that
+// flaps repeatedly is probed gently while a switch that recovers is
+// re-adopted at full speed the next time it fails.
+package retry
+
+import (
+	"math/rand"
+	"time"
+
+	"rum/internal/sim"
+)
+
+// Policy describes a jittered exponential backoff schedule.
+type Policy struct {
+	// Base is the first retry delay. Zero selects DefaultPolicy.Base.
+	Base time.Duration
+	// Cap bounds the grown delay (before jitter). Zero selects
+	// DefaultPolicy.Cap.
+	Cap time.Duration
+	// Multiplier is the per-attempt growth factor; values below 1 are
+	// treated as DefaultPolicy.Multiplier.
+	Multiplier float64
+	// Jitter is the fraction of the grown delay randomized around it:
+	// with Jitter 0.5 the delay is uniform in [0.5d, 1.5d). Zero means
+	// no jitter; negative values are clamped to zero.
+	Jitter float64
+}
+
+// DefaultPolicy mirrors the reconnect behavior documented in
+// docs/OVERLOAD.md: 10ms base, 2x growth, 1s cap, ±50% jitter.
+var DefaultPolicy = Policy{
+	Base:       10 * time.Millisecond,
+	Cap:        time.Second,
+	Multiplier: 2,
+	Jitter:     0.5,
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultPolicy.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultPolicy.Cap
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultPolicy.Multiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Backoff tracks retry state for one reconnect loop. It is not safe for
+// concurrent use; every dial loop owns its own Backoff.
+type Backoff struct {
+	policy   Policy
+	rng      *rand.Rand
+	attempts int
+	cur      time.Duration
+}
+
+// New returns a Backoff following p, with jitter drawn from a generator
+// seeded with seed. The same (policy, seed) pair always yields the same
+// delay sequence.
+func New(p Policy, seed int64) *Backoff {
+	return &Backoff{policy: p.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to wait before the next attempt and advances the
+// backoff state. The first call returns roughly Base; subsequent calls
+// grow by Multiplier up to Cap, each widened by ±Jitter.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.policy.Base
+	} else {
+		grown := time.Duration(float64(b.cur) * b.policy.Multiplier)
+		if grown > b.policy.Cap || grown <= 0 {
+			grown = b.policy.Cap
+		}
+		b.cur = grown
+	}
+	b.attempts++
+	d := b.cur
+	if j := b.policy.Jitter; j > 0 {
+		// Uniform in [d(1-j), d(1+j)).
+		span := float64(d) * 2 * j
+		d = time.Duration(float64(d)*(1-j) + b.rng.Float64()*span)
+		if d <= 0 {
+			d = 1
+		}
+	}
+	return d
+}
+
+// Attempt returns how many delays Next has handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempts }
+
+// Reset returns the backoff to its initial delay; call it after a
+// successful attempt so the next failure starts the schedule over.
+func (b *Backoff) Reset() {
+	b.attempts = 0
+	b.cur = 0
+}
+
+// Loop retries fn under clock until it succeeds or gives up. fn reports
+// whether the attempt succeeded; when it fails, Loop schedules the next
+// attempt after the backoff's next delay. maxAttempts <= 0 means retry
+// forever. done (optional) is invoked once with the final outcome.
+//
+// Loop itself returns immediately after scheduling the first attempt
+// (after one backoff delay), which is what the reconnect paths want: a
+// lost channel is never re-dialed synchronously.
+func Loop(clock sim.Clock, b *Backoff, maxAttempts int, fn func() bool, done func(ok bool)) {
+	var step func()
+	step = func() {
+		if fn() {
+			b.Reset()
+			if done != nil {
+				done(true)
+			}
+			return
+		}
+		if maxAttempts > 0 && b.Attempt() >= maxAttempts {
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		clock.After(b.Next(), step)
+	}
+	clock.After(b.Next(), step)
+}

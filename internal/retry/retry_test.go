@@ -1,0 +1,129 @@
+package retry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rum/internal/sim"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := New(Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2, Jitter: 0}, 1)
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i+1, got, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Fatalf("Attempt() = %d, want %d", b.Attempt(), len(want))
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset: got %v, want base 10ms", got)
+	}
+	if b.Attempt() != 1 {
+		t.Fatalf("after Reset, Attempt() = %d, want 1", b.Attempt())
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Multiplier: 2, Jitter: 0.5}
+	seq := func(seed int64) string {
+		b := New(p, seed)
+		s := ""
+		for i := 0; i < 8; i++ {
+			s += fmt.Sprintf("%d;", b.Next())
+		}
+		return s
+	}
+	if seq(42) != seq(42) {
+		t.Fatal("same seed produced different delay sequences")
+	}
+	if seq(42) == seq(43) {
+		t.Fatal("different seeds produced identical jittered sequences")
+	}
+	// Jitter must stay inside the documented envelope.
+	b := New(p, 7)
+	cur := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		got := b.Next()
+		if cur == 0 {
+			cur = p.Base
+		} else if cur < p.Cap {
+			cur *= 2
+			if cur > p.Cap {
+				cur = p.Cap
+			}
+		}
+		lo := time.Duration(float64(cur) * 0.5)
+		hi := time.Duration(float64(cur) * 1.5)
+		if got < lo || got > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i+1, got, lo, hi)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := New(Policy{}, 1)
+	d := b.Next()
+	lo := time.Duration(float64(DefaultPolicy.Base) * 0.5)
+	hi := time.Duration(float64(DefaultPolicy.Base) * 1.5)
+	if d < lo || d > hi {
+		t.Fatalf("zero policy first delay %v outside default envelope [%v, %v]", d, lo, hi)
+	}
+}
+
+func TestLoopRetriesUntilSuccess(t *testing.T) {
+	s := sim.New()
+	b := New(Policy{Base: 5 * time.Millisecond, Cap: 40 * time.Millisecond, Multiplier: 2, Jitter: 0}, 1)
+	attempts := 0
+	var doneOK bool
+	var doneAt time.Duration
+	Loop(s, b, 0, func() bool {
+		attempts++
+		return attempts == 3
+	}, func(ok bool) {
+		doneOK = ok
+		doneAt = s.Now()
+	})
+	s.Run()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if !doneOK {
+		t.Fatal("done reported failure")
+	}
+	// Delays: 5ms, 10ms, 20ms → success at 35ms.
+	if doneAt != 35*time.Millisecond {
+		t.Fatalf("success at %v, want 35ms", doneAt)
+	}
+	if b.Attempt() != 0 {
+		t.Fatalf("backoff not reset on success: Attempt() = %d", b.Attempt())
+	}
+}
+
+func TestLoopGivesUpAfterMaxAttempts(t *testing.T) {
+	s := sim.New()
+	b := New(Policy{Base: time.Millisecond, Cap: time.Millisecond, Multiplier: 2, Jitter: 0}, 1)
+	attempts := 0
+	gaveUp := false
+	Loop(s, b, 4, func() bool {
+		attempts++
+		return false
+	}, func(ok bool) { gaveUp = !ok })
+	s.Run()
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	if !gaveUp {
+		t.Fatal("done(false) not reported after exhausting attempts")
+	}
+}

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+)
+
+// helloFrameLen is the wire size of one Hello frame — the unit the
+// bounded-writer tests measure MaxPending in.
+func helloFrameLen(t *testing.T) int {
+	t.Helper()
+	b, err := of.Marshal(&of.Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(b)
+}
+
+// boundedPair builds a coalescing TCP conn over an unread synchronous
+// pipe: pending bytes stay pending (they count until the peer consumes
+// them), so the bound fills deterministically after maxFrames sends.
+func boundedPair(t *testing.T, maxFrames int, policy OverloadPolicy, deadline time.Duration) (Conn, net.Conn, int) {
+	t.Helper()
+	frame := helloFrameLen(t)
+	cli, srv := net.Pipe()
+	c := NewTCPOpts(cli, TCPOptions{
+		MaxPending:    maxFrames * frame,
+		Policy:        policy,
+		BlockDeadline: deadline,
+	})
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return c, srv, frame
+}
+
+func TestTCPBoundShed(t *testing.T) {
+	c, srv, frame := boundedPair(t, 4, OverloadShed, 0)
+
+	// The peer reads nothing, so every accepted frame stays pending; the
+	// bound admits sends while pending < limit, so exactly 4 fit.
+	for i := 0; i < 4; i++ {
+		if err := c.Send(&of.Hello{}); err != nil {
+			t.Fatalf("send %d within the bound failed: %v", i, err)
+		}
+	}
+	err := c.Send(&of.Hello{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("send at the bound = %v, want ErrOverloaded", err)
+	}
+
+	// Draining the peer frees the bound; a shed conn must recover, not
+	// stay poisoned.
+	if _, err := io.ReadFull(srv, make([]byte, 4*frame)); err != nil {
+		t.Fatalf("draining peer: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := c.Send(&of.Hello{}); err == nil {
+			break
+		} else if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("post-drain send: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("conn never recovered after the peer drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPBoundBlockDeadline(t *testing.T) {
+	c, _, _ := boundedPair(t, 4, OverloadBlock, 50*time.Millisecond)
+
+	for i := 0; i < 4; i++ {
+		if err := c.Send(&of.Hello{}); err != nil {
+			t.Fatalf("send %d within the bound failed: %v", i, err)
+		}
+	}
+	start := time.Now()
+	err := c.Send(&of.Hello{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("blocked send = %v, want ErrOverloaded after the deadline", err)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("blocked send failed after %v, want ~50ms of backpressure first", elapsed)
+	}
+}
+
+func TestTCPBoundBlockDrains(t *testing.T) {
+	c, srv, frame := boundedPair(t, 4, OverloadBlock, 5*time.Second)
+
+	for i := 0; i < 4; i++ {
+		if err := c.Send(&of.Hello{}); err != nil {
+			t.Fatalf("send %d within the bound failed: %v", i, err)
+		}
+	}
+	// The peer starts consuming while the fifth send is parked: the
+	// blocked sender must complete instead of shedding.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		_, _ = io.ReadFull(srv, make([]byte, 5*frame))
+	}()
+	if err := c.Send(&of.Hello{}); err != nil {
+		t.Fatalf("blocked send with a draining peer = %v, want success", err)
+	}
+}
+
+func TestTCPBoundBlockCloseUnparks(t *testing.T) {
+	c, _, _ := boundedPair(t, 4, OverloadBlock, 10*time.Second)
+
+	for i := 0; i < 4; i++ {
+		if err := c.Send(&of.Hello{}); err != nil {
+			t.Fatalf("send %d within the bound failed: %v", i, err)
+		}
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Send(&of.Hello{}) }()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked send after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left the blocked sender parked until its deadline")
+	}
+}
+
+func TestTCPSendBatchPartial(t *testing.T) {
+	c, srv, frame := boundedPair(t, 4, OverloadShed, 0)
+	ps, ok := c.(PartialBatchSender)
+	if !ok {
+		t.Fatal("coalescing TCP conn does not implement PartialBatchSender")
+	}
+
+	batch := make([]of.Message, 10)
+	for i := range batch {
+		batch[i] = &of.Hello{}
+	}
+	n, err := ps.SendBatchPartial(batch)
+	if err != nil {
+		t.Fatalf("SendBatchPartial: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("accepted %d of 10, want exactly the bound's 4", n)
+	}
+
+	// The refusal is non-destructive: after the peer drains, the unsent
+	// suffix goes through.
+	if _, err := io.ReadFull(srv, make([]byte, 4*frame)); err != nil {
+		t.Fatalf("draining peer: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	sent := n
+	for sent < len(batch) {
+		m, err := ps.SendBatchPartial(batch[sent:])
+		if err != nil {
+			t.Fatalf("resending suffix: %v", err)
+		}
+		sent += m
+		if m == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("suffix stalled at %d of %d after drain", sent, len(batch))
+			}
+			time.Sleep(time.Millisecond)
+		} else {
+			// Keep the synchronous pipe draining so later frames fit.
+			go func(b int) { _, _ = io.ReadFull(srv, make([]byte, b*frame)) }(m)
+		}
+	}
+}
+
+func TestTCPUnboundedUnaffected(t *testing.T) {
+	// The zero-value options keep the historical unbounded behavior:
+	// thousands of frames queue against an unread peer without a refusal.
+	cli, srv := net.Pipe()
+	c := NewTCPOpts(cli, TCPOptions{})
+	defer func() { c.Close(); srv.Close() }()
+	for i := 0; i < 5000; i++ {
+		if err := c.Send(&of.Hello{}); err != nil {
+			t.Fatalf("unbounded send %d failed: %v", i, err)
+		}
+	}
+}

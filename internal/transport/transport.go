@@ -42,6 +42,66 @@ type Conn interface {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("transport: connection closed")
 
+// ErrOverloaded is returned by bounded conns whose pending-send buffer is
+// full and whose overload policy is OverloadShed (or whose OverloadBlock
+// deadline expired): the message was NOT queued and the caller must treat
+// it as failed, not silently dropped. Match with errors.Is.
+var ErrOverloaded = errors.New("transport: send queue overloaded")
+
+// OverloadPolicy selects what a bounded queue does with a message that
+// arrives while the queue is at its configured limit. It is shared by
+// the transport writer bound (TCPOptions) and RUM's per-switch shard
+// outbox bound (core.Config); docs/OVERLOAD.md is the long-form
+// contract.
+type OverloadPolicy uint8
+
+const (
+	// OverloadBlock makes the sender wait, up to a deadline, for the
+	// queue to drain; deadline expiry fails with ErrOverloaded. This is
+	// the default: backpressure propagates to the producer instead of
+	// growing memory. Under a single-threaded simulated clock blocking
+	// would deadlock the event loop, so Block degrades to immediate
+	// deadline expiry there.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed fails the send fast with ErrOverloaded — never a
+	// silent drop: the caller (RUM's ack layer) resolves the affected
+	// future with a typed cause.
+	OverloadShed
+	// OverloadDegrade treats sustained queue pressure as a slow consumer:
+	// RUM's shard widens its batch coalescing window (fewer, larger
+	// flushes) and, at the hard limit, behaves like OverloadBlock. At the
+	// transport layer it is equivalent to OverloadBlock.
+	OverloadDegrade
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadShed:
+		return "shed"
+	case OverloadDegrade:
+		return "degrade"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseOverloadPolicy maps the flag spellings (block, shed, degrade) to a
+// policy.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "", "block":
+		return OverloadBlock, nil
+	case "shed":
+		return OverloadShed, nil
+	case "degrade":
+		return OverloadDegrade, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown overload policy %q (want block, shed, or degrade)", s)
+	}
+}
+
 // BatchSender is implemented by conns that can hand a whole batch to the
 // wire in one operation — one scheduled delivery for an in-memory pipe,
 // one coalesced flush for TCP — preserving message order. RUM's per-switch
@@ -51,6 +111,16 @@ type BatchSender interface {
 	// never blocks. The conn may retain the slice until delivery: the
 	// caller must hand over ownership and not reuse it.
 	SendBatch(ms []of.Message) error
+}
+
+// PartialBatchSender is implemented by conns that can apply backpressure
+// mid-batch: SendBatchPartial queues an in-order prefix of ms and reports
+// how many messages it accepted. n < len(ms) with a nil error means the
+// conn's pending bound filled; the caller keeps ownership of ms[n:] and
+// retries them later (RUM's shard flush re-queues the suffix at the front
+// of its outbox). Unlike SendBatch, the conn never retains the slice.
+type PartialBatchSender interface {
+	SendBatchPartial(ms []of.Message) (int, error)
 }
 
 // FrameEncoder is implemented by conns that serialize each message into
@@ -218,6 +288,7 @@ func (e *pipeEnd) Close() error {
 type tcpConn struct {
 	nc         net.Conn
 	unbuffered bool
+	opts       TCPOptions
 
 	// Coalescing writer state (default mode).
 	wmu     sync.Mutex
@@ -227,6 +298,13 @@ type tcpConn struct {
 	scratch net.Buffers // writer-owned flush snapshot (headers survive the write)
 	wvecs   net.Buffers // writer-owned writev scratch (consumed by WriteTo)
 	wake    chan struct{}
+	// Bounded-writer state (opts.MaxPending > 0): pending counts queued
+	// bytes not yet handed to the kernel; drain broadcasts when a flush
+	// completes so OverloadBlock senders re-check; dead mirrors Close so
+	// blocked senders exit.
+	pending int
+	drain   *sync.Cond // lazily bound to wmu when MaxPending > 0
+	dead    bool
 
 	// Unbuffered mode (the pre-coalescing baseline): one queued message
 	// and one Write syscall per frame.
@@ -245,14 +323,46 @@ type tcpConn struct {
 // that reaches it is spilled to the writer queue and a fresh one started.
 const flushBufSize = 64 << 10
 
+// TCPOptions bounds the coalescing writer. The zero value keeps the
+// historical unbounded behavior.
+type TCPOptions struct {
+	// MaxPending bounds the bytes queued in the coalescing writer but not
+	// yet handed to the kernel (the coalescing buffer plus its spill
+	// list). Zero means unbounded. One flush already snapshot by the
+	// writer goroutine is additionally in flight, so peak memory is
+	// bounded by roughly twice this value.
+	MaxPending int
+	// Policy selects OverloadBlock (default: Send waits up to
+	// BlockDeadline for the writer to drain) or OverloadShed (Send fails
+	// immediately with ErrOverloaded). OverloadDegrade behaves like
+	// OverloadBlock here; the coalescing-window side of Degrade lives in
+	// RUM's shard.
+	Policy OverloadPolicy
+	// BlockDeadline bounds the OverloadBlock wait (default 100ms);
+	// expiry fails the send with ErrOverloaded.
+	BlockDeadline time.Duration
+}
+
 // NewTCP wraps an established stream connection with the coalescing
 // writer. The caller owns protocol behaviour (hello exchange etc.); NewTCP
 // only frames messages.
 func NewTCP(nc net.Conn) Conn {
+	return NewTCPOpts(nc, TCPOptions{})
+}
+
+// NewTCPOpts is NewTCP with an explicit writer bound.
+func NewTCPOpts(nc net.Conn, opts TCPOptions) Conn {
+	if opts.MaxPending > 0 && opts.BlockDeadline == 0 {
+		opts.BlockDeadline = 100 * time.Millisecond
+	}
 	c := &tcpConn{
 		nc:   nc,
+		opts: opts,
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
+	}
+	if opts.MaxPending > 0 {
+		c.drain = sync.NewCond(&c.wmu)
 	}
 	go c.readLoop()
 	go c.writeLoop()
@@ -329,14 +439,45 @@ func (c *tcpConn) appendFrameLocked(m of.Message) error {
 			c.wbuf = make([]byte, 0, flushBufSize)
 		}
 	}
+	before := len(c.wbuf)
 	buf, err := of.MarshalAppend(c.wbuf, m)
 	if err != nil {
 		return err
 	}
 	c.wbuf = buf
+	c.pending += len(buf) - before
 	if len(c.wbuf) >= flushBufSize {
 		c.wspill = append(c.wspill, c.wbuf)
 		c.wbuf = nil
+	}
+	return nil
+}
+
+// admitLocked enforces the writer bound for one send: it returns nil when
+// the caller may append, ErrOverloaded when the bound is full and the
+// policy (or its deadline) says fail, ErrClosed when the conn died while
+// waiting. Callers hold wmu.
+func (c *tcpConn) admitLocked() error {
+	if c.opts.MaxPending <= 0 || c.pending < c.opts.MaxPending {
+		return nil
+	}
+	if c.opts.Policy == OverloadShed {
+		return ErrOverloaded
+	}
+	// OverloadBlock / OverloadDegrade: wait for the writer to drain, up
+	// to the deadline. The timer broadcasts so the Wait wakes even when
+	// no flush completes in time.
+	deadline := time.Now().Add(c.opts.BlockDeadline)
+	for !c.dead && c.pending >= c.opts.MaxPending {
+		if !time.Now().Before(deadline) {
+			return ErrOverloaded
+		}
+		t := time.AfterFunc(time.Until(deadline), c.drain.Broadcast)
+		c.drain.Wait()
+		t.Stop()
+	}
+	if c.dead {
+		return ErrClosed
 	}
 	return nil
 }
@@ -365,7 +506,10 @@ func (c *tcpConn) Send(m of.Message) error {
 		}
 	}
 	c.wmu.Lock()
-	err := c.appendFrameLocked(m)
+	err := c.admitLocked()
+	if err == nil {
+		err = c.appendFrameLocked(m)
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		return err
@@ -396,6 +540,14 @@ func (c *tcpConn) SendBatch(ms []of.Message) error {
 		return ErrClosed
 	}
 	c.wmu.Lock()
+	// One admission check covers the whole batch: the bound admits a send
+	// whenever pending is below the limit, so a batch may overshoot by its
+	// own size — batches come from RUM's shard, whose own outbox bound
+	// already caps them.
+	if err := c.admitLocked(); err != nil {
+		c.wmu.Unlock()
+		return err
+	}
 	for _, m := range ms {
 		if err := c.appendFrameLocked(m); err != nil {
 			c.wmu.Unlock()
@@ -405,6 +557,47 @@ func (c *tcpConn) SendBatch(ms []of.Message) error {
 	c.wmu.Unlock()
 	c.nudge()
 	return nil
+}
+
+// SendBatchPartial implements PartialBatchSender: messages are encoded in
+// order until the writer bound fills, and the accepted count is returned
+// without blocking — the backpressure signal RUM's shard flush turns into
+// outbox re-queueing. Without a bound it accepts the whole batch.
+func (c *tcpConn) SendBatchPartial(ms []of.Message) (int, error) {
+	if c.unbuffered {
+		for i, m := range ms {
+			if err := c.Send(m); err != nil {
+				return i, err
+			}
+		}
+		return len(ms), nil
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	c.wmu.Lock()
+	for _, m := range ms {
+		if c.opts.MaxPending > 0 && c.pending >= c.opts.MaxPending {
+			break
+		}
+		if err := c.appendFrameLocked(m); err != nil {
+			c.wmu.Unlock()
+			if n > 0 {
+				c.nudge()
+			}
+			return n, err
+		}
+		n++
+	}
+	c.wmu.Unlock()
+	if n > 0 {
+		c.nudge()
+	}
+	return n, nil
 }
 
 func (c *tcpConn) writeLoop() {
@@ -451,12 +644,18 @@ func (c *tcpConn) flushPending() bool {
 		}
 		c.wmu.Lock()
 		for i, b := range bufs {
+			// The bytes count as pending until the kernel takes them, so
+			// a bounded writer's limit covers write-in-flight memory too.
+			c.pending -= len(b)
 			if cap(b) >= flushBufSize && len(c.wfree) < 4 {
 				c.wfree = append(c.wfree, b[:0])
 			}
 			bufs[i] = nil
 		}
 		c.scratch = bufs[:0]
+		if c.drain != nil {
+			c.drain.Broadcast()
+		}
 		c.wmu.Unlock()
 		if err != nil {
 			c.Close()
@@ -498,6 +697,14 @@ func (c *tcpConn) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.drain != nil {
+		// Wake OverloadBlock senders so they fail with ErrClosed instead
+		// of waiting out their deadline on a dead conn.
+		c.wmu.Lock()
+		c.dead = true
+		c.drain.Broadcast()
+		c.wmu.Unlock()
+	}
 	close(c.done)
 	return c.nc.Close()
 }

@@ -82,6 +82,7 @@ import (
 	"rum/internal/planner"
 	"rum/internal/proxy"
 	"rum/internal/sim"
+	"rum/internal/transport"
 )
 
 // Technique names a registered acknowledgment strategy; the zero value
@@ -165,6 +166,30 @@ var (
 	ErrSwitchRestarted = core.ErrSwitchRestarted
 	ErrSwitchRejected  = core.ErrSwitchRejected
 )
+
+// ErrOverloaded is the typed refusal carried by an update's AckResult
+// when a bounded queue sheds it under Config.OutboxLimit admission (or
+// a bounded transport send fails): the rule was never installed and no
+// wire ack was emitted for it. Match with errors.Is. See
+// docs/OVERLOAD.md for the overload contract.
+var ErrOverloaded = core.ErrOverloaded
+
+// OverloadPolicy selects what a bounded queue does with work arriving
+// at its limit; see docs/OVERLOAD.md.
+type OverloadPolicy = core.OverloadPolicy
+
+// The overload policies for Config.Overload.
+const (
+	OverloadBlock   = core.OverloadBlock
+	OverloadShed    = core.OverloadShed
+	OverloadDegrade = core.OverloadDegrade
+)
+
+// ParseOverloadPolicy maps the flag spellings (block, shed, degrade)
+// to a policy.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	return transport.ParseOverloadPolicy(s)
+}
 
 // LiveUpdates reports how many pooled tracked-update structs currently
 // hold references — a debugging counter for verifying that workloads

@@ -42,12 +42,20 @@ type ProxyConfig struct {
 	// failures, bootstrap errors). Defaults to logging via the standard
 	// logger.
 	OnError func(error)
+	// TCPMaxPending, when positive, bounds the bytes each switch-side
+	// connection's coalescing writer may hold queued but unwritten. At
+	// the bound the RUM.Overload policy applies: Block waits up to
+	// RUM.OverloadDeadline for the writer to drain, Shed fails the send
+	// with transport.ErrOverloaded. Zero leaves the writer unbounded.
+	// See docs/OVERLOAD.md.
+	TCPMaxPending int
 	// FaultSpec, when non-empty, interposes the fault-injection layer on
 	// every switch-side connection — chaos testing a live proxy. The
 	// syntax is internal/faults.ParsePlan's ("drop=0.01,dup=0.005,
-	// delay=2ms:0.02,..."); "none" or empty disables injection entirely.
-	// A proxied session with faults enabled runs under shared-ownership
-	// buffer rules, so the zero-copy recycling fast paths are bypassed.
+	// delay=2ms-8ms:0.02,trace=wan.trace,..."); "none" or empty disables
+	// injection entirely. A proxied session with faults enabled runs
+	// under shared-ownership buffer rules, so the zero-copy recycling
+	// fast paths are bypassed.
 	FaultSpec string
 	// FaultSeed seeds the fault schedule (default 1). Over a wall clock
 	// schedules are statistical rather than replayable; the seed still
@@ -219,7 +227,11 @@ func (p *ProxyServer) handle(nc net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("dialing controller for %s: %w", name, err)
 	}
-	swConn := transport.NewTCP(nc)
+	swConn := transport.NewTCPOpts(nc, transport.TCPOptions{
+		MaxPending:    p.cfg.TCPMaxPending,
+		Policy:        p.cfg.RUM.Overload,
+		BlockDeadline: p.cfg.RUM.OverloadDeadline,
+	})
 	ctrlConn := transport.NewTCP(ctrlNC)
 	if p.faultPlan != nil {
 		wrapped := faults.Wrap(swConn, p.cfg.RUM.Clock, p.faultInj, p.faultPlan)
