@@ -25,6 +25,7 @@ import (
 	"rum/internal/controller"
 	"rum/internal/core"
 	"rum/internal/experiments"
+	"rum/internal/flowtable"
 	"rum/internal/hsa"
 	"rum/internal/metrics"
 	"rum/internal/netsim"
@@ -1206,6 +1207,249 @@ func BenchmarkCluster(b *testing.B) {
 		"cpus":                        float64(runtime.NumCPU()),
 		"aggregate_confirmed_per_sec": aggregate,
 		"handoff_recovery_p99_ms":     p99ms,
+	})
+}
+
+// rescueBenchSwitch is one proxied switch of the rescue benchmark: unlike
+// clusterBenchSwitch it records every applied FlowMod in a real flow
+// table (the FIB the rescue sweep re-reads) and can be muted — applying
+// rules but withholding barrier replies — so a kill can land with every
+// future verifiably in flight.
+type rescueBenchSwitch struct {
+	name    string
+	dpid    uint64
+	ctrl    transport.Conn
+	conns   []transport.Conn
+	mu      sync.Mutex
+	fib     *flowtable.Table
+	arrived atomic.Int64
+	// mute withholds barrier replies and drops odd-priority FlowMods
+	// before they reach the FIB: the dropped half exercises the rescue's
+	// re-issue path, the applied half its confirm-from-FIB path.
+	mute atomic.Bool
+}
+
+func (rs *rescueBenchSwitch) readFIB() []hsa.Rule {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fib.Rules()
+}
+
+func (rs *rescueBenchSwitch) closeConns() {
+	for _, c := range rs.conns {
+		c.Close()
+	}
+	rs.conns = nil
+}
+
+// benchClusterAttachRescue (re-)wires one rescue-bench switch into the
+// cluster over fresh loopback TCP, mirroring benchClusterAttach but with
+// the FIB-recording, mutable switch stub.
+func benchClusterAttachRescue(b *testing.B, c *cluster.Cluster, rs *rescueBenchSwitch) {
+	b.Helper()
+	rs.closeConns()
+	benchCtrl, rumCtrl := wireLoopbackPair(b, false)
+	rumSw, benchSw := wireLoopbackPair(b, false)
+	benchSw.SetHandler(func(m Message) {
+		switch mm := m.(type) {
+		case *of.FlowMod:
+			rs.arrived.Add(1)
+			if !rs.mute.Load() || mm.Priority%2 == 0 {
+				rs.mu.Lock()
+				rs.fib.Apply(mm)
+				rs.mu.Unlock()
+			}
+			// The table may retain the mod's match/actions; let the GC
+			// reclaim it instead of recycling it into the pool.
+		case *of.BarrierRequest:
+			if !rs.mute.Load() {
+				rep := of.AcquireBarrierReply()
+				rep.SetXID(mm.GetXID())
+				_ = benchSw.Send(rep)
+				of.Release(rep)
+			}
+			of.Release(mm)
+		}
+	})
+	benchCtrl.SetHandler(func(m Message) {}) // resolutions observed via handles
+	if _, _, err := c.AttachSwitch(rs.name, rs.dpid, rumCtrl, rumSw); err != nil {
+		b.Fatalf("attach %s: %v", rs.name, err)
+	}
+	rs.ctrl = benchCtrl
+	rs.conns = []transport.Conn{benchCtrl, benchSw}
+}
+
+// BenchmarkClusterRescue measures the crash-rescue path end to end: a
+// 4-member rescue-enabled cluster serves member 0's pod of the k=16
+// fat-tree over loopback TCP, every switch accumulates a batch of
+// verifiably in-flight futures (rules applied, barrier replies withheld,
+// half the rules dropped before the FIB), and member 0 is killed. Each
+// orphan is re-attached to a survivor and adopted; the sweep confirms
+// the applied half from the re-read FIB and re-issues the dropped half
+// through the adoptive member. It records
+//
+//   - rescue_completion_p99_ms: p99 over every in-flight future of crash
+//     → adoption → truthful resolution, gated by cmd/benchcheck against
+//     the same 250 ms bound as the handoff benchmark;
+//   - rescue_failed_pct: journaled futures failed despite a reachable
+//     switch, as a percentage of all rescued futures — gated at zero.
+func BenchmarkClusterRescue(b *testing.B) {
+	const (
+		proxies   = 4
+		k         = 16
+		batchSize = 32
+	)
+	raiseFDLimit(b, 8192)
+	ft, err := netsim.NewFatTree(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	smap, err := cluster.NewShardMap(proxies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster.AssignFatTree(smap, ft)
+	beds := make(map[string]*rescueBenchSwitch)
+	clk := NewWallClock()
+	c, err := cluster.New(cluster.Config{
+		Map:      smap,
+		Core:     Config{Clock: clk, Technique: TechBarriers, RUMAware: true},
+		Topology: NewTopology(nil),
+		ReadFIB: func(sw string) []hsa.Rule {
+			if rs := beds[sw]; rs != nil {
+				return rs.readFIB()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Only member 0's switches are attached: the benchmark isolates the
+	// kill/rescue path, and the survivors' members exist to adopt.
+	var shard0 []string
+	for i, name := range ft.Switches() {
+		if o := smap.Rank(name)[0]; o != 0 {
+			continue
+		}
+		rs := &rescueBenchSwitch{name: name, dpid: uint64(i + 1), fib: flowtable.New()}
+		beds[name] = rs
+		shard0 = append(shard0, name)
+	}
+	if len(shard0) == 0 {
+		b.Fatal("member 0 owns no switches")
+	}
+	for _, name := range shard0 {
+		benchClusterAttachRescue(b, c, beds[name])
+	}
+	defer func() {
+		for _, rs := range beds {
+			rs.closeConns()
+		}
+	}()
+
+	futures := len(shard0) * batchSize
+	var p99ms, failedPct float64
+	var rescued, reissued int
+	statsBase := c.RescueStats()
+	for i := 0; i < b.N; i++ {
+		// Self-contained iteration: member 0 revived and its shard moved
+		// home on fresh muted conns with empty FIBs.
+		c.Revive(0)
+		for _, name := range shard0 {
+			rs := beds[name]
+			c.DetachSwitch(name, cluster.ErrProxyLost)
+			rs.mu.Lock()
+			rs.fib = flowtable.New()
+			rs.mu.Unlock()
+			rs.arrived.Store(0)
+			rs.mute.Store(true)
+			benchClusterAttachRescue(b, c, rs)
+		}
+		// One batch of in-flight futures per switch: distinct priorities
+		// make each rule its own FIB row (and mark the odd half for the
+		// drop), the withheld barriers keep every future pending.
+		handles := make(map[string][]*core.UpdateHandle, len(shard0))
+		for _, name := range shard0 {
+			rs := beds[name]
+			batch := make([]Message, batchSize)
+			hs := make([]*core.UpdateHandle, batchSize)
+			for j := 0; j < batchSize; j++ {
+				fm := &FlowMod{Command: of.FCAdd, Priority: uint16(j + 1), Match: of.MatchAll(),
+					BufferID: of.BufferNone, OutPort: of.PortNone}
+				fm.SetXID(uint32(0x10000 + j))
+				hs[j] = c.Watch(name, fm.GetXID())
+				batch[j] = fm
+			}
+			handles[name] = hs
+			if err := rs.ctrl.(transport.BatchSender).SendBatch(batch); err != nil {
+				b.Fatalf("%s: send: %v", name, err)
+			}
+		}
+		// Every FlowMod at its switch ⇒ tracked and journaled (the
+		// journal frame ships write-ahead of the batch).
+		for _, name := range shard0 {
+			for beds[name].arrived.Load() < batchSize {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+
+		start := time.Now()
+		orphans := c.Kill(0)
+		if len(orphans) != len(shard0) {
+			b.Fatalf("kill orphaned %d switches, want %d", len(orphans), len(shard0))
+		}
+		lat := make([]time.Duration, futures)
+		var failed atomic.Int64
+		var wg sync.WaitGroup
+		for oi, name := range orphans {
+			rs := beds[name]
+			hs := handles[name]
+			base := oi * batchSize
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rs.mute.Store(false)
+				benchClusterAttachRescue(b, c, rs)
+				if err := c.BootstrapSwitch(rs.name); err != nil {
+					b.Errorf("%s: bootstrap: %v", rs.name, err)
+					return
+				}
+				for j, h := range hs {
+					select {
+					case <-h.Done():
+						lat[base+j] = time.Since(start)
+					case <-time.After(30 * time.Second):
+						b.Errorf("%s: future %d unresolved 30s after the crash", rs.name, j)
+						return
+					}
+					if ar, _ := h.Result(); ar.Outcome == core.OutcomeFailed {
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if b.Failed() {
+			return
+		}
+		sort.Slice(lat, func(x, y int) bool { return lat[x] < lat[y] })
+		p99ms = float64(lat[len(lat)*99/100].Microseconds()) / 1000
+		failedPct = 100 * float64(failed.Load()) / float64(futures)
+		st := c.RescueStats()
+		rescued = st.Rescued - statsBase.Rescued
+		reissued = st.Reissued - statsBase.Reissued
+		statsBase = st
+	}
+	b.ReportMetric(p99ms, "rescue_p99_ms")
+	b.ReportMetric(failedPct, "failed_pct")
+	benchRecord("ClusterRescue", map[string]float64{
+		"switches":                 float64(len(shard0)),
+		"futures":                  float64(futures),
+		"rescued":                  float64(rescued),
+		"reissued":                 float64(reissued),
+		"rescue_completion_p99_ms": p99ms,
+		"rescue_failed_pct":        failedPct,
 	})
 }
 

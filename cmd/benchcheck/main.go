@@ -21,7 +21,7 @@
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Nine acceptance gates are separate and absolute, regardless of what the
+// Ten acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
 // the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
 // (the coalescing writer must beat the unbuffered path by ≥30%), the
@@ -36,7 +36,12 @@
 // time) must stay ≤ -max-planner-verify-ratio (0.20: transient
 // verification must remain a thin slice of the update pipeline), the
 // Cluster handoff-recovery p99 (proxy crash → re-dial → adoption → first
-// confirmed update) must stay ≤ -max-handoff-recovery-ms, the Overload
+// confirmed update) must stay ≤ -max-handoff-recovery-ms — the same bound
+// also covers the ClusterRescue rescue-completion p99 (crash → adoption →
+// every in-flight future truthfully resolved from the replicated intent
+// journal), and the ClusterRescue rescue_failed_pct (journaled futures
+// failed despite a reachable switch) must stay ≤ -max-rescue-failed-pct,
+// zero by default — the truthful-resolution contract — the Overload
 // shed_pct (updates refused with ErrOverloaded under the congested-
 // control-channel workload, BenchmarkOverload) must stay ≤
 // -max-overload-shed-pct — admission control may refuse work under
@@ -55,6 +60,7 @@
 // [-max-faultwrap-p99-ratio 1.05] [-max-planner-verify-ratio 0.20]
 // [-min-cluster-speedup 2.0] [-min-cluster-cpus 8]
 // [-max-handoff-recovery-ms 250] [-max-overload-shed-pct 15]
+// [-max-rescue-failed-pct 0]
 package main
 
 import (
@@ -100,6 +106,7 @@ type gateOpts struct {
 	minClusterCPUs    float64
 	maxHandoffMS      float64
 	maxOverloadShed   float64
+	maxRescueFailed   float64
 }
 
 // check runs every baseline comparison and absolute gate, writing one
@@ -262,18 +269,43 @@ func check(baseline, results *benchFile, opts gateOpts, w io.Writer) int {
 	}
 
 	if opts.maxHandoffMS > 0 {
-		p99, has := results.Benchmarks["Cluster"]["handoff_recovery_p99_ms"]
+		// One recovery bound covers both crash paths: the plain handoff
+		// (crash → re-dial → adoption → first fresh confirmed update) and
+		// the rescue sweep (crash → adoption → every in-flight future
+		// truthfully resolved).
+		for _, g := range []struct{ bench, metric, what string }{
+			{"Cluster", "handoff_recovery_p99_ms", "proxy-crash recovery regressed"},
+			{"ClusterRescue", "rescue_completion_p99_ms", "crash-rescue completion regressed"},
+		} {
+			p99, has := results.Benchmarks[g.bench][g.metric]
+			switch {
+			case !has:
+				fmt.Fprintf(w, "FAIL %s.%s: missing from results\n", g.bench, g.metric)
+				failures++
+			case p99 > opts.maxHandoffMS:
+				fmt.Fprintf(w, "FAIL %s.%s: %.2f ms > %.2f ms (%s)\n",
+					g.bench, g.metric, p99, opts.maxHandoffMS, g.what)
+				failures++
+			default:
+				fmt.Fprintf(w, "ok   %s.%s: %.2f ms (≤ %.2f ms required)\n",
+					g.bench, g.metric, p99, opts.maxHandoffMS)
+			}
+		}
+	}
+
+	if opts.maxRescueFailed >= 0 {
+		pct, has := results.Benchmarks["ClusterRescue"]["rescue_failed_pct"]
 		switch {
 		case !has:
-			fmt.Fprintln(w, "FAIL Cluster.handoff_recovery_p99_ms: missing from results")
+			fmt.Fprintln(w, "FAIL ClusterRescue.rescue_failed_pct: missing from results")
 			failures++
-		case p99 > opts.maxHandoffMS:
-			fmt.Fprintf(w, "FAIL Cluster.handoff_recovery_p99_ms: %.2f ms > %.2f ms (proxy-crash recovery regressed)\n",
-				p99, opts.maxHandoffMS)
+		case pct > opts.maxRescueFailed:
+			fmt.Fprintf(w, "FAIL ClusterRescue.rescue_failed_pct: %.2f%% > %.2f%% (journaled futures failed despite reachable switches)\n",
+				pct, opts.maxRescueFailed)
 			failures++
 		default:
-			fmt.Fprintf(w, "ok   Cluster.handoff_recovery_p99_ms: %.2f ms (≤ %.2f ms required)\n",
-				p99, opts.maxHandoffMS)
+			fmt.Fprintf(w, "ok   ClusterRescue.rescue_failed_pct: %.2f%% (≤ %.2f%% required)\n",
+				pct, opts.maxRescueFailed)
 		}
 	}
 
@@ -346,6 +378,8 @@ func main() {
 		"absolute ceiling for Cluster.handoff_recovery_p99_ms in milliseconds (0 disables)")
 	flag.Float64Var(&opts.maxOverloadShed, "max-overload-shed-pct", 15,
 		"absolute ceiling for Overload.shed_pct, updates refused with ErrOverloaded under the congested-channel workload (0 disables)")
+	flag.Float64Var(&opts.maxRescueFailed, "max-rescue-failed-pct", 0,
+		"absolute ceiling for ClusterRescue.rescue_failed_pct — journaled in-flight futures failed despite a reachable switch (negative disables; the default demands exactly zero)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)

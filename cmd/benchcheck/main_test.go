@@ -9,8 +9,9 @@ import (
 // noAbsolute disables every absolute gate so a test can exercise one
 // comparison in isolation.
 var noAbsolute = gateOpts{
-	tolerance:    0.20,
-	maxAckAllocs: -1, // zero means "enforce at zero", so use -1 to disable
+	tolerance:       0.20,
+	maxAckAllocs:    -1, // zero means "enforce at zero", so use -1 to disable
+	maxRescueFailed: -1, // same zero-is-meaningful convention
 }
 
 func bf(m map[string]map[string]float64) *benchFile { return &benchFile{Benchmarks: m} }
@@ -122,16 +123,49 @@ func TestHandoffRecoveryGate(t *testing.T) {
 	opts := noAbsolute
 	opts.maxHandoffMS = 250
 	empty := bf(map[string]map[string]float64{})
-	ok := bf(map[string]map[string]float64{"Cluster": {"handoff_recovery_p99_ms": 40}})
+	ok := bf(map[string]map[string]float64{
+		"Cluster":       {"handoff_recovery_p99_ms": 40},
+		"ClusterRescue": {"rescue_completion_p99_ms": 60},
+	})
 	if got := check(empty, ok, opts, io.Discard); got != 0 {
-		t.Fatalf("40ms recovery failed: %d", got)
+		t.Fatalf("40/60ms recovery failed: %d", got)
 	}
-	slow := bf(map[string]map[string]float64{"Cluster": {"handoff_recovery_p99_ms": 300}})
+	slow := bf(map[string]map[string]float64{
+		"Cluster":       {"handoff_recovery_p99_ms": 300},
+		"ClusterRescue": {"rescue_completion_p99_ms": 60},
+	})
 	if got := check(empty, slow, opts, io.Discard); got != 1 {
 		t.Fatalf("300ms recovery: %d failures, want 1", got)
 	}
+	slowRescue := bf(map[string]map[string]float64{
+		"Cluster":       {"handoff_recovery_p99_ms": 40},
+		"ClusterRescue": {"rescue_completion_p99_ms": 300},
+	})
+	if got := check(empty, slowRescue, opts, io.Discard); got != 1 {
+		t.Fatalf("300ms rescue completion: %d failures, want 1", got)
+	}
+	if got := check(empty, empty, opts, io.Discard); got != 2 {
+		t.Fatalf("missing handoff+rescue metrics: %d failures, want 2", got)
+	}
+}
+
+// TestRescueFailedGate pins the truthful-resolution gate at its default
+// zero threshold: any journaled future failed despite a reachable switch
+// fails the check, as does a missing metric.
+func TestRescueFailedGate(t *testing.T) {
+	opts := noAbsolute
+	opts.maxRescueFailed = 0
+	empty := bf(map[string]map[string]float64{})
+	clean := bf(map[string]map[string]float64{"ClusterRescue": {"rescue_failed_pct": 0}})
+	if got := check(empty, clean, opts, io.Discard); got != 0 {
+		t.Fatalf("zero rescue failures failed the gate: %d", got)
+	}
+	dirty := bf(map[string]map[string]float64{"ClusterRescue": {"rescue_failed_pct": 0.5}})
+	if got := check(empty, dirty, opts, io.Discard); got != 1 {
+		t.Fatalf("0.5%% rescue failures: %d failures, want 1", got)
+	}
 	if got := check(empty, empty, opts, io.Discard); got != 1 {
-		t.Fatalf("missing handoff metric: %d failures, want 1", got)
+		t.Fatalf("missing rescue_failed_pct: %d failures, want 1", got)
 	}
 }
 

@@ -20,8 +20,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rum/internal/core"
+	"rum/internal/hsa"
+	"rum/internal/journal"
 	"rum/internal/proxy"
 	"rum/internal/sim"
 	"rum/internal/transport"
@@ -42,6 +46,25 @@ type Config struct {
 	// holds sessions only for its own switches, but it needs the whole
 	// map to pick probe injectors/receivers among those it has.
 	Topology *core.Topology
+
+	// ReadFIB, when set, enables crash rescue: every member streams a
+	// pending-intent journal for each of its switches to the switch's
+	// first live non-owner in the preference order, and on Kill the
+	// adoptive member diffs the journaled intents against this function's
+	// re-read of the switch's flow table to resolve the dead member's
+	// in-flight futures truthfully — confirm the verifiably installed,
+	// re-issue the missing, and fail typed only what was never journaled.
+	// Nil keeps the pre-rescue behavior: Kill fails every in-flight
+	// future with ErrProxyLost.
+	ReadFIB func(sw string) []hsa.Rule
+
+	// HandoffGrace bounds how long a Watch for a switch no live member
+	// serves (its owner died, adoption pending) is parked before failing:
+	// within the grace the handle stays unresolved and is re-bound onto
+	// the adoptive member when the switch re-attaches; at expiry it fails
+	// with the same typed ShardError the ungraced path returns
+	// immediately. Zero (the default) keeps the immediate fail-fast.
+	HandoffGrace time.Duration
 }
 
 // Cluster fronts N RUM members with deterministic switch routing,
@@ -50,10 +73,24 @@ type Cluster struct {
 	smap    *ShardMap
 	members []*core.RUM
 	clk     sim.Clock
+	readFIB func(sw string) []hsa.Rule
+	grace   time.Duration
+
+	// Intent replication (nil-ReadFIB clusters never touch these).
+	// replicas[i] is the store member i holds on behalf of the others;
+	// jtarget maps a switch to the member replicating its journal (-1
+	// when no live non-owner exists); aliveAtomic mirrors alive for the
+	// lock-free drop of frames bound for a dead target.
+	replicas    []*journal.Replica
+	aliveAtomic []atomic.Bool
+	jtarget     sync.Map // switch name → int
 
 	mu       sync.Mutex
 	alive    []bool
 	attached map[string]int // switch name → member index holding its session
+	rescues  map[string]*rescueState
+	parked   map[string][]*core.UpdateHandle // HandoffGrace-parked watches
+	rstats   RescueStats
 }
 
 // New builds the members and the routing front.
@@ -72,8 +109,16 @@ func New(cfg Config) (*Cluster, error) {
 		smap:     smap,
 		members:  make([]*core.RUM, smap.N()),
 		clk:      cfg.Core.Clock,
+		readFIB:  cfg.ReadFIB,
+		grace:    cfg.HandoffGrace,
 		alive:    make([]bool, smap.N()),
 		attached: make(map[string]int),
+		rescues:  make(map[string]*rescueState),
+		parked:   make(map[string][]*core.UpdateHandle),
+	}
+	if cfg.ReadFIB != nil {
+		c.replicas = make([]*journal.Replica, smap.N())
+		c.aliveAtomic = make([]atomic.Bool, smap.N())
 	}
 	for i := range c.members {
 		r, err := core.New(cfg.Core, cfg.Topology)
@@ -82,6 +127,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.members[i] = r
 		c.alive[i] = true
+		if cfg.ReadFIB != nil {
+			c.replicas[i] = journal.NewReplica()
+			c.aliveAtomic[i].Store(true)
+			r.SetJournalSink(clusterSink{c})
+		}
 	}
 	return c, nil
 }
@@ -163,6 +213,17 @@ func (c *Cluster) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transp
 		return nil, -1, err
 	}
 	c.attached[name] = owner
+	if c.readFIB != nil {
+		c.setJournalTargetLocked(name, owner)
+	}
+	// Adoption completes the HandoffGrace contract: watches parked while
+	// no member served the switch re-home onto the serving member now.
+	if hs := c.parked[name]; len(hs) > 0 {
+		delete(c.parked, name)
+		for _, h := range hs {
+			c.members[owner].Rebind(h)
+		}
+	}
 	return sess, owner, nil
 }
 
@@ -176,46 +237,122 @@ func (c *Cluster) DetachSwitch(name string, cause error) bool {
 		delete(c.attached, name)
 	}
 	c.mu.Unlock()
+	if c.readFIB != nil {
+		// An orphan detached before adoption ran has parked rescue state:
+		// its taken futures must fail typed, not dangle.
+		c.dropRescue(name, c.clk.Now())
+	}
 	if !ok {
 		return false
 	}
-	return c.members[idx].DetachSwitchCause(name, cause)
+	detached := c.members[idx].DetachSwitchCause(name, cause)
+	if c.readFIB != nil {
+		// Clean detach: the member resolved or failed everything itself;
+		// the replicated journal has nothing left to rescue.
+		if v, found := c.jtarget.LoadAndDelete(name); found {
+			if t := v.(int); t >= 0 {
+				c.replicas[t].DropSwitch(name)
+			}
+		}
+	}
+	return detached
 }
 
 // Watch returns an ack future for (sw, xid), registered on the member
 // holding sw's session. When no member holds sw — its owner died and no
-// adoption has happened yet — the returned handle is already failed with
-// a ShardError wrapping ErrProxyLost: registering a real watcher on a
+// adoption has happened yet — the outcome depends on Config.HandoffGrace:
+// with the default zero grace the returned handle is already failed with
+// a ShardError wrapping ErrProxyLost (registering a real watcher on a
 // dead shard could only wedge, and the typed failure routes the caller
-// into the same repair path DetachSwitchCause feeds.
+// into the same repair path DetachSwitchCause feeds); with a positive
+// grace the handle is parked unresolved and re-bound onto the adoptive
+// member when the switch re-attaches, failing with the same typed cause
+// only if the grace expires first.
 func (c *Cluster) Watch(sw string, xid uint32) *core.UpdateHandle {
 	c.mu.Lock()
 	idx, ok := c.attached[sw]
-	var blame int
-	if !ok {
-		if o, live := c.ownerLocked(sw); live {
-			blame = o
-		} else {
-			blame = c.smap.Rank(sw)[0]
-		}
-	}
-	c.mu.Unlock()
 	if ok {
+		c.mu.Unlock()
 		return c.members[idx].Watch(sw, xid)
 	}
-	return core.FailedHandle(c.clk.Now(), sw, xid,
-		&ShardError{Shard: blame, Switch: sw, XID: xid, Err: ErrProxyLost})
+	var blame int
+	if o, live := c.ownerLocked(sw); live {
+		blame = o
+	} else {
+		blame = c.smap.Rank(sw)[0]
+	}
+	now := c.clk.Now()
+	if c.grace <= 0 {
+		c.mu.Unlock()
+		return core.FailedHandle(now, sw, xid,
+			&ShardError{Shard: blame, Switch: sw, XID: xid, Err: ErrProxyLost})
+	}
+	h := core.NewRemoteHandle(sw, xid, c.unpark)
+	c.parked[sw] = append(c.parked[sw], h)
+	c.mu.Unlock()
+	c.clk.After(c.grace, func() { c.expireParked(h, blame, now) })
+	return h
+}
+
+// unpark is the Cancel hook of a parked watch: it releases the parking
+// slot so neither adoption nor grace expiry touches the handle again.
+func (c *Cluster) unpark(h *core.UpdateHandle) { c.removeParked(h) }
+
+// removeParked drops h from its parking list, reporting whether it was
+// still parked (false: adoption already re-bound it, or Cancel beat us).
+func (c *Cluster) removeParked(h *core.UpdateHandle) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hs := c.parked[h.Switch()]
+	for i, p := range hs {
+		if p == h {
+			hs[i] = hs[len(hs)-1]
+			hs[len(hs)-1] = nil
+			if len(hs) == 1 {
+				delete(c.parked, h.Switch())
+			} else {
+				c.parked[h.Switch()] = hs[:len(hs)-1]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// expireParked fails a parked watch whose HandoffGrace ran out before
+// any member adopted its switch. A handle already re-bound (or
+// cancelled) is no longer parked and is left alone.
+func (c *Cluster) expireParked(h *core.UpdateHandle, blame int, parkedAt time.Duration) {
+	if !c.removeParked(h) {
+		return
+	}
+	h.Deliver(core.AckResult{
+		Switch: h.Switch(), XID: h.XID(), Outcome: core.OutcomeFailed,
+		IssuedAt: parkedAt, ConfirmedAt: c.clk.Now(),
+		Err: &ShardError{Shard: blame, Switch: h.Switch(), XID: h.XID(), Err: ErrProxyLost},
+	})
 }
 
 // Kill marks member i dead and detaches every switch it holds with a
-// ShardError cause wrapping ErrProxyLost — each session's pending
-// updates and registered futures resolve as failed, typed with the
-// losing shard. It returns the orphaned switch names (sorted); re-attach
-// them via AttachSwitch (which now routes to their next-preferred live
-// shard) and rebuild their probe state with BootstrapSwitch.
+// ShardError cause wrapping ErrProxyLost. Without Config.ReadFIB each
+// session's pending updates and registered futures resolve as failed,
+// typed with the losing shard. With rescue enabled the registered
+// futures are instead taken out of the dying member's shards BEFORE the
+// detach — its pending updates still run every refcount, strategy, and
+// pool obligation, but fail into an empty watcher table — and parked,
+// together with the successor replica's journaled intents, until the
+// orphan's adoption (BootstrapSwitch) resolves each future truthfully.
+// It returns the orphaned switch names (sorted); re-attach them via
+// AttachSwitch (which now routes to their next-preferred live shard) and
+// rebuild their probe state with BootstrapSwitch.
 func (c *Cluster) Kill(i int) []string {
 	c.mu.Lock()
 	c.alive[i] = false
+	if c.readFIB != nil {
+		// Lock-free mirror first: frames bound for the dead member's
+		// replica drop from here on.
+		c.aliveAtomic[i].Store(false)
+	}
 	var orphans []string
 	for sw, m := range c.attached {
 		if m == i {
@@ -226,9 +363,50 @@ func (c *Cluster) Kill(i int) []string {
 	for _, sw := range orphans {
 		delete(c.attached, sw)
 	}
+	if c.readFIB != nil {
+		// Surviving switches that journaled to i re-target their next
+		// live non-owner; the accumulated intents die with i's store, but
+		// their owners are alive and will resolve them normally.
+		c.jtarget.Range(func(k, v any) bool {
+			if v.(int) == i {
+				if owner, ok := c.attached[k.(string)]; ok {
+					c.setJournalTargetLocked(k.(string), owner)
+				} else {
+					c.jtarget.Store(k, -1)
+				}
+			}
+			return true
+		})
+	}
+	killedAt := c.clk.Now()
 	c.mu.Unlock()
 	for _, sw := range orphans {
+		if c.readFIB == nil {
+			c.members[i].DetachSwitchCause(sw, &ShardError{Shard: i, Switch: sw, Err: ErrProxyLost})
+			continue
+		}
+		// Order matters: take the future chains first (so the detach
+		// fails pending updates into an empty watcher table), then detach
+		// (which ships the session's final buffered journal frame to the
+		// replica), then snapshot the replica.
+		chains := c.members[i].TakeWatchers(sw)
 		c.members[i].DetachSwitchCause(sw, &ShardError{Shard: i, Switch: sw, Err: ErrProxyLost})
+		var intents []journal.Intent
+		if v, ok := c.jtarget.LoadAndDelete(sw); ok {
+			if t := v.(int); t >= 0 {
+				intents = c.replicas[t].TakePending(sw)
+			}
+		}
+		if len(chains) > 0 || len(intents) > 0 {
+			c.mu.Lock()
+			c.rescues[sw] = &rescueState{from: i, killed: killedAt, chains: chains, intents: intents}
+			c.mu.Unlock()
+		}
+	}
+	if c.readFIB != nil {
+		// The dead member's own replica store (other members' journals)
+		// is gone with its process.
+		c.replicas[i].Reset()
 	}
 	return orphans
 }
@@ -239,6 +417,9 @@ func (c *Cluster) Kill(i int) []string {
 func (c *Cluster) Revive(i int) {
 	c.mu.Lock()
 	c.alive[i] = true
+	if c.readFIB != nil {
+		c.aliveAtomic[i].Store(true)
+	}
 	c.mu.Unlock()
 }
 
@@ -264,7 +445,10 @@ func (c *Cluster) Bootstrap() error {
 // BootstrapSwitch re-bootstraps one switch on the member holding it —
 // the adoption counterpart of RUM.BootstrapSwitch: the adopted switch's
 // FIB is re-read, probe infrastructure is reinstalled, and its new
-// neighbors refresh their catch rules.
+// neighbors refresh their catch rules. With Config.ReadFIB set it then
+// runs the rescue sweep for futures salvaged from a killed member (see
+// runRescue), synchronously, so by return every rescued future is
+// confirmed, re-issued and tracked, or failed typed.
 func (c *Cluster) BootstrapSwitch(name string) error {
 	c.mu.Lock()
 	idx, ok := c.attached[name]
@@ -272,7 +456,13 @@ func (c *Cluster) BootstrapSwitch(name string) error {
 	if !ok {
 		return fmt.Errorf("cluster: %s is not attached to any member", name)
 	}
-	return c.members[idx].BootstrapSwitch(name)
+	if err := c.members[idx].BootstrapSwitch(name); err != nil {
+		return err
+	}
+	if c.readFIB != nil {
+		c.runRescue(name, idx)
+	}
+	return nil
 }
 
 // Stats sums the members' counters (acks sent, probes injected,

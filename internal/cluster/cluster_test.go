@@ -127,6 +127,14 @@ type clusterBed struct {
 }
 
 func newClusterBed(t *testing.T) *clusterBed {
+	return newClusterBedCfg(t, nil)
+}
+
+// newClusterBedCfg builds the bed, letting the caller adjust the cluster
+// configuration (rescue FIB reader, handoff grace, technique) before the
+// cluster is created. mod receives the switch map so a ReadFIB closure
+// can capture it.
+func newClusterBedCfg(t *testing.T, mod func(cfg *cluster.Config, switches map[string]*switchsim.Switch)) *clusterBed {
 	t.Helper()
 	s := sim.New()
 	n := netsim.New(s)
@@ -153,11 +161,15 @@ func newClusterBed(t *testing.T) *clusterBed {
 			t.Fatal(err)
 		}
 	}
-	c, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Map:      smap,
 		Core:     core.Config{Clock: s, Technique: core.TechBarriers, RUMAware: true},
 		Topology: core.NewTopology(links),
-	})
+	}
+	if mod != nil {
+		mod(&cfg, switches)
+	}
+	c, err := cluster.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

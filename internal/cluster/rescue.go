@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"rum/internal/core"
+	"rum/internal/flowtable"
+	"rum/internal/journal"
+	"rum/internal/of"
+	"rum/internal/planner"
+)
+
+// rescueState is everything Kill salvages from one orphaned switch: the
+// ack-future chains taken out of the dead member's shard before its
+// detach path could fail them, and the pending intents its successor
+// replica had accumulated. It waits, keyed by switch, until the orphan's
+// adoption (BootstrapSwitch) runs the rescue sweep.
+type rescueState struct {
+	from    int // dead member index, blamed in typed failures
+	killed  time.Duration
+	chains  map[uint32]*core.UpdateHandle
+	intents []journal.Intent
+}
+
+// RescueStats counts the rescue sweep's per-future outcomes since start.
+type RescueStats struct {
+	// Rescued futures were confirmed against the re-read switch FIB: the
+	// rule was verifiably installed, so the future resolved positively
+	// with the original issue timestamp.
+	Rescued int
+	// Reissued futures had a journaled FlowMod not present in the FIB:
+	// the future was re-bound on the adoptive member and the FlowMod
+	// re-injected under its original xid, resolving through the
+	// strategy's real acknowledgment machinery.
+	Reissued int
+	// NoIntent futures had no replicated intent to rescue from (the
+	// update died between the controller and the dead member's journal);
+	// they fail typed with ErrProxyLost into the caller's repair path.
+	NoIntent int
+	// Failed counts journaled futures failed despite a reachable switch —
+	// the truthful-resolution contract says this must stay zero
+	// (benchcheck gates it); it can only move when an intent has neither
+	// verifiable installation nor a re-issuable body.
+	Failed int
+}
+
+// RescueStats returns the accumulated rescue counters.
+func (c *Cluster) RescueStats() RescueStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rstats
+}
+
+// clusterSink is the core.JournalSink every member shares: it routes a
+// switch's replication frames to the replica held by the switch's
+// journal target (its first live non-owner in the shard map's preference
+// order). Frames for switches with no live target, or whose target died
+// an instant ago, are dropped — replication is best-effort by design,
+// and the rescue sweep treats a missing intent as a typed failure, never
+// a false ack.
+type clusterSink struct{ c *Cluster }
+
+func (s clusterSink) JournalFrame(sw string, frame []byte) {
+	v, ok := s.c.jtarget.Load(sw)
+	if !ok {
+		return
+	}
+	t := v.(int)
+	if t < 0 || !s.c.aliveAtomic[t].Load() {
+		return
+	}
+	_ = s.c.replicas[t].ApplyFrame(frame)
+}
+
+// setJournalTargetLocked (re)computes sw's journal target: the first
+// live member in its preference order that is not the owner. Called with
+// c.mu held whenever placement or liveness changes.
+func (c *Cluster) setJournalTargetLocked(sw string, owner int) {
+	target := -1
+	for _, m := range c.smap.Rank(sw) {
+		if m != owner && c.alive[m] {
+			target = m
+			break
+		}
+	}
+	c.jtarget.Store(sw, target)
+}
+
+// takeRescue snapshots and clears a switch's parked rescue state.
+func (c *Cluster) takeRescue(sw string) *rescueState {
+	c.mu.Lock()
+	st := c.rescues[sw]
+	delete(c.rescues, sw)
+	c.mu.Unlock()
+	return st
+}
+
+// runRescue is the rescue sweep for one adopted orphan, run from
+// BootstrapSwitch once the adoptive member (idx) serves the switch
+// again. For every future taken from the dead member it resolves
+// truthfully, in deterministic order (journal seq, then xid):
+//
+//   - intent present and its rule verifiably in the re-read FIB →
+//     confirm with the original issue timestamp (no re-install, no
+//     false ack: the journal digest / resync predicate is the proof);
+//   - intent present but the rule missing → re-bind the future on the
+//     adoptive member and re-inject the journaled FlowMod under its
+//     original xid, so the switch's strategy confirms it for real;
+//   - no intent → fail typed with a ShardError wrapping ErrProxyLost,
+//     routing the caller into the same repair path a non-rescuing
+//     cluster uses.
+func (c *Cluster) runRescue(sw string, idx int) {
+	st := c.takeRescue(sw)
+	if st == nil || len(st.chains) == 0 {
+		return
+	}
+	// Model the switch's current FIB once; every intent diffs against it
+	// with the planner's resync predicate.
+	table := flowtable.New()
+	digests := make(map[uint64]bool)
+	if c.readFIB != nil {
+		var scratch []byte
+		for _, r := range c.readFIB(sw) {
+			table.Apply(&of.FlowMod{
+				Command:  of.FCAdd,
+				Priority: r.Priority,
+				Match:    r.Match,
+				BufferID: of.BufferNone,
+				OutPort:  of.PortNone,
+				Actions:  r.Actions,
+			})
+			var d uint64
+			d, scratch = journal.DigestRule(scratch, r.Priority, r.Match, r.Actions)
+			digests[d] = true
+		}
+	}
+	intentByXID := make(map[uint32]*journal.Intent, len(st.intents))
+	for i := range st.intents {
+		it := &st.intents[i]
+		if prev, dup := intentByXID[it.XID]; !dup || it.Seq > prev.Seq {
+			intentByXID[it.XID] = it
+		}
+	}
+	// Deterministic sweep order: journaled futures by intent seq, then
+	// intent-less futures by xid — seed replay must reproduce the rescue
+	// byte for byte.
+	xids := make([]uint32, 0, len(st.chains))
+	for xid := range st.chains {
+		xids = append(xids, xid)
+	}
+	sort.Slice(xids, func(a, b int) bool {
+		ia, ib := intentByXID[xids[a]], intentByXID[xids[b]]
+		switch {
+		case ia != nil && ib != nil:
+			if ia.Seq != ib.Seq {
+				return ia.Seq < ib.Seq
+			}
+		case ia != nil:
+			return true
+		case ib != nil:
+			return false
+		}
+		return xids[a] < xids[b]
+	})
+	now := c.clk.Now()
+	var rescued, reissued, noIntent, failed int
+	for _, xid := range xids {
+		chain := st.chains[xid]
+		it := intentByXID[xid]
+		if it == nil {
+			failChain(chain, core.AckResult{
+				Switch: sw, XID: xid, Outcome: core.OutcomeFailed,
+				IssuedAt: st.killed, ConfirmedAt: now,
+				Err: &ShardError{Shard: st.from, Switch: sw, XID: xid, Err: ErrProxyLost},
+			})
+			noIntent++
+			continue
+		}
+		var fm *of.FlowMod
+		if len(it.Body) > 0 {
+			if m, err := of.Unmarshal(it.Body); err == nil {
+				fm, _ = m.(*of.FlowMod)
+			}
+		}
+		applied := false
+		switch {
+		case fm != nil:
+			applied = planner.RuleApplied(table, fm)
+		default:
+			applied = digests[it.Digest]
+		}
+		switch {
+		case applied:
+			outcome := core.OutcomeInstalled
+			if fm != nil && (fm.Command == of.FCDelete || fm.Command == of.FCDeleteStrict) {
+				outcome = core.OutcomeRemoved
+			}
+			resolveChain(chain, core.AckResult{
+				Switch: sw, XID: xid, Outcome: outcome,
+				IssuedAt: it.IssuedAt, ConfirmedAt: now, Latency: now - it.IssuedAt,
+			})
+			if fm != nil {
+				of.Release(fm)
+			}
+			rescued++
+		case fm != nil:
+			// Re-home every future first, then re-issue once: the
+			// adoptive member's strategy resolves the xid for all of them.
+			var hs []*core.UpdateHandle
+			for h := chain; h != nil; {
+				next := h.NextTaken()
+				hs = append(hs, h)
+				c.members[idx].Rebind(h)
+				h = next
+			}
+			if err := c.members[idx].InjectFlowMod(sw, fm); err != nil {
+				res := core.AckResult{
+					Switch: sw, XID: xid, Outcome: core.OutcomeFailed,
+					IssuedAt: it.IssuedAt, ConfirmedAt: now,
+					Err: &ShardError{Shard: st.from, Switch: sw, XID: xid, Err: ErrProxyLost},
+				}
+				for _, h := range hs {
+					h.Deliver(res)
+					h.Cancel() // deregister the rebind; Deliver already won
+				}
+				failed++
+				continue
+			}
+			reissued++
+		default:
+			// Journaled body-less and not verifiably installed: nothing
+			// truthful is left to do but fail typed. This is the one path
+			// that moves the gated Failed counter.
+			failChain(chain, core.AckResult{
+				Switch: sw, XID: xid, Outcome: core.OutcomeFailed,
+				IssuedAt: it.IssuedAt, ConfirmedAt: now,
+				Err: &ShardError{Shard: st.from, Switch: sw, XID: xid, Err: ErrProxyLost},
+			})
+			failed++
+		}
+	}
+	c.mu.Lock()
+	c.rstats.Rescued += rescued
+	c.rstats.Reissued += reissued
+	c.rstats.NoIntent += noIntent
+	c.rstats.Failed += failed
+	c.mu.Unlock()
+}
+
+// resolveChain delivers one positive result to every handle in a taken
+// chain.
+func resolveChain(h *core.UpdateHandle, res core.AckResult) {
+	for h != nil {
+		next := h.NextTaken()
+		h.Deliver(res)
+		h = next
+	}
+}
+
+// failChain delivers one typed failure to every handle in a taken chain.
+func failChain(h *core.UpdateHandle, res core.AckResult) {
+	resolveChain(h, res)
+}
+
+// dropRescue fails any parked rescue state for a switch that is being
+// cleanly detached before adoption ran (the caller owns repair); taken
+// futures must not be left unresolved.
+func (c *Cluster) dropRescue(sw string, now time.Duration) {
+	st := c.takeRescue(sw)
+	if st == nil {
+		return
+	}
+	n := 0
+	for xid, chain := range st.chains {
+		failChain(chain, core.AckResult{
+			Switch: sw, XID: xid, Outcome: core.OutcomeFailed,
+			IssuedAt: st.killed, ConfirmedAt: now,
+			Err: &ShardError{Shard: st.from, Switch: sw, XID: xid, Err: ErrProxyLost},
+		})
+		n++
+	}
+	c.mu.Lock()
+	c.rstats.NoIntent += n
+	c.mu.Unlock()
+}

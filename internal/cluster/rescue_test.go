@@ -1,0 +1,244 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rum/internal/cluster"
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/hsa"
+	"rum/internal/switchsim"
+)
+
+// newRescueBed builds a cluster bed with intent replication and crash
+// rescue enabled: members journal pending intents to their successor and
+// BootstrapSwitch diffs the re-read switch FIB against the replica. The
+// bed runs TechTimeout so every update has a wide installed-but-
+// unconfirmed window (300 ms after the barrier reply) in which a kill can
+// land deterministically.
+func newRescueBed(t *testing.T, grace time.Duration) *clusterBed {
+	t.Helper()
+	return newClusterBedCfg(t, func(cfg *cluster.Config, switches map[string]*switchsim.Switch) {
+		cfg.Core.Technique = core.TechTimeout
+		cfg.ReadFIB = func(sw string) []hsa.Rule { return switches[sw].CtrlTable().Rules() }
+		cfg.HandoffGrace = grace
+	})
+}
+
+// TestClusterRescueConfirmsInstalled is the tentpole's happy path: the
+// rule reached the switch but its owner died before the strategy
+// confirmed it. The successor's replica still holds the intent, the
+// rescue sweep finds the rule in the re-read FIB, and the future resolves
+// positively — no re-install, no typed failure, no false ack.
+func TestClusterRescueConfirmsInstalled(t *testing.T) {
+	bed := newRescueBed(t, 0)
+	h := bed.issue(t, "s3", 30)
+	// 50 ms in, the FlowMod has been applied on s3 but TechTimeout holds
+	// the confirmation for another 250 ms.
+	bed.s.RunFor(50 * time.Millisecond)
+	if _, ok := h.Result(); ok {
+		t.Fatal("future resolved before the kill; the timing assumption is broken")
+	}
+	if len(bed.switches["s3"].CtrlTable().Rules()) == 0 {
+		t.Fatal("rule not installed on s3 before the kill; the timing assumption is broken")
+	}
+	if orphans := bed.c.Kill(1); len(orphans) != 1 || orphans[0] != "s3" {
+		t.Fatalf("Kill(1) orphaned %v; want [s3]", orphans)
+	}
+	if _, ok := h.Result(); ok {
+		t.Fatal("kill resolved the future; rescue should have parked it")
+	}
+	if owner := bed.attach(t, "s3"); owner != 0 {
+		t.Fatalf("s3 adopted by shard %d; want 0", owner)
+	}
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	ar, ok := h.Result()
+	if !ok {
+		t.Fatal("rescued future still unresolved after adoption")
+	}
+	if ar.Outcome != core.OutcomeInstalled {
+		t.Fatalf("rescued future resolved %v (%v); want installed", ar.Outcome, ar.Err)
+	}
+	st := bed.c.RescueStats()
+	if st.Rescued != 1 || st.Reissued != 0 || st.Failed != 0 {
+		t.Fatalf("rescue stats = %+v; want exactly one rescued, none failed", st)
+	}
+}
+
+// TestClusterRescueReissuesMissing kills the owner with the FlowMod still
+// in flight toward the switch: the intent was journaled but the rule never
+// made the FIB, so the rescue re-binds the future on the adoptive member
+// and re-injects the journaled FlowMod under its original xid — the
+// future then confirms through the strategy's real ack machinery.
+func TestClusterRescueReissuesMissing(t *testing.T) {
+	bed := newRescueBed(t, 0)
+	h := bed.issue(t, "s3", 31)
+	// Long enough for the member to track and journal the intent
+	// (controller pipe is 100 µs, the flush fires immediately after),
+	// short enough that the batch is still inside the proxy→switch pipe.
+	bed.s.RunFor(150 * time.Microsecond)
+	bed.c.Kill(1)
+	if owner := bed.attach(t, "s3"); owner != 0 {
+		t.Fatalf("s3 adopted by shard %d; want 0", owner)
+	}
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	st := bed.c.RescueStats()
+	if st.Reissued != 1 || st.Rescued != 0 || st.Failed != 0 {
+		t.Fatalf("rescue stats = %+v; want exactly one reissued, none failed", st)
+	}
+	ar := bed.await(t, h)
+	if ar.Outcome != core.OutcomeInstalled {
+		t.Fatalf("reissued future resolved %v (%v); want installed", ar.Outcome, ar.Err)
+	}
+	// The re-issued rule really is on the switch.
+	if len(bed.switches["s3"].CtrlTable().Rules()) == 0 {
+		t.Fatal("reissued rule never reached s3's FIB")
+	}
+}
+
+// TestClusterRescueNoIntentFailsTyped pins the one honest failure class:
+// the update died between the controller and the dead member's journal,
+// so no replica ever saw an intent. The rescue must not guess — the
+// future fails typed with the same ShardError/ErrProxyLost contract a
+// non-rescuing cluster applies, routing the caller into repair.
+func TestClusterRescueNoIntentFailsTyped(t *testing.T) {
+	bed := newRescueBed(t, 0)
+	h := bed.issue(t, "s3", 32)
+	// No simulation time: the FlowMod never left the controller pipe, so
+	// the member neither tracked nor journaled it.
+	bed.c.Kill(1)
+	bed.attach(t, "s3")
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	ar, ok := h.Result()
+	if !ok {
+		t.Fatal("no-intent future still unresolved after adoption")
+	}
+	if ar.Outcome != core.OutcomeFailed {
+		t.Fatalf("no-intent future resolved %v; want typed failure", ar.Outcome)
+	}
+	var se *cluster.ShardError
+	if !errors.As(ar.Err, &se) || se.Shard != 1 || se.Switch != "s3" {
+		t.Fatalf("cause %v does not name dead shard 1 / s3", ar.Err)
+	}
+	if !errors.Is(ar.Err, cluster.ErrProxyLost) {
+		t.Fatalf("cause %v does not match ErrProxyLost", ar.Err)
+	}
+	st := bed.c.RescueStats()
+	if st.NoIntent != 1 || st.Failed != 0 {
+		t.Fatalf("rescue stats = %+v; want one no-intent, zero failed", st)
+	}
+}
+
+// TestClusterHandoffGraceRebindsOnAdoption: with a positive HandoffGrace
+// a Watch during the ownerless window parks unresolved instead of failing
+// fast, re-homes onto the adoptive member at attach, and confirms through
+// it once the FlowMod is actually sent.
+func TestClusterHandoffGraceRebindsOnAdoption(t *testing.T) {
+	bed := newClusterBedCfg(t, func(cfg *cluster.Config, _ map[string]*switchsim.Switch) {
+		cfg.HandoffGrace = 40 * time.Millisecond
+	})
+	bed.c.Kill(1)
+	xid := bed.client.NewXID()
+	h := bed.c.Watch("s3", xid)
+	if _, ok := h.Result(); ok {
+		t.Fatal("watch during grace window resolved immediately; want parked")
+	}
+	if owner := bed.attach(t, "s3"); owner != 0 {
+		t.Fatalf("s3 adopted by shard %d; want 0", owner)
+	}
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	bed.s.RunFor(50 * time.Millisecond)
+	if ar, ok := h.Result(); ok {
+		t.Fatalf("rebound watch resolved %v before the FlowMod was sent", ar)
+	}
+	f := controller.FlowSpec{ID: 40}
+	f.Src, f.Dst = controller.FlowAddr(40)
+	fm := controller.AddRule(f, 100, 1)
+	fm.SetXID(xid)
+	if err := bed.client.Send("s3", fm); err != nil {
+		t.Fatal(err)
+	}
+	ar := bed.await(t, h)
+	if ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("rebound watch failed: %v", ar.Err)
+	}
+}
+
+// TestClusterHandoffGraceExpiresTyped: a parked watch whose grace runs
+// out before any adoption fails with the same typed ShardError /
+// ErrProxyLost contract the zero-grace fast path uses; a parked watch
+// cancelled before expiry stays unresolved and releases its slot.
+func TestClusterHandoffGraceExpiresTyped(t *testing.T) {
+	bed := newClusterBedCfg(t, func(cfg *cluster.Config, _ map[string]*switchsim.Switch) {
+		cfg.HandoffGrace = 40 * time.Millisecond
+	})
+	bed.c.Kill(1)
+	h := bed.c.Watch("s3", 0x71)
+	cancelled := bed.c.Watch("s3", 0x72)
+	cancelled.Cancel()
+	bed.s.RunFor(30 * time.Millisecond)
+	if _, ok := h.Result(); ok {
+		t.Fatal("parked watch resolved before its grace expired")
+	}
+	bed.s.RunFor(20 * time.Millisecond)
+	ar, ok := h.Result()
+	if !ok {
+		t.Fatal("parked watch never expired")
+	}
+	if ar.Outcome != core.OutcomeFailed {
+		t.Fatalf("expired watch resolved %v; want typed failure", ar.Outcome)
+	}
+	var se *cluster.ShardError
+	if !errors.As(ar.Err, &se) || se.Switch != "s3" {
+		t.Fatalf("cause %v does not carry a ShardError for s3", ar.Err)
+	}
+	if !errors.Is(ar.Err, cluster.ErrProxyLost) {
+		t.Fatalf("cause %v does not match ErrProxyLost", ar.Err)
+	}
+	if res, resolved := cancelled.Result(); resolved {
+		t.Fatalf("cancelled parked watch resolved %v; want left unresolved", res)
+	}
+}
+
+// TestClusterKillRescueNoPoolLeak extends the zero-pool-leak contract to
+// the kill/rescue/revive cycle: every pooled update tracked across the
+// crash — confirmed, rescued, or re-issued — must return to the pool
+// once the dust settles.
+func TestClusterKillRescueNoPoolLeak(t *testing.T) {
+	before := core.LiveUpdates()
+	bed := newRescueBed(t, 0)
+	h1 := bed.issue(t, "s1", 50) // survivor shard, confirms normally
+	h3 := bed.issue(t, "s3", 51) // killed shard, rescued from the replica
+	bed.s.RunFor(50 * time.Millisecond)
+	bed.c.Kill(1)
+	bed.attach(t, "s3")
+	if err := bed.c.BootstrapSwitch("s3"); err != nil {
+		t.Fatal(err)
+	}
+	if ar := bed.await(t, h1); ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("survivor-shard update failed: %v", ar.Err)
+	}
+	if ar := bed.await(t, h3); ar.Outcome == core.OutcomeFailed {
+		t.Fatalf("rescued update failed: %v", ar.Err)
+	}
+	bed.c.Revive(1)
+	for i := 0; i < 200; i++ {
+		if core.LiveUpdates() == before {
+			break
+		}
+		bed.s.RunFor(10 * time.Millisecond)
+	}
+	if live := core.LiveUpdates(); live != before {
+		t.Fatalf("pooled-update leak across kill/rescue/revive: %d live before, %d after", before, live)
+	}
+}

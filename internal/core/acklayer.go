@@ -61,6 +61,16 @@ type ackLayer struct {
 	wireQ     []*Update // FIFO awaiting wire-encode release (recycleFM sessions)
 	wireHead  int
 	listeners []confirmListener // copy-on-write; snapshots are immutable
+
+	// Intent replication (see journal.go). journalOn is latched at attach
+	// from the RUM-level sink, so sessions without replication pay one
+	// bool test per update. jmu is a leaf lock guarding the frame under
+	// construction and its scratch buffers; it nests inside a.mu only.
+	journalOn bool
+	jmu       sync.Mutex
+	jbuf      []byte
+	jbody     []byte
+	jscratch  []byte
 }
 
 func newAckLayer(s *session) *ackLayer {
@@ -133,6 +143,9 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	u.seq = a.nextSeq
 	a.issued.Store(a.nextSeq)
 	a.ringPutLocked(u)
+	if a.journalOn {
+		a.journalIntent(u)
+	}
 	if wire {
 		u.Retain() // wire reference, dropped by noteFlushed after encoding
 		a.wireQ = append(a.wireQ, u)
@@ -368,6 +381,9 @@ func (a *ackLayer) confirmCause(u *Update, outcome Outcome, cause error) {
 	for _, fn := range listeners {
 		fn(u, refined)
 	}
+	if a.journalOn {
+		a.journalDeliver()
+	}
 	u.Release()
 }
 
@@ -386,6 +402,9 @@ func refineOutcome(u *Update, outcome Outcome) Outcome {
 // holds a reference to u and owns notifying the confirmation listeners.
 func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome) Outcome {
 	outcome = refineOutcome(u, outcome)
+	if a.journalOn {
+		a.journalResolve(u)
+	}
 	r := a.sess.rum
 	code, hasWire := outcome.wireCode()
 	if hasWire && r.cfg.RUMAware && ctx != nil {
@@ -492,6 +511,9 @@ func (a *ackLayer) confirmUpTo(seq uint64, outcome Outcome) {
 				fn(u, refined)
 			}
 		}
+	}
+	if a.journalOn && len(ready) > 0 {
+		a.journalDeliver()
 	}
 	for i, u := range ready {
 		u.Release()

@@ -410,6 +410,10 @@ type RUM struct {
 	overloadOn bool
 	degradeOn  bool
 
+	// journal is the intent-replication sink (SetJournalSink); sessions
+	// latch its presence at attach.
+	journal JournalSink
+
 	// stats
 	acksSent   atomic.Uint64
 	probesSent atomic.Uint64
@@ -563,7 +567,9 @@ func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.
 	s.reuseBatch = transport.EncodesFrames(swConn)
 	s.recycleFM = s.recycleAcks && s.reuseBatch && !r.cfg.Unsharded
 	al := newAckLayer(s)
+	al.journalOn = r.journal != nil
 	s.ack = al
+	s.techName = r.strategyFor(name).Name()
 	var layers []proxy.Layer
 	if r.cfg.BarrierLayer {
 		s.bar = &barrierLayer{sess: s, buffer: r.cfg.BufferForReorder}
@@ -592,6 +598,9 @@ type session struct {
 	ack    *ackLayer
 	bar    *barrierLayer
 	strat  SwitchStrategy
+	// techName is the serving strategy's registered name, cached for the
+	// intent journal's records.
+	techName string
 
 	// recycleAcks: the controller conn encodes frames, so emitted RUM
 	// acks return to the codec pool after Send. reuseBatch: the switch
@@ -634,6 +643,12 @@ func (s *session) sendToSwitchNow(m of.Message) { _ = s.swConn.Send(m) }
 // receiving switch releases them instead. Only the accepted prefix is
 // released: a refused message is still owned by the outbox.
 func (s *session) sendBatchToSwitchNow(ms []of.Message) int {
+	// Write-ahead intent replication: the successor's replica learns this
+	// batch's intents no later than the wire does, so a crash between the
+	// send and the confirmations always leaves the rescue path a record.
+	if s.ack.journalOn {
+		s.ack.journalDeliver()
+	}
 	sent := len(ms)
 	if ps, ok := s.swConn.(transport.PartialBatchSender); ok {
 		n, _ := ps.SendBatchPartial(ms)
@@ -776,6 +791,13 @@ func (r *RUM) DetachSwitchCause(name string, cause error) bool {
 	// The shard's outbox is gone: wire references for never-encoded
 	// FlowMods must drop here or the pooled updates leak.
 	s.ack.releaseWire()
+	// Ship any intents still buffered for replication before the pending
+	// updates fail below: their detach-driven failures are not journaled
+	// (journalResolve), so the replica keeps exactly the set a successor
+	// can still rescue.
+	if s.ack.journalOn {
+		s.ack.journalDeliver()
+	}
 	if d, ok := s.strat.(SwitchDetacher); ok {
 		d.Detach()
 	}

@@ -40,6 +40,11 @@ type UpdateHandle struct {
 	// (guarded by the shard lock; see shard.watch).
 	nextWatch *UpdateHandle
 
+	// cancelFn, when set on a handle with no shard registration (r ==
+	// nil), lets the owning routing front release its own bookkeeping on
+	// Cancel (e.g. a cluster's handoff-grace parking slot).
+	cancelFn func(*UpdateHandle)
+
 	mu        sync.Mutex
 	res       AckResult
 	resolved  bool
@@ -92,6 +97,8 @@ func (h *UpdateHandle) AwaitAck(ctx context.Context) (AckResult, error) {
 func (h *UpdateHandle) Cancel() {
 	if h.r != nil {
 		h.r.unwatch(h)
+	} else if h.cancelFn != nil {
+		h.cancelFn(h)
 	}
 	h.mu.Lock()
 	if !h.resolved {
@@ -126,6 +133,33 @@ func FailedHandle(now time.Duration, sw string, xid uint32, cause error) *Update
 	h.resolved = true
 	close(h.done)
 	return h
+}
+
+// NextTaken pops the next handle of an intrusive chain returned by
+// RUM.TakeWatchers, severing the link. Only the owner of a taken chain
+// may call it: handles still registered on a shard chain belong to the
+// shard lock.
+func (h *UpdateHandle) NextTaken() *UpdateHandle {
+	next := h.nextWatch
+	h.nextWatch = nil
+	return next
+}
+
+// Deliver resolves a handle from outside the ack layer. Routing fronts
+// that own handles directly — a cluster rescuing a dead member's
+// futures against replicated intents — use it to settle the future with
+// a truthful result; like any resolution, the first one wins and a
+// cancelled handle stays unresolved.
+func (h *UpdateHandle) Deliver(res AckResult) { h.resolve(res) }
+
+// NewRemoteHandle creates an unresolved handle owned by a routing front
+// rather than registered on a shard: the front resolves it with Deliver
+// (or re-homes it with RUM.Rebind once a member serves the switch).
+// onCancel, when non-nil, is invoked if the caller Cancels the handle
+// while it is still front-owned, so parking-slot bookkeeping can be
+// released.
+func NewRemoteHandle(sw string, xid uint32, onCancel func(*UpdateHandle)) *UpdateHandle {
+	return &UpdateHandle{sw: sw, xid: xid, done: make(chan struct{}), cancelFn: onCancel}
 }
 
 // Watch returns an ack future for the FlowMod with the given transaction

@@ -11,6 +11,7 @@ import (
 	"rum/internal/controller"
 	"rum/internal/core"
 	"rum/internal/faults"
+	"rum/internal/hsa"
 	"rum/internal/netsim"
 	"rum/internal/of"
 	"rum/internal/retry"
@@ -56,6 +57,12 @@ type ClusterChurnOpts struct {
 	// RecoverAfter is the outage before orphans are re-attached to their
 	// adoptive members (default 50ms).
 	RecoverAfter time.Duration
+	// Rescue enables intent replication and crash rescue: members stream
+	// pending-update intents to their shard-map successor, and adoption
+	// resolves the dead member's futures truthfully against the re-read
+	// FIB (confirm if installed, re-issue if missing) instead of failing
+	// them. The default (off) preserves the fail-and-repair contract.
+	Rescue bool
 	// CtrlLatency and LinkLatency mirror EnvConfig (defaults 100µs/20µs).
 	CtrlLatency time.Duration
 	LinkLatency time.Duration
@@ -141,6 +148,18 @@ type ClusterChurnResult struct {
 	Reissued        int
 	DoubleInstalls  int
 
+	// The rescue scorecard (all zero unless opts.Rescue): Rescued futures
+	// were confirmed against the adopted switch's re-read FIB,
+	// RescueReissued were re-injected under their original xid,
+	// RescueNoIntent died before any replica saw them (the honest typed-
+	// failure class), and RescueFailed counts journaled futures failed
+	// despite a reachable switch — the truthful-resolution gate, which
+	// must stay zero.
+	Rescued        int
+	RescueReissued int
+	RescueNoIntent int
+	RescueFailed   int
+
 	// CompositeConfirmed / CompositeFailed split the fanned-out wave;
 	// CompositeLosingShard is the shard its aggregated error names
 	// (-1 when the whole wave confirmed).
@@ -224,7 +243,11 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 	for _, sw := range ft.Agg {
 		cfg.PerSwitch[sw] = core.TechGeneral
 	}
-	c, err := cluster.New(cluster.Config{Map: smap, Core: cfg, Topology: core.NewTopology(links)})
+	ccfg := cluster.Config{Map: smap, Core: cfg, Topology: core.NewTopology(links)}
+	if opts.Rescue {
+		ccfg.ReadFIB = func(sw string) []hsa.Rule { return switches[sw].CtrlTable().Rules() }
+	}
+	c, err := cluster.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -378,10 +401,12 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 				repair(it.sw, it.flow)
 			}
 		}
-		if fanHandle != nil {
+		if fanHandle != nil && !opts.Rescue {
 			for _, name := range orphans {
 				// The fanned-out slot for an orphan failed with the kill;
-				// repair it like any other lost update.
+				// repair it like any other lost update. (With rescue on the
+				// slot did not fail — its future was taken from the dead
+				// member and settled truthfully by the sweep above.)
 				repair(name, fanFlows[name])
 			}
 		}
@@ -452,12 +477,14 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 	}
 
 	// Ground truth: every activation in every data plane, by xid and by
-	// flow identity (for the double-install audit).
-	activatedXID := make(map[string]map[uint32]bool, len(names))
+	// flow identity (for the double-install audit). Occurrence counts, not
+	// presence: a rescue re-issue reuses the original xid, so a rule that
+	// activated twice under one xid must still show up as a double install.
+	activatedXID := make(map[string]map[uint32]int, len(names))
 	for _, name := range names {
-		m := make(map[uint32]bool)
+		m := make(map[uint32]int)
 		for _, a := range switches[name].Activations() {
-			m[a.XID] = true
+			m[a.XID]++
 		}
 		activatedXID[name] = m
 	}
@@ -468,7 +495,8 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 	var lats []time.Duration
 	activationsPerFlow := make(map[string]map[int]int) // switch → flow → activated xids
 	countActivation := func(sw string, flow int, xid uint32) {
-		if !activatedXID[sw][xid] {
+		cnt := activatedXID[sw][xid]
+		if cnt == 0 {
 			return
 		}
 		m := activationsPerFlow[sw]
@@ -476,7 +504,7 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 			m = make(map[int]int)
 			activationsPerFlow[sw] = m
 		}
-		m[flow]++
+		m[flow] += cnt
 	}
 	scoreFailure := func(st *TechFaultStats, err error) {
 		var se *cluster.ShardError
@@ -508,7 +536,7 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 			st.Acked++
 			lats = append(lats, ar.Latency)
 			falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
-				!activatedXID[it.sw][it.xid]
+				activatedXID[it.sw][it.xid] == 0
 			if falseAck {
 				res.FalseAcks++
 				st.FalseAcks++
@@ -542,7 +570,7 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 					st.Acked++
 					lats = append(lats, ar.Latency)
 					falseAck := (ar.Outcome == core.OutcomeInstalled || ar.Outcome == core.OutcomeRemoved) &&
-						!activatedXID[ar.Switch][ar.XID]
+						activatedXID[ar.Switch][ar.XID] == 0
 					if falseAck {
 						res.FalseAcks++
 						st.FalseAcks++
@@ -585,6 +613,13 @@ func ClusterChurn(opts ClusterChurnOpts) (*ClusterChurnResult, error) {
 		if first > 0 && first-killedAt > res.HandoffMax {
 			res.HandoffMax = first - killedAt
 		}
+	}
+	if opts.Rescue {
+		rs := c.RescueStats()
+		res.Rescued, res.RescueReissued = rs.Rescued, rs.Reissued
+		res.RescueNoIntent, res.RescueFailed = rs.NoIntent, rs.Failed
+		fmt.Fprintf(&trace, "rescue: rescued=%d reissued=%d nointent=%d failed=%d\n",
+			rs.Rescued, rs.Reissued, rs.NoIntent, rs.Failed)
 	}
 	res.Injected = inj.Stats()
 	fmt.Fprintf(&trace, "orphans: %s\n", strings.Join(orphans, ","))

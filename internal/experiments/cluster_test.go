@@ -1,6 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -90,6 +95,117 @@ func TestClusterChurnSeedReplayProxyKill(t *testing.T) {
 	}
 	if other.Trace == a.Trace {
 		t.Fatal("different seeds produced identical traces — the injector is not wired through")
+	}
+}
+
+// TestClusterChurnRescue is the tentpole acceptance run for crash
+// rescue: with intent replication on, a member killed mid-fanout loses
+// no journaled in-flight future while its switches stay reachable — each
+// is either confirmed against the re-read FIB or re-issued and confirmed
+// through the adoptive member, with zero false acks and zero double
+// installs against the activation-log ground truth. Two runs with equal
+// opts must reproduce the kill and every rescue byte for byte.
+func TestClusterChurnRescue(t *testing.T) {
+	opts := ClusterChurnOpts{K: 8, Shards: 4, Rescue: true, UpdatesPerSwitch: 4}
+	res, err := ClusterChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Orphans == 0 {
+		t.Fatal("the killed shard held no switches — the handoff never happened")
+	}
+	if res.Wedged != 0 {
+		t.Fatalf("%d futures wedged", res.Wedged)
+	}
+	if res.Rescued+res.RescueReissued == 0 {
+		t.Fatal("the kill caught no in-flight futures — the rescue path never ran")
+	}
+	if res.RescueFailed != 0 {
+		t.Fatalf("%d journaled futures failed despite reachable switches — the truthful-resolution gate is broken", res.RescueFailed)
+	}
+	if res.FalseAcks != 0 {
+		t.Fatalf("%d false acks — a rescue confirmed a rule the data plane never activated", res.FalseAcks)
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs — a rescue re-issued a rule that was already live", res.DoubleInstalls)
+	}
+	if res.Acked+res.FailedTyped+res.SendFailed != res.Updates {
+		t.Fatalf("accounting leak: %d+%d+%d != %d updates",
+			res.Acked, res.FailedTyped, res.SendFailed, res.Updates)
+	}
+	if res.HandoffMax == 0 {
+		t.Fatal("no orphan confirmed an update after adoption")
+	}
+
+	again, err := ClusterChurn(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != again.Trace {
+		t.Fatalf("same opts produced different rescue traces:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			res.Trace, again.Trace)
+	}
+}
+
+// TestClusterChurnChaosSoak is the nightly chaos sweep: many seeds, each
+// deriving a randomized kill/recovery schedule (kill time, killed shard,
+// outage length, fault profile) from its seed, all with rescue on and
+// the truthful-resolution gate enforced. It is skipped unless RUM_SOAK
+// is set — the nightly workflow runs it under -race and uploads the
+// per-seed scorecard written to RUM_SOAK_OUT.
+func TestClusterChurnChaosSoak(t *testing.T) {
+	if os.Getenv("RUM_SOAK") == "" {
+		t.Skip("chaos soak runs in the nightly workflow; set RUM_SOAK=1 to run locally")
+	}
+	seeds := 20
+	if v := os.Getenv("RUM_SOAK_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad RUM_SOAK_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	var scorecard strings.Builder
+	profiles := []FaultProfile{FaultNone, FaultLoss}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		opts := ClusterChurnOpts{
+			K:                4,
+			Shards:           2,
+			Seed:             seed,
+			Rescue:           true,
+			UpdatesPerSwitch: 2 + rng.Intn(4),
+			KillShard:        rng.Intn(2),
+			KillAt:           500*time.Microsecond + time.Duration(rng.Intn(2000))*time.Microsecond,
+			RecoverAfter:     10*time.Millisecond + time.Duration(rng.Intn(80))*time.Millisecond,
+			Profile:          profiles[rng.Intn(len(profiles))],
+		}
+		res, err := ClusterChurn(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fmt.Fprintf(&scorecard,
+			"seed=%d profile=%s kill=%d@%v recover=%v orphans=%d acked=%d/%d rescued=%d reissued=%d nointent=%d rescue_failed=%d false_acks=%d double_installs=%d wedged=%d handoff=%v\n",
+			seed, opts.Profile, opts.KillShard, opts.KillAt, opts.RecoverAfter,
+			res.Orphans, res.Acked, res.Updates, res.Rescued, res.RescueReissued,
+			res.RescueNoIntent, res.RescueFailed, res.FalseAcks, res.DoubleInstalls,
+			res.Wedged, res.HandoffMax)
+		if res.Wedged != 0 {
+			t.Errorf("seed %d: %d futures wedged", seed, res.Wedged)
+		}
+		if res.RescueFailed != 0 {
+			t.Errorf("seed %d: %d journaled futures failed despite reachable switches", seed, res.RescueFailed)
+		}
+		if res.DoubleInstalls != 0 {
+			t.Errorf("seed %d: %d double installs", seed, res.DoubleInstalls)
+		}
+	}
+	t.Logf("chaos soak scorecard:\n%s", scorecard.String())
+	if out := os.Getenv("RUM_SOAK_OUT"); out != "" {
+		if err := os.WriteFile(out, []byte(scorecard.String()), 0o644); err != nil {
+			t.Fatalf("writing scorecard: %v", err)
+		}
 	}
 }
 

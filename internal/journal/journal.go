@@ -1,0 +1,210 @@
+// Package journal is the pending-intent replication format of the
+// cluster's crash-rescue protocol: each RUM member streams a compact
+// journal of the updates it has flushed toward its switches — switch,
+// xid, seq, a match/action digest, the serving strategy, issue time and
+// deadline, plus the FlowMod's wire bytes for re-issue — to a successor
+// member's Replica. On a member crash the successor reconstructs every
+// orphaned switch's pending set from its replica and resolves the
+// orphan's ack futures truthfully instead of abandoning them (see
+// docs/CLUSTER.md, "Intent replication and rescue").
+//
+// Records travel in frames: a fixed 8-byte header (payload length +
+// CRC-32) followed by length-delimited records. The framing exists so a
+// torn, truncated, or corrupted replication stream is *detected* — a
+// replica fed garbage must refuse it with an error, never panic and
+// never silently misparse a record into a plausible-looking wrong one
+// (FuzzJournalDecode holds the decoder to that).
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"rum/internal/of"
+)
+
+// Record operations.
+const (
+	// OpIntent records one pending update flushed toward a switch.
+	OpIntent byte = 1
+	// OpResolve retires a previously journaled intent (the update
+	// resolved on its owner, so there is nothing left to rescue).
+	OpResolve byte = 2
+)
+
+// HeaderLen is the frame header size: 4-byte payload length followed by
+// the payload's CRC-32 (IEEE).
+const HeaderLen = 8
+
+// maxFramePayload bounds a frame; a length field beyond it is rejected
+// before any allocation is attempted on its behalf.
+const maxFramePayload = 1 << 24
+
+// Record is one decoded journal record. Intent records carry the full
+// tuple; resolve records carry only (Switch, XID, Seq). Switch,
+// Strategy, and Body reference the decoded frame's backing — callers
+// retaining a record past the frame's lifetime must copy them.
+type Record struct {
+	Op       byte
+	Switch   string
+	XID      uint32
+	Seq      uint64
+	Digest   uint64
+	Strategy string
+	IssuedAt time.Duration
+	Deadline time.Duration
+	Body     []byte // FlowMod wire bytes (intents only)
+}
+
+// BeginFrame resets buf to an empty frame: the 8-byte header reserved,
+// no records. The returned slice reuses buf's backing when it fits.
+func BeginFrame(buf []byte) []byte {
+	if cap(buf) < HeaderLen {
+		return make([]byte, HeaderLen, 256)
+	}
+	buf = buf[:HeaderLen]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Empty reports whether a frame under construction holds no records.
+func Empty(buf []byte) bool { return len(buf) <= HeaderLen }
+
+// AppendIntent appends one intent record to a frame under construction.
+func AppendIntent(buf []byte, rec *Record) []byte {
+	buf = append(buf, OpIntent, byte(len(rec.Switch)))
+	buf = append(buf, rec.Switch...)
+	buf = binary.BigEndian.AppendUint32(buf, rec.XID)
+	buf = binary.BigEndian.AppendUint64(buf, rec.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, rec.Digest)
+	buf = append(buf, byte(len(rec.Strategy)))
+	buf = append(buf, rec.Strategy...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(rec.IssuedAt))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(rec.Deadline))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rec.Body)))
+	return append(buf, rec.Body...)
+}
+
+// AppendResolve appends one resolve record to a frame under construction.
+func AppendResolve(buf []byte, sw string, xid uint32, seq uint64) []byte {
+	buf = append(buf, OpResolve, byte(len(sw)))
+	buf = append(buf, sw...)
+	buf = binary.BigEndian.AppendUint32(buf, xid)
+	return binary.BigEndian.AppendUint64(buf, seq)
+}
+
+// SealFrame fills the header (payload length + CRC) and returns the
+// complete frame, ready for delivery. Sealing an empty frame returns nil.
+func SealFrame(buf []byte) []byte {
+	if len(buf) <= HeaderLen {
+		return nil
+	}
+	payload := buf[HeaderLen:]
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// Payload validates a frame's header — length and CRC — and returns the
+// record payload. A torn or corrupted frame is an error; trailing bytes
+// beyond the declared length are an error too (a frame is a unit, not a
+// stream position guess).
+func Payload(frame []byte) ([]byte, error) {
+	if len(frame) < HeaderLen {
+		return nil, fmt.Errorf("journal: frame truncated: %d bytes, need %d-byte header", len(frame), HeaderLen)
+	}
+	n := binary.BigEndian.Uint32(frame[0:4])
+	if n == 0 || n > maxFramePayload {
+		return nil, fmt.Errorf("journal: frame declares implausible payload length %d", n)
+	}
+	if uint32(len(frame)-HeaderLen) != n {
+		return nil, fmt.Errorf("journal: frame torn: header declares %d payload bytes, have %d", n, len(frame)-HeaderLen)
+	}
+	payload := frame[HeaderLen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(frame[4:8]); got != want {
+		return nil, fmt.Errorf("journal: frame CRC mismatch: computed %08x, header %08x", got, want)
+	}
+	return payload, nil
+}
+
+// NextRecord decodes the first record of a validated payload, returning
+// it and the remaining payload. Every length field is bounds-checked
+// before use, so a corrupt payload that passed the CRC of a different
+// corruption (or a hand-built attack frame) errors instead of
+// panicking or misparsing.
+func NextRecord(p []byte) (Record, []byte, error) {
+	var r Record
+	if len(p) < 2 {
+		return r, nil, fmt.Errorf("journal: record truncated: %d bytes", len(p))
+	}
+	r.Op = p[0]
+	swLen := int(p[1])
+	p = p[2:]
+	if len(p) < swLen {
+		return r, nil, fmt.Errorf("journal: record switch name torn: need %d bytes, have %d", swLen, len(p))
+	}
+	r.Switch = string(p[:swLen])
+	p = p[swLen:]
+	switch r.Op {
+	case OpResolve:
+		if len(p) < 12 {
+			return r, nil, fmt.Errorf("journal: resolve record torn: %d bytes after name", len(p))
+		}
+		r.XID = binary.BigEndian.Uint32(p[0:4])
+		r.Seq = binary.BigEndian.Uint64(p[4:12])
+		return r, p[12:], nil
+	case OpIntent:
+		if len(p) < 21 {
+			return r, nil, fmt.Errorf("journal: intent record torn: %d bytes after name", len(p))
+		}
+		r.XID = binary.BigEndian.Uint32(p[0:4])
+		r.Seq = binary.BigEndian.Uint64(p[4:12])
+		r.Digest = binary.BigEndian.Uint64(p[12:20])
+		stratLen := int(p[20])
+		p = p[21:]
+		if len(p) < stratLen+18 {
+			return r, nil, fmt.Errorf("journal: intent record strategy/body torn: need %d bytes, have %d", stratLen+18, len(p))
+		}
+		r.Strategy = string(p[:stratLen])
+		p = p[stratLen:]
+		r.IssuedAt = time.Duration(binary.BigEndian.Uint64(p[0:8]))
+		r.Deadline = time.Duration(binary.BigEndian.Uint64(p[8:16]))
+		bodyLen := int(binary.BigEndian.Uint16(p[16:18]))
+		p = p[18:]
+		if len(p) < bodyLen {
+			return r, nil, fmt.Errorf("journal: intent record body torn: need %d bytes, have %d", bodyLen, len(p))
+		}
+		r.Body = p[:bodyLen]
+		return r, p[bodyLen:], nil
+	default:
+		return r, nil, fmt.Errorf("journal: unknown record op %d", r.Op)
+	}
+}
+
+// DigestRule computes the FNV-1a digest of a rule's data-plane identity
+// — priority, normalized match, actions — appending the canonical
+// encoding into scratch (returned for reuse, so steady-state digesting
+// allocates nothing). The same function digests a journaled FlowMod and
+// a FIB rule, which is what lets the rescue path diff a replica against
+// a re-read flow table without decoding every body.
+func DigestRule(scratch []byte, priority uint16, m of.Match, actions []of.Action) (uint64, []byte) {
+	scratch = scratch[:0]
+	scratch = append(scratch, byte(priority>>8), byte(priority))
+	nm := m.Normalize()
+	scratch = nm.Append(scratch)
+	scratch = of.AppendActions(scratch, actions)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range scratch {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h, scratch
+}

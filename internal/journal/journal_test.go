@@ -1,0 +1,221 @@
+package journal
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"rum/internal/of"
+)
+
+func testIntent(sw string, xid uint32, seq uint64) *Record {
+	return &Record{
+		Op:       OpIntent,
+		Switch:   sw,
+		XID:      xid,
+		Seq:      seq,
+		Digest:   0xdeadbeefcafef00d,
+		Strategy: "adaptive",
+		IssuedAt: 1500 * time.Microsecond,
+		Deadline: 30 * time.Second,
+		Body:     []byte{0x01, 0x0e, 0x00, 0x08, 0x00, 0x00, 0x00, 0x07},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	buf := BeginFrame(nil)
+	if !Empty(buf) {
+		t.Fatal("fresh frame not empty")
+	}
+	want := []*Record{testIntent("s1", 7, 41), testIntent("s2", 8, 42)}
+	for _, r := range want {
+		buf = AppendIntent(buf, r)
+	}
+	buf = AppendResolve(buf, "s1", 7, 41)
+	frame := SealFrame(buf)
+	if frame == nil {
+		t.Fatal("sealed non-empty frame returned nil")
+	}
+
+	payload, err := Payload(frame)
+	if err != nil {
+		t.Fatalf("Payload: %v", err)
+	}
+	var recs []Record
+	for len(payload) > 0 {
+		var rec Record
+		rec, payload, err = NextRecord(payload)
+		if err != nil {
+			t.Fatalf("NextRecord: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	for i, w := range want {
+		g := recs[i]
+		if g.Op != OpIntent || g.Switch != w.Switch || g.XID != w.XID || g.Seq != w.Seq ||
+			g.Digest != w.Digest || g.Strategy != w.Strategy ||
+			g.IssuedAt != w.IssuedAt || g.Deadline != w.Deadline || string(g.Body) != string(w.Body) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, g, *w)
+		}
+	}
+	if r := recs[2]; r.Op != OpResolve || r.Switch != "s1" || r.XID != 7 || r.Seq != 41 {
+		t.Fatalf("resolve record mismatch: %+v", recs[2])
+	}
+}
+
+func TestSealEmptyFrameNil(t *testing.T) {
+	if got := SealFrame(BeginFrame(nil)); got != nil {
+		t.Fatalf("sealing empty frame: got %v, want nil", got)
+	}
+}
+
+func TestPayloadRejectsCorruption(t *testing.T) {
+	frame := SealFrame(AppendIntent(BeginFrame(nil), testIntent("s1", 1, 1)))
+	cases := map[string]func([]byte) []byte{
+		"truncated header": func(f []byte) []byte { return f[:HeaderLen-1] },
+		"torn payload":     func(f []byte) []byte { return f[:len(f)-3] },
+		"trailing bytes":   func(f []byte) []byte { return append(f, 0xff) },
+		"flipped bit": func(f []byte) []byte {
+			f[HeaderLen+2] ^= 0x40
+			return f
+		},
+		"zero length": func(f []byte) []byte {
+			binary.BigEndian.PutUint32(f[0:4], 0)
+			return f[:HeaderLen]
+		},
+		"absurd length": func(f []byte) []byte {
+			binary.BigEndian.PutUint32(f[0:4], 1<<30)
+			return f
+		},
+	}
+	for name, mutate := range cases {
+		cp := append([]byte(nil), frame...)
+		if _, err := Payload(mutate(cp)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestReplicaIntentThenResolve(t *testing.T) {
+	r := NewReplica()
+	frame := SealFrame(AppendIntent(BeginFrame(nil), testIntent("s1", 7, 41)))
+	if err := r.ApplyFrame(frame); err != nil {
+		t.Fatalf("ApplyFrame(intent): %v", err)
+	}
+	if n := r.PendingCount("s1"); n != 1 {
+		t.Fatalf("pending after intent: %d, want 1", n)
+	}
+	frame = SealFrame(AppendResolve(BeginFrame(frame), "s1", 7, 41))
+	if err := r.ApplyFrame(frame); err != nil {
+		t.Fatalf("ApplyFrame(resolve): %v", err)
+	}
+	if n := r.PendingCount("s1"); n != 0 {
+		t.Fatalf("pending after resolve: %d, want 0", n)
+	}
+	if got := r.TakePending("s1"); got != nil {
+		t.Fatalf("TakePending after resolve: %v, want nil", got)
+	}
+}
+
+// Resolve-before-intent is the ordering no-wait strategies produce: the
+// confirm happens inside OnFlowMod, before the flush that carries the
+// intent. The tombstone must eat the late intent.
+func TestReplicaTombstoneEatsLateIntent(t *testing.T) {
+	r := NewReplica()
+	f1 := SealFrame(AppendResolve(BeginFrame(nil), "s1", 7, 41))
+	if err := r.ApplyFrame(f1); err != nil {
+		t.Fatalf("ApplyFrame(early resolve): %v", err)
+	}
+	f2 := SealFrame(AppendIntent(BeginFrame(nil), testIntent("s1", 7, 41)))
+	if err := r.ApplyFrame(f2); err != nil {
+		t.Fatalf("ApplyFrame(late intent): %v", err)
+	}
+	if n := r.PendingCount("s1"); n != 0 {
+		t.Fatalf("tombstoned intent survived: pending=%d", n)
+	}
+	// The tombstone is one-shot: a different seq still lands.
+	f3 := SealFrame(AppendIntent(BeginFrame(nil), testIntent("s1", 8, 42)))
+	if err := r.ApplyFrame(f3); err != nil {
+		t.Fatalf("ApplyFrame(fresh intent): %v", err)
+	}
+	if n := r.PendingCount("s1"); n != 1 {
+		t.Fatalf("fresh intent after tombstone: pending=%d, want 1", n)
+	}
+}
+
+func TestReplicaTakePendingSeqOrder(t *testing.T) {
+	r := NewReplica()
+	buf := BeginFrame(nil)
+	for _, seq := range []uint64{44, 41, 43, 42} {
+		buf = AppendIntent(buf, testIntent("s1", uint32(seq), seq))
+	}
+	if err := r.ApplyFrame(SealFrame(buf)); err != nil {
+		t.Fatalf("ApplyFrame: %v", err)
+	}
+	got := r.TakePending("s1")
+	if len(got) != 4 {
+		t.Fatalf("took %d intents, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq >= got[i].Seq {
+			t.Fatalf("intents out of seq order: %v", got)
+		}
+	}
+	if r.PendingCount("s1") != 0 {
+		t.Fatal("TakePending left state behind")
+	}
+}
+
+func TestReplicaRejectsFrameWhole(t *testing.T) {
+	r := NewReplica()
+	buf := AppendIntent(BeginFrame(nil), testIntent("s1", 1, 1))
+	buf = AppendIntent(buf, testIntent("s1", 2, 2))
+	frame := SealFrame(buf)
+	frame[len(frame)-1] ^= 0xff // corrupt the tail record past sealing
+	if err := r.ApplyFrame(frame); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	if n := r.PendingCount("s1"); n != 0 {
+		t.Fatalf("partial frame applied: pending=%d, want 0", n)
+	}
+	if applied, rejected := r.Stats(); applied != 0 || rejected != 1 {
+		t.Fatalf("stats after reject: applied=%d rejected=%d", applied, rejected)
+	}
+}
+
+func TestDigestRuleStable(t *testing.T) {
+	m := of.Match{Wildcards: of.WcAll &^ of.WcDLDst}
+	copy(m.DLDst[:], []byte{0, 1, 2, 3, 4, 5})
+	acts := []of.Action{of.ActionOutput{Port: 3, MaxLen: 65535}}
+
+	d1, scratch := DigestRule(nil, 10, m, acts)
+	d2, scratch := DigestRule(scratch, 10, m, acts)
+	if d1 != d2 {
+		t.Fatalf("digest unstable: %x vs %x", d1, d2)
+	}
+	d3, scratch := DigestRule(scratch, 11, m, acts)
+	if d3 == d1 {
+		t.Fatal("priority change did not change digest")
+	}
+	acts[0] = of.ActionOutput{Port: 4, MaxLen: 65535}
+	d4, _ := DigestRule(scratch, 10, m, acts)
+	if d4 == d1 {
+		t.Fatal("action change did not change digest")
+	}
+}
+
+// A wildcarded field's bytes must not leak into the digest: two matches
+// equal under Normalize must digest identically.
+func TestDigestRuleNormalizes(t *testing.T) {
+	var a, b of.Match
+	a.Wildcards, b.Wildcards = of.WcAll, of.WcAll
+	copy(a.DLSrc[:], []byte{9, 9, 9, 9, 9, 9}) // garbage under full wildcard
+	da, scratch := DigestRule(nil, 5, a, nil)
+	db, _ := DigestRule(scratch, 5, b, nil)
+	if da != db {
+		t.Fatalf("normalized-equal matches digest differently: %x vs %x", da, db)
+	}
+}

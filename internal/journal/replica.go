@@ -1,0 +1,175 @@
+package journal
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Intent is one pending update held by a Replica on behalf of another
+// member. Unlike Record, an Intent owns its bytes — ApplyFrame copies
+// out of the frame so the sender can recycle its buffer immediately.
+type Intent struct {
+	Switch   string
+	XID      uint32
+	Seq      uint64
+	Digest   uint64
+	Strategy string
+	IssuedAt time.Duration
+	Deadline time.Duration
+	Body     []byte
+}
+
+// Replica is the successor-side store of a member's pending-update
+// journal: per switch, the set of intents not yet resolved by their
+// owner. It tolerates the one reordering the core actually produces —
+// a resolve arriving before its intent (no-wait strategies confirm an
+// update before the flush that journals it) — by keeping tombstones for
+// resolves of unseen seqs and dropping the matching intent on arrival.
+type Replica struct {
+	mu       sync.Mutex
+	pending  map[string]map[uint64]Intent
+	tombs    map[string]map[uint64]struct{}
+	frames   uint64
+	rejected uint64
+}
+
+// NewReplica returns an empty replica store.
+func NewReplica() *Replica {
+	return &Replica{
+		pending: make(map[string]map[uint64]Intent),
+		tombs:   make(map[string]map[uint64]struct{}),
+	}
+}
+
+// ApplyFrame validates one replication frame and folds its records into
+// the store. A frame that fails validation — torn, truncated, bad CRC,
+// corrupt record — is rejected whole, with no partial application, and
+// counted; the store is left exactly as it was.
+func (r *Replica) ApplyFrame(frame []byte) error {
+	payload, err := Payload(frame)
+	if err != nil {
+		r.mu.Lock()
+		r.rejected++
+		r.mu.Unlock()
+		return err
+	}
+	// Decode everything before mutating, so a record torn mid-payload
+	// cannot leave half a frame applied.
+	var recs []Record
+	for len(payload) > 0 {
+		var rec Record
+		rec, payload, err = NextRecord(payload)
+		if err != nil {
+			r.mu.Lock()
+			r.rejected++
+			r.mu.Unlock()
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.frames++
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Op {
+		case OpIntent:
+			if ts := r.tombs[rec.Switch]; ts != nil {
+				if _, dead := ts[rec.Seq]; dead {
+					delete(ts, rec.Seq)
+					if len(ts) == 0 {
+						delete(r.tombs, rec.Switch)
+					}
+					continue
+				}
+			}
+			sw := r.pending[rec.Switch]
+			if sw == nil {
+				sw = make(map[uint64]Intent)
+				r.pending[rec.Switch] = sw
+			}
+			sw[rec.Seq] = Intent{
+				Switch:   rec.Switch,
+				XID:      rec.XID,
+				Seq:      rec.Seq,
+				Digest:   rec.Digest,
+				Strategy: rec.Strategy,
+				IssuedAt: rec.IssuedAt,
+				Deadline: rec.Deadline,
+				Body:     append([]byte(nil), rec.Body...),
+			}
+		case OpResolve:
+			if sw := r.pending[rec.Switch]; sw != nil {
+				if _, ok := sw[rec.Seq]; ok {
+					delete(sw, rec.Seq)
+					if len(sw) == 0 {
+						delete(r.pending, rec.Switch)
+					}
+					continue
+				}
+			}
+			ts := r.tombs[rec.Switch]
+			if ts == nil {
+				ts = make(map[uint64]struct{})
+				r.tombs[rec.Switch] = ts
+			}
+			ts[rec.Seq] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// TakePending removes and returns the stored intents for one switch,
+// ordered by seq (issue order). Tombstones for the switch are dropped
+// too — after a take, the switch's slate is clean.
+func (r *Replica) TakePending(sw string) []Intent {
+	r.mu.Lock()
+	m := r.pending[sw]
+	delete(r.pending, sw)
+	delete(r.tombs, sw)
+	r.mu.Unlock()
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Intent, 0, len(m))
+	for _, it := range m {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// DropSwitch discards all state for one switch (clean detach: the owner
+// resolved or failed everything itself, nothing to rescue).
+func (r *Replica) DropSwitch(sw string) {
+	r.mu.Lock()
+	delete(r.pending, sw)
+	delete(r.tombs, sw)
+	r.mu.Unlock()
+}
+
+// Reset discards everything — used when the replicated-from member is
+// declared dead and its journal has been consumed, or when it restarts
+// and will re-journal from scratch.
+func (r *Replica) Reset() {
+	r.mu.Lock()
+	r.pending = make(map[string]map[uint64]Intent)
+	r.tombs = make(map[string]map[uint64]struct{})
+	r.mu.Unlock()
+}
+
+// PendingCount reports the number of stored intents for one switch.
+func (r *Replica) PendingCount(sw string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending[sw])
+}
+
+// Stats reports lifetime frame counters: frames applied and frames
+// rejected by validation.
+func (r *Replica) Stats() (applied, rejected uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frames, r.rejected
+}

@@ -437,6 +437,16 @@ func inFlight(ops []*opExec, fm *of.FlowMod) bool {
 // for adds, the exact rule (match, priority, actions); for strict
 // deletes, the absence of the rule.
 func applied(t *flowtable.Table, fm *of.FlowMod) bool {
+	return RuleApplied(t, fm)
+}
+
+// RuleApplied reports whether fm's effect is present in a re-read FIB
+// model: for adds, the exact rule (match, priority, actions); for
+// deletes, the absence of the rule. It is the resync predicate this
+// executor uses after a fault, exported so the cluster's crash-rescue
+// path can diff a dead member's journaled intents against the switch's
+// actual flow table with identical semantics.
+func RuleApplied(t *flowtable.Table, fm *of.FlowMod) bool {
 	e := t.Find(fm.Match, fm.Priority)
 	switch fm.Command {
 	case of.FCDelete, of.FCDeleteStrict:

@@ -100,6 +100,13 @@ func (s *Session) fromSwitch(idx int, m of.Message) {
 	s.layers[idx].FromSwitch(s.ctxs[idx], m)
 }
 
+// InjectFromController feeds a message into the top of the layer chain,
+// exactly as if the controller-side conn had delivered it: every layer
+// (barrier buffering, acknowledgment tracking) observes it. Recovery
+// paths use it to re-issue in-flight modifications adopted from a dead
+// proxy without bypassing the acknowledgment machinery.
+func (s *Session) InjectFromController(m of.Message) { s.fromController(0, m) }
+
 // SendToSwitch injects a message below the whole chain, directly to the
 // switch (used for out-of-band traffic such as probe PacketOuts on
 // neighbor switches).
