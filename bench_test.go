@@ -525,6 +525,42 @@ func BenchmarkFatTreeChurn(b *testing.B) {
 	benchRecord("FatTreeChurn", metrics)
 }
 
+// BenchmarkAggregation runs the compressible k=8 fat-tree workload
+// through the HSA-verified incremental aggregation layer: aligned /32
+// blocks merging to single covers, then seeded point-delete churn
+// splitting them while acknowledgments fan in from physical installs.
+// cmd/benchcheck gates the peak compression ratio (≥ the
+// -min-aggregation-ratio floor) and demands zero HSA counterexamples and
+// zero false acks against the emulated switches' activation logs.
+func BenchmarkAggregation(b *testing.B) {
+	var res *experiments.AggregationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Aggregation(experiments.AggregationOpts{K: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Updates {
+			b.Fatalf("aggregation completed %d/%d updates (failed=%d unacked=%d)",
+				res.Completed, res.Updates, res.Failed, res.Unacked)
+		}
+	}
+	b.ReportMetric(res.Ratio, "compression_ratio")
+	b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99_ack_ms")
+	benchRecord("Aggregation", map[string]float64{
+		"switches":            float64(res.Switches),
+		"updates":             float64(res.Updates),
+		"logical_rules":       float64(res.LogicalRules),
+		"physical_rules":      float64(res.PhysicalRules),
+		"compression_ratio":   res.Ratio,
+		"hsa_counterexamples": float64(res.HSACounterexamples),
+		"false_install_acks":  float64(res.FalseInstallAcks),
+		"false_remove_acks":   float64(res.FalseRemoveAcks),
+		"p50_ack_ms":          float64(res.P50.Microseconds()) / 1000,
+		"p99_ack_ms":          float64(res.P99.Microseconds()) / 1000,
+	})
+}
+
 // BenchmarkFatTreeChurnFaultWrapped runs the same k=8 churn with the
 // fault-injection wrapper interposed on every switch conn but no faults
 // triggered (faults.Passthrough): the cost of having the chaos layer in

@@ -21,7 +21,7 @@
 //   - anything else (switches, updates, timers — workload sizes): fail
 //     below baseline (the workload must not silently shrink).
 //
-// Ten acceptance gates are separate and absolute, regardless of what the
+// Eleven acceptance gates are separate and absolute, regardless of what the
 // baseline says: the ShardContention speedup must stay ≥ -min-speedup,
 // the WireThroughput coalescing speedup must stay ≥ -min-wire-speedup
 // (the coalescing writer must beat the unbuffered path by ≥30%), the
@@ -46,7 +46,12 @@
 // control-channel workload, BenchmarkOverload) must stay ≤
 // -max-overload-shed-pct — admission control may refuse work under
 // congestion collapse, but a creeping refusal rate means the
-// coalescing/degradation machinery stopped absorbing load — and the
+// coalescing/degradation machinery stopped absorbing load — the
+// Aggregation compression_ratio (logical rules over physical rules at
+// the compressible workload's peak) must stay ≥ -min-aggregation-ratio
+// (1.5), with its hsa_counterexamples, false_install_acks and
+// false_remove_acks all exactly zero — aggregation must pay for itself
+// without ever lying to the controller — and the
 // 4-member cluster's aggregate confirmed rate must stay ≥
 // -min-cluster-speedup × the single-proxy AckPath rate — the scale-out
 // acceptance claim. Parallel speedup is physically impossible on a
@@ -60,7 +65,7 @@
 // [-max-faultwrap-p99-ratio 1.05] [-max-planner-verify-ratio 0.20]
 // [-min-cluster-speedup 2.0] [-min-cluster-cpus 8]
 // [-max-handoff-recovery-ms 250] [-max-overload-shed-pct 15]
-// [-max-rescue-failed-pct 0]
+// [-max-rescue-failed-pct 0] [-min-aggregation-ratio 1.5]
 package main
 
 import (
@@ -107,6 +112,7 @@ type gateOpts struct {
 	maxHandoffMS      float64
 	maxOverloadShed   float64
 	maxRescueFailed   float64
+	minAggRatio       float64
 }
 
 // check runs every baseline comparison and absolute gate, writing one
@@ -324,6 +330,37 @@ func check(baseline, results *benchFile, opts gateOpts, w io.Writer) int {
 		}
 	}
 
+	if opts.minAggRatio > 0 {
+		// The aggregation gate is compound: the compressible workload must
+		// actually compress, and it must do so soundly — the equivalence
+		// verifier and the activation-log audit both report zero failures.
+		ratio, has := results.Benchmarks["Aggregation"]["compression_ratio"]
+		switch {
+		case !has:
+			fmt.Fprintln(w, "FAIL Aggregation.compression_ratio: missing from results")
+			failures++
+		case ratio < opts.minAggRatio:
+			fmt.Fprintf(w, "FAIL Aggregation.compression_ratio: %.2fx < required %.2fx (incremental FIB aggregation regressed)\n",
+				ratio, opts.minAggRatio)
+			failures++
+		default:
+			fmt.Fprintf(w, "ok   Aggregation.compression_ratio: %.2fx (≥ %.2fx required)\n", ratio, opts.minAggRatio)
+		}
+		for _, m := range []string{"hsa_counterexamples", "false_install_acks", "false_remove_acks"} {
+			got, has := results.Benchmarks["Aggregation"][m]
+			switch {
+			case !has:
+				fmt.Fprintf(w, "FAIL Aggregation.%s: missing from results\n", m)
+				failures++
+			case got != 0:
+				fmt.Fprintf(w, "FAIL Aggregation.%s: %.0f (aggregation soundness demands exactly zero)\n", m, got)
+				failures++
+			default:
+				fmt.Fprintf(w, "ok   Aggregation.%s: 0\n", m)
+			}
+		}
+	}
+
 	if opts.minClusterSpeedup > 0 {
 		agg, okAgg := results.Benchmarks["Cluster"]["aggregate_confirmed_per_sec"]
 		single, okSingle := results.Benchmarks["AckPath"]["confirmed_per_sec"]
@@ -380,6 +417,8 @@ func main() {
 		"absolute ceiling for Overload.shed_pct, updates refused with ErrOverloaded under the congested-channel workload (0 disables)")
 	flag.Float64Var(&opts.maxRescueFailed, "max-rescue-failed-pct", 0,
 		"absolute ceiling for ClusterRescue.rescue_failed_pct — journaled in-flight futures failed despite a reachable switch (negative disables; the default demands exactly zero)")
+	flag.Float64Var(&opts.minAggRatio, "min-aggregation-ratio", 1.5,
+		"absolute floor for Aggregation.compression_ratio; also demands zero HSA counterexamples and zero false acks (0 disables)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)

@@ -201,3 +201,37 @@ func TestZeroAllocGate(t *testing.T) {
 		t.Fatalf("0.02 allocs: %d failures, want 1", got)
 	}
 }
+
+// TestAggregationGate covers the compound aggregation gate: the
+// compression ratio is a floor, and the soundness counters must be
+// exactly zero.
+func TestAggregationGate(t *testing.T) {
+	opts := noAbsolute
+	opts.minAggRatio = 1.5
+	empty := bf(map[string]map[string]float64{})
+	mk := func(ratio, cex, falseInst, falseRem float64) *benchFile {
+		return bf(map[string]map[string]float64{
+			"Aggregation": {
+				"compression_ratio":   ratio,
+				"hsa_counterexamples": cex,
+				"false_install_acks":  falseInst,
+				"false_remove_acks":   falseRem,
+			},
+		})
+	}
+	if got := check(empty, mk(4.2, 0, 0, 0), opts, io.Discard); got != 0 {
+		t.Fatalf("healthy aggregation failed the gate: %d", got)
+	}
+	if got := check(empty, mk(1.2, 0, 0, 0), opts, io.Discard); got != 1 {
+		t.Fatalf("1.2x ratio: %d failures, want 1", got)
+	}
+	if got := check(empty, mk(4.2, 1, 0, 0), opts, io.Discard); got != 1 {
+		t.Fatalf("one counterexample: %d failures, want 1", got)
+	}
+	if got := check(empty, mk(4.2, 0, 2, 1), opts, io.Discard); got != 2 {
+		t.Fatalf("false acks: %d failures, want 2", got)
+	}
+	if got := check(empty, empty, opts, io.Discard); got != 4 {
+		t.Fatalf("missing Aggregation metrics: %d failures, want 4", got)
+	}
+}

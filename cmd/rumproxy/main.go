@@ -123,6 +123,8 @@ func main() {
 	rate := flag.Float64("rate", 200, "adaptive-technique assumed mods/sec")
 	probeEvery := flag.Int("probe-every", 10, "sequential probing batch size")
 	barrierLayer := flag.Bool("barrier-layer", false, "enable the reliable barrier layer")
+	aggregateFlag := flag.Bool("aggregate", false,
+		"maintain an HSA-verified compressed physical FIB per switch; controller acks fan in from physical installs")
 	buffer := flag.Bool("buffer", false, "buffer commands after unconfirmed barriers (reordering switches)")
 	rumAware := flag.Bool("acks", true, "emit fine-grained RUM acks to the controller")
 	pprofAddr := flag.String("pprof", "",
@@ -235,6 +237,7 @@ func main() {
 			ProbeEvery:       *probeEvery,
 			BarrierLayer:     *barrierLayer,
 			BufferForReorder: *buffer,
+			Aggregate:        *aggregateFlag,
 			OutboxLimit:      *outboxLimit,
 			Overload:         overload,
 			OverloadDeadline: *overloadDeadline,
@@ -256,8 +259,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("rumproxy: listen %s: %v", *listen, err)
 	}
-	log.Printf("rumproxy: technique=%s barrier_layer=%v listening on %s, controller at %s",
-		tech, *barrierLayer, ln.Addr(), *controller)
+	log.Printf("rumproxy: technique=%s barrier_layer=%v aggregate=%v listening on %s, controller at %s",
+		tech, *barrierLayer, *aggregateFlag, ln.Addr(), *controller)
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("rumproxy: serve: %v", err)
 	}

@@ -1,0 +1,725 @@
+// Package aggregate maintains a logical flow table alongside a compressed
+// physical table, FAQS-style: rules that differ only in their IPv4
+// destination prefix and share an action list are merged into covering
+// prefixes, incrementally on each mutation — no full recomputation. Every
+// mutation batch yields a Delta of physical FlowMods plus, for each logical
+// input, an Anchor describing which physical operations must be
+// acknowledged before the logical update may truthfully be confirmed.
+//
+// The compression is lossless by construction: a merged physical rule's
+// region is always the exact union of the logical leaves beneath it (both
+// children of a trie node must be fully covered with equal actions before
+// the parent replaces them), so table misses and lower-priority fallthrough
+// behave identically in both tables. Where exactness cannot be maintained
+// cheaply — nested logical prefixes inside one key, or a cross-key
+// same-priority overlap detected by the verifier — the key degrades to
+// bypass mode (physical = logical, rule for rule), which is trivially
+// equivalent. Equivalence is checked by internal/hsa witnesses on every
+// batch; see verify.go.
+//
+// Only the NWDst prefix dimension is aggregated: rules share a key when
+// their priority and every non-NWDst match field agree, which is the
+// FIB-aggregation shape from the paper's setting (destination-routed
+// fabrics). Anything else is carried 1:1 and still benefits from the
+// uniform ack fan-in plumbing.
+package aggregate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rum/internal/flowtable"
+	"rum/internal/hsa"
+	"rum/internal/of"
+)
+
+// Key identifies one aggregation domain: all logical rules whose match
+// differs only in the NWDst prefix and whose priority is identical.
+type Key struct {
+	// Shape is the rule's match with NWDst fully wildcarded and
+	// normalized, so it compares with ==.
+	Shape    of.Match
+	Priority uint16
+}
+
+// Prefix is an IPv4 destination prefix: the high Bits bits of Addr are
+// significant, the rest are zero.
+type Prefix struct {
+	Addr uint32
+	Bits int
+}
+
+// contains reports whether p's region includes q's region.
+func (p Prefix) contains(q Prefix) bool {
+	if p.Bits > q.Bits {
+		return false
+	}
+	if p.Bits == 0 {
+		return true
+	}
+	shift := uint(32 - p.Bits)
+	return q.Addr>>shift == p.Addr>>shift
+}
+
+// sibling returns the prefix that shares p's parent (undefined for /0).
+func (p Prefix) sibling() Prefix {
+	return Prefix{Addr: p.Addr ^ (1 << uint(32-p.Bits)), Bits: p.Bits}
+}
+
+// parent returns the covering prefix one bit shorter.
+func (p Prefix) parent() Prefix {
+	bits := p.Bits - 1
+	if bits <= 0 {
+		return Prefix{}
+	}
+	mask := ^uint32(0) << uint(32-bits)
+	return Prefix{Addr: p.Addr & mask, Bits: bits}
+}
+
+func (p Prefix) String() string {
+	b := [4]byte{}
+	binary.BigEndian.PutUint32(b[:], p.Addr)
+	return fmt.Sprintf("%d.%d.%d.%d/%d", b[0], b[1], b[2], b[3], p.Bits)
+}
+
+// PhysRef names one physical rule: a prefix within a key.
+type PhysRef struct {
+	Key Key
+	Pfx Prefix
+}
+
+// Op is one physical table operation the caller must issue to the switch.
+type Op struct {
+	// FM is the ready-to-send physical FlowMod (FCAdd or FCDeleteStrict).
+	// The xid is unset; the caller assigns one before sending.
+	FM      *of.FlowMod
+	Ref     PhysRef
+	Install bool
+}
+
+// Anchor ties one logical input FlowMod to the physical state that must
+// settle before its acknowledgment is truthful. Ops lists indices into
+// Delta.Ops that must all confirm; Covered lists pre-existing physical
+// rules the logical rule folded into (which may still be in flight at the
+// caller). When both are empty the logical update required no physical
+// change at all and may be confirmed as soon as the batch is issued.
+type Anchor struct {
+	Ops     []int
+	Covered []PhysRef
+}
+
+// Settled reports whether the anchor needs no physical confirmation.
+func (a Anchor) Settled() bool { return len(a.Ops) == 0 && len(a.Covered) == 0 }
+
+// Delta is the physical effect of one logical mutation batch. Ops are
+// ordered installs-first so that, issued in order over a FIFO channel, the
+// switch table transiently over-covers rather than under-covers (a parent
+// and its replacement children briefly coexist; packets never fall
+// through). Anchors[i] corresponds to the i'th logical input FlowMod.
+type Delta struct {
+	Ops     []Op
+	Anchors []Anchor
+}
+
+type leaf struct {
+	actions []of.Action
+	order   uint64
+}
+
+type physRule struct {
+	actions []of.Action
+	order   uint64
+}
+
+type keyState struct {
+	id     uint64 // creation order, for deterministic op sorting
+	leaves map[Prefix]*leaf
+	phys   map[Prefix]physRule
+	// nested counts containment pairs among distinct leaves; while
+	// nonzero the key runs in bypass mode (merging nested same-priority
+	// prefixes would reorder the insertion-order tie-break).
+	nested int
+	// forced marks a verifier-demanded bypass (sticky): a counterexample
+	// traced to this key's merged rules.
+	forced bool
+}
+
+func (ks *keyState) bypass() bool { return ks.nested > 0 || ks.forced }
+
+// Stats is a snapshot of the aggregator's counters.
+type Stats struct {
+	LogicalRules    int
+	PhysicalRules   int
+	LogicalOps      uint64 // logical FlowMods applied
+	PhysicalOps     uint64 // physical ops emitted
+	Batches         uint64
+	Witnesses       uint64 // witness packets checked by the per-batch verifier
+	Bypassed        int    // keys currently in bypass mode
+	Counterexamples uint64 // verification failures bypass could not repair (must stay 0)
+}
+
+// Ratio returns logical/physical rule count (the compression ratio), or 0
+// when the physical table is empty.
+func (s Stats) Ratio() float64 {
+	if s.PhysicalRules == 0 {
+		return 0
+	}
+	return float64(s.LogicalRules) / float64(s.PhysicalRules)
+}
+
+// Table is the logical/physical pair. Safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	logical *flowtable.Table
+	keys    map[Key]*keyState
+	order   uint64 // leaf insertion stamps, mirroring logical order
+	nextKey uint64
+
+	physList  []physListEntry // lazy priority-ordered physical snapshot
+	physDirty bool
+
+	logicalOps      uint64
+	physicalOps     uint64
+	batches         uint64
+	witnesses       uint64
+	counterexamples uint64
+}
+
+type physListEntry struct {
+	key     Key
+	pfx     Prefix
+	match   of.Match
+	prio    uint16
+	order   uint64
+	actions []of.Action
+}
+
+// New returns an empty aggregating table.
+func New() *Table {
+	return &Table{
+		logical: flowtable.New(),
+		keys:    make(map[Key]*keyState),
+	}
+}
+
+// keyOf splits a normalized match into its aggregation key and prefix.
+func keyOf(m of.Match, prio uint16) (Key, Prefix) {
+	bits := 32 - m.NWDstWildBits()
+	pfx := Prefix{Addr: binary.BigEndian.Uint32(m.NWDst[:]), Bits: bits}
+	shape := m
+	shape.SetNWDstWildBits(32)
+	return Key{Shape: shape.Normalize(), Priority: prio}, pfx
+}
+
+// matchFor reassembles the concrete match of a physical rule.
+func matchFor(k Key, p Prefix) of.Match {
+	m := k.Shape
+	binary.BigEndian.PutUint32(m.NWDst[:], p.Addr)
+	m.SetNWDstWildBits(32 - p.Bits)
+	return m.Normalize()
+}
+
+// Apply runs a single logical FlowMod; see ApplyBatch.
+func (t *Table) Apply(fm *of.FlowMod) Delta {
+	return t.ApplyBatch([]*of.FlowMod{fm})
+}
+
+// ApplyBatch applies a batch of logical FlowMods to the logical table,
+// incrementally updates the physical table, verifies equivalence, and
+// returns the physical Delta with per-input Anchors.
+func (t *Table) ApplyBatch(mods []*of.FlowMod) Delta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.batches++
+
+	// Snapshot the physical set of every key the batch touches, so the
+	// final diff sees through intra-batch churn.
+	before := make(map[Key]map[Prefix]physRule)
+	snapshot := func(k Key, ks *keyState) {
+		if _, ok := before[k]; ok {
+			return
+		}
+		cp := make(map[Prefix]physRule, len(ks.phys))
+		for p, r := range ks.phys {
+			cp[p] = r
+		}
+		before[k] = cp
+	}
+
+	changedPerMod := make([][]flowtable.ChangedRule, len(mods))
+	for i, fm := range mods {
+		t.logicalOps++
+		changed := t.logical.Apply(fm)
+		changedPerMod[i] = changed
+		for _, cr := range changed {
+			k, p := keyOf(cr.Match, cr.Priority)
+			ks := t.keys[k]
+			if ks == nil {
+				ks = &keyState{
+					id:     t.nextKey,
+					leaves: make(map[Prefix]*leaf),
+					phys:   make(map[Prefix]physRule),
+				}
+				t.nextKey++
+				t.keys[k] = ks
+			}
+			snapshot(k, ks)
+			if cr.Deleted {
+				t.removeLeaf(ks, p)
+			} else {
+				e := t.logical.Find(cr.Match, cr.Priority)
+				if e == nil {
+					continue // racing external delete; nothing to mirror
+				}
+				t.upsertLeaf(ks, p, e.Actions)
+			}
+		}
+	}
+
+	ops, opIdx := t.diffLocked(before)
+
+	// Per-batch equivalence verification; a counterexample forces the
+	// offending key into bypass and re-diffs, so the returned ops always
+	// describe a verified-equivalent physical table.
+	ops, opIdx = t.verifyBatchLocked(before, ops, opIdx)
+
+	t.physicalOps += uint64(len(ops))
+	return Delta{Ops: ops, Anchors: t.anchorsLocked(changedPerMod, before, ops, opIdx)}
+}
+
+// upsertLeaf installs or refreshes a logical leaf and incrementally
+// repairs the key's physical cover.
+func (t *Table) upsertLeaf(ks *keyState, p Prefix, actions []of.Action) {
+	acts := append([]of.Action(nil), actions...)
+	if lf, ok := ks.leaves[p]; ok {
+		if of.ActionsEqual(lf.actions, acts) {
+			return
+		}
+		lf.actions = acts
+		if ks.bypass() {
+			ks.phys[p] = physRule{actions: acts, order: lf.order}
+			t.physDirty = true
+			return
+		}
+		t.repairCover(ks, p)
+		return
+	}
+	lf := &leaf{actions: acts, order: t.order}
+	t.order++
+	wasBypass := ks.bypass()
+	for q := range ks.leaves {
+		if p.contains(q) || q.contains(p) {
+			ks.nested++
+		}
+	}
+	ks.leaves[p] = lf
+	if ks.bypass() != wasBypass {
+		t.rebuildKey(ks)
+		return
+	}
+	if ks.bypass() {
+		ks.phys[p] = physRule{actions: acts, order: lf.order}
+		t.physDirty = true
+		return
+	}
+	t.repairCover(ks, p)
+}
+
+// removeLeaf drops a logical leaf and incrementally repairs the cover.
+func (t *Table) removeLeaf(ks *keyState, p Prefix) {
+	if _, ok := ks.leaves[p]; !ok {
+		return
+	}
+	wasBypass := ks.bypass()
+	delete(ks.leaves, p)
+	for q := range ks.leaves {
+		if p.contains(q) || q.contains(p) {
+			ks.nested--
+		}
+	}
+	if ks.bypass() != wasBypass {
+		t.rebuildKey(ks)
+		return
+	}
+	if ks.bypass() {
+		delete(ks.phys, p)
+		t.physDirty = true
+		return
+	}
+	cover, ok := t.coveringPhys(ks, p)
+	if !ok {
+		return
+	}
+	delete(ks.phys, cover)
+	t.physDirty = true
+	if cover != p {
+		// The merged parent lost a leaf: rebuild the exact cover of the
+		// remaining leaves beneath it. The result cannot be exact at
+		// cover (p's region is now a hole), so no upward merge follows.
+		t.buildRegion(ks, cover)
+	}
+}
+
+// repairCover restores the exact-cover invariant around a new or changed
+// leaf p in merged mode.
+func (t *Table) repairCover(ks *keyState, p Prefix) {
+	t.physDirty = true
+	cover, ok := t.coveringPhys(ks, p)
+	if !ok {
+		lf := ks.leaves[p]
+		ks.phys[p] = physRule{actions: lf.actions, order: lf.order}
+		t.mergeUp(ks, p)
+		return
+	}
+	if of.ActionsEqual(ks.phys[cover].actions, ks.leaves[p].actions) {
+		return // already represented (no-op modify)
+	}
+	delete(ks.phys, cover)
+	if t.buildRegion(ks, cover) {
+		// The rebuilt region is again a single exact uniform node at
+		// cover (an isolated leaf changed actions); it may now merge
+		// with its sibling.
+		t.mergeUp(ks, cover)
+	}
+}
+
+// coveringPhys finds the physical rule covering p (exact or ancestor).
+// Physical rules within a merged key are disjoint, so it is unique.
+func (t *Table) coveringPhys(ks *keyState, p Prefix) (Prefix, bool) {
+	q := p
+	for {
+		if _, ok := ks.phys[q]; ok {
+			return q, true
+		}
+		if q.Bits == 0 {
+			return Prefix{}, false
+		}
+		q = q.parent()
+	}
+}
+
+// mergeUp greedily merges p with its sibling while both are exact uniform
+// covers with equal actions.
+func (t *Table) mergeUp(ks *keyState, p Prefix) {
+	for p.Bits > 0 {
+		s := p.sibling()
+		pr, okP := ks.phys[p]
+		sr, okS := ks.phys[s]
+		if !okP || !okS || !of.ActionsEqual(pr.actions, sr.actions) {
+			return
+		}
+		delete(ks.phys, p)
+		delete(ks.phys, s)
+		order := pr.order
+		if sr.order < order {
+			order = sr.order
+		}
+		parent := p.parent()
+		ks.phys[parent] = physRule{actions: pr.actions, order: order}
+		p = parent
+	}
+}
+
+// buildRegion recomputes the canonical exact cover of the leaves under
+// region and installs it. When the whole region collapses to one exact
+// uniform node at region itself, that node is installed and true is
+// returned (the caller may then attempt an upward merge); otherwise every
+// maximal exact uniform subtree strictly below region is materialized.
+func (t *Table) buildRegion(ks *keyState, region Prefix) bool {
+	var under []Prefix
+	for q := range ks.leaves {
+		if region.contains(q) {
+			under = append(under, q)
+		}
+	}
+	t.physDirty = true
+	// build returns (exact, actions, minOrder) for the subtree and
+	// installs nothing while the subtree is exact — the caller decides
+	// whether to keep merging or materialize. On a non-exact return,
+	// every maximal exact subtree beneath has already been materialized.
+	var build func(region Prefix, ls []Prefix) (bool, []of.Action, uint64)
+	build = func(region Prefix, ls []Prefix) (bool, []of.Action, uint64) {
+		if len(ls) == 0 {
+			return false, nil, 0
+		}
+		if len(ls) == 1 && ls[0] == region {
+			lf := ks.leaves[ls[0]]
+			return true, lf.actions, lf.order
+		}
+		// region.Bits < 32 here: distinct leaves under one /32 region
+		// are impossible, and a leaf wider than region cannot occur in
+		// merged mode (nested leaves force bypass).
+		bit := uint32(1) << uint(31-region.Bits)
+		left := Prefix{Addr: region.Addr, Bits: region.Bits + 1}
+		right := Prefix{Addr: region.Addr | bit, Bits: region.Bits + 1}
+		var ll, rl []Prefix
+		for _, q := range ls {
+			if q.Addr&bit == 0 {
+				ll = append(ll, q)
+			} else {
+				rl = append(rl, q)
+			}
+		}
+		lx, la, lo := build(left, ll)
+		rx, ra, ro := build(right, rl)
+		if lx && rx && of.ActionsEqual(la, ra) {
+			order := lo
+			if ro < order {
+				order = ro
+			}
+			return true, la, order
+		}
+		if lx {
+			ks.phys[left] = physRule{actions: la, order: lo}
+		}
+		if rx {
+			ks.phys[right] = physRule{actions: ra, order: ro}
+		}
+		return false, nil, 0
+	}
+	exact, acts, order := build(region, under)
+	if exact {
+		ks.phys[region] = physRule{actions: acts, order: order}
+	}
+	return exact
+}
+
+// rebuildKey recomputes a key's whole physical set after a bypass-mode
+// transition (nested prefixes appearing/disappearing, or a verifier
+// bypass).
+func (t *Table) rebuildKey(ks *keyState) {
+	ks.phys = make(map[Prefix]physRule, len(ks.leaves))
+	t.physDirty = true
+	if ks.bypass() {
+		for p, lf := range ks.leaves {
+			ks.phys[p] = physRule{actions: lf.actions, order: lf.order}
+		}
+		return
+	}
+	if len(ks.leaves) == 0 {
+		return
+	}
+	t.buildRegion(ks, Prefix{})
+}
+
+// diffLocked compares each snapshotted key's physical set against its
+// current state and emits canonical install-then-remove ops. opIdx maps
+// PhysRef → index into ops for anchor resolution.
+func (t *Table) diffLocked(before map[Key]map[Prefix]physRule) ([]Op, map[PhysRef]int) {
+	type pending struct {
+		ref     PhysRef
+		keyID   uint64
+		install bool
+		actions []of.Action
+	}
+	var installs, removes []pending
+	for k, old := range before {
+		ks := t.keys[k]
+		for p, r := range ks.phys {
+			if o, ok := old[p]; !ok || !of.ActionsEqual(o.actions, r.actions) {
+				installs = append(installs, pending{ref: PhysRef{Key: k, Pfx: p}, keyID: ks.id, install: true, actions: r.actions})
+			}
+		}
+		for p := range old {
+			if _, ok := ks.phys[p]; !ok {
+				removes = append(removes, pending{ref: PhysRef{Key: k, Pfx: p}, keyID: ks.id})
+			}
+		}
+	}
+	order := func(a, b pending) bool {
+		if a.keyID != b.keyID {
+			return a.keyID < b.keyID
+		}
+		if a.ref.Pfx.Bits != b.ref.Pfx.Bits {
+			return a.ref.Pfx.Bits < b.ref.Pfx.Bits
+		}
+		return a.ref.Pfx.Addr < b.ref.Pfx.Addr
+	}
+	sort.Slice(installs, func(i, j int) bool { return order(installs[i], installs[j]) })
+	sort.Slice(removes, func(i, j int) bool { return order(removes[i], removes[j]) })
+	ops := make([]Op, 0, len(installs)+len(removes))
+	opIdx := make(map[PhysRef]int, cap(ops))
+	for _, p := range installs {
+		fm := &of.FlowMod{
+			Command:  of.FCAdd,
+			Match:    matchFor(p.ref.Key, p.ref.Pfx),
+			Priority: p.ref.Key.Priority,
+			BufferID: of.BufferNone,
+			OutPort:  of.PortNone,
+			Actions:  append([]of.Action(nil), p.actions...),
+		}
+		opIdx[p.ref] = len(ops)
+		ops = append(ops, Op{FM: fm, Ref: p.ref, Install: true})
+	}
+	for _, p := range removes {
+		fm := &of.FlowMod{
+			Command:  of.FCDeleteStrict,
+			Match:    matchFor(p.ref.Key, p.ref.Pfx),
+			Priority: p.ref.Key.Priority,
+			BufferID: of.BufferNone,
+			OutPort:  of.PortNone,
+		}
+		opIdx[p.ref] = len(ops)
+		ops = append(ops, Op{FM: fm, Ref: p.ref})
+	}
+	return ops, opIdx
+}
+
+// anchorsLocked resolves each logical input's anchor against the final
+// delta.
+func (t *Table) anchorsLocked(changedPerMod [][]flowtable.ChangedRule, before map[Key]map[Prefix]physRule, ops []Op, opIdx map[PhysRef]int) []Anchor {
+	anchors := make([]Anchor, len(changedPerMod))
+	for i, changed := range changedPerMod {
+		a := &anchors[i]
+		seenOp := make(map[int]bool)
+		seenCov := make(map[PhysRef]bool)
+		addOp := func(idx int) {
+			if !seenOp[idx] {
+				seenOp[idx] = true
+				a.Ops = append(a.Ops, idx)
+			}
+		}
+		addCov := func(ref PhysRef) {
+			if !seenCov[ref] {
+				seenCov[ref] = true
+				a.Covered = append(a.Covered, ref)
+			}
+		}
+		coarse := func(k Key) {
+			// The rule was superseded within the batch; anchor to every
+			// op its key contributed so the ack follows the key settling.
+			for idx, op := range ops {
+				if op.Ref.Key == k {
+					addOp(idx)
+				}
+			}
+		}
+		for _, cr := range changed {
+			k, p := keyOf(cr.Match, cr.Priority)
+			ks := t.keys[k]
+			if cr.Deleted {
+				if _, still := ks.leaves[p]; still {
+					coarse(k) // re-added later in the batch
+					continue
+				}
+				if old, ok := before[k]; ok {
+					if cover, found := oldCovering(old, p); found {
+						ref := PhysRef{Key: k, Pfx: cover}
+						if idx, gone := opIdx[ref]; gone && !ops[idx].Install {
+							addOp(idx)
+							continue
+						}
+					}
+				}
+				coarse(k)
+				continue
+			}
+			if _, still := ks.leaves[p]; !still {
+				coarse(k) // deleted later in the batch
+				continue
+			}
+			cover, ok := t.coveringPhys(ks, p)
+			if !ok {
+				coarse(k)
+				continue
+			}
+			ref := PhysRef{Key: k, Pfx: cover}
+			if idx, inDelta := opIdx[ref]; inDelta && ops[idx].Install {
+				addOp(idx)
+			} else {
+				addCov(ref)
+			}
+		}
+		sort.Ints(a.Ops)
+	}
+	return anchors
+}
+
+func oldCovering(old map[Prefix]physRule, p Prefix) (Prefix, bool) {
+	q := p
+	for {
+		if _, ok := old[q]; ok {
+			return q, true
+		}
+		if q.Bits == 0 {
+			return Prefix{}, false
+		}
+		q = q.parent()
+	}
+}
+
+// physSnapshotLocked returns the physical table in lookup order (priority
+// desc, insertion order asc), rebuilding the cache if dirty.
+func (t *Table) physSnapshotLocked() []physListEntry {
+	if !t.physDirty && t.physList != nil {
+		return t.physList
+	}
+	var out []physListEntry
+	for k, ks := range t.keys {
+		for p, r := range ks.phys {
+			out = append(out, physListEntry{
+				key:     k,
+				pfx:     p,
+				match:   matchFor(k, p),
+				prio:    k.Priority,
+				order:   r.order,
+				actions: r.actions,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].prio != out[j].prio {
+			return out[i].prio > out[j].prio
+		}
+		return out[i].order < out[j].order
+	})
+	t.physList = out
+	t.physDirty = false
+	return out
+}
+
+// LogicalRules snapshots the logical table in lookup order.
+func (t *Table) LogicalRules() []hsa.Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.logical.Rules()
+}
+
+// PhysicalRules snapshots the compressed physical table in lookup order.
+func (t *Table) PhysicalRules() []hsa.Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := t.physSnapshotLocked()
+	rules := make([]hsa.Rule, len(snap))
+	for i, e := range snap {
+		rules[i] = hsa.Rule{
+			Priority: e.prio,
+			Match:    e.match,
+			Actions:  append([]of.Action(nil), e.actions...),
+		}
+	}
+	return rules
+}
+
+// Stats snapshots the aggregator's counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		LogicalRules:    t.logical.Len(),
+		LogicalOps:      t.logicalOps,
+		PhysicalOps:     t.physicalOps,
+		Batches:         t.batches,
+		Witnesses:       t.witnesses,
+		Counterexamples: t.counterexamples,
+	}
+	for _, ks := range t.keys {
+		s.PhysicalRules += len(ks.phys)
+		if ks.bypass() && len(ks.leaves) > 0 {
+			s.Bypassed++
+		}
+	}
+	return s
+}

@@ -1,0 +1,315 @@
+package aggregate
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+func dstMatch(a, b, c, d byte, bits int) of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWDst(netip.AddrFrom4([4]byte{a, b, c, d}))
+	m.SetNWDstWildBits(32 - bits)
+	return m
+}
+
+func addMod(m of.Match, prio uint16, port uint16) *of.FlowMod {
+	return &of.FlowMod{
+		Command:  of.FCAdd,
+		Match:    m,
+		Priority: prio,
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+		Actions:  []of.Action{of.ActionOutput{Port: port}},
+	}
+}
+
+func delStrict(m of.Match, prio uint16) *of.FlowMod {
+	return &of.FlowMod{
+		Command:  of.FCDeleteStrict,
+		Match:    m,
+		Priority: prio,
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+	}
+}
+
+func mustClean(t *testing.T, tb *Table) {
+	t.Helper()
+	if bad := tb.VerifyFull(); bad != 0 {
+		t.Fatalf("VerifyFull found %d counterexamples", bad)
+	}
+	if s := tb.Stats(); s.Counterexamples != 0 {
+		t.Fatalf("unrepaired counterexamples: %d", s.Counterexamples)
+	}
+}
+
+// Eight aligned /32 routes with one action collapse to a single /29 and
+// every logical future anchors on a physical install op.
+func TestMergesAlignedSiblings(t *testing.T) {
+	tb := New()
+	installs, mergedInstalls, maxOps := 0, 0, 0
+	for i := 0; i < 8; i++ {
+		d := tb.Apply(addMod(dstMatch(10, 0, 0, byte(i), 32), 100, 3))
+		if len(d.Anchors) != 1 {
+			t.Fatalf("want 1 anchor, got %d", len(d.Anchors))
+		}
+		a := d.Anchors[0]
+		if len(a.Ops) == 0 && len(a.Covered) == 0 {
+			t.Fatalf("add %d: anchor settled with no physical backing", i)
+		}
+		if len(d.Ops) > maxOps {
+			maxOps = len(d.Ops)
+		}
+		for _, op := range d.Ops {
+			if op.Install {
+				installs++
+				if op.Ref.Pfx.Bits < 32 {
+					mergedInstalls++
+				}
+			}
+		}
+		mustClean(t, tb)
+	}
+	s := tb.Stats()
+	if s.LogicalRules != 8 || s.PhysicalRules != 1 {
+		t.Fatalf("want 8 logical / 1 physical, got %d / %d", s.LogicalRules, s.PhysicalRules)
+	}
+	if got := s.Ratio(); got != 8 {
+		t.Fatalf("want ratio 8, got %v", got)
+	}
+	phys := tb.PhysicalRules()
+	if wb := phys[0].Match.NWDstWildBits(); wb != 3 {
+		t.Fatalf("want /29 physical rule (3 wild bits), got %d", wb)
+	}
+	// Incremental: each add yields exactly one install (of the freshly
+	// merged cover) and the per-batch delta stays small — never a full
+	// recomputation of the table.
+	if installs != 8 {
+		t.Fatalf("want one install per add, got %d total", installs)
+	}
+	if mergedInstalls == 0 {
+		t.Fatal("no merged covers were ever installed")
+	}
+	if maxOps > 4 {
+		t.Fatalf("a single add produced %d ops; delta is not incremental", maxOps)
+	}
+}
+
+// Deleting one leaf out of a merged parent splits the parent into the
+// exact cover of the seven survivors, and the delete future anchors on the
+// remove op of the old parent.
+func TestDeleteSplitsMergedParent(t *testing.T) {
+	tb := New()
+	for i := 0; i < 8; i++ {
+		tb.Apply(addMod(dstMatch(10, 0, 0, byte(i), 32), 100, 3))
+	}
+	d := tb.Apply(delStrict(dstMatch(10, 0, 0, 5, 32), 100))
+	var removeIdx = -1
+	for i, op := range d.Ops {
+		if !op.Install {
+			if removeIdx != -1 {
+				t.Fatalf("want exactly one remove op, got several")
+			}
+			removeIdx = i
+		}
+	}
+	if removeIdx == -1 {
+		t.Fatal("split emitted no remove op")
+	}
+	a := d.Anchors[0]
+	found := false
+	for _, idx := range a.Ops {
+		if idx == removeIdx {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("delete anchor %+v does not include the remove op %d", a, removeIdx)
+	}
+	// Installs must precede removes so the wire order over-covers.
+	for _, idx := range a.Ops {
+		if d.Ops[idx].Install && idx > removeIdx {
+			t.Fatalf("install op %d ordered after remove %d", idx, removeIdx)
+		}
+	}
+	s := tb.Stats()
+	if s.LogicalRules != 7 {
+		t.Fatalf("want 7 logical rules, got %d", s.LogicalRules)
+	}
+	// Exact cover of {0..4,6,7} = /30 + /31 (0-3, 6-7) + /32 (4).
+	if s.PhysicalRules != 3 {
+		t.Fatalf("want 3 physical rules after split, got %d", s.PhysicalRules)
+	}
+	mustClean(t, tb)
+}
+
+// Modifying one leaf's action splits its parent; modifying it back
+// re-merges to the original single cover.
+func TestModifySplitsAndRemerges(t *testing.T) {
+	tb := New()
+	for i := 0; i < 4; i++ {
+		tb.Apply(addMod(dstMatch(10, 0, 0, byte(i), 32), 100, 3))
+	}
+	if s := tb.Stats(); s.PhysicalRules != 1 {
+		t.Fatalf("setup: want 1 physical rule, got %d", s.PhysicalRules)
+	}
+	tb.Apply(addMod(dstMatch(10, 0, 0, 2, 32), 100, 9)) // replace: new port
+	mustClean(t, tb)
+	if s := tb.Stats(); s.PhysicalRules != 3 {
+		t.Fatalf("after divergence: want 3 physical rules, got %d", s.PhysicalRules)
+	}
+	tb.Apply(addMod(dstMatch(10, 0, 0, 2, 32), 100, 3)) // back
+	mustClean(t, tb)
+	if s := tb.Stats(); s.PhysicalRules != 1 {
+		t.Fatalf("after re-merge: want 1 physical rule, got %d", s.PhysicalRules)
+	}
+}
+
+// Nested prefixes within one key must not merge (the insertion-order
+// tie-break is load-bearing); the key degrades to bypass.
+func TestNestedPrefixesBypass(t *testing.T) {
+	tb := New()
+	tb.Apply(addMod(dstMatch(10, 0, 0, 0, 24), 100, 1))
+	tb.Apply(addMod(dstMatch(10, 0, 0, 7, 32), 100, 2))
+	s := tb.Stats()
+	if s.Bypassed != 1 {
+		t.Fatalf("want 1 bypassed key, got %d", s.Bypassed)
+	}
+	if s.PhysicalRules != 2 {
+		t.Fatalf("bypass must mirror logical 1:1, got %d physical", s.PhysicalRules)
+	}
+	mustClean(t, tb)
+	// Removing the nested rule lifts the bypass again.
+	tb.Apply(delStrict(dstMatch(10, 0, 0, 7, 32), 100))
+	if s := tb.Stats(); s.Bypassed != 0 {
+		t.Fatalf("bypass not lifted, %d keys still bypassed", s.Bypassed)
+	}
+	mustClean(t, tb)
+}
+
+// A same-priority rule from a different key that should win an
+// insertion-order tie inside a merged region is a genuine counterexample;
+// the verifier must catch it and repair by bypassing, leaving zero
+// unrepaired counterexamples.
+func TestCrossKeyTieRepairedByBypass(t *testing.T) {
+	tb := New()
+	// Key A: dst-only rules, out:1.
+	tb.Apply(addMod(dstMatch(10, 0, 0, 0, 32), 100, 1))
+	// Key B: src-qualified rule over one of A's addresses, out:2,
+	// inserted before A's second rule — it must win the tie for
+	// (src 1.2.3.4 → 10.0.0.1) packets.
+	mb := dstMatch(10, 0, 0, 1, 32)
+	mb.SetNWSrc(netip.AddrFrom4([4]byte{1, 2, 3, 4}))
+	tb.Apply(addMod(mb, 100, 2))
+	// A's second rule: merging 10.0.0.0/32+10.0.0.1/32 into /31 with A's
+	// earlier insertion order would shadow B.
+	tb.Apply(addMod(dstMatch(10, 0, 0, 1, 32), 100, 1))
+	mustClean(t, tb)
+	f := packet.Fields{
+		DLType: packet.EtherTypeIPv4,
+		NWSrc:  [4]byte{1, 2, 3, 4},
+		NWDst:  [4]byte{10, 0, 0, 1},
+	}
+	phys := tb.PhysicalRules()
+	var winner *of.Action
+	for i := range phys {
+		if hsa.Covers(phys[i].Match, f) {
+			winner = &phys[i].Actions[0]
+			break
+		}
+	}
+	if winner == nil {
+		t.Fatal("physical table misses the contested packet")
+	}
+	if out, ok := (*winner).(of.ActionOutput); !ok || out.Port != 2 {
+		t.Fatalf("contested packet forwarded to %+v, want out:2", *winner)
+	}
+}
+
+// Re-adding an identical rule changes nothing physically: the anchor folds
+// into the existing covering physical rule.
+func TestIdenticalReAddAnchorsCovered(t *testing.T) {
+	tb := New()
+	tb.Apply(addMod(dstMatch(10, 0, 0, 0, 32), 100, 3))
+	d := tb.Apply(addMod(dstMatch(10, 0, 0, 0, 32), 100, 3))
+	if len(d.Ops) != 0 {
+		t.Fatalf("identical re-add emitted %d ops", len(d.Ops))
+	}
+	a := d.Anchors[0]
+	if len(a.Covered) != 1 || len(a.Ops) != 0 {
+		t.Fatalf("want a single Covered anchor, got %+v", a)
+	}
+}
+
+// Deleting a rule that does not exist settles immediately.
+func TestNoopDeleteSettles(t *testing.T) {
+	tb := New()
+	d := tb.Apply(delStrict(dstMatch(10, 9, 9, 9, 32), 100))
+	if len(d.Ops) != 0 || !d.Anchors[0].Settled() {
+		t.Fatalf("no-op delete: ops=%d anchor=%+v", len(d.Ops), d.Anchors[0])
+	}
+}
+
+// A wildcard delete spanning several keys anchors on every covering
+// remove op.
+func TestWildcardDeleteFansAcrossKeys(t *testing.T) {
+	tb := New()
+	tb.Apply(addMod(dstMatch(10, 0, 0, 1, 32), 100, 1))
+	tb.Apply(addMod(dstMatch(10, 0, 0, 2, 32), 200, 2))
+	del := &of.FlowMod{
+		Command:  of.FCDelete,
+		Match:    dstMatch(10, 0, 0, 0, 24),
+		BufferID: of.BufferNone,
+		OutPort:  of.PortNone,
+	}
+	d := tb.Apply(del)
+	removes := 0
+	for _, op := range d.Ops {
+		if !op.Install {
+			removes++
+		}
+	}
+	if removes != 2 {
+		t.Fatalf("want 2 removes, got %d", removes)
+	}
+	if len(d.Anchors[0].Ops) != 2 {
+		t.Fatalf("want the delete anchored on both removes, got %+v", d.Anchors[0])
+	}
+	if s := tb.Stats(); s.LogicalRules != 0 || s.PhysicalRules != 0 {
+		t.Fatalf("tables not empty after wildcard delete: %+v", s)
+	}
+	mustClean(t, tb)
+}
+
+// The same logical input sequence must produce byte-identical deltas —
+// seed-replayable traces depend on it.
+func TestDeltaDeterminism(t *testing.T) {
+	runOnce := func() string {
+		tb := New()
+		out := ""
+		var batch []*of.FlowMod
+		for i := 0; i < 32; i++ {
+			batch = append(batch, addMod(dstMatch(10, 0, byte(i/16), byte(i%16), 32), 100, uint16(1+i/16)))
+			if len(batch) == 4 {
+				d := tb.ApplyBatch(batch)
+				for _, op := range d.Ops {
+					out += fmt.Sprintf("%v|%v|%d;", op.Install, op.Ref.Pfx, op.Ref.Key.Priority)
+				}
+				out += "\n"
+				batch = nil
+			}
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("delta trace not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,106 @@
+package aggregate
+
+import (
+	"net/netip"
+	"testing"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// FuzzAggregateEquivalence drives random logical rule churn — adds,
+// modifies, strict and wildcard deletes over a small, collision-rich
+// address space — through the aggregator and requires that (a) every
+// batch verifies with zero unrepaired counterexamples, (b) a full
+// from-scratch HSA proof of the final table passes, and (c) de-aggregation
+// round-trips: deleting everything leaves an empty physical table.
+func FuzzAggregateEquivalence(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x42, 0x93, 0x07, 0xff, 0x20, 0x01})
+	f.Add([]byte{0x80, 0x80, 0x81, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0xc0, 0x3f, 0x55, 0xaa, 0x00, 0x10, 0x20, 0x30, 0x40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		tb := New()
+		var mods []*of.FlowMod
+		var batch []*of.FlowMod
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			tb.ApplyBatch(batch)
+			batch = nil
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			// Tiny spaces on purpose: 16 addresses, 3 prefix lengths,
+			// 2 priorities, 2 src shapes, 3 ports — collisions, merges,
+			// splits, nesting, and cross-key ties all become likely.
+			addr := arg & 0x0f
+			bits := []int{32, 31, 30}[int(arg>>4)%3]
+			prio := uint16(100 + 10*int(op>>6&1))
+			port := uint16(1 + int(op>>4&1) + int(op>>5&1))
+			m := dstMatch(10, 0, 0, addr, bits)
+			if op&0x08 != 0 {
+				m.SetNWSrc(netip.AddrFrom4([4]byte{1, 2, 3, 4}))
+			}
+			var fm *of.FlowMod
+			switch op & 0x07 {
+			case 0, 1, 2, 3, 4: // add / replace
+				fm = addMod(m, prio, port)
+			case 5: // strict delete
+				fm = delStrict(m, prio)
+			case 6: // wildcard delete
+				fm = &of.FlowMod{Command: of.FCDelete, Match: m, BufferID: of.BufferNone, OutPort: of.PortNone}
+			default: // modify
+				fm = &of.FlowMod{Command: of.FCModify, Match: m, Priority: prio,
+					BufferID: of.BufferNone, OutPort: of.PortNone,
+					Actions: []of.Action{of.ActionOutput{Port: port}}}
+			}
+			mods = append(mods, fm)
+			batch = append(batch, fm)
+			if op&0x30 == 0x30 {
+				flush()
+			}
+		}
+		flush()
+		if bad := tb.VerifyFull(); bad != 0 {
+			t.Fatalf("VerifyFull: %d counterexamples after %d mods", bad, len(mods))
+		}
+		if s := tb.Stats(); s.Counterexamples != 0 {
+			t.Fatalf("unrepaired batch counterexamples: %d", s.Counterexamples)
+		}
+		// The physical table must forward like the logical one on a probe
+		// sweep of the whole fuzzed address space, both src shapes.
+		phys := tb.PhysicalRules()
+		logical := tb.LogicalRules()
+		for a := 0; a < 16; a++ {
+			for _, src := range [][4]byte{{9, 9, 9, 9}, {1, 2, 3, 4}} {
+				fl := packet.Fields{DLType: packet.EtherTypeIPv4, NWSrc: src, NWDst: [4]byte{10, 0, 0, byte(a)}}
+				lw := winner(logical, fl)
+				pw := winner(phys, fl)
+				if (lw == nil) != (pw == nil) || (lw != nil && !of.ActionsEqual(lw, pw)) {
+					t.Fatalf("probe %v: logical %v physical %v", fl.NWDst, lw, pw)
+				}
+			}
+		}
+		// De-aggregation round-trip: drain the logical table.
+		wipe := &of.FlowMod{Command: of.FCDelete, Match: of.MatchAll(), BufferID: of.BufferNone, OutPort: of.PortNone}
+		tb.Apply(wipe)
+		if s := tb.Stats(); s.LogicalRules != 0 || s.PhysicalRules != 0 {
+			t.Fatalf("wipe left %d logical / %d physical rules", s.LogicalRules, s.PhysicalRules)
+		}
+	})
+}
+
+// winner returns the actions of the first covering rule in lookup order.
+func winner(rules []hsa.Rule, f packet.Fields) []of.Action {
+	for i := range rules {
+		if hsa.Covers(rules[i].Match, f) {
+			return rules[i].Actions
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package aggregate
+
+import (
+	"sort"
+
+	"rum/internal/hsa"
+	"rum/internal/of"
+	"rum/internal/packet"
+)
+
+// maxVerifyIters bounds the bypass-repair loop. Each iteration forces at
+// least one more key into bypass mode, and a fully bypassed table is
+// literally the logical table, so the loop terminates long before this;
+// the bound is a backstop against invariant bugs.
+const maxVerifyIters = 64
+
+// verifyBatchLocked checks the batch's physical delta for forwarding
+// equivalence against the logical table using hsa witness packets. A
+// counterexample is repaired by forcing the blamed key into bypass mode
+// (physical = logical for that key, trivially equivalent), rebuilding it,
+// and re-diffing against the pre-batch snapshot, so the ops handed to the
+// caller always describe a verified table. Failures that bypass cannot
+// repair are counted in Stats.Counterexamples — the harness and CI gate
+// require that count to stay zero.
+func (t *Table) verifyBatchLocked(before map[Key]map[Prefix]physRule, ops []Op, opIdx map[PhysRef]int) ([]Op, map[PhysRef]int) {
+	for iter := 0; iter < maxVerifyIters; iter++ {
+		badKey, found := t.findCounterexampleLocked(ops)
+		if !found {
+			return ops, opIdx
+		}
+		ks := t.keys[badKey]
+		if ks == nil || ks.forced {
+			t.counterexamples++
+			return ops, opIdx
+		}
+		// The blamed key may be one the batch never touched (a cross-key
+		// ordering conflict): snapshot its pre-rebuild state so the
+		// re-diff emits the ops that transform it.
+		if _, ok := before[badKey]; !ok {
+			cp := make(map[Prefix]physRule, len(ks.phys))
+			for p, r := range ks.phys {
+				cp[p] = r
+			}
+			before[badKey] = cp
+		}
+		ks.forced = true
+		t.rebuildKey(ks)
+		ops, opIdx = t.diffLocked(before)
+	}
+	t.counterexamples++
+	return ops, opIdx
+}
+
+// findCounterexampleLocked generates witness packets for every region the
+// delta changes and compares the logical and physical winners. For each op
+// it samples the op's own region plus its intersection with every
+// same-priority logical leaf — own key and foreign keys alike. Per-leaf
+// granularity matters: a merged physical rule carries the minimum
+// insertion order of its leaves, so a priority tie against a foreign rule
+// can flip inside a single leaf's sub-region even when the region corners
+// agree. Higher priorities win identically in both tables and exact covers
+// add no extra region for lower priorities to lose, so same-priority
+// witnesses are sufficient. Iteration is deterministically ordered (key
+// creation order, then prefix) so a repair-bypass choice replays
+// identically for the same input sequence. Returns the key to blame for
+// the first mismatch: the owner of the wrong physical winner, or of the
+// unmatched logical winner on a physical miss.
+func (t *Table) findCounterexampleLocked(ops []Op) (Key, bool) {
+	snap := t.physSnapshotLocked()
+	check := func(f packet.Fields) (Key, bool) {
+		t.witnesses++
+		le := t.logical.Peek(f)
+		pe := physPeek(snap, f)
+		switch {
+		case le == nil && pe == nil:
+			return Key{}, false
+		case le != nil && pe != nil && of.ActionsEqual(le.Actions, pe.actions):
+			return Key{}, false
+		case pe != nil:
+			return pe.key, true
+		default:
+			k, _ := keyOf(le.Match, le.Priority)
+			return k, true
+		}
+	}
+	type keyOrd struct {
+		k  Key
+		ks *keyState
+	}
+	var ordered []keyOrd
+	for k, ks := range t.keys {
+		ordered = append(ordered, keyOrd{k, ks})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ks.id < ordered[j].ks.id })
+	for _, op := range ops {
+		m := matchFor(op.Ref.Key, op.Ref.Pfx)
+		if k, bad := check(hsa.Sample(m)); bad {
+			return k, true
+		}
+		for _, ko := range ordered {
+			if ko.k.Priority != op.Ref.Key.Priority {
+				continue
+			}
+			leaves := make([]Prefix, 0, len(ko.ks.leaves))
+			for p := range ko.ks.leaves {
+				leaves = append(leaves, p)
+			}
+			sort.Slice(leaves, func(i, j int) bool {
+				if leaves[i].Addr != leaves[j].Addr {
+					return leaves[i].Addr < leaves[j].Addr
+				}
+				return leaves[i].Bits < leaves[j].Bits
+			})
+			for _, p2 := range leaves {
+				if x, ok := hsa.Intersect(m, matchFor(ko.k, p2)); ok {
+					if k, bad := check(hsa.Sample(x)); bad {
+						return k, true
+					}
+				}
+			}
+		}
+	}
+	return Key{}, false
+}
+
+func physPeek(snap []physListEntry, f packet.Fields) *physListEntry {
+	for i := range snap {
+		if hsa.Covers(snap[i].match, f) {
+			return &snap[i]
+		}
+	}
+	return nil
+}
+
+// VerifyFull exhaustively re-proves logical/physical forwarding
+// equivalence from scratch: a witness for every logical rule region, every
+// physical rule region, and every same-priority pairwise intersection
+// between the two tables. It returns the number of counterexamples found
+// (zero on a healthy table) and does not mutate aggregation state beyond
+// the witness counter.
+func (t *Table) VerifyFull() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := t.physSnapshotLocked()
+	logical := t.logical.Rules()
+	bad := 0
+	check := func(f packet.Fields) {
+		t.witnesses++
+		le := t.logical.Peek(f)
+		pe := physPeek(snap, f)
+		switch {
+		case le == nil && pe == nil:
+		case le != nil && pe != nil && of.ActionsEqual(le.Actions, pe.actions):
+		default:
+			bad++
+		}
+	}
+	for i := range logical {
+		check(hsa.Sample(logical[i].Match))
+	}
+	for i := range snap {
+		check(hsa.Sample(snap[i].match))
+		for j := range logical {
+			if logical[j].Priority != snap[i].prio {
+				continue
+			}
+			if x, ok := hsa.Intersect(snap[i].match, logical[j].Match); ok {
+				check(hsa.Sample(x))
+			}
+		}
+	}
+	for i := range snap {
+		for j := i + 1; j < len(snap); j++ {
+			if snap[i].prio != snap[j].prio {
+				continue
+			}
+			if x, ok := hsa.Intersect(snap[i].match, snap[j].match); ok {
+				check(hsa.Sample(x))
+			}
+		}
+	}
+	return bad
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rum/internal/aggregate"
 	"rum/internal/of"
 	"rum/internal/packet"
 	"rum/internal/proxy"
@@ -62,6 +63,14 @@ type ackLayer struct {
 	wireHead  int
 	listeners []confirmListener // copy-on-write; snapshots are immutable
 
+	// Aggregation fan-in (Config.Aggregate; see aggfanin.go): staged
+	// logical updates awaiting the next flush, the pending-install index
+	// Covered anchors fold into, and the detach latch that fails late
+	// stagers instead of issuing physical ops on a dead session.
+	aggStage   []*Update
+	aggPending map[aggregate.PhysRef]*Update
+	aggClosed  bool
+
 	// Intent replication (see journal.go). journalOn is latched at attach
 	// from the RUM-level sink, so sessions without replication pay one
 	// bool test per update. jmu is a leaf lock guarding the frame under
@@ -115,6 +124,11 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	a.captureCtx(ctx)
 	mm, ok := m.(*of.FlowMod)
 	if !ok {
+		// Any non-FlowMod must not overtake staged logical FlowMods on
+		// the wire (or observe a stale issued watermark): flush first.
+		if a.sess.agg != nil {
+			a.flushAggStage()
+		}
 		a.sess.sendToSwitch(m)
 		return
 	}
@@ -129,6 +143,18 @@ func (a *ackLayer) FromController(ctx *proxy.Context, m of.Message) {
 	// has fully resolved.
 	wire := a.sess.recycleFM && !IsRUMXID(u.xid)
 	u.ownFM = wire
+	// Aggregated sessions stage the logical FlowMod instead of forwarding
+	// it: the flush issues the compressed physical delta and the logical
+	// future resolves by fan-in from the physical acks (aggfanin.go). The
+	// FlowMod never touches the wire queue — on recycling sessions the
+	// decoded struct returns to the codec pool when the logical update's
+	// last reference drops (the aggregate table copies what it keeps).
+	// Overload admission is skipped: outbox pressure is produced by the
+	// (fewer, merged) physical installs, not the logical stream.
+	if a.sess.agg != nil && !IsRUMXID(u.xid) {
+		a.stageAggregate(u)
+		return
+	}
 	// Overload admission runs before tracking and outside a.mu: the Block
 	// policy may park until the outbox drains, and a.mu must never be held
 	// across a wait (noteFlushed takes it from the flush path). A refusal
@@ -349,6 +375,7 @@ func (a *ackLayer) takeConfirmed(u *Update, cause error) (ctx *proxy.Context, li
 	}
 	u.done = true
 	u.failErr = cause
+	a.aggResolvedLocked(u)
 	u.Retain()        // emission reference
 	a.emitting.Add(1) // paired with the Add(-1) in confirm
 	if u.seq == a.head.Load() {
@@ -407,7 +434,10 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome
 	}
 	r := a.sess.rum
 	code, hasWire := outcome.wireCode()
-	if hasWire && r.cfg.RUMAware && ctx != nil {
+	// Physical aggregation ops carry RUM-internal xids the controller
+	// never issued; their resolutions fan in to the covered logical
+	// updates below instead of acking on the wire.
+	if hasWire && r.cfg.RUMAware && ctx != nil && !IsRUMXID(u.xid) {
 		ack := of.AcquireError()
 		of.FillRUMAck(ack, u.xid, code)
 		ack.SetXID(r.newXID())
@@ -452,6 +482,12 @@ func (a *ackLayer) emitResolution(ctx *proxy.Context, u *Update, outcome Outcome
 	if ro, ok := a.sess.strat.(ResolutionObserver); ok {
 		ro.OnUpdateResolved(u, outcome)
 	}
+	// A physical op's resolution fans in to the logical futures it
+	// covers (Config.Aggregate): confirm the fully-anchored ones, fail
+	// all of them on a typed physical failure.
+	if u.covered != nil {
+		a.fanInCovered(u, outcome)
+	}
 	return outcome
 }
 
@@ -480,6 +516,7 @@ func (a *ackLayer) confirmUpTo(seq uint64, outcome Outcome) {
 				continue
 			}
 			u.done = true
+			a.aggResolvedLocked(u)
 			ready = append(ready, u) // slot reference rides along
 		}
 		if len(ready) > 0 {

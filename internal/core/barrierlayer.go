@@ -57,6 +57,14 @@ func (b *barrierLayer) captureCtx(ctx *proxy.Context) {
 // FromController implements proxy.Layer.
 func (b *barrierLayer) FromController(ctx *proxy.Context, m of.Message) {
 	b.captureCtx(ctx)
+	// A barrier's interval boundary is the ack layer's issued watermark,
+	// which staged (aggregated, unflushed) FlowMods have not reached yet:
+	// flush before absorbing so the barrier covers them. Must happen
+	// outside b.mu — a flush can confirm settled logical updates, whose
+	// listeners re-enter this layer.
+	if _, isBar := m.(*of.BarrierRequest); isBar && b.sess.agg != nil {
+		b.sess.ack.flushAggStage()
+	}
 	b.mu.Lock()
 	if !b.registered {
 		b.registered = true
@@ -168,6 +176,15 @@ func (b *barrierLayer) releaseDownLocked(ctx *proxy.Context) {
 		m := b.downQ[0]
 		b.downQ = b.downQ[1:]
 		if mm, ok := m.(*of.BarrierRequest); ok {
+			// As in FromController: staged FlowMods released just above
+			// must reach the issued watermark before the barrier samples
+			// it. forwardUnlocked's re-entrancy contract covers the
+			// unlock window.
+			if b.sess.agg != nil {
+				b.mu.Unlock()
+				b.sess.ack.flushAggStage()
+				b.mu.Lock()
+			}
 			b.absorbBarrierLocked(mm)
 			continue
 		}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rum/internal/aggregate"
 	"rum/internal/hsa"
 	"rum/internal/of"
 	"rum/internal/packet"
@@ -195,6 +196,22 @@ type Config struct {
 	// switch, and the retry interval after a transport applied
 	// backpressure mid-batch (default 2ms).
 	DegradeHold time.Duration
+
+	// Aggregate enables incremental FIB aggregation (internal/aggregate):
+	// controller FlowMods mutate a per-switch logical table whose
+	// compressed physical image is what actually reaches the switch.
+	// Each tracked physical install carries the set of logical futures it
+	// covers; its confirmation fans in to resolve them all (per-future
+	// issue timestamps preserved), and a physical failure fails every
+	// covered future with the physical op's typed cause. Because only
+	// physical ops occupy the ack layer's seq ring, work-proportional
+	// bounds (TimeoutRate) and barrier intervals count physical installs —
+	// a compressed burst holds barriers and timeout cohorts for fewer
+	// rules than the controller issued. Logical staging coalesces one
+	// dispatch burst per clock instant under a simulated clock; under a
+	// wall clock batches degrade toward per-message without affecting
+	// correctness. See docs/AGGREGATION.md.
+	Aggregate bool
 
 	// Unsharded reverts the update/ack hot path to its pre-sharding
 	// execution mode: every switch's bookkeeping serializes behind one
@@ -558,6 +575,12 @@ func (r *RUM) AttachSwitch(name string, dpid uint64, ctrlConn, swConn transport.
 	}
 
 	s := &session{rum: r, name: name, shard: sh, swConn: swConn, ctConn: ctrlConn}
+	if r.cfg.Aggregate {
+		// A fresh logical/physical pair per attach: a reattaching switch
+		// is assumed to need its FIB replayed (the restart recovery
+		// model), so stale aggregation state must not survive the session.
+		s.agg = aggregate.New()
+	}
 	// Pool-recycling release points depend on who owns message structs:
 	// frame-encoding conns copy to wire bytes during Send, so RUM regains
 	// exclusive ownership of acks it emits upward and — when the decode
@@ -598,6 +621,9 @@ type session struct {
 	ack    *ackLayer
 	bar    *barrierLayer
 	strat  SwitchStrategy
+	// agg is the session's logical/physical aggregation pair
+	// (Config.Aggregate); nil when aggregation is off.
+	agg *aggregate.Table
 	// techName is the serving strategy's registered name, cached for the
 	// intent journal's records.
 	techName string
@@ -801,6 +827,12 @@ func (r *RUM) DetachSwitchCause(name string, cause error) bool {
 	if d, ok := s.strat.(SwitchDetacher); ok {
 		d.Detach()
 	}
+	// Logical FlowMods staged for an aggregation flush that will never
+	// run must fail now, with the same cause as the in-flight physical
+	// ops below (whose fan-in fails the logical futures they cover).
+	if s.agg != nil {
+		s.ack.dropAggStage(cause)
+	}
 	for _, u := range s.ack.takePendingRetained() {
 		s.ack.confirmCause(u, OutcomeFailed, cause)
 		u.Release()
@@ -899,6 +931,31 @@ func (r *RUM) BootstrapSwitch(name string) error {
 		}
 	}
 	return nil
+}
+
+// AggregationStats reports the named switch's aggregation counters:
+// logical vs physical rule counts (the compression ratio), per-batch
+// verifier witnesses, bypassed keys, and the unrepaired-counterexample
+// count that must stay zero. ok is false when the switch is not
+// attached or Config.Aggregate is off.
+func (r *RUM) AggregationStats(name string) (s aggregate.Stats, ok bool) {
+	sess, found := r.sessionByName(name)
+	if !found || sess.agg == nil {
+		return aggregate.Stats{}, false
+	}
+	return sess.agg.Stats(), true
+}
+
+// AggregationTable exposes the named switch's aggregate table so
+// verification harnesses can run from-scratch equivalence proofs
+// (aggregate.Table.VerifyFull) or snapshot the rule sets; nil when the
+// switch is not attached or aggregation is off.
+func (r *RUM) AggregationTable(name string) *aggregate.Table {
+	sess, found := r.sessionByName(name)
+	if !found {
+		return nil
+	}
+	return sess.agg
 }
 
 // Stats reports RUM-level counters: fine-grained acks emitted, probe

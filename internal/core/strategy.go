@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rum/internal/aggregate"
 	"rum/internal/of"
 	"rum/internal/packet"
 	"rum/internal/sim"
@@ -83,6 +84,18 @@ type Update struct {
 	failErr  error // typed failure cause; written under the same mutex
 	ownFM    bool  // fm came off the wire and returns to the codec pool
 	refs     atomic.Int32
+
+	// Aggregation fan-in state (Config.Aggregate; see aggfanin.go).
+	// covered is a physical op's pooled set of retained logical updates
+	// its resolution confirms or fails; it is written under the ack
+	// layer's mutex while the op is pending and drained exactly once by
+	// the single resolution path. aggWait counts the physical anchors a
+	// logical update still waits on. aggRef/aggTrack name the physical
+	// rule this op installed, for the pending-install index.
+	covered  []*Update
+	aggWait  atomic.Int32
+	aggRef   aggregate.PhysRef
+	aggTrack bool
 }
 
 var updatePool = sync.Pool{New: func() any { return new(Update) }}
@@ -124,6 +137,13 @@ func (u *Update) Release() {
 	}
 	if n < 0 {
 		panic("core: Update released more often than retained")
+	}
+	if u.covered != nil {
+		// Safety net: a resolved physical op drains its covered set in
+		// fanInCovered before the emission reference drops, so this only
+		// fires if an op is released without ever resolving — the
+		// references still must drop or the pooled updates leak.
+		releaseCovered(u)
 	}
 	if u.ownFM && u.fm != nil {
 		of.Release(u.fm)

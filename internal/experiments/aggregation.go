@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"rum/internal/controller"
+	"rum/internal/core"
+	"rum/internal/hsa"
+	"rum/internal/netsim"
+	"rum/internal/of"
+	"rum/internal/packet"
+	"rum/internal/sim"
+	"rum/internal/switchsim"
+	"rum/internal/transport"
+)
+
+// AggregationOpts parameterizes the incremental-aggregation workload: a
+// k-ary fat-tree where every switch receives aligned blocks of /32
+// destination rules sharing a per-block output port — the compressible
+// shape FIB aggregation exists for — followed by a seeded churn phase of
+// point deletes and re-adds that forces the aggregate table to split and
+// re-merge covers while acknowledgments are in flight.
+type AggregationOpts struct {
+	// K is the fat-tree arity (even, default 8 → 80 switches).
+	K int
+	// BlocksPerSwitch is the number of aligned /32 blocks each switch
+	// installs (default 4).
+	BlocksPerSwitch int
+	// BlockSize is the number of /32 rules per block, a power of two so
+	// blocks merge to a single cover (default 8 → a /29 per block).
+	BlockSize int
+	// Deletes is how many random installed /32s each switch deletes in
+	// the churn phase; half of them are re-added afterwards (default 4).
+	Deletes int
+	// Seed drives the churn phase's rule selection. Identical seeds give
+	// byte-identical traces.
+	Seed int64
+	// Baseline disables aggregation (Config.Aggregate=false): the
+	// comparison run where every logical rule is a physical rule.
+	Baseline bool
+	// Stagger is the gap between a switch's consecutive install bursts
+	// (default 500µs; a block is one burst).
+	Stagger time.Duration
+	// CtrlLatency and LinkLatency mirror EnvConfig (defaults 100µs/20µs).
+	CtrlLatency time.Duration
+	LinkLatency time.Duration
+	// Deadline bounds the simulated time the workload may take (default
+	// 60s).
+	Deadline time.Duration
+}
+
+// Defaults fills zero fields.
+func (o AggregationOpts) Defaults() AggregationOpts {
+	if o.K == 0 {
+		o.K = 8
+	}
+	if o.BlocksPerSwitch == 0 {
+		o.BlocksPerSwitch = 4
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 8
+	}
+	if o.Deletes == 0 {
+		o.Deletes = 4
+	}
+	if o.Stagger == 0 {
+		o.Stagger = 500 * time.Microsecond
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = 100 * time.Microsecond
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 20 * time.Microsecond
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 60 * time.Second
+	}
+	return o
+}
+
+// AggregationResult reports the workload's correctness checks and
+// compression metrics.
+type AggregationResult struct {
+	K        int
+	Switches int
+	Updates  int // logical updates issued (adds + deletes + re-adds)
+
+	Completed int // logical updates acknowledged positively
+	Failed    int
+	Unacked   int
+
+	// LogicalRules/PhysicalRules and Ratio sample the aggregate tables at
+	// the install-phase peak, before churn shrinks them.
+	LogicalRules  int
+	PhysicalRules int
+	Ratio         float64
+
+	// FalseInstallAcks counts logical adds acknowledged installed with no
+	// live covering physical activation in the switch's data-plane log at
+	// ack time; FalseRemoveAcks counts logical deletes acknowledged
+	// removed while a covering physical rule was still live. Both must be
+	// zero.
+	FalseInstallAcks int
+	FalseRemoveAcks  int
+
+	// HSACounterexamples sums the per-batch verifier failures across all
+	// aggregate tables plus a full re-verification after the run. Must be
+	// zero.
+	HSACounterexamples uint64
+
+	// P50/P99 are ack-latency percentiles over completed updates.
+	P50, P99 time.Duration
+
+	// Trace is a deterministic, seed-replayable log of every logical
+	// update's resolution: identical opts (including Seed) reproduce it
+	// byte for byte.
+	Trace string
+}
+
+// aggLogical is one tracked logical update and the metadata its
+// ground-truth check needs.
+type aggLogical struct {
+	sw     string
+	xid    uint32
+	match  of.Match
+	prio   uint16
+	delete bool
+	h      *core.UpdateHandle
+}
+
+// aggDstMatch is the workload's rule shape: IPv4 destination /32, source
+// wildcarded — the form the aggregate table compresses.
+func aggDstMatch(addr [4]byte) of.Match {
+	m := of.MatchAll()
+	m.Wildcards &^= of.WcDLType
+	m.DLType = packet.EtherTypeIPv4
+	m.SetNWDst(netip.AddrFrom4(addr))
+	return m
+}
+
+// Aggregation runs the workload and audits every acknowledgment against
+// the emulated switches' data-plane activation logs.
+func Aggregation(opts AggregationOpts) (*AggregationResult, error) {
+	opts = opts.Defaults()
+	ft, err := netsim.NewFatTree(opts.K)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New()
+	n := netsim.New(s)
+	switches := make(map[string]*switchsim.Switch)
+	for i, name := range ft.Switches() {
+		switches[name] = switchsim.New(name, uint64(i+1), switchsim.ProfileSoftware(), s, n)
+	}
+	links := make([]core.TopoLink, len(ft.Links))
+	for i, l := range ft.Links {
+		n.Connect(switches[l.A], l.APort, switches[l.B], l.BPort, opts.LinkLatency)
+		links[i] = core.TopoLink{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort}
+	}
+	cfg := core.Config{
+		Clock:     s,
+		RUMAware:  true,
+		Aggregate: !opts.Baseline,
+	}
+	r, err := core.New(cfg, core.NewTopology(links))
+	if err != nil {
+		return nil, err
+	}
+	ctrlConns := make(map[string]transport.Conn)
+	for name, sw := range switches {
+		ctrlTop, ctrlBottom := transport.Pipe(s, opts.CtrlLatency)
+		rumSide, swSide := transport.Pipe(s, opts.CtrlLatency)
+		sw.AttachConn(swSide)
+		if _, err := r.AttachSwitch(name, sw.DPID(), ctrlBottom, rumSide); err != nil {
+			return nil, fmt.Errorf("experiments: attaching %s: %w", name, err)
+		}
+		ctrlConns[name] = ctrlTop
+	}
+	client := controller.NewClient(s, controller.AckRUM, ctrlConns)
+	if err := r.Bootstrap(); err != nil {
+		return nil, err
+	}
+	s.RunFor(700 * time.Millisecond)
+
+	names := ft.Switches()
+	res := &AggregationResult{K: opts.K, Switches: len(names)}
+	var tracked []*aggLogical
+
+	send := func(sw string, fm *of.FlowMod, del bool) {
+		fm.SetXID(client.NewXID())
+		l := &aggLogical{sw: sw, xid: fm.GetXID(), match: fm.Match,
+			prio: fm.Priority, delete: del, h: r.Watch(sw, fm.GetXID())}
+		tracked = append(tracked, l)
+		_ = client.Send(sw, fm)
+	}
+	waitResolved := func() {
+		// Let the phase's staggered sends fire before polling: the
+		// tracked set is empty until the After callbacks run.
+		s.RunFor(16*opts.Stagger + 10*time.Millisecond)
+		deadline := s.Now() + opts.Deadline
+		pending := func() int {
+			p := 0
+			for _, l := range tracked {
+				if _, ok := l.h.Result(); !ok {
+					p++
+				}
+			}
+			return p
+		}
+		for pending() > 0 && s.Now() < deadline {
+			s.RunFor(5 * time.Millisecond)
+		}
+	}
+
+	// Install phase: per switch, BlocksPerSwitch aligned blocks of
+	// BlockSize /32s; each block shares one output port, so a block
+	// compresses to a single cover. Blocks land as bursts so a burst is
+	// one aggregation batch.
+	addrOf := func(si, b, j int) [4]byte {
+		return [4]byte{10, 2, byte(si), byte(b*opts.BlockSize + j)}
+	}
+	for si, name := range names {
+		ports := ft.InterPorts(name)
+		for b := 0; b < opts.BlocksPerSwitch; b++ {
+			sw, block, port := name, b, ports[b%len(ports)]
+			idx := si
+			s.After(time.Duration(b)*opts.Stagger, func() {
+				for j := 0; j < opts.BlockSize; j++ {
+					fm := &of.FlowMod{Command: of.FCAdd,
+						Match: aggDstMatch(addrOf(idx, block, j)), Priority: 100,
+						BufferID: of.BufferNone, OutPort: of.PortNone,
+						Actions: []of.Action{of.ActionOutput{Port: port}}}
+					send(sw, fm, false)
+				}
+			})
+		}
+	}
+	waitResolved()
+
+	// Peak compression sample, before churn shrinks the tables.
+	if !opts.Baseline {
+		for _, name := range names {
+			if st, ok := r.AggregationStats(name); ok {
+				res.LogicalRules += st.LogicalRules
+				res.PhysicalRules += st.PhysicalRules
+				res.HSACounterexamples += st.Counterexamples
+			}
+		}
+	} else {
+		res.LogicalRules = len(tracked)
+		res.PhysicalRules = len(tracked)
+	}
+	if res.PhysicalRules > 0 {
+		res.Ratio = float64(res.LogicalRules) / float64(res.PhysicalRules)
+	}
+
+	// Churn phase: seeded point deletes (forcing cover splits), then
+	// re-adds of half of them (forcing re-merges and fold-ins). Deletes
+	// and re-adds run in separate phases so no batch carries an add and a
+	// delete of the same rule.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	total := opts.BlocksPerSwitch * opts.BlockSize
+	deleted := make(map[string][]int)
+	for si, name := range names {
+		picks := rng.Perm(total)[:opts.Deletes]
+		sort.Ints(picks)
+		deleted[name] = picks
+		sw, idx := name, si
+		s.After(time.Duration(si%8)*opts.Stagger, func() {
+			for _, p := range picks {
+				fm := &of.FlowMod{Command: of.FCDelete,
+					Match:    aggDstMatch(addrOf(idx, p/opts.BlockSize, p%opts.BlockSize)),
+					BufferID: of.BufferNone, OutPort: of.PortNone}
+				send(sw, fm, true)
+			}
+		})
+	}
+	waitResolved()
+	for si, name := range names {
+		ports := ft.InterPorts(name)
+		picks := deleted[name][:opts.Deletes/2]
+		sw, idx := name, si
+		s.After(time.Duration(si%8)*opts.Stagger, func() {
+			for _, p := range picks {
+				fm := &of.FlowMod{Command: of.FCAdd,
+					Match:    aggDstMatch(addrOf(idx, p/opts.BlockSize, p%opts.BlockSize)),
+					Priority: 100, BufferID: of.BufferNone, OutPort: of.PortNone,
+					Actions: []of.Action{of.ActionOutput{Port: ports[(p/opts.BlockSize)%len(ports)]}}}
+				send(sw, fm, false)
+			}
+		})
+	}
+	waitResolved()
+
+	// Full equivalence re-verification over the final tables.
+	if !opts.Baseline {
+		for _, name := range names {
+			if t := r.AggregationTable(name); t != nil {
+				res.HSACounterexamples += uint64(t.VerifyFull())
+			}
+		}
+	}
+
+	// Ground-truth audit: replay each switch's data-plane activation log
+	// up to every ack's confirmation time. An installed ack requires a
+	// live physical rule covering the logical match at that instant; a
+	// removed ack requires none (sound here because the workload keeps
+	// per-switch rule regions disjoint across blocks).
+	type ruleKey struct {
+		m of.Match
+		p uint16
+	}
+	liveAt := func(sw string, at time.Duration) []ruleKey {
+		live := make(map[ruleKey]bool)
+		for _, a := range switches[sw].Activations() {
+			if a.At > at {
+				break
+			}
+			k := ruleKey{m: a.Match, p: a.Priority}
+			if a.Deleted {
+				delete(live, k)
+			} else {
+				live[k] = true
+			}
+		}
+		keys := make([]ruleKey, 0, len(live))
+		for k := range live {
+			keys = append(keys, k)
+		}
+		return keys
+	}
+	var lats []time.Duration
+	for _, l := range tracked {
+		ar, ok := l.h.Result()
+		switch {
+		case !ok:
+			res.Unacked++
+			continue
+		case ar.Outcome == core.OutcomeFailed:
+			res.Failed++
+			continue
+		}
+		res.Completed++
+		lats = append(lats, ar.Latency)
+		covered := false
+		for _, k := range liveAt(l.sw, ar.ConfirmedAt) {
+			if hsa.Subset(l.match, k.m) {
+				covered = true
+				break
+			}
+		}
+		if l.delete && covered {
+			res.FalseRemoveAcks++
+		} else if !l.delete && !covered {
+			res.FalseInstallAcks++
+		}
+	}
+	res.Updates = len(tracked)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		res.P50, res.P99 = lats[len(lats)*50/100], lats[i99]
+	}
+
+	// The trace: one line per logical update in issue order, plus the
+	// summary. Deterministic for identical opts.
+	var tr strings.Builder
+	for _, l := range tracked {
+		cmd := "add"
+		if l.delete {
+			cmd = "del"
+		}
+		ar, ok := l.h.Result()
+		if !ok {
+			fmt.Fprintf(&tr, "%s %s xid=%d match=%s unacked\n", l.sw, cmd, l.xid, l.match)
+			continue
+		}
+		fmt.Fprintf(&tr, "%s %s xid=%d match=%s outcome=%s at=%s\n",
+			l.sw, cmd, l.xid, l.match, ar.Outcome, ar.ConfirmedAt)
+	}
+	fmt.Fprintf(&tr, "summary logical=%d physical=%d ratio=%.3f cex=%d false_install=%d false_remove=%d\n",
+		res.LogicalRules, res.PhysicalRules, res.Ratio,
+		res.HSACounterexamples, res.FalseInstallAcks, res.FalseRemoveAcks)
+	res.Trace = tr.String()
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAggregationSmall is the acceptance harness at k=4 (20 switches):
+// every logical update must resolve positively, the aggregate tables
+// must compress the aligned-block workload by at least 1.5x, and the
+// data-plane audit must find zero false acks and zero HSA
+// counterexamples.
+func TestAggregationSmall(t *testing.T) {
+	res, err := Aggregation(AggregationOpts{K: 4, Seed: 1, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 20 {
+		t.Fatalf("k=4 fat-tree ran %d switches, want 20", res.Switches)
+	}
+	if res.Completed != res.Updates || res.Failed != 0 || res.Unacked != 0 {
+		t.Fatalf("completed %d/%d updates (failed=%d unacked=%d)",
+			res.Completed, res.Updates, res.Failed, res.Unacked)
+	}
+	if res.Ratio < 1.5 {
+		t.Fatalf("peak compression ratio %.2f (%d logical / %d physical), want >= 1.5",
+			res.Ratio, res.LogicalRules, res.PhysicalRules)
+	}
+	if res.HSACounterexamples != 0 {
+		t.Fatalf("HSA verification found %d counterexamples", res.HSACounterexamples)
+	}
+	if res.FalseInstallAcks != 0 || res.FalseRemoveAcks != 0 {
+		t.Fatalf("activation audit: %d false install acks, %d false remove acks",
+			res.FalseInstallAcks, res.FalseRemoveAcks)
+	}
+	if res.P99 <= 0 || res.P50 > res.P99 {
+		t.Fatalf("implausible latency percentiles p50=%v p99=%v", res.P50, res.P99)
+	}
+}
+
+// TestAggregationTraceReplayable: identical opts (including Seed)
+// reproduce the resolution trace byte for byte.
+func TestAggregationTraceReplayable(t *testing.T) {
+	opts := AggregationOpts{K: 4, Seed: 7, Deadline: 30 * time.Second}
+	a, err := Aggregation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aggregation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace == "" || a.Trace != b.Trace {
+		t.Fatalf("trace not seed-replayable: run1 %d bytes, run2 %d bytes",
+			len(a.Trace), len(b.Trace))
+	}
+	// A different seed churns different rules.
+	opts.Seed = 8
+	c, err := Aggregation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trace == a.Trace {
+		t.Fatal("trace ignores the seed")
+	}
+}
+
+// TestAggregationBaselineParity runs the same workload with aggregation
+// off: everything still completes, the audit still passes, and the
+// physical table is exactly the logical table (ratio 1).
+func TestAggregationBaselineParity(t *testing.T) {
+	res, err := Aggregation(AggregationOpts{K: 4, Seed: 1, Baseline: true, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Updates {
+		t.Fatalf("baseline completed %d/%d updates (failed=%d unacked=%d)",
+			res.Completed, res.Updates, res.Failed, res.Unacked)
+	}
+	if res.Ratio != 1 {
+		t.Fatalf("baseline ratio %.2f, want exactly 1", res.Ratio)
+	}
+	if res.FalseInstallAcks != 0 || res.FalseRemoveAcks != 0 {
+		t.Fatalf("baseline audit: %d false install acks, %d false remove acks",
+			res.FalseInstallAcks, res.FalseRemoveAcks)
+	}
+}

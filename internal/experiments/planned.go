@@ -117,6 +117,11 @@ type PlannedMigrationOpts struct {
 	Window int
 	// SkipVerify disables HSA wave verification (benchmark baseline).
 	SkipVerify bool
+	// Aggregate runs the proxy with the incremental FIB aggregation
+	// layer (core.Config.Aggregate): waves are planned against logical
+	// rules but release only when the covering physical installs
+	// confirm (see docs/AGGREGATION.md).
+	Aggregate bool
 	// CtrlLatency and LinkLatency mirror EnvConfig (100µs/20µs).
 	CtrlLatency time.Duration
 	LinkLatency time.Duration
@@ -191,6 +196,10 @@ type PlannedMigrationResult struct {
 	// lifetime: 1, or 2 on a restarted switch). The acceptance gate
 	// requires zero — re-plans must never re-send an applied rule.
 	DoubleInstalls int
+	// AggregationCounterexamples sums the aggregation verifier's
+	// unrepaired failures across switches when Opts.Aggregate is on
+	// (must stay zero).
+	AggregationCounterexamples uint64
 
 	// WaveStats is the per-wave latency attribution (release → confirm
 	// on the simulated clock, verification wall cost, replans).
@@ -341,7 +350,8 @@ func PlannedMigration(o PlannedMigrationOpts) (*PlannedMigrationResult, error) {
 	// Reliable acks everywhere: the planner's wave gating is only as
 	// truthful as the strategy underneath, so the mixed deployment uses
 	// the probing techniques (edge: sequential, agg+core: general).
-	cfg := core.Config{Clock: s, Technique: core.TechGeneral, RUMAware: true}
+	cfg := core.Config{Clock: s, Technique: core.TechGeneral, RUMAware: true,
+		Aggregate: o.Aggregate}
 	cfg.PerSwitch = make(map[string]core.Technique)
 	for _, sw := range ft.Edge {
 		cfg.PerSwitch[sw] = core.TechSequential
@@ -534,5 +544,12 @@ func PlannedMigration(o PlannedMigrationOpts) (*PlannedMigrationResult, error) {
 		}
 	}
 	res.FinalStateOK = res.FinalStateOK && res.NewPathOK
+	if o.Aggregate {
+		for _, name := range names {
+			if st, ok := r.AggregationStats(name); ok {
+				res.AggregationCounterexamples += st.Counterexamples
+			}
+		}
+	}
 	return res, nil
 }

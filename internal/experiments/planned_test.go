@@ -167,3 +167,32 @@ func TestPlannedMigrationK8(t *testing.T) {
 		t.Fatalf("verified %d of %d waves", res.VerifiedWaves, res.Waves)
 	}
 }
+
+// TestPlannedMigrationAggregated runs the clean migration over the
+// aggregation layer: waves are planned against logical rules, but each
+// wave's futures resolve only when the covering physical installs
+// confirm — the schedule must complete with the identical final FIB,
+// zero double installs, and zero equivalence counterexamples.
+func TestPlannedMigrationAggregated(t *testing.T) {
+	res, err := PlannedMigration(PlannedMigrationOpts{K: 4, Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Completed || res.Wedged != 0 || res.Replans != 0 {
+		t.Fatalf("aggregated run: completed=%v wedged=%d replans=%d",
+			res.Completed, res.Wedged, res.Replans)
+	}
+	if res.VerifiedWaves != res.Waves {
+		t.Fatalf("verified %d of %d waves", res.VerifiedWaves, res.Waves)
+	}
+	if !res.FinalStateOK {
+		t.Fatal("final FIB state does not match the plan")
+	}
+	if res.DoubleInstalls != 0 {
+		t.Fatalf("%d double installs", res.DoubleInstalls)
+	}
+	if res.AggregationCounterexamples != 0 {
+		t.Fatalf("%d aggregation counterexamples", res.AggregationCounterexamples)
+	}
+}

@@ -290,3 +290,121 @@ func TestLookupMatchesShadowModelProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeekSkipsCounters(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 2})
+	e := tbl.Peek(hsa.Sample(m))
+	if e == nil || e.Priority != 10 {
+		t.Fatalf("Peek = %+v, want the priority-10 rule", e)
+	}
+	if e.Packets != 0 || e.Bytes != 0 {
+		t.Errorf("Peek bumped counters: %d pkts / %d bytes", e.Packets, e.Bytes)
+	}
+	if lookups, matched := tbl.Stats(); lookups != 0 || matched != 0 {
+		t.Errorf("Peek counted as a lookup: stats %d/%d", lookups, matched)
+	}
+}
+
+func TestPeekTieBreakMatchesLookup(t *testing.T) {
+	tbl := New()
+	m1 := ipMatch("10.0.0.1", "10.0.0.2")
+	m2 := of.MatchAll()
+	m2.Wildcards &^= of.WcDLType
+	m2.DLType = packet.EtherTypeIPv4
+	m2.SetNWSrc(netip.MustParseAddr("10.0.0.1"))
+	add(tbl, 10, m1, of.ActionOutput{Port: 1})
+	add(tbl, 10, m2, of.ActionOutput{Port: 2})
+	f := hsa.Sample(m1)
+	pe, le := tbl.Peek(f), tbl.Lookup(f, 1)
+	if pe != le {
+		t.Fatalf("Peek and Lookup disagree on the same-priority tie: %+v vs %+v", pe, le)
+	}
+	if pe.Actions[0] != (of.ActionOutput{Port: 1}) {
+		t.Fatalf("tie not broken toward the earlier install: %+v", pe.Actions)
+	}
+}
+
+func TestFindRequiresExactPriority(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	add(tbl, 20, m, of.ActionOutput{Port: 2})
+	if e := tbl.Find(m, 15); e != nil {
+		t.Fatalf("Find matched a priority nothing was installed at: %+v", e)
+	}
+	if e := tbl.Find(m, 20); e == nil || e.Actions[0] != (of.ActionOutput{Port: 2}) {
+		t.Fatalf("Find(prio 20) = %+v, want the port-2 rule", e)
+	}
+}
+
+// Non-strict DELETE matches any rule whose region is a subset of the
+// given match, at every priority (the FlowMod's priority field is
+// ignored); strict DELETE requires the exact match and exact priority.
+func TestDeleteStrictVsNonStrictPriority(t *testing.T) {
+	mk := func() *Table {
+		tbl := New()
+		m := ipMatch("10.0.0.1", "10.0.0.2")
+		add(tbl, 10, m, of.ActionOutput{Port: 1})
+		add(tbl, 20, m, of.ActionOutput{Port: 2})
+		return tbl
+	}
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+
+	nonStrict := mk()
+	nonStrict.Apply(&of.FlowMod{Command: of.FCDelete, Priority: 10, Match: m, OutPort: of.PortNone})
+	if nonStrict.Len() != 0 {
+		t.Fatalf("non-strict delete honored the priority field: %d entries left", nonStrict.Len())
+	}
+
+	strict := mk()
+	strict.Apply(&of.FlowMod{Command: of.FCDeleteStrict, Priority: 30, Match: m, OutPort: of.PortNone})
+	if strict.Len() != 2 {
+		t.Fatalf("strict delete at an uninstalled priority removed entries: %d left", strict.Len())
+	}
+}
+
+// A non-strict delete's region test is subset, not overlap: a narrower
+// delete match must not remove a wider installed rule.
+func TestDeleteSubsetNotOverlap(t *testing.T) {
+	tbl := New()
+	wide := of.MatchAll()
+	wide.Wildcards &^= of.WcDLType
+	wide.DLType = packet.EtherTypeIPv4
+	wide.SetNWSrc(netip.MustParseAddr("10.0.0.1"))
+	add(tbl, 10, wide, of.ActionOutput{Port: 1})
+	narrow := ipMatch("10.0.0.1", "10.0.0.2")
+	changed := tbl.Apply(&of.FlowMod{Command: of.FCDelete, Match: narrow, OutPort: of.PortNone})
+	if len(changed) != 0 || tbl.Len() != 1 {
+		t.Fatalf("narrow delete removed a wider rule: %d changed, %d left", len(changed), tbl.Len())
+	}
+}
+
+func TestEntriesSnapshotIsolated(t *testing.T) {
+	tbl := New()
+	m := ipMatch("10.0.0.1", "10.0.0.2")
+	add(tbl, 10, m, of.ActionOutput{Port: 1})
+	es := tbl.Entries()
+	if len(es) != 1 || es[0].Priority != 10 {
+		t.Fatalf("Entries = %+v, want the one installed rule", es)
+	}
+	es[0].Actions[0] = of.ActionOutput{Port: 99}
+	es[0].Priority = 7
+	if e := tbl.Find(m, 10); e == nil || e.Actions[0] != (of.ActionOutput{Port: 1}) {
+		t.Fatal("Entries() aliases internal state")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tbl := New()
+	add(tbl, 10, ipMatch("10.0.0.1", "10.0.0.2"), of.ActionOutput{Port: 1})
+	add(tbl, 20, ipMatch("10.0.0.1", "10.0.0.3"), of.ActionOutput{Port: 2})
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Fatalf("Clear left %d entries", tbl.Len())
+	}
+	if e := tbl.Lookup(hsa.Sample(ipMatch("10.0.0.1", "10.0.0.2")), 1); e != nil {
+		t.Fatalf("lookup after Clear returned %+v", e)
+	}
+}
